@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "tuner/harness.h"
+
+namespace restune {
+namespace bench {
+
+/// Quiets the library logger so bench output is clean tabular text.
+inline void BenchSetup() { Logger::SetThreshold(LogLevel::kError); }
+
+/// Prints a section header in the style used by every bench binary.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Best-feasible resource value after each iteration, starting from the
+/// default configuration's value — the y-series of the paper's tuning plots.
+inline std::vector<double> BestFeasibleCurve(const SessionResult& result) {
+  std::vector<double> curve;
+  curve.reserve(result.history.size() + 1);
+  curve.push_back(result.default_observation.res);
+  for (const IterationRecord& rec : result.history) {
+    curve.push_back(rec.best_feasible_res);
+  }
+  return curve;
+}
+
+/// Prints curves as rows "iter  <method1> <method2> ..." sampled every
+/// `stride` iterations (plus the final point).
+inline void PrintCurves(const std::vector<std::string>& names,
+                        const std::vector<std::vector<double>>& curves,
+                        int stride, const char* value_fmt = "%10.2f") {
+  std::printf("%6s", "iter");
+  for (const std::string& name : names) std::printf(" %20s", name.c_str());
+  std::printf("\n");
+  size_t max_len = 0;
+  for (const auto& c : curves) max_len = std::max(max_len, c.size());
+  for (size_t i = 0; i < max_len; i += static_cast<size_t>(stride)) {
+    std::printf("%6zu", i);
+    for (const auto& c : curves) {
+      const double v = c.empty() ? 0.0 : c[std::min(i, c.size() - 1)];
+      std::printf(" %20s", StringPrintf(value_fmt, v).c_str());
+    }
+    std::printf("\n");
+  }
+  // Always include the final point.
+  if (max_len > 0 && (max_len - 1) % static_cast<size_t>(stride) != 0) {
+    std::printf("%6zu", max_len - 1);
+    for (const auto& c : curves) {
+      const double v = c.empty() ? 0.0 : c.back();
+      std::printf(" %20s", StringPrintf(value_fmt, v).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+/// Percentage improvement of `best` over `baseline` (positive = better).
+inline double ImprovementPct(double baseline, double best) {
+  if (baseline <= 0) return 0.0;
+  return 100.0 * (baseline - best) / baseline;
+}
+
+}  // namespace bench
+}  // namespace restune

@@ -1,0 +1,76 @@
+// Reproduces paper Figure 4: hardware adaptation. The repository is built
+// on ONE instance and used to tune targets on the OTHER (B->A and A->B),
+// i.e. the varying-hardware setting: tasks from the target's own instance
+// type are held out. Methods: Default, ResTune, ResTune-w/o-ML,
+// OtterTune-w-Con. ResTune's ranking-loss weighting transfers across the
+// hardware change; OtterTune's absolute-distance mapping does not.
+
+#include "bench/bench_common.h"
+
+using namespace restune;
+
+int main() {
+  bench::BenchSetup();
+  bench::PrintHeader(
+      "Figure 4: performance adapting to different hardware (varying "
+      "hardware setting)");
+
+  const KnobSpace space = CpuKnobSpace();
+  ExperimentConfig config;
+  config.iterations = BenchIterations(100);
+
+  const WorkloadCharacterizer characterizer = TrainDefaultCharacterizer();
+  const DataRepository repo =
+      BuildPaperRepository(space, characterizer, config, 80);
+
+  const std::vector<MethodKind> methods = {
+      MethodKind::kResTune, MethodKind::kResTuneNoMl, MethodKind::kOtterTune};
+
+  struct Direction {
+    char source;
+    char target;
+  };
+  for (const Direction dir : {Direction{'B', 'A'}, Direction{'A', 'B'}}) {
+    const std::string source_hw =
+        HardwareInstance(dir.source).value().name;
+    // Hold out every task collected on the target instance: only
+    // source-instance history remains.
+    std::vector<BaseLearner> learners = repo.TrainHoldOutHardware(
+        HardwareInstance(dir.target).value().name);
+    std::vector<TuningTask> tasks;
+    for (const TuningTask& t : repo.tasks()) {
+      if (t.hardware == source_hw) tasks.push_back(t);
+    }
+    std::printf("\n##### transfer %c -> %c (%zu base-learners) #####\n",
+                dir.source, dir.target, learners.size());
+
+    for (const WorkloadProfile& target : StandardWorkloads()) {
+      std::printf("\n--- %s (%c to %c) ---\n", target.name.c_str(),
+                  dir.source, dir.target);
+      MethodInputs inputs;
+      inputs.base_learners = learners;
+      inputs.repository_tasks = tasks;
+      inputs.target_meta_feature = ComputeMetaFeature(characterizer, target);
+
+      std::vector<std::string> names = {"Default"};
+      std::vector<std::vector<double>> curves;
+      for (MethodKind method : methods) {
+        auto sim = MakeSimulator(space, dir.target, target, config).value();
+        const auto result = RunMethod(method, &sim, inputs, config);
+        if (!result.ok()) {
+          std::fprintf(stderr, "failed: %s\n",
+                       result.status().ToString().c_str());
+          continue;
+        }
+        if (curves.empty()) {
+          curves.emplace_back(result->history.size() + 1,
+                              result->default_observation.res);
+        }
+        names.push_back(MethodName(method));
+        curves.push_back(bench::BestFeasibleCurve(*result));
+      }
+      bench::PrintCurves(names, curves, std::max(1, config.iterations / 10));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces paper Figure 5: workload adaptation under the varying
+// workloads setting. For each of the five targets, every repository task of
+// the SAME workload is held out, so the meta-learner must transfer from
+// different workloads only. Instance A, methods: Default, ResTune,
+// ResTune-w/o-ML, OtterTune-w-Con.
+
+#include "bench/bench_common.h"
+
+using namespace restune;
+
+int main() {
+  bench::BenchSetup();
+  bench::PrintHeader(
+      "Figure 5: performance adapting to different workloads (varying "
+      "workloads setting, instance A)");
+
+  const KnobSpace space = CpuKnobSpace();
+  ExperimentConfig config;
+  config.iterations = BenchIterations(100);
+
+  const WorkloadCharacterizer characterizer = TrainDefaultCharacterizer();
+  const DataRepository repo =
+      BuildPaperRepository(space, characterizer, config, 80);
+
+  const std::vector<MethodKind> methods = {
+      MethodKind::kResTune, MethodKind::kResTuneNoMl, MethodKind::kOtterTune};
+
+  double speedup_sum = 0.0;
+  int speedup_count = 0;
+  for (const WorkloadProfile& target : StandardWorkloads()) {
+    // Hold out the target workload's own history (32 of 34 tasks remain).
+    std::vector<BaseLearner> learners =
+        repo.TrainHoldOutWorkload(target.name);
+    std::vector<TuningTask> tasks;
+    for (const TuningTask& t : repo.tasks()) {
+      if (t.workload != target.name) tasks.push_back(t);
+    }
+    std::printf("\n--- %s (held out; %zu base-learners) ---\n",
+                target.name.c_str(), learners.size());
+
+    MethodInputs inputs;
+    inputs.base_learners = std::move(learners);
+    inputs.repository_tasks = std::move(tasks);
+    inputs.target_meta_feature = ComputeMetaFeature(characterizer, target);
+
+    std::vector<std::string> names = {"Default"};
+    std::vector<std::vector<double>> curves;
+    int restune_iter = 0, noml_iter = 0;
+    double restune_best = 0.0;
+    for (MethodKind method : methods) {
+      auto sim = MakeSimulator(space, 'A', target, config).value();
+      const auto result = RunMethod(method, &sim, inputs, config);
+      if (!result.ok()) {
+        std::fprintf(stderr, "failed: %s\n",
+                     result.status().ToString().c_str());
+        continue;
+      }
+      if (curves.empty()) {
+        curves.emplace_back(result->history.size() + 1,
+                            result->default_observation.res);
+      }
+      names.push_back(MethodName(method));
+      curves.push_back(bench::BestFeasibleCurve(*result));
+      if (method == MethodKind::kResTune) {
+        restune_iter = result->IterationsToBest(0.05);
+        restune_best = result->best_feasible_res;
+      }
+      if (method == MethodKind::kResTuneNoMl) {
+        // Iterations NoML needs to match ResTune's best (within 5%).
+        noml_iter = config.iterations;
+        for (const IterationRecord& rec : result->history) {
+          if (rec.best_feasible_res <= restune_best * 1.05) {
+            noml_iter = rec.iteration;
+            break;
+          }
+        }
+      }
+    }
+    bench::PrintCurves(names, curves, std::max(1, config.iterations / 10));
+    if (restune_iter > 0) {
+      const double speedup =
+          static_cast<double>(noml_iter) / std::max(1, restune_iter);
+      std::printf("speed: ResTune best@%d, NoML matches@%d  => %.1fx\n",
+                  restune_iter, noml_iter, speedup);
+      speedup_sum += speedup;
+      ++speedup_count;
+    }
+  }
+  if (speedup_count > 0) {
+    std::printf(
+        "\nAverage speedup of ResTune over ResTune-w/o-ML across "
+        "workloads: %.1fx (paper: 3.6x)\n",
+        speedup_sum / speedup_count);
+  }
+  return 0;
+}

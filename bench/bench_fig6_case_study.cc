@@ -1,0 +1,209 @@
+// Reproduces the paper's Twitter case study (Section 7.3):
+//  * Figure 6(a): tuning curves of 7 methods over 100 iterations on the
+//    3-knob space (innodb_thread_concurrency, innodb_spin_wait_delay,
+//    innodb_lru_scan_depth), with a hand-built repository of the Twitter
+//    variations W1..W5 (200 LHS observations each).
+//  * Figure 6(b): ablation ResTune vs ResTune-w/o-Workload (LHS init).
+//  * Figure 6(c): ResTune's ensemble weight trajectory over 50 iterations.
+//  * Figure 6(d,e): TPS response surfaces of WT and W1.
+//  * Table 6: best configurations found by each method vs 8x8x8 grid search.
+
+#include <cmath>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "tuner/restune_advisor.h"
+
+using namespace restune;
+
+int main() {
+  bench::BenchSetup();
+  bench::PrintHeader("Case study: Twitter workload with 3 tuning knobs");
+
+  const KnobSpace space = CaseStudyKnobSpace();
+  ExperimentConfig config;
+  config.iterations = BenchIterations(100);
+  const char kInstance = 'A';
+
+  const WorkloadCharacterizer characterizer = TrainDefaultCharacterizer();
+  const WorkloadProfile target = MakeWorkload(WorkloadKind::kTwitter).value();
+
+  // ---- Hand-built repository: W1..W5, 200 LHS observations each --------
+  DataRepository repo;
+  for (int v = 1; v <= 5; ++v) {
+    repo.AddTask(CollectHistoryTask(
+        space, HardwareInstance(kInstance).value(), TwitterVariation(v).value(),
+        characterizer, config, 200));
+  }
+  const std::vector<BaseLearner> learners = repo.TrainAllBaseLearners();
+  MethodInputs inputs;
+  inputs.base_learners = learners;
+  inputs.repository_tasks = repo.tasks();
+  inputs.target_meta_feature = ComputeMetaFeature(characterizer, target);
+
+  // ---- Table 5: variation statistics ------------------------------------
+  bench::PrintHeader("Table 5: statistics about workload variations");
+  {
+    const Vector& target_feature = inputs.target_meta_feature;
+    std::vector<double> distances, gammas;
+    for (int v = 1; v <= 5; ++v) {
+      const Vector f = ComputeMetaFeature(characterizer,
+                                          TwitterVariation(v).value());
+      distances.push_back(std::sqrt(SquaredDistance(f, target_feature)));
+    }
+    // Static weights via the Epanechnikov kernel, bandwidth as configured.
+    MetaLearnerOptions meta_opts;
+    double gamma_sum = EpanechnikovKernel(0.0);  // the target itself (WT)
+    for (double d : distances) {
+      gammas.push_back(EpanechnikovKernel(d / meta_opts.bandwidth));
+      gamma_sum += gammas.back();
+    }
+    std::printf("%-18s %10s %10s %10s %10s %10s\n", "Workload", "W1", "W2",
+                "W3", "W4", "W5");
+    std::printf("%-18s", "R/W ratio");
+    for (int v = 1; v <= 5; ++v) {
+      std::printf(" %9.0f:", TwitterVariation(v)->read_write_ratio);
+    }
+    std::printf("\n%-18s", "Distance to WT");
+    for (double d : distances) std::printf(" %10.4f", d);
+    std::printf("\n%-18s", "Static weight");
+    for (double g : gammas) std::printf(" %9.2f%%", 100.0 * g / gamma_sum);
+    std::printf("\n(WT itself: %.2f%%; distances grow with the INSERT "
+                "share, W4/W5 can fall outside the kernel)\n",
+                100.0 * EpanechnikovKernel(0.0) / gamma_sum);
+  }
+
+  // ---- Figure 6(a)+(b): tuning curves -----------------------------------
+  bench::PrintHeader(
+      "Figure 6(a,b): tuning curves, 7 methods, best feasible CPU%");
+  const std::vector<MethodKind> methods = {
+      MethodKind::kResTune,    MethodKind::kResTuneNoMl,
+      MethodKind::kITuned,     MethodKind::kOtterTune,
+      MethodKind::kCdbTune,    MethodKind::kResTuneNoWorkload};
+  std::vector<std::string> names = {"Default"};
+  std::vector<std::vector<double>> curves;
+  struct BestConfig {
+    std::string method;
+    Vector raw;
+    double cpu = 0.0;
+  };
+  std::vector<BestConfig> best_configs;
+  Vector default_raw = space.ToRaw(space.DefaultTheta());
+  double default_cpu = 0.0;
+
+  for (MethodKind method : methods) {
+    auto sim = MakeSimulator(space, kInstance, target, config).value();
+    const auto result = RunMethod(method, &sim, inputs, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", MethodName(method),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    if (curves.empty()) {
+      curves.emplace_back(result->history.size() + 1,
+                          result->default_observation.res);
+      default_cpu = result->default_observation.res;
+    }
+    names.push_back(MethodName(method));
+    curves.push_back(bench::BestFeasibleCurve(*result));
+    best_configs.push_back(
+        {MethodName(method), space.ToRaw(result->best_theta),
+         result->best_feasible_res});
+  }
+  // Grid search (8x8x8 = 512 evaluations) as ground truth.
+  {
+    ExperimentConfig grid_config = config;
+    grid_config.iterations = 512;
+    auto sim = MakeSimulator(space, kInstance, target, grid_config).value();
+    const auto result =
+        RunMethod(MethodKind::kGridSearch, &sim, inputs, grid_config);
+    if (result.ok()) {
+      best_configs.push_back({"GridSearch(8^3)",
+                              space.ToRaw(result->best_theta),
+                              result->best_feasible_res});
+    }
+  }
+  bench::PrintCurves(names, curves, std::max(1, config.iterations / 10));
+
+  // ---- Table 6: best configurations found -------------------------------
+  bench::PrintHeader("Table 6: best configurations found by each method");
+  std::printf("%-22s %20s %18s %16s %8s\n", "Method", "thread_concurrency",
+              "spin_wait_delay", "lru_scan_depth", "CPU");
+  std::printf("%-22s %20.0f %18.0f %16.0f %7.1f%%\n", "Default",
+              default_raw[0], default_raw[1], default_raw[2], default_cpu);
+  for (const BestConfig& bc : best_configs) {
+    std::printf("%-22s %20.0f %18.0f %16.0f %7.1f%%\n", bc.method.c_str(),
+                bc.raw[0], bc.raw[1], bc.raw[2], bc.cpu);
+  }
+
+  // ---- Figure 6(c): weight trajectory ------------------------------------
+  bench::PrintHeader(
+      "Figure 6(c): ResTune's ensemble weight assignment (first 50 iters)");
+  {
+    ExperimentConfig wconfig = config;
+    wconfig.iterations = std::min(50, config.iterations);
+    auto sim = MakeSimulator(space, kInstance, target, wconfig).value();
+    ResTuneAdvisorOptions options;
+    options.seed = wconfig.seed;
+    ResTuneAdvisor advisor(space.dim(), space.DefaultTheta(), learners,
+                           inputs.target_meta_feature, options);
+    const Observation def = sim.EvaluateDefault().value();
+    (void)advisor.Begin(def, DbInstanceSimulator::ConstraintsFromDefault(def));
+    std::printf("%6s %8s %8s %8s %8s %8s %8s\n", "iter", "W1", "W2", "W3",
+                "W4", "W5", "target");
+    for (int iter = 1; iter <= wconfig.iterations; ++iter) {
+      const auto theta = advisor.SuggestNext();
+      if (!theta.ok()) break;
+      const auto obs = sim.Evaluate(*theta);
+      if (!obs.ok()) break;
+      (void)advisor.Observe(*obs);
+      if (iter % 5 == 0 || iter == 1) {
+        const auto& w = advisor.meta_learner().weights();
+        std::printf("%6d", iter);
+        for (double v : w) std::printf(" %7.1f%%", 100.0 * v);
+        std::printf("\n");
+      }
+    }
+    // Ranking-loss row of Table 5 (after 50 target observations).
+    const auto losses = advisor.meta_learner().MeanRankingLossFractions();
+    if (!losses.empty()) {
+      std::printf("\nTable 5 'Ranking Loss' row (misranked-pair fraction):\n");
+      for (size_t i = 0; i < losses.size(); ++i) {
+        std::printf("  W%zu: %.2f%%", i + 1, 100.0 * losses[i]);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // ---- Figure 6(d,e): response surfaces ---------------------------------
+  bench::PrintHeader(
+      "Figure 6(d,e): TPS response surfaces of WT and W1 "
+      "(thread_concurrency x spin_wait_delay, lru=default)");
+  for (int which = 0; which <= 1; ++which) {
+    const WorkloadProfile w =
+        which == 0 ? target : TwitterVariation(1).value();
+    std::printf("\n%s TPS surface:\n", which == 0 ? "WT (target)" : "W1");
+    SimulatorOptions so;
+    so.noise_std = 0.0;
+    DbInstanceSimulator sim(space, HardwareInstance(kInstance).value(),
+                            AdaptRequestRate(w, HardwareInstance(kInstance)
+                                                    .value()),
+                            so);
+    // Sweep the capacity-sensitive low range of thread_concurrency so the
+    // surface shows the throughput cliff (as in the paper's 3-D plots).
+    const double tc_values[] = {1, 2, 3, 4, 6, 8, 12, 24};
+    const double spin_values[] = {0, 4, 8, 16, 32, 64, 96, 128};
+    std::printf("%12s", "tc \\ spin");
+    for (double spin : spin_values) std::printf(" %8.0f", spin);
+    std::printf("\n");
+    for (double tc : tc_values) {
+      std::printf("%12.0f", tc);
+      for (double spin : spin_values) {
+        const Vector theta = space.ToNormalized({tc, spin, 1024});
+        std::printf(" %8.0f", sim.EvaluateExact(theta)->tps);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces paper Figure 7: the SHAP path explaining how each case-study
+// knob moves CPU, throughput and latency from the default configuration to
+// the ResTune-recommended one. Exact Shapley values over the simulator's
+// noise-free response (2^3 coalitions), per metric.
+
+#include "analysis/shap.h"
+#include "bench/bench_common.h"
+
+using namespace restune;
+
+int main() {
+  bench::BenchSetup();
+  bench::PrintHeader(
+      "Figure 7: SHAP path — per-knob contributions from default to tuned "
+      "(Twitter case study)");
+
+  const KnobSpace space = CaseStudyKnobSpace();
+  ExperimentConfig config;
+  config.iterations = BenchIterations(60);
+  const WorkloadProfile target = MakeWorkload(WorkloadKind::kTwitter).value();
+
+  // Tune with constrained BO to obtain the recommended configuration.
+  auto sim = MakeSimulator(space, 'A', target, config).value();
+  const auto result = RunMethod(MethodKind::kResTuneNoMl, &sim, {}, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "tuning failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const Vector default_theta = space.DefaultTheta();
+  const Vector tuned_theta = result->best_theta;
+  const Vector default_raw = space.ToRaw(default_theta);
+  const Vector tuned_raw = space.ToRaw(tuned_theta);
+
+  std::printf("%-26s %14s %14s\n", "Knob", "Default", "Tuned");
+  for (size_t i = 0; i < space.dim(); ++i) {
+    std::printf("%-26s %14.0f %14.0f\n", space.knob(i).name.c_str(),
+                default_raw[i], tuned_raw[i]);
+  }
+
+  struct MetricSpec {
+    const char* label;
+    double (*extract)(const PerfMetrics&);
+  };
+  const MetricSpec specs[] = {
+      {"CPU (%)", [](const PerfMetrics& m) { return m.cpu_util_pct; }},
+      {"Throughput (txn/s)", [](const PerfMetrics& m) { return m.tps; }},
+      {"Latency p99 (ms)",
+       [](const PerfMetrics& m) { return m.latency_p99_ms; }},
+  };
+
+  for (const MetricSpec& spec : specs) {
+    auto f = [&](const Vector& theta) {
+      return spec.extract(sim.EvaluateExact(theta).value());
+    };
+    const auto shap = ExactShapley(f, default_theta, tuned_theta);
+    if (!shap.ok()) {
+      std::fprintf(stderr, "SHAP failed: %s\n",
+                   shap.status().ToString().c_str());
+      continue;
+    }
+    std::printf("\n%s: default %.2f -> tuned %.2f\n", spec.label,
+                shap->base_value, shap->current_value);
+    double running = shap->base_value;
+    for (size_t i = 0; i < space.dim(); ++i) {
+      running += shap->phi[i];
+      std::printf("  %-26s %+12.2f   (running: %10.2f)\n",
+                  space.knob(i).name.c_str(), shap->phi[i], running);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 7): thread_concurrency contributes the "
+      "bulk of the CPU\nreduction and improves performance; spin_wait_delay=0"
+      " saves CPU but degrades the\nperformance metrics; lru_scan_depth "
+      "adjusts performance to keep the SLA.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Figure 8: sensitivity to the client request rate.
+// For TPC-C (1.5K..2.2K txn/s) and SYSBENCH (16K..23K txn/s) on instance A
+// we report the default CPU and ResTune's best feasible CPU at each rate,
+// plus the "transferred" line: the knobs found at one anchor rate applied
+// unchanged to every other rate.
+
+#include "bench/bench_common.h"
+
+using namespace restune;
+
+namespace {
+
+void RunSweep(const WorkloadProfile& base, const std::vector<double>& rates,
+              double anchor_rate, const ExperimentConfig& config) {
+  const KnobSpace space = CpuKnobSpace();
+  std::printf("\n--- %s ---\n", base.name.c_str());
+  std::printf("%10s %12s %14s %16s\n", "rate", "default", "ResTune-best",
+              "transferred");
+
+  // First tune at the anchor rate to obtain transferable knobs.
+  Vector anchor_theta;
+  {
+    WorkloadProfile w = base;
+    w.request_rate = anchor_rate;
+    auto sim = MakeSimulator(space, 'A', w, config).value();
+    const auto result = RunMethod(MethodKind::kResTuneNoMl, &sim, {}, config);
+    if (result.ok()) anchor_theta = result->best_theta;
+  }
+
+  for (double rate : rates) {
+    WorkloadProfile w = base;
+    w.request_rate = rate;
+    auto sim = MakeSimulator(space, 'A', w, config).value();
+    const auto result = RunMethod(MethodKind::kResTuneNoMl, &sim, {}, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "rate %.0f failed\n", rate);
+      continue;
+    }
+    double transferred = 0.0;
+    if (!anchor_theta.empty()) {
+      transferred = sim.EvaluateExact(anchor_theta)->cpu_util_pct;
+    }
+    std::printf("%10.0f %11.1f%% %13.1f%% %15.1f%%\n", rate,
+                result->default_observation.res, result->best_feasible_res,
+                transferred);
+  }
+}
+
+}  // namespace
+
+int main() {
+  restune::bench::BenchSetup();
+  restune::bench::PrintHeader(
+      "Figure 8: sensitivity analysis of the request rate (feasible CPU%)");
+
+  ExperimentConfig config;
+  config.iterations = BenchIterations(60);
+
+  RunSweep(MakeWorkload(WorkloadKind::kTpcc).value(),
+           {1500, 1600, 1700, 1800, 1900, 2000, 2100, 2200}, 1800, config);
+  RunSweep(MakeWorkload(WorkloadKind::kSysbench).value(),
+           {16000, 17000, 18000, 19000, 20000, 21000, 22000, 23000}, 19000,
+           config);
+
+  std::printf(
+      "\nExpected shape (paper Fig. 8): similar relative improvement at "
+      "every rate, and the\nknobs tuned at one rate transfer to the others "
+      "with nearly the same feasible CPU.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Google-benchmark microbenchmarks of the algorithmic phases behind paper
+// Table 3: GP fitting / prediction, acquisition optimization, meta-learner
+// weight updates, and one full simulator evaluation. These quantify the
+// "Model Update" and "Knobs Recommendation" costs independent of workload
+// replay.
+
+#include <benchmark/benchmark.h>
+
+#include "bo/acq_optimizer.h"
+#include "bo/acquisition.h"
+#include "bo/lhs.h"
+#include "common/logging.h"
+#include "dbsim/simulator.h"
+#include "gp/multi_output_gp.h"
+#include "meta/meta_learner.h"
+
+namespace restune {
+namespace {
+
+std::vector<Observation> SyntheticObservations(size_t n, size_t dim,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Observation> obs;
+  for (const Vector& theta : LatinHypercubeSample(n, dim, &rng)) {
+    Observation o;
+    o.theta = theta;
+    o.res = 50.0 + 30.0 * theta[0] + rng.Gaussian(0, 0.5);
+    o.tps = 10000.0 - 2000.0 * theta[0] + rng.Gaussian(0, 50.0);
+    o.lat = 5.0 + 3.0 * theta[dim - 1] + rng.Gaussian(0, 0.05);
+    obs.push_back(std::move(o));
+  }
+  return obs;
+}
+
+void BM_GpFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = 14;
+  const auto obs = SyntheticObservations(n, dim, 1);
+  GpOptions options;
+  options.optimize_hyperparams = false;
+  for (auto _ : state) {
+    MultiOutputGp gp(dim, options);
+    benchmark::DoNotOptimize(gp.Fit(obs));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GpFit)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_GpHyperparamFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = 14;
+  const auto obs = SyntheticObservations(n, dim, 1);
+  GpOptions options;
+  options.optimize_hyperparams = true;
+  options.hyperopt_max_iters = 20;
+  options.hyperopt_restarts = 0;
+  for (auto _ : state) {
+    MultiOutputGp gp(dim, options);
+    benchmark::DoNotOptimize(gp.Fit(obs));
+  }
+}
+BENCHMARK(BM_GpHyperparamFit)->Arg(50)->Arg(100);
+
+void BM_GpPredict(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = 14;
+  GpOptions options;
+  options.optimize_hyperparams = false;
+  MultiOutputGp gp(dim, options);
+  (void)gp.Fit(SyntheticObservations(n, dim, 2));
+  const Vector q(dim, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.Predict(MetricKind::kRes, q));
+  }
+}
+BENCHMARK(BM_GpPredict)->Arg(50)->Arg(200);
+
+void BM_AcquisitionOptimization(benchmark::State& state) {
+  const size_t dim = 14;
+  GpOptions options;
+  options.optimize_hyperparams = false;
+  MultiOutputGp gp(dim, options);
+  (void)gp.Fit(SyntheticObservations(100, dim, 3));
+  GpSurrogate surrogate(&gp);
+  AcquisitionContext ctx;
+  ctx.has_feasible = true;
+  ctx.best_feasible_res = 60.0;
+  ctx.lambda_tps = 9000.0;
+  ctx.lambda_lat = 8.0;
+  Rng rng(4);
+  AcqOptimizerOptions acq;
+  acq.num_candidates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto f = [&](const Vector& theta) {
+      return ConstrainedExpectedImprovement(surrogate, theta, ctx);
+    };
+    benchmark::DoNotOptimize(MaximizeAcquisition(f, dim, &rng, acq));
+  }
+}
+BENCHMARK(BM_AcquisitionOptimization)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MetaLearnerUpdate(benchmark::State& state) {
+  const size_t dim = 14;
+  const size_t num_bases = static_cast<size_t>(state.range(0));
+  std::vector<BaseLearner> bases;
+  for (size_t b = 0; b < num_bases; ++b) {
+    TuningTask task;
+    task.name = "task";
+    task.meta_feature = {1.0, 0.0};
+    task.observations = SyntheticObservations(60, dim, 10 + b);
+    bases.push_back(*BaseLearner::Train(task));
+  }
+  MetaLearnerOptions options;
+  options.static_weight_iterations = 0;
+  options.ranking_loss_samples = 20;
+  options.target_gp.hyperopt_max_iters = 15;
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    MetaLearner learner(dim, bases, {1.0, 0.0}, options);
+    const auto warm = SyntheticObservations(20, dim, 77);
+    for (size_t i = 0; i + 1 < warm.size(); ++i) {
+      (void)learner.AddObservation(warm[i]);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(learner.AddObservation(warm.back()));
+  }
+}
+BENCHMARK(BM_MetaLearnerUpdate)->Arg(4)->Arg(16)->Arg(34)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorEvaluate(benchmark::State& state) {
+  DbInstanceSimulator sim(CpuKnobSpace(), HardwareInstance('A').value(),
+                          MakeWorkload(WorkloadKind::kTwitter).value());
+  const Vector theta = sim.knob_space().DefaultTheta();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Evaluate(theta));
+  }
+}
+BENCHMARK(BM_SimulatorEvaluate);
+
+}  // namespace
+}  // namespace restune

@@ -1,0 +1,83 @@
+// Reproduces paper Table 4: workload adaptation on the larger instances
+// C, D, E, F. The repository (collected on A and B) tunes SYSBENCH(100G)
+// and TPC-C(100G) on each unseen instance. Reported per instance:
+// improvement over default for ResTune and ResTune-w/o-ML, the iteration
+// where each reached its best feasible value, and the speedup.
+
+#include "bench/bench_common.h"
+
+using namespace restune;
+
+int main() {
+  bench::BenchSetup();
+  bench::PrintHeader(
+      "Table 4: workload adaptation on more instances (C, D, E, F)");
+
+  const KnobSpace space = CpuKnobSpace();
+  ExperimentConfig config;
+  config.iterations = BenchIterations(120);
+
+  const WorkloadCharacterizer characterizer = TrainDefaultCharacterizer();
+  const DataRepository repo =
+      BuildPaperRepository(space, characterizer, config, 80);
+  const std::vector<BaseLearner> learners = repo.TrainAllBaseLearners();
+
+  const std::vector<WorkloadProfile> targets = {
+      MakeWorkload(WorkloadKind::kSysbench, 100).value(),
+      MakeWorkload(WorkloadKind::kTpcc, 100).value()};
+
+  for (const WorkloadProfile& target : targets) {
+    std::printf("\n--- %s ---\n", target.name.c_str());
+    std::printf("%-10s %12s %12s %12s %12s %10s\n", "Instance",
+                "ResTune imp", "NoML imp", "ResTune it", "NoML it",
+                "SpeedUp");
+    MethodInputs inputs;
+    inputs.base_learners = learners;
+    inputs.repository_tasks = repo.tasks();
+    inputs.target_meta_feature = ComputeMetaFeature(characterizer, target);
+
+    for (char instance : {'C', 'D', 'E', 'F'}) {
+      auto sim_rt = MakeSimulator(space, instance, target, config).value();
+      const auto restune =
+          RunMethod(MethodKind::kResTune, &sim_rt, inputs, config);
+      auto sim_nm = MakeSimulator(space, instance, target, config).value();
+      const auto noml =
+          RunMethod(MethodKind::kResTuneNoMl, &sim_nm, {}, config);
+      if (!restune.ok() || !noml.ok()) {
+        std::fprintf(stderr, "instance %c failed\n", instance);
+        continue;
+      }
+      const double rt_imp = bench::ImprovementPct(
+          restune->default_observation.res, restune->best_feasible_res);
+      const double nm_imp = bench::ImprovementPct(
+          noml->default_observation.res, noml->best_feasible_res);
+      // Iterations to reach a method-independent milestone: 90% of the
+      // larger reduction either method achieved (never-reached counts as
+      // the full budget).
+      const double best_overall =
+          std::min(restune->best_feasible_res, noml->best_feasible_res);
+      const double default_res = restune->default_observation.res;
+      const double reference =
+          default_res - 0.9 * (default_res - best_overall);
+      auto iters_to_reach = [&](const SessionResult& r) {
+        for (const IterationRecord& rec : r.history) {
+          if (rec.best_feasible_res <= reference) return rec.iteration;
+        }
+        return config.iterations;
+      };
+      const int rt_iter = iters_to_reach(*restune);
+      const int nm_iter = iters_to_reach(*noml);
+      const double speedup =
+          nm_iter > 0
+              ? 100.0 * (1.0 - static_cast<double>(rt_iter) / nm_iter)
+              : 0.0;
+      std::printf("%-10c %11.2f%% %11.2f%% %12d %12d %9.1f%%\n", instance,
+                  rt_imp, nm_imp, rt_iter, nm_iter, speedup);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Table 4): improvement grows with instance "
+      "size,\nResTune matches or beats ResTune-w/o-ML and reaches its best "
+      "in fewer iterations.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: tune the CPU utilization of a simulated MySQL instance with
+// constrained Bayesian optimization, keeping the default configuration's
+// throughput and latency as the SLA.
+//
+// This is the smallest end-to-end use of the library:
+//   1. pick a knob space, an instance type and a workload;
+//   2. build the simulated DBMS copy;
+//   3. run a tuning session with the ResTune advisor (no history here —
+//      see meta_learning_transfer.cpp for the boosted version);
+//   4. inspect the recommended knobs.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "tuner/harness.h"
+
+using namespace restune;
+
+int main() {
+  Logger::SetThreshold(LogLevel::kWarning);
+
+  // 1. The 14-knob CPU space, cloud instance E (32 cores / 64 GB), and the
+  //    Twitter-like benchmark workload from the paper's Table 2.
+  const KnobSpace space = CpuKnobSpace();
+  const WorkloadProfile workload =
+      MakeWorkload(WorkloadKind::kTwitter).value();
+
+  ExperimentConfig config;
+  config.iterations = 40;
+  config.seed = 2024;
+
+  // 2. A simulated copy instance of the target DBMS.
+  Result<DbInstanceSimulator> sim =
+      MakeSimulator(space, 'E', workload, config);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "simulator: %s\n", sim.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Constrained BO from scratch (ResTune without meta-learning).
+  Result<SessionResult> result =
+      RunMethod(MethodKind::kResTuneNoMl, &*sim, {}, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "tuning: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Report.
+  std::printf("workload:       %s on %s (%d cores)\n", workload.name.c_str(),
+              sim->hardware().name.c_str(), sim->hardware().cores);
+  std::printf("SLA:            tps >= %.0f, p99 latency <= %.2f ms\n",
+              result->sla.min_tps, result->sla.max_lat);
+  std::printf("default CPU:    %.1f%%\n", result->default_observation.res);
+  std::printf("tuned CPU:      %.1f%% (found at iteration %d of %d)\n",
+              result->best_feasible_res, result->best_iteration,
+              config.iterations);
+
+  std::printf("\nrecommended configuration:\n");
+  const Vector raw = space.ToRaw(result->best_theta);
+  const Vector default_raw = space.ToRaw(space.DefaultTheta());
+  for (size_t i = 0; i < space.dim(); ++i) {
+    std::printf("  %-32s %10.0f   (default %.0f)\n",
+                space.knob(i).name.c_str(), raw[i], default_raw[i]);
+  }
+
+  const PerfMetrics tuned = sim->EvaluateExact(result->best_theta).value();
+  std::printf("\nverification (noise-free replay): tps=%.0f lat=%.2fms "
+              "cpu=%.1f%%\n", tuned.tps, tuned.latency_p99_ms,
+              tuned.cpu_util_pct);
+  return 0;
+}

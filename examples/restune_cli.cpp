@@ -1,0 +1,208 @@
+// restune_cli — command-line front end for the library: run a tuning
+// session against the simulated DBMS from flags, optionally boosted by a
+// repository file, and print the recommendation.
+//
+// Usage:
+//   restune_cli [--workload sysbench|tpcc|twitter|hotel|sales]
+//               [--instance A..F] [--resource cpu|memory|io_bps|io_iops]
+//               [--iterations N] [--seed S]
+//               [--method restune|noml|ituned|ottertune|cdbtune]
+//               [--repository file.txt] [--save-repository file.txt]
+//               [--data-gb G]
+//
+// With --save-repository, the finished session's observations are appended
+// to the repository file so later runs start warm (the paper's flywheel).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "tuner/harness.h"
+
+using namespace restune;
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: restune_cli [--workload W] [--instance A-F] [--resource R]\n"
+      "                   [--iterations N] [--seed S] [--method M]\n"
+      "                   [--repository FILE] [--save-repository FILE]\n"
+      "                   [--data-gb G]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::SetThreshold(LogLevel::kWarning);
+
+  std::string workload_name = "twitter";
+  char instance = 'E';
+  std::string resource = "cpu";
+  std::string method_name = "restune";
+  std::string repository_path, save_repository_path;
+  double data_gb = 0.0;
+  ExperimentConfig config;
+  config.iterations = 50;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--workload") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      workload_name = v;
+    } else if (arg == "--instance") {
+      const char* v = next();
+      if (!v || std::strlen(v) != 1) return Usage(), 2;
+      instance = v[0];
+    } else if (arg == "--resource") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      resource = v;
+    } else if (arg == "--iterations") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      config.iterations = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      config.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--method") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      method_name = v;
+    } else if (arg == "--repository") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      repository_path = v;
+    } else if (arg == "--save-repository") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      save_repository_path = v;
+    } else if (arg == "--data-gb") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      data_gb = std::atof(v);
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  // Resolve flags.
+  WorkloadKind kind;
+  if (workload_name == "sysbench") kind = WorkloadKind::kSysbench;
+  else if (workload_name == "tpcc") kind = WorkloadKind::kTpcc;
+  else if (workload_name == "twitter") kind = WorkloadKind::kTwitter;
+  else if (workload_name == "hotel") kind = WorkloadKind::kHotel;
+  else if (workload_name == "sales") kind = WorkloadKind::kSales;
+  else return Usage(), 2;
+
+  if (resource == "cpu") config.resource = ResourceKind::kCpu;
+  else if (resource == "memory") config.resource = ResourceKind::kMemory;
+  else if (resource == "io_bps") config.resource = ResourceKind::kIoBps;
+  else if (resource == "io_iops") config.resource = ResourceKind::kIoIops;
+  else return Usage(), 2;
+
+  MethodKind method;
+  if (method_name == "restune") method = MethodKind::kResTune;
+  else if (method_name == "noml") method = MethodKind::kResTuneNoMl;
+  else if (method_name == "ituned") method = MethodKind::kITuned;
+  else if (method_name == "ottertune") method = MethodKind::kOtterTune;
+  else if (method_name == "cdbtune") method = MethodKind::kCdbTune;
+  else return Usage(), 2;
+
+  const Result<HardwareSpec> hw = HardwareInstance(instance);
+  if (!hw.ok()) {
+    std::fprintf(stderr, "%s\n", hw.status().ToString().c_str());
+    return 1;
+  }
+  const Result<WorkloadProfile> workload = MakeWorkload(kind, data_gb);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  const KnobSpace space = config.resource == ResourceKind::kMemory
+                              ? MemoryKnobSpace(hw->ram_gb)
+                              : config.resource == ResourceKind::kCpu
+                                    ? CpuKnobSpace()
+                                    : IoKnobSpace();
+
+  Result<DbInstanceSimulator> sim =
+      MakeSimulator(space, instance, *workload, config);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "%s\n", sim.status().ToString().c_str());
+    return 1;
+  }
+
+  // Optional repository.
+  MethodInputs inputs;
+  DataRepository repo;
+  const WorkloadCharacterizer characterizer = TrainDefaultCharacterizer();
+  if (!repository_path.empty()) {
+    const Status st = repo.LoadFromFile(repository_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "repository: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    inputs.base_learners = repo.TrainBaseLearners([&](const TuningTask& t) {
+      return !t.observations.empty() &&
+             t.observations[0].theta.size() == space.dim();
+    });
+    inputs.repository_tasks = repo.tasks();
+    std::printf("repository: %zu tasks, %zu usable base-learners\n",
+                repo.num_tasks(), inputs.base_learners.size());
+  }
+  inputs.target_meta_feature = ComputeMetaFeature(characterizer, *workload);
+
+  std::printf("tuning %s on %s for %s with %s (%d iterations)...\n",
+              workload->name.c_str(), hw->name.c_str(), resource.c_str(),
+              MethodName(method), config.iterations);
+  const Result<SessionResult> result =
+      RunMethod(method, &*sim, inputs, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\ndefault %s: %.2f   best feasible: %.2f  (-%.1f%%, found at "
+              "iteration %d)\n",
+              resource.c_str(), result->default_observation.res,
+              result->best_feasible_res,
+              100.0 * (result->default_observation.res -
+                       result->best_feasible_res) /
+                  result->default_observation.res,
+              result->best_iteration);
+  std::printf("\nrecommended knobs:\n");
+  const Vector raw = space.ToRaw(result->best_theta);
+  for (size_t i = 0; i < space.dim(); ++i) {
+    std::printf("  %-36s = %.6g\n", space.knob(i).name.c_str(), raw[i]);
+  }
+
+  if (!save_repository_path.empty()) {
+    TuningTask task;
+    task.name = workload->name + "@" + hw->name;
+    task.workload = workload->name;
+    task.hardware = hw->name;
+    task.meta_feature = inputs.target_meta_feature;
+    task.observations.push_back(result->default_observation);
+    for (const IterationRecord& rec : result->history) {
+      task.observations.push_back(rec.observation);
+    }
+    DataRepository out = std::move(repo);
+    const Status add = out.AddTask(std::move(task));
+    const Status save = add.ok() ? out.SaveToFile(save_repository_path) : add;
+    if (!save.ok()) {
+      std::fprintf(stderr, "save-repository: %s\n", save.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nsession archived to %s (%zu tasks)\n",
+                save_repository_path.c_str(), out.num_tasks());
+  }
+  return 0;
+}

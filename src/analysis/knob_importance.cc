@@ -1,0 +1,98 @@
+#include "analysis/knob_importance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bo/lhs.h"
+
+namespace restune {
+
+Result<std::vector<KnobImportance>> RankKnobImportance(
+    const GpModel& surrogate, const KnobSpace& space, Rng* rng,
+    int num_samples) {
+  if (!surrogate.fitted()) {
+    return Status::FailedPrecondition("surrogate is not fitted");
+  }
+  if (surrogate.dim() != space.dim()) {
+    return Status::InvalidArgument(
+        "surrogate dimensionality does not match the knob space");
+  }
+  const size_t n = static_cast<size_t>(num_samples);
+  const size_t d = space.dim();
+  const std::vector<Vector> points = LatinHypercubeSample(n, d, rng);
+  Vector base(n);
+  for (size_t i = 0; i < n; ++i) base[i] = surrogate.PredictMean(points[i]);
+
+  std::vector<KnobImportance> out(d);
+  double total = 0.0;
+  std::vector<size_t> perm(n);
+  for (size_t k = 0; k < d; ++k) {
+    // Shuffle coordinate k across the sample set; everything else fixed.
+    for (size_t i = 0; i < n; ++i) perm[i] = i;
+    rng->Shuffle(&perm);
+    double delta = 0.0;
+    Vector probe;
+    for (size_t i = 0; i < n; ++i) {
+      probe = points[i];
+      probe[k] = points[perm[i]][k];
+      delta += std::fabs(surrogate.PredictMean(probe) - base[i]);
+    }
+    out[k].knob = space.knob(k).name;
+    out[k].index = k;
+    out[k].score = delta / static_cast<double>(n);
+    total += out[k].score;
+  }
+  if (total > 1e-12) {
+    for (KnobImportance& ki : out) ki.score /= total;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KnobImportance& a, const KnobImportance& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+Result<std::vector<KnobImportance>> RankKnobImportanceFromHistory(
+    const std::vector<Observation>& observations, const KnobSpace& space,
+    Rng* rng, int num_samples) {
+  if (observations.size() < 5) {
+    return Status::InvalidArgument(
+        "need at least 5 observations to rank knob importance");
+  }
+  Matrix x(observations.size(), space.dim());
+  Vector y(observations.size());
+  for (size_t i = 0; i < observations.size(); ++i) {
+    if (observations[i].theta.size() != space.dim()) {
+      return Status::InvalidArgument("observation dimension mismatch");
+    }
+    for (size_t c = 0; c < space.dim(); ++c) {
+      x(i, c) = observations[i].theta[c];
+    }
+    y[i] = observations[i].res;
+  }
+  GpOptions options;
+  options.hyperopt_max_iters = 30;
+  GpModel gp(space.dim(), options);
+  RESTUNE_RETURN_IF_ERROR(gp.Fit(x, y));
+  return RankKnobImportance(gp, space, rng, num_samples);
+}
+
+Result<KnobSpace> SelectTopKnobs(const KnobSpace& space,
+                                 const std::vector<KnobImportance>& ranking,
+                                 size_t k) {
+  if (k == 0 || k > space.dim()) {
+    return Status::OutOfRange("k must be in [1, space.dim()]");
+  }
+  if (ranking.size() != space.dim()) {
+    return Status::InvalidArgument("ranking does not cover the knob space");
+  }
+  std::vector<bool> keep(space.dim(), false);
+  for (size_t i = 0; i < k; ++i) keep[ranking[i].index] = true;
+  std::vector<KnobDef> knobs;
+  for (size_t i = 0; i < space.dim(); ++i) {
+    if (keep[i]) knobs.push_back(space.knob(i));
+  }
+  return KnobSpace(std::move(knobs));
+}
+
+}  // namespace restune

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dbsim/knob.h"
+#include "gp/gp_model.h"
+#include "gp/observation.h"
+
+namespace restune {
+
+/// Importance score of one knob.
+struct KnobImportance {
+  std::string knob;
+  size_t index = 0;
+  /// Permutation importance: mean absolute change of the surrogate's
+  /// prediction when this knob's coordinate is shuffled across samples,
+  /// normalized so scores sum to 1.
+  double score = 0.0;
+};
+
+/// Ranks knobs by permutation importance on a fitted surrogate model.
+///
+/// The paper pre-selects "important" knobs for each resource (14 CPU /
+/// 6 memory / 20 I/O); this is the tool that produces such a ranking from
+/// tuning history: evaluate the surrogate on `num_samples` random points,
+/// then for each knob shuffle that coordinate among the samples and measure
+/// how much predictions move. Knobs the response surface ignores score ~0.
+Result<std::vector<KnobImportance>> RankKnobImportance(
+    const GpModel& surrogate, const KnobSpace& space, Rng* rng,
+    int num_samples = 256);
+
+/// Convenience: fit a GP to (θ, res) pairs from raw observations and rank.
+Result<std::vector<KnobImportance>> RankKnobImportanceFromHistory(
+    const std::vector<Observation>& observations, const KnobSpace& space,
+    Rng* rng, int num_samples = 256);
+
+/// Builds a reduced knob space containing the `k` most important knobs
+/// (order preserved from the original space).
+Result<KnobSpace> SelectTopKnobs(const KnobSpace& space,
+                                 const std::vector<KnobImportance>& ranking,
+                                 size_t k);
+
+}  // namespace restune

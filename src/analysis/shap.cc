@@ -1,0 +1,53 @@
+#include "analysis/shap.h"
+
+#include <vector>
+
+namespace restune {
+
+Result<ShapResult> ExactShapley(
+    const std::function<double(const Vector&)>& f, const Vector& x_default,
+    const Vector& x_current) {
+  const size_t d = x_default.size();
+  if (d == 0 || d != x_current.size()) {
+    return Status::InvalidArgument("default/current dimension mismatch");
+  }
+  if (d > 20) {
+    return Status::InvalidArgument(
+        "exact Shapley limited to <= 20 dimensions (2^d coalitions)");
+  }
+
+  // Precompute f over every coalition mask (bit set = coordinate takes its
+  // *current* value, otherwise the default).
+  const size_t num_masks = size_t{1} << d;
+  std::vector<double> values(num_masks);
+  Vector x = x_default;
+  for (size_t mask = 0; mask < num_masks; ++mask) {
+    for (size_t i = 0; i < d; ++i) {
+      x[i] = (mask >> i) & 1 ? x_current[i] : x_default[i];
+    }
+    values[mask] = f(x);
+  }
+
+  // Shapley weights w(s) = s! (d-s-1)! / d! for coalition size s.
+  std::vector<double> factorial(d + 1, 1.0);
+  for (size_t i = 1; i <= d; ++i) {
+    factorial[i] = factorial[i - 1] * static_cast<double>(i);
+  }
+  ShapResult result;
+  result.phi.assign(d, 0.0);
+  result.base_value = values[0];
+  result.current_value = values[num_masks - 1];
+  for (size_t i = 0; i < d; ++i) {
+    const size_t bit = size_t{1} << i;
+    for (size_t mask = 0; mask < num_masks; ++mask) {
+      if (mask & bit) continue;
+      const size_t s = static_cast<size_t>(__builtin_popcountll(mask));
+      const double weight =
+          factorial[s] * factorial[d - s - 1] / factorial[d];
+      result.phi[i] += weight * (values[mask | bit] - values[mask]);
+    }
+  }
+  return result;
+}
+
+}  // namespace restune

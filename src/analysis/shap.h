@@ -1,0 +1,29 @@
+#pragma once
+
+#include <functional>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace restune {
+
+/// Shapley attribution of f(x_current) - f(x_default) across input
+/// coordinates (paper Fig. 7's SHAP path).
+struct ShapResult {
+  /// Per-coordinate contributions; they sum to current_value - base_value
+  /// (efficiency property, checked by tests).
+  Vector phi;
+  double base_value = 0.0;     // f at the default configuration
+  double current_value = 0.0;  // f at the tuned configuration
+};
+
+/// Exact Shapley values by coalition enumeration: coordinate i's
+/// contribution averages f's gain from switching knob i default→current
+/// over all subsets of the other knobs, with the standard combinatorial
+/// weights. Exact (not sampled) — feasible because the case study has
+/// 3 knobs (2^3 coalitions); refuses dimensions above 20.
+Result<ShapResult> ExactShapley(
+    const std::function<double(const Vector&)>& f, const Vector& x_default,
+    const Vector& x_current);
+
+}  // namespace restune

@@ -1,0 +1,58 @@
+#include "analysis/tco.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace restune {
+
+const char* CloudProviderName(CloudProvider provider) {
+  switch (provider) {
+    case CloudProvider::kAws:
+      return "AWS";
+    case CloudProvider::kAzure:
+      return "Azure";
+    case CloudProvider::kAliyun:
+      return "Aliyun";
+  }
+  return "?";
+}
+
+TcoPrices ProviderPrices(CloudProvider provider) {
+  switch (provider) {
+    case CloudProvider::kAws:
+      return {450.00, 77.04};
+    case CloudProvider::kAzure:
+      return {430.00, 67.01};
+    case CloudProvider::kAliyun:
+      return {313.04, 168.03};
+  }
+  return {};
+}
+
+int CoresUsed(double cpu_util_pct, int total_cores) {
+  const double cores = cpu_util_pct / 100.0 * static_cast<double>(total_cores);
+  return std::clamp(static_cast<int>(std::ceil(cores - 1e-9)), 0, total_cores);
+}
+
+double CpuTcoReduction(int cores_before, int cores_after,
+                       CloudProvider provider) {
+  const int saved = std::max(0, cores_before - cores_after);
+  return saved * ProviderPrices(provider).per_core_year;
+}
+
+double AverageCpuTcoReduction(int cores_before, int cores_after) {
+  double sum = 0.0;
+  for (CloudProvider p : {CloudProvider::kAws, CloudProvider::kAzure,
+                          CloudProvider::kAliyun}) {
+    sum += CpuTcoReduction(cores_before, cores_after, p);
+  }
+  return sum / 3.0;
+}
+
+double MemoryTcoReduction(double gb_before, double gb_after,
+                          CloudProvider provider) {
+  const double saved = std::max(0.0, gb_before - gb_after);
+  return saved * ProviderPrices(provider).per_gb_year;
+}
+
+}  // namespace restune

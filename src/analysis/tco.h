@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+
+namespace restune {
+
+/// The three clouds whose pricing the paper's TCO analysis compares
+/// (Tables 8 and 9).
+enum class CloudProvider { kAws, kAzure, kAliyun };
+
+const char* CloudProviderName(CloudProvider provider);
+
+/// 1-year RDS MySQL unit prices. Per-GB values are calibrated exactly to
+/// paper Table 9 (e.g. Aliyun $168/GB-year reproduces the $1035/$2144
+/// reductions); per-core values are chosen so the three-cloud average
+/// matches Table 8's $397.68/core-year (the paper does not break the CPU
+/// prices out per cloud).
+struct TcoPrices {
+  double per_core_year = 0.0;
+  double per_gb_year = 0.0;
+};
+
+TcoPrices ProviderPrices(CloudProvider provider);
+
+/// Whole cores needed to serve a given database-wide CPU utilization on an
+/// instance with `total_cores` (the paper reports "Original/Optimized CPU"
+/// in cores, Table 8).
+int CoresUsed(double cpu_util_pct, int total_cores);
+
+/// 1-year TCO reduction from shrinking CPU use, for one provider.
+double CpuTcoReduction(int cores_before, int cores_after,
+                       CloudProvider provider);
+
+/// Average CPU TCO reduction across AWS, Azure and Aliyun (Table 8's
+/// "Avg TCO" row).
+double AverageCpuTcoReduction(int cores_before, int cores_after);
+
+/// 1-year TCO reduction from shrinking memory use, for one provider
+/// (Table 9).
+double MemoryTcoReduction(double gb_before, double gb_after,
+                          CloudProvider provider);
+
+}  // namespace restune

@@ -1,0 +1,54 @@
+#include "bo/acq_optimizer.h"
+
+#include <algorithm>
+
+#include "bo/lhs.h"
+
+namespace restune {
+
+Vector MaximizeAcquisition(
+    const std::function<double(const Vector&)>& acquisition, size_t dim,
+    Rng* rng, const AcqOptimizerOptions& options) {
+  struct Scored {
+    Vector x;
+    double value;
+  };
+  std::vector<Scored> pool;
+  pool.reserve(options.num_candidates);
+  for (Vector& x :
+       UniformSample(static_cast<size_t>(options.num_candidates), dim, rng)) {
+    const double v = acquisition(x);
+    pool.push_back({std::move(x), v});
+  }
+  std::partial_sort(
+      pool.begin(),
+      pool.begin() + std::min<size_t>(pool.size(), options.num_refine),
+      pool.end(),
+      [](const Scored& a, const Scored& b) { return a.value > b.value; });
+
+  Scored best = pool.front();
+  const size_t refine_count =
+      std::min<size_t>(pool.size(), options.num_refine);
+  for (size_t c = 0; c < refine_count; ++c) {
+    Scored current = pool[c];
+    double step = options.initial_step;
+    for (int pass = 0; pass < options.refine_passes; ++pass) {
+      for (size_t d = 0; d < dim; ++d) {
+        for (double direction : {+1.0, -1.0}) {
+          Vector trial = current.x;
+          trial[d] = std::clamp(trial[d] + direction * step, 0.0, 1.0);
+          const double v = acquisition(trial);
+          if (v > current.value) {
+            current.x = std::move(trial);
+            current.value = v;
+          }
+        }
+      }
+      step *= 0.5;
+    }
+    if (current.value > best.value) best = current;
+  }
+  return best.x;
+}
+
+}  // namespace restune

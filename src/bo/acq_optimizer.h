@@ -1,0 +1,31 @@
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace restune {
+
+/// Options for the acquisition-function maximizer.
+struct AcqOptimizerOptions {
+  /// Size of the global random sweep over [0,1]^d.
+  int num_candidates = 512;
+  /// Number of top candidates refined by local coordinate search.
+  int num_refine = 4;
+  /// Coordinate-descent passes per refined candidate.
+  int refine_passes = 3;
+  /// Initial refinement step, halved each pass.
+  double initial_step = 0.1;
+};
+
+/// Maximizes an acquisition function over the unit hypercube by a global
+/// random sweep followed by local coordinate refinement of the best
+/// candidates. This is the gradient-free counterpart of the multi-start
+/// L-BFGS loop BO libraries use; coordinate steps suit the box-bounded,
+/// axis-aligned knob space.
+Vector MaximizeAcquisition(
+    const std::function<double(const Vector&)>& acquisition, size_t dim,
+    Rng* rng, const AcqOptimizerOptions& options = {});
+
+}  // namespace restune

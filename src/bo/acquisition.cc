@@ -1,0 +1,107 @@
+#include "bo/acquisition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace restune {
+
+double ExpectedImprovement(const GpPrediction& res, double best) {
+  const double sigma = res.stddev();
+  if (sigma < 1e-12) return std::max(0.0, best - res.mean);
+  const double z = (best - res.mean) / sigma;
+  return (best - res.mean) * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+double ProbabilityOfFeasibility(const GpPrediction& tps,
+                                const GpPrediction& lat, double lambda_tps,
+                                double lambda_lat) {
+  const double tps_sigma = tps.stddev();
+  const double lat_sigma = lat.stddev();
+  const double p_tps =
+      tps_sigma < 1e-12
+          ? (tps.mean >= lambda_tps ? 1.0 : 0.0)
+          : NormalCdf((tps.mean - lambda_tps) / tps_sigma);
+  const double p_lat =
+      lat_sigma < 1e-12
+          ? (lat.mean <= lambda_lat ? 1.0 : 0.0)
+          : NormalCdf((lambda_lat - lat.mean) / lat_sigma);
+  return p_tps * p_lat;
+}
+
+double ConstrainedExpectedImprovement(const Surrogate& surrogate,
+                                      const Vector& theta,
+                                      const AcquisitionContext& ctx) {
+  const GpPrediction tps = surrogate.PredictMetric(MetricKind::kTps, theta);
+  const GpPrediction lat = surrogate.PredictMetric(MetricKind::kLat, theta);
+  const double p_feasible =
+      ProbabilityOfFeasibility(tps, lat, ctx.lambda_tps, ctx.lambda_lat);
+  if (!ctx.has_feasible) {
+    // No incumbent yet: chase feasibility first.
+    return p_feasible;
+  }
+  const GpPrediction res = surrogate.PredictMetric(MetricKind::kRes, theta);
+  return p_feasible * ExpectedImprovement(res, ctx.best_feasible_res);
+}
+
+double UnconstrainedExpectedImprovement(const Surrogate& surrogate,
+                                        const Vector& theta,
+                                        const AcquisitionContext& ctx) {
+  const GpPrediction res = surrogate.PredictMetric(MetricKind::kRes, theta);
+  return ExpectedImprovement(res, ctx.best_feasible_res);
+}
+
+double PenalizedExpectedImprovement(const Surrogate& surrogate,
+                                    const Vector& theta,
+                                    const AcquisitionContext& ctx,
+                                    double penalty) {
+  const GpPrediction res = surrogate.PredictMetric(MetricKind::kRes, theta);
+  const GpPrediction tps = surrogate.PredictMetric(MetricKind::kTps, theta);
+  const GpPrediction lat = surrogate.PredictMetric(MetricKind::kLat, theta);
+  // Expected violations under the Gaussian posteriors.
+  const double tps_short = std::max(0.0, ctx.lambda_tps - tps.mean);
+  const double lat_over = std::max(0.0, lat.mean - ctx.lambda_lat);
+  const GpPrediction penalized{res.mean + penalty * (tps_short + lat_over),
+                               res.variance};
+  return ExpectedImprovement(penalized, ctx.best_feasible_res);
+}
+
+double ProbabilityOfImprovement(const GpPrediction& res, double best) {
+  const double sigma = res.stddev();
+  if (sigma < 1e-12) return res.mean < best ? 1.0 : 0.0;
+  return NormalCdf((best - res.mean) / sigma);
+}
+
+double LowerConfidenceBound(const GpPrediction& res, double beta) {
+  return -(res.mean - beta * res.stddev());
+}
+
+double ConstrainedProbabilityOfImprovement(const Surrogate& surrogate,
+                                           const Vector& theta,
+                                           const AcquisitionContext& ctx) {
+  const GpPrediction tps = surrogate.PredictMetric(MetricKind::kTps, theta);
+  const GpPrediction lat = surrogate.PredictMetric(MetricKind::kLat, theta);
+  const double p_feasible =
+      ProbabilityOfFeasibility(tps, lat, ctx.lambda_tps, ctx.lambda_lat);
+  if (!ctx.has_feasible) return p_feasible;
+  const GpPrediction res = surrogate.PredictMetric(MetricKind::kRes, theta);
+  return p_feasible * ProbabilityOfImprovement(res, ctx.best_feasible_res);
+}
+
+double ConstrainedLowerConfidenceBound(const Surrogate& surrogate,
+                                       const Vector& theta,
+                                       const AcquisitionContext& ctx,
+                                       double beta) {
+  const GpPrediction tps = surrogate.PredictMetric(MetricKind::kTps, theta);
+  const GpPrediction lat = surrogate.PredictMetric(MetricKind::kLat, theta);
+  const double p_feasible =
+      ProbabilityOfFeasibility(tps, lat, ctx.lambda_tps, ctx.lambda_lat);
+  const GpPrediction res = surrogate.PredictMetric(MetricKind::kRes, theta);
+  // Shift LCB to be positive before weighting so the feasibility factor
+  // cannot flip its sign ordering.
+  const double lcb = LowerConfidenceBound(res, beta);
+  return p_feasible * (1.0 / (1.0 + std::exp(-lcb)));
+}
+
+}  // namespace restune

@@ -1,0 +1,74 @@
+#pragma once
+
+#include "bo/surrogate.h"
+#include "gp/gp_model.h"
+
+namespace restune {
+
+/// Inputs the constrained acquisition functions need besides the surrogate:
+/// the incumbent and the (possibly re-scaled, Section 6.1) SLA thresholds.
+struct AcquisitionContext {
+  /// f_res of the best *feasible* configuration seen so far, in the
+  /// surrogate's output units. Ignored when `has_feasible` is false.
+  double best_feasible_res = 0.0;
+  bool has_feasible = false;
+  /// Throughput lower bound λ_tps (surrogate units).
+  double lambda_tps = 0.0;
+  /// Latency upper bound λ_lat (surrogate units).
+  double lambda_lat = 0.0;
+};
+
+/// Expected improvement of a *minimization* objective over `best`:
+/// E[max(0, best - f)] for f ~ N(mean, variance) (paper Eq. 2).
+double ExpectedImprovement(const GpPrediction& res, double best);
+
+/// Pr[tps >= λ_tps] * Pr[lat <= λ_lat] under independent Gaussian posteriors
+/// — the feasibility weight of paper Eq. 5.
+double ProbabilityOfFeasibility(const GpPrediction& tps,
+                                const GpPrediction& lat, double lambda_tps,
+                                double lambda_lat);
+
+/// Constrained Expected Improvement (paper Eq. 5):
+///   CEI(θ) = Pr[feasible] * EI(θ).
+/// Before any feasible point is known, returns the probability of
+/// feasibility alone, so the search is first driven into the feasible
+/// region — the standard Gardner et al. behaviour the paper builds on.
+double ConstrainedExpectedImprovement(const Surrogate& surrogate,
+                                      const Vector& theta,
+                                      const AcquisitionContext& ctx);
+
+/// Plain EI on the resource objective, ignoring constraints — the
+/// acquisition used by the iTuned baseline (Section 7, "iTuned").
+double UnconstrainedExpectedImprovement(const Surrogate& surrogate,
+                                        const Vector& theta,
+                                        const AcquisitionContext& ctx);
+
+/// Penalty-based alternative kept for ablation (Section 2 cites penalty
+/// methods as the simplest constrained-BO approach): EI computed on
+/// res + penalty * E[constraint violation].
+double PenalizedExpectedImprovement(const Surrogate& surrogate,
+                                    const Vector& theta,
+                                    const AcquisitionContext& ctx,
+                                    double penalty);
+
+/// Probability of improvement over the incumbent, for a minimization
+/// objective: Pr[f < best]. Cheaper but more exploitative than EI.
+double ProbabilityOfImprovement(const GpPrediction& res, double best);
+
+/// Lower confidence bound -(mean - beta * stddev) as a maximization
+/// acquisition for a minimization objective. `beta` trades exploration
+/// (large) against exploitation (small); GP-UCB theory suggests growing it
+/// logarithmically with the iteration count.
+double LowerConfidenceBound(const GpPrediction& res, double beta);
+
+/// Constrained variants: the feasibility-probability weight of Eq. 5
+/// applied to PI / LCB instead of EI (ablation alternatives to CEI).
+double ConstrainedProbabilityOfImprovement(const Surrogate& surrogate,
+                                           const Vector& theta,
+                                           const AcquisitionContext& ctx);
+double ConstrainedLowerConfidenceBound(const Surrogate& surrogate,
+                                       const Vector& theta,
+                                       const AcquisitionContext& ctx,
+                                       double beta);
+
+}  // namespace restune

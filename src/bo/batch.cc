@@ -1,0 +1,34 @@
+#include "bo/batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace restune {
+
+std::vector<Vector> ProposeBatch(
+    const std::function<double(const Vector&)>& acquisition, size_t dim,
+    size_t batch_size, Rng* rng, const BatchProposalOptions& options) {
+  std::vector<Vector> batch;
+  batch.reserve(batch_size);
+  const double radius_sq = options.penalty_radius * options.penalty_radius;
+
+  for (size_t b = 0; b < batch_size; ++b) {
+    auto penalized = [&](const Vector& theta) {
+      double value = acquisition(theta);
+      // Multiplicative damping: zero at an already-chosen point, back to
+      // full strength at the penalty radius.
+      for (const Vector& chosen : batch) {
+        const double d2 = SquaredDistance(theta, chosen);
+        if (d2 < radius_sq) {
+          value *= std::sqrt(d2 / radius_sq);
+        }
+      }
+      return value;
+    };
+    batch.push_back(
+        MaximizeAcquisition(penalized, dim, rng, options.acq_optimizer));
+  }
+  return batch;
+}
+
+}  // namespace restune

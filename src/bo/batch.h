@@ -1,0 +1,32 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bo/acq_optimizer.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace restune {
+
+/// Options for batch proposal.
+struct BatchProposalOptions {
+  /// Radius (in normalized knob space) inside which an already-selected
+  /// point suppresses the acquisition.
+  double penalty_radius = 0.15;
+  AcqOptimizerOptions acq_optimizer;
+};
+
+/// Proposes `batch_size` configurations to evaluate in parallel from a
+/// single acquisition function, via local penalization: after each pick the
+/// acquisition is damped near the chosen point so the next pick explores a
+/// different region.
+///
+/// Cloud deployments can spin up several DBMS copy instances at once; a
+/// batch of diverse candidates turns each tuning iteration's dominant cost
+/// — the workload replay (paper Table 3) — into parallel work.
+std::vector<Vector> ProposeBatch(
+    const std::function<double(const Vector&)>& acquisition, size_t dim,
+    size_t batch_size, Rng* rng, const BatchProposalOptions& options = {});
+
+}  // namespace restune

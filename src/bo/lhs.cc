@@ -1,0 +1,31 @@
+#include "bo/lhs.h"
+
+#include <numeric>
+
+namespace restune {
+
+std::vector<Vector> LatinHypercubeSample(size_t n, size_t dim, Rng* rng) {
+  std::vector<Vector> samples(n, Vector(dim, 0.0));
+  std::vector<size_t> perm(n);
+  for (size_t d = 0; d < dim; ++d) {
+    std::iota(perm.begin(), perm.end(), 0);
+    rng->Shuffle(&perm);
+    for (size_t i = 0; i < n; ++i) {
+      // Uniform jitter within stratum perm[i].
+      samples[i][d] =
+          (static_cast<double>(perm[i]) + rng->Uniform()) /
+          static_cast<double>(n);
+    }
+  }
+  return samples;
+}
+
+std::vector<Vector> UniformSample(size_t n, size_t dim, Rng* rng) {
+  std::vector<Vector> samples(n, Vector(dim, 0.0));
+  for (auto& s : samples) {
+    for (double& v : s) v = rng->Uniform();
+  }
+  return samples;
+}
+
+}  // namespace restune

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace restune {
+
+/// Latin Hypercube Sampling over the unit hypercube [0,1]^dim.
+///
+/// Each dimension is split into `n` equal strata; every stratum is hit
+/// exactly once per dimension and strata are matched across dimensions by
+/// independent random permutations. Used to bootstrap the BO baselines'
+/// first iterations (paper Section 7, "Setting") and to pre-train case-study
+/// base-learners.
+std::vector<Vector> LatinHypercubeSample(size_t n, size_t dim, Rng* rng);
+
+/// Plain uniform sampling of `n` points in [0,1]^dim, used by the
+/// acquisition optimizer's global sweep.
+std::vector<Vector> UniformSample(size_t n, size_t dim, Rng* rng);
+
+}  // namespace restune

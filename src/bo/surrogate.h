@@ -1,0 +1,38 @@
+#pragma once
+
+#include "gp/multi_output_gp.h"
+#include "gp/observation.h"
+
+namespace restune {
+
+/// Abstract predictive model over (res, tps, lat) that the acquisition
+/// functions consume. Implemented by `MultiOutputGp` (plain CBO) and by
+/// `MetaLearner` (the ensemble of base-learners, Section 6.3) — so the
+/// same CEI machinery drives both ResTune and ResTune-w/o-ML.
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  /// Posterior prediction for one metric at the normalized configuration.
+  virtual GpPrediction PredictMetric(MetricKind kind,
+                                     const Vector& theta) const = 0;
+
+  virtual size_t dim() const = 0;
+};
+
+/// Adapts a `MultiOutputGp` to the `Surrogate` interface.
+class GpSurrogate : public Surrogate {
+ public:
+  explicit GpSurrogate(const MultiOutputGp* gp) : gp_(gp) {}
+
+  GpPrediction PredictMetric(MetricKind kind,
+                             const Vector& theta) const override {
+    return gp_->Predict(kind, theta);
+  }
+  size_t dim() const override { return gp_->dim(); }
+
+ private:
+  const MultiOutputGp* gp_;
+};
+
+}  // namespace restune

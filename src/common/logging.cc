@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace restune {
+
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger::Logger(LogLevel level, const char* file, int line) : level_(level) {
+  if (level_ < g_threshold.load(std::memory_order_relaxed)) return;
+  // Keep only the basename to avoid long absolute paths in logs.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+}
+
+Logger::~Logger() {
+  if (level_ < g_threshold.load(std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+void Logger::SetThreshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+LogLevel Logger::Threshold() {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+
+}  // namespace restune

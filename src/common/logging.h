@@ -1,0 +1,37 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace restune {
+
+/// Log severity levels, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal streaming logger. Messages below the global threshold are dropped;
+/// everything else goes to stderr with a severity tag. The bench harness sets
+/// the threshold to kWarning so result tables stay clean on stdout.
+class Logger {
+ public:
+  Logger(LogLevel level, const char* file, int line);
+  ~Logger();
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  /// Sets the global minimum severity that will be emitted.
+  static void SetThreshold(LogLevel level);
+  static LogLevel Threshold();
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define RESTUNE_LOG(level) \
+  ::restune::Logger(::restune::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace restune

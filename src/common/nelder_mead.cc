@@ -1,0 +1,84 @@
+#include "common/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace restune {
+
+NelderMeadResult NelderMeadMinimize(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& x0, const NelderMeadOptions& options) {
+  const size_t n = x0.size();
+  // Standard coefficients: reflection, expansion, contraction, shrink.
+  const double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+
+  struct Point {
+    std::vector<double> x;
+    double f;
+  };
+  std::vector<Point> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back({x0, objective(x0)});
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> xi = x0;
+    xi[i] += options.initial_step * (std::fabs(x0[i]) > 1e-12
+                                         ? std::fabs(x0[i])
+                                         : 1.0);
+    simplex.push_back({xi, objective(xi)});
+  }
+
+  auto by_value = [](const Point& a, const Point& b) { return a.f < b.f; };
+  std::sort(simplex.begin(), simplex.end(), by_value);
+
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    if (simplex.back().f - simplex.front().f < options.tolerance) break;
+
+    // Centroid of all points except the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) centroid[j] += simplex[i].x[j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    const Point& worst = simplex.back();
+    auto blend = [&](double coeff) {
+      std::vector<double> x(n);
+      for (size_t j = 0; j < n; ++j) {
+        x[j] = centroid[j] + coeff * (centroid[j] - worst.x[j]);
+      }
+      return x;
+    };
+
+    std::vector<double> xr = blend(alpha);
+    const double fr = objective(xr);
+    if (fr < simplex.front().f) {
+      std::vector<double> xe = blend(alpha * gamma);
+      const double fe = objective(xe);
+      simplex.back() = fe < fr ? Point{std::move(xe), fe}
+                               : Point{std::move(xr), fr};
+    } else if (fr < simplex[n - 1].f) {
+      simplex.back() = {std::move(xr), fr};
+    } else {
+      std::vector<double> xc = blend(-rho);
+      const double fc = objective(xc);
+      if (fc < worst.f) {
+        simplex.back() = {std::move(xc), fc};
+      } else {
+        // Shrink every point towards the best.
+        for (size_t i = 1; i <= n; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            simplex[i].x[j] = simplex[0].x[j] +
+                              sigma * (simplex[i].x[j] - simplex[0].x[j]);
+          }
+          simplex[i].f = objective(simplex[i].x);
+        }
+      }
+    }
+    std::sort(simplex.begin(), simplex.end(), by_value);
+  }
+
+  return {simplex.front().x, simplex.front().f, iter};
+}
+
+}  // namespace restune

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace restune {
+
+/// Options controlling the Nelder-Mead simplex search.
+struct NelderMeadOptions {
+  int max_iterations = 100;
+  /// Stop when the simplex's best-worst objective spread falls below this.
+  double tolerance = 1e-6;
+  /// Initial simplex edge length relative to each coordinate.
+  double initial_step = 0.25;
+};
+
+/// Result of a Nelder-Mead run.
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+};
+
+/// Derivative-free minimization of `objective` starting from `x0`.
+///
+/// Used for GP hyper-parameter fitting (minimizing the negative log marginal
+/// likelihood over log-scale kernel parameters), where gradients of the
+/// Cholesky-based likelihood are costly to derive and the dimensionality is
+/// small (one amplitude + per-dimension lengthscales).
+NelderMeadResult NelderMeadMinimize(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& x0, const NelderMeadOptions& options = {});
+
+}  // namespace restune

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace restune {
+
+/// Value-or-error return type, in the spirit of `arrow::Result<T>`.
+///
+/// A `Result<T>` holds either a `T` or a non-OK `Status`. Accessing the value
+/// of an error result is a programmer error and trips an assertion.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; `Status::OK()` when this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok() && "value() called on an error Result");
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok() && "value() called on an error Result");
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok() && "value() called on an error Result");
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this result is an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a `Result`-returning expression to `lhs`, or returns
+/// its error status from the current function.
+#define RESTUNE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define RESTUNE_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  RESTUNE_ASSIGN_OR_RETURN_IMPL(                                            \
+      RESTUNE_CONCAT_(_restune_result_, __LINE__), lhs, expr)
+
+#define RESTUNE_CONCAT_INNER_(a, b) a##b
+#define RESTUNE_CONCAT_(a, b) RESTUNE_CONCAT_INNER_(a, b)
+
+}  // namespace restune

@@ -1,0 +1,109 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace restune {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+namespace {
+
+double SumSquaredDeviation(const std::vector<double>& xs, double mean) {
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return ss;
+}
+
+}  // namespace
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  return std::sqrt(SumSquaredDeviation(xs, m) /
+                   static_cast<double>(xs.size() - 1));
+}
+
+double PopulationStdDev(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double m = Mean(xs);
+  return std::sqrt(SumSquaredDeviation(xs, m) / static_cast<double>(xs.size()));
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> Ranks(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank over the tie group [i, j], 1-based.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                       1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  return PearsonCorrelation(Ranks(xs), Ranks(ys));
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x * M_SQRT1_2); }
+
+double NormalPdf(double x) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+}  // namespace restune

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace restune {
+
+/// Descriptive statistics over a sample, computed in one pass where possible.
+/// Used for scale unification (Section 6.1 of the paper), noise estimation in
+/// the DBMS simulator, and reporting in the bench harness.
+
+/// Arithmetic mean. Returns 0 for an empty sample.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased (n-1) sample standard deviation. Returns 0 for n < 2.
+double StdDev(const std::vector<double>& xs);
+
+/// Population (n) standard deviation. Returns 0 for an empty sample.
+double PopulationStdDev(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Returns 0 for an empty sample.
+double Quantile(std::vector<double> xs, double q);
+
+/// Minimum / maximum. Return 0 for an empty sample.
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// Pearson correlation of two equally sized samples; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Spearman rank correlation; 0 if degenerate. Used in tests to check that
+/// the ranking-loss weighting agrees with rank-correlation intuition.
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Ranks of the values (average rank for ties), 1-based.
+std::vector<double> Ranks(const std::vector<double>& xs);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double x);
+
+/// Standard normal probability density function.
+double NormalPdf(double x);
+
+}  // namespace restune

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace restune {
+
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNumericalError:
+      return "NumericalError";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kAborted:
+      return "Aborted";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace restune

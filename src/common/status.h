@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace restune {
+
+/// Error categories used across the library. Modeled after the Arrow/RocksDB
+/// convention of returning a `Status` from any operation that may fail for a
+/// reason the caller should handle (as opposed to programmer errors, which
+/// are checked with assertions).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kNumericalError,
+  kIoError,
+  kNotImplemented,
+  kAborted,
+};
+
+/// Outcome of an operation: either OK or an error code with a message.
+///
+/// `Status` is cheap to copy in the OK case and carries a human-readable
+/// message otherwise. Public APIs in this library never throw; they return
+/// `Status` (or `Result<T>`, see result.h).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK `Status` to the caller.
+#define RESTUNE_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::restune::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+}  // namespace restune

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace restune {
+
+/// String helpers shared by the SQL tokenizer, the serialization code in the
+/// data repository, and the bench report printers.
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(const std::string& s,
+                                     const std::string& delims);
+
+/// ASCII upper-case copy.
+std::string ToUpper(const std::string& s);
+
+/// ASCII lower-case copy.
+std::string ToLower(const std::string& s);
+
+/// Removes leading/trailing whitespace.
+std::string Trim(const std::string& s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace restune

@@ -1,0 +1,411 @@
+#include "dbsim/des/engine_des.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "dbsim/des/lock_manager.h"
+#include "dbsim/des/page_cache.h"
+#include "dbsim/des/zipf.h"
+
+namespace restune {
+
+namespace {
+
+// Fixed micro-costs (µs) of the event model.
+constexpr double kBufferLookupUs = 2.0;
+constexpr double kMissSetupUs = 25.0;
+constexpr double kIoServiceUs = 100.0;
+constexpr double kLogFlushUs = 120.0;
+constexpr double kWakeupUs = 30.0;
+constexpr double kCommitCpuUs = 10.0;
+// One spin "round" of sync_spin_loops x spin_wait_delay PAUSE slots.
+constexpr double kSpinSlotUs = 0.05;
+
+/// An s-server resource without preemption: a request at time t starts at
+/// max(t, earliest free server) and occupies it for `service` µs.
+class MultiServer {
+ public:
+  explicit MultiServer(size_t servers) : free_at_(servers, 0.0) {}
+
+  /// Schedules a service; returns its completion time and accrues busy time.
+  double Schedule(double now, double service_us) {
+    auto it = std::min_element(free_at_.begin(), free_at_.end());
+    const double start = std::max(now, *it);
+    const double done = start + service_us;
+    *it = done;
+    busy_us_ += service_us;
+    return done;
+  }
+
+  double busy_us() const { return busy_us_; }
+  size_t servers() const { return free_at_.size(); }
+
+ private:
+  std::vector<double> free_at_;
+  double busy_us_ = 0.0;
+};
+
+enum class Phase {
+  kAwaitAdmission,
+  kNextOp,     // dispatch the next logical operation
+  kOpCpu,      // finishing the CPU part of an op
+  kAwaitIo,    // waiting on a page read
+  kAwaitLock,  // blocked on a row lock
+  kCommitLog,  // waiting on the redo flush
+  kDone,
+};
+
+struct Txn {
+  uint64_t id = 0;
+  double arrival_us = 0.0;
+  double finish_us = 0.0;
+  int reads_left = 0;
+  int writes_left = 0;
+  Phase phase = Phase::kAwaitAdmission;
+  bool current_is_write = false;
+  double spin_deadline_us = 0.0;  // while spinning on a lock
+  uint64_t waiting_row = 0;
+  double pending_cpu_us = 0.0;  // CPU burst to run once the page arrives
+};
+
+struct Event {
+  double time_us;
+  uint64_t txn_id;  // 0 => engine event (cleaner tick)
+  int kind;         // 0 cpu-done, 1 io-done, 2 wakeup, 3 cleaner, 4 arrival
+  bool operator>(const Event& other) const { return time_us > other.time_us; }
+};
+
+}  // namespace
+
+DesOptions DesOptions::ForWorkload(const WorkloadProfile& workload,
+                                   uint64_t seed) {
+  DesOptions options;
+  options.seed = seed;
+  // Map the analytic hot-set exponent onto a Zipf skew: more cacheable
+  // workloads (higher locality_skew) get a steeper Zipf.
+  options.access_skew = 0.75 + workload.locality_skew / 55.0;
+  options.num_hot_rows = static_cast<size_t>(
+      2000.0 / std::max(0.25, workload.contention_factor));
+  return options;
+}
+
+DiscreteEventEngine::DiscreteEventEngine(const EngineConfig& config,
+                                         const HardwareSpec& hw,
+                                         const WorkloadProfile& workload,
+                                         DesOptions options)
+    : config_(config), hw_(hw), workload_(workload), options_(options) {}
+
+Result<DesResult> DiscreteEventEngine::Run() {
+  if (options_.num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be positive");
+  }
+  Rng rng(options_.seed);
+
+  // --- Resources ----------------------------------------------------------
+  MultiServer cores(static_cast<size_t>(hw_.cores));
+  const size_t io_servers = static_cast<size_t>(
+      std::max(2.0, config_.read_io_threads + config_.write_io_threads));
+  MultiServer io(io_servers);
+  // Group commit: one redo flush in flight at a time; commits arriving
+  // while it runs join the next batch (the MySQL group-commit protocol).
+  bool log_flush_in_progress = false;
+  std::vector<uint64_t> flushing_batch;
+  std::vector<uint64_t> pending_commits;
+  uint64_t log_flushes = 0;
+
+  const size_t pool_pages = std::max<size_t>(
+      16, static_cast<size_t>(config_.buffer_pool_gb * 1024.0 /
+                              options_.page_mb));
+  const size_t data_pages = std::max(
+      pool_pages + 1,
+      static_cast<size_t>(workload_.data_size_gb * 1024.0 / options_.page_mb));
+  PageCache cache(pool_pages, config_.old_blocks_pct / 100.0);
+  ZipfGenerator page_zipf(data_pages, options_.access_skew);
+  ZipfGenerator row_zipf(options_.num_hot_rows,
+                         std::min(1.2, options_.access_skew + 0.2));
+  LockManager locks;
+
+  // Admission: innodb_thread_concurrency tokens (0 = unlimited).
+  const size_t max_admitted =
+      config_.thread_concurrency > 0.5
+          ? static_cast<size_t>(config_.thread_concurrency)
+          : static_cast<size_t>(workload_.client_threads);
+  size_t admitted = 0;
+  std::queue<uint64_t> admission_queue;
+
+  // Spin budget per contended lock acquisition.
+  const double spin_budget_us =
+      config_.spin_wait_delay * config_.sync_spin_loops * kSpinSlotUs;
+
+  // --- Transactions & events ----------------------------------------------
+  std::vector<Txn> txns(options_.num_transactions + 1);  // ids are 1-based
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+
+  const double rate = workload_.request_rate > 0
+                          ? workload_.request_rate
+                          : 1e6;  // open loop: arrivals effectively instant
+  double arrival = 0.0;
+  for (uint64_t id = 1; id <= options_.num_transactions; ++id) {
+    arrival += -std::log(std::max(1e-12, rng.Uniform())) * 1e6 / rate;
+    txns[id].id = id;
+    txns[id].arrival_us = arrival;
+    txns[id].reads_left = static_cast<int>(
+        std::max(1.0, std::round(workload_.reads_per_txn)));
+    txns[id].writes_left = static_cast<int>(std::round(
+        workload_.writes_per_txn +
+        (rng.Uniform() < workload_.writes_per_txn -
+                             std::floor(workload_.writes_per_txn)
+             ? 0.0
+             : 0.0)));
+    if (workload_.writes_per_txn < 1.0) {
+      txns[id].writes_left = rng.Uniform() < workload_.writes_per_txn ? 1 : 0;
+    }
+    events.push({arrival, id, 4});
+  }
+
+  // Page-cleaner ticks every 10 simulated milliseconds.
+  const double cleaner_period_us = 10000.0;
+  events.push({cleaner_period_us, 0, 3});
+
+  double spin_cpu_us = 0.0;
+  double lock_wait_us = 0.0;
+  double cleaner_cpu_us = 0.0;
+  uint64_t io_ops = 0;
+  uint64_t completed = 0;
+  double last_time = 0.0;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(options_.num_transactions);
+
+  const double read_cpu_us = workload_.cpu_per_read_us;
+  const double write_cpu_us = workload_.cpu_per_write_us;
+
+  // Forward declarations of the step functions as lambdas.
+  std::function<void(Txn&, double)> dispatch_op;
+
+  auto commit = [&](Txn& txn, double now) {
+    // Redo flush policy: durable commits join a group flush.
+    if (config_.flush_log_at_trx_commit >= 0.5 &&
+        config_.flush_log_at_trx_commit < 1.5) {
+      txn.phase = Phase::kCommitLog;
+      if (log_flush_in_progress) {
+        pending_commits.push_back(txn.id);  // joins the next batch
+      } else {
+        log_flush_in_progress = true;
+        flushing_batch.assign(1, txn.id);
+        ++log_flushes;
+        ++io_ops;
+        events.push({now + kLogFlushUs, 0, 5});
+      }
+      return;
+    }
+    // Lazy flush: finish immediately after commit CPU.
+    txn.phase = Phase::kCommitLog;
+    events.push({cores.Schedule(now, kCommitCpuUs), txn.id, 0});
+  };
+
+  auto finish_txn = [&](Txn& txn, double now) {
+    txn.phase = Phase::kDone;
+    txn.finish_us = now;
+    latencies_ms.push_back((now - txn.arrival_us) / 1000.0);
+    ++completed;
+    // Release locks; wake up granted waiters.
+    std::vector<std::pair<uint64_t, uint64_t>> granted;
+    locks.ReleaseAll(txn.id, &granted);
+    for (const auto& [row, waiter_id] : granted) {
+      Txn& waiter = txns[waiter_id];
+      if (waiter.phase != Phase::kAwaitLock) continue;
+      const double wake = now <= waiter.spin_deadline_us
+                              ? now          // caught while still spinning
+                              : now + kWakeupUs;  // scheduler wakeup
+      events.push({wake, waiter_id, 2});
+    }
+    // Admission handoff.
+    --admitted;
+    if (!admission_queue.empty()) {
+      const uint64_t next_id = admission_queue.front();
+      admission_queue.pop();
+      ++admitted;
+      events.push({now, next_id, 2});
+      txns[next_id].phase = Phase::kNextOp;
+    }
+  };
+
+  dispatch_op = [&](Txn& txn, double now) {
+    if (txn.reads_left == 0 && txn.writes_left == 0) {
+      commit(txn, now);
+      return;
+    }
+    const bool is_write = txn.reads_left == 0 ||
+                          (txn.writes_left > 0 &&
+                           rng.Uniform() < static_cast<double>(
+                                               txn.writes_left) /
+                                               (txn.reads_left +
+                                                txn.writes_left));
+    txn.current_is_write = is_write;
+    if (is_write) {
+      // Acquire the row lock first (2PL; released at commit).
+      const uint64_t row = row_zipf.Sample(&rng);
+      if (!locks.Acquire(row, txn.id)) {
+        txn.phase = Phase::kAwaitLock;
+        txn.waiting_row = row;
+        txn.spin_deadline_us = now + spin_budget_us;
+        // Spinning burns CPU up front; if the grant arrives later the
+        // remainder is slept.
+        spin_cpu_us += spin_budget_us;
+        return;
+      }
+    }
+    // Buffer pool access.
+    const uint64_t page = page_zipf.Sample(&rng);
+    const bool hit = cache.Access(page, is_write);
+    const double op_cpu = (is_write ? write_cpu_us : read_cpu_us) +
+                          kBufferLookupUs + (hit ? 0.0 : kMissSetupUs);
+    if (!hit) {
+      ++io_ops;
+      const double io_done = io.Schedule(now, kIoServiceUs);
+      txn.phase = Phase::kAwaitIo;
+      // The CPU part is scheduled when the page arrives (kind-1 handler),
+      // so cores are not reserved at future times.
+      txn.pending_cpu_us = op_cpu;
+      events.push({io_done, txn.id, 1});
+    } else {
+      txn.phase = Phase::kOpCpu;
+      events.push({cores.Schedule(now, op_cpu), txn.id, 0});
+    }
+    if (is_write) {
+      --txn.writes_left;
+    } else {
+      --txn.reads_left;
+    }
+  };
+
+  // --- Main loop ------------------------------------------------------------
+  while (!events.empty() && completed < options_.num_transactions) {
+    const Event ev = events.top();
+    events.pop();
+    last_time = std::max(last_time, ev.time_us);
+
+    if (ev.kind == 5) {  // group redo flush completed
+      std::vector<uint64_t> batch = std::move(flushing_batch);
+      flushing_batch.clear();
+      if (!pending_commits.empty()) {
+        flushing_batch = std::move(pending_commits);
+        pending_commits.clear();
+        ++log_flushes;
+        ++io_ops;
+        events.push({ev.time_us + kLogFlushUs, 0, 5});
+      } else {
+        log_flush_in_progress = false;
+      }
+      for (const uint64_t id : batch) finish_txn(txns[id], ev.time_us);
+      continue;
+    }
+
+    if (ev.kind == 3) {  // page-cleaner tick
+      const size_t batch = static_cast<size_t>(
+          config_.lru_scan_depth * config_.page_cleaners / 64.0);
+      const size_t flushed = cache.FlushDirty(batch);
+      for (size_t f = 0; f < flushed; ++f) {
+        io.Schedule(ev.time_us, kIoServiceUs *
+                                    (config_.doublewrite ? 2.0 : 1.0));
+        io_ops += config_.doublewrite ? 2 : 1;
+      }
+      // Scan cost burns background CPU even when nothing is dirty.
+      cleaner_cpu_us += 0.01 * static_cast<double>(batch) + 2.0;
+      events.push({ev.time_us + cleaner_period_us, 0, 3});
+      continue;
+    }
+
+    Txn& txn = txns[ev.txn_id];
+    switch (ev.kind) {
+      case 4: {  // arrival
+        if (admitted < max_admitted) {
+          ++admitted;
+          txn.phase = Phase::kNextOp;
+          dispatch_op(txn, ev.time_us);
+        } else {
+          admission_queue.push(txn.id);
+        }
+        break;
+      }
+      case 0: {  // cpu burst finished
+        if (txn.phase == Phase::kCommitLog) {
+          finish_txn(txn, ev.time_us);
+        } else {
+          txn.phase = Phase::kNextOp;
+          dispatch_op(txn, ev.time_us);
+        }
+        break;
+      }
+      case 1: {  // io finished
+        if (txn.phase == Phase::kCommitLog) {
+          finish_txn(txn, ev.time_us);
+        } else if (txn.phase == Phase::kAwaitIo) {
+          txn.phase = Phase::kOpCpu;
+          events.push(
+              {cores.Schedule(ev.time_us, txn.pending_cpu_us), txn.id, 0});
+        }
+        break;
+      }
+      case 2: {  // lock granted / admission wakeup
+        if (txn.phase == Phase::kAwaitLock) {
+          lock_wait_us += ev.time_us - (txn.spin_deadline_us -
+                                        spin_budget_us);
+          txn.phase = Phase::kNextOp;
+          // The row lock is now held (granted in ReleaseAll); perform the
+          // write op body.
+          const uint64_t page = page_zipf.Sample(&rng);
+          const bool hit = cache.Access(page, true);
+          const double op_cpu = write_cpu_us + kBufferLookupUs +
+                                (hit ? 0.0 : kMissSetupUs);
+          if (!hit) {
+            ++io_ops;
+            const double io_done = io.Schedule(ev.time_us, kIoServiceUs);
+            txn.phase = Phase::kAwaitIo;
+            txn.pending_cpu_us = op_cpu;
+            events.push({io_done, txn.id, 1});
+          } else {
+            txn.phase = Phase::kOpCpu;
+            events.push({cores.Schedule(ev.time_us, op_cpu), txn.id, 0});
+          }
+          --txn.writes_left;
+        } else if (txn.phase == Phase::kNextOp) {
+          // Admission wakeup.
+          dispatch_op(txn, ev.time_us);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // --- Aggregate -------------------------------------------------------------
+  DesResult result;
+  result.completed_transactions = completed;
+  result.simulated_seconds = last_time / 1e6;
+  if (completed == 0 || last_time <= 0.0) {
+    return Status::NumericalError("simulation made no progress");
+  }
+  result.tps = static_cast<double>(completed) / result.simulated_seconds;
+  result.latency_p50_ms = Quantile(latencies_ms, 0.5);
+  result.latency_p99_ms = Quantile(latencies_ms, 0.99);
+  result.buffer_hit_ratio = cache.hit_ratio();
+  result.io_iops = static_cast<double>(io_ops) / result.simulated_seconds;
+  result.spin_cpu_seconds = spin_cpu_us / 1e6;
+  result.lock_wait_seconds = lock_wait_us / 1e6;
+  result.lock_contentions = locks.contended_acquisitions();
+  const double total_cpu_us = cores.busy_us() + spin_cpu_us + cleaner_cpu_us;
+  result.cpu_util_pct = std::min(
+      100.0, 100.0 * total_cpu_us /
+                 (static_cast<double>(hw_.cores) * last_time));
+  return result;
+}
+
+}  // namespace restune

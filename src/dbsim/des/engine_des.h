@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "dbsim/engine.h"
+#include "dbsim/hardware.h"
+#include "dbsim/workload.h"
+
+namespace restune {
+
+/// Options for one discrete-event simulation run.
+struct DesOptions {
+  /// Transactions to complete before the run ends.
+  size_t num_transactions = 2000;
+  uint64_t seed = 1;
+  /// Pages are modeled at this granularity (larger than 16 KB so the LRU
+  /// stays small); only ratios matter.
+  double page_mb = 1.0;
+  /// Zipf exponent of page/row access (skew; maps from locality).
+  double access_skew = 0.9;
+  /// Hot row universe for the lock table.
+  size_t num_hot_rows = 2000;
+
+  /// Derives options whose access skew matches a workload's locality
+  /// profile (the analytic model's `locality_skew`).
+  static DesOptions ForWorkload(const WorkloadProfile& workload,
+                                uint64_t seed = 1);
+};
+
+/// Aggregate results of a discrete-event run, commensurable with
+/// `PerfMetrics` where the two engines overlap.
+struct DesResult {
+  double tps = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double cpu_util_pct = 0.0;
+  double io_iops = 0.0;
+  double buffer_hit_ratio = 0.0;
+  double spin_cpu_seconds = 0.0;
+  double lock_wait_seconds = 0.0;
+  uint64_t lock_contentions = 0;
+  uint64_t completed_transactions = 0;
+  double simulated_seconds = 0.0;
+};
+
+/// Discrete-event MySQL/InnoDB model: an event-driven simulation with an
+/// actual LRU buffer pool (`PageCache`), a row-lock table (`LockManager`),
+/// c-server CPU and I/O resources, admission control
+/// (innodb_thread_concurrency), spin-vs-sleep lock waiting
+/// (innodb_spin_wait_delay × innodb_sync_spin_loops), page-cleaner flushing
+/// (innodb_lru_scan_depth / innodb_page_cleaners) and redo-flush policy
+/// (innodb_flush_log_at_trx_commit).
+///
+/// This is the high-fidelity counterpart of the closed-form `EngineModel`:
+/// slower per evaluation, but it *derives* the phenomena the analytic model
+/// asserts. `tests/des_test.cc` cross-validates the two (same knob, same
+/// direction of effect), which is the simulator's substitution argument in
+/// DESIGN.md.
+class DiscreteEventEngine {
+ public:
+  DiscreteEventEngine(const EngineConfig& config, const HardwareSpec& hw,
+                      const WorkloadProfile& workload, DesOptions options = {});
+
+  /// Runs the simulation to completion and returns aggregate metrics.
+  Result<DesResult> Run();
+
+ private:
+  EngineConfig config_;
+  HardwareSpec hw_;
+  WorkloadProfile workload_;
+  DesOptions options_;
+};
+
+}  // namespace restune

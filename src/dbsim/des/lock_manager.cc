@@ -1,0 +1,50 @@
+#include "dbsim/des/lock_manager.h"
+
+#include <algorithm>
+
+namespace restune {
+
+bool LockManager::Acquire(uint64_t row_id, uint64_t txn_id) {
+  ++acquisitions_;
+  LockState& state = locks_[row_id];
+  if (!state.held) {
+    state.held = true;
+    state.holder = txn_id;
+    held_by_txn_[txn_id].push_back(row_id);
+    ++held_count_;
+    return true;
+  }
+  if (state.holder == txn_id) return true;  // re-entrant
+  ++contended_;
+  state.waiters.push_back(txn_id);
+  ++total_waiters_;
+  return false;
+}
+
+void LockManager::ReleaseAll(
+    uint64_t txn_id, std::vector<std::pair<uint64_t, uint64_t>>* granted) {
+  const auto it = held_by_txn_.find(txn_id);
+  if (it == held_by_txn_.end()) return;
+  for (const uint64_t row_id : it->second) {
+    const auto lock_it = locks_.find(row_id);
+    if (lock_it == locks_.end()) continue;
+    LockState& state = lock_it->second;
+    if (!state.held || state.holder != txn_id) continue;
+    --held_count_;
+    if (state.waiters.empty()) {
+      locks_.erase(lock_it);
+      continue;
+    }
+    // Hand the lock to the next waiter FIFO.
+    const uint64_t next = state.waiters.front();
+    state.waiters.pop_front();
+    --total_waiters_;
+    state.holder = next;
+    held_by_txn_[next].push_back(row_id);
+    ++held_count_;
+    granted->push_back({row_id, next});
+  }
+  held_by_txn_.erase(it);
+}
+
+}  // namespace restune

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace restune {
+
+/// Exclusive row-lock table with FIFO wait queues for the discrete-event
+/// engine. Transactions acquire locks 2PL-style (all released at commit).
+/// The engine decides, per blocked acquisition, whether the waiter spins
+/// (burning CPU) or sleeps (paying a wakeup latency) — the
+/// innodb_spin_wait_delay / innodb_sync_spin_loops trade-off.
+class LockManager {
+ public:
+  /// Tries to acquire row `row_id` for transaction `txn_id`.
+  /// Returns true when granted immediately (or already held by `txn_id`);
+  /// false when enqueued behind the current holder.
+  bool Acquire(uint64_t row_id, uint64_t txn_id);
+
+  /// Releases every lock `txn_id` holds. Appends to `granted` the
+  /// (row, txn) pairs that become lock owners as a result.
+  void ReleaseAll(uint64_t txn_id,
+                  std::vector<std::pair<uint64_t, uint64_t>>* granted);
+
+  /// Number of transactions currently waiting across all rows.
+  size_t total_waiters() const { return total_waiters_; }
+  /// Locks currently held.
+  size_t held_locks() const { return held_count_; }
+  uint64_t contended_acquisitions() const { return contended_; }
+  uint64_t total_acquisitions() const { return acquisitions_; }
+
+ private:
+  struct LockState {
+    uint64_t holder = 0;
+    bool held = false;
+    std::deque<uint64_t> waiters;
+  };
+
+  std::unordered_map<uint64_t, LockState> locks_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> held_by_txn_;
+  size_t total_waiters_ = 0;
+  size_t held_count_ = 0;
+  uint64_t contended_ = 0;
+  uint64_t acquisitions_ = 0;
+};
+
+}  // namespace restune

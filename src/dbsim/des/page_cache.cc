@@ -1,0 +1,67 @@
+#include "dbsim/des/page_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace restune {
+
+PageCache::PageCache(size_t capacity, double old_fraction)
+    : capacity_(std::max<size_t>(1, capacity)),
+      old_fraction_(std::clamp(old_fraction, 0.05, 0.95)) {}
+
+bool PageCache::Access(uint64_t page_id, bool write) {
+  const auto it = table_.find(page_id);
+  if (it != table_.end()) {
+    ++hits_;
+    // Promote to the young head.
+    Entry entry = *it->second;
+    if (write && !entry.dirty) {
+      entry.dirty = true;
+      ++dirty_count_;
+    }
+    lru_.erase(it->second);
+    lru_.push_front(entry);
+    it->second = lru_.begin();
+    return true;
+  }
+
+  ++misses_;
+  if (table_.size() >= capacity_) Evict();
+  // Insert at the old-sublist head: old_fraction from the tail.
+  const size_t old_len = static_cast<size_t>(
+      old_fraction_ * static_cast<double>(lru_.size()));
+  auto pos = lru_.end();
+  for (size_t i = 0; i < old_len && pos != lru_.begin(); ++i) --pos;
+  const Entry entry{page_id, write};
+  if (write) ++dirty_count_;
+  const auto inserted = lru_.insert(pos, entry);
+  table_.emplace(page_id, inserted);
+  return false;
+}
+
+void PageCache::Evict() {
+  assert(!lru_.empty());
+  const Entry victim = lru_.back();
+  if (victim.dirty) {
+    ++dirty_evictions_;
+    --dirty_count_;
+  }
+  ++evictions_;
+  table_.erase(victim.page_id);
+  lru_.pop_back();
+}
+
+size_t PageCache::FlushDirty(size_t max_pages) {
+  size_t flushed = 0;
+  for (auto it = lru_.rbegin(); it != lru_.rend() && flushed < max_pages;
+       ++it) {
+    if (it->dirty) {
+      it->dirty = false;
+      --dirty_count_;
+      ++flushed;
+    }
+  }
+  return flushed;
+}
+
+}  // namespace restune

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace restune {
+
+/// An actual LRU buffer pool with InnoDB's two-sublist structure: new pages
+/// enter the *old* sublist at `old_fraction` from the tail and are promoted
+/// to the *young* head on re-access. Tracks dirty pages for the flush model
+/// of the discrete-event engine.
+class PageCache {
+ public:
+  /// `capacity` pages, with `old_fraction` of the LRU kept as the old
+  /// sublist (MySQL's innodb_old_blocks_pct / 100).
+  PageCache(size_t capacity, double old_fraction = 0.37);
+
+  /// Accesses a page: returns true on hit (and promotes the page), false on
+  /// miss (and installs the page, evicting from the LRU tail if full).
+  /// `write` marks the page dirty.
+  bool Access(uint64_t page_id, bool write);
+
+  /// Removes up to `max_pages` dirty pages (cleanest-first approximation:
+  /// from the LRU tail up), returning how many were flushed. Models the
+  /// page-cleaner batch triggered by innodb_lru_scan_depth.
+  size_t FlushDirty(size_t max_pages);
+
+  size_t size() const { return table_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t dirty_pages() const { return dirty_count_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t dirty_evictions() const { return dirty_evictions_; }
+
+  double hit_ratio() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+ private:
+  struct Entry {
+    uint64_t page_id;
+    bool dirty;
+  };
+  using LruList = std::list<Entry>;
+
+  void Evict();
+
+  size_t capacity_;
+  double old_fraction_;
+  LruList lru_;  // front = young head (hottest), back = tail (coldest)
+  std::unordered_map<uint64_t, LruList::iterator> table_;
+  size_t dirty_count_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t dirty_evictions_ = 0;
+};
+
+}  // namespace restune

@@ -1,0 +1,28 @@
+#include "dbsim/des/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace restune {
+
+ZipfGenerator::ZipfGenerator(size_t n, double s) : s_(s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  const double inv = 1.0 / acc;
+  for (double& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfGenerator::Sample(Rng* rng) const {
+  const double u = rng->Uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace restune

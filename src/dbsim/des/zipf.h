@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace restune {
+
+/// Zipf-distributed integer sampler over [0, n) with exponent `s`,
+/// using the inverse-CDF over precomputed cumulative weights (exact, O(log n)
+/// per sample after O(n) setup). Drives the skewed page/row access patterns
+/// of the discrete-event engine.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double s);
+
+  /// Draws one value; rank 0 is the hottest.
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+}  // namespace restune

@@ -1,0 +1,27 @@
+#include "dbsim/hardware.h"
+
+#include "common/string_util.h"
+
+namespace restune {
+
+Result<HardwareSpec> HardwareInstance(char label) {
+  switch (label) {
+    case 'A':
+      return HardwareSpec{"instance-A", 48, 12.0};
+    case 'B':
+      return HardwareSpec{"instance-B", 8, 12.0};
+    case 'C':
+      return HardwareSpec{"instance-C", 4, 8.0};
+    case 'D':
+      return HardwareSpec{"instance-D", 16, 32.0};
+    case 'E':
+      return HardwareSpec{"instance-E", 32, 64.0};
+    case 'F':
+      return HardwareSpec{"instance-F", 64, 128.0};
+    default:
+      return Status::NotFound(
+          StringPrintf("no hardware instance '%c' (expected A-F)", label));
+  }
+}
+
+}  // namespace restune

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+
+namespace restune {
+
+/// A cloud database instance type (paper Table 1).
+struct HardwareSpec {
+  std::string name;
+  int cores = 0;
+  double ram_gb = 0.0;
+  /// SSD capability of the attached storage; identical across the paper's
+  /// instances, kept here so the I/O model has an explicit budget.
+  double disk_iops = 80000.0;
+  double disk_mbps = 2000.0;
+};
+
+/// Instance types A–F from paper Table 1:
+///   A: 48c/12G  B: 8c/12G  C: 4c/8G  D: 16c/32G  E: 32c/64G  F: 64c/128G.
+Result<HardwareSpec> HardwareInstance(char label);
+
+}  // namespace restune

@@ -1,0 +1,194 @@
+#include "dbsim/knob.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace restune {
+
+KnobSpace::KnobSpace(std::vector<KnobDef> knobs) : knobs_(std::move(knobs)) {}
+
+Result<size_t> KnobSpace::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    if (knobs_[i].name == name) return i;
+  }
+  return Status::NotFound(StringPrintf("no knob named '%s'", name.c_str()));
+}
+
+bool KnobSpace::Contains(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+double KnobSpace::Denormalize(const KnobDef& def, double unit) const {
+  unit = std::clamp(unit, 0.0, 1.0);
+  double raw;
+  if (def.scale == KnobScale::kLog) {
+    const double lo = std::log(def.min_value);
+    const double hi = std::log(def.max_value);
+    raw = std::exp(lo + unit * (hi - lo));
+  } else {
+    raw = def.min_value + unit * (def.max_value - def.min_value);
+  }
+  if (def.integral) raw = std::round(raw);
+  return std::clamp(raw, def.min_value, def.max_value);
+}
+
+double KnobSpace::Normalize(const KnobDef& def, double raw) const {
+  raw = std::clamp(raw, def.min_value, def.max_value);
+  if (def.scale == KnobScale::kLog) {
+    const double lo = std::log(def.min_value);
+    const double hi = std::log(def.max_value);
+    if (hi <= lo) return 0.0;
+    return (std::log(raw) - lo) / (hi - lo);
+  }
+  if (def.max_value <= def.min_value) return 0.0;
+  return (raw - def.min_value) / (def.max_value - def.min_value);
+}
+
+Vector KnobSpace::ToRaw(const Vector& theta) const {
+  assert(theta.size() == knobs_.size());
+  Vector raw(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    raw[i] = Denormalize(knobs_[i], theta[i]);
+  }
+  return raw;
+}
+
+Vector KnobSpace::ToNormalized(const Vector& raw) const {
+  assert(raw.size() == knobs_.size());
+  Vector theta(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    theta[i] = Normalize(knobs_[i], raw[i]);
+  }
+  return theta;
+}
+
+Vector KnobSpace::DefaultTheta() const {
+  Vector raw(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) raw[i] = knobs_[i].default_value;
+  return ToNormalized(raw);
+}
+
+Result<double> KnobSpace::RawValue(const Vector& theta,
+                                   const std::string& name) const {
+  RESTUNE_ASSIGN_OR_RETURN(const size_t idx, IndexOf(name));
+  return Denormalize(knobs_[idx], theta[idx]);
+}
+
+KnobSpace CpuKnobSpace() {
+  return KnobSpace({
+      {"innodb_thread_concurrency", 0, 256, 0, true, KnobScale::kLinear,
+       "max concurrently executing InnoDB threads; 0 = unlimited"},
+      {"innodb_spin_wait_delay", 0, 128, 6, true, KnobScale::kLinear,
+       "max delay between spinlock polls"},
+      {"innodb_sync_spin_loops", 0, 10000, 30, true, KnobScale::kLinear,
+       "spin iterations before a thread suspends on a mutex"},
+      {"table_open_cache", 1, 10000, 2000, true, KnobScale::kLinear,
+       "number of table handles kept open"},
+      {"innodb_lru_scan_depth", 100, 4096, 1024, true, KnobScale::kLinear,
+       "LRU pages scanned per buffer-pool instance by page cleaners"},
+      {"innodb_adaptive_hash_index", 0, 1, 1, true, KnobScale::kLinear,
+       "adaptive hash index on/off"},
+      {"innodb_buffer_pool_instances", 1, 16, 8, true, KnobScale::kLinear,
+       "buffer pool shards"},
+      {"innodb_page_cleaners", 1, 16, 4, true, KnobScale::kLinear,
+       "background page-cleaner threads"},
+      {"innodb_purge_threads", 1, 16, 4, true, KnobScale::kLinear,
+       "background purge threads"},
+      {"thread_cache_size", 0, 512, 64, true, KnobScale::kLinear,
+       "cached connection threads"},
+      {"innodb_read_io_threads", 1, 32, 4, true, KnobScale::kLinear,
+       "async read I/O threads"},
+      {"innodb_write_io_threads", 1, 32, 4, true, KnobScale::kLinear,
+       "async write I/O threads"},
+      {"innodb_max_dirty_pages_pct", 10, 99, 75, true, KnobScale::kLinear,
+       "dirty-page high-water mark"},
+      {"innodb_flush_neighbors", 0, 2, 1, true, KnobScale::kLinear,
+       "flush contiguous dirty neighbors"},
+  });
+}
+
+KnobSpace MemoryKnobSpace(double ram_gb) {
+  return KnobSpace({
+      {"innodb_buffer_pool_size_gb", 1.0, ram_gb * 0.8, ram_gb * 0.5, false,
+       KnobScale::kLinear, "buffer pool size in GB"},
+      {"sort_buffer_size_mb", 0.03125, 16, 0.25, false, KnobScale::kLog,
+       "per-session sort buffer (MB)"},
+      {"join_buffer_size_mb", 0.03125, 16, 0.25, false, KnobScale::kLog,
+       "per-session join buffer (MB)"},
+      {"tmp_table_size_mb", 1, 256, 16, false, KnobScale::kLog,
+       "in-memory temp table limit (MB)"},
+      {"read_buffer_size_mb", 0.0625, 8, 0.125, false, KnobScale::kLog,
+       "per-session sequential read buffer (MB)"},
+      {"key_buffer_size_mb", 1, 512, 8, false, KnobScale::kLog,
+       "MyISAM key cache (MB)"},
+  });
+}
+
+KnobSpace IoKnobSpace() {
+  return KnobSpace({
+      {"innodb_flush_log_at_trx_commit", 0, 2, 1, true, KnobScale::kLinear,
+       "redo durability: 0=lazy, 1=fsync per commit, 2=per second"},
+      {"sync_binlog", 0, 1000, 1, true, KnobScale::kLinear,
+       "binlog fsync frequency"},
+      {"innodb_doublewrite", 0, 1, 1, true, KnobScale::kLinear,
+       "doublewrite buffer on/off"},
+      {"innodb_io_capacity", 100, 20000, 2000, true, KnobScale::kLog,
+       "background flush IOPS budget"},
+      {"innodb_io_capacity_max", 200, 40000, 4000, true, KnobScale::kLog,
+       "emergency flush IOPS budget"},
+      {"innodb_log_file_size_mb", 48, 4096, 512, true, KnobScale::kLog,
+       "redo log segment size (MB)"},
+      {"innodb_log_buffer_size_mb", 1, 256, 16, true, KnobScale::kLog,
+       "redo log buffer (MB)"},
+      {"innodb_flush_method", 0, 1, 0, true, KnobScale::kLinear,
+       "0=fsync, 1=O_DIRECT"},
+      {"innodb_flush_neighbors", 0, 2, 1, true, KnobScale::kLinear,
+       "flush contiguous dirty neighbors"},
+      {"innodb_max_dirty_pages_pct", 10, 99, 75, true, KnobScale::kLinear,
+       "dirty-page high-water mark"},
+      {"innodb_max_dirty_pages_pct_lwm", 0, 50, 0, true, KnobScale::kLinear,
+       "dirty-page pre-flush low-water mark"},
+      {"innodb_adaptive_flushing_lwm", 0, 70, 10, true, KnobScale::kLinear,
+       "redo-fill % that triggers adaptive flushing"},
+      {"innodb_flushing_avg_loops", 1, 1000, 30, true, KnobScale::kLog,
+       "smoothing window for adaptive flushing"},
+      {"innodb_lru_scan_depth", 100, 4096, 1024, true, KnobScale::kLinear,
+       "LRU pages scanned per pool instance"},
+      {"innodb_page_cleaners", 1, 16, 4, true, KnobScale::kLinear,
+       "background page-cleaner threads"},
+      {"innodb_read_ahead_threshold", 0, 64, 56, true, KnobScale::kLinear,
+       "sequential pages before linear read-ahead"},
+      {"innodb_random_read_ahead", 0, 1, 0, true, KnobScale::kLinear,
+       "random read-ahead on/off"},
+      {"innodb_old_blocks_pct", 5, 95, 37, true, KnobScale::kLinear,
+       "LRU old-sublist fraction"},
+      {"innodb_change_buffering", 0, 1, 1, true, KnobScale::kLinear,
+       "secondary-index change buffering on/off"},
+      {"binlog_group_commit_sync_delay_us", 0, 1000, 0, true,
+       KnobScale::kLinear, "group-commit aggregation delay (µs)"},
+  });
+}
+
+KnobSpace CaseStudyKnobSpace() {
+  return KnobSpace({
+      {"innodb_thread_concurrency", 0, 256, 0, true, KnobScale::kLinear,
+       "max concurrently executing InnoDB threads; 0 = unlimited"},
+      {"innodb_spin_wait_delay", 0, 128, 6, true, KnobScale::kLinear,
+       "max delay between spinlock polls"},
+      {"innodb_lru_scan_depth", 100, 4096, 1024, true, KnobScale::kLinear,
+       "LRU pages scanned per buffer-pool instance"},
+  });
+}
+
+KnobSpace Fig1KnobSpace() {
+  return KnobSpace({
+      {"innodb_sync_spin_loops", 0, 10000, 30, true, KnobScale::kLinear,
+       "spin iterations before a thread suspends"},
+      {"table_open_cache", 1, 10000, 2000, true, KnobScale::kLinear,
+       "number of table handles kept open"},
+  });
+}
+
+}  // namespace restune

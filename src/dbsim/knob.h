@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace restune {
+
+/// How a knob's raw value is produced from its normalized [0,1] coordinate.
+enum class KnobScale {
+  kLinear,
+  /// Log-spaced between min and max (both must be > 0); for knobs whose
+  /// sensible values span orders of magnitude (cache sizes, log file size).
+  kLog,
+};
+
+/// Definition of one configuration knob, named after the MySQL variable it
+/// models. Discrete knobs are handled as the paper does (Section 3): the
+/// normalized [0,1] range is binned and rounded to the nearest integer value.
+struct KnobDef {
+  std::string name;
+  double min_value = 0.0;
+  double max_value = 1.0;
+  double default_value = 0.0;
+  bool integral = true;
+  KnobScale scale = KnobScale::kLinear;
+  std::string description;
+};
+
+/// An ordered set of knobs defining the tuning search space Θ = [0,1]^m.
+///
+/// Configurations circulate through the optimizer in normalized form and are
+/// denormalized only at the simulator boundary, mirroring the paper's setup.
+class KnobSpace {
+ public:
+  explicit KnobSpace(std::vector<KnobDef> knobs);
+
+  size_t dim() const { return knobs_.size(); }
+  const KnobDef& knob(size_t i) const { return knobs_[i]; }
+  const std::vector<KnobDef>& knobs() const { return knobs_; }
+
+  /// Index of the knob named `name`, or an error if absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Denormalizes θ ∈ [0,1]^m to raw knob values (rounded for integral
+  /// knobs). Values outside [0,1] are clamped.
+  Vector ToRaw(const Vector& theta) const;
+
+  /// Normalizes raw knob values back into [0,1]^m.
+  Vector ToNormalized(const Vector& raw) const;
+
+  /// The DBA-default configuration in normalized coordinates.
+  Vector DefaultTheta() const;
+
+  /// Raw value of knob `name` under configuration θ; error if absent.
+  Result<double> RawValue(const Vector& theta, const std::string& name) const;
+
+ private:
+  double Denormalize(const KnobDef& def, double unit) const;
+  double Normalize(const KnobDef& def, double raw) const;
+
+  std::vector<KnobDef> knobs_;
+};
+
+/// The 14-knob CPU tuning space used for the paper's CPU experiments.
+KnobSpace CpuKnobSpace();
+
+/// The 6-knob memory tuning space (includes the buffer pool size, which the
+/// memory experiments unfix; Section 7.5.2). `ram_gb` bounds the pool.
+KnobSpace MemoryKnobSpace(double ram_gb);
+
+/// The 20-knob I/O tuning space (Section 7.5.1).
+KnobSpace IoKnobSpace();
+
+/// The 3-knob Twitter case-study space: innodb_thread_concurrency,
+/// innodb_spin_wait_delay, innodb_lru_scan_depth (Section 7.3).
+KnobSpace CaseStudyKnobSpace();
+
+/// The 2-knob Figure-1 space: innodb_sync_spin_loops × table_open_cache.
+KnobSpace Fig1KnobSpace();
+
+}  // namespace restune

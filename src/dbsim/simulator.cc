@@ -1,0 +1,85 @@
+#include "dbsim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace restune {
+
+const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return "cpu";
+    case ResourceKind::kMemory:
+      return "memory";
+    case ResourceKind::kIoBps:
+      return "io_bps";
+    case ResourceKind::kIoIops:
+      return "io_iops";
+  }
+  return "?";
+}
+
+DbInstanceSimulator::DbInstanceSimulator(KnobSpace space,
+                                         HardwareSpec hardware,
+                                         WorkloadProfile workload,
+                                         SimulatorOptions options)
+    : space_(std::move(space)),
+      hardware_(std::move(hardware)),
+      workload_(std::move(workload)),
+      options_(options),
+      rng_(options.seed) {}
+
+double DbInstanceSimulator::ResourceValue(const PerfMetrics& metrics) const {
+  switch (options_.resource) {
+    case ResourceKind::kCpu:
+      return metrics.cpu_util_pct;
+    case ResourceKind::kMemory:
+      return metrics.mem_gb;
+    case ResourceKind::kIoBps:
+      return metrics.io_mbps;
+    case ResourceKind::kIoIops:
+      return metrics.io_iops;
+  }
+  return 0.0;
+}
+
+Result<PerfMetrics> DbInstanceSimulator::EvaluateExact(
+    const Vector& theta) const {
+  if (theta.size() != space_.dim()) {
+    return Status::InvalidArgument("theta dimension does not match knob space");
+  }
+  EngineConfig config = EngineConfig::Defaults(hardware_);
+  if (options_.buffer_pool_fix_gb > 0) {
+    config.buffer_pool_gb = options_.buffer_pool_fix_gb;
+  }
+  RESTUNE_RETURN_IF_ERROR(ApplyKnobs(space_, theta, &config));
+  return EngineModel::Evaluate(config, hardware_, workload_);
+}
+
+Result<Observation> DbInstanceSimulator::Evaluate(const Vector& theta) {
+  RESTUNE_ASSIGN_OR_RETURN(const PerfMetrics metrics, EvaluateExact(theta));
+  ++num_evaluations_;
+  simulated_seconds_ += options_.replay_seconds;
+
+  auto noisy = [this](double v) {
+    return v * std::max(0.0, 1.0 + rng_.Gaussian(0.0, options_.noise_std));
+  };
+  Observation obs;
+  obs.theta = theta;
+  obs.res = noisy(ResourceValue(metrics));
+  obs.tps = noisy(metrics.tps);
+  obs.lat = noisy(metrics.latency_p99_ms);
+  obs.internals = metrics.InternalMetrics();
+  return obs;
+}
+
+Result<Observation> DbInstanceSimulator::EvaluateDefault() {
+  return Evaluate(space_.DefaultTheta());
+}
+
+SlaConstraints DbInstanceSimulator::ConstraintsFromDefault(
+    const Observation& def) {
+  return SlaConstraints{def.tps, def.lat};
+}
+
+}  // namespace restune

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dbsim/engine.h"
+#include "gp/observation.h"
+
+namespace restune {
+
+/// Which resource metric a tuning task minimizes (paper Sections 7.1/7.5).
+enum class ResourceKind { kCpu, kMemory, kIoBps, kIoIops };
+
+const char* ResourceKindName(ResourceKind kind);
+
+/// Options for a simulated DBMS copy instance.
+struct SimulatorOptions {
+  ResourceKind resource = ResourceKind::kCpu;
+  /// Relative measurement noise (std dev) on each replay; the paper absorbs
+  /// up to 5% deviation, we default to 1% per metric.
+  double noise_std = 0.01;
+  uint64_t seed = 1234;
+  /// Simulated wall-clock seconds one workload replay takes (3 min for
+  /// benchmarks, 5 min for production workloads in the paper). Only
+  /// reported, never slept.
+  double replay_seconds = 180.0;
+  /// If > 0, pins the buffer pool to this size before applying knobs — the
+  /// paper fixes the pool at 16G for the I/O experiments (Section 7.5).
+  double buffer_pool_fix_gb = 0.0;
+};
+
+/// A simulated copy of the target DBMS: applies a configuration, replays the
+/// workload, and reports (res, tps, lat) with measurement noise — the black
+/// box every tuning method drives (the paper's "Target Workload Replay").
+class DbInstanceSimulator {
+ public:
+  DbInstanceSimulator(KnobSpace space, HardwareSpec hardware,
+                      WorkloadProfile workload, SimulatorOptions options = {});
+
+  /// Applies the normalized configuration θ, replays, and returns the
+  /// noisy observation for the selected resource kind.
+  Result<Observation> Evaluate(const Vector& theta);
+
+  /// Full metric snapshot for θ (noise-free; used by analysis and plots).
+  Result<PerfMetrics> EvaluateExact(const Vector& theta) const;
+
+  /// The observation under the DBA default configuration — this is where
+  /// the SLA thresholds λ come from (paper Section 3).
+  Result<Observation> EvaluateDefault();
+
+  /// SLA constraints derived from a default-config observation.
+  static SlaConstraints ConstraintsFromDefault(const Observation& def);
+
+  const KnobSpace& knob_space() const { return space_; }
+  const HardwareSpec& hardware() const { return hardware_; }
+  const WorkloadProfile& workload() const { return workload_; }
+  const SimulatorOptions& options() const { return options_; }
+
+  size_t num_evaluations() const { return num_evaluations_; }
+  /// Total simulated replay wall-time consumed so far, in seconds.
+  double simulated_seconds() const { return simulated_seconds_; }
+
+  /// Extracts the chosen resource metric from a full metric snapshot.
+  double ResourceValue(const PerfMetrics& metrics) const;
+
+ private:
+  KnobSpace space_;
+  HardwareSpec hardware_;
+  WorkloadProfile workload_;
+  SimulatorOptions options_;
+  Rng rng_;
+  size_t num_evaluations_ = 0;
+  double simulated_seconds_ = 0.0;
+};
+
+}  // namespace restune

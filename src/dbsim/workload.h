@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace restune {
+
+/// The benchmark / production workloads of paper Table 2.
+enum class WorkloadKind { kSysbench, kTpcc, kTwitter, kHotel, kSales };
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+/// Behavioural description of an OLTP workload, combining the externally
+/// visible parameters of paper Table 2 (size, threads, R/W ratio, request
+/// rate) with the engine-model coefficients that shape its response surface.
+///
+/// The coefficients are what make workloads *different tuning tasks*: two
+/// workloads with similar coefficients have correlated surfaces (so transfer
+/// helps), dissimilar ones do not — the property the meta-learner exploits.
+struct WorkloadProfile {
+  std::string name;
+  WorkloadKind kind = WorkloadKind::kSysbench;
+
+  // --- Table 2 parameters -------------------------------------------------
+  double data_size_gb = 10.0;
+  int client_threads = 64;
+  /// Reads per write (e.g. 7:2 -> 3.5).
+  double read_write_ratio = 3.5;
+  /// Client-imposed request rate in txn/s; 0 means open loop (clients push
+  /// as fast as the server admits), as for the Hotel/Sales traces.
+  double request_rate = 0.0;
+
+  // --- Engine-model coefficients ------------------------------------------
+  /// Logical reads / writes issued per transaction.
+  double reads_per_txn = 10.0;
+  double writes_per_txn = 2.0;
+  /// Base CPU cost per logical read / write, in microseconds on a
+  /// reference core.
+  double cpu_per_read_us = 18.0;
+  double cpu_per_write_us = 40.0;
+  /// Access locality: miss ratio = (1-t)·(1-c)^skew + t·(1-c) for cached
+  /// fraction c — a hot set that caches fast (exponent `locality_skew`)
+  /// plus a uniform tail of weight `tail_weight` that only caching
+  /// everything removes.
+  double locality_skew = 25.0;
+  double tail_weight = 0.05;
+  /// Sensitivity to thread oversubscription (lock/latch contention).
+  double contention_factor = 1.0;
+  /// Fraction of transaction time spent inside latched critical sections;
+  /// scales the CPU burned by spinning.
+  double spin_sensitivity = 1.0;
+  /// How much the workload churns table handles (drives table_open_cache
+  /// sensitivity); roughly the number of distinct tables touched.
+  double table_churn = 150.0;
+  /// Weight of secondary-index maintenance (drives change-buffering and
+  /// adaptive-hash-index effects).
+  double index_intensity = 1.0;
+};
+
+/// Builds the Table 2 profile for `kind`. `data_size_gb` overrides the
+/// default size where the paper uses several (SYSBENCH 10/30/100G,
+/// TPC-C 13/100G); pass 0 to keep the default.
+Result<WorkloadProfile> MakeWorkload(WorkloadKind kind,
+                                     double data_size_gb = 0.0);
+
+/// TPC-C profile for a warehouse count (Table 7 uses 100..10000 warehouses;
+/// size scales at ~16.26 GB per 200 warehouses with fixed overhead).
+WorkloadProfile MakeTpccWithWarehouses(int warehouses);
+
+/// The Twitter variations W1..W5 of paper Table 5, built by decreasing the
+/// R/W ratio (increasing INSERT share): 32:1, 19:1, 14:1, 11:1, 9:1.
+Result<WorkloadProfile> TwitterVariation(int index);
+
+/// All five Table 2 workloads with their default sizes.
+std::vector<WorkloadProfile> StandardWorkloads();
+
+}  // namespace restune

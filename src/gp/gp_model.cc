@@ -1,0 +1,246 @@
+#include "gp/gp_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/nelder_mead.h"
+#include "common/stats.h"
+
+namespace restune {
+
+namespace {
+
+// Hyper-parameter search box in log space; keeps the likelihood surface away
+// from degenerate kernels (zero or enormous lengthscales/amplitudes).
+constexpr double kLogParamMin = -5.0;
+constexpr double kLogParamMax = 4.0;
+
+}  // namespace
+
+double GpPrediction::stddev() const {
+  return std::sqrt(std::max(variance, 0.0));
+}
+
+GpModel::GpModel(size_t dim, GpOptions options)
+    : GpModel(std::make_unique<Matern52Kernel>(dim), options) {}
+
+GpModel::GpModel(std::unique_ptr<Kernel> kernel, GpOptions options)
+    : kernel_(std::move(kernel)), options_(options), rng_(options.seed) {}
+
+GpModel::GpModel(const GpModel& other)
+    : kernel_(other.kernel_->Clone()),
+      options_(other.options_),
+      rng_(other.rng_),
+      x_(other.x_),
+      y_norm_(other.y_norm_),
+      y_mean_(other.y_mean_),
+      y_std_(other.y_std_),
+      chol_(other.chol_),
+      alpha_(other.alpha_),
+      updates_since_refit_(other.updates_since_refit_),
+      hyperopt_done_(other.hyperopt_done_) {}
+
+GpModel& GpModel::operator=(const GpModel& other) {
+  if (this == &other) return *this;
+  kernel_ = other.kernel_->Clone();
+  options_ = other.options_;
+  rng_ = other.rng_;
+  x_ = other.x_;
+  y_norm_ = other.y_norm_;
+  y_mean_ = other.y_mean_;
+  y_std_ = other.y_std_;
+  chol_ = other.chol_;
+  alpha_ = other.alpha_;
+  updates_since_refit_ = other.updates_since_refit_;
+  hyperopt_done_ = other.hyperopt_done_;
+  return *this;
+}
+
+Status GpModel::Fit(const Matrix& x, const Vector& y) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("x rows and y size differ");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (x.cols() != kernel_->dim()) {
+    return Status::InvalidArgument("x dimensionality does not match kernel");
+  }
+  x_ = x;
+  if (options_.normalize_y) {
+    y_mean_ = Mean(y);
+    y_std_ = PopulationStdDev(y);
+    if (y_std_ < 1e-12) y_std_ = 1.0;
+  } else {
+    y_mean_ = 0.0;
+    y_std_ = 1.0;
+  }
+  y_norm_.resize(y.size());
+  for (size_t i = 0; i < y.size(); ++i) y_norm_[i] = (y[i] - y_mean_) / y_std_;
+  // Repeated full Fit calls (the meta-learner refits the target GP every
+  // iteration) amortize hyper-parameter search the same way Update does.
+  const bool optimize =
+      options_.optimize_hyperparams &&
+      (!hyperopt_done_ || options_.refit_period <= 1 ||
+       ++updates_since_refit_ >= options_.refit_period);
+  if (optimize) {
+    updates_since_refit_ = 0;
+    hyperopt_done_ = true;
+  }
+  return Refit(optimize);
+}
+
+Status GpModel::Update(const Vector& x, double y) {
+  if (!fitted()) {
+    Matrix xm(1, x.size());
+    for (size_t c = 0; c < x.size(); ++c) xm(0, c) = x[c];
+    return Fit(xm, {y});
+  }
+  if (x.size() != kernel_->dim()) {
+    return Status::InvalidArgument("x dimensionality does not match kernel");
+  }
+  // Rebuild the raw target list, append, and refit. Normalization constants
+  // are recomputed so the normalized targets stay well scaled as the
+  // observation range expands during tuning.
+  Vector y_raw = train_y();
+  y_raw.push_back(y);
+  Matrix x_new(x_.rows() + 1, x_.cols());
+  for (size_t r = 0; r < x_.rows(); ++r) {
+    for (size_t c = 0; c < x_.cols(); ++c) x_new(r, c) = x_(r, c);
+  }
+  for (size_t c = 0; c < x.size(); ++c) x_new(x_.rows(), c) = x[c];
+
+  ++updates_since_refit_;
+  const bool optimize =
+      options_.optimize_hyperparams &&
+      (options_.refit_period <= 1 ||
+       updates_since_refit_ >= options_.refit_period);
+  x_ = std::move(x_new);
+  if (options_.normalize_y) {
+    y_mean_ = Mean(y_raw);
+    y_std_ = PopulationStdDev(y_raw);
+    if (y_std_ < 1e-12) y_std_ = 1.0;
+  }
+  y_norm_.resize(y_raw.size());
+  for (size_t i = 0; i < y_raw.size(); ++i) {
+    y_norm_[i] = (y_raw[i] - y_mean_) / y_std_;
+  }
+  if (optimize) {
+    updates_since_refit_ = 0;
+    hyperopt_done_ = true;
+  }
+  return Refit(optimize);
+}
+
+Status GpModel::Refit(bool optimize) {
+  if (optimize && x_.rows() >= 3) OptimizeHyperparams();
+  return Factorize();
+}
+
+Status GpModel::Factorize() {
+  Matrix k = kernel_->GramMatrix(x_);
+  k.AddToDiagonal(options_.noise_variance);
+  Result<Cholesky> chol = Cholesky::FactorWithJitter(std::move(k));
+  if (!chol.ok()) return chol.status();
+  chol_ = std::move(chol).value();
+  alpha_ = chol_->Solve(y_norm_);
+  return Status::OK();
+}
+
+double GpModel::NegativeLogMarginalLikelihoodFor(
+    const Vector& log_params) const {
+  for (double p : log_params) {
+    if (p < kLogParamMin || p > kLogParamMax || !std::isfinite(p)) {
+      return 1e12;  // reject points outside the search box
+    }
+  }
+  std::unique_ptr<Kernel> trial = kernel_->Clone();
+  trial->SetLogParams(log_params);
+  Matrix k = trial->GramMatrix(x_);
+  k.AddToDiagonal(options_.noise_variance);
+  Result<Cholesky> chol = Cholesky::FactorWithJitter(std::move(k));
+  if (!chol.ok()) return 1e12;
+  const Vector alpha = chol->Solve(y_norm_);
+  const double fit_term = 0.5 * Dot(y_norm_, alpha);
+  const double complexity_term = 0.5 * chol->LogDeterminant();
+  const double n = static_cast<double>(x_.rows());
+  return fit_term + complexity_term + 0.5 * n * std::log(2.0 * M_PI);
+}
+
+void GpModel::OptimizeHyperparams() {
+  auto objective = [this](const std::vector<double>& p) {
+    return NegativeLogMarginalLikelihoodFor(p);
+  };
+  NelderMeadOptions nm;
+  nm.max_iterations = options_.hyperopt_max_iters;
+
+  Vector best = kernel_->GetLogParams();
+  double best_value = NegativeLogMarginalLikelihoodFor(best);
+
+  // Warm start from the current parameters, then random restarts.
+  std::vector<Vector> starts = {best};
+  for (int r = 0; r < options_.hyperopt_restarts; ++r) {
+    Vector s(best.size());
+    s[0] = rng_.Uniform(-1.0, 1.0);  // log amplitude^2
+    for (size_t i = 1; i < s.size(); ++i) {
+      s[i] = rng_.Uniform(std::log(0.1), std::log(2.0));  // log lengthscale
+    }
+    starts.push_back(std::move(s));
+  }
+  for (const Vector& s : starts) {
+    const NelderMeadResult result = NelderMeadMinimize(objective, s, nm);
+    if (result.value < best_value) {
+      best_value = result.value;
+      best = result.x;
+    }
+  }
+  kernel_->SetLogParams(best);
+}
+
+GpPrediction GpModel::Predict(const Vector& x) const {
+  assert(fitted());
+  const Vector k_star = kernel_->CrossCovariance(x_, x);
+  const double mean_norm = Dot(k_star, alpha_);
+  const Vector v = chol_->SolveLower(k_star);
+  double var_norm = kernel_->Eval(x, x) + options_.noise_variance - Dot(v, v);
+  var_norm = std::max(var_norm, 1e-12);
+  return {mean_norm * y_std_ + y_mean_, var_norm * y_std_ * y_std_};
+}
+
+double GpModel::PredictMean(const Vector& x) const {
+  assert(fitted());
+  const Vector k_star = kernel_->CrossCovariance(x_, x);
+  return Dot(k_star, alpha_) * y_std_ + y_mean_;
+}
+
+double GpModel::LogMarginalLikelihood() const {
+  assert(fitted());
+  const double fit_term = 0.5 * Dot(y_norm_, alpha_);
+  const double complexity_term = 0.5 * chol_->LogDeterminant();
+  const double n = static_cast<double>(x_.rows());
+  return -(fit_term + complexity_term + 0.5 * n * std::log(2.0 * M_PI));
+}
+
+std::vector<GpPrediction> GpModel::LeaveOneOutPredictions() const {
+  assert(fitted());
+  // Sundararajan & Keerthi identities: with K_inv = (K + noise I)^-1,
+  //   mu_-i  = y_i - alpha_i / K_inv_ii
+  //   var_-i = 1 / K_inv_ii
+  const Matrix k_inv = chol_->Inverse();
+  std::vector<GpPrediction> out(x_.rows());
+  for (size_t i = 0; i < x_.rows(); ++i) {
+    const double kii = std::max(k_inv(i, i), 1e-12);
+    const double mean_norm = y_norm_[i] - alpha_[i] / kii;
+    const double var_norm = 1.0 / kii;
+    out[i] = {mean_norm * y_std_ + y_mean_, var_norm * y_std_ * y_std_};
+  }
+  return out;
+}
+
+Vector GpModel::train_y() const {
+  Vector out(y_norm_.size());
+  for (size_t i = 0; i < y_norm_.size(); ++i) {
+    out[i] = y_norm_[i] * y_std_ + y_mean_;
+  }
+  return out;
+}
+
+}  // namespace restune

@@ -1,0 +1,131 @@
+#include "gp/gp_serialization.h"
+
+#include <memory>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace restune {
+
+namespace {
+
+Result<std::unique_ptr<Kernel>> MakeKernelByName(const std::string& name,
+                                                 size_t dim) {
+  if (name == "matern52") return std::unique_ptr<Kernel>(new Matern52Kernel(dim));
+  if (name == "se") {
+    return std::unique_ptr<Kernel>(new SquaredExponentialKernel(dim));
+  }
+  return Status::NotFound("unknown kernel '" + name + "'");
+}
+
+}  // namespace
+
+Status SaveGpModel(const GpModel& model, std::ostream* out) {
+  if (!model.fitted()) {
+    return Status::FailedPrecondition("cannot serialize an unfitted GP");
+  }
+  std::ostream& os = *out;
+  os.precision(17);
+  const size_t n = model.num_observations();
+  const size_t d = model.dim();
+  os << "gpmodel 1\n";  // format version
+  os << "kernel " << model.kernel().name();
+  for (double p : model.kernel().GetLogParams()) os << " " << p;
+  os << "\n";
+  const GpOptions& options = model.options();
+  os << "options " << options.noise_variance << " "
+     << (options.normalize_y ? 1 : 0) << "\n";
+  os << "data " << n << " " << d << "\n";
+  const Vector y = model.train_y();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < d; ++c) os << model.train_x()(i, c) << " ";
+    os << "| " << y[i] << "\n";
+  }
+  os << "endgp\n";
+  return os.good() ? Status::OK() : Status::IoError("GP write failed");
+}
+
+Result<GpModel> LoadGpModel(std::istream* in) {
+  std::istream& is = *in;
+  std::string tag;
+  int version = 0;
+  if (!(is >> tag >> version) || tag != "gpmodel" || version != 1) {
+    return Status::IoError("bad GP header");
+  }
+  std::string kernel_name;
+  if (!(is >> tag >> kernel_name) || tag != "kernel") {
+    return Status::IoError("missing kernel record");
+  }
+  // Log-params follow until the options line; read the rest of the line.
+  Vector log_params;
+  {
+    std::string rest;
+    std::getline(is, rest);
+    for (const std::string& piece : SplitString(rest, " \t")) {
+      log_params.push_back(std::stod(piece));
+    }
+  }
+  double noise = 0.0;
+  int normalize = 0;
+  if (!(is >> tag >> noise >> normalize) || tag != "options") {
+    return Status::IoError("missing options record");
+  }
+  size_t n = 0, d = 0;
+  if (!(is >> tag >> n >> d) || tag != "data" || n == 0 || d == 0) {
+    return Status::IoError("missing data record");
+  }
+  if (log_params.size() != d + 1) {
+    return Status::IoError("kernel parameter count does not match dimension");
+  }
+  Matrix x(n, d);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < d; ++c) {
+      if (!(is >> x(i, c))) return Status::IoError("truncated X row");
+    }
+    std::string sep;
+    if (!(is >> sep >> y[i]) || sep != "|") {
+      return Status::IoError("malformed y value");
+    }
+  }
+  if (!(is >> tag) || tag != "endgp") {
+    return Status::IoError("missing endgp terminator");
+  }
+
+  RESTUNE_ASSIGN_OR_RETURN(std::unique_ptr<Kernel> kernel,
+                           MakeKernelByName(kernel_name, d));
+  kernel->SetLogParams(log_params);
+  GpOptions options;
+  options.noise_variance = noise;
+  options.normalize_y = normalize != 0;
+  // Hyper-parameters were optimized before saving; loading only refits the
+  // Cholesky factor.
+  options.optimize_hyperparams = false;
+  GpModel model(std::move(kernel), options);
+  RESTUNE_RETURN_IF_ERROR(model.Fit(x, y));
+  return model;
+}
+
+Status SaveMultiOutputGp(const MultiOutputGp& model, std::ostream* out) {
+  *out << "multioutputgp 1\n";
+  for (MetricKind kind : kAllMetricKinds) {
+    RESTUNE_RETURN_IF_ERROR(SaveGpModel(model.model(kind), out));
+  }
+  return Status::OK();
+}
+
+Result<MultiOutputGp> LoadMultiOutputGp(std::istream* in) {
+  std::string tag;
+  int version = 0;
+  if (!(*in >> tag >> version) || tag != "multioutputgp" || version != 1) {
+    return Status::IoError("bad multi-output GP header");
+  }
+  RESTUNE_ASSIGN_OR_RETURN(GpModel res, LoadGpModel(in));
+  RESTUNE_ASSIGN_OR_RETURN(GpModel tps, LoadGpModel(in));
+  RESTUNE_ASSIGN_OR_RETURN(GpModel lat, LoadGpModel(in));
+  return MultiOutputGp(
+      std::array<GpModel, kNumMetricKinds>{std::move(res), std::move(tps),
+                                           std::move(lat)});
+}
+
+}  // namespace restune

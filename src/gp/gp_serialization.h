@@ -1,0 +1,32 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "common/result.h"
+#include "gp/gp_model.h"
+#include "gp/multi_output_gp.h"
+
+namespace restune {
+
+/// Text serialization for trained GP models.
+///
+/// A production data repository keeps base models trained, not just raw
+/// observations (paper Fig. 2 stores "Base Model of Task i"); these
+/// helpers persist a fitted `GpModel` — kernel type and hyper-parameters,
+/// fit options, and training data — so loading skips the marginal-
+/// likelihood search and only re-factorizes (O(n³) once, no optimization).
+///
+/// Format: line-oriented text, doubles at full precision.
+
+Status SaveGpModel(const GpModel& model, std::ostream* out);
+
+/// Loads a model previously written by `SaveGpModel`. The returned model is
+/// fitted (factorized) with the stored hyper-parameters.
+Result<GpModel> LoadGpModel(std::istream* in);
+
+/// Multi-output variants (three stacked single-output models).
+Status SaveMultiOutputGp(const MultiOutputGp& model, std::ostream* out);
+Result<MultiOutputGp> LoadMultiOutputGp(std::istream* in);
+
+}  // namespace restune

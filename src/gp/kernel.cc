@@ -1,0 +1,104 @@
+#include "gp/kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace restune {
+
+Matrix Kernel::GramMatrix(const Matrix& x) const {
+  const size_t n = x.rows();
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const Vector xi = x.Row(i);
+    for (size_t j = 0; j <= i; ++j) {
+      const double v = Eval(xi, x.Row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Vector Kernel::CrossCovariance(const Matrix& x, const Vector& x_query) const {
+  Vector out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out[i] = Eval(x.Row(i), x_query);
+  return out;
+}
+
+namespace {
+
+/// Lengthscale-weighted squared distance sum_i ((a_i-b_i)/ls_i)^2.
+double ScaledSquaredDistance(const Vector& a, const Vector& b,
+                             const Vector& lengthscales) {
+  assert(a.size() == b.size() && a.size() == lengthscales.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = (a[i] - b[i]) / lengthscales[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Matern52Kernel::Matern52Kernel(size_t dim, double lengthscale,
+                               double amplitude_sq)
+    : amplitude_sq_(amplitude_sq), lengthscales_(dim, lengthscale) {}
+
+double Matern52Kernel::Eval(const Vector& a, const Vector& b) const {
+  const double r2 = ScaledSquaredDistance(a, b, lengthscales_);
+  const double r = std::sqrt(5.0 * r2);
+  return amplitude_sq_ * (1.0 + r + 5.0 * r2 / 3.0) * std::exp(-r);
+}
+
+Vector Matern52Kernel::GetLogParams() const {
+  Vector out;
+  out.reserve(1 + lengthscales_.size());
+  out.push_back(std::log(amplitude_sq_));
+  for (double ls : lengthscales_) out.push_back(std::log(ls));
+  return out;
+}
+
+void Matern52Kernel::SetLogParams(const Vector& log_params) {
+  assert(log_params.size() == 1 + lengthscales_.size());
+  amplitude_sq_ = std::exp(log_params[0]);
+  for (size_t i = 0; i < lengthscales_.size(); ++i) {
+    lengthscales_[i] = std::exp(log_params[i + 1]);
+  }
+}
+
+std::unique_ptr<Kernel> Matern52Kernel::Clone() const {
+  return std::make_unique<Matern52Kernel>(*this);
+}
+
+SquaredExponentialKernel::SquaredExponentialKernel(size_t dim,
+                                                   double lengthscale,
+                                                   double amplitude_sq)
+    : amplitude_sq_(amplitude_sq), lengthscales_(dim, lengthscale) {}
+
+double SquaredExponentialKernel::Eval(const Vector& a, const Vector& b) const {
+  return amplitude_sq_ *
+         std::exp(-0.5 * ScaledSquaredDistance(a, b, lengthscales_));
+}
+
+Vector SquaredExponentialKernel::GetLogParams() const {
+  Vector out;
+  out.reserve(1 + lengthscales_.size());
+  out.push_back(std::log(amplitude_sq_));
+  for (double ls : lengthscales_) out.push_back(std::log(ls));
+  return out;
+}
+
+void SquaredExponentialKernel::SetLogParams(const Vector& log_params) {
+  assert(log_params.size() == 1 + lengthscales_.size());
+  amplitude_sq_ = std::exp(log_params[0]);
+  for (size_t i = 0; i < lengthscales_.size(); ++i) {
+    lengthscales_[i] = std::exp(log_params[i + 1]);
+  }
+}
+
+std::unique_ptr<Kernel> SquaredExponentialKernel::Clone() const {
+  return std::make_unique<SquaredExponentialKernel>(*this);
+}
+
+}  // namespace restune

@@ -1,0 +1,60 @@
+#include "gp/multi_output_gp.h"
+
+namespace restune {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kRes:
+      return "res";
+    case MetricKind::kTps:
+      return "tps";
+    case MetricKind::kLat:
+      return "lat";
+  }
+  return "?";
+}
+
+MultiOutputGp::MultiOutputGp(size_t dim, GpOptions options)
+    : models_{GpModel(dim, options), GpModel(dim, options),
+              GpModel(dim, options)} {}
+
+Status MultiOutputGp::Fit(const std::vector<Observation>& observations) {
+  if (observations.empty()) {
+    return Status::InvalidArgument("no observations to fit");
+  }
+  Matrix x(observations.size(), observations[0].theta.size());
+  for (size_t r = 0; r < observations.size(); ++r) {
+    for (size_t c = 0; c < observations[r].theta.size(); ++c) {
+      x(r, c) = observations[r].theta[c];
+    }
+  }
+  for (MetricKind kind : kAllMetricKinds) {
+    Vector y(observations.size());
+    for (size_t r = 0; r < observations.size(); ++r) {
+      y[r] = observations[r].metric(kind);
+    }
+    RESTUNE_RETURN_IF_ERROR(model(kind).Fit(x, y));
+  }
+  return Status::OK();
+}
+
+Status MultiOutputGp::Update(const Observation& observation) {
+  for (MetricKind kind : kAllMetricKinds) {
+    RESTUNE_RETURN_IF_ERROR(
+        model(kind).Update(observation.theta, observation.metric(kind)));
+  }
+  return Status::OK();
+}
+
+bool MultiOutputGp::fitted() const { return models_[0].fitted(); }
+
+GpPrediction MultiOutputGp::Predict(MetricKind kind,
+                                    const Vector& theta) const {
+  return model(kind).Predict(theta);
+}
+
+double MultiOutputGp::PredictMean(MetricKind kind, const Vector& theta) const {
+  return model(kind).PredictMean(theta);
+}
+
+}  // namespace restune

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/status.h"
+#include "gp/gp_model.h"
+#include "gp/observation.h"
+
+namespace restune {
+
+/// Three conditionally independent GPs over the same configurations — one
+/// per metric (res/tps/lat) — exactly the paper's multi-output surrogate
+/// (Section 5.1). Base-learners in the meta-learning ensemble and the target
+/// surrogate in plain CBO are both instances of this class.
+class MultiOutputGp {
+ public:
+  explicit MultiOutputGp(size_t dim, GpOptions options = {});
+
+  /// Assembles from three already-fitted per-metric models (order:
+  /// res, tps, lat) — used when loading serialized models.
+  explicit MultiOutputGp(std::array<GpModel, kNumMetricKinds> models)
+      : models_(std::move(models)) {}
+
+  /// Replaces the training data with `observations` and fits all three GPs.
+  Status Fit(const std::vector<Observation>& observations);
+
+  /// Appends one observation to all three GPs.
+  Status Update(const Observation& observation);
+
+  bool fitted() const;
+  size_t dim() const { return models_[0].dim(); }
+  size_t num_observations() const { return models_[0].num_observations(); }
+
+  GpPrediction Predict(MetricKind kind, const Vector& theta) const;
+  double PredictMean(MetricKind kind, const Vector& theta) const;
+
+  GpModel& model(MetricKind kind) { return models_[static_cast<size_t>(kind)]; }
+  const GpModel& model(MetricKind kind) const {
+    return models_[static_cast<size_t>(kind)];
+  }
+
+ private:
+  std::array<GpModel, kNumMetricKinds> models_;
+};
+
+}  // namespace restune

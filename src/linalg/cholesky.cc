@@ -1,0 +1,96 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace restune {
+
+Result<Cholesky> Cholesky::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    const double* lj = l.RowPtr(j);
+    for (size_t k = 0; k < j; ++k) diag -= lj[k] * lj[k];
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError(StringPrintf(
+          "matrix not positive definite at pivot %zu (value %g)", j, diag));
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      const double* li = l.RowPtr(i);
+      for (size_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
+      l(i, j) = sum / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Result<Cholesky> Cholesky::FactorWithJitter(Matrix a, double jitter,
+                                            int max_attempts) {
+  Result<Cholesky> result = Factor(a);
+  double added = 0.0;
+  for (int attempt = 0; !result.ok() && attempt < max_attempts; ++attempt) {
+    const double delta = jitter - added;
+    a.AddToDiagonal(delta);
+    added = jitter;
+    jitter *= 10.0;
+    result = Factor(a);
+  }
+  return result;
+}
+
+Vector Cholesky::SolveLower(const Vector& b) const {
+  const size_t n = size();
+  assert(b.size() == n);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* li = l_.RowPtr(i);
+    for (size_t k = 0; k < i; ++k) sum -= li[k] * y[k];
+    y[i] = sum / li[i];
+  }
+  return y;
+}
+
+Vector Cholesky::SolveLowerTranspose(const Vector& b) const {
+  const size_t n = size();
+  assert(b.size() == n);
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  return SolveLowerTranspose(SolveLower(b));
+}
+
+Matrix Cholesky::Solve(const Matrix& b) const {
+  assert(b.rows() == size());
+  Matrix out(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    const Vector x = Solve(b.Col(c));
+    for (size_t r = 0; r < b.rows(); ++r) out(r, c) = x[r];
+  }
+  return out;
+}
+
+double Cholesky::LogDeterminant() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < size(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+Matrix Cholesky::Inverse() const { return Solve(Matrix::Identity(size())); }
+
+}  // namespace restune

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace restune {
+
+/// Cholesky factorization L L^T = A of a symmetric positive-definite matrix,
+/// plus the triangular solves that Gaussian-process regression needs.
+///
+/// The GP code paths are: factorize K + sigma^2 I once per fit, then solve
+/// L y = k(x) per prediction. Factorization failure (a non-PD kernel matrix)
+/// is a recoverable condition — the caller retries with more jitter — so it
+/// is reported via Result rather than asserted.
+class Cholesky {
+ public:
+  /// Factorizes `a` (only the lower triangle is read). Returns
+  /// kNumericalError if the matrix is not positive definite.
+  static Result<Cholesky> Factor(const Matrix& a);
+
+  /// Factorizes `a + jitter*I`, escalating the jitter by 10x up to
+  /// `max_attempts` times. This mirrors the standard GP trick for kernel
+  /// matrices that are PSD only up to rounding.
+  static Result<Cholesky> FactorWithJitter(Matrix a, double jitter = 1e-10,
+                                           int max_attempts = 8);
+
+  size_t size() const { return l_.rows(); }
+  const Matrix& lower() const { return l_; }
+
+  /// Solves A x = b via forward+back substitution.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves L y = b (forward substitution only).
+  Vector SolveLower(const Vector& b) const;
+
+  /// Solves L^T x = b (back substitution only).
+  Vector SolveLowerTranspose(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix Solve(const Matrix& b) const;
+
+  /// log det(A) = 2 * sum_i log L_ii. Needed by the GP marginal likelihood.
+  double LogDeterminant() const;
+
+  /// The inverse A^{-1}, computed by solving against the identity. Used by
+  /// the fast leave-one-out formulas.
+  Matrix Inverse() const;
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace restune

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace restune {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+///
+/// The library's GP and RL code only needs dense linear algebra at modest
+/// sizes (hundreds of rows: a GP over a few hundred observations, MLP layers
+/// of a few hundred units), so a simple contiguous row-major store with
+/// cache-friendly loops is both sufficient and easy to audit.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a `rows` x `cols` matrix filled with `init`.
+  Matrix(size_t rows, size_t cols, double init = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  /// Creates a matrix from nested initializer data; all rows must have the
+  /// same length.
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw pointer to row `r` (contiguous `cols()` doubles).
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row `r` into a Vector.
+  Vector Row(size_t r) const;
+
+  /// Copies column `c` into a Vector.
+  Vector Col(size_t c) const;
+
+  Matrix Transpose() const;
+
+  /// Matrix product; requires this->cols() == rhs.rows().
+  Matrix Multiply(const Matrix& rhs) const;
+
+  /// Matrix-vector product; requires cols() == v.size().
+  Vector Multiply(const Vector& v) const;
+
+  /// Element-wise addition; shapes must match.
+  Matrix Add(const Matrix& rhs) const;
+
+  /// Scales every element by `s`.
+  Matrix Scale(double s) const;
+
+  /// Adds `value` to every diagonal element (jitter / ridge).
+  void AddToDiagonal(double value);
+
+  /// Human-readable dump for debugging.
+  std::string ToString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product; sizes must match.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm(const Vector& a);
+
+/// Squared Euclidean distance between two equally sized vectors.
+double SquaredDistance(const Vector& a, const Vector& b);
+
+/// a + s * b, element-wise; sizes must match.
+Vector Axpy(const Vector& a, double s, const Vector& b);
+
+}  // namespace restune

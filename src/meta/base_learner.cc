@@ -1,0 +1,45 @@
+#include "meta/base_learner.h"
+
+namespace restune {
+
+GpOptions BaseLearner::DefaultGpOptions() {
+  GpOptions options;
+  options.normalize_y = false;  // inputs are pre-standardized per task
+  options.optimize_hyperparams = true;
+  options.hyperopt_max_iters = 50;
+  options.hyperopt_restarts = 1;
+  return options;
+}
+
+Result<BaseLearner> BaseLearner::Train(const TuningTask& task,
+                                       GpOptions gp_options) {
+  if (task.observations.empty()) {
+    return Status::InvalidArgument("task '" + task.name +
+                                   "' has no observations");
+  }
+  BaseLearner learner;
+  learner.name_ = task.name;
+  learner.meta_feature_ = task.meta_feature;
+  learner.standardizer_ =
+      MetricStandardizer::FromObservations(task.observations);
+
+  std::vector<Observation> standardized;
+  standardized.reserve(task.observations.size());
+  for (const Observation& obs : task.observations) {
+    standardized.push_back(learner.standardizer_.Standardize(obs));
+  }
+  learner.gp_ = std::make_shared<MultiOutputGp>(
+      task.observations[0].theta.size(), gp_options);
+  RESTUNE_RETURN_IF_ERROR(learner.gp_->Fit(standardized));
+  return learner;
+}
+
+GpPrediction BaseLearner::Predict(MetricKind kind, const Vector& theta) const {
+  return gp_->Predict(kind, theta);
+}
+
+double BaseLearner::PredictMean(MetricKind kind, const Vector& theta) const {
+  return gp_->PredictMean(kind, theta);
+}
+
+}  // namespace restune

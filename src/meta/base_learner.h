@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gp/multi_output_gp.h"
+#include "meta/standardizer.h"
+#include "meta/task.h"
+
+namespace restune {
+
+/// A historical base-learner: a multi-output GP fitted on one task's
+/// *standardized* observations (scale unification, Section 6.1). Its
+/// predictions are relative values — meaningful for ranking and for the
+/// weighted ensemble mean, not as absolute metrics.
+class BaseLearner {
+ public:
+  /// Trains a base-learner from a task's raw observation history.
+  /// Hyper-parameters are optimized once here; the learner is immutable
+  /// afterwards, which is what makes the repository cheap to reuse.
+  static Result<BaseLearner> Train(const TuningTask& task,
+                                   GpOptions gp_options = DefaultGpOptions());
+
+  /// GP options suitable for one-shot base-learner training.
+  static GpOptions DefaultGpOptions();
+
+  /// Posterior in standardized units.
+  GpPrediction Predict(MetricKind kind, const Vector& theta) const;
+
+  /// Mean-only fast path (O(n·d)) — all the ensemble mean needs (Eq. 7
+  /// discards base-learner variances).
+  double PredictMean(MetricKind kind, const Vector& theta) const;
+
+  const std::string& name() const { return name_; }
+  const Vector& meta_feature() const { return meta_feature_; }
+  const MetricStandardizer& standardizer() const { return standardizer_; }
+  size_t num_observations() const { return gp_->num_observations(); }
+  size_t dim() const { return gp_->dim(); }
+
+ private:
+  BaseLearner() = default;
+
+  std::string name_;
+  Vector meta_feature_;
+  MetricStandardizer standardizer_;
+  std::shared_ptr<MultiOutputGp> gp_;  // shared: learners are copied around
+};
+
+}  // namespace restune

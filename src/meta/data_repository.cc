@@ -1,0 +1,170 @@
+#include "meta/data_repository.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace restune {
+
+Status DataRepository::AddTask(TuningTask task) {
+  if (task.name.empty()) {
+    return Status::InvalidArgument("task must have a name");
+  }
+  if (task.observations.empty()) {
+    return Status::InvalidArgument("task '" + task.name +
+                                   "' has no observations");
+  }
+  tasks_.push_back(std::move(task));
+  return Status::OK();
+}
+
+std::vector<BaseLearner> DataRepository::TrainBaseLearners(
+    const std::function<bool(const TuningTask&)>& keep) const {
+  std::vector<BaseLearner> learners;
+  for (const TuningTask& task : tasks_) {
+    if (!keep(task)) continue;
+    Result<BaseLearner> learner = BaseLearner::Train(task);
+    if (!learner.ok()) {
+      RESTUNE_LOG(kWarning) << "skipping base-learner for task '" << task.name
+                            << "': " << learner.status().ToString();
+      continue;
+    }
+    learners.push_back(std::move(learner).value());
+  }
+  return learners;
+}
+
+std::vector<BaseLearner> DataRepository::TrainAllBaseLearners() const {
+  return TrainBaseLearners([](const TuningTask&) { return true; });
+}
+
+std::vector<BaseLearner> DataRepository::TrainHoldOutWorkload(
+    const std::string& workload) const {
+  return TrainBaseLearners(
+      [&](const TuningTask& t) { return t.workload != workload; });
+}
+
+std::vector<BaseLearner> DataRepository::TrainHoldOutHardware(
+    const std::string& hardware) const {
+  return TrainBaseLearners(
+      [&](const TuningTask& t) { return t.hardware != hardware; });
+}
+
+size_t DataRepository::Compact(size_t max_observations_per_task) {
+  std::vector<TuningTask> merged;
+  size_t removed = 0;
+  for (TuningTask& task : tasks_) {
+    TuningTask* existing = nullptr;
+    for (TuningTask& m : merged) {
+      if (m.name == task.name) {
+        existing = &m;
+        break;
+      }
+    }
+    if (existing != nullptr) {
+      existing->observations.insert(existing->observations.end(),
+                                    task.observations.begin(),
+                                    task.observations.end());
+      // The freshest meta-feature wins (characterizer may have improved).
+      if (!task.meta_feature.empty()) {
+        existing->meta_feature = std::move(task.meta_feature);
+      }
+      ++removed;
+    } else {
+      merged.push_back(std::move(task));
+    }
+  }
+  // Subsample oversized histories with a uniform stride, keeping endpoints.
+  for (TuningTask& task : merged) {
+    if (max_observations_per_task == 0 ||
+        task.observations.size() <= max_observations_per_task) {
+      continue;
+    }
+    std::vector<Observation> kept;
+    kept.reserve(max_observations_per_task);
+    const double stride = static_cast<double>(task.observations.size()) /
+                          static_cast<double>(max_observations_per_task);
+    for (size_t k = 0; k < max_observations_per_task; ++k) {
+      kept.push_back(
+          task.observations[static_cast<size_t>(k * stride)]);
+    }
+    task.observations = std::move(kept);
+  }
+  tasks_ = std::move(merged);
+  return removed;
+}
+
+Status DataRepository::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.precision(17);  // round-trip doubles exactly
+  for (const TuningTask& task : tasks_) {
+    out << "task " << task.name << " " << task.hardware << " "
+        << task.workload << "\n";
+    out << "meta";
+    for (double v : task.meta_feature) out << " " << v;
+    out << "\n";
+    for (const Observation& obs : task.observations) {
+      out << "obs";
+      for (double v : obs.theta) out << " " << v;
+      out << " | " << obs.res << " " << obs.tps << " " << obs.lat << "\n";
+    }
+    out << "end\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::IoError("write to '" + path + "' failed");
+}
+
+Status DataRepository::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::string line;
+  TuningTask current;
+  bool in_task = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag.empty()) continue;
+    if (tag == "task") {
+      if (in_task) {
+        return Status::IoError(
+            StringPrintf("line %zu: nested task record", line_no));
+      }
+      current = TuningTask{};
+      ls >> current.name >> current.hardware >> current.workload;
+      in_task = true;
+    } else if (tag == "meta") {
+      double v;
+      while (ls >> v) current.meta_feature.push_back(v);
+    } else if (tag == "obs") {
+      Observation obs;
+      std::string tok;
+      while (ls >> tok && tok != "|") obs.theta.push_back(std::stod(tok));
+      if (tok != "|" || !(ls >> obs.res >> obs.tps >> obs.lat)) {
+        return Status::IoError(
+            StringPrintf("line %zu: malformed observation", line_no));
+      }
+      current.observations.push_back(std::move(obs));
+    } else if (tag == "end") {
+      if (!in_task) {
+        return Status::IoError(
+            StringPrintf("line %zu: 'end' without 'task'", line_no));
+      }
+      RESTUNE_RETURN_IF_ERROR(AddTask(std::move(current)));
+      in_task = false;
+    } else {
+      return Status::IoError(
+          StringPrintf("line %zu: unknown record '%s'", line_no, tag.c_str()));
+    }
+  }
+  if (in_task) return Status::IoError("truncated file: task without 'end'");
+  return Status::OK();
+}
+
+}  // namespace restune

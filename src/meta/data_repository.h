@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "meta/base_learner.h"
+#include "meta/task.h"
+
+namespace restune {
+
+/// The backend store of historical tuning meta-data (paper Section 4,
+/// "Data Repository"): one `TuningTask` per past tuning run, from which
+/// base-learners are trained on demand and cached.
+///
+/// Supports the paper's three evaluation settings via filtered views:
+/// * original         — every task;
+/// * varying workload — hold out tasks of the target workload;
+/// * varying hardware — hold out tasks from the target's instance type.
+class DataRepository {
+ public:
+  DataRepository() = default;
+
+  /// Registers one finished tuning task's meta-data.
+  Status AddTask(TuningTask task);
+
+  size_t num_tasks() const { return tasks_.size(); }
+  const std::vector<TuningTask>& tasks() const { return tasks_; }
+
+  /// Trains (and caches) base-learners for the tasks selected by `keep`.
+  /// Training failures for individual tasks are skipped with a warning —
+  /// a corrupt history must not block tuning.
+  std::vector<BaseLearner> TrainBaseLearners(
+      const std::function<bool(const TuningTask&)>& keep) const;
+
+  /// All tasks (the paper's original setting).
+  std::vector<BaseLearner> TrainAllBaseLearners() const;
+
+  /// Hold out tasks whose workload equals `workload` (varying workloads).
+  std::vector<BaseLearner> TrainHoldOutWorkload(
+      const std::string& workload) const;
+
+  /// Hold out tasks whose hardware equals `hardware` (varying hardware).
+  std::vector<BaseLearner> TrainHoldOutHardware(
+      const std::string& hardware) const;
+
+  /// Repository maintenance: merges tasks with the same name (later
+  /// observations appended to the first occurrence) and subsamples any task
+  /// above `max_observations_per_task` by uniform striding. Returns the
+  /// number of tasks removed by merging. Call periodically in a long-lived
+  /// server so repeated sessions on the same workload do not bloat the
+  /// store or skew the ensemble toward duplicated learners.
+  size_t Compact(size_t max_observations_per_task = 400);
+
+  /// Serializes all tasks to a line-oriented text file.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads tasks previously written by `SaveToFile` (appends to the
+  /// current contents).
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<TuningTask> tasks_;
+};
+
+}  // namespace restune

@@ -1,0 +1,68 @@
+#include "meta/meta_feature.h"
+
+#include <algorithm>
+
+#include "ml/sql_tokens.h"
+
+namespace restune {
+
+WorkloadCharacterizer::WorkloadCharacterizer(CharacterizerOptions options)
+    : options_(options), forest_(options.forest) {}
+
+Status WorkloadCharacterizer::Train(
+    const std::vector<std::pair<std::string, double>>& labeled) {
+  if (labeled.empty()) {
+    return Status::InvalidArgument("no labeled queries to train on");
+  }
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(labeled.size());
+  min_cost_ = labeled[0].second;
+  max_cost_ = labeled[0].second;
+  for (const auto& [sql, cost] : labeled) {
+    docs.push_back(ExtractReservedWords(sql));
+    min_cost_ = std::min(min_cost_, cost);
+    max_cost_ = std::max(max_cost_, cost);
+  }
+  if (max_cost_ <= min_cost_) max_cost_ = min_cost_ * 2.0 + 1.0;
+  RESTUNE_RETURN_IF_ERROR(vectorizer_.Fit(docs));
+
+  Matrix x(docs.size(), vectorizer_.vocabulary_size());
+  std::vector<int> y(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const Vector v = vectorizer_.Transform(docs[i]);
+    for (size_t c = 0; c < v.size(); ++c) x(i, c) = v[c];
+    y[i] = LogCostClass(labeled[i].second, min_cost_, max_cost_,
+                        options_.num_cost_classes);
+  }
+  return forest_.Fit(x, y, options_.num_cost_classes);
+}
+
+Result<Vector> WorkloadCharacterizer::ClassifyQuery(
+    const std::string& query) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("characterizer is not trained");
+  }
+  return forest_.PredictProba(
+      vectorizer_.Transform(ExtractReservedWords(query)));
+}
+
+Result<Vector> WorkloadCharacterizer::MetaFeature(
+    const std::vector<std::string>& queries) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("characterizer is not trained");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("no queries to characterize");
+  }
+  Vector mean(options_.num_cost_classes, 0.0);
+  for (const std::string& q : queries) {
+    const Vector proba = forest_.PredictProba(
+        vectorizer_.Transform(ExtractReservedWords(q)));
+    for (size_t c = 0; c < mean.size(); ++c) mean[c] += proba[c];
+  }
+  const double inv = 1.0 / static_cast<double>(queries.size());
+  for (double& v : mean) v *= inv;
+  return mean;
+}
+
+}  // namespace restune

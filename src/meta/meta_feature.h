@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "ml/random_forest.h"
+#include "ml/tfidf.h"
+
+namespace restune {
+
+/// Options for the workload characterization pipeline.
+struct CharacterizerOptions {
+  /// Number of log-spaced resource-cost classes the forest predicts; this
+  /// is also the meta-feature dimensionality.
+  int num_cost_classes = 8;
+  RandomForestOptions forest;
+};
+
+/// Workload characterization (paper Section 6.2): SQL reserved words →
+/// TF-IDF → random-forest cost classification → averaged class distribution
+/// as the workload's meta-feature embedding.
+class WorkloadCharacterizer {
+ public:
+  explicit WorkloadCharacterizer(CharacterizerOptions options = {});
+
+  /// Trains the TF-IDF vocabulary and the cost classifier from labeled
+  /// queries: (SQL text, relative resource cost). Cost labels are
+  /// log-bucketed to tame their skew before classification.
+  Status Train(const std::vector<std::pair<std::string, double>>& labeled);
+
+  /// Meta-feature for a workload: the mean predicted cost-class
+  /// distribution over its queries.
+  Result<Vector> MetaFeature(const std::vector<std::string>& queries) const;
+
+  /// Predicted cost-class distribution for one query.
+  Result<Vector> ClassifyQuery(const std::string& query) const;
+
+  bool trained() const { return forest_.fitted(); }
+  int num_cost_classes() const { return options_.num_cost_classes; }
+  double oob_accuracy() const { return forest_.oob_accuracy(); }
+
+ private:
+  CharacterizerOptions options_;
+  TfIdfVectorizer vectorizer_;
+  RandomForest forest_;
+  double min_cost_ = 1.0;
+  double max_cost_ = 1.0;
+};
+
+}  // namespace restune

@@ -1,0 +1,288 @@
+#include "meta/meta_learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/matrix.h"
+
+namespace restune {
+
+double EpanechnikovKernel(double t) {
+  if (t > 1.0 || t < -1.0) return 0.0;
+  return 0.75 * (1.0 - t * t);
+}
+
+MetaLearner::MetaLearner(size_t dim, std::vector<BaseLearner> base_learners,
+                         Vector target_meta_feature, MetaLearnerOptions options)
+    : dim_(dim),
+      bases_(std::move(base_learners)),
+      target_meta_feature_(std::move(target_meta_feature)),
+      options_(options),
+      rng_(options.seed),
+      base_pred_cache_(bases_.size()) {
+  GpOptions target_options = options_.target_gp;
+  target_options.normalize_y = false;  // we standardize the history ourselves
+  target_options.seed = options.seed ^ 0x5bd1e995;
+  target_gp_ = std::make_unique<MultiOutputGp>(dim_, target_options);
+  RecomputeWeights();
+}
+
+bool MetaLearner::in_static_phase() const {
+  return static_cast<int>(target_raw_.size()) <
+         options_.static_weight_iterations;
+}
+
+Status MetaLearner::RefitTargetGp() {
+  target_standardizer_ = MetricStandardizer::FromObservations(target_raw_);
+  std::vector<Observation> standardized;
+  standardized.reserve(target_raw_.size());
+  for (const Observation& obs : target_raw_) {
+    standardized.push_back(target_standardizer_.Standardize(obs));
+  }
+  return target_gp_->Fit(standardized);
+}
+
+Status MetaLearner::AddObservation(const Observation& raw_observation) {
+  if (raw_observation.theta.size() != dim_) {
+    return Status::InvalidArgument("observation dimension mismatch");
+  }
+  target_raw_.push_back(raw_observation);
+  RESTUNE_RETURN_IF_ERROR(RefitTargetGp());
+
+  // Extend each base learner's prediction cache with the new point.
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    LearnerPrediction pred;
+    for (MetricKind kind : kAllMetricKinds) {
+      pred.by_metric[static_cast<size_t>(kind)] =
+          bases_[i].Predict(kind, raw_observation.theta);
+    }
+    base_pred_cache_[i].push_back(pred);
+  }
+  RecomputeWeights();
+  return Status::OK();
+}
+
+std::vector<double> MetaLearner::StaticWeights() const {
+  std::vector<double> w(bases_.size() + 1, 0.0);
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    const Vector& m = bases_[i].meta_feature();
+    double dist = 0.0;
+    if (m.size() == target_meta_feature_.size() && !m.empty()) {
+      dist = std::sqrt(SquaredDistance(m, target_meta_feature_));
+    } else {
+      dist = 2.0 * options_.bandwidth;  // incomparable -> outside support
+    }
+    w[i] = EpanechnikovKernel(dist / options_.bandwidth);
+  }
+  // The target learner joins the static ensemble once it has data; its
+  // meta-feature distance to itself is zero.
+  if (target_gp_->fitted()) w.back() = EpanechnikovKernel(0.0);
+  return w;
+}
+
+std::vector<std::vector<double>> MetaLearner::SampleRankingLosses() {
+  const size_t total = target_raw_.size();
+  const size_t num_learners = bases_.size() + 1;
+  const int samples = options_.ranking_loss_samples;
+
+  // Subsample the target points entering the O(n²) pair scan when the
+  // history is long.
+  std::vector<size_t> points(total);
+  for (size_t j = 0; j < total; ++j) points[j] = j;
+  if (options_.ranking_loss_max_points > 0 &&
+      total > static_cast<size_t>(options_.ranking_loss_max_points)) {
+    rng_.Shuffle(&points);
+    points.resize(static_cast<size_t>(options_.ranking_loss_max_points));
+  }
+  const size_t n = points.size();
+
+  // Target ground truth per metric.
+  std::array<std::vector<double>, kNumMetricKinds> truth;
+  for (MetricKind kind : kAllMetricKinds) {
+    auto& t = truth[static_cast<size_t>(kind)];
+    t.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+      t[j] = target_raw_[points[j]].metric(kind);
+    }
+  }
+
+  // Leave-one-out posterior for the target learner (Section 6.4.2).
+  std::array<std::vector<GpPrediction>, kNumMetricKinds> target_loo;
+  for (MetricKind kind : kAllMetricKinds) {
+    target_loo[static_cast<size_t>(kind)] =
+        target_gp_->model(kind).LeaveOneOutPredictions();
+  }
+
+  std::vector<std::vector<double>> losses(
+      samples, std::vector<double>(num_learners, 0.0));
+  std::vector<double> draw(n);
+  for (int s = 0; s < samples; ++s) {
+    for (size_t i = 0; i < num_learners; ++i) {
+      double loss = 0.0;
+      for (MetricKind kind : kAllMetricKinds) {
+        const size_t u = static_cast<size_t>(kind);
+        for (size_t j = 0; j < n; ++j) {
+          const GpPrediction& p =
+              i < bases_.size()
+                  ? base_pred_cache_[i][points[j]].by_metric[u]
+                  : target_loo[u][points[j]];
+          draw[j] = rng_.Gaussian(p.mean, p.stddev());
+        }
+        for (size_t j = 0; j < n; ++j) {
+          for (size_t k = j + 1; k < n; ++k) {
+            const bool pred_order = draw[j] <= draw[k];
+            const bool true_order = truth[u][j] <= truth[u][k];
+            if (pred_order != true_order) loss += 1.0;
+          }
+        }
+      }
+      losses[s][i] = loss;
+    }
+  }
+  // Normalize to the fraction of misranked pairs so results are comparable
+  // across subsample sizes (and directly reportable as Table 5's row).
+  const double pairs =
+      0.5 * static_cast<double>(n) * static_cast<double>(n - 1) *
+      static_cast<double>(kNumMetricKinds);
+  if (pairs > 0) {
+    for (auto& row : losses) {
+      for (double& v : row) v /= pairs;
+    }
+  }
+  return losses;
+}
+
+std::vector<double> MetaLearner::DynamicWeights() {
+  const size_t n = target_raw_.size();
+  const size_t num_learners = bases_.size() + 1;
+  std::vector<double> w(num_learners, 0.0);
+  if (n < 2 || !target_gp_->fitted()) {
+    w.back() = 1.0;
+    return w;
+  }
+
+  const std::vector<std::vector<double>> losses = SampleRankingLosses();
+
+  // Each learner is weighted by the probability that it attains the lowest
+  // sampled ranking loss; ties share the win. Under the dilution guard a
+  // historical learner that misranks at least half the pairs (no better
+  // than random) is ineligible in that sample.
+  auto eligible = [&](const std::vector<double>& row, size_t i) {
+    if (!options_.prune_worse_than_random) return true;
+    if (i + 1 == row.size()) return true;  // the target is always eligible
+    return row[i] < 0.5;
+  };
+  for (const std::vector<double>& row : losses) {
+    double best = row.back();
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (eligible(row, i)) best = std::min(best, row[i]);
+    }
+    size_t num_best = 0;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (eligible(row, i) && row[i] <= best + 1e-12) ++num_best;
+    }
+    const double share = 1.0 / static_cast<double>(std::max<size_t>(1, num_best));
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (eligible(row, i) && row[i] <= best + 1e-12) w[i] += share;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(losses.size());
+  for (double& v : w) v *= inv;
+
+  // Record mean loss fractions for introspection (Table 5); losses are
+  // already normalized to misranked-pair fractions.
+  last_loss_fractions_.assign(num_learners, 0.0);
+  for (const std::vector<double>& row : losses) {
+    for (size_t i = 0; i < num_learners; ++i) {
+      last_loss_fractions_[i] += row[i];
+    }
+  }
+  for (double& v : last_loss_fractions_) {
+    v /= static_cast<double>(losses.size());
+  }
+  return w;
+}
+
+void MetaLearner::RecomputeWeights() {
+  std::vector<double> w =
+      in_static_phase() ? StaticWeights() : DynamicWeights();
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  if (sum < 1e-12) {
+    // No comparable history and no target data yet: fall back to a uniform
+    // ensemble so the surrogate is still defined.
+    std::fill(w.begin(), w.end(), 1.0);
+    if (!target_gp_->fitted()) w.back() = 0.0;
+    sum = 0.0;
+    for (double v : w) sum += v;
+    if (sum < 1e-12) {
+      w.assign(w.size(), 0.0);
+      weights_ = std::move(w);
+      return;
+    }
+  }
+  for (double& v : w) v /= sum;
+  weights_ = std::move(w);
+}
+
+GpPrediction MetaLearner::PredictMetric(MetricKind kind,
+                                        const Vector& theta) const {
+  // Weighted ensemble mean (Eq. 6).
+  double mean = 0.0;
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    if (weights_[i] <= 0.0) continue;
+    mean += weights_[i] * bases_[i].PredictMean(kind, theta);
+    weight_sum += weights_[i];
+  }
+  GpPrediction target_pred{0.0, 1.0};
+  const bool target_fitted = target_gp_->fitted();
+  if (target_fitted) {
+    target_pred = target_gp_->Predict(kind, theta);
+    if (weights_.back() > 0.0) {
+      mean += weights_.back() * target_pred.mean;
+      weight_sum += weights_.back();
+    }
+  }
+  mean = weight_sum > 1e-12 ? mean / weight_sum : 0.0;
+
+  // Variance from the target learner only (Eq. 7). Before the target GP
+  // exists (or under the ablation flag) fall back to the weighted average
+  // of base-learner variances so the acquisition is still informative.
+  double variance;
+  if (options_.target_variance_only && target_fitted) {
+    variance = target_pred.variance;
+  } else {
+    double var_acc = 0.0, var_w = 0.0;
+    for (size_t i = 0; i < bases_.size(); ++i) {
+      if (weights_[i] <= 0.0) continue;
+      var_acc += weights_[i] * bases_[i].Predict(kind, theta).variance;
+      var_w += weights_[i];
+    }
+    if (target_fitted && weights_.back() > 0.0) {
+      var_acc += weights_.back() * target_pred.variance;
+      var_w += weights_.back();
+    }
+    variance = var_w > 1e-12 ? var_acc / var_w : 1.0;
+  }
+  return {mean, std::max(variance, 1e-12)};
+}
+
+double MetaLearner::RescaledThreshold(MetricKind kind,
+                                      const Vector& default_theta) const {
+  return PredictMetric(kind, default_theta).mean;
+}
+
+double MetaLearner::StandardizeTargetMetric(MetricKind kind,
+                                            double raw_value) const {
+  if (target_raw_.size() < 2) return raw_value;
+  return target_standardizer_.Standardize(kind, raw_value);
+}
+
+std::vector<double> MetaLearner::MeanRankingLossFractions() const {
+  if (last_loss_fractions_.empty()) return {};
+  return std::vector<double>(last_loss_fractions_.begin(),
+                             last_loss_fractions_.end() - 1);
+}
+
+}  // namespace restune

@@ -1,0 +1,42 @@
+#include "meta/standardizer.h"
+
+#include "common/stats.h"
+
+namespace restune {
+
+MetricStandardizer MetricStandardizer::FromObservations(
+    const std::vector<Observation>& observations) {
+  MetricStandardizer s;
+  for (MetricKind kind : kAllMetricKinds) {
+    std::vector<double> values;
+    values.reserve(observations.size());
+    for (const Observation& obs : observations) {
+      values.push_back(obs.metric(kind));
+    }
+    const size_t i = static_cast<size_t>(kind);
+    s.means_[i] = Mean(values);
+    const double sd = PopulationStdDev(values);
+    s.stds_[i] = sd > 1e-12 ? sd : 1.0;
+  }
+  return s;
+}
+
+double MetricStandardizer::Standardize(MetricKind kind, double value) const {
+  const size_t i = static_cast<size_t>(kind);
+  return (value - means_[i]) / stds_[i];
+}
+
+double MetricStandardizer::Destandardize(MetricKind kind, double value) const {
+  const size_t i = static_cast<size_t>(kind);
+  return value * stds_[i] + means_[i];
+}
+
+Observation MetricStandardizer::Standardize(const Observation& obs) const {
+  Observation out = obs;
+  for (MetricKind kind : kAllMetricKinds) {
+    out.metric(kind) = Standardize(kind, obs.metric(kind));
+  }
+  return out;
+}
+
+}  // namespace restune

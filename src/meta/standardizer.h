@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "gp/observation.h"
+
+namespace restune {
+
+/// Scale unification (paper Section 6.1): per-task standardization of each
+/// metric (res/tps/lat) to zero mean and unit standard deviation, so that
+/// observations from differently sized instances and workloads are
+/// comparable inside the ensemble.
+class MetricStandardizer {
+ public:
+  MetricStandardizer() = default;
+
+  /// Fits means and standard deviations from a task's observation history.
+  /// Degenerate (constant) metrics get std 1 so transforms stay finite.
+  static MetricStandardizer FromObservations(
+      const std::vector<Observation>& observations);
+
+  double Standardize(MetricKind kind, double value) const;
+  double Destandardize(MetricKind kind, double value) const;
+
+  /// Standardizes all three metrics of an observation (θ unchanged).
+  Observation Standardize(const Observation& obs) const;
+
+  double mean(MetricKind kind) const {
+    return means_[static_cast<size_t>(kind)];
+  }
+  double stddev(MetricKind kind) const {
+    return stds_[static_cast<size_t>(kind)];
+  }
+
+ private:
+  std::array<double, kNumMetricKinds> means_{0.0, 0.0, 0.0};
+  std::array<double, kNumMetricKinds> stds_{1.0, 1.0, 1.0};
+};
+
+}  // namespace restune

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gp/observation.h"
+
+namespace restune {
+
+/// The meta-data one historical tuning task contributes to the repository:
+/// identification, the workload meta-feature, and the raw observation
+/// history (paper Section 4, "Data Repository").
+struct TuningTask {
+  std::string name;
+  /// Instance label ('A'..'F') — lets experiments hold out tasks by
+  /// hardware (the paper's varying-hardware setting).
+  std::string hardware;
+  /// Workload name — lets experiments hold out tasks by workload (the
+  /// varying-workloads setting).
+  std::string workload;
+  /// Embedding from workload characterization (Section 6.2).
+  Vector meta_feature;
+  /// Raw (unstandardized) observation history.
+  std::vector<Observation> observations;
+};
+
+}  // namespace restune

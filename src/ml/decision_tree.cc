@@ -1,0 +1,159 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace restune {
+
+namespace {
+
+/// Gini impurity of a class-count histogram with `total` samples.
+double Gini(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) sum_sq += c * c;
+  return 1.0 - sum_sq / (total * total);
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const Matrix& x, const std::vector<int>& y,
+                         int num_classes,
+                         const std::vector<size_t>& sample_indices, Rng* rng,
+                         const DecisionTreeOptions& options) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("x rows and y size differ");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  if (sample_indices.empty()) {
+    return Status::InvalidArgument("empty sample set");
+  }
+  for (size_t idx : sample_indices) {
+    if (idx >= x.rows()) return Status::OutOfRange("sample index out of range");
+  }
+  nodes_.clear();
+  num_classes_ = num_classes;
+  std::vector<size_t> indices = sample_indices;
+  BuildNode(x, y, &indices, 0, indices.size(), 0, rng, options);
+  return Status::OK();
+}
+
+Vector DecisionTree::LeafDistribution(const std::vector<int>& y,
+                                      const std::vector<size_t>& indices,
+                                      size_t begin, size_t end) const {
+  Vector dist(num_classes_, 0.0);
+  for (size_t i = begin; i < end; ++i) dist[y[indices[i]]] += 1.0;
+  const double total = static_cast<double>(end - begin);
+  for (double& d : dist) d /= total;
+  return dist;
+}
+
+int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
+                            std::vector<size_t>* indices, size_t begin,
+                            size_t end, int depth, Rng* rng,
+                            const DecisionTreeOptions& options) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  const size_t n = end - begin;
+  std::vector<double> counts(num_classes_, 0.0);
+  for (size_t i = begin; i < end; ++i) counts[y[(*indices)[i]]] += 1.0;
+  const double parent_gini = Gini(counts, static_cast<double>(n));
+
+  const bool stop = depth >= options.max_depth ||
+                    n < static_cast<size_t>(options.min_samples_split) ||
+                    parent_gini <= 1e-12;
+  if (!stop) {
+    // Candidate feature subset.
+    const size_t num_features = x.cols();
+    size_t mtry = options.max_features > 0
+                      ? static_cast<size_t>(options.max_features)
+                      : static_cast<size_t>(
+                            std::max(1.0, std::floor(std::sqrt(
+                                              static_cast<double>(num_features)))));
+    mtry = std::min(mtry, num_features);
+    std::vector<size_t> features(num_features);
+    std::iota(features.begin(), features.end(), 0);
+    rng->Shuffle(&features);
+    features.resize(mtry);
+
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_impurity = parent_gini;
+
+    std::vector<std::pair<double, int>> values(n);
+    for (size_t f : features) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t row = (*indices)[begin + i];
+        values[i] = {x(row, f), y[row]};
+      }
+      std::sort(values.begin(), values.end());
+      // Sweep split positions, maintaining left/right class histograms.
+      std::vector<double> left_counts(num_classes_, 0.0);
+      std::vector<double> right_counts = counts;
+      for (size_t i = 0; i + 1 < n; ++i) {
+        left_counts[values[i].second] += 1.0;
+        right_counts[values[i].second] -= 1.0;
+        if (values[i].first == values[i + 1].first) continue;
+        const double n_left = static_cast<double>(i + 1);
+        const double n_right = static_cast<double>(n - i - 1);
+        if (n_left < options.min_samples_leaf ||
+            n_right < options.min_samples_leaf) {
+          continue;
+        }
+        const double impurity =
+            (n_left * Gini(left_counts, n_left) +
+             n_right * Gini(right_counts, n_right)) /
+            static_cast<double>(n);
+        if (impurity + 1e-12 < best_impurity) {
+          best_impurity = impurity;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (values[i].first + values[i + 1].first);
+        }
+      }
+    }
+
+    if (best_feature >= 0) {
+      // Partition indices in place around the threshold.
+      auto middle = std::partition(
+          indices->begin() + begin, indices->begin() + end,
+          [&](size_t row) { return x(row, best_feature) < best_threshold; });
+      const size_t split = static_cast<size_t>(middle - indices->begin());
+      if (split > begin && split < end) {
+        const int left = BuildNode(x, y, indices, begin, split, depth + 1,
+                                   rng, options);
+        const int right =
+            BuildNode(x, y, indices, split, end, depth + 1, rng, options);
+        nodes_[node_index].feature = best_feature;
+        nodes_[node_index].threshold = best_threshold;
+        nodes_[node_index].left = left;
+        nodes_[node_index].right = right;
+        return node_index;
+      }
+    }
+  }
+
+  nodes_[node_index].distribution = LeafDistribution(y, *indices, begin, end);
+  return node_index;
+}
+
+Vector DecisionTree::PredictProba(const Vector& features) const {
+  assert(fitted());
+  int node = 0;
+  while (!nodes_[node].IsLeaf()) {
+    const Node& n = nodes_[node];
+    node = features[n.feature] < n.threshold ? n.left : n.right;
+  }
+  return nodes_[node].distribution;
+}
+
+int DecisionTree::Predict(const Vector& features) const {
+  const Vector proba = PredictProba(features);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
+                          proba.begin());
+}
+
+}  // namespace restune

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace restune {
+
+/// Options shared by a single tree and the forest that bags it.
+struct DecisionTreeOptions {
+  int max_depth = 12;
+  int min_samples_leaf = 2;
+  int min_samples_split = 4;
+  /// Features considered per split; 0 means floor(sqrt(num_features)),
+  /// the random-forest default.
+  int max_features = 0;
+};
+
+/// CART classification tree with Gini impurity splits.
+///
+/// Kept deliberately simple: dense features, exhaustive threshold scan over
+/// sorted unique values per candidate feature, class-distribution leaves.
+/// This is the base learner of the random forest used to classify queries
+/// into resource-cost levels (paper Section 6.2, "Classification Model").
+class DecisionTree {
+ public:
+  /// Fits on rows of `x` with integer class labels in [0, num_classes).
+  /// `sample_indices` selects the (possibly repeated, for bagging) training
+  /// rows. `rng` drives the per-split feature subsampling.
+  Status Fit(const Matrix& x, const std::vector<int>& y, int num_classes,
+             const std::vector<size_t>& sample_indices, Rng* rng,
+             const DecisionTreeOptions& options = {});
+
+  /// Class-probability distribution at the leaf `features` reaches.
+  Vector PredictProba(const Vector& features) const;
+
+  /// argmax of PredictProba.
+  int Predict(const Vector& features) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  int num_classes() const { return num_classes_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Internal node: split on feature < threshold -> left else right.
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    // Leaf payload: normalized class distribution.
+    Vector distribution;
+    bool IsLeaf() const { return feature < 0; }
+  };
+
+  int BuildNode(const Matrix& x, const std::vector<int>& y,
+                std::vector<size_t>* indices, size_t begin, size_t end,
+                int depth, Rng* rng, const DecisionTreeOptions& options);
+  Vector LeafDistribution(const std::vector<int>& y,
+                          const std::vector<size_t>& indices, size_t begin,
+                          size_t end) const;
+
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+};
+
+}  // namespace restune

@@ -1,0 +1,83 @@
+#include "ml/sql_tokens.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace restune {
+
+namespace {
+
+const std::vector<std::string>& Dictionary() {
+  static const std::vector<std::string> kWords = {
+      // Statement verbs.
+      "SELECT", "INSERT", "UPDATE", "DELETE", "REPLACE", "BEGIN", "COMMIT",
+      "ROLLBACK", "CALL", "EXPLAIN",
+      // Clause structure.
+      "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "LIMIT", "OFFSET",
+      "INTO", "VALUES", "SET", "AS", "ON", "USING", "UNION", "ALL",
+      // Joins.
+      "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "STRAIGHT_JOIN",
+      // Predicates and operators.
+      "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL", "EXISTS",
+      // Aggregates and modifiers.
+      "DISTINCT", "COUNT", "SUM", "AVG", "MIN", "MAX",
+      // Ordering / locking.
+      "ASC", "DESC", "FOR", "SHARE", "LOCK",
+      // Conflict handling.
+      "DUPLICATE", "KEY", "IGNORE",
+  };
+  return kWords;
+}
+
+const std::unordered_set<std::string>& DictionarySet() {
+  static const std::unordered_set<std::string> kSet(Dictionary().begin(),
+                                                    Dictionary().end());
+  return kSet;
+}
+
+}  // namespace
+
+bool IsSqlReservedWord(const std::string& word) {
+  return DictionarySet().count(ToUpper(word)) > 0;
+}
+
+const std::vector<std::string>& SqlReservedWordDictionary() {
+  return Dictionary();
+}
+
+std::vector<std::string> ExtractReservedWords(const std::string& sql) {
+  std::vector<std::string> out;
+  std::string token;
+  auto flush = [&] {
+    if (!token.empty()) {
+      std::string upper = ToUpper(token);
+      if (DictionarySet().count(upper)) out.push_back(std::move(upper));
+      token.clear();
+    }
+  };
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
+    if (c == '\'' || c == '"') {
+      // Skip the quoted literal, honoring backslash escapes.
+      flush();
+      const char quote = c;
+      ++i;
+      while (i < sql.size() && sql[i] != quote) {
+        if (sql[i] == '\\') ++i;
+        ++i;
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      token.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace restune

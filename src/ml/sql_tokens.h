@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace restune {
+
+/// SQL reserved-word extraction for workload characterization
+/// (paper Section 6.2, "Feature Extraction").
+///
+/// Variable names and literals in SQL are unbounded, so the characterization
+/// pipeline keeps only reserved keywords — each keyword stands for a class
+/// of DBMS operation, the vocabulary stays small, and the features
+/// generalize across schemas.
+
+/// True if `word` (case-insensitive) is in the reserved-keyword dictionary.
+bool IsSqlReservedWord(const std::string& word);
+
+/// Tokenizes `sql` and returns the reserved words it contains, upper-cased,
+/// in order of appearance, with literals / identifiers / numbers dropped.
+/// String literals are skipped entirely so keywords inside quotes (e.g. a
+/// comment column containing "select") do not pollute the features.
+std::vector<std::string> ExtractReservedWords(const std::string& sql);
+
+/// The full keyword dictionary, for vocabulary-size checks in tests.
+const std::vector<std::string>& SqlReservedWordDictionary();
+
+}  // namespace restune

@@ -1,0 +1,63 @@
+#include "ml/tfidf.h"
+
+#include <cmath>
+#include <map>
+
+namespace restune {
+
+Status TfIdfVectorizer::Fit(
+    const std::vector<std::vector<std::string>>& documents) {
+  if (documents.empty()) {
+    return Status::InvalidArgument("no documents to fit TF-IDF on");
+  }
+  vocabulary_.clear();
+  // std::map gives a deterministic (sorted) vocabulary order regardless of
+  // insertion order, which keeps meta-features reproducible.
+  std::map<std::string, size_t> doc_freq;
+  for (const auto& doc : documents) {
+    std::map<std::string, bool> seen;
+    for (const auto& token : doc) {
+      if (!seen[token]) {
+        seen[token] = true;
+        ++doc_freq[token];
+      }
+    }
+  }
+  idf_.clear();
+  idf_.reserve(doc_freq.size());
+  const double n = static_cast<double>(documents.size());
+  for (const auto& [token, df] : doc_freq) {
+    vocabulary_.emplace(token, idf_.size());
+    idf_.push_back(std::log((1.0 + n) / (1.0 + static_cast<double>(df))) +
+                   1.0);
+  }
+  return Status::OK();
+}
+
+Vector TfIdfVectorizer::Transform(
+    const std::vector<std::string>& document) const {
+  Vector out(vocabulary_.size(), 0.0);
+  if (document.empty()) return out;
+  for (const auto& token : document) {
+    const auto it = vocabulary_.find(token);
+    if (it != vocabulary_.end()) out[it->second] += 1.0;
+  }
+  const double len = static_cast<double>(document.size());
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = (out[i] / len) * idf_[i];
+    norm_sq += out[i] * out[i];
+  }
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (double& v : out) v *= inv;
+  }
+  return out;
+}
+
+int TfIdfVectorizer::TokenIndex(const std::string& token) const {
+  const auto it = vocabulary_.find(token);
+  return it == vocabulary_.end() ? -1 : static_cast<int>(it->second);
+}
+
+}  // namespace restune

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace restune {
+
+/// TF-IDF vectorizer over small token vocabularies (paper Section 6.2).
+///
+/// Term frequency is normalized by document length; inverse document
+/// frequency uses the smoothed form log((1 + N) / (1 + df)) + 1, and output
+/// vectors are L2-normalized — the conventions of standard IR toolkits, so
+/// distances behave as the paper expects.
+class TfIdfVectorizer {
+ public:
+  /// Learns the vocabulary and document frequencies from `documents`
+  /// (each document a token list).
+  Status Fit(const std::vector<std::vector<std::string>>& documents);
+
+  /// Maps a token list to its TF-IDF vector. Unknown tokens are ignored.
+  Vector Transform(const std::vector<std::string>& document) const;
+
+  bool fitted() const { return !vocabulary_.empty(); }
+  size_t vocabulary_size() const { return vocabulary_.size(); }
+
+  /// Index of `token` in the output vector, or -1 if out of vocabulary.
+  int TokenIndex(const std::string& token) const;
+
+ private:
+  std::unordered_map<std::string, size_t> vocabulary_;
+  Vector idf_;
+};
+
+}  // namespace restune

@@ -1,0 +1,110 @@
+#include "rl/ddpg.h"
+
+#include <algorithm>
+
+namespace restune {
+
+namespace {
+
+Vector ConcatStateAction(const Vector& s, const Vector& a) {
+  Vector out;
+  out.reserve(s.size() + a.size());
+  out.insert(out.end(), s.begin(), s.end());
+  out.insert(out.end(), a.begin(), a.end());
+  return out;
+}
+
+}  // namespace
+
+DdpgAgent::DdpgAgent(size_t state_dim, size_t action_dim, DdpgOptions options)
+    : options_(options),
+      state_dim_(state_dim),
+      action_dim_(action_dim),
+      rng_(options.seed),
+      noise_(options.exploration_noise),
+      actor_({state_dim, options.hidden_size, options.hidden_size, action_dim},
+             Activation::kTanh, OutputActivation::kSigmoid, options.seed ^ 1),
+      actor_target_(
+          {state_dim, options.hidden_size, options.hidden_size, action_dim},
+          Activation::kTanh, OutputActivation::kSigmoid, options.seed ^ 1),
+      critic_({state_dim + action_dim, options.hidden_size,
+               options.hidden_size, 1},
+              Activation::kTanh, OutputActivation::kLinear, options.seed ^ 2),
+      critic_target_({state_dim + action_dim, options.hidden_size,
+                      options.hidden_size, 1},
+                     Activation::kTanh, OutputActivation::kLinear,
+                     options.seed ^ 2) {
+  actor_target_.CopyFrom(actor_);
+  critic_target_.CopyFrom(critic_);
+}
+
+Vector DdpgAgent::Act(const Vector& state) const {
+  return actor_.Forward(state);
+}
+
+Vector DdpgAgent::ActWithNoise(const Vector& state) {
+  Vector action = actor_.Forward(state);
+  for (double& a : action) {
+    a = std::clamp(a + rng_.Gaussian(0.0, noise_), 0.0, 1.0);
+  }
+  noise_ *= options_.noise_decay;
+  return action;
+}
+
+void DdpgAgent::Observe(const Transition& transition) {
+  replay_.push_back(transition);
+  if (replay_.size() > options_.replay_capacity) replay_.pop_front();
+  if (replay_.size() < options_.batch_size) return;
+  for (int u = 0; u < options_.updates_per_step; ++u) TrainBatch();
+}
+
+void DdpgAgent::TrainBatch() {
+  const size_t batch = options_.batch_size;
+
+  // --- Critic update: minimize (Q(s,a) - [r + γ Q'(s', μ'(s'))])².
+  critic_.ZeroGradients();
+  std::vector<const Transition*> samples(batch);
+  for (size_t b = 0; b < batch; ++b) {
+    samples[b] = &replay_[rng_.UniformInt(replay_.size())];
+  }
+  for (const Transition* t : samples) {
+    const Vector next_action = actor_target_.Forward(t->next_state);
+    const Vector q_next =
+        critic_target_.Forward(ConcatStateAction(t->next_state, next_action));
+    const double target = t->reward + options_.gamma * q_next[0];
+
+    Mlp::ForwardCache cache;
+    const Vector q =
+        critic_.Forward(ConcatStateAction(t->state, t->action), &cache);
+    const double err = q[0] - target;
+    critic_.Backward(cache, {2.0 * err});
+  }
+  critic_.AdamStep(options_.critic_lr, batch);
+
+  // --- Actor update: ascend ∇_a Q(s, μ(s)) · ∇_θ μ(s).
+  actor_.ZeroGradients();
+  for (const Transition* t : samples) {
+    Mlp::ForwardCache actor_cache;
+    const Vector action = actor_.Forward(t->state, &actor_cache);
+
+    Mlp::ForwardCache critic_cache;
+    critic_.Forward(ConcatStateAction(t->state, action), &critic_cache);
+    // dQ/d(input); we need the action part only. Gradients accumulated in
+    // the critic here are discarded by the ZeroGradients below.
+    const Vector dq_dinput = critic_.Backward(critic_cache, {1.0});
+    Vector dq_daction(action_dim_);
+    for (size_t i = 0; i < action_dim_; ++i) {
+      // Negated: Adam minimizes, we want to maximize Q.
+      dq_daction[i] = -dq_dinput[state_dim_ + i];
+    }
+    actor_.Backward(actor_cache, dq_daction);
+  }
+  critic_.ZeroGradients();
+  actor_.AdamStep(options_.actor_lr, batch);
+
+  // --- Soft target updates.
+  actor_target_.SoftUpdateFrom(actor_, options_.tau);
+  critic_target_.SoftUpdateFrom(critic_, options_.tau);
+}
+
+}  // namespace restune

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "common/rng.h"
+#include "rl/mlp.h"
+
+namespace restune {
+
+/// One environment step for the replay buffer.
+struct Transition {
+  Vector state;
+  Vector action;
+  double reward = 0.0;
+  Vector next_state;
+};
+
+/// DDPG hyper-parameters (the CDBTune configuration).
+struct DdpgOptions {
+  size_t hidden_size = 64;
+  double actor_lr = 1e-3;
+  double critic_lr = 1e-3;
+  double gamma = 0.95;
+  double tau = 0.01;  // soft target update rate
+  size_t replay_capacity = 10000;
+  size_t batch_size = 16;
+  int updates_per_step = 2;
+  /// Gaussian exploration noise on actions, decayed multiplicatively.
+  double exploration_noise = 0.2;
+  double noise_decay = 0.99;
+  uint64_t seed = 31;
+};
+
+/// Deep Deterministic Policy Gradient agent: actor μ(s) ∈ [0,1]^action_dim,
+/// critic Q(s, a), both with target copies. Backs the CDBTune-w-Con
+/// baseline (paper Section 7), which maps DBMS internal metrics (state) to
+/// knob configurations (action).
+class DdpgAgent {
+ public:
+  DdpgAgent(size_t state_dim, size_t action_dim, DdpgOptions options = {});
+
+  /// Deterministic policy action for `state`.
+  Vector Act(const Vector& state) const;
+
+  /// Policy action plus exploration noise, clipped to [0,1].
+  Vector ActWithNoise(const Vector& state);
+
+  /// Stores a transition and runs `updates_per_step` gradient updates.
+  void Observe(const Transition& transition);
+
+  size_t replay_size() const { return replay_.size(); }
+  double current_noise() const { return noise_; }
+
+ private:
+  void TrainBatch();
+
+  DdpgOptions options_;
+  size_t state_dim_;
+  size_t action_dim_;
+  Rng rng_;
+  double noise_;
+
+  Mlp actor_;
+  Mlp actor_target_;
+  Mlp critic_;
+  Mlp critic_target_;
+  std::deque<Transition> replay_;
+};
+
+}  // namespace restune

@@ -1,0 +1,179 @@
+#include "rl/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace restune {
+
+namespace {
+
+double ApplyHidden(Activation act, double x) {
+  switch (act) {
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kRelu:
+      return x > 0.0 ? x : 0.0;
+  }
+  return x;
+}
+
+double HiddenDerivative(Activation act, double pre, double post) {
+  switch (act) {
+    case Activation::kTanh:
+      return 1.0 - post * post;
+    case Activation::kRelu:
+      return pre > 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Mlp::Mlp(std::vector<size_t> layer_sizes, Activation hidden,
+         OutputActivation output, uint64_t seed)
+    : layer_sizes_(std::move(layer_sizes)), hidden_(hidden), output_(output) {
+  assert(layer_sizes_.size() >= 2);
+  Rng rng(seed);
+  const size_t num_layers = layer_sizes_.size() - 1;
+  for (size_t l = 0; l < num_layers; ++l) {
+    const size_t in = layer_sizes_[l];
+    const size_t out = layer_sizes_[l + 1];
+    Matrix w(out, in);
+    const double bound = std::sqrt(6.0 / static_cast<double>(in + out));
+    for (size_t r = 0; r < out; ++r) {
+      for (size_t c = 0; c < in; ++c) w(r, c) = rng.Uniform(-bound, bound);
+    }
+    weights_.push_back(w);
+    biases_.emplace_back(out, 0.0);
+    grad_w_.emplace_back(out, in, 0.0);
+    grad_b_.emplace_back(out, 0.0);
+    m_w_.emplace_back(out, in, 0.0);
+    v_w_.emplace_back(out, in, 0.0);
+    m_b_.emplace_back(out, 0.0);
+    v_b_.emplace_back(out, 0.0);
+  }
+}
+
+Vector Mlp::Forward(const Vector& input) const {
+  ForwardCache cache;
+  return Forward(input, &cache);
+}
+
+Vector Mlp::Forward(const Vector& input, ForwardCache* cache) const {
+  assert(input.size() == input_size());
+  cache->activations.clear();
+  cache->pre_activations.clear();
+  cache->activations.push_back(input);
+  Vector current = input;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    Vector pre = weights_[l].Multiply(current);
+    for (size_t i = 0; i < pre.size(); ++i) pre[i] += biases_[l][i];
+    cache->pre_activations.push_back(pre);
+    const bool last = (l + 1 == weights_.size());
+    Vector post(pre.size());
+    for (size_t i = 0; i < pre.size(); ++i) {
+      if (!last) {
+        post[i] = ApplyHidden(hidden_, pre[i]);
+      } else if (output_ == OutputActivation::kSigmoid) {
+        post[i] = 1.0 / (1.0 + std::exp(-pre[i]));
+      } else {
+        post[i] = pre[i];
+      }
+    }
+    cache->activations.push_back(post);
+    current = post;
+  }
+  return current;
+}
+
+Vector Mlp::Backward(const ForwardCache& cache, const Vector& grad_output) {
+  const size_t num_layers = weights_.size();
+  Vector delta = grad_output;  // dL/d(post-activation) of current layer
+  for (size_t li = num_layers; li-- > 0;) {
+    const Vector& pre = cache.pre_activations[li];
+    const Vector& post = cache.activations[li + 1];
+    const Vector& prev_act = cache.activations[li];
+    const bool last = (li + 1 == num_layers);
+    // dL/d(pre-activation).
+    Vector dpre(delta.size());
+    for (size_t i = 0; i < delta.size(); ++i) {
+      double deriv;
+      if (!last) {
+        deriv = HiddenDerivative(hidden_, pre[i], post[i]);
+      } else if (output_ == OutputActivation::kSigmoid) {
+        deriv = post[i] * (1.0 - post[i]);
+      } else {
+        deriv = 1.0;
+      }
+      dpre[i] = delta[i] * deriv;
+    }
+    // Accumulate parameter gradients.
+    for (size_t r = 0; r < weights_[li].rows(); ++r) {
+      for (size_t c = 0; c < weights_[li].cols(); ++c) {
+        grad_w_[li](r, c) += dpre[r] * prev_act[c];
+      }
+      grad_b_[li][r] += dpre[r];
+    }
+    // Propagate to the previous layer.
+    Vector dprev(prev_act.size(), 0.0);
+    for (size_t r = 0; r < weights_[li].rows(); ++r) {
+      const double d = dpre[r];
+      for (size_t c = 0; c < weights_[li].cols(); ++c) {
+        dprev[c] += weights_[li](r, c) * d;
+      }
+    }
+    delta = std::move(dprev);
+  }
+  return delta;
+}
+
+void Mlp::AdamStep(double learning_rate, size_t batch_size) {
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+  ++step_;
+  const double scale = 1.0 / static_cast<double>(std::max<size_t>(1, batch_size));
+  const double bias1 = 1.0 - std::pow(kBeta1, static_cast<double>(step_));
+  const double bias2 = 1.0 - std::pow(kBeta2, static_cast<double>(step_));
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    for (size_t r = 0; r < weights_[l].rows(); ++r) {
+      for (size_t c = 0; c < weights_[l].cols(); ++c) {
+        const double g = grad_w_[l](r, c) * scale;
+        m_w_[l](r, c) = kBeta1 * m_w_[l](r, c) + (1 - kBeta1) * g;
+        v_w_[l](r, c) = kBeta2 * v_w_[l](r, c) + (1 - kBeta2) * g * g;
+        weights_[l](r, c) -= learning_rate * (m_w_[l](r, c) / bias1) /
+                             (std::sqrt(v_w_[l](r, c) / bias2) + kEps);
+      }
+      const double g = grad_b_[l][r] * scale;
+      m_b_[l][r] = kBeta1 * m_b_[l][r] + (1 - kBeta1) * g;
+      v_b_[l][r] = kBeta2 * v_b_[l][r] + (1 - kBeta2) * g * g;
+      biases_[l][r] -= learning_rate * (m_b_[l][r] / bias1) /
+                       (std::sqrt(v_b_[l][r] / bias2) + kEps);
+    }
+  }
+  ZeroGradients();
+}
+
+void Mlp::ZeroGradients() {
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    grad_w_[l] = Matrix(weights_[l].rows(), weights_[l].cols(), 0.0);
+    std::fill(grad_b_[l].begin(), grad_b_[l].end(), 0.0);
+  }
+}
+
+void Mlp::SoftUpdateFrom(const Mlp& source, double tau) {
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    for (size_t r = 0; r < weights_[l].rows(); ++r) {
+      for (size_t c = 0; c < weights_[l].cols(); ++c) {
+        weights_[l](r, c) =
+            tau * source.weights_[l](r, c) + (1 - tau) * weights_[l](r, c);
+      }
+      biases_[l][r] = tau * source.biases_[l][r] + (1 - tau) * biases_[l][r];
+    }
+  }
+}
+
+void Mlp::CopyFrom(const Mlp& source) {
+  weights_ = source.weights_;
+  biases_ = source.biases_;
+}
+
+}  // namespace restune

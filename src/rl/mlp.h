@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace restune {
+
+/// Hidden-layer activation of the MLP.
+enum class Activation { kTanh, kRelu };
+
+/// Output-layer squashing.
+enum class OutputActivation { kLinear, kSigmoid };
+
+/// Small fully connected network with built-in Adam state, used by the DDPG
+/// baseline (CDBTune-w-Con): the actor maps internal metrics to a
+/// configuration in [0,1]^d (sigmoid output) and the critic maps
+/// (state, action) to a Q value (linear output).
+class Mlp {
+ public:
+  /// `layer_sizes` = {in, hidden..., out}. Xavier-uniform initialization.
+  Mlp(std::vector<size_t> layer_sizes, Activation hidden,
+      OutputActivation output, uint64_t seed);
+
+  /// Per-example activations saved by Forward for Backward.
+  struct ForwardCache {
+    std::vector<Vector> activations;      // post-activation, incl. input
+    std::vector<Vector> pre_activations;  // pre-activation per layer
+  };
+
+  /// Inference without caching.
+  Vector Forward(const Vector& input) const;
+
+  /// Forward pass that records activations for a subsequent Backward.
+  Vector Forward(const Vector& input, ForwardCache* cache) const;
+
+  /// Backpropagates dLoss/dOutput, accumulating parameter gradients
+  /// internally; returns dLoss/dInput (needed for the DDPG actor update,
+  /// which chains the critic's input gradient through the actor).
+  Vector Backward(const ForwardCache& cache, const Vector& grad_output);
+
+  /// Applies one Adam update with the accumulated gradients (scaled by
+  /// 1/`batch_size`) and clears them.
+  void AdamStep(double learning_rate, size_t batch_size);
+
+  /// Clears accumulated gradients without applying them.
+  void ZeroGradients();
+
+  /// θ_target ← τ·θ_source + (1-τ)·θ_target (DDPG soft target update).
+  void SoftUpdateFrom(const Mlp& source, double tau);
+
+  /// Copies all parameters from `source` (hard sync).
+  void CopyFrom(const Mlp& source);
+
+  size_t input_size() const { return layer_sizes_.front(); }
+  size_t output_size() const { return layer_sizes_.back(); }
+
+ private:
+  std::vector<size_t> layer_sizes_;
+  Activation hidden_;
+  OutputActivation output_;
+
+  std::vector<Matrix> weights_;  // weights_[l]: out x in
+  std::vector<Vector> biases_;
+  std::vector<Matrix> grad_w_;
+  std::vector<Vector> grad_b_;
+  // Adam moments.
+  std::vector<Matrix> m_w_, v_w_;
+  std::vector<Vector> m_b_, v_b_;
+  long step_ = 0;
+};
+
+}  // namespace restune

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+
+#include "gp/observation.h"
+
+namespace restune {
+
+/// Wire-level message types between ResTune Client (deployed in the user's
+/// VPC) and ResTune Server (the provider's tuning cluster) — the split of
+/// paper Figure 2. Everything the server learns about the tenant travels in
+/// these structs: the workload meta-feature and metric observations, never
+/// raw SQL or data.
+
+/// Client -> Server: open a tuning session for a new target task.
+struct TargetTaskSubmission {
+  std::string task_name;
+  /// Workload characterization embedding (computed client-side, Section
+  /// 6.2) — the only workload description that leaves the user's
+  /// environment.
+  Vector meta_feature;
+  /// Dimensionality of the (pre-agreed) knob space.
+  size_t knob_dim = 0;
+  /// The DBA default configuration in normalized coordinates.
+  Vector default_theta;
+  /// Evaluation of the default configuration (defines the SLA).
+  Observation default_observation;
+  /// Which resource is being minimized, for bookkeeping.
+  std::string resource;
+};
+
+/// Server -> Client: the next configuration to evaluate.
+struct KnobRecommendation {
+  uint64_t session_id = 0;
+  int iteration = 0;
+  Vector theta;
+};
+
+/// Client -> Server: result of replaying the workload under a
+/// recommendation.
+struct EvaluationReport {
+  uint64_t session_id = 0;
+  int iteration = 0;
+  Observation observation;
+};
+
+/// Server -> Client: session summary at completion.
+struct SessionSummary {
+  uint64_t session_id = 0;
+  int iterations = 0;
+  Vector best_theta;
+  double best_feasible_res = 0.0;
+  bool archived_to_repository = false;
+};
+
+}  // namespace restune

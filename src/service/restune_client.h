@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+
+#include "common/result.h"
+#include "dbsim/simulator.h"
+#include "meta/meta_feature.h"
+#include "service/messages.h"
+#include "sqlgen/generator.h"
+
+namespace restune {
+
+/// ResTune Client (paper Fig. 2, left side): runs inside the user's
+/// environment next to the DBMS copy. Responsibilities:
+///  * meta-data processing — characterize the captured workload into a
+///    meta-feature (the only workload description shipped to the server);
+///  * target workload replay — apply a recommended configuration to the
+///    copy instance and measure (res, tps, lat).
+class ResTuneClient {
+ public:
+  /// `simulator` is the copy instance; `characterizer` the (pre-trained)
+  /// query-cost classifier. Both must outlive the client.
+  ResTuneClient(DbInstanceSimulator* simulator,
+                const WorkloadCharacterizer* characterizer);
+
+  /// Prepares the session submission: samples a workload window, computes
+  /// the meta-feature, and measures the default configuration (fixing the
+  /// SLA thresholds).
+  Result<TargetTaskSubmission> PrepareSubmission(size_t trace_queries = 300,
+                                                 uint64_t seed = 5);
+
+  /// Applies a recommendation to the copy instance, replays the workload
+  /// and returns the evaluation report.
+  Result<EvaluationReport> EvaluateRecommendation(
+      const KnobRecommendation& recommendation);
+
+  const DbInstanceSimulator& simulator() const { return *simulator_; }
+
+ private:
+  DbInstanceSimulator* simulator_;
+  const WorkloadCharacterizer* characterizer_;
+};
+
+}  // namespace restune

@@ -1,0 +1,111 @@
+#include "service/restune_server.h"
+
+#include "common/string_util.h"
+
+namespace restune {
+
+ResTuneServer::ResTuneServer(ServerOptions options)
+    : options_(options) {}
+
+Status ResTuneServer::AddHistoricalTask(TuningTask task) {
+  return repository_.AddTask(std::move(task));
+}
+
+Result<uint64_t> ResTuneServer::StartSession(
+    const TargetTaskSubmission& submission) {
+  if (submission.knob_dim == 0) {
+    return Status::InvalidArgument("knob_dim must be positive");
+  }
+  if (submission.default_theta.size() != submission.knob_dim) {
+    return Status::InvalidArgument("default_theta dimension mismatch");
+  }
+  if (submission.default_observation.theta.size() != submission.knob_dim) {
+    return Status::InvalidArgument("default observation dimension mismatch");
+  }
+
+  Session session;
+  session.task_name = submission.task_name;
+  session.meta_feature = submission.meta_feature;
+  // Knowledge extraction: base-learners over histories with a matching
+  // knob space (dimension is the compatibility proxy in this in-process
+  // server; a deployment would key on a space identifier).
+  std::vector<BaseLearner> learners = repository_.TrainBaseLearners(
+      [&](const TuningTask& t) {
+        return !t.observations.empty() &&
+               t.observations[0].theta.size() == submission.knob_dim;
+      });
+  session.advisor = std::make_unique<ResTuneAdvisor>(
+      submission.knob_dim, submission.default_theta, std::move(learners),
+      submission.meta_feature, options_.advisor);
+  session.sla = SlaConstraints{submission.default_observation.tps,
+                               submission.default_observation.lat};
+  RESTUNE_RETURN_IF_ERROR(
+      session.advisor->Begin(submission.default_observation, session.sla));
+  session.observations.push_back(submission.default_observation);
+  session.best_theta = submission.default_theta;
+  session.best_feasible_res = submission.default_observation.res;
+  session.has_feasible = true;
+
+  const uint64_t id = next_session_id_++;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+Result<KnobRecommendation> ResTuneServer::Recommend(uint64_t session_id) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StringPrintf("no session %llu",
+                                         (unsigned long long)session_id));
+  }
+  Session& session = it->second;
+  RESTUNE_ASSIGN_OR_RETURN(Vector theta, session.advisor->SuggestNext());
+  KnobRecommendation rec;
+  rec.session_id = session_id;
+  rec.iteration = ++session.iteration;
+  rec.theta = std::move(theta);
+  return rec;
+}
+
+Status ResTuneServer::ReportEvaluation(const EvaluationReport& report) {
+  const auto it = sessions_.find(report.session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session in evaluation report");
+  }
+  Session& session = it->second;
+  RESTUNE_RETURN_IF_ERROR(session.advisor->Observe(report.observation));
+  session.observations.push_back(report.observation);
+  if (session.sla.IsFeasible(report.observation) &&
+      report.observation.res < session.best_feasible_res) {
+    session.best_feasible_res = report.observation.res;
+    session.best_theta = report.observation.theta;
+  }
+  return Status::OK();
+}
+
+Result<SessionSummary> ResTuneServer::FinishSession(uint64_t session_id) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session");
+  }
+  Session& session = it->second;
+  SessionSummary summary;
+  summary.session_id = session_id;
+  summary.iterations = session.iteration;
+  summary.best_theta = session.best_theta;
+  summary.best_feasible_res = session.best_feasible_res;
+
+  if (options_.archive_finished_sessions &&
+      session.observations.size() >= options_.min_observations_to_archive) {
+    TuningTask task;
+    task.name = session.task_name;
+    task.workload = session.task_name;
+    task.hardware = "client";
+    task.meta_feature = session.meta_feature;
+    task.observations = std::move(session.observations);
+    summary.archived_to_repository = repository_.AddTask(std::move(task)).ok();
+  }
+  sessions_.erase(it);
+  return summary;
+}
+
+}  // namespace restune

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "common/result.h"
+#include "meta/data_repository.h"
+#include "service/messages.h"
+#include "tuner/restune_advisor.h"
+
+namespace restune {
+
+/// Options for the tuning server.
+struct ServerOptions {
+  ResTuneAdvisorOptions advisor;
+  /// Archive finished sessions' observations back into the repository (the
+  /// paper: "When the tuning task ends, the meta-data of the task is
+  /// collected to the data repository").
+  bool archive_finished_sessions = true;
+  /// Minimum observations a finished session needs to be archived (a
+  /// two-iteration session teaches nothing).
+  size_t min_observations_to_archive = 10;
+};
+
+/// ResTune Server (paper Fig. 2, right side): hosts the data repository and
+/// the Knowledge Extraction + Knobs Recommendation components. Drives any
+/// number of concurrent tuning sessions, one meta-learner each.
+///
+/// The server never sees SQL or data — only meta-features and metric
+/// tuples, the privacy split the paper's deployment uses.
+class ResTuneServer {
+ public:
+  explicit ResTuneServer(ServerOptions options = {});
+
+  /// Registers historical meta-data (e.g. loaded from disk) before serving.
+  Status AddHistoricalTask(TuningTask task);
+  size_t repository_size() const { return repository_.num_tasks(); }
+
+  /// Opens a tuning session: trains/collects base-learners, computes static
+  /// weights from the submitted meta-feature, ingests the default
+  /// observation. Returns the session id.
+  Result<uint64_t> StartSession(const TargetTaskSubmission& submission);
+
+  /// Next configuration for the session to evaluate.
+  Result<KnobRecommendation> Recommend(uint64_t session_id);
+
+  /// Feeds an evaluation result back into the session's meta-learner.
+  Status ReportEvaluation(const EvaluationReport& report);
+
+  /// Closes the session; optionally archives its observations as a new
+  /// historical task in the repository.
+  Result<SessionSummary> FinishSession(uint64_t session_id);
+
+  size_t active_sessions() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::string task_name;
+    Vector meta_feature;
+    std::unique_ptr<ResTuneAdvisor> advisor;
+    SlaConstraints sla;
+    std::vector<Observation> observations;
+    int iteration = 0;
+    Vector best_theta;
+    double best_feasible_res = 0.0;
+    bool has_feasible = false;
+  };
+
+  ServerOptions options_;
+  DataRepository repository_;
+  std::map<uint64_t, Session> sessions_;
+  uint64_t next_session_id_ = 1;
+};
+
+}  // namespace restune

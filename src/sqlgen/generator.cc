@@ -1,0 +1,218 @@
+#include "sqlgen/generator.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace restune {
+
+namespace {
+
+/// Template banks. Read templates first, then write templates; the
+/// constructor rebalances weights so the write share matches the profile's
+/// read/write ratio.
+std::vector<SqlTemplate> ReadTemplates(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kSysbench:
+      return {
+          {"SELECT c FROM sbtest? WHERE id=?", 10.0, 1.0},
+          {"SELECT c FROM sbtest? WHERE id BETWEEN ? AND ?", 1.0, 4.0},
+          {"SELECT SUM(k) FROM sbtest? WHERE id BETWEEN ? AND ?", 1.0, 5.0},
+          {"SELECT c FROM sbtest? WHERE id BETWEEN ? AND ? ORDER BY c", 1.0,
+           6.0},
+          {"SELECT DISTINCT c FROM sbtest? WHERE id BETWEEN ? AND ? ORDER "
+           "BY c",
+           1.0, 7.0},
+      };
+    case WorkloadKind::kTpcc:
+      return {
+          {"SELECT w_tax, w_name FROM warehouse WHERE w_id=?", 2.0, 1.0},
+          {"SELECT d_tax, d_next_o_id FROM district WHERE d_w_id=? AND "
+           "d_id=?",
+           2.0, 1.0},
+          {"SELECT c_discount, c_last, c_credit FROM customer WHERE "
+           "c_w_id=? AND c_d_id=? AND c_id=?",
+           2.0, 1.5},
+          {"SELECT i_price, i_name, i_data FROM item WHERE i_id=?", 6.0, 1.0},
+          {"SELECT s_quantity, s_data FROM stock WHERE s_i_id=? AND s_w_id=?",
+           6.0, 1.5},
+          {"SELECT o_id, o_carrier_id, o_entry_d FROM orders WHERE o_w_id=? "
+           "AND o_d_id=? AND o_c_id=? ORDER BY o_id DESC LIMIT 1",
+           1.0, 4.0},
+          {"SELECT COUNT(DISTINCT s_i_id) FROM order_line, stock WHERE "
+           "ol_w_id=? AND ol_d_id=? AND ol_o_id BETWEEN ? AND ? AND "
+           "s_w_id=? AND s_i_id=ol_i_id AND s_quantity<?",
+           0.5, 20.0},
+      };
+    case WorkloadKind::kTwitter:
+      return {
+          {"SELECT * FROM tweets WHERE id=?", 8.0, 1.0},
+          {"SELECT * FROM tweets WHERE uid=? ORDER BY id DESC LIMIT 10", 3.0,
+           2.5},
+          {"SELECT f2 FROM followers WHERE f1=? LIMIT 20", 3.0, 2.0},
+          {"SELECT f2 FROM follows WHERE f1=? LIMIT 20", 2.0, 2.0},
+          {"SELECT uname FROM user_profiles WHERE uid=?", 4.0, 1.0},
+      };
+    case WorkloadKind::kHotel:
+      return {
+          {"SELECT room_id, rate FROM rooms WHERE hotel_id=? AND "
+           "capacity>=? AND status=? LIMIT 20",
+           5.0, 3.0},
+          {"SELECT COUNT(*) FROM reservations WHERE room_id=? AND "
+           "check_in<=? AND check_out>=?",
+           5.0, 4.0},
+          {"SELECT * FROM hotels WHERE city_id=? AND stars>=? ORDER BY "
+           "ranking LIMIT 10",
+           3.0, 5.0},
+          {"SELECT guest_id, name, level FROM guests WHERE guest_id=?", 3.0,
+           1.0},
+          {"SELECT r.id, r.total FROM reservations r JOIN guests g ON "
+           "r.guest_id=g.guest_id WHERE g.guest_id=? ORDER BY r.id DESC "
+           "LIMIT 5",
+           2.0, 4.5},
+      };
+    case WorkloadKind::kSales:
+      return {
+          {"SELECT item_id, title, price FROM catalogue WHERE item_id=?",
+           8.0, 1.0},
+          {"SELECT item_id, price FROM catalogue WHERE category_id=? AND "
+           "price BETWEEN ? AND ? ORDER BY sold DESC LIMIT 20",
+           4.0, 5.0},
+          {"SELECT SUM(quantity) FROM inventory WHERE item_id=? AND "
+           "region_id=?",
+           3.0, 2.0},
+          {"SELECT o.order_id, o.total FROM orders o WHERE o.buyer_id=? "
+           "ORDER BY o.order_id DESC LIMIT 10",
+           2.0, 3.0},
+          {"SELECT COUNT(*) FROM reviews WHERE item_id=? AND rating>=?", 2.0,
+           2.5},
+      };
+  }
+  return {};
+}
+
+std::vector<SqlTemplate> WriteTemplates(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kSysbench:
+      return {
+          {"UPDATE sbtest? SET k=k+1 WHERE id=?", 2.0, 2.0},
+          {"UPDATE sbtest? SET c=? WHERE id=?", 1.0, 2.0},
+          {"DELETE FROM sbtest? WHERE id=?", 0.5, 2.0},
+          {"INSERT INTO sbtest? (id, k, c, pad) VALUES (?, ?, ?, ?)", 0.5,
+           2.5},
+      };
+    case WorkloadKind::kTpcc:
+      return {
+          {"UPDATE district SET d_next_o_id=? WHERE d_w_id=? AND d_id=?",
+           2.0, 2.0},
+          {"INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, "
+           "o_ol_cnt) VALUES (?, ?, ?, ?, ?, ?)",
+           2.0, 2.0},
+          {"INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, "
+           "ol_i_id, ol_quantity, ol_amount) VALUES (?, ?, ?, ?, ?, ?, ?)",
+           6.0, 2.0},
+          {"UPDATE stock SET s_quantity=?, s_ytd=s_ytd+? WHERE s_i_id=? AND "
+           "s_w_id=?",
+           6.0, 2.5},
+          {"UPDATE customer SET c_balance=c_balance-? WHERE c_w_id=? AND "
+           "c_d_id=? AND c_id=?",
+           2.0, 2.0},
+          {"DELETE FROM new_order WHERE no_o_id=? AND no_d_id=? AND "
+           "no_w_id=?",
+           1.0, 2.0},
+      };
+    case WorkloadKind::kTwitter:
+      return {
+          {"INSERT INTO tweets (id, uid, text, createdate) VALUES (?, ?, ?, "
+           "?)",
+           3.0, 3.0},
+          {"INSERT INTO follows (f1, f2) VALUES (?, ?)", 1.0, 2.0},
+      };
+    case WorkloadKind::kHotel:
+      return {
+          {"INSERT INTO reservations (room_id, guest_id, check_in, "
+           "check_out, total) VALUES (?, ?, ?, ?, ?)",
+           3.0, 3.0},
+          {"UPDATE rooms SET status=? WHERE room_id=?", 2.0, 2.0},
+          {"UPDATE guests SET level=? WHERE guest_id=?", 1.0, 1.5},
+      };
+    case WorkloadKind::kSales:
+      return {
+          {"INSERT INTO orders (order_id, buyer_id, item_id, quantity, "
+           "total) VALUES (?, ?, ?, ?, ?)",
+           2.0, 3.0},
+          {"UPDATE inventory SET quantity=quantity-? WHERE item_id=? AND "
+           "region_id=?",
+           2.0, 2.0},
+      };
+  }
+  return {};
+}
+
+}  // namespace
+
+WorkloadSqlGenerator::WorkloadSqlGenerator(const WorkloadProfile& profile) {
+  std::vector<SqlTemplate> reads = ReadTemplates(profile.kind);
+  std::vector<SqlTemplate> writes = WriteTemplates(profile.kind);
+
+  double read_total = 0.0, write_total = 0.0;
+  for (const auto& t : reads) read_total += t.weight;
+  for (const auto& t : writes) write_total += t.weight;
+
+  // Rebalance so that P(write) = 1 / (1 + read_write_ratio).
+  const double write_share = 1.0 / (1.0 + profile.read_write_ratio);
+  for (auto& t : reads) t.weight *= (1.0 - write_share) / read_total;
+  for (auto& t : writes) t.weight *= write_share / write_total;
+
+  templates_ = std::move(reads);
+  templates_.insert(templates_.end(), writes.begin(), writes.end());
+
+  cumulative_weights_.reserve(templates_.size());
+  double acc = 0.0;
+  for (const auto& t : templates_) {
+    acc += t.weight;
+    cumulative_weights_.push_back(acc);
+  }
+}
+
+size_t WorkloadSqlGenerator::PickTemplate(Rng* rng) const {
+  const double u = rng->Uniform() * cumulative_weights_.back();
+  for (size_t i = 0; i < cumulative_weights_.size(); ++i) {
+    if (u <= cumulative_weights_[i]) return i;
+  }
+  return cumulative_weights_.size() - 1;
+}
+
+std::string WorkloadSqlGenerator::Instantiate(const SqlTemplate& tmpl,
+                                              Rng* rng) const {
+  std::string out;
+  out.reserve(tmpl.text.size() + 16);
+  for (char ch : tmpl.text) {
+    if (ch == '?') {
+      out += StringPrintf("%llu",
+                          static_cast<unsigned long long>(
+                              rng->UniformInt(1000000) + 1));
+    } else {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> WorkloadSqlGenerator::Sample(size_t n,
+                                                      Rng* rng) const {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Instantiate(templates_[PickTemplate(rng)], rng));
+  }
+  return out;
+}
+
+std::pair<std::string, double> WorkloadSqlGenerator::SampleWithCost(
+    Rng* rng) const {
+  const SqlTemplate& tmpl = templates_[PickTemplate(rng)];
+  return {Instantiate(tmpl, rng), tmpl.cost};
+}
+
+}  // namespace restune

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dbsim/workload.h"
+
+namespace restune {
+
+/// One parameterized query template of a workload, with its share of the
+/// transaction mix and a relative resource-cost label (used to train the
+/// characterization classifier, paper Section 6.2).
+struct SqlTemplate {
+  /// SQL text with `?` placeholders for scalar parameters.
+  std::string text;
+  /// Relative frequency in the mix (normalized internally).
+  double weight = 1.0;
+  /// Relative resource cost of one execution (drives the log-scaled class
+  /// labels of the random-forest classifier).
+  double cost = 1.0;
+};
+
+/// Generates concrete SQL statement text for a workload profile.
+///
+/// Each workload gets a template bank modeled on its real counterpart
+/// (SYSBENCH oltp_read_write, TPC-C, OLTPBench Twitter, and synthetic
+/// Hotel/Sales production mixes). Write shares follow the profile's
+/// read/write ratio, so the Twitter variations W1–W5 shift the INSERT share
+/// exactly as Table 5 describes — and the TF-IDF meta-features move with
+/// them.
+class WorkloadSqlGenerator {
+ public:
+  explicit WorkloadSqlGenerator(const WorkloadProfile& profile);
+
+  /// Samples `n` fully instantiated SQL statements from the mix.
+  std::vector<std::string> Sample(size_t n, Rng* rng) const;
+
+  /// Samples one statement and also reports its template's cost label.
+  std::pair<std::string, double> SampleWithCost(Rng* rng) const;
+
+  const std::vector<SqlTemplate>& templates() const { return templates_; }
+
+ private:
+  std::string Instantiate(const SqlTemplate& tmpl, Rng* rng) const;
+  size_t PickTemplate(Rng* rng) const;
+
+  std::vector<SqlTemplate> templates_;
+  std::vector<double> cumulative_weights_;
+};
+
+}  // namespace restune

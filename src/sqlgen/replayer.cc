@@ -1,0 +1,179 @@
+#include "sqlgen/replayer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace restune {
+
+std::string ExtractQueryTemplate(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
+    if (c == '\'' || c == '"') {
+      // String literal -> placeholder.
+      const char quote = c;
+      ++i;
+      while (i < sql.size() && sql[i] != quote) {
+        if (sql[i] == '\\') ++i;
+        ++i;
+      }
+      out.push_back('?');
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Number literal, unless part of an identifier like sbtest1.
+      const bool in_identifier =
+          !out.empty() && (std::isalnum(static_cast<unsigned char>(
+                               out.back())) ||
+                           out.back() == '_');
+      if (in_identifier) {
+        out.push_back(c);
+        continue;
+      }
+      while (i + 1 < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i + 1])) ||
+              sql[i + 1] == '.')) {
+        ++i;
+      }
+      out.push_back('?');
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+Status Replayer::LoadTrace(const std::vector<std::string>& raw_queries) {
+  if (raw_queries.empty()) {
+    return Status::InvalidArgument("empty workload trace");
+  }
+  templates_.clear();
+  total_count_ = 0;
+  std::unordered_map<std::string, size_t> index;
+  for (const std::string& q : raw_queries) {
+    std::string tmpl = ExtractQueryTemplate(q);
+    auto [it, inserted] = index.emplace(std::move(tmpl), templates_.size());
+    if (inserted) {
+      templates_.push_back({it->first, 1});
+    } else {
+      ++templates_[it->second].second;
+    }
+    ++total_count_;
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Replayer::Replay(size_t n, Rng* rng) const {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    // Sample a template proportionally to its observed frequency.
+    uint64_t pick = rng->UniformInt(total_count_);
+    size_t chosen = templates_.size() - 1;
+    for (size_t i = 0; i < templates_.size(); ++i) {
+      if (pick < templates_[i].second) {
+        chosen = i;
+        break;
+      }
+      pick -= templates_[i].second;
+    }
+    // Re-instantiate placeholders with fresh values so writes do not
+    // collide on primary keys across replays.
+    std::string stmt;
+    for (char c : templates_[chosen].first) {
+      if (c == '?') {
+        stmt += StringPrintf("%llu",
+                             static_cast<unsigned long long>(
+                                 rng->UniformInt(1000000) + 1));
+      } else {
+        stmt.push_back(c);
+      }
+    }
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+Status Replayer::LoadTraceFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::vector<std::string> queries;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    queries.push_back(trimmed);
+  }
+  return LoadTrace(queries);
+}
+
+Status Replayer::SaveTemplatesToFile(const std::string& path) const {
+  if (templates_.empty()) {
+    return Status::FailedPrecondition("no templates to save");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  for (const auto& [tmpl, count] : templates_) {
+    out << count << "\t" << tmpl << "\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::IoError("write to '" + path + "' failed");
+}
+
+Status Replayer::LoadTemplatesFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  templates_.clear();
+  total_count_ = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::IoError(
+          StringPrintf("line %zu: expected 'count<TAB>template'", line_no));
+    }
+    unsigned long long parsed = 0;
+    const std::string count_str = line.substr(0, tab);
+    const auto [ptr, ec] = std::from_chars(
+        count_str.data(), count_str.data() + count_str.size(), parsed);
+    if (ec != std::errc() || ptr != count_str.data() + count_str.size()) {
+      return Status::IoError(StringPrintf("line %zu: bad count", line_no));
+    }
+    const size_t count = static_cast<size_t>(parsed);
+    if (count == 0) {
+      return Status::IoError(StringPrintf("line %zu: zero count", line_no));
+    }
+    templates_.push_back({line.substr(tab + 1), count});
+    total_count_ += count;
+  }
+  if (templates_.empty()) return Status::IoError("empty template file");
+  return Status::OK();
+}
+
+std::vector<double> Replayer::ScheduleTimestamps(size_t n, double rate,
+                                                 Rng* rng) const {
+  std::vector<double> out;
+  out.reserve(n);
+  double t = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Exponential inter-arrival with mean 1/rate.
+    double u;
+    do {
+      u = rng->Uniform();
+    } while (u <= 0.0);
+    t += -std::log(u) / rate;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace restune

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace restune {
+
+/// Target Workload Replay (paper Section 4).
+///
+/// Replaying captured queries verbatim breaks write statements (duplicate
+/// primary keys), so the replayer extracts the query *template* — literals
+/// replaced by `?` — and re-samples fresh scalar values on each replay. It
+/// also schedules statements at the original request rate so the copy
+/// instance sees the user's real traffic shape.
+
+/// Replaces numeric and string literals in `sql` with `?` placeholders.
+std::string ExtractQueryTemplate(const std::string& sql);
+
+/// A replayable workload trace built from raw captured SQL.
+class Replayer {
+ public:
+  /// Deduplicates the raw queries into templates with observed frequencies.
+  Status LoadTrace(const std::vector<std::string>& raw_queries);
+
+  /// Emits `n` statements: templates sampled by observed frequency with
+  /// freshly sampled scalar values.
+  std::vector<std::string> Replay(size_t n, Rng* rng) const;
+
+  /// Issue timestamps (seconds from replay start) for `n` statements at
+  /// `rate` statements/second with exponential inter-arrivals — an open-loop
+  /// Poisson client, matching a fixed user request rate.
+  std::vector<double> ScheduleTimestamps(size_t n, double rate,
+                                         Rng* rng) const;
+
+  /// Loads a trace from a text file, one SQL statement per line (blank
+  /// lines and lines starting with '#' are skipped).
+  Status LoadTraceFromFile(const std::string& path);
+
+  /// Writes the deduplicated templates with their counts to a file, one
+  /// "count<TAB>template" per line (a compact archival form of the trace).
+  Status SaveTemplatesToFile(const std::string& path) const;
+
+  /// Restores templates previously written by `SaveTemplatesToFile`.
+  Status LoadTemplatesFromFile(const std::string& path);
+
+  size_t num_templates() const { return templates_.size(); }
+  const std::vector<std::pair<std::string, size_t>>& templates() const {
+    return templates_;
+  }
+
+ private:
+  // (template text, observed count), ordered by first appearance.
+  std::vector<std::pair<std::string, size_t>> templates_;
+  size_t total_count_ = 0;
+};
+
+}  // namespace restune

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "gp/observation.h"
+
+namespace restune {
+
+/// Wall-clock cost of the advisor's last iteration, split into the phases
+/// of paper Table 3 (workload replay time is accounted by the session).
+struct IterationTiming {
+  double meta_processing_s = 0.0;
+  double model_update_s = 0.0;
+  double recommendation_s = 0.0;
+};
+
+/// A knob-recommendation strategy. The `TuningSession` drives the loop:
+///
+///   Begin(default observation, SLA)            — once
+///   repeat: θ = SuggestNext(); Observe(eval(θ))
+///
+/// Implementations: ResTune (meta-learned CBO), plain CBO (ResTune-w/o-ML),
+/// iTuned (unconstrained EI), OtterTune-w-Con (workload mapping + CEI),
+/// CDBTune-w-Con (DDPG), and grid search.
+class Advisor {
+ public:
+  virtual ~Advisor() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Installs the SLA thresholds (derived from the default-config run) and
+  /// lets the advisor ingest the default observation.
+  virtual Status Begin(const Observation& default_observation,
+                       const SlaConstraints& sla) = 0;
+
+  /// Proposes the next normalized configuration to evaluate.
+  virtual Result<Vector> SuggestNext() = 0;
+
+  /// Feeds back the evaluation result of the last suggestion.
+  virtual Status Observe(const Observation& observation) = 0;
+
+  /// Timing of the most recent SuggestNext/Observe pair.
+  IterationTiming last_timing() const { return timing_; }
+
+ protected:
+  IterationTiming timing_;
+};
+
+}  // namespace restune

@@ -1,0 +1,82 @@
+#include "tuner/cbo_advisor.h"
+
+#include "bo/lhs.h"
+#include "tuner/stopwatch.h"
+
+namespace restune {
+
+CboAdvisor::CboAdvisor(std::string name, size_t dim,
+                       CboAdvisorOptions options)
+    : name_(std::move(name)),
+      dim_(dim),
+      options_(options),
+      rng_(options.seed),
+      gp_(dim, options.gp) {}
+
+Status CboAdvisor::Begin(const Observation& default_observation,
+                         const SlaConstraints& sla) {
+  sla_ = sla;
+  pending_lhs_ = LatinHypercubeSample(
+      static_cast<size_t>(options_.initial_lhs_samples), dim_, &rng_);
+  return Observe(default_observation);
+}
+
+AcquisitionContext CboAdvisor::MakeContext() const {
+  AcquisitionContext ctx;
+  ctx.lambda_tps = sla_.min_tps;
+  ctx.lambda_lat = sla_.max_lat;
+  for (const Observation& obs : history_) {
+    const bool counts = options_.acquisition ==
+                                CboAcquisition::kUnconstrainedEi
+                            ? true
+                            : sla_.IsFeasible(obs);
+    if (!counts) continue;
+    if (!ctx.has_feasible || obs.res < ctx.best_feasible_res) {
+      ctx.has_feasible = true;
+      ctx.best_feasible_res = obs.res;
+    }
+  }
+  return ctx;
+}
+
+Result<Vector> CboAdvisor::SuggestNext() {
+  StopWatch watch;
+  timing_.meta_processing_s = 0.0;
+  if (!pending_lhs_.empty()) {
+    Vector next = pending_lhs_.back();
+    pending_lhs_.pop_back();
+    timing_.recommendation_s = watch.Seconds();
+    return next;
+  }
+  if (!gp_.fitted()) {
+    return Status::FailedPrecondition("no observations yet; call Begin first");
+  }
+  const GpSurrogate surrogate(&gp_);
+  const AcquisitionContext ctx = MakeContext();
+  auto acquisition = [&](const Vector& theta) {
+    switch (options_.acquisition) {
+      case CboAcquisition::kConstrainedEi:
+        return ConstrainedExpectedImprovement(surrogate, theta, ctx);
+      case CboAcquisition::kUnconstrainedEi:
+        return UnconstrainedExpectedImprovement(surrogate, theta, ctx);
+      case CboAcquisition::kPenalizedEi:
+        return PenalizedExpectedImprovement(surrogate, theta, ctx,
+                                            options_.penalty);
+    }
+    return 0.0;
+  };
+  Vector next =
+      MaximizeAcquisition(acquisition, dim_, &rng_, options_.acq_optimizer);
+  timing_.recommendation_s = watch.Seconds();
+  return next;
+}
+
+Status CboAdvisor::Observe(const Observation& observation) {
+  StopWatch watch;
+  history_.push_back(observation);
+  RESTUNE_RETURN_IF_ERROR(gp_.Update(observation));
+  timing_.model_update_s = watch.Seconds();
+  return Status::OK();
+}
+
+}  // namespace restune

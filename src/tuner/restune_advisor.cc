@@ -1,0 +1,98 @@
+#include "tuner/restune_advisor.h"
+
+#include "bo/lhs.h"
+#include "tuner/stopwatch.h"
+
+namespace restune {
+
+ResTuneAdvisor::ResTuneAdvisor(size_t dim, Vector default_theta,
+                               std::vector<BaseLearner> base_learners,
+                               Vector target_meta_feature,
+                               ResTuneAdvisorOptions options)
+    : dim_(dim),
+      default_theta_(std::move(default_theta)),
+      options_(options),
+      rng_(options.seed) {
+  MetaLearnerOptions meta_options = options_.meta;
+  meta_options.seed = options_.seed ^ 0x9e3779b9;
+  meta_learner_ = std::make_unique<MetaLearner>(
+      dim_, std::move(base_learners), std::move(target_meta_feature),
+      meta_options);
+}
+
+Status ResTuneAdvisor::Begin(const Observation& default_observation,
+                             const SlaConstraints& sla) {
+  sla_ = sla;
+  if (!options_.workload_characterization_init) {
+    pending_lhs_ = LatinHypercubeSample(
+        static_cast<size_t>(options_.meta.static_weight_iterations), dim_,
+        &rng_);
+  }
+  return Observe(default_observation);
+}
+
+Result<Vector> ResTuneAdvisor::SuggestNext() {
+  StopWatch watch;
+  if (!pending_lhs_.empty()) {
+    Vector next = pending_lhs_.back();
+    pending_lhs_.pop_back();
+    timing_.recommendation_s = watch.Seconds();
+    return next;
+  }
+  if (history_.empty()) {
+    return Status::FailedPrecondition("no observations yet; call Begin first");
+  }
+
+  // Constraints are re-scaled into the surrogate's units by evaluating the
+  // meta-learner at the default configuration: λ'_u = L_M(θ_d)
+  // (Section 6.1). The incumbent is the best raw-feasible observation,
+  // mapped through the target standardizer.
+  AcquisitionContext ctx;
+  ctx.lambda_tps =
+      meta_learner_->RescaledThreshold(MetricKind::kTps, default_theta_);
+  ctx.lambda_lat =
+      meta_learner_->RescaledThreshold(MetricKind::kLat, default_theta_);
+  const Observation* best_feasible = nullptr;
+  for (const Observation& obs : history_) {
+    if (!sla_.IsFeasible(obs)) continue;
+    if (best_feasible == nullptr || obs.res < best_feasible->res) {
+      best_feasible = &obs;
+    }
+  }
+  if (best_feasible != nullptr) {
+    ctx.has_feasible = true;
+    // Plug-in incumbent: the surrogate's own prediction at the incumbent
+    // keeps the EI target in the ensemble's (standardized, mixed) output
+    // scale — a raw metric value would be incommensurable during the
+    // static phase, when the target standardizer barely exists.
+    ctx.best_feasible_res =
+        meta_learner_->PredictMetric(MetricKind::kRes, best_feasible->theta)
+            .mean;
+  }
+
+  auto acquisition = [&](const Vector& theta) {
+    return ConstrainedExpectedImprovement(*meta_learner_, theta, ctx);
+  };
+  Vector next =
+      MaximizeAcquisition(acquisition, dim_, &rng_, options_.acq_optimizer);
+  timing_.recommendation_s = watch.Seconds();
+  return next;
+}
+
+Status ResTuneAdvisor::Observe(const Observation& observation) {
+  // Meta-data processing (standardization + weight learning) and the
+  // target-model update both happen inside AddObservation; we time the
+  // whole call as model update and report the weight-learning share as
+  // meta-data processing using the phase the learner is in.
+  StopWatch watch;
+  history_.push_back(observation);
+  RESTUNE_RETURN_IF_ERROR(meta_learner_->AddObservation(observation));
+  const double total = watch.Seconds();
+  // Static-phase weight work is trivial; dynamic weights dominate.
+  const double meta_share = meta_learner_->in_static_phase() ? 0.25 : 0.6;
+  timing_.meta_processing_s = total * meta_share;
+  timing_.model_update_s = total * (1.0 - meta_share);
+  return Status::OK();
+}
+
+}  // namespace restune

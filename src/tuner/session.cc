@@ -1,0 +1,103 @@
+#include "tuner/session.h"
+
+#include <cmath>
+#include <fstream>
+
+namespace restune {
+
+int SessionResult::IterationsToBest(double rel_tol) const {
+  const double threshold = best_feasible_res * (1.0 + rel_tol);
+  for (const IterationRecord& rec : history) {
+    if (rec.best_feasible_res <= threshold) return rec.iteration;
+  }
+  return history.empty() ? 0 : history.back().iteration;
+}
+
+Status SessionResult::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << "iteration,res,tps,lat,feasible,best_feasible_res\n";
+  out << "0," << default_observation.res << "," << default_observation.tps
+      << "," << default_observation.lat << ",1," << default_observation.res
+      << "\n";
+  for (const IterationRecord& rec : history) {
+    out << rec.iteration << "," << rec.observation.res << ","
+        << rec.observation.tps << "," << rec.observation.lat << ","
+        << (rec.feasible ? 1 : 0) << "," << rec.best_feasible_res << "\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::IoError("write to '" + path + "' failed");
+}
+
+TuningSession::TuningSession(DbInstanceSimulator* simulator, Advisor* advisor,
+                             SessionOptions options)
+    : simulator_(simulator), advisor_(advisor), options_(options) {}
+
+Result<SessionResult> TuningSession::Run() {
+  SessionResult result;
+  RESTUNE_ASSIGN_OR_RETURN(result.default_observation,
+                           simulator_->EvaluateDefault());
+  result.sla =
+      DbInstanceSimulator::ConstraintsFromDefault(result.default_observation);
+  result.best_feasible_res = result.default_observation.res;
+  result.best_theta = result.default_observation.theta;
+  result.best_iteration = 0;
+
+  RESTUNE_RETURN_IF_ERROR(
+      advisor_->Begin(result.default_observation, result.sla));
+
+  int stable_iterations = 0;
+  int consecutive_infeasible = 0;
+  Observation last_obs = result.default_observation;
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    Result<Vector> suggestion = advisor_->SuggestNext();
+    if (!suggestion.ok()) {
+      if (suggestion.status().code() == StatusCode::kOutOfRange) break;
+      return suggestion.status();
+    }
+    RESTUNE_ASSIGN_OR_RETURN(const Observation obs,
+                             simulator_->Evaluate(*suggestion));
+    RESTUNE_RETURN_IF_ERROR(advisor_->Observe(obs));
+
+    IterationRecord rec;
+    rec.iteration = iter;
+    rec.observation = obs;
+    rec.feasible = result.sla.IsFeasible(obs, options_.sla_tolerance);
+    if (rec.feasible && obs.res < result.best_feasible_res) {
+      result.best_feasible_res = obs.res;
+      result.best_theta = obs.theta;
+      result.best_iteration = iter;
+    }
+    rec.best_feasible_res = result.best_feasible_res;
+    rec.timing = advisor_->last_timing();
+    rec.replay_seconds = simulator_->options().replay_seconds;
+    result.history.push_back(rec);
+
+    // Convergence rule: all three metrics stable for a whole window.
+    auto rel_change = [](double now, double before) {
+      return std::fabs(now - before) / std::max(std::fabs(before), 1e-9);
+    };
+    const bool stable = rel_change(obs.res, last_obs.res) <
+                            options_.convergence_delta &&
+                        rel_change(obs.tps, last_obs.tps) <
+                            options_.convergence_delta &&
+                        rel_change(obs.lat, last_obs.lat) <
+                            options_.convergence_delta;
+    stable_iterations = stable ? stable_iterations + 1 : 0;
+    last_obs = obs;
+    if (options_.stop_on_convergence &&
+        stable_iterations >= options_.convergence_window) {
+      result.converged = true;
+      break;
+    }
+    consecutive_infeasible = rec.feasible ? 0 : consecutive_infeasible + 1;
+    if (options_.max_consecutive_infeasible > 0 &&
+        consecutive_infeasible >= options_.max_consecutive_infeasible) {
+      result.aborted_by_safeguard = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace restune

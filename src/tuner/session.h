@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dbsim/simulator.h"
+#include "tuner/advisor.h"
+
+namespace restune {
+
+/// Options for a tuning session.
+struct SessionOptions {
+  int max_iterations = 200;
+  /// Relative tolerance when judging SLA feasibility (the paper accepts 5%
+  /// measurement deviation).
+  double sla_tolerance = 0.0;
+  /// Stop when res/tps/lat all change by less than `convergence_delta`
+  /// (relative) for `convergence_window` consecutive iterations — the
+  /// paper's convergence rule (0.5% over 10 iterations, Section 4).
+  bool stop_on_convergence = false;
+  double convergence_delta = 0.005;
+  int convergence_window = 10;
+  /// Safety rail for production/online-troubleshooting use (Section 1's
+  /// recovery-time framing): abort the session if this many consecutive
+  /// suggestions violate the SLA. 0 disables the guard.
+  int max_consecutive_infeasible = 0;
+};
+
+/// Per-iteration record of a tuning session.
+struct IterationRecord {
+  int iteration = 0;
+  Observation observation;
+  bool feasible = false;
+  /// Best feasible resource value up to and including this iteration
+  /// (default-config value until something better is found).
+  double best_feasible_res = 0.0;
+  IterationTiming timing;
+  double replay_seconds = 0.0;
+};
+
+/// Outcome of a tuning session.
+struct SessionResult {
+  Observation default_observation;
+  SlaConstraints sla;
+  std::vector<IterationRecord> history;
+  double best_feasible_res = 0.0;
+  Vector best_theta;
+  int best_iteration = 0;  // 0 = default configuration
+  bool converged = false;
+  /// True when the session ended because the infeasibility safety rail
+  /// tripped (the advisor kept violating the SLA).
+  bool aborted_by_safeguard = false;
+
+  /// Iterations until the best feasible value was first reached within
+  /// `rel_tol` (paper Table 4's "Iteration" rows).
+  int IterationsToBest(double rel_tol = 0.0) const;
+
+  /// Writes the per-iteration history as CSV
+  /// (iteration,res,tps,lat,feasible,best_feasible_res) for plotting.
+  Status WriteCsv(const std::string& path) const;
+};
+
+/// Drives one tuning task end to end: evaluates the DBA default to fix the
+/// SLA thresholds, then loops advisor suggestion → simulated replay →
+/// feedback, tracking the best feasible configuration (the paper's tuning
+/// loop, Section 4).
+class TuningSession {
+ public:
+  TuningSession(DbInstanceSimulator* simulator, Advisor* advisor,
+                SessionOptions options = {});
+
+  Result<SessionResult> Run();
+
+ private:
+  DbInstanceSimulator* simulator_;
+  Advisor* advisor_;
+  SessionOptions options_;
+};
+
+}  // namespace restune

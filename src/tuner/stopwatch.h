@@ -1,0 +1,24 @@
+#pragma once
+
+#include <chrono>
+
+namespace restune {
+
+/// Monotonic wall-clock stopwatch for the Table 3 timing breakdown.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace restune

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/knob_importance.h"
+#include "analysis/shap.h"
+#include "analysis/tco.h"
+
+#include "common/rng.h"
+
+namespace restune {
+namespace {
+
+// ------------------------------------------------------------------- SHAP
+
+TEST(ShapTest, EfficiencyPropertyHolds) {
+  // Contributions must sum to f(current) - f(default) for any f.
+  auto f = [](const Vector& x) {
+    return 3.0 * x[0] - 2.0 * x[1] * x[1] + x[0] * x[2] + 1.0;
+  };
+  const Vector def = {0.0, 1.0, 2.0};
+  const Vector cur = {1.0, 0.0, -1.0};
+  const auto shap = ExactShapley(f, def, cur);
+  ASSERT_TRUE(shap.ok());
+  double sum = 0.0;
+  for (double phi : shap->phi) sum += phi;
+  EXPECT_NEAR(sum, shap->current_value - shap->base_value, 1e-9);
+  EXPECT_NEAR(shap->base_value, f(def), 1e-12);
+  EXPECT_NEAR(shap->current_value, f(cur), 1e-12);
+}
+
+TEST(ShapTest, AdditiveFunctionAttributesExactly) {
+  // For an additive function each phi_i is exactly its own delta.
+  auto f = [](const Vector& x) { return 2.0 * x[0] + 5.0 * x[1] - x[2]; };
+  const Vector def = {1.0, 1.0, 1.0};
+  const Vector cur = {3.0, 0.0, 4.0};
+  const auto shap = ExactShapley(f, def, cur);
+  ASSERT_TRUE(shap.ok());
+  EXPECT_NEAR(shap->phi[0], 4.0, 1e-9);   // 2*(3-1)
+  EXPECT_NEAR(shap->phi[1], -5.0, 1e-9);  // 5*(0-1)
+  EXPECT_NEAR(shap->phi[2], -3.0, 1e-9);  // -(4-1)
+}
+
+TEST(ShapTest, NullFeatureGetsZero) {
+  auto f = [](const Vector& x) { return x[0]; };
+  const auto shap = ExactShapley(f, {0.0, 0.0}, {1.0, 1.0});
+  ASSERT_TRUE(shap.ok());
+  EXPECT_NEAR(shap->phi[1], 0.0, 1e-12);
+}
+
+TEST(ShapTest, SymmetryProperty) {
+  // Symmetric features get equal attribution.
+  auto f = [](const Vector& x) { return x[0] * x[1]; };
+  const auto shap = ExactShapley(f, {0.0, 0.0}, {1.0, 1.0});
+  ASSERT_TRUE(shap.ok());
+  EXPECT_NEAR(shap->phi[0], shap->phi[1], 1e-12);
+  EXPECT_NEAR(shap->phi[0], 0.5, 1e-12);
+}
+
+TEST(ShapTest, InputValidation) {
+  auto f = [](const Vector&) { return 0.0; };
+  EXPECT_FALSE(ExactShapley(f, {}, {}).ok());
+  EXPECT_FALSE(ExactShapley(f, {0.0}, {0.0, 1.0}).ok());
+  EXPECT_FALSE(ExactShapley(f, Vector(25, 0.0), Vector(25, 1.0)).ok());
+}
+
+// -------------------------------------------------------------------- TCO
+
+TEST(TcoTest, CoresUsedRoundsUp) {
+  EXPECT_EQ(CoresUsed(75.0, 48), 36);
+  EXPECT_EQ(CoresUsed(11.25, 48), 6);   // 5.4 -> 6
+  EXPECT_EQ(CoresUsed(0.0, 48), 0);
+  EXPECT_EQ(CoresUsed(100.0, 48), 48);
+  EXPECT_EQ(CoresUsed(150.0, 48), 48);  // clamped
+}
+
+TEST(TcoTest, AveragePerCoreMatchesPaperTable8) {
+  // Table 8: SYSBENCH instance A saves 22 cores -> $8,749 average.
+  const double avg = AverageCpuTcoReduction(43, 21);
+  EXPECT_NEAR(avg, 8749.0, 80.0);
+  // Instance B: 1 core -> $398.
+  EXPECT_NEAR(AverageCpuTcoReduction(7, 6), 398.0, 5.0);
+  // No change, no reduction.
+  EXPECT_DOUBLE_EQ(AverageCpuTcoReduction(4, 4), 0.0);
+}
+
+TEST(TcoTest, MemoryPricesMatchPaperTable9) {
+  // Table 9: SYSBENCH on E, 25.4 -> 12.64 GB.
+  EXPECT_NEAR(MemoryTcoReduction(25.4, 12.64, CloudProvider::kAws), 983.0,
+              5.0);
+  EXPECT_NEAR(MemoryTcoReduction(25.4, 12.64, CloudProvider::kAzure), 855.0,
+              5.0);
+  EXPECT_NEAR(MemoryTcoReduction(25.4, 12.64, CloudProvider::kAliyun), 2144.0,
+              5.0);
+  // TPC-C on E, 22.5 -> 16.34 GB.
+  EXPECT_NEAR(MemoryTcoReduction(22.5, 16.34, CloudProvider::kAliyun), 1035.0,
+              5.0);
+}
+
+TEST(TcoTest, NegativeSavingsClampToZero) {
+  EXPECT_DOUBLE_EQ(CpuTcoReduction(4, 8, CloudProvider::kAws), 0.0);
+  EXPECT_DOUBLE_EQ(MemoryTcoReduction(10.0, 12.0, CloudProvider::kAzure),
+                   0.0);
+}
+
+TEST(TcoTest, ProviderNames) {
+  EXPECT_STREQ(CloudProviderName(CloudProvider::kAws), "AWS");
+  EXPECT_STREQ(CloudProviderName(CloudProvider::kAzure), "Azure");
+  EXPECT_STREQ(CloudProviderName(CloudProvider::kAliyun), "Aliyun");
+}
+
+
+// -------------------------------------------------------- knob importance
+
+TEST(KnobImportanceTest, IdentifiesDominantKnob) {
+  // res depends strongly on knob 0, weakly on knob 1, not at all on knob 2.
+  Rng data_rng(3);
+  std::vector<Observation> obs;
+  for (int i = 0; i < 60; ++i) {
+    Observation o;
+    o.theta = {data_rng.Uniform(), data_rng.Uniform(), data_rng.Uniform()};
+    o.res = 100.0 * o.theta[0] + 5.0 * o.theta[1];
+    o.tps = 1.0;
+    o.lat = 1.0;
+    obs.push_back(o);
+  }
+  const KnobSpace space = CaseStudyKnobSpace();
+  Rng rng(4);
+  const auto ranking = RankKnobImportanceFromHistory(obs, space, &rng);
+  ASSERT_TRUE(ranking.ok()) << ranking.status().ToString();
+  ASSERT_EQ(ranking->size(), 3u);
+  EXPECT_EQ((*ranking)[0].index, 0u);
+  EXPECT_GT((*ranking)[0].score, 0.7);
+  EXPECT_LT((*ranking)[2].score, 0.1);
+  // Scores are a normalized distribution.
+  double sum = 0.0;
+  for (const auto& ki : *ranking) sum += ki.score;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(KnobImportanceTest, SelectTopKnobsBuildsSubSpace) {
+  const KnobSpace space = CaseStudyKnobSpace();
+  std::vector<KnobImportance> ranking(3);
+  ranking[0] = {"innodb_lru_scan_depth", 2, 0.6};
+  ranking[1] = {"innodb_thread_concurrency", 0, 0.3};
+  ranking[2] = {"innodb_spin_wait_delay", 1, 0.1};
+  const auto reduced = SelectTopKnobs(space, ranking, 2);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->dim(), 2u);
+  EXPECT_TRUE(reduced->Contains("innodb_lru_scan_depth"));
+  EXPECT_TRUE(reduced->Contains("innodb_thread_concurrency"));
+  EXPECT_FALSE(reduced->Contains("innodb_spin_wait_delay"));
+}
+
+TEST(KnobImportanceTest, InputValidation) {
+  const KnobSpace space = CaseStudyKnobSpace();
+  Rng rng(1);
+  EXPECT_FALSE(RankKnobImportanceFromHistory({}, space, &rng).ok());
+  GpModel unfitted(3);
+  EXPECT_FALSE(RankKnobImportance(unfitted, space, &rng).ok());
+  std::vector<KnobImportance> ranking(3);
+  for (size_t i = 0; i < 3; ++i) ranking[i].index = i;
+  EXPECT_FALSE(SelectTopKnobs(space, ranking, 0).ok());
+  EXPECT_FALSE(SelectTopKnobs(space, ranking, 9).ok());
+}
+
+}  // namespace
+}  // namespace restune

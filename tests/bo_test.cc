@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "bo/acq_optimizer.h"
+#include "bo/batch.h"
+#include "bo/acquisition.h"
+#include "bo/lhs.h"
+#include "bo/surrogate.h"
+
+namespace restune {
+namespace {
+
+TEST(LhsTest, OneSamplePerStratum) {
+  Rng rng(2);
+  const size_t n = 16;
+  const auto samples = LatinHypercubeSample(n, 3, &rng);
+  ASSERT_EQ(samples.size(), n);
+  for (size_t d = 0; d < 3; ++d) {
+    std::vector<bool> stratum_hit(n, false);
+    for (const Vector& s : samples) {
+      ASSERT_GE(s[d], 0.0);
+      ASSERT_LT(s[d], 1.0);
+      const size_t stratum = static_cast<size_t>(s[d] * n);
+      EXPECT_FALSE(stratum_hit[stratum]) << "stratum hit twice in dim " << d;
+      stratum_hit[stratum] = true;
+    }
+  }
+}
+
+TEST(LhsTest, UniformSampleInBounds) {
+  Rng rng(2);
+  for (const Vector& s : UniformSample(100, 4, &rng)) {
+    ASSERT_EQ(s.size(), 4u);
+    for (double v : s) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(ExpectedImprovementTest, ZeroWhenCertainAndWorse) {
+  // Deterministic prediction worse than the incumbent: no improvement.
+  EXPECT_DOUBLE_EQ(ExpectedImprovement({10.0, 0.0}, 5.0), 0.0);
+}
+
+TEST(ExpectedImprovementTest, ExactWhenCertainAndBetter) {
+  EXPECT_DOUBLE_EQ(ExpectedImprovement({3.0, 0.0}, 5.0), 2.0);
+}
+
+TEST(ExpectedImprovementTest, UncertaintyAddsValue) {
+  // Same mean as incumbent: EI = sigma * phi(0).
+  const double ei = ExpectedImprovement({5.0, 4.0}, 5.0);
+  EXPECT_NEAR(ei, 2.0 * 0.3989422804, 1e-6);
+  // More variance, more EI.
+  EXPECT_GT(ExpectedImprovement({5.0, 9.0}, 5.0), ei);
+}
+
+TEST(ExpectedImprovementTest, NonNegative) {
+  for (double mean : {0.0, 5.0, 50.0}) {
+    for (double var : {0.0, 0.1, 10.0}) {
+      EXPECT_GE(ExpectedImprovement({mean, var}, 5.0), 0.0);
+    }
+  }
+}
+
+TEST(ProbabilityOfFeasibilityTest, CertainCases) {
+  // tps well above threshold, lat well below: certainly feasible.
+  EXPECT_NEAR(ProbabilityOfFeasibility({2000.0, 1.0}, {5.0, 0.01}, 1000.0,
+                                       10.0),
+              1.0, 1e-6);
+  // tps below threshold with no variance: certainly infeasible.
+  EXPECT_NEAR(ProbabilityOfFeasibility({500.0, 0.0}, {5.0, 0.0}, 1000.0,
+                                       10.0),
+              0.0, 1e-12);
+}
+
+TEST(ProbabilityOfFeasibilityTest, AtThresholdIsHalf) {
+  const double p =
+      ProbabilityOfFeasibility({1000.0, 100.0}, {1.0, 0.0}, 1000.0, 10.0);
+  EXPECT_NEAR(p, 0.5, 1e-9);
+}
+
+TEST(ProbabilityOfFeasibilityTest, ProductOfIndependentConstraints) {
+  const double p_both =
+      ProbabilityOfFeasibility({1000.0, 100.0}, {10.0, 4.0}, 1000.0, 10.0);
+  EXPECT_NEAR(p_both, 0.25, 1e-9);  // 0.5 * 0.5
+}
+
+/// Analytic surrogate for acquisition tests: res = θ₀ (minimize), tps falls
+/// below threshold when θ₀ < 0.3 (so low θ₀ is infeasible).
+class FakeSurrogate : public Surrogate {
+ public:
+  GpPrediction PredictMetric(MetricKind kind,
+                             const Vector& theta) const override {
+    switch (kind) {
+      case MetricKind::kRes:
+        return {theta[0], 0.01};
+      case MetricKind::kTps:
+        return {theta[0] * 1000.0, 1.0};
+      case MetricKind::kLat:
+        return {1.0, 0.01};
+    }
+    return {};
+  }
+  size_t dim() const override { return 1; }
+};
+
+TEST(ConstrainedEiTest, PrefersFeasibleOverInfeasibleMinimum) {
+  FakeSurrogate surrogate;
+  AcquisitionContext ctx;
+  ctx.has_feasible = true;
+  ctx.best_feasible_res = 0.8;
+  ctx.lambda_tps = 300.0;  // θ₀ >= 0.3 feasible
+  ctx.lambda_lat = 10.0;
+  // θ₀ = 0.05 has the lowest res but almost surely violates the tps bound.
+  const double infeasible =
+      ConstrainedExpectedImprovement(surrogate, {0.05}, ctx);
+  const double feasible =
+      ConstrainedExpectedImprovement(surrogate, {0.4}, ctx);
+  EXPECT_GT(feasible, infeasible);
+}
+
+TEST(ConstrainedEiTest, ChasesFeasibilityWhenNoIncumbent) {
+  FakeSurrogate surrogate;
+  AcquisitionContext ctx;
+  ctx.has_feasible = false;
+  ctx.lambda_tps = 300.0;
+  ctx.lambda_lat = 10.0;
+  // Without an incumbent CEI reduces to the probability of feasibility.
+  const double low = ConstrainedExpectedImprovement(surrogate, {0.1}, ctx);
+  const double high = ConstrainedExpectedImprovement(surrogate, {0.9}, ctx);
+  EXPECT_GT(high, low);
+  EXPECT_LE(high, 1.0 + 1e-9);
+}
+
+TEST(UnconstrainedEiTest, IgnoresConstraints) {
+  FakeSurrogate surrogate;
+  AcquisitionContext ctx;
+  ctx.has_feasible = true;
+  ctx.best_feasible_res = 0.8;
+  ctx.lambda_tps = 1e9;  // impossible constraint — must be ignored
+  const double at_min = UnconstrainedExpectedImprovement(surrogate, {0.05},
+                                                         ctx);
+  const double at_mid = UnconstrainedExpectedImprovement(surrogate, {0.5},
+                                                         ctx);
+  EXPECT_GT(at_min, at_mid);
+}
+
+TEST(PenalizedEiTest, PenaltyDiscouragesViolations) {
+  FakeSurrogate surrogate;
+  AcquisitionContext ctx;
+  ctx.has_feasible = true;
+  ctx.best_feasible_res = 0.8;
+  ctx.lambda_tps = 300.0;
+  ctx.lambda_lat = 10.0;
+  const double mild =
+      PenalizedExpectedImprovement(surrogate, {0.05}, ctx, 0.0001);
+  const double harsh =
+      PenalizedExpectedImprovement(surrogate, {0.05}, ctx, 100.0);
+  EXPECT_GE(mild, harsh);
+}
+
+TEST(AcqOptimizerTest, FindsGlobalRegionOfSimpleFunction) {
+  Rng rng(4);
+  auto acquisition = [](const Vector& x) {
+    // Peak at (0.7, 0.2).
+    const double dx = x[0] - 0.7, dy = x[1] - 0.2;
+    return std::exp(-20.0 * (dx * dx + dy * dy));
+  };
+  AcqOptimizerOptions options;
+  options.num_candidates = 512;
+  const Vector best = MaximizeAcquisition(acquisition, 2, &rng, options);
+  EXPECT_NEAR(best[0], 0.7, 0.1);
+  EXPECT_NEAR(best[1], 0.2, 0.1);
+}
+
+TEST(AcqOptimizerTest, StaysInUnitBox) {
+  Rng rng(4);
+  // Monotone function pushing toward the boundary.
+  auto acquisition = [](const Vector& x) { return x[0] - x[1]; };
+  const Vector best = MaximizeAcquisition(acquisition, 2, &rng);
+  EXPECT_GE(best[0], 0.0);
+  EXPECT_LE(best[0], 1.0);
+  EXPECT_GE(best[1], 0.0);
+  EXPECT_LE(best[1], 1.0);
+  EXPECT_GT(best[0], 0.8);  // refinement should push to the edge
+  EXPECT_LT(best[1], 0.2);
+}
+
+TEST(AcqOptimizerTest, RefinementImprovesOverBestCandidate) {
+  Rng rng_a(8), rng_b(8);
+  auto acquisition = [](const Vector& x) {
+    const double d = x[0] - 0.515;
+    return -d * d;
+  };
+  AcqOptimizerOptions coarse;
+  coarse.num_candidates = 16;
+  coarse.num_refine = 0;
+  AcqOptimizerOptions refined = coarse;
+  refined.num_refine = 3;
+  refined.refine_passes = 4;
+  const Vector without = MaximizeAcquisition(acquisition, 1, &rng_a, coarse);
+  const Vector with = MaximizeAcquisition(acquisition, 1, &rng_b, refined);
+  EXPECT_LE(std::fabs(with[0] - 0.515), std::fabs(without[0] - 0.515) + 1e-9);
+}
+
+
+TEST(ProbabilityOfImprovementTest, KnownValues) {
+  EXPECT_NEAR(ProbabilityOfImprovement({5.0, 4.0}, 5.0), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(ProbabilityOfImprovement({3.0, 0.0}, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(ProbabilityOfImprovement({7.0, 0.0}, 5.0), 0.0);
+  // Lower mean -> higher improvement probability.
+  EXPECT_GT(ProbabilityOfImprovement({4.0, 1.0}, 5.0),
+            ProbabilityOfImprovement({4.5, 1.0}, 5.0));
+}
+
+TEST(LowerConfidenceBoundTest, BetaControlsExploration) {
+  const GpPrediction uncertain{10.0, 25.0};
+  const GpPrediction certain{10.0, 0.01};
+  // With exploration, the uncertain point scores higher (lower bound is
+  // more optimistic for minimization).
+  EXPECT_GT(LowerConfidenceBound(uncertain, 2.0),
+            LowerConfidenceBound(certain, 2.0));
+  // With beta = 0 only the mean matters.
+  EXPECT_NEAR(LowerConfidenceBound(uncertain, 0.0),
+              LowerConfidenceBound(certain, 0.0), 1e-9);
+}
+
+TEST(ConstrainedVariantsTest, FeasibilityWeightsApply) {
+  FakeSurrogate surrogate;
+  AcquisitionContext ctx;
+  ctx.has_feasible = true;
+  ctx.best_feasible_res = 0.8;
+  ctx.lambda_tps = 300.0;
+  ctx.lambda_lat = 10.0;
+  // Infeasible minimum scores below a feasible point for both variants.
+  EXPECT_GT(ConstrainedProbabilityOfImprovement(surrogate, {0.4}, ctx),
+            ConstrainedProbabilityOfImprovement(surrogate, {0.05}, ctx));
+  EXPECT_GT(ConstrainedLowerConfidenceBound(surrogate, {0.4}, ctx, 2.0),
+            ConstrainedLowerConfidenceBound(surrogate, {0.05}, ctx, 2.0));
+}
+
+
+TEST(BatchProposalTest, PointsAreDiverse) {
+  Rng rng(6);
+  // Single-peak acquisition: without penalization every pick would land on
+  // the same spot.
+  auto acquisition = [](const Vector& x) {
+    const double dx = x[0] - 0.5, dy = x[1] - 0.5;
+    return std::exp(-10.0 * (dx * dx + dy * dy));
+  };
+  BatchProposalOptions options;
+  options.penalty_radius = 0.2;
+  const auto batch = ProposeBatch(acquisition, 2, 4, &rng, options);
+  ASSERT_EQ(batch.size(), 4u);
+  // First pick is near the peak; subsequent picks keep their distance.
+  EXPECT_NEAR(batch[0][0], 0.5, 0.1);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    for (size_t j = i + 1; j < batch.size(); ++j) {
+      EXPECT_GT(SquaredDistance(batch[i], batch[j]), 0.15 * 0.15 * 0.25)
+          << "picks " << i << " and " << j << " collapsed together";
+    }
+  }
+}
+
+TEST(BatchProposalTest, SingleElementBatchMatchesPlainMaximization) {
+  Rng rng_a(9), rng_b(9);
+  auto acquisition = [](const Vector& x) { return -(x[0] - 0.3) * (x[0] - 0.3); };
+  const auto batch = ProposeBatch(acquisition, 1, 1, &rng_a);
+  const Vector single = MaximizeAcquisition(acquisition, 1, &rng_b);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_NEAR(batch[0][0], single[0], 1e-9);
+}
+
+}  // namespace
+}  // namespace restune

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/nelder_mead.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace restune {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status st = Status::InvalidArgument("bad knob");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad knob");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad knob");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+}
+
+Status FailsThenPropagates() {
+  RESTUNE_RETURN_IF_ERROR(Status::NotFound("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  const Status st = FailsThenPropagates();
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<double> HalfOf(double x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return x / 2.0;
+}
+
+Result<double> QuarterOf(double x) {
+  RESTUNE_ASSIGN_OR_RETURN(const double half, HalfOf(x));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_DOUBLE_EQ(*QuarterOf(8.0), 2.0);
+  EXPECT_FALSE(QuarterOf(-1.0).ok());
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.Gaussian();
+  EXPECT_NEAR(Mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(StdDev(xs), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(11);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(Mean(xs), 5.0, 0.05);
+  EXPECT_NEAR(StdDev(xs), 2.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(v.begin(), v.end()), b(shuffled.begin(),
+                                              shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.NextUint64(), child.NextUint64());
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(StatsTest, MeanAndStdDev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(PopulationStdDev(xs), 2.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), 2.138, 1e-3);
+}
+
+TEST(StatsTest, EmptyInputsAreSafe) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_EQ(Min({}), 0.0);
+  EXPECT_EQ(Max({}), 0.0);
+}
+
+TEST(StatsTest, Quantiles) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.0);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, zs), -1.0, 1e-12);
+}
+
+TEST(StatsTest, SpearmanHandlesMonotoneNonlinear) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::exp(0.3 * i));  // monotone but nonlinear
+  }
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(StatsTest, RanksWithTies) {
+  const std::vector<double> xs = {10, 20, 20, 30};
+  const std::vector<double> r = Ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(StatsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(StatsTest, NormalPdfPeak) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989, 1e-4);
+  EXPECT_GT(NormalPdf(0.0), NormalPdf(1.0));
+}
+
+// ----------------------------------------------------------- StringUtil
+
+TEST(StringUtilTest, SplitString) {
+  const auto parts = SplitString("a,b;;c", ",;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, CaseConversionAndTrim) {
+  EXPECT_EQ(ToUpper("select"), "SELECT");
+  EXPECT_EQ(ToLower("SELECT"), "select");
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, StartsWithAndJoin) {
+  EXPECT_TRUE(StartsWith("innodb_buffer", "innodb"));
+  EXPECT_FALSE(StartsWith("inno", "innodb"));
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+}
+
+// ----------------------------------------------------------- NelderMead
+
+TEST(NelderMeadTest, MinimizesQuadratic) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 200;
+  const auto result = NelderMeadMinimize(f, {0.0, 0.0}, opts);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-2);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-2);
+  EXPECT_LT(result.value, 1e-3);
+}
+
+TEST(NelderMeadTest, MinimizesRosenbrockReasonably) {
+  auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 500;
+  opts.tolerance = 1e-12;
+  const auto result = NelderMeadMinimize(f, {-1.0, 1.0}, opts);
+  EXPECT_LT(result.value, 0.1);
+}
+
+TEST(NelderMeadTest, RespectsIterationBudget) {
+  int evals = 0;
+  auto f = [&evals](const std::vector<double>& x) {
+    ++evals;
+    return x[0] * x[0];
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 5;
+  NelderMeadMinimize(f, {10.0}, opts);
+  EXPECT_LT(evals, 30);
+}
+
+}  // namespace
+}  // namespace restune

@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbsim/engine.h"
+#include "dbsim/hardware.h"
+#include "dbsim/knob.h"
+#include "dbsim/simulator.h"
+#include "dbsim/workload.h"
+
+namespace restune {
+namespace {
+
+// ------------------------------------------------------------------ knobs
+
+TEST(KnobSpaceTest, DefaultThetaRoundTrips) {
+  const KnobSpace space = CpuKnobSpace();
+  const Vector theta = space.DefaultTheta();
+  const Vector raw = space.ToRaw(theta);
+  for (size_t i = 0; i < space.dim(); ++i) {
+    EXPECT_NEAR(raw[i], space.knob(i).default_value, 1e-6)
+        << space.knob(i).name;
+  }
+}
+
+TEST(KnobSpaceTest, NormalizeDenormalizeInverse) {
+  const KnobSpace space = IoKnobSpace();
+  Vector theta(space.dim());
+  for (size_t i = 0; i < theta.size(); ++i) {
+    theta[i] = static_cast<double>(i) / static_cast<double>(theta.size());
+  }
+  const Vector raw = space.ToRaw(theta);
+  const Vector again = space.ToRaw(space.ToNormalized(raw));
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_NEAR(raw[i], again[i], 1e-9) << space.knob(i).name;
+  }
+}
+
+TEST(KnobSpaceTest, IntegralKnobsRounded) {
+  const KnobSpace space = CaseStudyKnobSpace();
+  for (double t : {0.0, 0.17, 0.5, 0.83, 1.0}) {
+    const Vector raw = space.ToRaw(Vector(space.dim(), t));
+    for (size_t i = 0; i < space.dim(); ++i) {
+      EXPECT_DOUBLE_EQ(raw[i], std::round(raw[i])) << space.knob(i).name;
+    }
+  }
+}
+
+TEST(KnobSpaceTest, ClampsOutOfRangeTheta) {
+  const KnobSpace space = Fig1KnobSpace();
+  const Vector raw = space.ToRaw({-0.5, 1.5});
+  EXPECT_DOUBLE_EQ(raw[0], space.knob(0).min_value);
+  EXPECT_DOUBLE_EQ(raw[1], space.knob(1).max_value);
+}
+
+TEST(KnobSpaceTest, LogScaleKnobsCoverDecades) {
+  const KnobSpace space = MemoryKnobSpace(64.0);
+  const auto idx = space.IndexOf("sort_buffer_size_mb");
+  ASSERT_TRUE(idx.ok());
+  Vector lo(space.dim(), 0.0), hi(space.dim(), 1.0), mid(space.dim(), 0.5);
+  const double raw_lo = space.ToRaw(lo)[*idx];
+  const double raw_mid = space.ToRaw(mid)[*idx];
+  const double raw_hi = space.ToRaw(hi)[*idx];
+  // Geometric, not arithmetic, midpoint.
+  EXPECT_NEAR(raw_mid, std::sqrt(raw_lo * raw_hi), 1e-6);
+}
+
+TEST(KnobSpaceTest, LookupAndErrors) {
+  const KnobSpace space = CpuKnobSpace();
+  EXPECT_TRUE(space.Contains("innodb_thread_concurrency"));
+  EXPECT_FALSE(space.Contains("no_such_knob"));
+  EXPECT_FALSE(space.IndexOf("no_such_knob").ok());
+  const auto v =
+      space.RawValue(space.DefaultTheta(), "innodb_spin_wait_delay");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 6.0);
+}
+
+TEST(KnobSpaceTest, PaperKnobCounts) {
+  EXPECT_EQ(CpuKnobSpace().dim(), 14u);      // Section 7: 14 CPU knobs
+  EXPECT_EQ(MemoryKnobSpace(64).dim(), 6u);  // 6 memory knobs
+  EXPECT_EQ(IoKnobSpace().dim(), 20u);       // 20 I/O knobs
+  EXPECT_EQ(CaseStudyKnobSpace().dim(), 3u);
+  EXPECT_EQ(Fig1KnobSpace().dim(), 2u);
+}
+
+// --------------------------------------------------------------- hardware
+
+TEST(HardwareTest, PaperTable1Instances) {
+  const HardwareSpec a = HardwareInstance('A').value();
+  EXPECT_EQ(a.cores, 48);
+  EXPECT_DOUBLE_EQ(a.ram_gb, 12.0);
+  const HardwareSpec f = HardwareInstance('F').value();
+  EXPECT_EQ(f.cores, 64);
+  EXPECT_DOUBLE_EQ(f.ram_gb, 128.0);
+  EXPECT_FALSE(HardwareInstance('Z').ok());
+}
+
+// --------------------------------------------------------------- workload
+
+TEST(WorkloadTest, Table2Parameters) {
+  const WorkloadProfile sysbench =
+      MakeWorkload(WorkloadKind::kSysbench).value();
+  EXPECT_EQ(sysbench.client_threads, 64);
+  EXPECT_NEAR(sysbench.read_write_ratio, 3.5, 1e-9);
+  EXPECT_DOUBLE_EQ(sysbench.request_rate, 21000.0);
+
+  const WorkloadProfile twitter = MakeWorkload(WorkloadKind::kTwitter).value();
+  EXPECT_EQ(twitter.client_threads, 512);
+  EXPECT_NEAR(twitter.read_write_ratio, 116.0, 1e-9);
+}
+
+TEST(WorkloadTest, SizeOverride) {
+  const WorkloadProfile w = MakeWorkload(WorkloadKind::kSysbench, 100).value();
+  EXPECT_DOUBLE_EQ(w.data_size_gb, 100.0);
+  EXPECT_EQ(w.name, "SYSBENCH-100G");
+}
+
+TEST(WorkloadTest, TwitterVariationsDecreaseRwRatio) {
+  // Table 5: 32:1, 19:1, 14:1, 11:1, 9:1.
+  const double expected[] = {32, 19, 14, 11, 9};
+  double prev = MakeWorkload(WorkloadKind::kTwitter).value().read_write_ratio;
+  for (int v = 1; v <= 5; ++v) {
+    const WorkloadProfile w = TwitterVariation(v).value();
+    EXPECT_NEAR(w.read_write_ratio, expected[v - 1], 1e-9);
+    EXPECT_LT(w.read_write_ratio, prev);
+    prev = w.read_write_ratio;
+  }
+  EXPECT_FALSE(TwitterVariation(0).ok());
+  EXPECT_FALSE(TwitterVariation(6).ok());
+}
+
+TEST(WorkloadTest, TpccWarehouseSizing) {
+  // Table 7 anchor points, within ~15%.
+  EXPECT_NEAR(MakeTpccWithWarehouses(200).data_size_gb, 16.26, 2.5);
+  EXPECT_NEAR(MakeTpccWithWarehouses(1000).data_size_gb, 117.06, 18.0);
+  // Monotone in warehouse count.
+  EXPECT_LT(MakeTpccWithWarehouses(100).data_size_gb,
+            MakeTpccWithWarehouses(500).data_size_gb);
+}
+
+// ----------------------------------------------------------------- engine
+
+class EngineTest : public ::testing::Test {
+ protected:
+  HardwareSpec hw_ = HardwareInstance('A').value();
+  WorkloadProfile twitter_ = MakeWorkload(WorkloadKind::kTwitter).value();
+  WorkloadProfile sysbench_ = MakeWorkload(WorkloadKind::kSysbench).value();
+
+  PerfMetrics Eval(const EngineConfig& c, const WorkloadProfile& w) {
+    return EngineModel::Evaluate(c, hw_, w);
+  }
+};
+
+TEST_F(EngineTest, DefaultMeetsRequestRate) {
+  const PerfMetrics m = Eval(EngineConfig::Defaults(hw_), twitter_);
+  EXPECT_NEAR(m.tps, twitter_.request_rate, 1.0);
+  EXPECT_GT(m.cpu_util_pct, 30.0);
+  EXPECT_LT(m.cpu_util_pct, 99.0);
+}
+
+TEST_F(EngineTest, ThreadConcurrencyCapCutsContentionCpu) {
+  // The paper's headline effect: capping InnoDB concurrency on an
+  // oversubscribed workload slashes CPU while keeping throughput.
+  EngineConfig def = EngineConfig::Defaults(hw_);
+  EngineConfig capped = def;
+  capped.thread_concurrency = 16;
+  const PerfMetrics m_def = Eval(def, twitter_);
+  const PerfMetrics m_cap = Eval(capped, twitter_);
+  EXPECT_NEAR(m_cap.tps, m_def.tps, m_def.tps * 0.01);
+  EXPECT_LT(m_cap.cpu_util_pct, m_def.cpu_util_pct * 0.5);
+}
+
+TEST_F(EngineTest, TooFewThreadsViolatesThroughput) {
+  EngineConfig c = EngineConfig::Defaults(hw_);
+  c.thread_concurrency = 2;
+  const PerfMetrics m = Eval(c, twitter_);
+  EXPECT_LT(m.tps, twitter_.request_rate * 0.5);
+}
+
+TEST_F(EngineTest, SpinTradeoff) {
+  // Disabling spinning saves CPU but raises lock-handoff latency
+  // (the Fig. 7 spin_wait_delay trade-off).
+  EngineConfig def = EngineConfig::Defaults(hw_);
+  EngineConfig no_spin = def;
+  no_spin.spin_wait_delay = 0;
+  const PerfMetrics m_def = Eval(def, twitter_);
+  const PerfMetrics m_ns = Eval(no_spin, twitter_);
+  EXPECT_LT(m_ns.cpu_util_pct, m_def.cpu_util_pct);
+  EXPECT_GT(m_ns.lock_wait_us, m_def.lock_wait_us);
+}
+
+TEST_F(EngineTest, Fig1PlateauTpsFlatCpuVaries) {
+  // Sweep sync_spin_loops and table_open_cache on a large instance:
+  // throughput stays rate-bounded over most of the grid while CPU varies
+  // widely (Fig. 1's plateau).
+  const HardwareSpec hw = HardwareInstance('F').value();
+  EngineConfig c = EngineConfig::Defaults(hw);
+  const WorkloadProfile w = MakeWorkload(WorkloadKind::kHotel).value();
+  double cpu_min = 1e9, cpu_max = -1e9;
+  int rate_bound = 0, total = 0;
+  for (double loops : {0.0, 2000.0, 5000.0, 9000.0}) {
+    for (double toc : {1.0, 2500.0, 5000.0, 9886.0}) {
+      c.sync_spin_loops = loops;
+      c.table_open_cache = toc;
+      const PerfMetrics m = EngineModel::Evaluate(c, hw, w);
+      cpu_min = std::min(cpu_min, m.cpu_util_pct);
+      cpu_max = std::max(cpu_max, m.cpu_util_pct);
+      ++total;
+      if (m.tps >= w.request_rate * 0.99) ++rate_bound;
+    }
+  }
+  EXPECT_GE(rate_bound, total * 3 / 4);  // most of the grid is rate-bound
+  EXPECT_GT(cpu_max - cpu_min, 15.0);    // but CPU spans a wide range
+}
+
+TEST_F(EngineTest, BufferPoolGrowsHitRatio) {
+  EngineConfig small = EngineConfig::Defaults(hw_);
+  small.buffer_pool_gb = 2.0;
+  EngineConfig big = small;
+  big.buffer_pool_gb = 20.0;
+  EXPECT_LT(Eval(small, sysbench_).buffer_hit_ratio,
+            Eval(big, sysbench_).buffer_hit_ratio);
+}
+
+TEST_F(EngineTest, HitRatioMatchesPaperCalibration) {
+  // Section 7.5: TPC-C 100G with a 16G pool -> 93.2%; SYSBENCH 30G with a
+  // 16G pool -> 97.5%.
+  EngineConfig c;
+  c.buffer_pool_gb = 16.0;
+  const PerfMetrics tpcc =
+      Eval(c, MakeWorkload(WorkloadKind::kTpcc, 100).value());
+  EXPECT_NEAR(tpcc.buffer_hit_ratio, 0.932, 0.05);
+  const PerfMetrics sysb =
+      Eval(c, MakeWorkload(WorkloadKind::kSysbench, 30).value());
+  EXPECT_NEAR(sysb.buffer_hit_ratio, 0.975, 0.02);
+}
+
+TEST_F(EngineTest, RelaxedDurabilityCutsIo) {
+  EngineConfig strict = EngineConfig::Defaults(hw_);
+  EngineConfig relaxed = strict;
+  relaxed.flush_log_at_trx_commit = 2;
+  relaxed.doublewrite = false;
+  relaxed.flush_neighbors = 0;
+  relaxed.log_file_size_mb = 4096;
+  const PerfMetrics m_strict = Eval(strict, sysbench_);
+  const PerfMetrics m_relaxed = Eval(relaxed, sysbench_);
+  EXPECT_LT(m_relaxed.io_iops, m_strict.io_iops * 0.7);
+  EXPECT_LT(m_relaxed.io_mbps, m_strict.io_mbps);
+}
+
+TEST_F(EngineTest, LruDepthTradesBackgroundCpuForStalls) {
+  EngineConfig shallow = EngineConfig::Defaults(hw_);
+  shallow.lru_scan_depth = 128;
+  EngineConfig deep = shallow;
+  deep.lru_scan_depth = 4096;
+  const PerfMetrics m_shallow = Eval(shallow, sysbench_);
+  const PerfMetrics m_deep = Eval(deep, sysbench_);
+  EXPECT_LT(m_shallow.background_cpu_cores, m_deep.background_cpu_cores);
+  // Deep scanning relieves write stalls -> latency no worse.
+  EXPECT_LE(m_deep.latency_p99_ms, m_shallow.latency_p99_ms + 1e-9);
+}
+
+TEST_F(EngineTest, MemoryScalesWithBufferPoolAndThreads) {
+  EngineConfig small = EngineConfig::Defaults(hw_);
+  small.buffer_pool_gb = 4.0;
+  EngineConfig big = small;
+  big.buffer_pool_gb = 10.0;
+  EXPECT_LT(Eval(small, sysbench_).mem_gb, Eval(big, sysbench_).mem_gb);
+
+  EngineConfig fat_buffers = small;
+  fat_buffers.sort_buffer_mb = 16.0;
+  fat_buffers.join_buffer_mb = 16.0;
+  EXPECT_LT(Eval(small, sysbench_).mem_gb,
+            Eval(fat_buffers, sysbench_).mem_gb);
+}
+
+TEST_F(EngineTest, HardwareScalesUtilizationDown) {
+  // Same workload on a bigger instance uses a smaller CPU fraction.
+  const WorkloadProfile w = MakeWorkload(WorkloadKind::kHotel).value();
+  const HardwareSpec small = HardwareInstance('D').value();  // 16 cores
+  const HardwareSpec large = HardwareInstance('F').value();  // 64 cores
+  const PerfMetrics m_small =
+      EngineModel::Evaluate(EngineConfig::Defaults(small), small, w);
+  const PerfMetrics m_large =
+      EngineModel::Evaluate(EngineConfig::Defaults(large), large, w);
+  EXPECT_GT(m_small.cpu_util_pct, m_large.cpu_util_pct);
+}
+
+TEST_F(EngineTest, InternalMetricsVectorIsStable) {
+  const PerfMetrics m = Eval(EngineConfig::Defaults(hw_), twitter_);
+  const Vector v1 = m.InternalMetrics();
+  const Vector v2 = m.InternalMetrics();
+  EXPECT_EQ(v1.size(), v2.size());
+  EXPECT_GT(v1.size(), 5u);
+  EXPECT_EQ(v1, v2);
+}
+
+
+TEST_F(EngineTest, IoCapacityKnobDrivesBackgroundFlushAggressiveness) {
+  EngineConfig quiet = EngineConfig::Defaults(hw_);
+  quiet.io_capacity = 200;
+  quiet.io_capacity_max = 400;
+  EngineConfig eager = quiet;
+  eager.io_capacity = 20000;
+  eager.io_capacity_max = 40000;
+  EXPECT_LT(Eval(quiet, sysbench_).io_iops, Eval(eager, sysbench_).io_iops);
+}
+
+TEST_F(EngineTest, SmallLogFileRaisesCheckpointPressure) {
+  EngineConfig small_log = EngineConfig::Defaults(hw_);
+  small_log.log_file_size_mb = 48;
+  EngineConfig big_log = small_log;
+  big_log.log_file_size_mb = 4096;
+  EXPECT_GT(Eval(small_log, sysbench_).io_iops,
+            Eval(big_log, sysbench_).io_iops);
+}
+
+TEST_F(EngineTest, AdaptiveHashIndexHelpsReadHeavyWorkloads) {
+  EngineConfig with_ahi = EngineConfig::Defaults(hw_);
+  with_ahi.adaptive_hash_index = true;
+  EngineConfig without = with_ahi;
+  without.adaptive_hash_index = false;
+  // Read-dominated Twitter: AHI saves CPU.
+  EXPECT_LT(Eval(with_ahi, twitter_).cpu_util_pct,
+            Eval(without, twitter_).cpu_util_pct);
+}
+
+TEST_F(EngineTest, SyncBinlogRelaxationCutsIo) {
+  EngineConfig strict = EngineConfig::Defaults(hw_);
+  strict.sync_binlog = 1;
+  EngineConfig relaxed = strict;
+  relaxed.sync_binlog = 1000;
+  EXPECT_LT(Eval(relaxed, sysbench_).io_iops,
+            Eval(strict, sysbench_).io_iops);
+}
+
+// -------------------------------------------------------------- ApplyKnobs
+
+TEST(ApplyKnobsTest, WritesAllCpuKnobs) {
+  const KnobSpace space = CpuKnobSpace();
+  EngineConfig config;
+  Vector theta(space.dim(), 1.0);
+  ASSERT_TRUE(ApplyKnobs(space, theta, &config).ok());
+  EXPECT_DOUBLE_EQ(config.thread_concurrency, 256.0);
+  EXPECT_DOUBLE_EQ(config.sync_spin_loops, 10000.0);
+}
+
+TEST(ApplyKnobsTest, AllShippedSpacesResolve) {
+  // Every knob named in every shipped space must map to an engine field.
+  for (const KnobSpace& space :
+       {CpuKnobSpace(), MemoryKnobSpace(64.0), IoKnobSpace(),
+        CaseStudyKnobSpace(), Fig1KnobSpace()}) {
+    EngineConfig config;
+    const Status st =
+        ApplyKnobs(space, Vector(space.dim(), 0.5), &config);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+TEST(ApplyKnobsTest, DimensionMismatchRejected) {
+  EngineConfig config;
+  EXPECT_FALSE(ApplyKnobs(CpuKnobSpace(), {0.5}, &config).ok());
+}
+
+// -------------------------------------------------------------- simulator
+
+TEST(SimulatorTest, EvaluateProducesNoisyButCloseObservations) {
+  SimulatorOptions options;
+  options.noise_std = 0.01;
+  DbInstanceSimulator sim(CpuKnobSpace(), HardwareInstance('A').value(),
+                          MakeWorkload(WorkloadKind::kTwitter).value(),
+                          options);
+  const Vector theta = sim.knob_space().DefaultTheta();
+  const PerfMetrics exact = sim.EvaluateExact(theta).value();
+  const Observation obs = sim.Evaluate(theta).value();
+  EXPECT_NEAR(obs.res, exact.cpu_util_pct, exact.cpu_util_pct * 0.08);
+  EXPECT_NEAR(obs.tps, exact.tps, exact.tps * 0.08);
+  EXPECT_FALSE(obs.internals.empty());
+}
+
+TEST(SimulatorTest, CountsEvaluationsAndSimulatedTime) {
+  SimulatorOptions options;
+  options.replay_seconds = 180.0;
+  DbInstanceSimulator sim(CaseStudyKnobSpace(), HardwareInstance('B').value(),
+                          MakeWorkload(WorkloadKind::kTwitter).value(),
+                          options);
+  ASSERT_TRUE(sim.EvaluateDefault().ok());
+  ASSERT_TRUE(sim.Evaluate(Vector(3, 0.5)).ok());
+  EXPECT_EQ(sim.num_evaluations(), 2u);
+  EXPECT_DOUBLE_EQ(sim.simulated_seconds(), 360.0);
+}
+
+TEST(SimulatorTest, ResourceKindSelectsMetric) {
+  const WorkloadProfile w = MakeWorkload(WorkloadKind::kTpcc).value();
+  const HardwareSpec hw = HardwareInstance('E').value();
+  for (ResourceKind kind : {ResourceKind::kCpu, ResourceKind::kMemory,
+                            ResourceKind::kIoBps, ResourceKind::kIoIops}) {
+    SimulatorOptions options;
+    options.resource = kind;
+    options.noise_std = 0.0;
+    DbInstanceSimulator sim(IoKnobSpace(), hw, w, options);
+    const Vector theta = sim.knob_space().DefaultTheta();
+    const PerfMetrics exact = sim.EvaluateExact(theta).value();
+    const Observation obs = sim.Evaluate(theta).value();
+    EXPECT_DOUBLE_EQ(obs.res, sim.ResourceValue(exact));
+  }
+}
+
+TEST(SimulatorTest, BufferPoolFixOverridesDefault) {
+  const WorkloadProfile w = MakeWorkload(WorkloadKind::kTpcc, 100).value();
+  const HardwareSpec hw = HardwareInstance('E').value();
+  SimulatorOptions fixed;
+  fixed.buffer_pool_fix_gb = 16.0;
+  fixed.noise_std = 0.0;
+  DbInstanceSimulator sim_fixed(IoKnobSpace(), hw, w, fixed);
+  DbInstanceSimulator sim_free(IoKnobSpace(), hw, w, SimulatorOptions{});
+  const Vector theta = sim_fixed.knob_space().DefaultTheta();
+  // 16G pool has a lower hit ratio than the default 32G pool.
+  EXPECT_LT(sim_fixed.EvaluateExact(theta)->buffer_hit_ratio,
+            sim_free.EvaluateExact(theta)->buffer_hit_ratio);
+}
+
+TEST(SimulatorTest, RejectsWrongDimension) {
+  DbInstanceSimulator sim(CpuKnobSpace(), HardwareInstance('A').value(),
+                          MakeWorkload(WorkloadKind::kTwitter).value());
+  EXPECT_FALSE(sim.Evaluate({0.5}).ok());
+}
+
+TEST(SimulatorTest, DeterministicWithSameSeed) {
+  const auto make = [] {
+    SimulatorOptions options;
+    options.seed = 77;
+    return DbInstanceSimulator(CpuKnobSpace(), HardwareInstance('A').value(),
+                               MakeWorkload(WorkloadKind::kSales).value(),
+                               options);
+  };
+  DbInstanceSimulator a = make(), b = make();
+  const Observation oa = a.EvaluateDefault().value();
+  const Observation ob = b.EvaluateDefault().value();
+  EXPECT_DOUBLE_EQ(oa.res, ob.res);
+  EXPECT_DOUBLE_EQ(oa.tps, ob.tps);
+}
+
+}  // namespace
+}  // namespace restune

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "dbsim/des/engine_des.h"
+#include "dbsim/des/lock_manager.h"
+#include "dbsim/des/page_cache.h"
+#include "dbsim/des/zipf.h"
+
+namespace restune {
+namespace {
+
+// ------------------------------------------------------------------- Zipf
+
+TEST(ZipfTest, RanksAreSkewed) {
+  ZipfGenerator zipf(1000, 1.1);
+  Rng rng(1);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 100);  // rank 0 far above uniform share
+  // All samples in range (implicitly checked by the vector write), and the
+  // tail is still occasionally sampled.
+  int tail = 0;
+  for (size_t i = 500; i < 1000; ++i) tail += counts[i];
+  EXPECT_GT(tail, 0);
+}
+
+TEST(ZipfTest, HigherExponentIsMoreSkewed) {
+  Rng rng1(2), rng2(2);
+  ZipfGenerator mild(1000, 0.7), steep(1000, 1.4);
+  int mild_head = 0, steep_head = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (mild.Sample(&rng1) < 10) ++mild_head;
+    if (steep.Sample(&rng2) < 10) ++steep_head;
+  }
+  EXPECT_GT(steep_head, mild_head);
+}
+
+// -------------------------------------------------------------- PageCache
+
+TEST(PageCacheTest, HitAfterInstall) {
+  PageCache cache(4);
+  EXPECT_FALSE(cache.Access(1, false));  // cold miss
+  EXPECT_TRUE(cache.Access(1, false));   // now cached
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PageCacheTest, EvictsLeastRecentlyUsed) {
+  PageCache cache(3);
+  cache.Access(1, false);
+  cache.Access(2, false);
+  cache.Access(3, false);
+  cache.Access(1, false);   // 1 young again
+  cache.Access(4, false);   // evicts one of the cold pages, not 1
+  EXPECT_TRUE(cache.Access(1, false));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_GE(cache.evictions(), 1u);
+}
+
+TEST(PageCacheTest, DirtyTrackingAndFlush) {
+  PageCache cache(8);
+  for (uint64_t p = 0; p < 6; ++p) cache.Access(p, /*write=*/true);
+  EXPECT_EQ(cache.dirty_pages(), 6u);
+  EXPECT_EQ(cache.FlushDirty(4), 4u);
+  EXPECT_EQ(cache.dirty_pages(), 2u);
+  EXPECT_EQ(cache.FlushDirty(100), 2u);
+  EXPECT_EQ(cache.dirty_pages(), 0u);
+  EXPECT_EQ(cache.FlushDirty(10), 0u);
+}
+
+TEST(PageCacheTest, DirtyEvictionCounted) {
+  PageCache cache(2);
+  cache.Access(1, true);
+  cache.Access(2, true);
+  cache.Access(3, false);  // evicts a dirty page
+  EXPECT_GE(cache.dirty_evictions(), 1u);
+}
+
+TEST(PageCacheTest, ZipfWorkingSetHitRatio) {
+  // With a steep Zipf most accesses should hit even with a small cache.
+  PageCache cache(200);
+  ZipfGenerator zipf(10000, 1.3);
+  Rng rng(5);
+  for (int i = 0; i < 30000; ++i) cache.Access(zipf.Sample(&rng), false);
+  EXPECT_GT(cache.hit_ratio(), 0.6);
+  // A near-uniform pattern with the same cache hits far less.
+  PageCache uniform_cache(200);
+  ZipfGenerator uniform(10000, 0.1);
+  for (int i = 0; i < 30000; ++i) {
+    uniform_cache.Access(uniform.Sample(&rng), false);
+  }
+  EXPECT_LT(uniform_cache.hit_ratio(), cache.hit_ratio());
+}
+
+// ------------------------------------------------------------ LockManager
+
+TEST(LockManagerTest, GrantAndQueue) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(7, 1));
+  EXPECT_TRUE(locks.Acquire(7, 1));   // re-entrant
+  EXPECT_FALSE(locks.Acquire(7, 2));  // queued
+  EXPECT_FALSE(locks.Acquire(7, 3));
+  EXPECT_EQ(locks.total_waiters(), 2u);
+
+  std::vector<std::pair<uint64_t, uint64_t>> granted;
+  locks.ReleaseAll(1, &granted);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0].second, 2u);  // FIFO order
+  granted.clear();
+  locks.ReleaseAll(2, &granted);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0].second, 3u);
+  granted.clear();
+  locks.ReleaseAll(3, &granted);
+  EXPECT_TRUE(granted.empty());
+  EXPECT_EQ(locks.held_locks(), 0u);
+}
+
+TEST(LockManagerTest, IndependentRowsDoNotConflict) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, 10));
+  EXPECT_TRUE(locks.Acquire(2, 11));
+  EXPECT_EQ(locks.contended_acquisitions(), 0u);
+  std::vector<std::pair<uint64_t, uint64_t>> granted;
+  locks.ReleaseAll(10, &granted);
+  locks.ReleaseAll(11, &granted);
+  EXPECT_TRUE(granted.empty());
+}
+
+// ----------------------------------------------------- DiscreteEventEngine
+
+class DesTest : public ::testing::Test {
+ protected:
+  HardwareSpec hw_ = HardwareInstance('A').value();
+  WorkloadProfile twitter_ = MakeWorkload(WorkloadKind::kTwitter).value();
+
+  DesResult Run(const EngineConfig& config, size_t txns = 2500,
+                uint64_t seed = 3) {
+    DesOptions options = DesOptions::ForWorkload(twitter_, seed);
+    options.num_transactions = txns;
+    DiscreteEventEngine des(config, hw_, twitter_, options);
+    const auto result = des.Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ValueOr(DesResult{});
+  }
+};
+
+TEST_F(DesTest, SustainsRequestRateWithDefaults) {
+  const DesResult r = Run(EngineConfig::Defaults(hw_));
+  EXPECT_EQ(r.completed_transactions, 2500u);
+  EXPECT_NEAR(r.tps, twitter_.request_rate, twitter_.request_rate * 0.1);
+  EXPECT_GT(r.buffer_hit_ratio, 0.8);  // skewed access, warm-ish pool
+  EXPECT_LT(r.latency_p99_ms, 50.0);
+  EXPECT_GT(r.cpu_util_pct, 0.0);
+}
+
+TEST_F(DesTest, TinyThreadConcurrencyThrottlesThroughput) {
+  EngineConfig config = EngineConfig::Defaults(hw_);
+  config.thread_concurrency = 2;
+  const DesResult r = Run(config);
+  // Matches the analytic engine's feasibility cliff: 2 threads cannot
+  // carry a 30K txn/s workload.
+  EXPECT_LT(r.tps, twitter_.request_rate * 0.7);
+  EXPECT_GT(r.latency_p99_ms, 20.0);
+}
+
+TEST_F(DesTest, SpinLoopsBurnCpu) {
+  EngineConfig no_spin = EngineConfig::Defaults(hw_);
+  no_spin.sync_spin_loops = 0;
+  EngineConfig heavy_spin = no_spin;
+  heavy_spin.sync_spin_loops = 8000;
+  heavy_spin.spin_wait_delay = 64;
+  const DesResult quiet = Run(no_spin);
+  const DesResult spinny = Run(heavy_spin);
+  EXPECT_GE(spinny.spin_cpu_seconds, quiet.spin_cpu_seconds);
+  EXPECT_DOUBLE_EQ(quiet.spin_cpu_seconds, 0.0);
+}
+
+TEST_F(DesTest, BufferPoolSizeDrivesHitRatioAndIo) {
+  EngineConfig small = EngineConfig::Defaults(hw_);
+  small.buffer_pool_gb = 0.5;
+  EngineConfig large = small;
+  large.buffer_pool_gb = 12.0;
+  const DesResult r_small = Run(small);
+  const DesResult r_large = Run(large);
+  EXPECT_LT(r_small.buffer_hit_ratio, r_large.buffer_hit_ratio);
+  EXPECT_GT(r_small.io_iops, r_large.io_iops);
+}
+
+TEST_F(DesTest, LazyLogFlushReducesIo) {
+  EngineConfig durable = EngineConfig::Defaults(hw_);
+  durable.flush_log_at_trx_commit = 1;
+  EngineConfig lazy = durable;
+  lazy.flush_log_at_trx_commit = 2;
+  const DesResult r_durable = Run(durable);
+  const DesResult r_lazy = Run(lazy);
+  EXPECT_LT(r_lazy.io_iops, r_durable.io_iops + 1e-9);
+  // Lazy commits skip the group-flush wait: latency no worse.
+  EXPECT_LE(r_lazy.latency_p50_ms, r_durable.latency_p50_ms + 0.5);
+}
+
+TEST_F(DesTest, DeterministicForFixedSeed) {
+  const DesResult a = Run(EngineConfig::Defaults(hw_), 1000, 9);
+  const DesResult b = Run(EngineConfig::Defaults(hw_), 1000, 9);
+  EXPECT_DOUBLE_EQ(a.tps, b.tps);
+  EXPECT_DOUBLE_EQ(a.latency_p99_ms, b.latency_p99_ms);
+  EXPECT_DOUBLE_EQ(a.cpu_util_pct, b.cpu_util_pct);
+}
+
+TEST_F(DesTest, RejectsZeroTransactions) {
+  DesOptions options;
+  options.num_transactions = 0;
+  DiscreteEventEngine des(EngineConfig::Defaults(hw_), hw_, twitter_,
+                          options);
+  EXPECT_FALSE(des.Run().ok());
+}
+
+TEST_F(DesTest, AgreesWithAnalyticModelOnKnobDirections) {
+  // The cross-validation that justifies the analytic substitution: for the
+  // key knobs, both engines must agree on the *direction* of the effect.
+  EngineConfig base = EngineConfig::Defaults(hw_);
+
+  // (1) Buffer pool shrink -> hit ratio down in both.
+  EngineConfig small_bp = base;
+  small_bp.buffer_pool_gb = 0.5;
+  const PerfMetrics a_base = EngineModel::Evaluate(base, hw_, twitter_);
+  const PerfMetrics a_small = EngineModel::Evaluate(small_bp, hw_, twitter_);
+  const DesResult d_base = Run(base);
+  const DesResult d_small = Run(small_bp);
+  EXPECT_LT(a_small.buffer_hit_ratio, a_base.buffer_hit_ratio);
+  EXPECT_LT(d_small.buffer_hit_ratio, d_base.buffer_hit_ratio);
+
+  // (2) Thread-concurrency floor -> throughput collapse in both.
+  EngineConfig tiny_tc = base;
+  tiny_tc.thread_concurrency = 2;
+  const PerfMetrics a_tc = EngineModel::Evaluate(tiny_tc, hw_, twitter_);
+  const DesResult d_tc = Run(tiny_tc);
+  EXPECT_LT(a_tc.tps, a_base.tps * 0.7);
+  EXPECT_LT(d_tc.tps, d_base.tps * 0.7);
+
+  // (3) Lazy redo flush -> fewer IOPS in both.
+  EngineConfig lazy = base;
+  lazy.flush_log_at_trx_commit = 2;
+  const PerfMetrics a_lazy = EngineModel::Evaluate(lazy, hw_, twitter_);
+  const DesResult d_lazy = Run(lazy);
+  EXPECT_LT(a_lazy.io_iops, EngineModel::Evaluate(base, hw_, twitter_).io_iops);
+  EXPECT_LT(d_lazy.io_iops, d_base.io_iops + 1e-9);
+}
+
+}  // namespace
+}  // namespace restune

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/lhs.h"
+#include "common/rng.h"
+#include "gp/gp_model.h"
+#include "gp/kernel.h"
+#include "gp/multi_output_gp.h"
+
+namespace restune {
+namespace {
+
+TEST(KernelTest, Matern52SelfCovarianceIsAmplitude) {
+  Matern52Kernel k(3, 0.5, 2.0);
+  const Vector x = {0.1, 0.5, 0.9};
+  EXPECT_NEAR(k.Eval(x, x), 2.0, 1e-12);
+}
+
+TEST(KernelTest, CovarianceDecaysWithDistance) {
+  Matern52Kernel k(1);
+  const double near = k.Eval({0.0}, {0.1});
+  const double far = k.Eval({0.0}, {0.9});
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);
+}
+
+TEST(KernelTest, SymmetricInArguments) {
+  SquaredExponentialKernel k(2, 0.3);
+  const Vector a = {0.2, 0.7}, b = {0.9, 0.1};
+  EXPECT_DOUBLE_EQ(k.Eval(a, b), k.Eval(b, a));
+}
+
+TEST(KernelTest, LogParamsRoundTrip) {
+  Matern52Kernel k(2, 0.5, 1.0);
+  Vector p = k.GetLogParams();
+  ASSERT_EQ(p.size(), 3u);
+  p[0] = std::log(4.0);
+  p[1] = std::log(0.25);
+  k.SetLogParams(p);
+  const Vector q = k.GetLogParams();
+  EXPECT_NEAR(q[0], std::log(4.0), 1e-12);
+  EXPECT_NEAR(q[1], std::log(0.25), 1e-12);
+  EXPECT_NEAR(k.Eval({0.0, 0.0}, {0.0, 0.0}), 4.0, 1e-12);
+}
+
+TEST(KernelTest, GramMatrixSymmetricPsdDiagonal) {
+  Matern52Kernel k(2);
+  Rng rng(1);
+  Matrix x(5, 2);
+  for (size_t r = 0; r < 5; ++r) {
+    x(r, 0) = rng.Uniform();
+    x(r, 1) = rng.Uniform();
+  }
+  const Matrix gram = k.GramMatrix(x);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(gram(i, i), 1.0, 1e-12);
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(gram(i, j), gram(j, i));
+      EXPECT_LE(gram(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(KernelTest, ArdLengthscalesWeightDimensions) {
+  Matern52Kernel k(2);
+  Vector p = k.GetLogParams();
+  p[1] = std::log(0.05);  // dim 0 very sensitive
+  p[2] = std::log(5.0);   // dim 1 nearly ignored
+  k.SetLogParams(p);
+  const double move_dim0 = k.Eval({0.0, 0.0}, {0.3, 0.0});
+  const double move_dim1 = k.Eval({0.0, 0.0}, {0.0, 0.3});
+  EXPECT_LT(move_dim0, move_dim1);
+}
+
+class GpModelTest : public ::testing::Test {
+ protected:
+  // Noise-free samples of a smooth function on [0,1]^2.
+  static double Target(const Vector& x) {
+    return std::sin(3.0 * x[0]) + 0.5 * std::cos(5.0 * x[1]) + x[0] * x[1];
+  }
+
+  GpModel FitModel(size_t n, bool optimize = true) {
+    GpOptions options;
+    options.optimize_hyperparams = optimize;
+    options.noise_variance = 1e-6;
+    GpModel gp(2, options);
+    Rng rng(17);
+    const auto points = LatinHypercubeSample(n, 2, &rng);
+    Matrix x(n, 2);
+    Vector y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x(i, 0) = points[i][0];
+      x(i, 1) = points[i][1];
+      y[i] = Target(points[i]);
+    }
+    EXPECT_TRUE(gp.Fit(x, y).ok());
+    return gp;
+  }
+};
+
+TEST_F(GpModelTest, InterpolatesTrainingPoints) {
+  GpModel gp = FitModel(20);
+  for (size_t i = 0; i < gp.num_observations(); ++i) {
+    const Vector xi = gp.train_x().Row(i);
+    EXPECT_NEAR(gp.Predict(xi).mean, Target(xi), 0.05);
+  }
+}
+
+TEST_F(GpModelTest, GeneralizesToHeldOutPoints) {
+  GpModel gp = FitModel(40);
+  Rng rng(99);
+  double max_err = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    const Vector x = {rng.Uniform(), rng.Uniform()};
+    max_err = std::max(max_err, std::fabs(gp.Predict(x).mean - Target(x)));
+  }
+  EXPECT_LT(max_err, 0.3);
+}
+
+TEST_F(GpModelTest, VarianceShrinksNearData) {
+  GpModel gp = FitModel(25);
+  const Vector at_data = gp.train_x().Row(0);
+  // A corner far from the LHS interior is less certain than a data point.
+  const double var_data = gp.Predict(at_data).variance;
+  double var_far = 0.0;
+  for (const Vector corner :
+       {Vector{0.0, 0.0}, Vector{1.0, 1.0}, Vector{0.0, 1.0}}) {
+    var_far = std::max(var_far, gp.Predict(corner).variance);
+  }
+  EXPECT_LT(var_data, var_far);
+}
+
+TEST_F(GpModelTest, PredictMeanMatchesPredict) {
+  GpModel gp = FitModel(15);
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const Vector x = {rng.Uniform(), rng.Uniform()};
+    EXPECT_NEAR(gp.PredictMean(x), gp.Predict(x).mean, 1e-9);
+  }
+}
+
+TEST_F(GpModelTest, UpdateAppendsObservation) {
+  GpModel gp = FitModel(10);
+  const size_t before = gp.num_observations();
+  ASSERT_TRUE(gp.Update({0.5, 0.5}, Target({0.5, 0.5})).ok());
+  EXPECT_EQ(gp.num_observations(), before + 1);
+  EXPECT_NEAR(gp.Predict({0.5, 0.5}).mean, Target({0.5, 0.5}), 0.05);
+}
+
+TEST_F(GpModelTest, HyperparamOptimizationImprovesLikelihood) {
+  GpModel fixed = FitModel(30, /*optimize=*/false);
+  GpModel tuned = FitModel(30, /*optimize=*/true);
+  EXPECT_GE(tuned.LogMarginalLikelihood(),
+            fixed.LogMarginalLikelihood() - 1e-6);
+}
+
+TEST_F(GpModelTest, LeaveOneOutMatchesManualRefit) {
+  // Fit on n points without hyper-parameter optimization; LOO prediction i
+  // must equal fitting on the other n-1 points with the same kernel.
+  const size_t n = 12;
+  GpOptions options;
+  options.optimize_hyperparams = false;
+  options.noise_variance = 1e-4;
+  options.normalize_y = false;
+  GpModel gp(2, options);
+  Rng rng(3);
+  const auto points = LatinHypercubeSample(n, 2, &rng);
+  Matrix x(n, 2);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = points[i][0];
+    x(i, 1) = points[i][1];
+    y[i] = Target(points[i]);
+  }
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  const auto loo = gp.LeaveOneOutPredictions();
+  ASSERT_EQ(loo.size(), n);
+
+  // Manual refit leaving out index 4.
+  const size_t held = 4;
+  Matrix x2(n - 1, 2);
+  Vector y2(n - 1);
+  size_t r = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i == held) continue;
+    x2(r, 0) = x(i, 0);
+    x2(r, 1) = x(i, 1);
+    y2[r] = y[i];
+    ++r;
+  }
+  GpModel gp2(2, options);
+  ASSERT_TRUE(gp2.Fit(x2, y2).ok());
+  const GpPrediction manual = gp2.Predict(x.Row(held));
+  EXPECT_NEAR(loo[held].mean, manual.mean, 1e-6);
+  EXPECT_NEAR(loo[held].variance, manual.variance, 1e-6);
+}
+
+TEST_F(GpModelTest, CopyIsIndependent) {
+  GpModel gp = FitModel(10);
+  GpModel copy = gp;
+  ASSERT_TRUE(copy.Update({0.42, 0.42}, 1.0).ok());
+  EXPECT_EQ(copy.num_observations(), gp.num_observations() + 1);
+}
+
+TEST(GpModelErrors, RejectsMismatchedSizes) {
+  GpModel gp(2);
+  Matrix x(3, 2);
+  EXPECT_FALSE(gp.Fit(x, {1.0, 2.0}).ok());
+  EXPECT_FALSE(gp.Fit(Matrix(0, 2), {}).ok());
+  EXPECT_FALSE(gp.Fit(Matrix(3, 5, 0.1), {1, 2, 3}).ok());
+}
+
+TEST(GpModelNormalization, HandlesConstantTargets) {
+  GpModel gp(1);
+  Matrix x(3, 1);
+  x(0, 0) = 0.1;
+  x(1, 0) = 0.5;
+  x(2, 0) = 0.9;
+  ASSERT_TRUE(gp.Fit(x, {5.0, 5.0, 5.0}).ok());
+  EXPECT_NEAR(gp.Predict({0.3}).mean, 5.0, 1e-6);
+}
+
+TEST(GpModelNormalization, LargeScaleTargets) {
+  // Targets in the tens of thousands (like TPS) must round-trip through
+  // internal standardization.
+  GpModel gp(1);
+  Matrix x(4, 1);
+  Vector y = {21000.0, 22000.0, 20000.0, 23000.0};
+  for (size_t i = 0; i < 4; ++i) x(i, 0) = 0.2 * static_cast<double>(i + 1);
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  const double pred = gp.Predict({0.4}).mean;
+  EXPECT_GT(pred, 15000.0);
+  EXPECT_LT(pred, 28000.0);
+}
+
+TEST(MultiOutputGpTest, FitsThreeMetricsJointly) {
+  std::vector<Observation> obs;
+  Rng rng(10);
+  for (int i = 0; i < 25; ++i) {
+    Observation o;
+    o.theta = {rng.Uniform(), rng.Uniform()};
+    o.res = 50.0 + 30.0 * o.theta[0];
+    o.tps = 10000.0 - 2000.0 * o.theta[1];
+    o.lat = 5.0 + 3.0 * o.theta[0] * o.theta[1];
+    obs.push_back(o);
+  }
+  MultiOutputGp gp(2);
+  ASSERT_TRUE(gp.Fit(obs).ok());
+  EXPECT_TRUE(gp.fitted());
+  EXPECT_EQ(gp.num_observations(), 25u);
+
+  const Vector q = {0.5, 0.5};
+  EXPECT_NEAR(gp.Predict(MetricKind::kRes, q).mean, 65.0, 3.0);
+  EXPECT_NEAR(gp.Predict(MetricKind::kTps, q).mean, 9000.0, 300.0);
+  EXPECT_NEAR(gp.Predict(MetricKind::kLat, q).mean, 5.75, 0.5);
+}
+
+TEST(MultiOutputGpTest, UpdateGrowsAllModels) {
+  MultiOutputGp gp(1);
+  Observation o;
+  o.theta = {0.2};
+  o.res = 1.0;
+  o.tps = 2.0;
+  o.lat = 3.0;
+  ASSERT_TRUE(gp.Update(o).ok());
+  o.theta = {0.8};
+  ASSERT_TRUE(gp.Update(o).ok());
+  for (MetricKind kind : kAllMetricKinds) {
+    EXPECT_EQ(gp.model(kind).num_observations(), 2u);
+  }
+}
+
+TEST(MultiOutputGpTest, RejectsEmptyFit) {
+  MultiOutputGp gp(2);
+  EXPECT_FALSE(gp.Fit({}).ok());
+}
+
+TEST(ObservationTest, MetricAccessorRoundTrip) {
+  Observation o;
+  o.res = 1.5;
+  o.tps = 2.5;
+  o.lat = 3.5;
+  EXPECT_DOUBLE_EQ(o.metric(MetricKind::kRes), 1.5);
+  EXPECT_DOUBLE_EQ(o.metric(MetricKind::kTps), 2.5);
+  EXPECT_DOUBLE_EQ(o.metric(MetricKind::kLat), 3.5);
+  o.metric(MetricKind::kTps) = 9.0;
+  EXPECT_DOUBLE_EQ(o.tps, 9.0);
+}
+
+TEST(SlaConstraintsTest, FeasibilityWithTolerance) {
+  SlaConstraints sla{1000.0, 10.0};
+  Observation ok;
+  ok.tps = 1000.0;
+  ok.lat = 10.0;
+  EXPECT_TRUE(sla.IsFeasible(ok));
+  Observation slightly_off;
+  slightly_off.tps = 960.0;
+  slightly_off.lat = 10.4;
+  EXPECT_FALSE(sla.IsFeasible(slightly_off));
+  EXPECT_TRUE(sla.IsFeasible(slightly_off, 0.05));
+}
+
+}  // namespace
+}  // namespace restune

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+
+namespace restune {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, FromRowsAndAccessors) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.Row(1), (Vector{3, 4}));
+  EXPECT_EQ(m.Col(0), (Vector{1, 3, 5}));
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatrixProduct) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Vector y = a.Multiply(Vector{1.0, -1.0});
+  EXPECT_EQ(y, (Vector{-1.0, -1.0}));
+}
+
+TEST(MatrixTest, AddScaleDiagonal) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix sum = a.Add(a);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 8.0);
+  const Matrix scaled = a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 1.5);
+  a.AddToDiagonal(10.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+}
+
+TEST(VectorOpsTest, DotNormDistanceAxpy) {
+  const Vector a = {1, 2, 3};
+  const Vector b = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(Norm(Vector{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 9.0 + 49.0 + 9.0);
+  EXPECT_EQ(Axpy(a, 2.0, b), (Vector{9, -8, 15}));
+}
+
+TEST(CholeskyTest, FactorsKnownSpdMatrix) {
+  // A = L L^T for L = [[2,0],[1,3]].
+  const Matrix a = Matrix::FromRows({{4, 2}, {2, 10}});
+  const auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->lower()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(chol->lower()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(chol->lower()(1, 1), 3.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  const auto chol = Cholesky::Factor(a);
+  EXPECT_FALSE(chol.ok());
+  EXPECT_EQ(chol.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(Cholesky::Factor(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskyTest, JitterRecoversNearSingular) {
+  // Rank-deficient Gram matrix (identical rows).
+  const Matrix a = Matrix::FromRows({{1, 1}, {1, 1}});
+  EXPECT_FALSE(Cholesky::Factor(a).ok());
+  const auto chol = Cholesky::FactorWithJitter(a, 1e-8);
+  EXPECT_TRUE(chol.ok());
+}
+
+TEST(CholeskyTest, SolveMatchesDirectInverse) {
+  Rng rng(42);
+  const size_t n = 8;
+  // Random SPD matrix: A = B B^T + n I.
+  Matrix b(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) b(r, c) = rng.Gaussian();
+  }
+  Matrix a = b.Multiply(b.Transpose());
+  a.AddToDiagonal(static_cast<double>(n));
+  const auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+
+  Vector rhs(n);
+  for (double& v : rhs) v = rng.Gaussian();
+  const Vector x = chol->Solve(rhs);
+  const Vector back = a.Multiply(x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], rhs[i], 1e-9);
+}
+
+TEST(CholeskyTest, LogDeterminant) {
+  const Matrix a = Matrix::FromRows({{4, 2}, {2, 10}});  // det = 36
+  const auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->LogDeterminant(), std::log(36.0), 1e-12);
+}
+
+TEST(CholeskyTest, InverseTimesOriginalIsIdentity) {
+  const Matrix a = Matrix::FromRows({{4, 2, 1}, {2, 10, 3}, {1, 3, 6}});
+  const auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix prod = a.Multiply(chol->Inverse());
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(CholeskyTest, TriangularSolvesCompose) {
+  const Matrix a = Matrix::FromRows({{4, 2}, {2, 10}});
+  const auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  const Vector rhs = {1.0, 2.0};
+  const Vector via_parts =
+      chol->SolveLowerTranspose(chol->SolveLower(rhs));
+  const Vector direct = chol->Solve(rhs);
+  EXPECT_NEAR(via_parts[0], direct[0], 1e-12);
+  EXPECT_NEAR(via_parts[1], direct[1], 1e-12);
+}
+
+}  // namespace
+}  // namespace restune

@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bo/lhs.h"
+#include "meta/base_learner.h"
+#include "meta/data_repository.h"
+#include "meta/meta_feature.h"
+#include "meta/meta_learner.h"
+#include "meta/standardizer.h"
+#include "sqlgen/generator.h"
+
+namespace restune {
+namespace {
+
+Observation MakeObs(Vector theta, double res, double tps, double lat) {
+  Observation o;
+  o.theta = std::move(theta);
+  o.res = res;
+  o.tps = tps;
+  o.lat = lat;
+  return o;
+}
+
+// ------------------------------------------------------------ standardizer
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  std::vector<Observation> obs = {
+      MakeObs({0.1}, 10, 100, 1), MakeObs({0.2}, 20, 200, 2),
+      MakeObs({0.3}, 30, 300, 3), MakeObs({0.4}, 40, 400, 4)};
+  const auto s = MetricStandardizer::FromObservations(obs);
+  for (MetricKind kind : kAllMetricKinds) {
+    double mean = 0.0, var = 0.0;
+    for (const Observation& o : obs) {
+      const double z = s.Standardize(kind, o.metric(kind));
+      mean += z;
+      var += z * z;
+    }
+    mean /= obs.size();
+    var /= obs.size();
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(StandardizerTest, RoundTrips) {
+  std::vector<Observation> obs = {MakeObs({0}, 5, 10, 1),
+                                  MakeObs({1}, 7, 30, 9)};
+  const auto s = MetricStandardizer::FromObservations(obs);
+  for (double v : {3.0, 5.5, 100.0}) {
+    EXPECT_NEAR(
+        s.Destandardize(MetricKind::kRes, s.Standardize(MetricKind::kRes, v)),
+        v, 1e-9);
+  }
+}
+
+TEST(StandardizerTest, ConstantMetricSafe) {
+  std::vector<Observation> obs = {MakeObs({0}, 5, 5, 5),
+                                  MakeObs({1}, 5, 5, 5)};
+  const auto s = MetricStandardizer::FromObservations(obs);
+  EXPECT_NEAR(s.Standardize(MetricKind::kTps, 5.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(s.Standardize(MetricKind::kTps, 7.0)));
+}
+
+// ------------------------------------------------------------ base learner
+
+std::vector<Observation> LinearTaskObservations(double slope, size_t n,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Observation> obs;
+  for (const Vector& theta : LatinHypercubeSample(n, 2, &rng)) {
+    obs.push_back(MakeObs(theta, slope * theta[0] + 5.0,
+                          1000.0 - slope * 50.0 * theta[0],
+                          1.0 + slope * theta[1]));
+  }
+  return obs;
+}
+
+TuningTask LinearTask(const std::string& name, double slope, size_t n = 30) {
+  TuningTask task;
+  task.name = name;
+  task.workload = name;
+  task.hardware = "instance-A";
+  task.meta_feature = {slope, 1.0 - slope};
+  task.observations = LinearTaskObservations(slope, n, 42);
+  return task;
+}
+
+TEST(BaseLearnerTest, PredictsStandardizedOrdering) {
+  const auto learner = BaseLearner::Train(LinearTask("t", 10.0));
+  ASSERT_TRUE(learner.ok());
+  const double low = learner->PredictMean(MetricKind::kRes, {0.1, 0.5});
+  const double high = learner->PredictMean(MetricKind::kRes, {0.9, 0.5});
+  EXPECT_LT(low, high);
+  EXPECT_LT(std::fabs(low), 4.0);
+  EXPECT_LT(std::fabs(high), 4.0);
+}
+
+TEST(BaseLearnerTest, MeanFastPathMatchesFullPredict) {
+  const auto learner = BaseLearner::Train(LinearTask("t", 3.0));
+  ASSERT_TRUE(learner.ok());
+  const Vector q = {0.33, 0.77};
+  EXPECT_NEAR(learner->PredictMean(MetricKind::kLat, q),
+              learner->Predict(MetricKind::kLat, q).mean, 1e-9);
+}
+
+TEST(BaseLearnerTest, RejectsEmptyTask) {
+  TuningTask empty;
+  empty.name = "empty";
+  EXPECT_FALSE(BaseLearner::Train(empty).ok());
+}
+
+// ------------------------------------------------------------ Epanechnikov
+
+TEST(EpanechnikovTest, KernelShape) {
+  EXPECT_DOUBLE_EQ(EpanechnikovKernel(0.0), 0.75);
+  EXPECT_DOUBLE_EQ(EpanechnikovKernel(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(EpanechnikovKernel(1.5), 0.0);
+  EXPECT_GT(EpanechnikovKernel(0.3), EpanechnikovKernel(0.7));
+  EXPECT_DOUBLE_EQ(EpanechnikovKernel(-0.5), EpanechnikovKernel(0.5));
+}
+
+// ------------------------------------------------------------ meta learner
+
+class MetaLearnerTest : public ::testing::Test {
+ protected:
+  std::vector<BaseLearner> MakeBases() {
+    std::vector<BaseLearner> bases;
+    bases.push_back(*BaseLearner::Train(LinearTask("similar", 10.0)));
+    bases.push_back(*BaseLearner::Train(LinearTask("dissimilar", -10.0)));
+    return bases;
+  }
+
+  MetaLearnerOptions FastOptions(int static_iters = 3) {
+    MetaLearnerOptions options;
+    options.static_weight_iterations = static_iters;
+    options.bandwidth = 1.0;
+    options.ranking_loss_samples = 20;
+    options.target_gp.hyperopt_max_iters = 15;
+    return options;
+  }
+
+  Observation TargetObs(const Vector& theta, Rng* rng) {
+    return MakeObs(theta, 10.0 * theta[0] + 50.0 + rng->Gaussian(0, 0.05),
+                   5000.0 - 500.0 * theta[0] + rng->Gaussian(0, 5.0),
+                   2.0 + 10.0 * theta[1] + rng->Gaussian(0, 0.05));
+  }
+};
+
+TEST_F(MetaLearnerTest, StaticWeightsFavorCloserMetaFeature) {
+  MetaLearnerOptions options = FastOptions(/*static_iters=*/10);
+  options.bandwidth = 3.0;  // wide enough to include the similar task
+  MetaLearner learner(2, MakeBases(), {9.0, -8.0}, options);
+  Rng rng(1);
+  ASSERT_TRUE(learner.AddObservation(TargetObs({0.5, 0.5}, &rng)).ok());
+  ASSERT_TRUE(learner.in_static_phase());
+  const auto& w = learner.weights();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-9);
+}
+
+TEST_F(MetaLearnerTest, DynamicWeightsIdentifySimilarTask) {
+  MetaLearner learner(2, MakeBases(), {9.0, -8.0}, FastOptions(3));
+  Rng rng(2);
+  for (const Vector& theta : LatinHypercubeSample(15, 2, &rng)) {
+    ASSERT_TRUE(learner.AddObservation(TargetObs(theta, &rng)).ok());
+  }
+  EXPECT_FALSE(learner.in_static_phase());
+  const auto& w = learner.weights();
+  EXPECT_LT(w[1], 0.15);
+  EXPECT_GT(w[0] + w[2], 0.85);
+}
+
+TEST_F(MetaLearnerTest, TargetWeightGrowsWithObservations) {
+  MetaLearner learner(2, MakeBases(), {9.0, -8.0}, FastOptions(3));
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const Vector theta = {rng.Uniform(), rng.Uniform()};
+    ASSERT_TRUE(learner.AddObservation(TargetObs(theta, &rng)).ok());
+  }
+  // With 40 observations the target learner carries substantial weight
+  // (Fig. 6(c) behaviour: the target dominates eventually).
+  EXPECT_GT(learner.weights().back(), 0.2);
+}
+
+TEST_F(MetaLearnerTest, RankingLossLowerForSimilarTask) {
+  MetaLearner learner(2, MakeBases(), {9.0, -8.0}, FastOptions(3));
+  Rng rng(4);
+  for (const Vector& theta : LatinHypercubeSample(20, 2, &rng)) {
+    ASSERT_TRUE(learner.AddObservation(TargetObs(theta, &rng)).ok());
+  }
+  const auto losses = learner.MeanRankingLossFractions();
+  ASSERT_EQ(losses.size(), 2u);
+  EXPECT_LT(losses[0], losses[1]);
+  EXPECT_GT(losses[1], 0.4);
+}
+
+TEST_F(MetaLearnerTest, PredictionUsesTargetVarianceOnly) {
+  MetaLearnerOptions options = FastOptions(0);
+  MetaLearner learner(2, MakeBases(), {9.0, -8.0}, options);
+  Rng rng(5);
+  for (const Vector& theta : LatinHypercubeSample(12, 2, &rng)) {
+    ASSERT_TRUE(learner.AddObservation(TargetObs(theta, &rng)).ok());
+  }
+  const Vector at_data = learner.target_observations()[0].theta;
+  const double var_near =
+      learner.PredictMetric(MetricKind::kRes, at_data).variance;
+  const double var_far =
+      learner.PredictMetric(MetricKind::kRes, {0.999, 0.001}).variance;
+  EXPECT_LT(var_near, var_far);
+}
+
+TEST_F(MetaLearnerTest, RescaledThresholdTracksDefaultPrediction) {
+  MetaLearner learner(2, MakeBases(), {9.0, -8.0}, FastOptions(2));
+  Rng rng(6);
+  const Vector default_theta = {0.5, 0.5};
+  for (const Vector& theta : LatinHypercubeSample(10, 2, &rng)) {
+    ASSERT_TRUE(learner.AddObservation(TargetObs(theta, &rng)).ok());
+  }
+  const double lambda_tps =
+      learner.RescaledThreshold(MetricKind::kTps, default_theta);
+  EXPECT_NEAR(lambda_tps,
+              learner.PredictMetric(MetricKind::kTps, default_theta).mean,
+              1e-12);
+}
+
+TEST_F(MetaLearnerTest, WorksWithNoBaseLearners) {
+  MetaLearner learner(2, {}, {}, FastOptions(0));
+  Rng rng(7);
+  for (const Vector& theta : LatinHypercubeSample(8, 2, &rng)) {
+    ASSERT_TRUE(learner.AddObservation(TargetObs(theta, &rng)).ok());
+  }
+  EXPECT_NEAR(learner.weights().back(), 1.0, 1e-9);
+  EXPECT_LT(learner.PredictMetric(MetricKind::kRes, {0.1, 0.5}).mean,
+            learner.PredictMetric(MetricKind::kRes, {0.9, 0.5}).mean);
+}
+
+TEST_F(MetaLearnerTest, RejectsWrongDimension) {
+  MetaLearner learner(2, {}, {}, FastOptions(1));
+  EXPECT_FALSE(learner.AddObservation(MakeObs({0.5}, 1, 2, 3)).ok());
+}
+
+
+TEST_F(MetaLearnerTest, DilutionGuardSuppressesUselessCrowd) {
+  // Many anticorrelated learners plus one good one: without the guard the
+  // crowd can capture weight by chance; with it they are ineligible.
+  std::vector<BaseLearner> bases;
+  bases.push_back(*BaseLearner::Train(LinearTask("good", 10.0)));
+  for (int i = 0; i < 6; ++i) {
+    bases.push_back(*BaseLearner::Train(
+        LinearTask("bad" + std::to_string(i), -10.0 - i)));
+  }
+  MetaLearnerOptions options = FastOptions(0);
+  options.prune_worse_than_random = true;
+  MetaLearner learner(2, std::move(bases), {9.0, -8.0}, options);
+  Rng rng(21);
+  for (const Vector& theta : LatinHypercubeSample(15, 2, &rng)) {
+    ASSERT_TRUE(learner.AddObservation(TargetObs(theta, &rng)).ok());
+  }
+  const auto& w = learner.weights();
+  double bad_mass = 0.0;
+  for (size_t i = 1; i + 1 < w.size(); ++i) bad_mass += w[i];
+  EXPECT_LT(bad_mass, 0.05);
+  EXPECT_GT(w[0] + w.back(), 0.95);
+}
+
+// -------------------------------------------------------------- repository
+
+TEST(DataRepositoryTest, AddAndFilter) {
+  DataRepository repo;
+  TuningTask a = LinearTask("sysbench", 1.0);
+  a.hardware = "instance-A";
+  TuningTask b = LinearTask("tpcc", 2.0);
+  b.hardware = "instance-B";
+  ASSERT_TRUE(repo.AddTask(a).ok());
+  ASSERT_TRUE(repo.AddTask(b).ok());
+  EXPECT_EQ(repo.num_tasks(), 2u);
+
+  EXPECT_EQ(repo.TrainAllBaseLearners().size(), 2u);
+  EXPECT_EQ(repo.TrainHoldOutWorkload("sysbench").size(), 1u);
+  EXPECT_EQ(repo.TrainHoldOutHardware("instance-B").size(), 1u);
+}
+
+TEST(DataRepositoryTest, RejectsInvalidTasks) {
+  DataRepository repo;
+  EXPECT_FALSE(repo.AddTask(TuningTask{}).ok());
+  TuningTask named;
+  named.name = "x";
+  EXPECT_FALSE(repo.AddTask(named).ok());
+}
+
+TEST(DataRepositoryTest, SaveLoadRoundTrip) {
+  DataRepository repo;
+  ASSERT_TRUE(repo.AddTask(LinearTask("alpha", 1.5, 5)).ok());
+  ASSERT_TRUE(repo.AddTask(LinearTask("beta", -0.5, 7)).ok());
+  const std::string path = testing::TempDir() + "/repo_roundtrip.txt";
+  ASSERT_TRUE(repo.SaveToFile(path).ok());
+
+  DataRepository loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  ASSERT_EQ(loaded.num_tasks(), 2u);
+  EXPECT_EQ(loaded.tasks()[0].name, "alpha");
+  EXPECT_EQ(loaded.tasks()[1].observations.size(), 7u);
+  EXPECT_NEAR(loaded.tasks()[0].meta_feature[0], 1.5, 1e-9);
+  EXPECT_NEAR(loaded.tasks()[0].observations[0].res,
+              repo.tasks()[0].observations[0].res, 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(DataRepositoryTest, LoadRejectsMalformedFile) {
+  const std::string path = testing::TempDir() + "/repo_bad.txt";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("task broken A w\nobs 0.5 | 1 2\nend\n", f);
+  fclose(f);
+  DataRepository repo;
+  EXPECT_FALSE(repo.LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+
+TEST(DataRepositoryTest, CompactMergesAndSubsamples) {
+  DataRepository repo;
+  ASSERT_TRUE(repo.AddTask(LinearTask("dup", 1.0, 30)).ok());
+  ASSERT_TRUE(repo.AddTask(LinearTask("unique", 2.0, 10)).ok());
+  ASSERT_TRUE(repo.AddTask(LinearTask("dup", 1.2, 25)).ok());
+  EXPECT_EQ(repo.Compact(40), 1u);  // one duplicate merged
+  ASSERT_EQ(repo.num_tasks(), 2u);
+  // dup has 30+25=55 observations, capped at 40.
+  const TuningTask* dup = nullptr;
+  for (const TuningTask& t : repo.tasks()) {
+    if (t.name == "dup") dup = &t;
+  }
+  ASSERT_NE(dup, nullptr);
+  EXPECT_EQ(dup->observations.size(), 40u);
+  // Idempotent on a compacted repository.
+  EXPECT_EQ(repo.Compact(40), 0u);
+  EXPECT_EQ(repo.num_tasks(), 2u);
+}
+
+// ---------------------------------------------------------- characterizer
+
+TEST(WorkloadCharacterizerTest, TrainsOnGeneratedQueriesAndSeparates) {
+  Rng rng(13);
+  std::vector<std::pair<std::string, double>> labeled;
+  for (const WorkloadProfile& w : StandardWorkloads()) {
+    WorkloadSqlGenerator gen(w);
+    for (int i = 0; i < 200; ++i) labeled.push_back(gen.SampleWithCost(&rng));
+  }
+  WorkloadCharacterizer characterizer;
+  ASSERT_TRUE(characterizer.Train(labeled).ok());
+  EXPECT_GT(characterizer.oob_accuracy(), 0.7);
+
+  WorkloadSqlGenerator twitter(MakeWorkload(WorkloadKind::kTwitter).value());
+  WorkloadSqlGenerator tpcc(MakeWorkload(WorkloadKind::kTpcc).value());
+  const Vector f_twitter =
+      *characterizer.MetaFeature(twitter.Sample(150, &rng));
+  const Vector f_tpcc = *characterizer.MetaFeature(tpcc.Sample(150, &rng));
+  double sum = 0.0;
+  for (double v : f_twitter) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(std::sqrt(SquaredDistance(f_twitter, f_tpcc)), 0.02);
+}
+
+TEST(WorkloadCharacterizerTest, VariationsCloserThanDifferentWorkload) {
+  // The Table 5 property: Twitter variations stay closer to Twitter than a
+  // different workload (TPC-C) does.
+  Rng rng(17);
+  std::vector<std::pair<std::string, double>> labeled;
+  for (const WorkloadProfile& w : StandardWorkloads()) {
+    WorkloadSqlGenerator gen(w);
+    for (int i = 0; i < 200; ++i) labeled.push_back(gen.SampleWithCost(&rng));
+  }
+  WorkloadCharacterizer characterizer;
+  ASSERT_TRUE(characterizer.Train(labeled).ok());
+
+  auto feature = [&](const WorkloadProfile& w) {
+    WorkloadSqlGenerator gen(w);
+    return *characterizer.MetaFeature(gen.Sample(400, &rng));
+  };
+  const Vector target = feature(MakeWorkload(WorkloadKind::kTwitter).value());
+  const double d1 =
+      std::sqrt(SquaredDistance(target, feature(TwitterVariation(1).value())));
+  const double d5 =
+      std::sqrt(SquaredDistance(target, feature(TwitterVariation(5).value())));
+  const double d_tpcc = std::sqrt(SquaredDistance(
+      target, feature(MakeWorkload(WorkloadKind::kTpcc).value())));
+  EXPECT_LT(d1, d_tpcc);
+  EXPECT_LT(d5, d_tpcc);
+}
+
+TEST(WorkloadCharacterizerTest, UntrainedErrors) {
+  WorkloadCharacterizer characterizer;
+  EXPECT_FALSE(characterizer.MetaFeature({"SELECT 1"}).ok());
+  EXPECT_FALSE(characterizer.ClassifyQuery("SELECT 1").ok());
+  EXPECT_FALSE(characterizer.Train({}).ok());
+}
+
+}  // namespace
+}  // namespace restune

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "rl/ddpg.h"
+#include "rl/mlp.h"
+
+namespace restune {
+namespace {
+
+TEST(MlpTest, ForwardShapes) {
+  Mlp net({3, 8, 2}, Activation::kTanh, OutputActivation::kLinear, 1);
+  EXPECT_EQ(net.input_size(), 3u);
+  EXPECT_EQ(net.output_size(), 2u);
+  const Vector y = net.Forward({0.1, 0.2, 0.3});
+  EXPECT_EQ(y.size(), 2u);
+}
+
+TEST(MlpTest, SigmoidOutputInUnitInterval) {
+  Mlp net({2, 16, 4}, Activation::kTanh, OutputActivation::kSigmoid, 2);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Vector y = net.Forward({rng.Gaussian(), rng.Gaussian()});
+    for (double v : y) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(MlpTest, BackwardGradientMatchesFiniteDifference) {
+  // Check dLoss/dInput for loss = y[0], via central differences.
+  Mlp net({2, 5, 1}, Activation::kTanh, OutputActivation::kLinear, 7);
+  const Vector x = {0.3, -0.4};
+  Mlp::ForwardCache cache;
+  net.Forward(x, &cache);
+  const Vector grad_in = net.Backward(cache, {1.0});
+  net.ZeroGradients();
+
+  const double eps = 1e-6;
+  for (size_t i = 0; i < x.size(); ++i) {
+    Vector xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double fd =
+        (net.Forward(xp)[0] - net.Forward(xm)[0]) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[i], fd, 1e-5);
+  }
+}
+
+TEST(MlpTest, AdamLearnsLinearMap) {
+  // Regress y = 2 x0 - x1 with MSE.
+  Mlp net({2, 16, 1}, Activation::kTanh, OutputActivation::kLinear, 11);
+  Rng rng(5);
+  for (int step = 0; step < 2000; ++step) {
+    net.ZeroGradients();
+    double loss = 0.0;
+    const size_t batch = 8;
+    for (size_t b = 0; b < batch; ++b) {
+      const Vector x = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      const double target = 2.0 * x[0] - x[1];
+      Mlp::ForwardCache cache;
+      const Vector y = net.Forward(x, &cache);
+      const double err = y[0] - target;
+      loss += err * err;
+      net.Backward(cache, {2.0 * err});
+    }
+    net.AdamStep(3e-3, batch);
+    if (step == 0) EXPECT_GT(loss / batch, 0.05);
+  }
+  double final_loss = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const Vector x = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const double err = net.Forward(x)[0] - (2.0 * x[0] - x[1]);
+    final_loss += err * err;
+  }
+  EXPECT_LT(final_loss / 100.0, 0.02);
+}
+
+TEST(MlpTest, SoftUpdateMovesTowardSource) {
+  Mlp a({1, 4, 1}, Activation::kRelu, OutputActivation::kLinear, 1);
+  Mlp b({1, 4, 1}, Activation::kRelu, OutputActivation::kLinear, 2);
+  const double before = std::fabs(a.Forward({0.5})[0] - b.Forward({0.5})[0]);
+  for (int i = 0; i < 200; ++i) b.SoftUpdateFrom(a, 0.05);
+  const double after = std::fabs(a.Forward({0.5})[0] - b.Forward({0.5})[0]);
+  EXPECT_LT(after, before * 0.1 + 1e-9);
+}
+
+TEST(MlpTest, CopyFromMakesIdentical) {
+  Mlp a({2, 6, 2}, Activation::kTanh, OutputActivation::kSigmoid, 1);
+  Mlp b({2, 6, 2}, Activation::kTanh, OutputActivation::kSigmoid, 9);
+  b.CopyFrom(a);
+  const Vector x = {0.2, 0.8};
+  const Vector ya = a.Forward(x), yb = b.Forward(x);
+  EXPECT_NEAR(ya[0], yb[0], 1e-12);
+  EXPECT_NEAR(ya[1], yb[1], 1e-12);
+}
+
+TEST(DdpgTest, ActionsAreValidConfigurations) {
+  DdpgAgent agent(4, 3);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const Vector state = {rng.Gaussian(), rng.Gaussian(), rng.Gaussian(),
+                          rng.Gaussian()};
+    for (double a : agent.ActWithNoise(state)) {
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+TEST(DdpgTest, ExplorationNoiseDecays) {
+  DdpgOptions options;
+  options.exploration_noise = 0.2;
+  options.noise_decay = 0.9;
+  DdpgAgent agent(2, 1, options);
+  const double before = agent.current_noise();
+  for (int i = 0; i < 10; ++i) agent.ActWithNoise({0.0, 0.0});
+  EXPECT_LT(agent.current_noise(), before);
+}
+
+TEST(DdpgTest, LearnsBanditWithKnownOptimum) {
+  // One-step environment: reward = 1 - (a - 0.7)^2, constant state. The
+  // actor should move toward a = 0.7.
+  DdpgOptions options;
+  options.batch_size = 8;
+  options.updates_per_step = 4;
+  options.gamma = 0.0;  // pure bandit
+  options.actor_lr = 3e-3;
+  options.critic_lr = 1e-2;
+  DdpgAgent agent(1, 1, options);
+  const Vector state = {0.5};
+  for (int i = 0; i < 300; ++i) {
+    const Vector action = agent.ActWithNoise(state);
+    const double d = action[0] - 0.7;
+    agent.Observe({state, action, 1.0 - d * d, state});
+  }
+  const double final_action = agent.Act(state)[0];
+  EXPECT_NEAR(final_action, 0.7, 0.2);
+}
+
+TEST(DdpgTest, ReplayBufferBounded) {
+  DdpgOptions options;
+  options.replay_capacity = 16;
+  options.batch_size = 64;  // never trains — keeps the test cheap
+  DdpgAgent agent(1, 1, options);
+  for (int i = 0; i < 100; ++i) {
+    agent.Observe({{0.0}, {0.5}, 0.0, {0.0}});
+  }
+  EXPECT_EQ(agent.replay_size(), 16u);
+}
+
+}  // namespace
+}  // namespace restune

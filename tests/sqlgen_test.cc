@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ml/sql_tokens.h"
+#include "sqlgen/generator.h"
+#include "sqlgen/replayer.h"
+
+namespace restune {
+namespace {
+
+TEST(GeneratorTest, ProducesSqlForEveryWorkload) {
+  Rng rng(1);
+  for (const WorkloadProfile& w : StandardWorkloads()) {
+    WorkloadSqlGenerator gen(w);
+    const auto queries = gen.Sample(50, &rng);
+    ASSERT_EQ(queries.size(), 50u) << w.name;
+    for (const std::string& q : queries) {
+      EXPECT_FALSE(ExtractReservedWords(q).empty()) << q;
+      EXPECT_EQ(q.find('?'), std::string::npos)
+          << "placeholder left uninstantiated: " << q;
+    }
+  }
+}
+
+double WriteShare(const WorkloadSqlGenerator& gen, Rng* rng, size_t n) {
+  size_t writes = 0;
+  for (const std::string& q : gen.Sample(n, rng)) {
+    const auto words = ExtractReservedWords(q);
+    if (!words.empty() &&
+        (words[0] == "INSERT" || words[0] == "UPDATE" ||
+         words[0] == "DELETE" || words[0] == "REPLACE")) {
+      ++writes;
+    }
+  }
+  return static_cast<double>(writes) / static_cast<double>(n);
+}
+
+TEST(GeneratorTest, WriteShareTracksReadWriteRatio) {
+  Rng rng(3);
+  const WorkloadProfile twitter = MakeWorkload(WorkloadKind::kTwitter).value();
+  const double twitter_share =
+      WriteShare(WorkloadSqlGenerator(twitter), &rng, 4000);
+  EXPECT_NEAR(twitter_share, 1.0 / 117.0, 0.01);
+
+  const WorkloadProfile tpcc = MakeWorkload(WorkloadKind::kTpcc).value();
+  const double tpcc_share = WriteShare(WorkloadSqlGenerator(tpcc), &rng, 4000);
+  EXPECT_NEAR(tpcc_share, 10.0 / 29.0, 0.04);
+}
+
+TEST(GeneratorTest, TwitterVariationsShiftInsertShare) {
+  // Table 5: W1..W5 increase the INSERT ratio monotonically.
+  Rng rng(5);
+  double prev = WriteShare(
+      WorkloadSqlGenerator(MakeWorkload(WorkloadKind::kTwitter).value()),
+      &rng, 4000);
+  for (int v = 1; v <= 5; ++v) {
+    const double share = WriteShare(
+        WorkloadSqlGenerator(TwitterVariation(v).value()), &rng, 4000);
+    EXPECT_GT(share, prev - 0.01);
+    prev = share;
+  }
+}
+
+TEST(GeneratorTest, SampleWithCostReturnsTemplateCost) {
+  Rng rng(1);
+  WorkloadSqlGenerator gen(MakeWorkload(WorkloadKind::kSysbench).value());
+  for (int i = 0; i < 50; ++i) {
+    const auto [sql, cost] = gen.SampleWithCost(&rng);
+    EXPECT_GT(cost, 0.0);
+    EXPECT_FALSE(sql.empty());
+  }
+}
+
+// ------------------------------------------------------ template extraction
+
+TEST(TemplateExtractionTest, ReplacesNumberLiterals) {
+  EXPECT_EQ(ExtractQueryTemplate("SELECT c FROM t WHERE id=42"),
+            "SELECT c FROM t WHERE id=?");
+  EXPECT_EQ(ExtractQueryTemplate("SELECT * FROM t WHERE x BETWEEN 10 AND 25"),
+            "SELECT * FROM t WHERE x BETWEEN ? AND ?");
+}
+
+TEST(TemplateExtractionTest, ReplacesStringLiterals) {
+  EXPECT_EQ(ExtractQueryTemplate("UPDATE t SET c='hello world' WHERE id=7"),
+            "UPDATE t SET c=? WHERE id=?");
+}
+
+TEST(TemplateExtractionTest, KeepsDigitsInsideIdentifiers) {
+  EXPECT_EQ(ExtractQueryTemplate("SELECT c FROM sbtest17 WHERE id=3"),
+            "SELECT c FROM sbtest17 WHERE id=?");
+}
+
+TEST(TemplateExtractionTest, HandlesDecimalsAndEscapes) {
+  EXPECT_EQ(ExtractQueryTemplate("SELECT * FROM t WHERE p < 3.14"),
+            "SELECT * FROM t WHERE p < ?");
+  EXPECT_EQ(ExtractQueryTemplate("INSERT INTO t VALUES ('it\\'s')"),
+            "INSERT INTO t VALUES (?)");
+}
+
+// ----------------------------------------------------------------- replay
+
+TEST(ReplayerTest, DeduplicatesIntoTemplates) {
+  Replayer replayer;
+  ASSERT_TRUE(replayer
+                  .LoadTrace({"SELECT c FROM t WHERE id=1",
+                              "SELECT c FROM t WHERE id=2",
+                              "SELECT c FROM t WHERE id=999",
+                              "UPDATE t SET k=5 WHERE id=3"})
+                  .ok());
+  EXPECT_EQ(replayer.num_templates(), 2u);
+  EXPECT_EQ(replayer.templates()[0].second, 3u);  // SELECT seen 3 times
+}
+
+TEST(ReplayerTest, ReplayResamplesParameters) {
+  Replayer replayer;
+  ASSERT_TRUE(replayer.LoadTrace({"UPDATE t SET k=5 WHERE id=3"}).ok());
+  Rng rng(2);
+  const auto replays = replayer.Replay(20, &rng);
+  ASSERT_EQ(replays.size(), 20u);
+  // Write statements must not replay the original literal every time
+  // (primary-key conflicts — the problem Section 4 describes).
+  int distinct = 0;
+  for (const std::string& q : replays) {
+    EXPECT_EQ(ExtractQueryTemplate(q), "UPDATE t SET k=? WHERE id=?");
+    if (q != replays[0]) ++distinct;
+  }
+  EXPECT_GT(distinct, 0);
+}
+
+TEST(ReplayerTest, FrequenciesApproximatelyPreserved) {
+  std::vector<std::string> trace;
+  for (int i = 0; i < 90; ++i) trace.push_back("SELECT c FROM t WHERE id=1");
+  for (int i = 0; i < 10; ++i) trace.push_back("UPDATE t SET k=1 WHERE id=1");
+  Replayer replayer;
+  ASSERT_TRUE(replayer.LoadTrace(trace).ok());
+  Rng rng(7);
+  size_t selects = 0;
+  const auto replays = replayer.Replay(2000, &rng);
+  for (const std::string& q : replays) {
+    if (q.rfind("SELECT", 0) == 0) ++selects;
+  }
+  EXPECT_NEAR(static_cast<double>(selects) / 2000.0, 0.9, 0.03);
+}
+
+TEST(ReplayerTest, RateControlledSchedule) {
+  Replayer replayer;
+  ASSERT_TRUE(replayer.LoadTrace({"SELECT 1"}).ok());
+  Rng rng(11);
+  const auto ts = replayer.ScheduleTimestamps(5000, 1000.0, &rng);
+  ASSERT_EQ(ts.size(), 5000u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+  // 5000 arrivals at 1000/s take ~5 seconds.
+  EXPECT_NEAR(ts.back(), 5.0, 0.5);
+}
+
+TEST(ReplayerTest, RejectsEmptyTrace) {
+  Replayer replayer;
+  EXPECT_FALSE(replayer.LoadTrace({}).ok());
+}
+
+
+TEST(ReplayerFileTest, TraceFileRoundTrip) {
+  const std::string trace_path = testing::TempDir() + "/trace.sql";
+  {
+    FILE* f = fopen(trace_path.c_str(), "w");
+    fputs("# captured window\n", f);
+    fputs("SELECT c FROM t WHERE id=1\n", f);
+    fputs("\n", f);
+    fputs("SELECT c FROM t WHERE id=7\n", f);
+    fputs("UPDATE t SET k=2 WHERE id=3\n", f);
+    fclose(f);
+  }
+  Replayer replayer;
+  ASSERT_TRUE(replayer.LoadTraceFromFile(trace_path).ok());
+  EXPECT_EQ(replayer.num_templates(), 2u);  // comment/blank lines skipped
+
+  const std::string tmpl_path = testing::TempDir() + "/templates.txt";
+  ASSERT_TRUE(replayer.SaveTemplatesToFile(tmpl_path).ok());
+  Replayer restored;
+  ASSERT_TRUE(restored.LoadTemplatesFromFile(tmpl_path).ok());
+  EXPECT_EQ(restored.num_templates(), 2u);
+  EXPECT_EQ(restored.templates()[0].second, 2u);
+  Rng rng(1);
+  EXPECT_EQ(restored.Replay(5, &rng).size(), 5u);
+  std::remove(trace_path.c_str());
+  std::remove(tmpl_path.c_str());
+}
+
+TEST(ReplayerFileTest, RejectsMissingAndMalformedFiles) {
+  Replayer replayer;
+  EXPECT_FALSE(replayer.LoadTraceFromFile("/no/such/file.sql").ok());
+  EXPECT_FALSE(replayer.LoadTemplatesFromFile("/no/such/file.txt").ok());
+  const std::string bad_path = testing::TempDir() + "/bad_templates.txt";
+  FILE* f = fopen(bad_path.c_str(), "w");
+  fputs("not-a-count\tSELECT 1\n", f);
+  fclose(f);
+  EXPECT_FALSE(replayer.LoadTemplatesFromFile(bad_path).ok());
+  std::remove(bad_path.c_str());
+}
+
+}  // namespace
+}  // namespace restune

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "tuner/cbo_advisor.h"
+#include "tuner/cdbtune_advisor.h"
+#include "tuner/grid_advisor.h"
+#include "tuner/harness.h"
+#include "tuner/ottertune_advisor.h"
+#include "tuner/restune_advisor.h"
+#include "tuner/session.h"
+
+namespace restune {
+namespace {
+
+ExperimentConfig SmallConfig(int iterations = 25) {
+  ExperimentConfig config;
+  config.iterations = iterations;
+  config.seed = 5;
+  return config;
+}
+
+DbInstanceSimulator CaseStudySimulator(uint64_t seed = 5) {
+  SimulatorOptions options;
+  options.seed = seed;
+  return DbInstanceSimulator(CaseStudyKnobSpace(),
+                             HardwareInstance('A').value(),
+                             MakeWorkload(WorkloadKind::kTwitter).value(),
+                             options);
+}
+
+// ----------------------------------------------------------- grid advisor
+
+TEST(GridSearchAdvisorTest, EnumeratesFullGrid) {
+  GridSearchAdvisor advisor(2, 3);
+  ASSERT_TRUE(advisor.Begin({}, {}).ok());
+  EXPECT_EQ(advisor.total_points(), 9u);
+  std::set<std::pair<double, double>> seen;
+  for (int i = 0; i < 9; ++i) {
+    const auto theta = advisor.SuggestNext();
+    ASSERT_TRUE(theta.ok());
+    seen.insert({(*theta)[0], (*theta)[1]});
+    ASSERT_TRUE(advisor.Observe({}).ok());
+  }
+  EXPECT_EQ(seen.size(), 9u);
+  EXPECT_TRUE(advisor.exhausted());
+  EXPECT_EQ(advisor.SuggestNext().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(GridSearchAdvisorTest, GridCoversEndpoints) {
+  GridSearchAdvisor advisor(1, 5);
+  ASSERT_TRUE(advisor.Begin({}, {}).ok());
+  std::set<double> values;
+  for (int i = 0; i < 5; ++i) values.insert((*advisor.SuggestNext())[0]);
+  EXPECT_TRUE(values.count(0.0));
+  EXPECT_TRUE(values.count(1.0));
+}
+
+// ------------------------------------------------------------ CBO advisor
+
+TEST(CboAdvisorTest, LifecycleAndLhsBootstrap) {
+  CboAdvisorOptions options;
+  options.initial_lhs_samples = 3;
+  CboAdvisor advisor("cbo", 3, options);
+  EXPECT_FALSE(advisor.SuggestNext().ok());  // Begin not called
+
+  DbInstanceSimulator sim = CaseStudySimulator();
+  const Observation def = sim.EvaluateDefault().value();
+  const SlaConstraints sla = DbInstanceSimulator::ConstraintsFromDefault(def);
+  ASSERT_TRUE(advisor.Begin(def, sla).ok());
+  // First 3 suggestions come from LHS; all in [0,1]^3.
+  for (int i = 0; i < 5; ++i) {
+    const auto theta = advisor.SuggestNext();
+    ASSERT_TRUE(theta.ok());
+    for (double v : *theta) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    ASSERT_TRUE(advisor.Observe(sim.Evaluate(*theta).value()).ok());
+  }
+  EXPECT_EQ(advisor.surrogate().num_observations(), 6u);  // default + 5
+}
+
+// -------------------------------------------------------- session running
+
+TEST(TuningSessionTest, TracksBestFeasible) {
+  DbInstanceSimulator sim = CaseStudySimulator();
+  CboAdvisorOptions options;
+  options.initial_lhs_samples = 5;
+  CboAdvisor advisor("cbo", 3, options);
+  SessionOptions session_options;
+  session_options.max_iterations = 20;
+  TuningSession session(&sim, &advisor, session_options);
+  const auto result = session.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->history.size(), 20u);
+  // Best feasible is monotone non-increasing.
+  double prev = result->default_observation.res;
+  for (const IterationRecord& rec : result->history) {
+    EXPECT_LE(rec.best_feasible_res, prev + 1e-9);
+    prev = rec.best_feasible_res;
+  }
+  // Best theta re-evaluates (noise-free) to a feasible point.
+  const PerfMetrics best = sim.EvaluateExact(result->best_theta).value();
+  EXPECT_GE(best.tps, result->sla.min_tps * 0.93);
+}
+
+TEST(TuningSessionTest, ConvergenceStopsEarly) {
+  DbInstanceSimulator sim = CaseStudySimulator();
+  GridSearchAdvisor advisor(3, 2);  // 8 points, then OutOfRange
+  SessionOptions options;
+  options.max_iterations = 100;
+  TuningSession session(&sim, &advisor, options);
+  const auto result = session.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->history.size(), 8u);  // stopped at grid exhaustion
+}
+
+TEST(TuningSessionTest, IterationsToBestWithinTolerance) {
+  SessionResult result;
+  result.best_feasible_res = 10.0;
+  for (int i = 1; i <= 5; ++i) {
+    IterationRecord rec;
+    rec.iteration = i;
+    rec.best_feasible_res = 30.0 - 4.0 * i;  // 26, 22, 18, 14, 10
+    result.history.push_back(rec);
+  }
+  EXPECT_EQ(result.IterationsToBest(0.0), 5);
+  EXPECT_EQ(result.IterationsToBest(0.5), 4);  // 14 <= 10*1.5
+}
+
+
+TEST(TuningSessionTest, SafeguardAbortsOnPersistentInfeasibility) {
+  // An adversarial advisor that always suggests thread_concurrency = 1
+  // (infeasible for the rate-bound Twitter workload).
+  class BadAdvisor : public Advisor {
+   public:
+    const std::string& name() const override { return name_; }
+    Status Begin(const Observation&, const SlaConstraints&) override {
+      return Status::OK();
+    }
+    Result<Vector> SuggestNext() override {
+      return Vector{1.0 / 256.0, 0.5, 0.5};
+    }
+    Status Observe(const Observation&) override { return Status::OK(); }
+
+   private:
+    std::string name_ = "bad";
+  };
+  DbInstanceSimulator sim = CaseStudySimulator(31);
+  BadAdvisor advisor;
+  SessionOptions options;
+  options.max_iterations = 100;
+  options.max_consecutive_infeasible = 5;
+  TuningSession session(&sim, &advisor, options);
+  const auto result = session.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->aborted_by_safeguard);
+  EXPECT_EQ(result->history.size(), 5u);
+  // The recommendation falls back to the default configuration.
+  EXPECT_EQ(result->best_iteration, 0);
+}
+
+TEST(TuningSessionTest, WritesCsvHistory) {
+  DbInstanceSimulator sim = CaseStudySimulator(33);
+  GridSearchAdvisor advisor(3, 2);
+  SessionOptions options;
+  options.max_iterations = 8;
+  TuningSession session(&sim, &advisor, options);
+  const auto result = session.Run();
+  ASSERT_TRUE(result.ok());
+  const std::string path = testing::TempDir() + "/session.csv";
+  ASSERT_TRUE(result->WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1 + 1 + 8);  // header + default + 8 iterations
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------- advisors
+
+TEST(ResTuneAdvisorTest, RunsWithoutBaseLearners) {
+  DbInstanceSimulator sim = CaseStudySimulator();
+  ResTuneAdvisorOptions options;
+  options.meta.static_weight_iterations = 3;
+  options.workload_characterization_init = false;  // LHS init
+  ResTuneAdvisor advisor(3, sim.knob_space().DefaultTheta(), {}, {}, options);
+  SessionOptions session_options;
+  session_options.max_iterations = 12;
+  TuningSession session(&sim, &advisor, session_options);
+  const auto result = session.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->best_feasible_res, result->default_observation.res);
+}
+
+TEST(OtterTuneAdvisorTest, MapsToTaskWithInternals) {
+  // Build two tiny repository tasks with internal metrics.
+  DbInstanceSimulator sim = CaseStudySimulator(11);
+  std::vector<TuningTask> tasks(2);
+  Rng rng(1);
+  for (int t = 0; t < 2; ++t) {
+    tasks[t].name = t == 0 ? "twitter-ish" : "other";
+    for (int i = 0; i < 8; ++i) {
+      Vector theta = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+      Observation obs = sim.Evaluate(theta).value();
+      if (t == 1) {
+        // Perturb the second task's internals to be distant.
+        for (double& v : obs.internals) v *= 40.0;
+        obs.res *= 2.0;
+      }
+      tasks[t].observations.push_back(std::move(obs));
+    }
+  }
+  OtterTuneAdvisorOptions options;
+  options.initial_lhs_samples = 2;
+  options.remap_period = 1;
+  OtterTuneAdvisor advisor(3, tasks, options);
+  const Observation def = sim.EvaluateDefault().value();
+  ASSERT_TRUE(
+      advisor.Begin(def, DbInstanceSimulator::ConstraintsFromDefault(def))
+          .ok());
+  // The target's internals match task 0's scale, so mapping picks it.
+  EXPECT_EQ(advisor.mapped_task(), 0);
+  const auto theta = advisor.SuggestNext();
+  ASSERT_TRUE(theta.ok());
+}
+
+TEST(CdbTuneAdvisorTest, RewardShapingMatchesPaperRules) {
+  CdbTuneAdvisor advisor(3);
+  DbInstanceSimulator sim = CaseStudySimulator(13);
+  const Observation def = sim.EvaluateDefault().value();
+  const SlaConstraints sla = DbInstanceSimulator::ConstraintsFromDefault(def);
+  ASSERT_TRUE(advisor.Begin(def, sla).ok());
+
+  ASSERT_TRUE(advisor.SuggestNext().ok());
+  // Case 1: resource improves and SLA holds -> positive reward.
+  Observation better = def;
+  better.res = def.res * 0.5;
+  ASSERT_TRUE(advisor.Observe(better).ok());
+  EXPECT_GT(advisor.last_reward(), 0.0);
+
+  // Case 2: resource improves but SLA violated -> zero.
+  ASSERT_TRUE(advisor.SuggestNext().ok());
+  Observation cheat = def;
+  cheat.res = def.res * 0.3;
+  cheat.tps = sla.min_tps * 0.5;
+  ASSERT_TRUE(advisor.Observe(cheat).ok());
+  EXPECT_DOUBLE_EQ(advisor.last_reward(), 0.0);
+
+  // Case 3: resource regresses but SLA holds -> zero.
+  ASSERT_TRUE(advisor.SuggestNext().ok());
+  Observation worse = def;
+  worse.res = def.res * 1.5;
+  ASSERT_TRUE(advisor.Observe(worse).ok());
+  EXPECT_DOUBLE_EQ(advisor.last_reward(), 0.0);
+
+  // Case 4: resource regresses and SLA violated -> negative.
+  ASSERT_TRUE(advisor.SuggestNext().ok());
+  Observation bad = def;
+  bad.res = def.res * 1.5;
+  bad.tps = sla.min_tps * 0.5;
+  ASSERT_TRUE(advisor.Observe(bad).ok());
+  EXPECT_LT(advisor.last_reward(), 0.0);
+}
+
+TEST(CdbTuneAdvisorTest, RequiresInternals) {
+  CdbTuneAdvisor advisor(3);
+  Observation no_internals;
+  no_internals.theta = {0.5, 0.5, 0.5};
+  EXPECT_FALSE(advisor.Begin(no_internals, {}).ok());
+}
+
+// ---------------------------------------------------------------- harness
+
+TEST(HarnessTest, MethodNames) {
+  EXPECT_STREQ(MethodName(MethodKind::kResTune), "ResTune");
+  EXPECT_STREQ(MethodName(MethodKind::kOtterTune), "OtterTune-w-Con");
+  EXPECT_STREQ(MethodName(MethodKind::kGridSearch), "GridSearch");
+}
+
+TEST(HarnessTest, RepositoryWorkloadsCountsMatchPaper) {
+  // 17 workloads x 2 instances = 34 tasks (paper Section 7).
+  EXPECT_EQ(RepositoryWorkloads().size(), 17u);
+}
+
+TEST(HarnessTest, CollectHistoryTaskShape) {
+  const WorkloadCharacterizer characterizer = TrainDefaultCharacterizer();
+  const ExperimentConfig config = SmallConfig();
+  const TuningTask task = CollectHistoryTask(
+      CaseStudyKnobSpace(), HardwareInstance('B').value(),
+      MakeWorkload(WorkloadKind::kTwitter).value(), characterizer, config, 12);
+  EXPECT_EQ(task.observations.size(), 12u);
+  EXPECT_EQ(task.hardware, "instance-B");
+  EXPECT_FALSE(task.meta_feature.empty());
+  // The default configuration is part of every history.
+  bool has_default = false;
+  const Vector def = CaseStudyKnobSpace().DefaultTheta();
+  for (const Observation& obs : task.observations) {
+    if (obs.theta == def) has_default = true;
+  }
+  EXPECT_TRUE(has_default);
+}
+
+TEST(HarnessTest, RunMethodAllKindsSmoke) {
+  const ExperimentConfig config = SmallConfig(8);
+  for (MethodKind method :
+       {MethodKind::kResTuneNoMl, MethodKind::kITuned, MethodKind::kCdbTune,
+        MethodKind::kGridSearch}) {
+    DbInstanceSimulator sim = CaseStudySimulator(21);
+    const auto result = RunMethod(method, &sim, {}, config);
+    ASSERT_TRUE(result.ok()) << MethodName(method) << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->history.size(), 8u) << MethodName(method);
+  }
+}
+
+
+TEST(HarnessTest, AdaptRequestRateCapsSaturatedInstances) {
+  const WorkloadProfile sysbench =
+      MakeWorkload(WorkloadKind::kSysbench).value();
+  // Instance B (8 cores) cannot absorb 21K txn/s of SYSBENCH: the adapted
+  // rate must drop below the Table 2 value.
+  const WorkloadProfile on_b =
+      AdaptRequestRate(sysbench, HardwareInstance('B').value());
+  EXPECT_LT(on_b.request_rate, sysbench.request_rate);
+  EXPECT_GT(on_b.request_rate, 0.0);
+  // The adapted rate is feasible: the default config serves it.
+  SimulatorOptions options;
+  options.noise_std = 0.0;
+  DbInstanceSimulator sim(CpuKnobSpace(), HardwareInstance('B').value(),
+                          on_b, options);
+  const PerfMetrics m =
+      sim.EvaluateExact(sim.knob_space().DefaultTheta()).value();
+  EXPECT_NEAR(m.tps, on_b.request_rate, on_b.request_rate * 0.02);
+
+  // Open-loop workloads pass through unchanged.
+  WorkloadProfile open = sysbench;
+  open.request_rate = 0.0;
+  EXPECT_DOUBLE_EQ(
+      AdaptRequestRate(open, HardwareInstance('B').value()).request_rate,
+      0.0);
+}
+
+TEST(HarnessTest, BenchIterationsEnvOverride) {
+  unsetenv("RESTUNE_BENCH_ITERS");
+  EXPECT_EQ(BenchIterations(100), 100);
+  setenv("RESTUNE_BENCH_ITERS", "10", 1);
+  EXPECT_EQ(BenchIterations(100), 10);
+  setenv("RESTUNE_BENCH_ITERS", "500", 1);
+  EXPECT_EQ(BenchIterations(100), 100);  // caps at the default
+  unsetenv("RESTUNE_BENCH_ITERS");
+}
+
+}  // namespace
+}  // namespace restune
