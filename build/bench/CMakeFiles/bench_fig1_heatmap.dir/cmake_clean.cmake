@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_heatmap.dir/bench_fig1_heatmap.cc.o"
+  "CMakeFiles/bench_fig1_heatmap.dir/bench_fig1_heatmap.cc.o.d"
+  "bench_fig1_heatmap"
+  "bench_fig1_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_hardware.dir/bench_fig4_hardware.cc.o"
+  "CMakeFiles/bench_fig4_hardware.dir/bench_fig4_hardware.cc.o.d"
+  "bench_fig4_hardware"
+  "bench_fig4_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

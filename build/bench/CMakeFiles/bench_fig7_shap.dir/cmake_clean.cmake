@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_shap.dir/bench_fig7_shap.cc.o"
+  "CMakeFiles/bench_fig7_shap.dir/bench_fig7_shap.cc.o.d"
+  "bench_fig7_shap"
+  "bench_fig7_shap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_shap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

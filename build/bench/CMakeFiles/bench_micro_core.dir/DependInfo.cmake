@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_core.cc" "bench/CMakeFiles/bench_micro_core.dir/bench_micro_core.cc.o" "gcc" "bench/CMakeFiles/bench_micro_core.dir/bench_micro_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/service/CMakeFiles/restune_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/restune_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/restune_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/restune_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/restune_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlgen/CMakeFiles/restune_sqlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbsim/CMakeFiles/restune_dbsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/restune_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/restune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/restune_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/restune_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/restune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_instances.dir/bench_table4_instances.cc.o"
+  "CMakeFiles/bench_table4_instances.dir/bench_table4_instances.cc.o.d"
+  "bench_table4_instances"
+  "bench_table4_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_9_tco.dir/bench_table8_9_tco.cc.o"
+  "CMakeFiles/bench_table8_9_tco.dir/bench_table8_9_tco.cc.o.d"
+  "bench_table8_9_tco"
+  "bench_table8_9_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_9_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

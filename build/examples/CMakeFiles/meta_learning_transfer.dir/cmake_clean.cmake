@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_learning_transfer.dir/meta_learning_transfer.cpp.o"
+  "CMakeFiles/meta_learning_transfer.dir/meta_learning_transfer.cpp.o.d"
+  "meta_learning_transfer"
+  "meta_learning_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_learning_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

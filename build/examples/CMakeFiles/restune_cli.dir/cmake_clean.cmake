@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_cli.dir/restune_cli.cpp.o"
+  "CMakeFiles/restune_cli.dir/restune_cli.cpp.o.d"
+  "restune_cli"
+  "restune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

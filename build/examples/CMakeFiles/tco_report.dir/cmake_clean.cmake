@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tco_report.dir/tco_report.cpp.o"
+  "CMakeFiles/tco_report.dir/tco_report.cpp.o.d"
+  "tco_report"
+  "tco_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tco_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

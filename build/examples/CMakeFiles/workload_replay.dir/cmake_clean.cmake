@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_replay.dir/workload_replay.cpp.o"
+  "CMakeFiles/workload_replay.dir/workload_replay.cpp.o.d"
+  "workload_replay"
+  "workload_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

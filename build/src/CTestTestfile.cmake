@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("gp")
+subdirs("bo")
+subdirs("ml")
+subdirs("dbsim")
+subdirs("sqlgen")
+subdirs("meta")
+subdirs("rl")
+subdirs("tuner")
+subdirs("service")
+subdirs("analysis")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/knob_importance.cc" "src/analysis/CMakeFiles/restune_analysis.dir/knob_importance.cc.o" "gcc" "src/analysis/CMakeFiles/restune_analysis.dir/knob_importance.cc.o.d"
+  "/root/repo/src/analysis/shap.cc" "src/analysis/CMakeFiles/restune_analysis.dir/shap.cc.o" "gcc" "src/analysis/CMakeFiles/restune_analysis.dir/shap.cc.o.d"
+  "/root/repo/src/analysis/tco.cc" "src/analysis/CMakeFiles/restune_analysis.dir/tco.cc.o" "gcc" "src/analysis/CMakeFiles/restune_analysis.dir/tco.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbsim/CMakeFiles/restune_dbsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/restune_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/restune_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/restune_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/restune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_analysis.dir/knob_importance.cc.o"
+  "CMakeFiles/restune_analysis.dir/knob_importance.cc.o.d"
+  "CMakeFiles/restune_analysis.dir/shap.cc.o"
+  "CMakeFiles/restune_analysis.dir/shap.cc.o.d"
+  "CMakeFiles/restune_analysis.dir/tco.cc.o"
+  "CMakeFiles/restune_analysis.dir/tco.cc.o.d"
+  "librestune_analysis.a"
+  "librestune_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

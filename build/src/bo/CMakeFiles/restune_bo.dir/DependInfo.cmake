@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bo/acq_optimizer.cc" "src/bo/CMakeFiles/restune_bo.dir/acq_optimizer.cc.o" "gcc" "src/bo/CMakeFiles/restune_bo.dir/acq_optimizer.cc.o.d"
+  "/root/repo/src/bo/acquisition.cc" "src/bo/CMakeFiles/restune_bo.dir/acquisition.cc.o" "gcc" "src/bo/CMakeFiles/restune_bo.dir/acquisition.cc.o.d"
+  "/root/repo/src/bo/batch.cc" "src/bo/CMakeFiles/restune_bo.dir/batch.cc.o" "gcc" "src/bo/CMakeFiles/restune_bo.dir/batch.cc.o.d"
+  "/root/repo/src/bo/lhs.cc" "src/bo/CMakeFiles/restune_bo.dir/lhs.cc.o" "gcc" "src/bo/CMakeFiles/restune_bo.dir/lhs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gp/CMakeFiles/restune_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/restune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/restune_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

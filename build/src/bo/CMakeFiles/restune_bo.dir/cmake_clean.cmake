@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_bo.dir/acq_optimizer.cc.o"
+  "CMakeFiles/restune_bo.dir/acq_optimizer.cc.o.d"
+  "CMakeFiles/restune_bo.dir/acquisition.cc.o"
+  "CMakeFiles/restune_bo.dir/acquisition.cc.o.d"
+  "CMakeFiles/restune_bo.dir/batch.cc.o"
+  "CMakeFiles/restune_bo.dir/batch.cc.o.d"
+  "CMakeFiles/restune_bo.dir/lhs.cc.o"
+  "CMakeFiles/restune_bo.dir/lhs.cc.o.d"
+  "librestune_bo.a"
+  "librestune_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for restune_bo.
+# This may be replaced when dependencies are built.

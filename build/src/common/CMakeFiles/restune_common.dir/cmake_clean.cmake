@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_common.dir/logging.cc.o"
+  "CMakeFiles/restune_common.dir/logging.cc.o.d"
+  "CMakeFiles/restune_common.dir/nelder_mead.cc.o"
+  "CMakeFiles/restune_common.dir/nelder_mead.cc.o.d"
+  "CMakeFiles/restune_common.dir/rng.cc.o"
+  "CMakeFiles/restune_common.dir/rng.cc.o.d"
+  "CMakeFiles/restune_common.dir/stats.cc.o"
+  "CMakeFiles/restune_common.dir/stats.cc.o.d"
+  "CMakeFiles/restune_common.dir/status.cc.o"
+  "CMakeFiles/restune_common.dir/status.cc.o.d"
+  "CMakeFiles/restune_common.dir/string_util.cc.o"
+  "CMakeFiles/restune_common.dir/string_util.cc.o.d"
+  "librestune_common.a"
+  "librestune_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbsim/des/engine_des.cc" "src/dbsim/CMakeFiles/restune_dbsim.dir/des/engine_des.cc.o" "gcc" "src/dbsim/CMakeFiles/restune_dbsim.dir/des/engine_des.cc.o.d"
+  "/root/repo/src/dbsim/des/lock_manager.cc" "src/dbsim/CMakeFiles/restune_dbsim.dir/des/lock_manager.cc.o" "gcc" "src/dbsim/CMakeFiles/restune_dbsim.dir/des/lock_manager.cc.o.d"
+  "/root/repo/src/dbsim/des/page_cache.cc" "src/dbsim/CMakeFiles/restune_dbsim.dir/des/page_cache.cc.o" "gcc" "src/dbsim/CMakeFiles/restune_dbsim.dir/des/page_cache.cc.o.d"
+  "/root/repo/src/dbsim/des/zipf.cc" "src/dbsim/CMakeFiles/restune_dbsim.dir/des/zipf.cc.o" "gcc" "src/dbsim/CMakeFiles/restune_dbsim.dir/des/zipf.cc.o.d"
+  "/root/repo/src/dbsim/engine.cc" "src/dbsim/CMakeFiles/restune_dbsim.dir/engine.cc.o" "gcc" "src/dbsim/CMakeFiles/restune_dbsim.dir/engine.cc.o.d"
+  "/root/repo/src/dbsim/hardware.cc" "src/dbsim/CMakeFiles/restune_dbsim.dir/hardware.cc.o" "gcc" "src/dbsim/CMakeFiles/restune_dbsim.dir/hardware.cc.o.d"
+  "/root/repo/src/dbsim/knob.cc" "src/dbsim/CMakeFiles/restune_dbsim.dir/knob.cc.o" "gcc" "src/dbsim/CMakeFiles/restune_dbsim.dir/knob.cc.o.d"
+  "/root/repo/src/dbsim/simulator.cc" "src/dbsim/CMakeFiles/restune_dbsim.dir/simulator.cc.o" "gcc" "src/dbsim/CMakeFiles/restune_dbsim.dir/simulator.cc.o.d"
+  "/root/repo/src/dbsim/workload.cc" "src/dbsim/CMakeFiles/restune_dbsim.dir/workload.cc.o" "gcc" "src/dbsim/CMakeFiles/restune_dbsim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gp/CMakeFiles/restune_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/restune_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/restune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_dbsim.dir/des/engine_des.cc.o"
+  "CMakeFiles/restune_dbsim.dir/des/engine_des.cc.o.d"
+  "CMakeFiles/restune_dbsim.dir/des/lock_manager.cc.o"
+  "CMakeFiles/restune_dbsim.dir/des/lock_manager.cc.o.d"
+  "CMakeFiles/restune_dbsim.dir/des/page_cache.cc.o"
+  "CMakeFiles/restune_dbsim.dir/des/page_cache.cc.o.d"
+  "CMakeFiles/restune_dbsim.dir/des/zipf.cc.o"
+  "CMakeFiles/restune_dbsim.dir/des/zipf.cc.o.d"
+  "CMakeFiles/restune_dbsim.dir/engine.cc.o"
+  "CMakeFiles/restune_dbsim.dir/engine.cc.o.d"
+  "CMakeFiles/restune_dbsim.dir/hardware.cc.o"
+  "CMakeFiles/restune_dbsim.dir/hardware.cc.o.d"
+  "CMakeFiles/restune_dbsim.dir/knob.cc.o"
+  "CMakeFiles/restune_dbsim.dir/knob.cc.o.d"
+  "CMakeFiles/restune_dbsim.dir/simulator.cc.o"
+  "CMakeFiles/restune_dbsim.dir/simulator.cc.o.d"
+  "CMakeFiles/restune_dbsim.dir/workload.cc.o"
+  "CMakeFiles/restune_dbsim.dir/workload.cc.o.d"
+  "librestune_dbsim.a"
+  "librestune_dbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_dbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/gp_model.cc" "src/gp/CMakeFiles/restune_gp.dir/gp_model.cc.o" "gcc" "src/gp/CMakeFiles/restune_gp.dir/gp_model.cc.o.d"
+  "/root/repo/src/gp/gp_serialization.cc" "src/gp/CMakeFiles/restune_gp.dir/gp_serialization.cc.o" "gcc" "src/gp/CMakeFiles/restune_gp.dir/gp_serialization.cc.o.d"
+  "/root/repo/src/gp/kernel.cc" "src/gp/CMakeFiles/restune_gp.dir/kernel.cc.o" "gcc" "src/gp/CMakeFiles/restune_gp.dir/kernel.cc.o.d"
+  "/root/repo/src/gp/multi_output_gp.cc" "src/gp/CMakeFiles/restune_gp.dir/multi_output_gp.cc.o" "gcc" "src/gp/CMakeFiles/restune_gp.dir/multi_output_gp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/restune_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/restune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_gp.dir/gp_model.cc.o"
+  "CMakeFiles/restune_gp.dir/gp_model.cc.o.d"
+  "CMakeFiles/restune_gp.dir/gp_serialization.cc.o"
+  "CMakeFiles/restune_gp.dir/gp_serialization.cc.o.d"
+  "CMakeFiles/restune_gp.dir/kernel.cc.o"
+  "CMakeFiles/restune_gp.dir/kernel.cc.o.d"
+  "CMakeFiles/restune_gp.dir/multi_output_gp.cc.o"
+  "CMakeFiles/restune_gp.dir/multi_output_gp.cc.o.d"
+  "librestune_gp.a"
+  "librestune_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/restune_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/restune_linalg.dir/matrix.cc.o"
+  "CMakeFiles/restune_linalg.dir/matrix.cc.o.d"
+  "librestune_linalg.a"
+  "librestune_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/base_learner.cc" "src/meta/CMakeFiles/restune_meta.dir/base_learner.cc.o" "gcc" "src/meta/CMakeFiles/restune_meta.dir/base_learner.cc.o.d"
+  "/root/repo/src/meta/data_repository.cc" "src/meta/CMakeFiles/restune_meta.dir/data_repository.cc.o" "gcc" "src/meta/CMakeFiles/restune_meta.dir/data_repository.cc.o.d"
+  "/root/repo/src/meta/meta_feature.cc" "src/meta/CMakeFiles/restune_meta.dir/meta_feature.cc.o" "gcc" "src/meta/CMakeFiles/restune_meta.dir/meta_feature.cc.o.d"
+  "/root/repo/src/meta/meta_learner.cc" "src/meta/CMakeFiles/restune_meta.dir/meta_learner.cc.o" "gcc" "src/meta/CMakeFiles/restune_meta.dir/meta_learner.cc.o.d"
+  "/root/repo/src/meta/standardizer.cc" "src/meta/CMakeFiles/restune_meta.dir/standardizer.cc.o" "gcc" "src/meta/CMakeFiles/restune_meta.dir/standardizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bo/CMakeFiles/restune_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/restune_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/restune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/restune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/restune_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

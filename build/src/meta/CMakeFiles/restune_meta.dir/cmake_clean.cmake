@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_meta.dir/base_learner.cc.o"
+  "CMakeFiles/restune_meta.dir/base_learner.cc.o.d"
+  "CMakeFiles/restune_meta.dir/data_repository.cc.o"
+  "CMakeFiles/restune_meta.dir/data_repository.cc.o.d"
+  "CMakeFiles/restune_meta.dir/meta_feature.cc.o"
+  "CMakeFiles/restune_meta.dir/meta_feature.cc.o.d"
+  "CMakeFiles/restune_meta.dir/meta_learner.cc.o"
+  "CMakeFiles/restune_meta.dir/meta_learner.cc.o.d"
+  "CMakeFiles/restune_meta.dir/standardizer.cc.o"
+  "CMakeFiles/restune_meta.dir/standardizer.cc.o.d"
+  "librestune_meta.a"
+  "librestune_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

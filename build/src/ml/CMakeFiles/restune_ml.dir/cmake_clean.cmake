@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/restune_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/restune_ml.dir/random_forest.cc.o"
+  "CMakeFiles/restune_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/restune_ml.dir/sql_tokens.cc.o"
+  "CMakeFiles/restune_ml.dir/sql_tokens.cc.o.d"
+  "CMakeFiles/restune_ml.dir/tfidf.cc.o"
+  "CMakeFiles/restune_ml.dir/tfidf.cc.o.d"
+  "librestune_ml.a"
+  "librestune_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

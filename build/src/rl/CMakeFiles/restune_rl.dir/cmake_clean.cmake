@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_rl.dir/ddpg.cc.o"
+  "CMakeFiles/restune_rl.dir/ddpg.cc.o.d"
+  "CMakeFiles/restune_rl.dir/mlp.cc.o"
+  "CMakeFiles/restune_rl.dir/mlp.cc.o.d"
+  "librestune_rl.a"
+  "librestune_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

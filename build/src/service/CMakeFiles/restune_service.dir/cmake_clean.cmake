@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_service.dir/restune_client.cc.o"
+  "CMakeFiles/restune_service.dir/restune_client.cc.o.d"
+  "CMakeFiles/restune_service.dir/restune_server.cc.o"
+  "CMakeFiles/restune_service.dir/restune_server.cc.o.d"
+  "librestune_service.a"
+  "librestune_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlgen/generator.cc" "src/sqlgen/CMakeFiles/restune_sqlgen.dir/generator.cc.o" "gcc" "src/sqlgen/CMakeFiles/restune_sqlgen.dir/generator.cc.o.d"
+  "/root/repo/src/sqlgen/replayer.cc" "src/sqlgen/CMakeFiles/restune_sqlgen.dir/replayer.cc.o" "gcc" "src/sqlgen/CMakeFiles/restune_sqlgen.dir/replayer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbsim/CMakeFiles/restune_dbsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/restune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/restune_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/restune_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

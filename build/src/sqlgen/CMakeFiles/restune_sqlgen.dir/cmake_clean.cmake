@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_sqlgen.dir/generator.cc.o"
+  "CMakeFiles/restune_sqlgen.dir/generator.cc.o.d"
+  "CMakeFiles/restune_sqlgen.dir/replayer.cc.o"
+  "CMakeFiles/restune_sqlgen.dir/replayer.cc.o.d"
+  "librestune_sqlgen.a"
+  "librestune_sqlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_sqlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librestune_sqlgen.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restune_tuner.dir/cbo_advisor.cc.o"
+  "CMakeFiles/restune_tuner.dir/cbo_advisor.cc.o.d"
+  "CMakeFiles/restune_tuner.dir/cdbtune_advisor.cc.o"
+  "CMakeFiles/restune_tuner.dir/cdbtune_advisor.cc.o.d"
+  "CMakeFiles/restune_tuner.dir/grid_advisor.cc.o"
+  "CMakeFiles/restune_tuner.dir/grid_advisor.cc.o.d"
+  "CMakeFiles/restune_tuner.dir/harness.cc.o"
+  "CMakeFiles/restune_tuner.dir/harness.cc.o.d"
+  "CMakeFiles/restune_tuner.dir/ottertune_advisor.cc.o"
+  "CMakeFiles/restune_tuner.dir/ottertune_advisor.cc.o.d"
+  "CMakeFiles/restune_tuner.dir/restune_advisor.cc.o"
+  "CMakeFiles/restune_tuner.dir/restune_advisor.cc.o.d"
+  "CMakeFiles/restune_tuner.dir/session.cc.o"
+  "CMakeFiles/restune_tuner.dir/session.cc.o.d"
+  "librestune_tuner.a"
+  "librestune_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restune_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

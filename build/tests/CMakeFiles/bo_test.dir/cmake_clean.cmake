@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bo_test.dir/bo_test.cc.o"
+  "CMakeFiles/bo_test.dir/bo_test.cc.o.d"
+  "bo_test"
+  "bo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

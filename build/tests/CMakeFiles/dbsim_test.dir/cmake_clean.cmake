@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_test.dir/dbsim_test.cc.o"
+  "CMakeFiles/dbsim_test.dir/dbsim_test.cc.o.d"
+  "dbsim_test"
+  "dbsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

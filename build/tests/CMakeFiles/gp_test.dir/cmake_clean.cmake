@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_test.dir/gp_test.cc.o"
+  "CMakeFiles/gp_test.dir/gp_test.cc.o.d"
+  "gp_test"
+  "gp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
