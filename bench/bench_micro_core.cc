@@ -6,10 +6,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "bo/acq_optimizer.h"
 #include "bo/acquisition.h"
 #include "bo/lhs.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "dbsim/simulator.h"
 #include "gp/multi_output_gp.h"
 #include "meta/meta_learner.h"
@@ -98,6 +102,72 @@ void BM_AcquisitionOptimization(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AcquisitionOptimization)->Arg(128)->Arg(256)->Arg(512);
+
+// Candidate-scoring throughput of the CEI sweep: full MaximizeAcquisition
+// calls over a fitted surrogate, counting candidates scored per second.
+// Axes: training-set size n, pool size, and scalar-per-point (the seed's
+// code path) versus the blocked batch-inference path. Emits one JSON line
+// per configuration so the driver can diff runs.
+void BM_AcquisitionThroughput(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const bool batch_path = state.range(2) != 0;
+  const size_t dim = 14;
+  GpOptions options;
+  options.optimize_hyperparams = false;
+  MultiOutputGp gp(dim, options);
+  (void)gp.Fit(SyntheticObservations(n, dim, 3));
+  GpSurrogate surrogate(&gp);
+  AcquisitionContext ctx;
+  ctx.has_feasible = true;
+  ctx.best_feasible_res = 60.0;
+  ctx.lambda_tps = 9000.0;
+  ctx.lambda_lat = 8.0;
+  ThreadPool pool(static_cast<size_t>(threads));
+  AcqOptimizerOptions acq;
+  acq.num_candidates = 512;
+  acq.num_refine = 4;
+  acq.pool = &pool;
+  Rng rng(4);
+  int64_t candidates = 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (batch_path) {
+      auto f = [&](const Matrix& thetas) {
+        return ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx);
+      };
+      benchmark::DoNotOptimize(MaximizeAcquisitionBatch(f, dim, &rng, acq));
+    } else {
+      auto f = [&](const Vector& theta) {
+        return ConstrainedExpectedImprovement(surrogate, theta, ctx);
+      };
+      benchmark::DoNotOptimize(MaximizeAcquisition(f, dim, &rng, acq));
+    }
+    seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    candidates += acq.num_candidates;
+  }
+  state.counters["candidates_per_sec"] = benchmark::Counter(
+      static_cast<double>(candidates), benchmark::Counter::kIsRate);
+  std::printf(
+      "{\"bench\":\"acq_throughput\",\"train_n\":%zu,\"threads\":%d,"
+      "\"path\":\"%s\",\"candidates_per_sec\":%.0f}\n",
+      n, threads, batch_path ? "batch" : "scalar",
+      seconds > 0.0 ? static_cast<double>(candidates) / seconds : 0.0);
+}
+BENCHMARK(BM_AcquisitionThroughput)
+    ->Args({50, 1, 0})
+    ->Args({50, 1, 1})
+    ->Args({50, 4, 1})
+    ->Args({200, 1, 0})
+    ->Args({200, 1, 1})
+    ->Args({200, 4, 1})
+    ->Args({800, 1, 0})
+    ->Args({800, 1, 1})
+    ->Args({800, 4, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MetaLearnerUpdate(benchmark::State& state) {
   const size_t dim = 14;

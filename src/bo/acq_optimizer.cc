@@ -3,52 +3,109 @@
 #include <algorithm>
 
 #include "bo/lhs.h"
+#include "common/thread_pool.h"
 
 namespace restune {
+
+namespace {
+
+struct Scored {
+  Vector x;
+  double value;
+};
+
+/// Local stencil search from `start`. Each pass scores the full 2*dim
+/// coordinate stencil around the current point as ONE batch call — the
+/// same blocked inference path as the sweep, instead of 2*dim one-row
+/// probes — then moves to the best improving trial. The step halves only
+/// after a pass without improvement, so a productive stride is reused.
+/// Ties break on the lowest stencil row, keeping the search deterministic.
+Scored RefineCandidate(const BatchAcquisitionFn& acquisition, Scored start,
+                       size_t dim, const AcqOptimizerOptions& options) {
+  Scored current = std::move(start);
+  Matrix stencil(2 * dim, dim);
+  double step = options.initial_step;
+  for (int pass = 0; pass < options.refine_passes; ++pass) {
+    for (size_t d = 0; d < dim; ++d) {
+      for (size_t c = 0; c < dim; ++c) {
+        stencil(2 * d, c) = current.x[c];
+        stencil(2 * d + 1, c) = current.x[c];
+      }
+      stencil(2 * d, d) = std::clamp(current.x[d] + step, 0.0, 1.0);
+      stencil(2 * d + 1, d) = std::clamp(current.x[d] - step, 0.0, 1.0);
+    }
+    const std::vector<double> values = acquisition(stencil);
+    size_t best_row = stencil.rows();
+    double best_value = current.value;
+    for (size_t r = 0; r < stencil.rows(); ++r) {
+      if (values[r] > best_value) {
+        best_value = values[r];
+        best_row = r;
+      }
+    }
+    if (best_row == stencil.rows()) {
+      step *= 0.5;
+      continue;
+    }
+    for (size_t c = 0; c < dim; ++c) current.x[c] = stencil(best_row, c);
+    current.value = best_value;
+  }
+  return current;
+}
+
+}  // namespace
+
+Vector MaximizeAcquisitionBatch(const BatchAcquisitionFn& acquisition,
+                                size_t dim, Rng* rng,
+                                const AcqOptimizerOptions& options) {
+  // Candidates come from the caller's RNG before any parallel work, so the
+  // sampled sweep is independent of the pool size.
+  const std::vector<Vector> samples =
+      UniformSample(static_cast<size_t>(options.num_candidates), dim, rng);
+  Matrix candidates(samples.size(), dim);
+  for (size_t r = 0; r < samples.size(); ++r) {
+    for (size_t c = 0; c < dim; ++c) candidates(r, c) = samples[r][c];
+  }
+  const std::vector<double> values = acquisition(candidates);
+
+  std::vector<Scored> pool;
+  pool.reserve(samples.size());
+  for (size_t r = 0; r < samples.size(); ++r) {
+    pool.push_back({samples[r], values[r]});
+  }
+  const size_t refine_count =
+      std::min<size_t>(pool.size(), static_cast<size_t>(options.num_refine));
+  std::partial_sort(
+      pool.begin(), pool.begin() + refine_count, pool.end(),
+      [](const Scored& a, const Scored& b) { return a.value > b.value; });
+
+  // Each local search is independent and owns its output slot; the winner
+  // is reduced in candidate order afterwards, so the result matches a
+  // serial sweep exactly.
+  std::vector<Scored> refined(refine_count);
+  ResolvePool(options.pool)->ParallelFor(refine_count, [&](size_t c) {
+    refined[c] = RefineCandidate(acquisition, pool[c], dim, options);
+  });
+
+  Scored best = pool.front();
+  for (const Scored& candidate : refined) {
+    if (candidate.value > best.value) best = candidate;
+  }
+  return best.x;
+}
 
 Vector MaximizeAcquisition(
     const std::function<double(const Vector&)>& acquisition, size_t dim,
     Rng* rng, const AcqOptimizerOptions& options) {
-  struct Scored {
-    Vector x;
-    double value;
+  ThreadPool* tp = ResolvePool(options.pool);
+  auto batch = [&acquisition, tp](const Matrix& thetas) {
+    std::vector<double> out(thetas.rows());
+    tp->ParallelForRanges(thetas.rows(), [&](size_t begin, size_t end) {
+      for (size_t r = begin; r < end; ++r) out[r] = acquisition(thetas.Row(r));
+    });
+    return out;
   };
-  std::vector<Scored> pool;
-  pool.reserve(options.num_candidates);
-  for (Vector& x :
-       UniformSample(static_cast<size_t>(options.num_candidates), dim, rng)) {
-    const double v = acquisition(x);
-    pool.push_back({std::move(x), v});
-  }
-  std::partial_sort(
-      pool.begin(),
-      pool.begin() + std::min<size_t>(pool.size(), options.num_refine),
-      pool.end(),
-      [](const Scored& a, const Scored& b) { return a.value > b.value; });
-
-  Scored best = pool.front();
-  const size_t refine_count =
-      std::min<size_t>(pool.size(), options.num_refine);
-  for (size_t c = 0; c < refine_count; ++c) {
-    Scored current = pool[c];
-    double step = options.initial_step;
-    for (int pass = 0; pass < options.refine_passes; ++pass) {
-      for (size_t d = 0; d < dim; ++d) {
-        for (double direction : {+1.0, -1.0}) {
-          Vector trial = current.x;
-          trial[d] = std::clamp(trial[d] + direction * step, 0.0, 1.0);
-          const double v = acquisition(trial);
-          if (v > current.value) {
-            current.x = std::move(trial);
-            current.value = v;
-          }
-        }
-      }
-      step *= 0.5;
-    }
-    if (current.value > best.value) best = current;
-  }
-  return best.x;
+  return MaximizeAcquisitionBatch(batch, dim, rng, options);
 }
 
 }  // namespace restune

@@ -7,23 +7,51 @@
 
 namespace restune {
 
+class ThreadPool;
+
 /// Options for the acquisition-function maximizer.
 struct AcqOptimizerOptions {
   /// Size of the global random sweep over [0,1]^d.
   int num_candidates = 512;
   /// Number of top candidates refined by local coordinate search.
   int num_refine = 4;
-  /// Coordinate-descent passes per refined candidate.
-  int refine_passes = 3;
+  /// Stencil passes per refined candidate. Each pass scores the 2*dim
+  /// coordinate stencil around the current point in one batch call and
+  /// moves to the best improvement; the step halves after a pass that
+  /// finds none.
+  int refine_passes = 6;
   /// Initial refinement step, halved each pass.
   double initial_step = 0.1;
+  /// Pool for the candidate sweep and the per-candidate refinements
+  /// (null = shared pool). The chosen candidate is bitwise identical for
+  /// any pool size: candidates are drawn from `rng` on the calling thread
+  /// before any parallel work, every parallel task writes only its own
+  /// slot, and the final reduction runs in a fixed order.
+  ThreadPool* pool = nullptr;
 };
+
+/// Acquisition values for a whole candidate block (one value per row).
+/// Implementations are expected to route through the surrogate's batch
+/// prediction path; they must be safe to call from pool workers.
+using BatchAcquisitionFn = std::function<std::vector<double>(const Matrix&)>;
 
 /// Maximizes an acquisition function over the unit hypercube by a global
 /// random sweep followed by local coordinate refinement of the best
 /// candidates. This is the gradient-free counterpart of the multi-start
 /// L-BFGS loop BO libraries use; coordinate steps suit the box-bounded,
 /// axis-aligned knob space.
+///
+/// The sweep scores all `num_candidates` points with ONE batch call —
+/// thousands of GP posteriors computed as a single blocked inference —
+/// and the `num_refine` local searches then run concurrently on the pool.
+Vector MaximizeAcquisitionBatch(const BatchAcquisitionFn& acquisition,
+                                size_t dim, Rng* rng,
+                                const AcqOptimizerOptions& options = {});
+
+/// Scalar-acquisition adapter: wraps `acquisition` into a batch function
+/// that fans individual evaluations out over the pool. The function must be
+/// thread-safe (const surrogate reads only). Prefer the batch overload when
+/// a batch acquisition exists — it also exploits matrix-level GP inference.
 Vector MaximizeAcquisition(
     const std::function<double(const Vector&)>& acquisition, size_t dim,
     Rng* rng, const AcqOptimizerOptions& options = {});

@@ -45,11 +45,48 @@ double ConstrainedExpectedImprovement(const Surrogate& surrogate,
   return p_feasible * ExpectedImprovement(res, ctx.best_feasible_res);
 }
 
+std::vector<double> ConstrainedExpectedImprovementBatch(
+    const Surrogate& surrogate, const Matrix& thetas,
+    const AcquisitionContext& ctx) {
+  const std::vector<GpPrediction> tps =
+      surrogate.PredictMetricBatch(MetricKind::kTps, thetas);
+  const std::vector<GpPrediction> lat =
+      surrogate.PredictMetricBatch(MetricKind::kLat, thetas);
+  std::vector<double> out(thetas.rows());
+  if (!ctx.has_feasible) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = ProbabilityOfFeasibility(tps[i], lat[i], ctx.lambda_tps,
+                                        ctx.lambda_lat);
+    }
+    return out;
+  }
+  const std::vector<GpPrediction> res =
+      surrogate.PredictMetricBatch(MetricKind::kRes, thetas);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = ProbabilityOfFeasibility(tps[i], lat[i], ctx.lambda_tps,
+                                      ctx.lambda_lat) *
+             ExpectedImprovement(res[i], ctx.best_feasible_res);
+  }
+  return out;
+}
+
 double UnconstrainedExpectedImprovement(const Surrogate& surrogate,
                                         const Vector& theta,
                                         const AcquisitionContext& ctx) {
   const GpPrediction res = surrogate.PredictMetric(MetricKind::kRes, theta);
   return ExpectedImprovement(res, ctx.best_feasible_res);
+}
+
+std::vector<double> UnconstrainedExpectedImprovementBatch(
+    const Surrogate& surrogate, const Matrix& thetas,
+    const AcquisitionContext& ctx) {
+  const std::vector<GpPrediction> res =
+      surrogate.PredictMetricBatch(MetricKind::kRes, thetas);
+  std::vector<double> out(thetas.rows());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = ExpectedImprovement(res[i], ctx.best_feasible_res);
+  }
+  return out;
 }
 
 double PenalizedExpectedImprovement(const Surrogate& surrogate,
@@ -65,6 +102,26 @@ double PenalizedExpectedImprovement(const Surrogate& surrogate,
   const GpPrediction penalized{res.mean + penalty * (tps_short + lat_over),
                                res.variance};
   return ExpectedImprovement(penalized, ctx.best_feasible_res);
+}
+
+std::vector<double> PenalizedExpectedImprovementBatch(
+    const Surrogate& surrogate, const Matrix& thetas,
+    const AcquisitionContext& ctx, double penalty) {
+  const std::vector<GpPrediction> res =
+      surrogate.PredictMetricBatch(MetricKind::kRes, thetas);
+  const std::vector<GpPrediction> tps =
+      surrogate.PredictMetricBatch(MetricKind::kTps, thetas);
+  const std::vector<GpPrediction> lat =
+      surrogate.PredictMetricBatch(MetricKind::kLat, thetas);
+  std::vector<double> out(thetas.rows());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const double tps_short = std::max(0.0, ctx.lambda_tps - tps[i].mean);
+    const double lat_over = std::max(0.0, lat[i].mean - ctx.lambda_lat);
+    const GpPrediction penalized{
+        res[i].mean + penalty * (tps_short + lat_over), res[i].variance};
+    out[i] = ExpectedImprovement(penalized, ctx.best_feasible_res);
+  }
+  return out;
 }
 
 double ProbabilityOfImprovement(const GpPrediction& res, double best) {

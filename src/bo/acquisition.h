@@ -37,11 +37,24 @@ double ConstrainedExpectedImprovement(const Surrogate& surrogate,
                                       const Vector& theta,
                                       const AcquisitionContext& ctx);
 
+/// CEI over every row of `thetas` through the surrogate's batch path: the
+/// three metric posteriors for the whole candidate block are computed as
+/// matrix-level GP inference, then combined per candidate. Value i equals
+/// the scalar CEI of row i.
+std::vector<double> ConstrainedExpectedImprovementBatch(
+    const Surrogate& surrogate, const Matrix& thetas,
+    const AcquisitionContext& ctx);
+
 /// Plain EI on the resource objective, ignoring constraints — the
 /// acquisition used by the iTuned baseline (Section 7, "iTuned").
 double UnconstrainedExpectedImprovement(const Surrogate& surrogate,
                                         const Vector& theta,
                                         const AcquisitionContext& ctx);
+
+/// Batch counterpart of `UnconstrainedExpectedImprovement`.
+std::vector<double> UnconstrainedExpectedImprovementBatch(
+    const Surrogate& surrogate, const Matrix& thetas,
+    const AcquisitionContext& ctx);
 
 /// Penalty-based alternative kept for ablation (Section 2 cites penalty
 /// methods as the simplest constrained-BO approach): EI computed on
@@ -50,6 +63,11 @@ double PenalizedExpectedImprovement(const Surrogate& surrogate,
                                     const Vector& theta,
                                     const AcquisitionContext& ctx,
                                     double penalty);
+
+/// Batch counterpart of `PenalizedExpectedImprovement`.
+std::vector<double> PenalizedExpectedImprovementBatch(
+    const Surrogate& surrogate, const Matrix& thetas,
+    const AcquisitionContext& ctx, double penalty);
 
 /// Probability of improvement over the incumbent, for a minimization
 /// objective: Pr[f < best]. Cheaper but more exploitative than EI.

@@ -31,4 +31,32 @@ std::vector<Vector> ProposeBatch(
   return batch;
 }
 
+std::vector<Vector> ProposeBatch(const BatchAcquisitionFn& acquisition,
+                                 size_t dim, size_t batch_size, Rng* rng,
+                                 const BatchProposalOptions& options) {
+  std::vector<Vector> batch;
+  batch.reserve(batch_size);
+  const double radius_sq = options.penalty_radius * options.penalty_radius;
+
+  for (size_t b = 0; b < batch_size; ++b) {
+    auto penalized = [&](const Matrix& thetas) {
+      std::vector<double> values = acquisition(thetas);
+      for (size_t r = 0; r < thetas.rows(); ++r) {
+        for (const Vector& chosen : batch) {
+          double d2 = 0.0;
+          for (size_t c = 0; c < thetas.cols(); ++c) {
+            const double d = thetas(r, c) - chosen[c];
+            d2 += d * d;
+          }
+          if (d2 < radius_sq) values[r] *= std::sqrt(d2 / radius_sq);
+        }
+      }
+      return values;
+    };
+    batch.push_back(
+        MaximizeAcquisitionBatch(penalized, dim, rng, options.acq_optimizer));
+  }
+  return batch;
+}
+
 }  // namespace restune

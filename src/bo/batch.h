@@ -29,4 +29,11 @@ std::vector<Vector> ProposeBatch(
     const std::function<double(const Vector&)>& acquisition, size_t dim,
     size_t batch_size, Rng* rng, const BatchProposalOptions& options = {});
 
+/// Batch-acquisition overload: candidate sweeps run through the surrogate's
+/// matrix-level inference path, with the penalization applied to the block
+/// of acquisition values after each sweep.
+std::vector<Vector> ProposeBatch(const BatchAcquisitionFn& acquisition,
+                                 size_t dim, size_t batch_size, Rng* rng,
+                                 const BatchProposalOptions& options = {});
+
 }  // namespace restune

@@ -9,6 +9,9 @@ namespace restune {
 /// functions consume. Implemented by `MultiOutputGp` (plain CBO) and by
 /// `MetaLearner` (the ensemble of base-learners, Section 6.3) — so the
 /// same CEI machinery drives both ResTune and ResTune-w/o-ML.
+///
+/// Predictions must be thread-safe under concurrent const access: the
+/// acquisition optimizer evaluates candidates from pool workers.
 class Surrogate {
  public:
   virtual ~Surrogate() = default;
@@ -16,6 +19,19 @@ class Surrogate {
   /// Posterior prediction for one metric at the normalized configuration.
   virtual GpPrediction PredictMetric(MetricKind kind,
                                      const Vector& theta) const = 0;
+
+  /// Posterior for one metric at every row of `thetas`. The default loops
+  /// over `PredictMetric`; GP-backed implementations override it with the
+  /// batch inference path (one cross-covariance block + blocked solves),
+  /// which is what makes the CEI candidate sweep cheap.
+  virtual std::vector<GpPrediction> PredictMetricBatch(
+      MetricKind kind, const Matrix& thetas) const {
+    std::vector<GpPrediction> out(thetas.rows());
+    for (size_t r = 0; r < thetas.rows(); ++r) {
+      out[r] = PredictMetric(kind, thetas.Row(r));
+    }
+    return out;
+  }
 
   virtual size_t dim() const = 0;
 };
@@ -28,6 +44,10 @@ class GpSurrogate : public Surrogate {
   GpPrediction PredictMetric(MetricKind kind,
                              const Vector& theta) const override {
     return gp_->Predict(kind, theta);
+  }
+  std::vector<GpPrediction> PredictMetricBatch(
+      MetricKind kind, const Matrix& thetas) const override {
+    return gp_->PredictBatch(kind, thetas);
   }
   size_t dim() const override { return gp_->dim(); }
 

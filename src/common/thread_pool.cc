@@ -1,0 +1,140 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace restune {
+
+namespace {
+
+// Set while a thread is executing pool work; nested loops detect it and run
+// inline instead of re-entering the queue.
+thread_local bool t_inside_pool_work = false;
+
+// One parallel loop in flight: tasks self-schedule chunks of [0, n) via a
+// shared atomic cursor, and the last finisher signals completion.
+struct LoopState {
+  size_t n = 0;
+  size_t chunk = 1;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> pending_helpers{0};
+  std::mutex mu;
+  std::condition_variable done;
+
+  void RunChunks() {
+    while (true) {
+      const size_t begin = next.fetch_add(chunk);
+      if (begin >= n) return;
+      (*fn)(begin, std::min(n, begin + chunk));
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_pool_work = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunLoop(size_t n, size_t chunk,
+                         const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads() <= 1 || n <= 1 || t_inside_pool_work) {
+    fn(0, n);
+    return;
+  }
+  LoopState state;
+  state.n = n;
+  state.chunk = chunk;
+  state.fn = &fn;
+
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  state.pending_helpers.store(helpers);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([&state] {
+        state.RunChunks();
+        if (state.pending_helpers.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> lock(state.mu);
+          state.done.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  const bool was_inside = t_inside_pool_work;
+  t_inside_pool_work = true;  // nested loops on the caller also run inline
+  state.RunChunks();
+  t_inside_pool_work = was_inside;
+
+  // Helpers may still be mid-chunk (or not yet scheduled); `state` and `fn`
+  // must outlive them, so wait for every enqueued helper to finish.
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock,
+                  [&state] { return state.pending_helpers.load() == 0; });
+}
+
+void ThreadPool::ParallelForRanges(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  // ~4 chunks per thread balances load without excessive cursor traffic.
+  const size_t chunk = std::max<size_t>(1, n / (num_threads() * 4));
+  RunLoop(n, chunk, fn);
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  // Chunk size 1: each index is claimed individually, which is what the few
+  // heavy, unevenly sized tasks using this entry point want.
+  RunLoop(n, 1, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("RESTUNE_NUM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+ThreadPool* ThreadPool::Shared() {
+  // Leaked intentionally: the pool must outlive any static-destruction-order
+  // user, and worker threads joining at exit would stall teardown.
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return pool;
+}
+
+}  // namespace restune

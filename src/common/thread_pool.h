@@ -1,0 +1,79 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace restune {
+
+/// Fixed-size worker pool for data-parallel loops in the BO hot path
+/// (batch GP inference, acquisition sweeps, hyper-parameter restarts).
+///
+/// Determinism contract: `ParallelFor` partitions an index range into
+/// contiguous chunks and each `fn(i)` may only write to state owned by
+/// index `i` (its own output slot). Under that discipline results are
+/// bitwise identical for any pool size — including size 1, where the loop
+/// runs inline on the caller — so seeded experiments stay reproducible
+/// regardless of the machine's core count.
+///
+/// Nested parallelism is safe but not amplified: a `ParallelFor` issued
+/// from inside a worker runs inline on that worker, which both avoids
+/// deadlock (workers never block on the queue they drain) and keeps the
+/// arithmetic order of nested loops identical to the serial order.
+class ThreadPool {
+ public:
+  /// Creates a pool that runs loops on `num_threads` threads total. The
+  /// calling thread always participates, so `num_threads == 1` spawns no
+  /// workers and every loop runs inline.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads a loop may use (workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs `fn(i)` for every i in [0, n), blocking until all calls return.
+  /// Indices are claimed one at a time — right for a few heavy tasks
+  /// (hyper-parameter restarts, local refinement of top candidates).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs `fn(begin, end)` over a partition of [0, n) into contiguous
+  /// ranges, blocking until all return. Chunks amortize dispatch for many
+  /// small iterations (per-candidate predictions, Gram-matrix rows).
+  void ParallelForRanges(size_t n,
+                         const std::function<void(size_t, size_t)>& fn);
+
+  /// Process-wide pool, sized from `RESTUNE_NUM_THREADS` when set (min 1),
+  /// else the hardware concurrency. Never destroyed; safe to use from any
+  /// thread. A size-1 environment makes every shared-pool loop inline.
+  static ThreadPool* Shared();
+
+  /// The thread count `Shared()` is built with.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+  void RunLoop(size_t n, size_t chunk,
+               const std::function<void(size_t, size_t)>& fn);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+/// `pool` if non-null, else the shared pool. The convention across the
+/// library: APIs take `ThreadPool* pool = nullptr` and resolve through
+/// this, so tests can pin a pool size while production uses the default.
+inline ThreadPool* ResolvePool(ThreadPool* pool) {
+  return pool != nullptr ? pool : ThreadPool::Shared();
+}
+
+}  // namespace restune

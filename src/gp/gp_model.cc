@@ -5,6 +5,7 @@
 
 #include "common/nelder_mead.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace restune {
 
@@ -97,6 +98,24 @@ Status GpModel::Update(const Vector& x, double y) {
   if (x.size() != kernel_->dim()) {
     return Status::InvalidArgument("x dimensionality does not match kernel");
   }
+  ++updates_since_refit_;
+  const bool optimize =
+      options_.optimize_hyperparams &&
+      (options_.refit_period <= 1 ||
+       updates_since_refit_ >= options_.refit_period);
+
+  // On non-refit iterations the kernel matrix only gains one row/column
+  // (it depends on x and hyper-parameters, not on target normalization),
+  // so the Cholesky factor is extended in O(n^2) instead of refactorized
+  // in O(n^3). Must happen before x_ grows; a non-PD extension falls back
+  // to the full path below.
+  bool factor_extended = false;
+  if (!optimize && chol_.has_value() && chol_->size() == x_.rows()) {
+    const Vector k_new = kernel_->CrossCovariance(x_, x);
+    const double k_ss = kernel_->Eval(x, x) + options_.noise_variance;
+    factor_extended = chol_->RankOneUpdate(k_new, k_ss).ok();
+  }
+
   // Rebuild the raw target list, append, and refit. Normalization constants
   // are recomputed so the normalized targets stay well scaled as the
   // observation range expands during tuning.
@@ -108,11 +127,6 @@ Status GpModel::Update(const Vector& x, double y) {
   }
   for (size_t c = 0; c < x.size(); ++c) x_new(x_.rows(), c) = x[c];
 
-  ++updates_since_refit_;
-  const bool optimize =
-      options_.optimize_hyperparams &&
-      (options_.refit_period <= 1 ||
-       updates_since_refit_ >= options_.refit_period);
   x_ = std::move(x_new);
   if (options_.normalize_y) {
     y_mean_ = Mean(y_raw);
@@ -126,6 +140,12 @@ Status GpModel::Update(const Vector& x, double y) {
   if (optimize) {
     updates_since_refit_ = 0;
     hyperopt_done_ = true;
+  }
+  if (factor_extended) {
+    // Targets changed (normalization shifts every entry) but K did not:
+    // only the O(n^2) weight solve is redone.
+    alpha_ = chol_->Solve(y_norm_);
+    return Status::OK();
   }
   return Refit(optimize);
 }
@@ -185,8 +205,13 @@ void GpModel::OptimizeHyperparams() {
     }
     starts.push_back(std::move(s));
   }
-  for (const Vector& s : starts) {
-    const NelderMeadResult result = NelderMeadMinimize(objective, s, nm);
+  // Restarts are independent searches; run them on the pool and reduce in
+  // start order so the winner matches the serial sweep exactly.
+  std::vector<NelderMeadResult> results(starts.size());
+  ThreadPool::Shared()->ParallelFor(starts.size(), [&](size_t i) {
+    results[i] = NelderMeadMinimize(objective, starts[i], nm);
+  });
+  for (const NelderMeadResult& result : results) {
     if (result.value < best_value) {
       best_value = result.value;
       best = result.x;
@@ -211,6 +236,61 @@ double GpModel::PredictMean(const Vector& x) const {
   return Dot(k_star, alpha_) * y_std_ + y_mean_;
 }
 
+std::vector<GpPrediction> GpModel::PredictBatch(const Matrix& x,
+                                                ThreadPool* pool) const {
+  assert(fitted());
+  assert(x.cols() == kernel_->dim());
+  const size_t m = x.rows();
+  std::vector<GpPrediction> out(m);
+  if (m == 0) return out;
+  ThreadPool* tp = ResolvePool(pool);
+  const size_t n = x_.rows();
+  const Matrix k_star = kernel_->CrossCovarianceMatrix(x_, x, tp);  // n x m
+  const Matrix v = chol_->SolveLowerMatrix(k_star, tp);             // n x m
+  // Column-striped accumulation: each stripe owns its slice of the mean and
+  // squared-solve-norm accumulators, so any pool size yields the same sums.
+  Vector mean(m, 0.0);
+  Vector v_sq(m, 0.0);
+  tp->ParallelForRanges(m, [&](size_t c0, size_t c1) {
+    for (size_t i = 0; i < n; ++i) {
+      const double ai = alpha_[i];
+      const double* ks = k_star.RowPtr(i);
+      const double* vi = v.RowPtr(i);
+      for (size_t c = c0; c < c1; ++c) {
+        mean[c] += ai * ks[c];
+        v_sq[c] += vi[c] * vi[c];
+      }
+    }
+    for (size_t c = c0; c < c1; ++c) {
+      const double prior = kernel_->Eval(x.RowPtr(c), x.RowPtr(c));
+      double var_norm = prior + options_.noise_variance - v_sq[c];
+      var_norm = std::max(var_norm, 1e-12);
+      out[c] = {mean[c] * y_std_ + y_mean_, var_norm * y_std_ * y_std_};
+    }
+  });
+  return out;
+}
+
+Vector GpModel::PredictMeanBatch(const Matrix& x, ThreadPool* pool) const {
+  assert(fitted());
+  assert(x.cols() == kernel_->dim());
+  const size_t m = x.rows();
+  Vector mean(m, 0.0);
+  if (m == 0) return mean;
+  ThreadPool* tp = ResolvePool(pool);
+  const size_t n = x_.rows();
+  const Matrix k_star = kernel_->CrossCovarianceMatrix(x_, x, tp);
+  tp->ParallelForRanges(m, [&](size_t c0, size_t c1) {
+    for (size_t i = 0; i < n; ++i) {
+      const double ai = alpha_[i];
+      const double* ks = k_star.RowPtr(i);
+      for (size_t c = c0; c < c1; ++c) mean[c] += ai * ks[c];
+    }
+    for (size_t c = c0; c < c1; ++c) mean[c] = mean[c] * y_std_ + y_mean_;
+  });
+  return mean;
+}
+
 double GpModel::LogMarginalLikelihood() const {
   assert(fitted());
   const double fit_term = 0.5 * Dot(y_norm_, alpha_);
@@ -224,10 +304,12 @@ std::vector<GpPrediction> GpModel::LeaveOneOutPredictions() const {
   // Sundararajan & Keerthi identities: with K_inv = (K + noise I)^-1,
   //   mu_-i  = y_i - alpha_i / K_inv_ii
   //   var_-i = 1 / K_inv_ii
-  const Matrix k_inv = chol_->Inverse();
+  // Only the diagonal of K_inv enters, so it comes from triangular solves
+  // against the cached factor instead of the full O(n^3) inverse.
+  const Vector k_inv_diag = chol_->InverseDiagonal();
   std::vector<GpPrediction> out(x_.rows());
   for (size_t i = 0; i < x_.rows(); ++i) {
-    const double kii = std::max(k_inv(i, i), 1e-12);
+    const double kii = std::max(k_inv_diag[i], 1e-12);
     const double mean_norm = y_norm_[i] - alpha_[i] / kii;
     const double var_norm = 1.0 / kii;
     out[i] = {mean_norm * y_std_ + y_mean_, var_norm * y_std_ * y_std_};

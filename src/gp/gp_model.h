@@ -12,6 +12,8 @@
 
 namespace restune {
 
+class ThreadPool;
+
 /// Posterior prediction at a single point.
 struct GpPrediction {
   double mean = 0.0;
@@ -78,6 +80,22 @@ class GpModel {
   /// Posterior mean only — the O(n·d) fast path used by ensemble members,
   /// whose variances the meta-learner discards (paper Eq. 7).
   double PredictMean(const Vector& x) const;
+
+  /// Posterior at every row of `x` in one shot: the cross-covariance
+  /// against the training set is assembled as a single n×m block and the
+  /// variance solves run as blocked triangular solves, so the kernel
+  /// matrix streams through cache once per candidate stripe instead of
+  /// once per candidate. Work is distributed over `pool` (null = shared
+  /// pool). Results are bitwise identical for any pool size; they agree
+  /// with per-point `Predict` to rounding error (the blocked solve scales
+  /// by a reciprocal where the scalar solve divides; narrow blocks of at
+  /// most four candidates share `Predict`'s exact arithmetic).
+  std::vector<GpPrediction> PredictBatch(const Matrix& x,
+                                         ThreadPool* pool = nullptr) const;
+
+  /// Batch counterpart of `PredictMean`: means at every row of `x` via one
+  /// cross-covariance block and a matrix-vector product against alpha.
+  Vector PredictMeanBatch(const Matrix& x, ThreadPool* pool = nullptr) const;
 
   /// Log marginal likelihood of the current fit.
   double LogMarginalLikelihood() const;

@@ -3,36 +3,68 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace restune {
 
-Matrix Kernel::GramMatrix(const Matrix& x) const {
+double Kernel::Eval(const double* a, const double* b) const {
+  return Eval(Vector(a, a + dim()), Vector(b, b + dim()));
+}
+
+Matrix Kernel::GramMatrix(const Matrix& x, ThreadPool* pool) const {
   const size_t n = x.rows();
   Matrix k(n, n);
-  for (size_t i = 0; i < n; ++i) {
-    const Vector xi = x.Row(i);
-    for (size_t j = 0; j <= i; ++j) {
-      const double v = Eval(xi, x.Row(j));
-      k(i, j) = v;
-      k(j, i) = v;
+  ThreadPool* tp = ResolvePool(pool);
+  // Phase 1: each task owns a row stripe and fills its upper-triangle part
+  // k(i, j >= i) — disjoint writes, so results are pool-size independent.
+  tp->ParallelForRanges(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* xi = x.RowPtr(i);
+      double* ki = k.RowPtr(i);
+      for (size_t j = i; j < n; ++j) ki[j] = Eval(xi, x.RowPtr(j));
     }
-  }
+  });
+  // Phase 2: mirror. Row i's lower part reads upper-triangle entries only.
+  tp->ParallelForRanges(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double* ki = k.RowPtr(i);
+      for (size_t j = 0; j < i; ++j) ki[j] = k(j, i);
+    }
+  });
   return k;
 }
 
 Vector Kernel::CrossCovariance(const Matrix& x, const Vector& x_query) const {
+  assert(x_query.size() == dim());
   Vector out(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) out[i] = Eval(x.Row(i), x_query);
+  const double* q = x_query.data();
+  for (size_t i = 0; i < x.rows(); ++i) out[i] = Eval(x.RowPtr(i), q);
   return out;
+}
+
+Matrix Kernel::CrossCovarianceMatrix(const Matrix& x, const Matrix& queries,
+                                     ThreadPool* pool) const {
+  assert(x.cols() == dim() && queries.cols() == dim());
+  const size_t n = x.rows();
+  const size_t m = queries.rows();
+  Matrix k_star(n, m);
+  ResolvePool(pool)->ParallelForRanges(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* xi = x.RowPtr(i);
+      double* row = k_star.RowPtr(i);
+      for (size_t j = 0; j < m; ++j) row[j] = Eval(xi, queries.RowPtr(j));
+    }
+  });
+  return k_star;
 }
 
 namespace {
 
 /// Lengthscale-weighted squared distance sum_i ((a_i-b_i)/ls_i)^2.
-double ScaledSquaredDistance(const Vector& a, const Vector& b,
+double ScaledSquaredDistance(const double* a, const double* b,
                              const Vector& lengthscales) {
-  assert(a.size() == b.size() && a.size() == lengthscales.size());
   double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (size_t i = 0; i < lengthscales.size(); ++i) {
     const double d = (a[i] - b[i]) / lengthscales[i];
     sum += d * d;
   }
@@ -46,6 +78,11 @@ Matern52Kernel::Matern52Kernel(size_t dim, double lengthscale,
     : amplitude_sq_(amplitude_sq), lengthscales_(dim, lengthscale) {}
 
 double Matern52Kernel::Eval(const Vector& a, const Vector& b) const {
+  assert(a.size() == dim() && b.size() == dim());
+  return Eval(a.data(), b.data());
+}
+
+double Matern52Kernel::Eval(const double* a, const double* b) const {
   const double r2 = ScaledSquaredDistance(a, b, lengthscales_);
   const double r = std::sqrt(5.0 * r2);
   return amplitude_sq_ * (1.0 + r + 5.0 * r2 / 3.0) * std::exp(-r);
@@ -77,6 +114,11 @@ SquaredExponentialKernel::SquaredExponentialKernel(size_t dim,
     : amplitude_sq_(amplitude_sq), lengthscales_(dim, lengthscale) {}
 
 double SquaredExponentialKernel::Eval(const Vector& a, const Vector& b) const {
+  assert(a.size() == dim() && b.size() == dim());
+  return Eval(a.data(), b.data());
+}
+
+double SquaredExponentialKernel::Eval(const double* a, const double* b) const {
   return amplitude_sq_ *
          std::exp(-0.5 * ScaledSquaredDistance(a, b, lengthscales_));
 }

@@ -7,6 +7,8 @@
 
 namespace restune {
 
+class ThreadPool;
+
 /// Covariance kernel over normalized configuration vectors in [0,1]^d.
 ///
 /// Kernels expose their hyper-parameters in log space so that the marginal-
@@ -18,6 +20,11 @@ class Kernel {
 
   /// Covariance k(a, b). Both inputs must have `dim()` elements.
   virtual double Eval(const Vector& a, const Vector& b) const = 0;
+
+  /// Covariance over raw `dim()`-length buffers — the allocation-free entry
+  /// point the Gram/cross-covariance assembly loops use. The default wraps
+  /// the Vector overload (copying); the shipped kernels override it.
+  virtual double Eval(const double* a, const double* b) const;
 
   /// Input dimensionality this kernel was built for.
   virtual size_t dim() const = 0;
@@ -32,11 +39,20 @@ class Kernel {
 
   virtual std::unique_ptr<Kernel> Clone() const = 0;
 
-  /// Gram matrix K with K_ij = k(x_i, x_j) over the rows of `x`.
-  Matrix GramMatrix(const Matrix& x) const;
+  /// Gram matrix K with K_ij = k(x_i, x_j) over the rows of `x`. Symmetry
+  /// is exploited — only the upper triangle is evaluated, then mirrored —
+  /// and rows are distributed over `pool` (null = shared pool).
+  Matrix GramMatrix(const Matrix& x, ThreadPool* pool = nullptr) const;
 
   /// Cross-covariance vector [k(x_query, x_i)]_i over the rows of `x`.
   Vector CrossCovariance(const Matrix& x, const Vector& x_query) const;
+
+  /// Cross-covariance matrix K* with K*_ij = k(x_i, q_j) between training
+  /// rows `x` and query rows `queries`, assembled as one block so batch
+  /// prediction can run matrix-level solves. Rows are distributed over
+  /// `pool` (null = shared pool).
+  Matrix CrossCovarianceMatrix(const Matrix& x, const Matrix& queries,
+                               ThreadPool* pool = nullptr) const;
 };
 
 /// Matérn-5/2 kernel with automatic relevance determination (per-dimension
@@ -50,6 +66,7 @@ class Matern52Kernel : public Kernel {
                           double amplitude_sq = 1.0);
 
   double Eval(const Vector& a, const Vector& b) const override;
+  double Eval(const double* a, const double* b) const override;
   size_t dim() const override { return lengthscales_.size(); }
   const char* name() const override { return "matern52"; }
   Vector GetLogParams() const override;
@@ -68,6 +85,7 @@ class SquaredExponentialKernel : public Kernel {
                                     double amplitude_sq = 1.0);
 
   double Eval(const Vector& a, const Vector& b) const override;
+  double Eval(const double* a, const double* b) const override;
   size_t dim() const override { return lengthscales_.size(); }
   const char* name() const override { return "se"; }
   Vector GetLogParams() const override;

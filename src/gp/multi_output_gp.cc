@@ -57,4 +57,15 @@ double MultiOutputGp::PredictMean(MetricKind kind, const Vector& theta) const {
   return model(kind).PredictMean(theta);
 }
 
+std::vector<GpPrediction> MultiOutputGp::PredictBatch(MetricKind kind,
+                                                      const Matrix& thetas,
+                                                      ThreadPool* pool) const {
+  return model(kind).PredictBatch(thetas, pool);
+}
+
+Vector MultiOutputGp::PredictMeanBatch(MetricKind kind, const Matrix& thetas,
+                                       ThreadPool* pool) const {
+  return model(kind).PredictMeanBatch(thetas, pool);
+}
+
 }  // namespace restune

@@ -35,6 +35,12 @@ class MultiOutputGp {
   GpPrediction Predict(MetricKind kind, const Vector& theta) const;
   double PredictMean(MetricKind kind, const Vector& theta) const;
 
+  /// Batch posterior over the rows of `thetas` via GpModel::PredictBatch.
+  std::vector<GpPrediction> PredictBatch(MetricKind kind, const Matrix& thetas,
+                                         ThreadPool* pool = nullptr) const;
+  Vector PredictMeanBatch(MetricKind kind, const Matrix& thetas,
+                          ThreadPool* pool = nullptr) const;
+
   GpModel& model(MetricKind kind) { return models_[static_cast<size_t>(kind)]; }
   const GpModel& model(MetricKind kind) const {
     return models_[static_cast<size_t>(kind)];

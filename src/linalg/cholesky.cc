@@ -1,8 +1,10 @@
 #include "linalg/cholesky.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace restune {
 
@@ -92,5 +94,169 @@ double Cholesky::LogDeterminant() const {
 }
 
 Matrix Cholesky::Inverse() const { return Solve(Matrix::Identity(size())); }
+
+Matrix Cholesky::SolveLowerMatrix(const Matrix& b, ThreadPool* pool) const {
+  const size_t n = size();
+  assert(b.rows() == n);
+  const size_t m = b.cols();
+  Matrix y = b;
+  if (m == 0) return y;
+  if (m <= 4) {
+    // Narrow blocks (refinement probes, batch-of-one queries) gain nothing
+    // from the stripe machinery; the per-column scalar substitution also
+    // keeps their arithmetic identical to SolveLower.
+    Vector col(n);
+    for (size_t c = 0; c < m; ++c) {
+      for (size_t i = 0; i < n; ++i) col[i] = y(i, c);
+      const Vector sol = SolveLower(col);
+      for (size_t i = 0; i < n; ++i) y(i, c) = sol[i];
+    }
+    return y;
+  }
+  // Stripes of ~64 columns (512 bytes/row) keep the active slice of Y
+  // resident while a row sweep streams L exactly once per stripe. Within a
+  // stripe the sweep is blocked: the bulk of the update — subtracting the
+  // already-solved rows above each block — is a small matrix product done
+  // in 4-row x 8-column register tiles, so every loaded Y row feeds four
+  // fused multiply-adds instead of one. Per element the subtraction order
+  // is still k ascending, so results do not depend on the blocking.
+  constexpr size_t kStripe = 64;
+  constexpr size_t kRowBlock = 48;
+  const size_t num_stripes = (m + kStripe - 1) / kStripe;
+  ResolvePool(pool)->ParallelForRanges(
+      num_stripes, [&](size_t stripe_begin, size_t stripe_end) {
+        for (size_t s = stripe_begin; s < stripe_end; ++s) {
+          const size_t c0 = s * kStripe;
+          const size_t c1 = std::min(m, c0 + kStripe);
+          for (size_t b0 = 0; b0 < n; b0 += kRowBlock) {
+            const size_t b1 = std::min(n, b0 + kRowBlock);
+            // Y[b0:b1) -= L[b0:b1, 0:b0) * Y[0:b0) with register tiling.
+            size_t i = b0;
+            for (; b0 > 0 && i + 4 <= b1; i += 4) {
+              const double* l0 = l_.RowPtr(i);
+              const double* l1 = l_.RowPtr(i + 1);
+              const double* l2 = l_.RowPtr(i + 2);
+              const double* l3 = l_.RowPtr(i + 3);
+              double* y0 = y.RowPtr(i);
+              double* y1 = y.RowPtr(i + 1);
+              double* y2 = y.RowPtr(i + 2);
+              double* y3 = y.RowPtr(i + 3);
+              size_t c = c0;
+              for (; c + 8 <= c1; c += 8) {
+                double a0[8], a1[8], a2[8], a3[8];
+                for (int t = 0; t < 8; ++t) {
+                  a0[t] = y0[c + t];
+                  a1[t] = y1[c + t];
+                  a2[t] = y2[c + t];
+                  a3[t] = y3[c + t];
+                }
+                for (size_t k = 0; k < b0; ++k) {
+                  const double* yk = y.RowPtr(k) + c;
+                  const double w0 = l0[k], w1 = l1[k];
+                  const double w2 = l2[k], w3 = l3[k];
+                  for (int t = 0; t < 8; ++t) {
+                    const double v = yk[t];
+                    a0[t] -= w0 * v;
+                    a1[t] -= w1 * v;
+                    a2[t] -= w2 * v;
+                    a3[t] -= w3 * v;
+                  }
+                }
+                for (int t = 0; t < 8; ++t) {
+                  y0[c + t] = a0[t];
+                  y1[c + t] = a1[t];
+                  y2[c + t] = a2[t];
+                  y3[c + t] = a3[t];
+                }
+              }
+              for (; c < c1; ++c) {
+                double a0 = y0[c], a1 = y1[c], a2 = y2[c], a3 = y3[c];
+                for (size_t k = 0; k < b0; ++k) {
+                  const double v = y(k, c);
+                  a0 -= l0[k] * v;
+                  a1 -= l1[k] * v;
+                  a2 -= l2[k] * v;
+                  a3 -= l3[k] * v;
+                }
+                y0[c] = a0;
+                y1[c] = a1;
+                y2[c] = a2;
+                y3[c] = a3;
+              }
+            }
+            for (; i < b1; ++i) {
+              const double* li = l_.RowPtr(i);
+              double* yi = y.RowPtr(i);
+              for (size_t k = 0; k < b0; ++k) {
+                const double lik = li[k];
+                const double* yk = y.RowPtr(k);
+                for (size_t c = c0; c < c1; ++c) yi[c] -= lik * yk[c];
+              }
+            }
+            // Forward substitution within the diagonal block.
+            for (i = b0; i < b1; ++i) {
+              const double* li = l_.RowPtr(i);
+              double* yi = y.RowPtr(i);
+              for (size_t k = b0; k < i; ++k) {
+                const double lik = li[k];
+                const double* yk = y.RowPtr(k);
+                for (size_t c = c0; c < c1; ++c) yi[c] -= lik * yk[c];
+              }
+              const double inv = 1.0 / li[i];
+              for (size_t c = c0; c < c1; ++c) yi[c] *= inv;
+            }
+          }
+        }
+      });
+  return y;
+}
+
+Vector Cholesky::InverseDiagonal(ThreadPool* pool) const {
+  const size_t n = size();
+  Vector diag(n);
+  ResolvePool(pool)->ParallelForRanges(n, [&](size_t begin, size_t end) {
+    Vector y;
+    for (size_t i = begin; i < end; ++i) {
+      // Solve L y = e_i over the trailing subsystem rows i..n-1 only; the
+      // leading entries of the solution are structurally zero.
+      y.assign(n - i, 0.0);
+      y[0] = 1.0 / l_(i, i);
+      for (size_t r = i + 1; r < n; ++r) {
+        const double* lr = l_.RowPtr(r);
+        double sum = 0.0;
+        for (size_t k = i; k < r; ++k) sum -= lr[k] * y[k - i];
+        y[r - i] = sum / lr[r];
+      }
+      double sq = 0.0;
+      for (double v : y) sq += v * v;
+      diag[i] = sq;
+    }
+  });
+  return diag;
+}
+
+Status Cholesky::RankOneUpdate(const Vector& k, double k_ss) {
+  const size_t n = size();
+  if (k.size() != n) {
+    return Status::InvalidArgument("cross-covariance size mismatch");
+  }
+  const Vector l_row = SolveLower(k);
+  const double d = k_ss - Dot(l_row, l_row);
+  if (d <= 0.0 || !std::isfinite(d)) {
+    return Status::NumericalError(StringPrintf(
+        "extended matrix not positive definite (new pivot %g)", d));
+  }
+  Matrix grown(n + 1, n + 1);
+  for (size_t r = 0; r < n; ++r) {
+    const double* src = l_.RowPtr(r);
+    double* dst = grown.RowPtr(r);
+    for (size_t c = 0; c <= r; ++c) dst[c] = src[c];
+  }
+  double* last = grown.RowPtr(n);
+  for (size_t c = 0; c < n; ++c) last[c] = l_row[c];
+  last[n] = std::sqrt(d);
+  l_ = std::move(grown);
+  return Status::OK();
+}
 
 }  // namespace restune

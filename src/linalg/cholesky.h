@@ -5,6 +5,8 @@
 
 namespace restune {
 
+class ThreadPool;
+
 /// Cholesky factorization L L^T = A of a symmetric positive-definite matrix,
 /// plus the triangular solves that Gaussian-process regression needs.
 ///
@@ -39,12 +41,36 @@ class Cholesky {
   /// Solves A X = B column-by-column.
   Matrix Solve(const Matrix& b) const;
 
+  /// Solves L Y = B for all columns of B at once by a blocked forward
+  /// substitution: each row of L is applied to a contiguous stripe of
+  /// columns, so L streams through cache once per column block instead of
+  /// once per right-hand side. This is the batch-prediction workhorse
+  /// (B = cross-covariance of the training set against a candidate block).
+  /// Column stripes are distributed over `pool` (null = shared pool);
+  /// results are identical for any pool size.
+  Matrix SolveLowerMatrix(const Matrix& b, ThreadPool* pool = nullptr) const;
+
   /// log det(A) = 2 * sum_i log L_ii. Needed by the GP marginal likelihood.
   double LogDeterminant() const;
 
   /// The inverse A^{-1}, computed by solving against the identity. Used by
   /// the fast leave-one-out formulas.
   Matrix Inverse() const;
+
+  /// diag(A^{-1}) without forming the inverse: column i of L^{-1} solves
+  /// L y = e_i, whose leading i entries are zero, so only the trailing
+  /// (n-i)-subsystem is touched and (A^{-1})_ii = ||y||^2. Costs ~n^3/6
+  /// flops versus the full inverse's n^3 and needs O(n) scratch. Columns
+  /// are distributed over `pool` (null = shared pool).
+  Vector InverseDiagonal(ThreadPool* pool = nullptr) const;
+
+  /// Grows the factorization of A to that of [[A, k], [k^T, k_ss]] in
+  /// O(n^2): the new off-diagonal row solves L l = k and the new pivot is
+  /// sqrt(k_ss - l^T l). Returns kNumericalError (leaving the factor
+  /// untouched) when the extended matrix is not positive definite, in which
+  /// case the caller should refactorize from scratch. This is what makes
+  /// appending one GP observation O(n^2) instead of O(n^3).
+  Status RankOneUpdate(const Vector& k, double k_ss);
 
  private:
   explicit Cholesky(Matrix l) : l_(std::move(l)) {}

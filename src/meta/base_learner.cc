@@ -42,4 +42,14 @@ double BaseLearner::PredictMean(MetricKind kind, const Vector& theta) const {
   return gp_->PredictMean(kind, theta);
 }
 
+std::vector<GpPrediction> BaseLearner::PredictBatch(
+    MetricKind kind, const Matrix& thetas) const {
+  return gp_->PredictBatch(kind, thetas);
+}
+
+Vector BaseLearner::PredictMeanBatch(MetricKind kind,
+                                     const Matrix& thetas) const {
+  return gp_->PredictMeanBatch(kind, thetas);
+}
+
 }  // namespace restune

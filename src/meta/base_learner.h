@@ -33,6 +33,12 @@ class BaseLearner {
   /// discards base-learner variances).
   double PredictMean(MetricKind kind, const Vector& theta) const;
 
+  /// Batch counterparts over the rows of `thetas`, via the GP batch
+  /// inference path.
+  std::vector<GpPrediction> PredictBatch(MetricKind kind,
+                                         const Matrix& thetas) const;
+  Vector PredictMeanBatch(MetricKind kind, const Matrix& thetas) const;
+
   const std::string& name() const { return name_; }
   const Vector& meta_feature() const { return meta_feature_; }
   const MetricStandardizer& standardizer() const { return standardizer_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "linalg/matrix.h"
 
 namespace restune {
@@ -49,15 +50,17 @@ Status MetaLearner::AddObservation(const Observation& raw_observation) {
   target_raw_.push_back(raw_observation);
   RESTUNE_RETURN_IF_ERROR(RefitTargetGp());
 
-  // Extend each base learner's prediction cache with the new point.
-  for (size_t i = 0; i < bases_.size(); ++i) {
+  // Extend each base learner's prediction cache with the new point. The
+  // learners are immutable and each owns its cache row, so they extend
+  // concurrently.
+  ThreadPool::Shared()->ParallelFor(bases_.size(), [&](size_t i) {
     LearnerPrediction pred;
     for (MetricKind kind : kAllMetricKinds) {
       pred.by_metric[static_cast<size_t>(kind)] =
           bases_[i].Predict(kind, raw_observation.theta);
     }
     base_pred_cache_[i].push_back(pred);
-  }
+  });
   RecomputeWeights();
   return Status::OK();
 }
@@ -266,6 +269,70 @@ GpPrediction MetaLearner::PredictMetric(MetricKind kind,
     variance = var_w > 1e-12 ? var_acc / var_w : 1.0;
   }
   return {mean, std::max(variance, 1e-12)};
+}
+
+std::vector<GpPrediction> MetaLearner::PredictMetricBatch(
+    MetricKind kind, const Matrix& thetas) const {
+  const size_t m = thetas.rows();
+  std::vector<GpPrediction> out(m);
+  if (m == 0) return out;
+
+  // Weighted ensemble mean (Eq. 6), one batch prediction per member. The
+  // member loop stays serial — each member's batch path already spreads its
+  // candidate block across the pool — and accumulation order matches the
+  // per-point ensemble exactly.
+  Vector mean(m, 0.0);
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    if (weights_[i] <= 0.0) continue;
+    const Vector base_means = bases_[i].PredictMeanBatch(kind, thetas);
+    for (size_t j = 0; j < m; ++j) mean[j] += weights_[i] * base_means[j];
+    weight_sum += weights_[i];
+  }
+  std::vector<GpPrediction> target_pred;
+  const bool target_fitted = target_gp_->fitted();
+  if (target_fitted) {
+    target_pred = target_gp_->PredictBatch(kind, thetas);
+    if (weights_.back() > 0.0) {
+      for (size_t j = 0; j < m; ++j) {
+        mean[j] += weights_.back() * target_pred[j].mean;
+      }
+      weight_sum += weights_.back();
+    }
+  }
+  const double inv_weight = weight_sum > 1e-12 ? 1.0 / weight_sum : 0.0;
+
+  // Variance from the target learner only (Eq. 7), with the same fallback
+  // as the per-point path.
+  if (options_.target_variance_only && target_fitted) {
+    for (size_t j = 0; j < m; ++j) {
+      out[j] = {mean[j] * inv_weight,
+                std::max(target_pred[j].variance, 1e-12)};
+    }
+    return out;
+  }
+  Vector var_acc(m, 0.0);
+  double var_w = 0.0;
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    if (weights_[i] <= 0.0) continue;
+    const std::vector<GpPrediction> base_pred =
+        bases_[i].PredictBatch(kind, thetas);
+    for (size_t j = 0; j < m; ++j) {
+      var_acc[j] += weights_[i] * base_pred[j].variance;
+    }
+    var_w += weights_[i];
+  }
+  if (target_fitted && weights_.back() > 0.0) {
+    for (size_t j = 0; j < m; ++j) {
+      var_acc[j] += weights_.back() * target_pred[j].variance;
+    }
+    var_w += weights_.back();
+  }
+  for (size_t j = 0; j < m; ++j) {
+    const double variance = var_w > 1e-12 ? var_acc[j] / var_w : 1.0;
+    out[j] = {mean[j] * inv_weight, std::max(variance, 1e-12)};
+  }
+  return out;
 }
 
 double MetaLearner::RescaledThreshold(MetricKind kind,

@@ -64,6 +64,14 @@ class MetaLearner : public Surrogate {
   /// Ensemble posterior, in standardized target-task units.
   GpPrediction PredictMetric(MetricKind kind,
                              const Vector& theta) const override;
+
+  /// Ensemble posterior for a whole candidate block: every member's means
+  /// (and the target's variance) come from its GP batch-inference path, so
+  /// a CEI sweep costs one blocked prediction per member instead of one
+  /// per-point prediction per member per candidate.
+  std::vector<GpPrediction> PredictMetricBatch(
+      MetricKind kind, const Matrix& thetas) const override;
+
   size_t dim() const override { return dim_; }
 
   /// Re-scaled constraint threshold λ'_u = L_M(θ_default) (Section 6.1).

@@ -53,20 +53,20 @@ Result<Vector> CboAdvisor::SuggestNext() {
   }
   const GpSurrogate surrogate(&gp_);
   const AcquisitionContext ctx = MakeContext();
-  auto acquisition = [&](const Vector& theta) {
+  auto acquisition = [&](const Matrix& thetas) {
     switch (options_.acquisition) {
       case CboAcquisition::kConstrainedEi:
-        return ConstrainedExpectedImprovement(surrogate, theta, ctx);
+        return ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx);
       case CboAcquisition::kUnconstrainedEi:
-        return UnconstrainedExpectedImprovement(surrogate, theta, ctx);
+        return UnconstrainedExpectedImprovementBatch(surrogate, thetas, ctx);
       case CboAcquisition::kPenalizedEi:
-        return PenalizedExpectedImprovement(surrogate, theta, ctx,
-                                            options_.penalty);
+        return PenalizedExpectedImprovementBatch(surrogate, thetas, ctx,
+                                                 options_.penalty);
     }
-    return 0.0;
+    return std::vector<double>(thetas.rows(), 0.0);
   };
   Vector next =
-      MaximizeAcquisition(acquisition, dim_, &rng_, options_.acq_optimizer);
+      MaximizeAcquisitionBatch(acquisition, dim_, &rng_, options_.acq_optimizer);
   timing_.recommendation_s = watch.Seconds();
   return next;
 }

@@ -111,11 +111,11 @@ Result<Vector> OtterTuneAdvisor::SuggestNext() {
       ctx.best_feasible_res = obs.res;
     }
   }
-  auto acquisition = [&](const Vector& theta) {
-    return ConstrainedExpectedImprovement(surrogate, theta, ctx);
+  auto acquisition = [&](const Matrix& thetas) {
+    return ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx);
   };
   Vector next =
-      MaximizeAcquisition(acquisition, dim_, &rng_, options_.acq_optimizer);
+      MaximizeAcquisitionBatch(acquisition, dim_, &rng_, options_.acq_optimizer);
   timing_.recommendation_s = watch.Seconds();
   return next;
 }

@@ -70,11 +70,13 @@ Result<Vector> ResTuneAdvisor::SuggestNext() {
             .mean;
   }
 
-  auto acquisition = [&](const Vector& theta) {
-    return ConstrainedExpectedImprovement(*meta_learner_, theta, ctx);
+  // Batch acquisition: the whole candidate block flows through the
+  // ensemble's matrix-level GP inference in one call per member.
+  auto acquisition = [&](const Matrix& thetas) {
+    return ConstrainedExpectedImprovementBatch(*meta_learner_, thetas, ctx);
   };
   Vector next =
-      MaximizeAcquisition(acquisition, dim_, &rng_, options_.acq_optimizer);
+      MaximizeAcquisitionBatch(acquisition, dim_, &rng_, options_.acq_optimizer);
   timing_.recommendation_s = watch.Seconds();
   return next;
 }

@@ -8,6 +8,7 @@
 #include "bo/acquisition.h"
 #include "bo/lhs.h"
 #include "bo/surrogate.h"
+#include "common/thread_pool.h"
 
 namespace restune {
 namespace {
@@ -162,6 +163,54 @@ TEST(PenalizedEiTest, PenaltyDiscouragesViolations) {
   EXPECT_GE(mild, harsh);
 }
 
+TEST(BatchAcquisitionTest, BatchVariantsMatchScalarVariants) {
+  FakeSurrogate surrogate;
+  AcquisitionContext ctx;
+  ctx.has_feasible = true;
+  ctx.best_feasible_res = 0.8;
+  ctx.lambda_tps = 300.0;
+  ctx.lambda_lat = 10.0;
+  const size_t m = 9;
+  Matrix thetas(m, 1);
+  for (size_t i = 0; i < m; ++i) thetas(i, 0) = 0.05 + 0.1 * i;
+
+  const auto cei = ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx);
+  const auto ei = UnconstrainedExpectedImprovementBatch(surrogate, thetas, ctx);
+  const auto pen =
+      PenalizedExpectedImprovementBatch(surrogate, thetas, ctx, 0.5);
+  ASSERT_EQ(cei.size(), m);
+  ASSERT_EQ(ei.size(), m);
+  ASSERT_EQ(pen.size(), m);
+  for (size_t i = 0; i < m; ++i) {
+    const Vector theta = thetas.Row(i);
+    EXPECT_NEAR(cei[i], ConstrainedExpectedImprovement(surrogate, theta, ctx),
+                1e-12);
+    EXPECT_NEAR(ei[i],
+                UnconstrainedExpectedImprovement(surrogate, theta, ctx),
+                1e-12);
+    EXPECT_NEAR(pen[i],
+                PenalizedExpectedImprovement(surrogate, theta, ctx, 0.5),
+                1e-12);
+  }
+}
+
+TEST(BatchAcquisitionTest, BatchCeiWithoutIncumbentMatchesScalar) {
+  FakeSurrogate surrogate;
+  AcquisitionContext ctx;
+  ctx.has_feasible = false;  // exercises the skipped-res-batch branch
+  ctx.lambda_tps = 300.0;
+  ctx.lambda_lat = 10.0;
+  Matrix thetas(5, 1);
+  for (size_t i = 0; i < 5; ++i) thetas(i, 0) = 0.1 + 0.2 * i;
+  const auto batch = ConstrainedExpectedImprovementBatch(surrogate, thetas,
+                                                         ctx);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(batch[i],
+                ConstrainedExpectedImprovement(surrogate, thetas.Row(i), ctx),
+                1e-12);
+  }
+}
+
 TEST(AcqOptimizerTest, FindsGlobalRegionOfSimpleFunction) {
   Rng rng(4);
   auto acquisition = [](const Vector& x) {
@@ -204,6 +253,54 @@ TEST(AcqOptimizerTest, RefinementImprovesOverBestCandidate) {
   const Vector without = MaximizeAcquisition(acquisition, 1, &rng_a, coarse);
   const Vector with = MaximizeAcquisition(acquisition, 1, &rng_b, refined);
   EXPECT_LE(std::fabs(with[0] - 0.515), std::fabs(without[0] - 0.515) + 1e-9);
+}
+
+TEST(AcqOptimizerTest, ChosenCandidateBitwiseIdenticalAcrossPoolSizes) {
+  // The determinism contract: the same seed must pick the exact same
+  // candidate regardless of how many threads score the sweep.
+  auto acquisition = [](const Matrix& thetas) {
+    std::vector<double> values(thetas.rows());
+    for (size_t r = 0; r < thetas.rows(); ++r) {
+      const double dx = thetas(r, 0) - 0.31, dy = thetas(r, 1) - 0.77;
+      values[r] = std::exp(-8.0 * (dx * dx + dy * dy)) +
+                  0.1 * std::sin(40.0 * thetas(r, 0));
+    }
+    return values;
+  };
+  ThreadPool serial(1), parallel(4);
+  AcqOptimizerOptions serial_opts;
+  serial_opts.pool = &serial;
+  AcqOptimizerOptions parallel_opts;
+  parallel_opts.pool = &parallel;
+
+  Rng rng_a(12345), rng_b(12345);
+  const Vector a = MaximizeAcquisitionBatch(acquisition, 2, &rng_a,
+                                            serial_opts);
+  const Vector b = MaximizeAcquisitionBatch(acquisition, 2, &rng_b,
+                                            parallel_opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t d = 0; d < a.size(); ++d) {
+    EXPECT_EQ(a[d], b[d]) << "dim " << d << " differs between pool sizes";
+  }
+}
+
+TEST(AcqOptimizerTest, ScalarAdapterBitwiseIdenticalAcrossPoolSizes) {
+  auto acquisition = [](const Vector& x) {
+    return -std::fabs(x[0] - 0.42) - 0.5 * std::cos(9.0 * x[1]);
+  };
+  ThreadPool serial(1), parallel(4);
+  AcqOptimizerOptions serial_opts;
+  serial_opts.pool = &serial;
+  AcqOptimizerOptions parallel_opts;
+  parallel_opts.pool = &parallel;
+
+  Rng rng_a(777), rng_b(777);
+  const Vector a = MaximizeAcquisition(acquisition, 2, &rng_a, serial_opts);
+  const Vector b = MaximizeAcquisition(acquisition, 2, &rng_b, parallel_opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t d = 0; d < a.size(); ++d) {
+    EXPECT_EQ(a[d], b[d]) << "dim " << d << " differs between pool sizes";
+  }
 }
 
 

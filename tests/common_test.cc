@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/nelder_mead.h"
 #include "common/result.h"
@@ -9,6 +11,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace restune {
 namespace {
@@ -281,6 +284,67 @@ TEST(NelderMeadTest, RespectsIterationBudget) {
   opts.max_iterations = 5;
   NelderMeadMinimize(f, {10.0}, opts);
   EXPECT_LT(evals, 30);
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRangesPartitionsTheIndexSpace) {
+  ThreadPool pool(3);
+  const size_t n = 777;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelForRanges(n, [&](size_t begin, size_t end) {
+    ASSERT_LE(begin, end);
+    ASSERT_LE(end, n);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  bool same_thread = true;
+  pool.ParallelFor(16, [&](size_t) {
+    if (std::this_thread::get_id() != caller) same_thread = false;
+  });
+  EXPECT_TRUE(same_thread);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    // A loop issued from inside a worker must run inline, not re-enqueue.
+    pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsANoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "should not be called"; });
+  pool.ParallelForRanges(
+      0, [&](size_t, size_t) { FAIL() << "should not be called"; });
+}
+
+TEST(ThreadPoolTest, ResolvePoolFallsBackToShared) {
+  ThreadPool local(2);
+  EXPECT_EQ(ResolvePool(&local), &local);
+  EXPECT_EQ(ResolvePool(nullptr), ThreadPool::Shared());
+  EXPECT_GE(ThreadPool::Shared()->num_threads(), 1u);
 }
 
 }  // namespace

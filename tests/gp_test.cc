@@ -196,6 +196,79 @@ TEST_F(GpModelTest, LeaveOneOutMatchesManualRefit) {
   EXPECT_NEAR(loo[held].variance, manual.variance, 1e-6);
 }
 
+TEST_F(GpModelTest, PredictBatchMatchesPerPointPredict) {
+  GpModel gp = FitModel(25);
+  Rng rng(31);
+  const size_t m = 40;
+  Matrix queries(m, 2);
+  for (size_t i = 0; i < m; ++i) {
+    queries(i, 0) = rng.Uniform();
+    queries(i, 1) = rng.Uniform();
+  }
+  const auto batch = gp.PredictBatch(queries);
+  ASSERT_EQ(batch.size(), m);
+  for (size_t i = 0; i < m; ++i) {
+    const GpPrediction scalar = gp.Predict(queries.Row(i));
+    EXPECT_NEAR(batch[i].mean, scalar.mean, 1e-10) << "query " << i;
+    EXPECT_NEAR(batch[i].variance, scalar.variance, 1e-10) << "query " << i;
+  }
+}
+
+TEST_F(GpModelTest, PredictMeanBatchMatchesScalarMeans) {
+  GpModel gp = FitModel(15);
+  Rng rng(13);
+  const size_t m = 25;
+  Matrix queries(m, 2);
+  for (size_t i = 0; i < m; ++i) {
+    queries(i, 0) = rng.Uniform();
+    queries(i, 1) = rng.Uniform();
+  }
+  const Vector means = gp.PredictMeanBatch(queries);
+  ASSERT_EQ(means.size(), m);
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(means[i], gp.PredictMean(queries.Row(i)), 1e-10);
+  }
+}
+
+TEST_F(GpModelTest, IncrementalUpdateMatchesFullRefit) {
+  // With fixed hyper-parameters every Update takes the O(n^2) rank-one
+  // Cholesky path; after 30 appends the model must agree with a from-
+  // scratch fit on the same data.
+  GpOptions options;
+  options.optimize_hyperparams = false;
+  options.noise_variance = 1e-4;
+  GpModel incremental(2, options);
+  Rng rng(71);
+  const size_t initial = 5, appends = 30;
+  Matrix x0(initial, 2);
+  Vector y0(initial);
+  for (size_t i = 0; i < initial; ++i) {
+    x0(i, 0) = rng.Uniform();
+    x0(i, 1) = rng.Uniform();
+    y0[i] = Target(x0.Row(i));
+  }
+  ASSERT_TRUE(incremental.Fit(x0, y0).ok());
+  for (size_t i = 0; i < appends; ++i) {
+    const Vector xi = {rng.Uniform(), rng.Uniform()};
+    ASSERT_TRUE(incremental.Update(xi, Target(xi)).ok()) << "append " << i;
+  }
+  ASSERT_EQ(incremental.num_observations(), initial + appends);
+
+  GpModel scratch(2, options);
+  ASSERT_TRUE(scratch.Fit(incremental.train_x(), incremental.train_y()).ok());
+
+  Rng query_rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const Vector q = {query_rng.Uniform(), query_rng.Uniform()};
+    const GpPrediction a = incremental.Predict(q);
+    const GpPrediction b = scratch.Predict(q);
+    EXPECT_NEAR(a.mean, b.mean, 1e-8);
+    EXPECT_NEAR(a.variance, b.variance, 1e-8);
+  }
+  EXPECT_NEAR(incremental.LogMarginalLikelihood(),
+              scratch.LogMarginalLikelihood(), 1e-7);
+}
+
 TEST_F(GpModelTest, CopyIsIndependent) {
   GpModel gp = FitModel(10);
   GpModel copy = gp;

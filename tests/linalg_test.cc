@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "linalg/cholesky.h"
@@ -157,6 +159,106 @@ TEST(CholeskyTest, TriangularSolvesCompose) {
   const Vector direct = chol->Solve(rhs);
   EXPECT_NEAR(via_parts[0], direct[0], 1e-12);
   EXPECT_NEAR(via_parts[1], direct[1], 1e-12);
+}
+
+Matrix RandomSpd(size_t n, Rng* rng) {
+  Matrix b(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) b(r, c) = rng->Gaussian();
+  }
+  Matrix a = b.Multiply(b.Transpose());
+  a.AddToDiagonal(static_cast<double>(n));
+  return a;
+}
+
+TEST(CholeskyTest, SolveLowerMatrixMatchesPerColumnSolves) {
+  Rng rng(7);
+  // Odd sizes on purpose: n spans several row blocks with a ragged tail,
+  // m spans several column stripes plus a partial one, so every code path
+  // of the blocked substitution (register tiles, row/column remainders,
+  // the narrow-block fallback) gets exercised.
+  const std::vector<std::pair<size_t, size_t>> cases = {
+      {101, 150}, {20, 70}, {33, 3}};
+  for (const auto& [n, m] : cases) {
+    const auto chol = Cholesky::Factor(RandomSpd(n, &rng));
+    ASSERT_TRUE(chol.ok());
+    Matrix rhs(n, m);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < m; ++c) rhs(r, c) = rng.Gaussian();
+    }
+    const Matrix block = chol->SolveLowerMatrix(rhs);
+    ASSERT_EQ(block.rows(), n);
+    ASSERT_EQ(block.cols(), m);
+    for (size_t c = 0; c < m; ++c) {
+      const Vector col = chol->SolveLower(rhs.Col(c));
+      for (size_t r = 0; r < n; ++r) {
+        EXPECT_NEAR(block(r, c), col[r], 1e-9)
+            << "n=" << n << " m=" << m << " col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, InverseDiagonalMatchesFullInverse) {
+  Rng rng(11);
+  const auto chol = Cholesky::Factor(RandomSpd(12, &rng));
+  ASSERT_TRUE(chol.ok());
+  const Matrix inverse = chol->Inverse();
+  const Vector diag = chol->InverseDiagonal();
+  ASSERT_EQ(diag.size(), 12u);
+  for (size_t i = 0; i < diag.size(); ++i) {
+    EXPECT_NEAR(diag[i], inverse(i, i), 1e-11) << "entry " << i;
+  }
+}
+
+TEST(CholeskyTest, RankOneUpdateMatchesFullRefactorization) {
+  // Grow a 4x4 factor to 34x34 one row at a time; after every append the
+  // incrementally maintained factor must match factoring from scratch.
+  Rng rng(23);
+  const size_t start = 4, appends = 30;
+  const Matrix full = RandomSpd(start + appends, &rng);
+
+  Matrix head(start, start);
+  for (size_t r = 0; r < start; ++r) {
+    for (size_t c = 0; c < start; ++c) head(r, c) = full(r, c);
+  }
+  auto incremental = Cholesky::Factor(head);
+  ASSERT_TRUE(incremental.ok());
+
+  for (size_t step = 0; step < appends; ++step) {
+    const size_t n = start + step;
+    Vector k(n);
+    for (size_t i = 0; i < n; ++i) k[i] = full(n, i);
+    ASSERT_TRUE(incremental->RankOneUpdate(k, full(n, n)).ok())
+        << "append " << step;
+    ASSERT_EQ(incremental->size(), n + 1);
+
+    Matrix leading(n + 1, n + 1);
+    for (size_t r = 0; r <= n; ++r) {
+      for (size_t c = 0; c <= n; ++c) leading(r, c) = full(r, c);
+    }
+    const auto fresh = Cholesky::Factor(leading);
+    ASSERT_TRUE(fresh.ok());
+    for (size_t r = 0; r <= n; ++r) {
+      for (size_t c = 0; c <= r; ++c) {
+        EXPECT_NEAR(incremental->lower()(r, c), fresh->lower()(r, c), 1e-8)
+            << "append " << step << " entry (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, RankOneUpdateRejectsNonPositiveDefiniteExtension) {
+  const Matrix a = Matrix::FromRows({{4, 2}, {2, 10}});
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  // Extending with a duplicate of row 0 makes the matrix singular.
+  const Status status = chol->RankOneUpdate({4.0, 2.0}, 4.0);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNumericalError);
+  // The factor must be untouched by the failed update.
+  EXPECT_EQ(chol->size(), 2u);
+  EXPECT_NEAR(chol->lower()(0, 0), 2.0, 1e-12);
 }
 
 }  // namespace
