@@ -59,9 +59,11 @@ Vector MaximizeAcquisitionBatch(const BatchAcquisitionFn& acquisition,
                                 size_t dim, Rng* rng,
                                 const AcqOptimizerOptions& options) {
   // Candidates come from the caller's RNG before any parallel work, so the
-  // sampled sweep is independent of the pool size.
-  const std::vector<Vector> samples =
-      UniformSample(static_cast<size_t>(options.num_candidates), dim, rng);
+  // sampled sweep is independent of the pool size. At least one candidate
+  // is always drawn — an empty sweep has no best point to return.
+  const size_t num_candidates =
+      static_cast<size_t>(std::max(1, options.num_candidates));
+  const std::vector<Vector> samples = UniformSample(num_candidates, dim, rng);
   Matrix candidates(samples.size(), dim);
   for (size_t r = 0; r < samples.size(); ++r) {
     for (size_t c = 0; c < dim; ++c) candidates(r, c) = samples[r][c];
@@ -73,10 +75,14 @@ Vector MaximizeAcquisitionBatch(const BatchAcquisitionFn& acquisition,
   for (size_t r = 0; r < samples.size(); ++r) {
     pool.push_back({samples[r], values[r]});
   }
-  const size_t refine_count =
-      std::min<size_t>(pool.size(), static_cast<size_t>(options.num_refine));
+  const size_t refine_count = std::min<size_t>(
+      pool.size(), static_cast<size_t>(std::max(0, options.num_refine)));
+  // Sort at least one element even when nothing is refined, so pool.front()
+  // below is always the sweep's best candidate rather than an arbitrary
+  // random sample.
+  const size_t sort_count = std::max<size_t>(1, refine_count);
   std::partial_sort(
-      pool.begin(), pool.begin() + refine_count, pool.end(),
+      pool.begin(), pool.begin() + sort_count, pool.end(),
       [](const Scored& a, const Scored& b) { return a.value > b.value; });
 
   // Each local search is independent and owns its output slot; the winner

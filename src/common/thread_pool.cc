@@ -19,9 +19,9 @@ struct LoopState {
   size_t chunk = 1;
   const std::function<void(size_t, size_t)>* fn = nullptr;
   std::atomic<size_t> next{0};
-  std::atomic<size_t> pending_helpers{0};
   std::mutex mu;
   std::condition_variable done;
+  size_t pending_helpers = 0;  // guarded by mu
 
   void RunChunks() {
     while (true) {
@@ -79,16 +79,20 @@ void ThreadPool::RunLoop(size_t n, size_t chunk,
   state.fn = &fn;
 
   const size_t helpers = std::min(workers_.size(), n - 1);
-  state.pending_helpers.store(helpers);
+  state.pending_helpers = helpers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < helpers; ++i) {
       queue_.emplace_back([&state] {
         state.RunChunks();
-        if (state.pending_helpers.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> lock(state.mu);
-          state.done.notify_one();
-        }
+        // Decrement and notify while holding state.mu: the caller's wait
+        // predicate runs under the same mutex, so it can observe zero only
+        // after this helper's unlock — which therefore happens-before the
+        // caller destroys LoopState. A bare atomic decrement outside the
+        // lock would let the caller tear down the mutex/cv while this
+        // helper is still blocked acquiring them.
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (--state.pending_helpers == 0) state.done.notify_one();
       });
     }
   }
@@ -102,8 +106,7 @@ void ThreadPool::RunLoop(size_t n, size_t chunk,
   // Helpers may still be mid-chunk (or not yet scheduled); `state` and `fn`
   // must outlive them, so wait for every enqueued helper to finish.
   std::unique_lock<std::mutex> lock(state.mu);
-  state.done.wait(lock,
-                  [&state] { return state.pending_helpers.load() == 0; });
+  state.done.wait(lock, [&state] { return state.pending_helpers == 0; });
 }
 
 void ThreadPool::ParallelForRanges(

@@ -99,20 +99,26 @@ Status GpModel::Update(const Vector& x, double y) {
     return Status::InvalidArgument("x dimensionality does not match kernel");
   }
   ++updates_since_refit_;
-  const bool optimize =
-      options_.optimize_hyperparams &&
-      (options_.refit_period <= 1 ||
-       updates_since_refit_ >= options_.refit_period);
+  // A full refactorization happens every refit_period updates even when
+  // hyper-parameter optimization is off: the O(n^2) factor extensions
+  // accumulate rounding error round over round, so an incrementally grown
+  // factor must not live forever.
+  const bool refit_due = options_.refit_period <= 1 ||
+                         updates_since_refit_ >= options_.refit_period;
+  const bool optimize = options_.optimize_hyperparams && refit_due;
 
   // On non-refit iterations the kernel matrix only gains one row/column
   // (it depends on x and hyper-parameters, not on target normalization),
   // so the Cholesky factor is extended in O(n^2) instead of refactorized
   // in O(n^3). Must happen before x_ grows; a non-PD extension falls back
-  // to the full path below.
+  // to the full path below. The new pivot carries the jitter baked into
+  // the cached factor so the extended row and the old block factorize the
+  // same matrix, K + (noise + jitter) I.
   bool factor_extended = false;
-  if (!optimize && chol_.has_value() && chol_->size() == x_.rows()) {
+  if (!refit_due && chol_.has_value() && chol_->size() == x_.rows()) {
     const Vector k_new = kernel_->CrossCovariance(x_, x);
-    const double k_ss = kernel_->Eval(x, x) + options_.noise_variance;
+    const double k_ss =
+        kernel_->Eval(x, x) + options_.noise_variance + chol_->jitter();
     factor_extended = chol_->RankOneUpdate(k_new, k_ss).ok();
   }
 
@@ -137,9 +143,9 @@ Status GpModel::Update(const Vector& x, double y) {
   for (size_t i = 0; i < y_raw.size(); ++i) {
     y_norm_[i] = (y_raw[i] - y_mean_) / y_std_;
   }
-  if (optimize) {
+  if (refit_due) {
     updates_since_refit_ = 0;
-    hyperopt_done_ = true;
+    if (optimize) hyperopt_done_ = true;
   }
   if (factor_extended) {
     // Targets changed (normalization shifts every entry) but K did not:

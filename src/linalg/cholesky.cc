@@ -45,6 +45,7 @@ Result<Cholesky> Cholesky::FactorWithJitter(Matrix a, double jitter,
     jitter *= 10.0;
     result = Factor(a);
   }
+  if (result.ok()) result.value().jitter_ = added;
   return result;
 }
 

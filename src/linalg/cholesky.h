@@ -29,6 +29,12 @@ class Cholesky {
   size_t size() const { return l_.rows(); }
   const Matrix& lower() const { return l_; }
 
+  /// Diagonal jitter actually added by `FactorWithJitter` (0 when the first
+  /// attempt or plain `Factor` succeeded). Callers extending the factor with
+  /// `RankOneUpdate` must add this to the new pivot so the extended row is
+  /// factored against the same matrix as the cached block.
+  double jitter() const { return jitter_; }
+
   /// Solves A x = b via forward+back substitution.
   Vector Solve(const Vector& b) const;
 
@@ -75,6 +81,7 @@ class Cholesky {
  private:
   explicit Cholesky(Matrix l) : l_(std::move(l)) {}
   Matrix l_;
+  double jitter_ = 0.0;
 };
 
 }  // namespace restune

@@ -303,6 +303,59 @@ TEST(AcqOptimizerTest, ScalarAdapterBitwiseIdenticalAcrossPoolSizes) {
   }
 }
 
+TEST(AcqOptimizerTest, ZeroRefineReturnsSweepBest) {
+  // With refinement disabled the result must still be the best-scoring
+  // candidate of the sweep, not an arbitrary (e.g. the first) sample.
+  auto value = [](double x0, double x1) {
+    const double dx = x0 - 0.3, dy = x1 - 0.7;
+    return -(dx * dx + dy * dy);
+  };
+  BatchAcquisitionFn acquisition = [&value](const Matrix& thetas) {
+    std::vector<double> out(thetas.rows());
+    for (size_t r = 0; r < thetas.rows(); ++r) {
+      out[r] = value(thetas(r, 0), thetas(r, 1));
+    }
+    return out;
+  };
+  AcqOptimizerOptions options;
+  options.num_candidates = 64;
+  options.num_refine = 0;
+
+  // Replay the sweep with the same seed to find its argmax independently.
+  Rng sweep_rng(4242);
+  const auto samples = UniformSample(64, 2, &sweep_rng);
+  size_t best_row = 0;
+  for (size_t r = 1; r < samples.size(); ++r) {
+    if (value(samples[r][0], samples[r][1]) >
+        value(samples[best_row][0], samples[best_row][1])) {
+      best_row = r;
+    }
+  }
+
+  Rng rng(4242);
+  const Vector chosen = MaximizeAcquisitionBatch(acquisition, 2, &rng,
+                                                 options);
+  ASSERT_EQ(chosen.size(), 2u);
+  EXPECT_EQ(chosen[0], samples[best_row][0]);
+  EXPECT_EQ(chosen[1], samples[best_row][1]);
+}
+
+TEST(AcqOptimizerTest, DegenerateOptionsStillReturnAnInBoxPoint) {
+  BatchAcquisitionFn acquisition = [](const Matrix& thetas) {
+    return std::vector<double>(thetas.rows(), 0.0);
+  };
+  AcqOptimizerOptions options;
+  options.num_candidates = 0;  // clamped to one sample instead of UB
+  options.num_refine = 0;
+  Rng rng(9);
+  const Vector best = MaximizeAcquisitionBatch(acquisition, 2, &rng, options);
+  ASSERT_EQ(best.size(), 2u);
+  for (double v : best) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
 
 TEST(ProbabilityOfImprovementTest, KnownValues) {
   EXPECT_NEAR(ProbabilityOfImprovement({5.0, 4.0}, 5.0), 0.5, 1e-9);

@@ -333,6 +333,22 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(total.load(), 64);
 }
 
+TEST(ThreadPoolTest, CompletionHandshakeStress) {
+  // Tiny loops maximize the window where the caller drains every chunk
+  // itself and races a helper through the completion handshake; LoopState
+  // lives on the caller's stack, so the helper must never touch it after
+  // the caller's wait returns. Crashes/TSan reports here mean the
+  // decrement-and-notify is not properly ordered against destruction.
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(2, [&](size_t i) {
+      sum.fetch_add(static_cast<int>(i) + 1);
+    });
+    ASSERT_EQ(sum.load(), 3) << "iteration " << iter;
+  }
+}
+
 TEST(ThreadPoolTest, ZeroIterationsIsANoOp) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [&](size_t) { FAIL() << "should not be called"; });

@@ -269,6 +269,43 @@ TEST_F(GpModelTest, IncrementalUpdateMatchesFullRefit) {
               scratch.LogMarginalLikelihood(), 1e-7);
 }
 
+TEST_F(GpModelTest, FixedHyperparamsStillRefactorizePeriodically) {
+  // With optimize_hyperparams off the factor must not be extended forever:
+  // every refit_period updates a full refactorization clears accumulated
+  // O(n^2)-update rounding (and any jitter baked into an old factor). A
+  // long run of updates therefore stays equivalent to a from-scratch fit
+  // even with an aggressive refit period.
+  GpOptions options;
+  options.optimize_hyperparams = false;
+  options.noise_variance = 1e-4;
+  options.refit_period = 3;
+  GpModel incremental(2, options);
+  Rng rng(29);
+  Matrix x0(4, 2);
+  Vector y0(4);
+  for (size_t i = 0; i < 4; ++i) {
+    x0(i, 0) = rng.Uniform();
+    x0(i, 1) = rng.Uniform();
+    y0[i] = Target(x0.Row(i));
+  }
+  ASSERT_TRUE(incremental.Fit(x0, y0).ok());
+  for (size_t i = 0; i < 40; ++i) {
+    const Vector xi = {rng.Uniform(), rng.Uniform()};
+    ASSERT_TRUE(incremental.Update(xi, Target(xi)).ok()) << "append " << i;
+  }
+
+  GpModel scratch(2, options);
+  ASSERT_TRUE(scratch.Fit(incremental.train_x(), incremental.train_y()).ok());
+  Rng query_rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const Vector q = {query_rng.Uniform(), query_rng.Uniform()};
+    const GpPrediction a = incremental.Predict(q);
+    const GpPrediction b = scratch.Predict(q);
+    EXPECT_NEAR(a.mean, b.mean, 1e-8);
+    EXPECT_NEAR(a.variance, b.variance, 1e-8);
+  }
+}
+
 TEST_F(GpModelTest, CopyIsIndependent) {
   GpModel gp = FitModel(10);
   GpModel copy = gp;

@@ -248,6 +248,50 @@ TEST(CholeskyTest, RankOneUpdateMatchesFullRefactorization) {
   }
 }
 
+TEST(CholeskyTest, FactorWithJitterReportsAppliedJitter) {
+  Rng rng(31);
+  // A clean SPD matrix factors on the first attempt: no jitter applied.
+  const auto clean = Cholesky::FactorWithJitter(RandomSpd(6, &rng));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->jitter(), 0.0);
+
+  // A rank-deficient matrix needs jitter, and the amount is reported.
+  const Matrix singular = Matrix::FromRows({{1, 1}, {1, 1}});
+  const auto jittered = Cholesky::FactorWithJitter(singular, 1e-8);
+  ASSERT_TRUE(jittered.ok());
+  EXPECT_GT(jittered->jitter(), 0.0);
+}
+
+TEST(CholeskyTest, RankOneUpdateWithJitterMatchesJitteredRefactorization) {
+  // When the cached factor came from FactorWithJitter, extending it with a
+  // pivot of k_ss + jitter() must reproduce the factor of the extended
+  // matrix with the same jitter on its whole diagonal — the old block and
+  // the new row must factorize one consistent matrix.
+  const Matrix singular = Matrix::FromRows({{1.0, 1.0}, {1.0, 1.0}});
+  auto extended = Cholesky::FactorWithJitter(singular, 1e-8);
+  ASSERT_TRUE(extended.ok());
+  const double jitter = extended->jitter();
+  ASSERT_GT(jitter, 0.0);
+
+  // The new column must be (nearly) consistent with the rank-1 block for
+  // the extension to stay positive definite, hence equal entries.
+  const Vector k = {0.3, 0.3};
+  const double k_ss = 1.0;
+  ASSERT_TRUE(extended->RankOneUpdate(k, k_ss + jitter).ok());
+
+  Matrix full = Matrix::FromRows(
+      {{1.0, 1.0, 0.3}, {1.0, 1.0, 0.3}, {0.3, 0.3, 1.0}});
+  full.AddToDiagonal(jitter);
+  const auto fresh = Cholesky::Factor(full);
+  ASSERT_TRUE(fresh.ok());
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c <= r; ++c) {
+      EXPECT_NEAR(extended->lower()(r, c), fresh->lower()(r, c), 1e-10)
+          << "entry (" << r << "," << c << ")";
+    }
+  }
+}
+
 TEST(CholeskyTest, RankOneUpdateRejectsNonPositiveDefiniteExtension) {
   const Matrix a = Matrix::FromRows({{4, 2}, {2, 10}});
   auto chol = Cholesky::Factor(a);
