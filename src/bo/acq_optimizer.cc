@@ -1,6 +1,7 @@
 #include "bo/acq_optimizer.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "bo/lhs.h"
 #include "common/thread_pool.h"
@@ -34,7 +35,14 @@ Scored RefineCandidate(const BatchAcquisitionFn& acquisition, Scored start,
       stencil(2 * d, d) = std::clamp(current.x[d] + step, 0.0, 1.0);
       stencil(2 * d + 1, d) = std::clamp(current.x[d] - step, 0.0, 1.0);
     }
-    const std::vector<double> values = acquisition(stencil);
+    std::vector<double> values = acquisition(stencil);
+    if (options.reject) {
+      for (size_t r = 0; r < stencil.rows(); ++r) {
+        if (options.reject(stencil.Row(r))) {
+          values[r] = -std::numeric_limits<double>::infinity();
+        }
+      }
+    }
     size_t best_row = stencil.rows();
     double best_value = current.value;
     for (size_t r = 0; r < stencil.rows(); ++r) {
@@ -68,7 +76,16 @@ Vector MaximizeAcquisitionBatch(const BatchAcquisitionFn& acquisition,
   for (size_t r = 0; r < samples.size(); ++r) {
     for (size_t c = 0; c < dim; ++c) candidates(r, c) = samples[r][c];
   }
-  const std::vector<double> values = acquisition(candidates);
+  std::vector<double> values = acquisition(candidates);
+  if (options.reject) {
+    // Vetoed candidates keep their slot (the sweep stays aligned with the
+    // RNG draw sequence) but can never be selected or refined upward.
+    for (size_t r = 0; r < samples.size(); ++r) {
+      if (options.reject(samples[r])) {
+        values[r] = -std::numeric_limits<double>::infinity();
+      }
+    }
+  }
 
   std::vector<Scored> pool;
   pool.reserve(samples.size());

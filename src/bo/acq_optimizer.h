@@ -28,6 +28,12 @@ struct AcqOptimizerOptions {
   /// before any parallel work, every parallel task writes only its own
   /// slot, and the final reduction runs in a fixed order.
   ThreadPool* pool = nullptr;
+  /// Optional hard veto: candidates (and refinement stencil points) for
+  /// which this returns true are scored -inf and can never win. Used for
+  /// quarantined knob regions around configurations that crashed the DBMS.
+  /// Must be pure and safe to call concurrently from pool workers (the
+  /// refinement stage runs on the pool).
+  std::function<bool(const Vector&)> reject;
 };
 
 /// Acquisition values for a whole candidate block (one value per row).

@@ -76,4 +76,18 @@ double Rng::Gaussian(double mean, double stddev) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_cached_gaussian = has_cached_gaussian_;
+  st.cached_gaussian = cached_gaussian_;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 }  // namespace restune

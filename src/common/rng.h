@@ -7,6 +7,16 @@
 
 namespace restune {
 
+/// Complete serializable state of an `Rng` (the four xoshiro words plus the
+/// Box-Muller cache). Checkpoint/resume captures and restores generator
+/// streams through this so a resumed session continues the exact draw
+/// sequence of the interrupted one.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256++).
 ///
 /// Every stochastic component in the library takes an explicit `Rng` (or a
@@ -49,6 +59,12 @@ class Rng {
   /// Derives an independent child generator; useful for giving each task or
   /// worker its own stream without correlation.
   Rng Fork();
+
+  /// Snapshot of the full generator state (for checkpointing).
+  RngState state() const;
+
+  /// Restores a state previously captured with `state()`.
+  void set_state(const RngState& state);
 
  private:
   uint64_t s_[4];

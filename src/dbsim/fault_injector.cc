@@ -1,0 +1,101 @@
+#include "dbsim/fault_injector.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace restune {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kTimeout:
+      return "timeout";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kCorruptedMetrics:
+      return "corrupted_metrics";
+  }
+  return "?";
+}
+
+bool IsRetryableFault(FaultKind kind) {
+  return kind == FaultKind::kTransient || kind == FaultKind::kCorruptedMetrics;
+}
+
+FaultInjector::FaultInjector(FaultInjectionOptions options)
+    : options_(options), rng_(options.seed) {}
+
+bool FaultInjector::enabled() const { return options_.enabled; }
+
+EvaluationFault FaultInjector::Draw(const EngineConfig& config,
+                                    const HardwareSpec& hardware,
+                                    double replay_seconds) {
+  EvaluationFault fault;
+  if (!options_.enabled) return fault;
+
+  if (options_.knob_induced_oom &&
+      config.buffer_pool_gb > options_.oom_pool_fraction * hardware.ram_gb) {
+    fault.kind = FaultKind::kCrash;
+    fault.message = StringPrintf(
+        "oom: buffer pool %.1f GB exceeds %.0f%% of %.1f GB RAM",
+        config.buffer_pool_gb, 100.0 * options_.oom_pool_fraction,
+        hardware.ram_gb);
+    fault.elapsed_seconds = options_.crash_cost_fraction * replay_seconds;
+    return fault;
+  }
+
+  const double u = rng_.Uniform();
+  double edge = options_.crash_prob;
+  if (u < edge) {
+    fault.kind = FaultKind::kCrash;
+    fault.message = "injected crash: mysqld killed during replay";
+    fault.elapsed_seconds = options_.crash_cost_fraction * replay_seconds;
+    return fault;
+  }
+  edge += options_.timeout_prob;
+  if (u < edge) {
+    fault.kind = FaultKind::kTimeout;
+    fault.message = "injected timeout: replay exceeded its deadline";
+    fault.elapsed_seconds = options_.timeout_seconds > 0
+                                ? options_.timeout_seconds
+                                : 3.0 * replay_seconds;
+    return fault;
+  }
+  edge += options_.transient_prob;
+  if (u < edge) {
+    fault.kind = FaultKind::kTransient;
+    fault.message = "injected transient error: replay connection lost";
+    fault.elapsed_seconds = options_.transient_cost_fraction * replay_seconds;
+    return fault;
+  }
+  edge += options_.corrupt_prob;
+  if (u < edge) {
+    // The attempt runs to completion but reports garbage; the caller
+    // corrupts the finished observation via Corrupt().
+    fault.kind = FaultKind::kCorruptedMetrics;
+    fault.message = "injected metric corruption";
+    fault.elapsed_seconds = replay_seconds;
+  }
+  return fault;
+}
+
+void FaultInjector::Corrupt(Observation* observation) {
+  switch (rng_.UniformInt(3)) {
+    case 0:
+      observation->res = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case 1:
+      observation->lat = std::numeric_limits<double>::infinity();
+      break;
+    default:
+      observation->tps = 0.0;
+      break;
+  }
+}
+
+}  // namespace restune

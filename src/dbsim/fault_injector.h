@@ -1,0 +1,119 @@
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "common/rng.h"
+#include "dbsim/engine.h"
+#include "gp/observation.h"
+
+namespace restune {
+
+/// Taxonomy of evaluation failures a production tuning service must survive
+/// (the paper motivates SLA constraints with exactly these hazards — e.g. an
+/// oversized buffer pool OOM-killing the instance).
+enum class FaultKind {
+  kNone = 0,
+  /// The instance died under the configuration (knob-induced, e.g. buffer
+  /// pool larger than RAM, or a random crash). Persistent: re-running the
+  /// same configuration crashes again, so it is never retried.
+  kCrash,
+  /// Straggler: the replay exceeded its deadline and was killed. Treated as
+  /// persistent (config-induced slowness) by the retry policy.
+  kTimeout,
+  /// Transient infrastructure error (network blip, replay-tool hiccup).
+  /// Retryable with backoff.
+  kTransient,
+  /// The replay "succeeded" but reported garbage metrics (NaN/Inf/zero
+  /// throughput). Retryable: a re-run usually measures cleanly.
+  kCorruptedMetrics,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// True for fault kinds a bounded-retry policy should re-attempt.
+bool IsRetryableFault(FaultKind kind);
+
+/// One failed evaluation attempt: what went wrong and how much simulated
+/// wall-time the attempt burned before failing.
+struct EvaluationFault {
+  FaultKind kind = FaultKind::kNone;
+  std::string message;
+  double elapsed_seconds = 0.0;
+};
+
+/// Outcome of a single evaluation attempt, in the spirit of `Result<T>` but
+/// with a structured fault instead of a `Status`: an evaluation that crashes
+/// or times out is an expected runtime event the tuning loop handles, not an
+/// API-contract error.
+class EvaluationOutcome {
+ public:
+  EvaluationOutcome(Observation observation)  // NOLINT(runtime/explicit)
+      : repr_(std::move(observation)) {}
+  EvaluationOutcome(EvaluationFault fault)  // NOLINT(runtime/explicit)
+      : repr_(std::move(fault)) {}
+
+  bool ok() const { return std::holds_alternative<Observation>(repr_); }
+  const Observation& observation() const { return std::get<Observation>(repr_); }
+  const EvaluationFault& fault() const { return std::get<EvaluationFault>(repr_); }
+
+ private:
+  std::variant<Observation, EvaluationFault> repr_;
+};
+
+/// Configuration of the fault injector. All probabilities are per evaluation
+/// attempt; they must sum to at most 1. Everything is off unless `enabled`
+/// is set, so fault-free experiments are bit-identical to the pre-injection
+/// code path (the injector draws nothing when disabled).
+struct FaultInjectionOptions {
+  bool enabled = false;
+  uint64_t seed = 4242;
+  double crash_prob = 0.0;
+  double timeout_prob = 0.0;
+  double transient_prob = 0.0;
+  double corrupt_prob = 0.0;
+  /// Deterministic knob-induced OOM: any configuration whose resolved
+  /// buffer pool exceeds this fraction of the instance RAM crashes,
+  /// regardless of the random probabilities.
+  bool knob_induced_oom = true;
+  double oom_pool_fraction = 0.95;
+  /// Simulated seconds a straggler burns before being declared timed out;
+  /// 0 uses 3x the normal replay time.
+  double timeout_seconds = 0.0;
+  /// Fractions of a normal replay burned by a crash / transient failure.
+  double crash_cost_fraction = 0.25;
+  double transient_cost_fraction = 0.1;
+};
+
+/// Seeded, deterministic fault source for `DbInstanceSimulator`. Owns its
+/// own RNG stream, so enabling injection does not perturb the measurement-
+/// noise stream (and a fault-free configuration of the same simulator seed
+/// replays identically). State is exposed for checkpoint/resume.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectionOptions options = {});
+
+  /// True when any fault source is active.
+  bool enabled() const;
+
+  /// Decides the fate of one evaluation attempt. The knob-induced OOM check
+  /// is deterministic in the configuration; the random faults consume
+  /// exactly one uniform draw per call (none when disabled).
+  /// `replay_seconds` sizes the simulated cost of the failure.
+  EvaluationFault Draw(const EngineConfig& config, const HardwareSpec& hardware,
+                       double replay_seconds);
+
+  /// Corrupts an observation in one of the taxonomy's styles (NaN resource,
+  /// Inf latency, zero throughput) chosen by one uniform draw.
+  void Corrupt(Observation* observation);
+
+  const FaultInjectionOptions& options() const { return options_; }
+  RngState rng_state() const { return rng_.state(); }
+  void set_rng_state(const RngState& state) { rng_.set_state(state); }
+
+ private:
+  FaultInjectionOptions options_;
+  Rng rng_;
+};
+
+}  // namespace restune

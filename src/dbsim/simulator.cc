@@ -27,7 +27,8 @@ DbInstanceSimulator::DbInstanceSimulator(KnobSpace space,
       hardware_(std::move(hardware)),
       workload_(std::move(workload)),
       options_(options),
-      rng_(options.seed) {}
+      rng_(options.seed),
+      injector_(options.faults) {}
 
 double DbInstanceSimulator::ResourceValue(const PerfMetrics& metrics) const {
   switch (options_.resource) {
@@ -43,7 +44,7 @@ double DbInstanceSimulator::ResourceValue(const PerfMetrics& metrics) const {
   return 0.0;
 }
 
-Result<PerfMetrics> DbInstanceSimulator::EvaluateExact(
+Result<EngineConfig> DbInstanceSimulator::BuildConfig(
     const Vector& theta) const {
   if (theta.size() != space_.dim()) {
     return Status::InvalidArgument("theta dimension does not match knob space");
@@ -53,14 +54,34 @@ Result<PerfMetrics> DbInstanceSimulator::EvaluateExact(
     config.buffer_pool_gb = options_.buffer_pool_fix_gb;
   }
   RESTUNE_RETURN_IF_ERROR(ApplyKnobs(space_, theta, &config));
+  return config;
+}
+
+Result<PerfMetrics> DbInstanceSimulator::EvaluateExact(
+    const Vector& theta) const {
+  RESTUNE_ASSIGN_OR_RETURN(const EngineConfig config, BuildConfig(theta));
   return EngineModel::Evaluate(config, hardware_, workload_);
 }
 
-Result<Observation> DbInstanceSimulator::Evaluate(const Vector& theta) {
-  RESTUNE_ASSIGN_OR_RETURN(const PerfMetrics metrics, EvaluateExact(theta));
+Result<EvaluationOutcome> DbInstanceSimulator::TryEvaluate(
+    const Vector& theta) {
+  RESTUNE_ASSIGN_OR_RETURN(const EngineConfig config, BuildConfig(theta));
   ++num_evaluations_;
-  simulated_seconds_ += options_.replay_seconds;
 
+  EvaluationFault fault =
+      injector_.Draw(config, hardware_, options_.replay_seconds);
+  if (fault.kind != FaultKind::kNone &&
+      fault.kind != FaultKind::kCorruptedMetrics) {
+    // The attempt died before producing metrics; only the fault's partial
+    // replay time is burned (no measurement-noise draws are consumed, so a
+    // retried attempt sees the same noise stream a clean run would).
+    simulated_seconds_ += fault.elapsed_seconds;
+    return EvaluationOutcome(std::move(fault));
+  }
+
+  const PerfMetrics metrics = EngineModel::Evaluate(config, hardware_,
+                                                    workload_);
+  simulated_seconds_ += options_.replay_seconds;
   auto noisy = [this](double v) {
     return v * std::max(0.0, 1.0 + rng_.Gaussian(0.0, options_.noise_std));
   };
@@ -70,7 +91,35 @@ Result<Observation> DbInstanceSimulator::Evaluate(const Vector& theta) {
   obs.tps = noisy(metrics.tps);
   obs.lat = noisy(metrics.latency_p99_ms);
   obs.internals = metrics.InternalMetrics();
-  return obs;
+  if (fault.kind == FaultKind::kCorruptedMetrics) injector_.Corrupt(&obs);
+  return EvaluationOutcome(std::move(obs));
+}
+
+Result<Observation> DbInstanceSimulator::Evaluate(const Vector& theta) {
+  RESTUNE_ASSIGN_OR_RETURN(const EvaluationOutcome outcome,
+                           TryEvaluate(theta));
+  if (!outcome.ok()) {
+    return Status::Aborted("evaluation failed (" +
+                           std::string(FaultKindName(outcome.fault().kind)) +
+                           "): " + outcome.fault().message);
+  }
+  return outcome.observation();
+}
+
+DbInstanceSimulator::State DbInstanceSimulator::ExportState() const {
+  State state;
+  state.num_evaluations = num_evaluations_;
+  state.simulated_seconds = simulated_seconds_;
+  state.rng = rng_.state();
+  state.fault_rng = injector_.rng_state();
+  return state;
+}
+
+void DbInstanceSimulator::RestoreState(const State& state) {
+  num_evaluations_ = static_cast<size_t>(state.num_evaluations);
+  simulated_seconds_ = state.simulated_seconds;
+  rng_.set_state(state.rng);
+  injector_.set_rng_state(state.fault_rng);
 }
 
 Result<Observation> DbInstanceSimulator::EvaluateDefault() {

@@ -5,6 +5,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "dbsim/engine.h"
+#include "dbsim/fault_injector.h"
 #include "gp/observation.h"
 
 namespace restune {
@@ -28,6 +29,9 @@ struct SimulatorOptions {
   /// If > 0, pins the buffer pool to this size before applying knobs — the
   /// paper fixes the pool at 16G for the I/O experiments (Section 7.5).
   double buffer_pool_fix_gb = 0.0;
+  /// Fault injection for robustness experiments; off by default, in which
+  /// case every evaluation behaves exactly as before injection existed.
+  FaultInjectionOptions faults;
 };
 
 /// A simulated copy of the target DBMS: applies a configuration, replays the
@@ -39,8 +43,18 @@ class DbInstanceSimulator {
                       WorkloadProfile workload, SimulatorOptions options = {});
 
   /// Applies the normalized configuration θ, replays, and returns the
-  /// noisy observation for the selected resource kind.
+  /// noisy observation for the selected resource kind. Injected faults
+  /// surface as `Status::Aborted`; callers that must distinguish fault
+  /// kinds (the evaluation supervisor) use `TryEvaluate` instead.
   Result<Observation> Evaluate(const Vector& theta);
+
+  /// One evaluation attempt under fault injection: a `Status` only for
+  /// API-contract errors (dimension mismatch), an `EvaluationOutcome`
+  /// carrying either the observation or the structured fault otherwise.
+  /// Corrupted-metrics faults return an ok outcome whose metrics are
+  /// garbage — detecting them is the supervisor's job, as in a real
+  /// pipeline where the replay tool reports success with bogus numbers.
+  Result<EvaluationOutcome> TryEvaluate(const Vector& theta);
 
   /// Full metric snapshot for θ (noise-free; used by analysis and plots).
   Result<PerfMetrics> EvaluateExact(const Vector& theta) const;
@@ -64,12 +78,30 @@ class DbInstanceSimulator {
   /// Extracts the chosen resource metric from a full metric snapshot.
   double ResourceValue(const PerfMetrics& metrics) const;
 
+  /// Mutable evolution of the simulator (counters + RNG streams), captured
+  /// into session checkpoints so a resumed run continues the exact noise
+  /// and fault sequences of the interrupted one.
+  struct State {
+    uint64_t num_evaluations = 0;
+    double simulated_seconds = 0.0;
+    RngState rng;
+    RngState fault_rng;
+  };
+  State ExportState() const;
+  void RestoreState(const State& state);
+
+  const FaultInjector& fault_injector() const { return injector_; }
+
  private:
+  /// Resolves θ into a full engine configuration (knobs + fixed pool).
+  Result<EngineConfig> BuildConfig(const Vector& theta) const;
+
   KnobSpace space_;
   HardwareSpec hardware_;
   WorkloadProfile workload_;
   SimulatorOptions options_;
   Rng rng_;
+  FaultInjector injector_;
   size_t num_evaluations_ = 0;
   double simulated_seconds_ = 0.0;
 };

@@ -65,6 +65,18 @@ Status GpModel::Fit(const Matrix& x, const Vector& y) {
   if (x.cols() != kernel_->dim()) {
     return Status::InvalidArgument("x dimensionality does not match kernel");
   }
+  // A single NaN/Inf reaching the Cholesky poisons the whole factor and
+  // every later prediction, so corrupted inputs are rejected at the door.
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      if (!std::isfinite(x(r, c))) {
+        return Status::InvalidArgument("non-finite input in training x");
+      }
+    }
+    if (!std::isfinite(y[r])) {
+      return Status::InvalidArgument("non-finite target in training y");
+    }
+  }
   x_ = x;
   if (options_.normalize_y) {
     y_mean_ = Mean(y);
@@ -97,6 +109,14 @@ Status GpModel::Update(const Vector& x, double y) {
   }
   if (x.size() != kernel_->dim()) {
     return Status::InvalidArgument("x dimensionality does not match kernel");
+  }
+  for (double v : x) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite input in update x");
+    }
+  }
+  if (!std::isfinite(y)) {
+    return Status::InvalidArgument("non-finite target in update y");
   }
   ++updates_since_refit_;
   // A full refactorization happens every refit_period updates even when

@@ -25,8 +25,23 @@ class MultiOutputGp {
   /// Replaces the training data with `observations` and fits all three GPs.
   Status Fit(const std::vector<Observation>& observations);
 
-  /// Appends one observation to all three GPs.
+  /// Fit with failure evidence: `constraint_only` points (crashed / timed-out
+  /// configurations encoded as hard SLA violations) are appended AFTER the
+  /// real observations into the tps and lat models only — the res model never
+  /// sees fabricated resource values. Appending (rather than interleaving)
+  /// keeps training indices 0..N-1 aligned across all three models, which
+  /// leave-one-out consumers rely on.
+  Status Fit(const std::vector<Observation>& observations,
+             const std::vector<Observation>& constraint_only);
+
+  /// Appends one observation to all three GPs. The observation is validated
+  /// (finite θ and metrics) before ANY model is touched, so a rejected
+  /// update never leaves the per-metric training sets desynchronized.
   Status Update(const Observation& observation);
+
+  /// Appends a penalized failure point to the tps and lat models only.
+  /// Requires the constraint models to be fitted.
+  Status UpdateConstraintOnly(const Observation& penalized);
 
   bool fitted() const;
   size_t dim() const { return models_[0].dim(); }

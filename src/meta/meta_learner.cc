@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "linalg/matrix.h"
 
@@ -16,11 +17,29 @@ double EpanechnikovKernel(double t) {
 MetaLearner::MetaLearner(size_t dim, std::vector<BaseLearner> base_learners,
                          Vector target_meta_feature, MetaLearnerOptions options)
     : dim_(dim),
-      bases_(std::move(base_learners)),
       target_meta_feature_(std::move(target_meta_feature)),
       options_(options),
-      rng_(options.seed),
-      base_pred_cache_(bases_.size()) {
+      rng_(options.seed) {
+  // Graceful degradation: a corrupt repository entry (wrong knob dimension,
+  // no training data) costs that one base-learner, not the session. The
+  // ensemble math below assumes every member predicts in the target's knob
+  // space, so incompatible members must not enter at all.
+  bases_.reserve(base_learners.size());
+  for (BaseLearner& base : base_learners) {
+    if (base.dim() != dim_) {
+      RESTUNE_LOG(kWarning) << "dropping base-learner '" << base.name()
+                            << "': knob dim " << base.dim()
+                            << " != target dim " << dim_;
+      continue;
+    }
+    if (base.num_observations() == 0) {
+      RESTUNE_LOG(kWarning) << "dropping base-learner '" << base.name()
+                            << "': no training observations";
+      continue;
+    }
+    bases_.push_back(std::move(base));
+  }
+  base_pred_cache_.resize(bases_.size());
   GpOptions target_options = options_.target_gp;
   target_options.normalize_y = false;  // we standardize the history ourselves
   target_options.seed = options.seed ^ 0x5bd1e995;
@@ -34,18 +53,35 @@ bool MetaLearner::in_static_phase() const {
 }
 
 Status MetaLearner::RefitTargetGp() {
+  // The standardizer sees only real measurements: penalized failure points
+  // are evidence, not data, and must not shift the task's metric moments.
   target_standardizer_ = MetricStandardizer::FromObservations(target_raw_);
   std::vector<Observation> standardized;
   standardized.reserve(target_raw_.size());
   for (const Observation& obs : target_raw_) {
     standardized.push_back(target_standardizer_.Standardize(obs));
   }
-  return target_gp_->Fit(standardized);
+  std::vector<Observation> standardized_failures;
+  standardized_failures.reserve(failures_raw_.size());
+  for (const Observation& obs : failures_raw_) {
+    standardized_failures.push_back(target_standardizer_.Standardize(obs));
+  }
+  return target_gp_->Fit(standardized, standardized_failures);
 }
 
 Status MetaLearner::AddObservation(const Observation& raw_observation) {
   if (raw_observation.theta.size() != dim_) {
     return Status::InvalidArgument("observation dimension mismatch");
+  }
+  for (double t : raw_observation.theta) {
+    if (!std::isfinite(t)) {
+      return Status::InvalidArgument("non-finite knob value in observation");
+    }
+  }
+  if (!std::isfinite(raw_observation.res) ||
+      !std::isfinite(raw_observation.tps) ||
+      !std::isfinite(raw_observation.lat)) {
+    return Status::InvalidArgument("non-finite metric in observation");
   }
   target_raw_.push_back(raw_observation);
   RESTUNE_RETURN_IF_ERROR(RefitTargetGp());
@@ -63,6 +99,32 @@ Status MetaLearner::AddObservation(const Observation& raw_observation) {
   });
   RecomputeWeights();
   return Status::OK();
+}
+
+Status MetaLearner::AddFailure(const Vector& theta, double penalty_tps,
+                               double penalty_lat) {
+  if (theta.size() != dim_) {
+    return Status::InvalidArgument("failure theta dimension mismatch");
+  }
+  for (double t : theta) {
+    if (!std::isfinite(t)) {
+      return Status::InvalidArgument("non-finite knob value in failure");
+    }
+  }
+  if (!std::isfinite(penalty_tps) || !std::isfinite(penalty_lat)) {
+    return Status::InvalidArgument("non-finite penalty value");
+  }
+  Observation penalized;
+  penalized.theta = theta;
+  penalized.tps = penalty_tps;
+  penalized.lat = penalty_lat;
+  failures_raw_.push_back(std::move(penalized));
+  // With no real observations yet there is nothing to fit against; the
+  // failure is ingested at the next refit. Weights are untouched either
+  // way: failures carry no ranking information (their metric values are
+  // penalties, not measurements).
+  if (target_raw_.empty()) return Status::OK();
+  return RefitTargetGp();
 }
 
 std::vector<double> MetaLearner::StaticWeights() const {

@@ -58,8 +58,18 @@ class MetaLearner : public Surrogate {
               Vector target_meta_feature, MetaLearnerOptions options = {});
 
   /// Ingests a raw target observation: re-standardizes the target history,
-  /// refits the target GP, and recomputes the ensemble weights.
+  /// refits the target GP, and recomputes the ensemble weights. Rejects
+  /// non-finite inputs before any internal state changes.
   Status AddObservation(const Observation& raw_observation);
+
+  /// Ingests an evaluation failure at θ as a hard SLA violation: the point
+  /// enters the target GP's tps/lat constraint outputs with the penalized
+  /// values (standardized with the real history's moments) but never the
+  /// resource output, the ranking-loss machinery, or the standardizer
+  /// itself. `penalty_tps`/`penalty_lat` are raw-unit values (typically 0
+  /// and 2×λ_lat).
+  Status AddFailure(const Vector& theta, double penalty_tps,
+                    double penalty_lat);
 
   /// Ensemble posterior, in standardized target-task units.
   GpPrediction PredictMetric(MetricKind kind,
@@ -95,6 +105,7 @@ class MetaLearner : public Surrogate {
 
   size_t num_base_learners() const { return bases_.size(); }
   size_t num_observations() const { return target_raw_.size(); }
+  size_t num_failures() const { return failures_raw_.size(); }
   const std::vector<Observation>& target_observations() const {
     return target_raw_;
   }
@@ -118,6 +129,9 @@ class MetaLearner : public Surrogate {
   mutable Rng rng_;
 
   std::vector<Observation> target_raw_;
+  /// Penalized failure points (raw units): constraint-only evidence for the
+  /// target GP, excluded from the standardizer and the ranking losses.
+  std::vector<Observation> failures_raw_;
   MetricStandardizer target_standardizer_;
   std::unique_ptr<MultiOutputGp> target_gp_;
 

@@ -1,5 +1,7 @@
 #include "meta/standardizer.h"
 
+#include <cmath>
+
 #include "common/stats.h"
 
 namespace restune {
@@ -10,12 +12,16 @@ MetricStandardizer MetricStandardizer::FromObservations(
   for (MetricKind kind : kAllMetricKinds) {
     std::vector<double> values;
     values.reserve(observations.size());
+    // Non-finite measurements (corrupted replays that slipped through) are
+    // excluded from the moments: one NaN would otherwise poison the mean
+    // and through it every standardized value of the task.
     for (const Observation& obs : observations) {
-      values.push_back(obs.metric(kind));
+      const double v = obs.metric(kind);
+      if (std::isfinite(v)) values.push_back(v);
     }
     const size_t i = static_cast<size_t>(kind);
-    s.means_[i] = Mean(values);
-    const double sd = PopulationStdDev(values);
+    s.means_[i] = values.empty() ? 0.0 : Mean(values);
+    const double sd = values.empty() ? 0.0 : PopulationStdDev(values);
     s.stds_[i] = sd > 1e-12 ? sd : 1.0;
   }
   return s;

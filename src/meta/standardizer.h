@@ -16,7 +16,9 @@ class MetricStandardizer {
   MetricStandardizer() = default;
 
   /// Fits means and standard deviations from a task's observation history.
-  /// Degenerate (constant) metrics get std 1 so transforms stay finite.
+  /// Degenerate (constant) metrics get std 1 so transforms stay finite;
+  /// non-finite metric values are skipped (a metric with no finite values
+  /// standardizes with mean 0, std 1).
   static MetricStandardizer FromObservations(
       const std::vector<Observation>& observations);
 

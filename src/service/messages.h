@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "dbsim/fault_injector.h"
 #include "gp/observation.h"
 
 namespace restune {
@@ -42,6 +43,11 @@ struct EvaluationReport {
   uint64_t session_id = 0;
   int iteration = 0;
   Observation observation;
+  /// kNone when the replay measured cleanly; any other value marks the
+  /// recommendation as failed (the instance crashed, timed out, ...) and
+  /// `observation` is ignored. The server feeds the failure back to the
+  /// session's advisor as constraint evidence instead of metrics.
+  FaultKind fault = FaultKind::kNone;
 };
 
 /// Server -> Client: session summary at completion.

@@ -30,7 +30,9 @@ class ResTuneClient {
                                                  uint64_t seed = 5);
 
   /// Applies a recommendation to the copy instance, replays the workload
-  /// and returns the evaluation report.
+  /// and returns the evaluation report. A replay that crashes, times out or
+  /// measures garbage produces a report carrying the fault kind instead of
+  /// metrics — the session continues, it does not error out.
   Result<EvaluationReport> EvaluateRecommendation(
       const KnobRecommendation& recommendation);
 

@@ -1,14 +1,108 @@
 #include "service/restune_server.h"
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace restune {
+namespace {
+
+bool AllFinite(const Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+bool BitwiseEqual(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// A measured observation the server is willing to learn from: finite
+/// everywhere, throughput and latency strictly positive, resource
+/// non-negative.
+Status ValidateMetrics(const Observation& obs) {
+  if (!std::isfinite(obs.res) || !std::isfinite(obs.tps) ||
+      !std::isfinite(obs.lat)) {
+    return Status::InvalidArgument("observation metrics must be finite");
+  }
+  if (obs.res < 0.0) {
+    return Status::InvalidArgument("resource usage must be non-negative");
+  }
+  if (obs.tps <= 0.0 || obs.lat <= 0.0) {
+    return Status::InvalidArgument(
+        "throughput and latency must be positive; report a fault instead of "
+        "zeroed metrics for a failed replay");
+  }
+  if (!AllFinite(obs.theta) || !AllFinite(obs.internals)) {
+    return Status::InvalidArgument("observation vectors must be finite");
+  }
+  return Status::OK();
+}
+
+void WriteString(std::ostream* out, const std::string& s) {
+  *out << s.size() << ' ' << s << '\n';
+}
+
+Status ReadString(std::istream* in, std::string* s) {
+  size_t n = 0;
+  if (!(*in >> n) || n > (1u << 20)) {
+    return Status::IoError("bad string in server checkpoint");
+  }
+  in->get();  // the single separator space
+  s->resize(n);
+  if (n > 0 && !in->read(s->data(), static_cast<std::streamsize>(n))) {
+    return Status::IoError("truncated string in server checkpoint");
+  }
+  return Status::OK();
+}
+
+Status ExpectTag(std::istream* in, const std::string& want) {
+  std::string tag;
+  if (!(*in >> tag)) {
+    return Status::IoError("server checkpoint truncated: expected '" + want +
+                           "'");
+  }
+  if (tag != want) {
+    return Status::IoError("server checkpoint corrupt: expected '" + want +
+                           "', found '" + tag + "'");
+  }
+  return Status::OK();
+}
+
+constexpr const char* kMagic = "restune-server-checkpoint";
+constexpr int kVersion = 1;
+
+}  // namespace
 
 ResTuneServer::ResTuneServer(ServerOptions options)
     : options_(options) {}
 
 Status ResTuneServer::AddHistoricalTask(TuningTask task) {
   return repository_.AddTask(std::move(task));
+}
+
+std::vector<BaseLearner> ResTuneServer::TrainSessionLearners(
+    size_t knob_dim, size_t repository_snapshot) const {
+  // Knowledge extraction: base-learners over histories with a matching
+  // knob space (dimension is the compatibility proxy in this in-process
+  // server; a deployment would key on a space identifier). Only the first
+  // `repository_snapshot` tasks participate, so checkpoint replay trains
+  // the exact ensemble the session originally saw even if more tasks were
+  // archived afterwards.
+  size_t index = 0;
+  return repository_.TrainBaseLearners([&](const TuningTask& t) {
+    const size_t i = index++;
+    return i < repository_snapshot && !t.observations.empty() &&
+           t.observations[0].theta.size() == knob_dim;
+  });
 }
 
 Result<uint64_t> ResTuneServer::StartSession(
@@ -22,20 +116,24 @@ Result<uint64_t> ResTuneServer::StartSession(
   if (submission.default_observation.theta.size() != submission.knob_dim) {
     return Status::InvalidArgument("default observation dimension mismatch");
   }
+  if (!AllFinite(submission.default_theta)) {
+    return Status::InvalidArgument("default_theta must be finite");
+  }
+  if (!AllFinite(submission.meta_feature)) {
+    return Status::InvalidArgument("meta_feature must be finite");
+  }
+  RESTUNE_RETURN_IF_ERROR(ValidateMetrics(submission.default_observation));
 
   Session session;
   session.task_name = submission.task_name;
   session.meta_feature = submission.meta_feature;
-  // Knowledge extraction: base-learners over histories with a matching
-  // knob space (dimension is the compatibility proxy in this in-process
-  // server; a deployment would key on a space identifier).
-  std::vector<BaseLearner> learners = repository_.TrainBaseLearners(
-      [&](const TuningTask& t) {
-        return !t.observations.empty() &&
-               t.observations[0].theta.size() == submission.knob_dim;
-      });
+  session.knob_dim = submission.knob_dim;
+  session.default_theta = submission.default_theta;
+  session.default_observation = submission.default_observation;
+  session.repository_snapshot = repository_.num_tasks();
   session.advisor = std::make_unique<ResTuneAdvisor>(
-      submission.knob_dim, submission.default_theta, std::move(learners),
+      submission.knob_dim, submission.default_theta,
+      TrainSessionLearners(session.knob_dim, session.repository_snapshot),
       submission.meta_feature, options_.advisor);
   session.sla = SlaConstraints{submission.default_observation.tps,
                                submission.default_observation.lat};
@@ -48,41 +146,98 @@ Result<uint64_t> ResTuneServer::StartSession(
 
   const uint64_t id = next_session_id_++;
   sessions_.emplace(id, std::move(session));
+  MaybeAutoCheckpoint();
   return id;
 }
 
 Result<KnobRecommendation> ResTuneServer::Recommend(uint64_t session_id) {
+  if (finished_.count(session_id) > 0) {
+    return Status::FailedPrecondition(
+        StringPrintf("session %llu already finished",
+                     (unsigned long long)session_id));
+  }
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
     return Status::NotFound(StringPrintf("no session %llu",
                                          (unsigned long long)session_id));
   }
   Session& session = it->second;
+  // At-least-once delivery: while a recommendation is outstanding, re-asking
+  // returns the same one instead of advancing the advisor — a client retry
+  // after a lost response must not burn iterations or fork the GP state.
+  if (session.awaiting_report) {
+    return session.last_recommendation;
+  }
   RESTUNE_ASSIGN_OR_RETURN(Vector theta, session.advisor->SuggestNext());
   KnobRecommendation rec;
   rec.session_id = session_id;
   rec.iteration = ++session.iteration;
   rec.theta = std::move(theta);
+  session.last_recommendation = rec;
+  session.awaiting_report = true;
   return rec;
 }
 
 Status ResTuneServer::ReportEvaluation(const EvaluationReport& report) {
+  if (finished_.count(report.session_id) > 0) {
+    return Status::FailedPrecondition("session already finished");
+  }
   const auto it = sessions_.find(report.session_id);
   if (it == sessions_.end()) {
     return Status::NotFound("unknown session in evaluation report");
   }
   Session& session = it->second;
-  RESTUNE_RETURN_IF_ERROR(session.advisor->Observe(report.observation));
-  session.observations.push_back(report.observation);
-  if (session.sla.IsFeasible(report.observation) &&
-      report.observation.res < session.best_feasible_res) {
-    session.best_feasible_res = report.observation.res;
-    session.best_theta = report.observation.theta;
+  if (report.iteration <= 0 || report.iteration > session.iteration) {
+    return Status::InvalidArgument(
+        StringPrintf("report for iteration %d, but session is at %d",
+                     report.iteration, session.iteration));
   }
+  if (!session.awaiting_report || report.iteration < session.iteration) {
+    // The iteration was already processed — a duplicate from a client retry.
+    return Status::OK();
+  }
+
+  SessionEvent event;
+  event.iteration = report.iteration;
+  if (report.fault != FaultKind::kNone) {
+    // The replay failed; there are no metrics. The recommended θ (not
+    // whatever the client echoed back) is what failed, and it becomes
+    // constraint evidence for the advisor.
+    event.failed = true;
+    event.fault = report.fault;
+    event.theta = session.last_recommendation.theta;
+    EvaluationFault fault;
+    fault.kind = report.fault;
+    fault.message = "client-reported evaluation failure";
+    RESTUNE_RETURN_IF_ERROR(session.advisor->ObserveFailure(event.theta,
+                                                            fault));
+  } else {
+    if (report.observation.theta.size() != session.knob_dim) {
+      return Status::InvalidArgument("report theta dimension mismatch");
+    }
+    RESTUNE_RETURN_IF_ERROR(ValidateMetrics(report.observation));
+    RESTUNE_RETURN_IF_ERROR(session.advisor->Observe(report.observation));
+    event.theta = report.observation.theta;
+    event.observation = report.observation;
+    session.observations.push_back(report.observation);
+    if (session.sla.IsFeasible(report.observation) &&
+        report.observation.res < session.best_feasible_res) {
+      session.best_feasible_res = report.observation.res;
+      session.best_theta = report.observation.theta;
+      session.has_feasible = true;
+    }
+  }
+  session.events.push_back(std::move(event));
+  session.awaiting_report = false;
+  MaybeAutoCheckpoint();
   return Status::OK();
 }
 
 Result<SessionSummary> ResTuneServer::FinishSession(uint64_t session_id) {
+  const auto done = finished_.find(session_id);
+  if (done != finished_.end()) {
+    return done->second;  // idempotent finish
+  }
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
     return Status::NotFound("unknown session");
@@ -105,7 +260,295 @@ Result<SessionSummary> ResTuneServer::FinishSession(uint64_t session_id) {
     summary.archived_to_repository = repository_.AddTask(std::move(task)).ok();
   }
   sessions_.erase(it);
+  finished_.emplace(session_id, summary);
+  MaybeAutoCheckpoint();
   return summary;
+}
+
+void ResTuneServer::MaybeAutoCheckpoint() {
+  ++mutations_;
+  if (options_.checkpoint_path.empty() || options_.checkpoint_period <= 0) {
+    return;
+  }
+  if (mutations_ % static_cast<uint64_t>(options_.checkpoint_period) != 0) {
+    return;
+  }
+  const Status st = SaveCheckpointFile(options_.checkpoint_path);
+  if (!st.ok()) {
+    RESTUNE_LOG(kWarning) << "server auto-checkpoint failed: "
+                          << st.ToString();
+  }
+}
+
+Status ResTuneServer::SaveCheckpoint(std::ostream* out) const {
+  out->precision(17);  // exact double round-trip
+  *out << kMagic << ' ' << kVersion << '\n';
+  *out << "next_id " << next_session_id_ << '\n';
+
+  *out << "tasks " << repository_.num_tasks() << '\n';
+  for (const TuningTask& task : repository_.tasks()) {
+    *out << "task\n";
+    WriteString(out, task.name);
+    WriteString(out, task.hardware);
+    WriteString(out, task.workload);
+    *out << "meta ";
+    WriteVector(out, task.meta_feature);
+    *out << "obs " << task.observations.size() << '\n';
+    for (const Observation& obs : task.observations) {
+      WriteObservation(out, obs);
+    }
+  }
+
+  *out << "finished " << finished_.size() << '\n';
+  for (const auto& [id, summary] : finished_) {
+    *out << "summary " << id << ' ' << summary.iterations << ' '
+         << summary.best_feasible_res << ' '
+         << (summary.archived_to_repository ? 1 : 0) << '\n';
+    WriteVector(out, summary.best_theta);
+  }
+
+  *out << "sessions " << sessions_.size() << '\n';
+  for (const auto& [id, session] : sessions_) {
+    *out << "session " << id << ' ' << session.knob_dim << ' '
+         << session.iteration << ' ' << session.repository_snapshot << ' '
+         << (session.awaiting_report ? 1 : 0) << ' '
+         << (session.has_feasible ? 1 : 0) << '\n';
+    WriteString(out, session.task_name);
+    *out << "meta ";
+    WriteVector(out, session.meta_feature);
+    *out << "sla " << session.sla.min_tps << ' ' << session.sla.max_lat
+         << '\n';
+    *out << "default_theta ";
+    WriteVector(out, session.default_theta);
+    *out << "default_obs\n";
+    WriteObservation(out, session.default_observation);
+    if (session.awaiting_report) {
+      *out << "lastrec " << session.last_recommendation.iteration << '\n';
+      WriteVector(out, session.last_recommendation.theta);
+    }
+    *out << "events " << session.events.size() << '\n';
+    for (const SessionEvent& event : session.events) {
+      WriteSessionEvent(out, event);
+    }
+  }
+  *out << "end\n";
+  if (!out->good()) return Status::IoError("server checkpoint write failed");
+  return Status::OK();
+}
+
+Result<ResTuneServer::Session> ResTuneServer::RebuildSession(
+    Session blueprint) const {
+  Session session = std::move(blueprint);
+  session.advisor = std::make_unique<ResTuneAdvisor>(
+      session.knob_dim, session.default_theta,
+      TrainSessionLearners(session.knob_dim, session.repository_snapshot),
+      session.meta_feature, options_.advisor);
+  RESTUNE_RETURN_IF_ERROR(
+      session.advisor->Begin(session.default_observation, session.sla));
+  session.observations.clear();
+  session.observations.push_back(session.default_observation);
+  session.best_theta = session.default_theta;
+  session.best_feasible_res = session.default_observation.res;
+
+  // Replay the event log through the fresh advisor. Each replayed
+  // suggestion must match the recorded recommendation bitwise — the
+  // checkpoint stores doubles at precision 17, so any mismatch means the
+  // server was reconstructed with different advisor options or a different
+  // repository and continuing would silently fork every session.
+  for (const SessionEvent& event : session.events) {
+    RESTUNE_ASSIGN_OR_RETURN(const Vector theta,
+                             session.advisor->SuggestNext());
+    if (!BitwiseEqual(theta, event.theta)) {
+      return Status::FailedPrecondition(
+          "server checkpoint replay diverged at iteration " +
+          std::to_string(event.iteration) +
+          "; the server was not reconstructed with the original options");
+    }
+    if (event.failed) {
+      EvaluationFault fault;
+      fault.kind = event.fault;
+      fault.message = "replayed from server checkpoint";
+      RESTUNE_RETURN_IF_ERROR(
+          session.advisor->ObserveFailure(event.theta, fault));
+    } else {
+      RESTUNE_RETURN_IF_ERROR(session.advisor->Observe(event.observation));
+      session.observations.push_back(event.observation);
+      if (session.sla.IsFeasible(event.observation) &&
+          event.observation.res < session.best_feasible_res) {
+        session.best_feasible_res = event.observation.res;
+        session.best_theta = event.observation.theta;
+      }
+    }
+  }
+  if (session.awaiting_report) {
+    // The outstanding recommendation had already advanced the advisor.
+    RESTUNE_ASSIGN_OR_RETURN(const Vector theta,
+                             session.advisor->SuggestNext());
+    if (!BitwiseEqual(theta, session.last_recommendation.theta)) {
+      return Status::FailedPrecondition(
+          "server checkpoint replay diverged at the outstanding "
+          "recommendation");
+    }
+  }
+  return session;
+}
+
+Status ResTuneServer::LoadCheckpoint(std::istream* in) {
+  std::string magic;
+  int version = 0;
+  if (!(*in >> magic >> version) || magic != kMagic) {
+    return Status::IoError("not a restune server checkpoint");
+  }
+  if (version != kVersion) {
+    return Status::NotImplemented("unsupported server checkpoint version " +
+                                  std::to_string(version));
+  }
+  uint64_t next_id = 1;
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "next_id"));
+  if (!(*in >> next_id)) {
+    return Status::IoError("bad next_id in server checkpoint");
+  }
+
+  DataRepository repository;
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "tasks"));
+  size_t num_tasks = 0;
+  if (!(*in >> num_tasks) || num_tasks > (1u << 20)) {
+    return Status::IoError("bad task count in server checkpoint");
+  }
+  for (size_t i = 0; i < num_tasks; ++i) {
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "task"));
+    TuningTask task;
+    RESTUNE_RETURN_IF_ERROR(ReadString(in, &task.name));
+    RESTUNE_RETURN_IF_ERROR(ReadString(in, &task.hardware));
+    RESTUNE_RETURN_IF_ERROR(ReadString(in, &task.workload));
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "meta"));
+    RESTUNE_RETURN_IF_ERROR(ReadVector(in, &task.meta_feature));
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "obs"));
+    size_t num_obs = 0;
+    if (!(*in >> num_obs) || num_obs > (1u << 24)) {
+      return Status::IoError("bad observation count in server checkpoint");
+    }
+    task.observations.resize(num_obs);
+    for (Observation& obs : task.observations) {
+      RESTUNE_RETURN_IF_ERROR(ReadObservation(in, &obs));
+    }
+    RESTUNE_RETURN_IF_ERROR(repository.AddTask(std::move(task)));
+  }
+
+  std::map<uint64_t, SessionSummary> finished;
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "finished"));
+  size_t num_finished = 0;
+  if (!(*in >> num_finished) || num_finished > (1u << 24)) {
+    return Status::IoError("bad finished count in server checkpoint");
+  }
+  for (size_t i = 0; i < num_finished; ++i) {
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "summary"));
+    SessionSummary summary;
+    int archived = 0;
+    if (!(*in >> summary.session_id >> summary.iterations >>
+          summary.best_feasible_res >> archived)) {
+      return Status::IoError("bad summary in server checkpoint");
+    }
+    summary.archived_to_repository = archived != 0;
+    RESTUNE_RETURN_IF_ERROR(ReadVector(in, &summary.best_theta));
+    finished.emplace(summary.session_id, summary);
+  }
+
+  // Sessions need the restored repository for base-learner training, so
+  // swap it in before replay; all other members are only replaced once the
+  // whole checkpoint parses.
+  DataRepository previous_repository = std::move(repository_);
+  repository_ = std::move(repository);
+
+  std::map<uint64_t, Session> sessions;
+  auto restore = [&]() -> Status {
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "sessions"));
+    size_t num_sessions = 0;
+    if (!(*in >> num_sessions) || num_sessions > (1u << 20)) {
+      return Status::IoError("bad session count in server checkpoint");
+    }
+    for (size_t i = 0; i < num_sessions; ++i) {
+      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "session"));
+      Session blueprint;
+      uint64_t id = 0;
+      int awaiting = 0;
+      int has_feasible = 0;
+      if (!(*in >> id >> blueprint.knob_dim >> blueprint.iteration >>
+            blueprint.repository_snapshot >> awaiting >> has_feasible)) {
+        return Status::IoError("bad session header in server checkpoint");
+      }
+      blueprint.awaiting_report = awaiting != 0;
+      blueprint.has_feasible = has_feasible != 0;
+      RESTUNE_RETURN_IF_ERROR(ReadString(in, &blueprint.task_name));
+      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "meta"));
+      RESTUNE_RETURN_IF_ERROR(ReadVector(in, &blueprint.meta_feature));
+      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "sla"));
+      if (!(*in >> blueprint.sla.min_tps >> blueprint.sla.max_lat)) {
+        return Status::IoError("bad sla in server checkpoint");
+      }
+      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "default_theta"));
+      RESTUNE_RETURN_IF_ERROR(ReadVector(in, &blueprint.default_theta));
+      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "default_obs"));
+      RESTUNE_RETURN_IF_ERROR(
+          ReadObservation(in, &blueprint.default_observation));
+      if (blueprint.awaiting_report) {
+        RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "lastrec"));
+        blueprint.last_recommendation.session_id = id;
+        if (!(*in >> blueprint.last_recommendation.iteration)) {
+          return Status::IoError("bad recommendation in server checkpoint");
+        }
+        RESTUNE_RETURN_IF_ERROR(
+            ReadVector(in, &blueprint.last_recommendation.theta));
+      }
+      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "events"));
+      size_t num_events = 0;
+      if (!(*in >> num_events) || num_events > (1u << 24)) {
+        return Status::IoError("bad event count in server checkpoint");
+      }
+      blueprint.events.reserve(num_events);
+      for (size_t e = 0; e < num_events; ++e) {
+        SessionEvent event;
+        RESTUNE_RETURN_IF_ERROR(ReadSessionEvent(in, &event));
+        blueprint.events.push_back(std::move(event));
+      }
+      RESTUNE_ASSIGN_OR_RETURN(Session session,
+                               RebuildSession(std::move(blueprint)));
+      sessions.emplace(id, std::move(session));
+    }
+    return ExpectTag(in, "end");
+  };
+  const Status status = restore();
+  if (!status.ok()) {
+    repository_ = std::move(previous_repository);  // leave the server as-was
+    return status;
+  }
+  sessions_ = std::move(sessions);
+  finished_ = std::move(finished);
+  next_session_id_ = next_id;
+  return Status::OK();
+}
+
+Status ResTuneServer::SaveCheckpointFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::NotFound("cannot open '" + tmp + "' for write");
+    RESTUNE_RETURN_IF_ERROR(SaveCheckpoint(&out));
+    out.flush();
+    if (!out.good()) return Status::IoError("write to '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Status ResTuneServer::LoadCheckpointFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open server checkpoint '" + path + "'");
+  }
+  return LoadCheckpoint(&in);
 }
 
 }  // namespace restune

@@ -1,11 +1,15 @@
 #pragma once
 
+#include <istream>
 #include <map>
 #include <memory>
+#include <ostream>
+#include <string>
 
 #include "common/result.h"
 #include "meta/data_repository.h"
 #include "service/messages.h"
+#include "tuner/checkpoint.h"
 #include "tuner/restune_advisor.h"
 
 namespace restune {
@@ -20,6 +24,12 @@ struct ServerOptions {
   /// Minimum observations a finished session needs to be archived (a
   /// two-iteration session teaches nothing).
   size_t min_observations_to_archive = 10;
+  /// Path of the server checkpoint file; empty disables auto-checkpointing.
+  /// With a path set, the server snapshots itself every
+  /// `checkpoint_period` state-changing calls (session start, evaluation
+  /// report, session finish) via the atomic `SaveCheckpointFile`.
+  std::string checkpoint_path;
+  int checkpoint_period = 10;
 };
 
 /// ResTune Server (paper Fig. 2, right side): hosts the data repository and
@@ -28,6 +38,19 @@ struct ServerOptions {
 ///
 /// The server never sees SQL or data — only meta-features and metric
 /// tuples, the privacy split the paper's deployment uses.
+///
+/// Fault-tolerance contract:
+/// * `Recommend` is idempotent: while a recommendation is outstanding, the
+///   same one is returned again (a client that lost the response can simply
+///   re-ask without burning an iteration).
+/// * `ReportEvaluation` is idempotent: a report for an already-processed
+///   iteration is a no-op. Reports may carry a `fault`, which is fed to the
+///   advisor as failure evidence rather than metrics.
+/// * `FinishSession` is idempotent: finishing twice returns the cached
+///   summary. Recommend/Report on a finished session fail loudly.
+/// * The whole server state (repository, sessions' event logs, finished
+///   summaries) checkpoints to a stream/file and restores by deterministic
+///   event-log replay, so a restarted server continues mid-session.
 class ResTuneServer {
  public:
   explicit ResTuneServer(ServerOptions options = {});
@@ -38,20 +61,41 @@ class ResTuneServer {
 
   /// Opens a tuning session: trains/collects base-learners, computes static
   /// weights from the submitted meta-feature, ingests the default
-  /// observation. Returns the session id.
+  /// observation. Returns the session id. Rejects malformed submissions
+  /// (zero knob dimension, mismatched vector sizes, non-finite values,
+  /// non-positive default throughput/latency).
   Result<uint64_t> StartSession(const TargetTaskSubmission& submission);
 
-  /// Next configuration for the session to evaluate.
+  /// Next configuration for the session to evaluate. Returns the cached
+  /// outstanding recommendation if the previous one has not been reported
+  /// yet (at-least-once delivery for clients that retry).
   Result<KnobRecommendation> Recommend(uint64_t session_id);
 
   /// Feeds an evaluation result back into the session's meta-learner.
+  /// Reports for already-processed iterations are accepted as duplicates
+  /// (no-op); reports from the future, with malformed metrics, or with a
+  /// mismatched θ dimension are rejected.
   Status ReportEvaluation(const EvaluationReport& report);
 
   /// Closes the session; optionally archives its observations as a new
-  /// historical task in the repository.
+  /// historical task in the repository. Idempotent: finishing an already-
+  /// finished session returns its cached summary.
   Result<SessionSummary> FinishSession(uint64_t session_id);
 
   size_t active_sessions() const { return sessions_.size(); }
+  size_t finished_sessions() const { return finished_.size(); }
+
+  /// Serializes the full server state (repository, active sessions as
+  /// event logs, finished summaries). Advisor internals are not written;
+  /// `LoadCheckpoint` rebuilds each advisor by replaying its event log with
+  /// bitwise verification against the recorded recommendations.
+  Status SaveCheckpoint(std::ostream* out) const;
+  Status LoadCheckpoint(std::istream* in);
+
+  /// File variants; saving goes through `<path>.tmp` + rename, so a crash
+  /// mid-write never leaves a torn checkpoint.
+  Status SaveCheckpointFile(const std::string& path) const;
+  Status LoadCheckpointFile(const std::string& path);
 
  private:
   struct Session {
@@ -64,12 +108,34 @@ class ResTuneServer {
     Vector best_theta;
     double best_feasible_res = 0.0;
     bool has_feasible = false;
+    // --- fault tolerance ---
+    size_t knob_dim = 0;
+    Vector default_theta;
+    Observation default_observation;
+    /// Repository size when the session started; replay after a restart
+    /// trains base-learners from exactly this prefix, so tasks archived
+    /// later do not silently change the ensemble mid-session.
+    size_t repository_snapshot = 0;
+    /// True between Recommend and its ReportEvaluation.
+    bool awaiting_report = false;
+    KnobRecommendation last_recommendation;
+    /// Durable form of the session: everything needed to rebuild the
+    /// advisor by replay.
+    std::vector<SessionEvent> events;
   };
+
+  std::vector<BaseLearner> TrainSessionLearners(size_t knob_dim,
+                                                size_t repository_snapshot)
+      const;
+  Result<Session> RebuildSession(Session blueprint) const;
+  void MaybeAutoCheckpoint();
 
   ServerOptions options_;
   DataRepository repository_;
   std::map<uint64_t, Session> sessions_;
+  std::map<uint64_t, SessionSummary> finished_;
   uint64_t next_session_id_ = 1;
+  uint64_t mutations_ = 0;
 };
 
 }  // namespace restune

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "dbsim/fault_injector.h"
 #include "gp/observation.h"
 
 namespace restune {
@@ -39,6 +40,19 @@ class Advisor {
 
   /// Feeds back the evaluation result of the last suggestion.
   virtual Status Observe(const Observation& observation) = 0;
+
+  /// Feeds back a classified evaluation failure of the last suggestion
+  /// (crash, timeout, retries-exhausted transient/corruption). Advisors that
+  /// learn from failures treat θ as a hard SLA violation — a penalized point
+  /// for the constraint models, never a fake value for the resource model —
+  /// and quarantine fatal knob regions. The default ignores failures, which
+  /// is the pre-fault-tolerance behavior of every baseline.
+  virtual Status ObserveFailure(const Vector& theta,
+                                const EvaluationFault& fault) {
+    (void)theta;
+    (void)fault;
+    return Status::OK();
+  }
 
   /// Timing of the most recent SuggestNext/Observe pair.
   IterationTiming last_timing() const { return timing_; }

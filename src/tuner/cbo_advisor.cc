@@ -11,7 +11,8 @@ CboAdvisor::CboAdvisor(std::string name, size_t dim,
       dim_(dim),
       options_(options),
       rng_(options.seed),
-      gp_(dim, options.gp) {}
+      gp_(dim, options.gp),
+      quarantine_(options.quarantine) {}
 
 Status CboAdvisor::Begin(const Observation& default_observation,
                          const SlaConstraints& sla) {
@@ -42,9 +43,12 @@ AcquisitionContext CboAdvisor::MakeContext() const {
 Result<Vector> CboAdvisor::SuggestNext() {
   StopWatch watch;
   timing_.meta_processing_s = 0.0;
-  if (!pending_lhs_.empty()) {
+  // Pending LHS points that landed inside a quarantined region (a config
+  // nearby crashed since the design was drawn) are skipped, not evaluated.
+  while (!pending_lhs_.empty()) {
     Vector next = pending_lhs_.back();
     pending_lhs_.pop_back();
+    if (!quarantine_.empty() && quarantine_.Contains(next)) continue;
     timing_.recommendation_s = watch.Seconds();
     return next;
   }
@@ -65,8 +69,13 @@ Result<Vector> CboAdvisor::SuggestNext() {
     }
     return std::vector<double>(thetas.rows(), 0.0);
   };
-  Vector next =
-      MaximizeAcquisitionBatch(acquisition, dim_, &rng_, options_.acq_optimizer);
+  AcqOptimizerOptions acq_options = options_.acq_optimizer;
+  if (!quarantine_.empty()) {
+    acq_options.reject = [this](const Vector& theta) {
+      return quarantine_.Contains(theta);
+    };
+  }
+  Vector next = MaximizeAcquisitionBatch(acquisition, dim_, &rng_, acq_options);
   timing_.recommendation_s = watch.Seconds();
   return next;
 }
@@ -75,6 +84,32 @@ Status CboAdvisor::Observe(const Observation& observation) {
   StopWatch watch;
   history_.push_back(observation);
   RESTUNE_RETURN_IF_ERROR(gp_.Update(observation));
+  timing_.model_update_s = watch.Seconds();
+  return Status::OK();
+}
+
+Status CboAdvisor::ObserveFailure(const Vector& theta,
+                                  const EvaluationFault& fault) {
+  StopWatch watch;
+  if (theta.size() != dim_) {
+    return Status::InvalidArgument("failure theta dimension mismatch");
+  }
+  // Fatal kinds (the DBMS died or hung) quarantine the surrounding knob box
+  // so acquisition maximization never proposes an adjacent configuration.
+  if (fault.kind == FaultKind::kCrash || fault.kind == FaultKind::kTimeout) {
+    quarantine_.Add(theta);
+  }
+  // The failed configuration enters the constraint models as a hard SLA
+  // violation (zero throughput, double the latency bound) — evidence that
+  // this region is infeasible — but never the resource model, which must
+  // not learn from a fabricated resource value.
+  if (gp_.fitted() && sla_.max_lat > 0.0) {
+    Observation penalized;
+    penalized.theta = theta;
+    penalized.tps = 0.0;
+    penalized.lat = 2.0 * sla_.max_lat;
+    RESTUNE_RETURN_IF_ERROR(gp_.UpdateConstraintOnly(penalized));
+  }
   timing_.model_update_s = watch.Seconds();
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 #include "dbsim/knob.h"
 #include "gp/multi_output_gp.h"
 #include "tuner/advisor.h"
+#include "tuner/quarantine.h"
 
 namespace restune {
 
@@ -33,6 +34,8 @@ struct CboAdvisorOptions {
   AcqOptimizerOptions acq_optimizer;
   GpOptions gp;
   uint64_t seed = 17;
+  /// Knob-region quarantine around crashed/timed-out configurations.
+  QuarantineOptions quarantine;
 };
 
 /// Constrained Bayesian optimization on a fresh multi-output GP: the
@@ -47,8 +50,11 @@ class CboAdvisor : public Advisor {
                const SlaConstraints& sla) override;
   Result<Vector> SuggestNext() override;
   Status Observe(const Observation& observation) override;
+  Status ObserveFailure(const Vector& theta,
+                        const EvaluationFault& fault) override;
 
   const MultiOutputGp& surrogate() const { return gp_; }
+  const KnobQuarantine& quarantine() const { return quarantine_; }
 
  private:
   AcquisitionContext MakeContext() const;
@@ -59,6 +65,7 @@ class CboAdvisor : public Advisor {
   Rng rng_;
   MultiOutputGp gp_;
   SlaConstraints sla_;
+  KnobQuarantine quarantine_;
   std::vector<Observation> history_;
   std::vector<Vector> pending_lhs_;
 };

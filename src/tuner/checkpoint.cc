@@ -1,0 +1,213 @@
+#include "tuner/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace restune {
+namespace {
+
+constexpr const char* kMagic = "restune-checkpoint";
+constexpr int kVersion = 1;
+
+Status ExpectTag(std::istream* in, const std::string& want) {
+  std::string tag;
+  if (!(*in >> tag)) {
+    return Status::IoError("checkpoint truncated: expected '" + want + "'");
+  }
+  if (tag != want) {
+    return Status::IoError("checkpoint corrupt: expected '" + want +
+                            "', found '" + tag + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void WriteRngState(std::ostream* out, const RngState& state) {
+  for (uint64_t word : state.s) *out << word << ' ';
+  *out << (state.has_cached_gaussian ? 1 : 0) << ' '
+       << state.cached_gaussian << '\n';
+}
+
+Status ReadRngState(std::istream* in, RngState* state) {
+  int has_cached = 0;
+  for (uint64_t& word : state->s) {
+    if (!(*in >> word)) return Status::IoError("bad rng state in checkpoint");
+  }
+  if (!(*in >> has_cached >> state->cached_gaussian)) {
+    return Status::IoError("bad rng state in checkpoint");
+  }
+  state->has_cached_gaussian = has_cached != 0;
+  return Status::OK();
+}
+
+void WriteVector(std::ostream* out, const Vector& v) {
+  *out << v.size();
+  for (double x : v) *out << ' ' << x;
+  *out << '\n';
+}
+
+Status ReadVector(std::istream* in, Vector* v) {
+  size_t n = 0;
+  if (!(*in >> n)) return Status::IoError("bad vector in checkpoint");
+  if (n > (1u << 24)) {
+    return Status::IoError("implausible vector size in checkpoint");
+  }
+  v->assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(*in >> (*v)[i])) return Status::IoError("bad vector in checkpoint");
+  }
+  return Status::OK();
+}
+
+void WriteObservation(std::ostream* out, const Observation& obs) {
+  *out << obs.res << ' ' << obs.tps << ' ' << obs.lat << '\n';
+  WriteVector(out, obs.theta);
+  WriteVector(out, obs.internals);
+}
+
+Status ReadObservation(std::istream* in, Observation* obs) {
+  if (!(*in >> obs->res >> obs->tps >> obs->lat)) {
+    return Status::IoError("bad observation in checkpoint");
+  }
+  RESTUNE_RETURN_IF_ERROR(ReadVector(in, &obs->theta));
+  return ReadVector(in, &obs->internals);
+}
+
+void WriteSessionEvent(std::ostream* out, const SessionEvent& event) {
+  *out << "event " << event.iteration << ' ' << (event.failed ? 1 : 0) << ' '
+       << static_cast<int>(event.fault) << ' ' << event.attempts << ' '
+       << event.backoff_seconds << '\n';
+  *out << "theta ";
+  WriteVector(out, event.theta);
+  if (!event.failed) {
+    *out << "obs\n";
+    WriteObservation(out, event.observation);
+  }
+}
+
+Status ReadSessionEvent(std::istream* in, SessionEvent* event) {
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "event"));
+  int failed = 0;
+  int fault = 0;
+  if (!(*in >> event->iteration >> failed >> fault >> event->attempts >>
+        event->backoff_seconds)) {
+    return Status::IoError("bad event in checkpoint");
+  }
+  if (fault < 0 || fault > static_cast<int>(FaultKind::kCorruptedMetrics)) {
+    return Status::IoError("bad fault kind in checkpoint");
+  }
+  event->failed = failed != 0;
+  event->fault = static_cast<FaultKind>(fault);
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "theta"));
+  RESTUNE_RETURN_IF_ERROR(ReadVector(in, &event->theta));
+  if (!event->failed) {
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "obs"));
+    RESTUNE_RETURN_IF_ERROR(ReadObservation(in, &event->observation));
+  }
+  return Status::OK();
+}
+
+Status SaveSessionCheckpoint(const SessionCheckpoint& checkpoint,
+                             std::ostream* out) {
+  out->precision(17);  // exact double round-trip
+  *out << kMagic << ' ' << kVersion << '\n';
+  *out << "iteration " << checkpoint.iteration << '\n';
+  *out << "default\n";
+  WriteObservation(out, checkpoint.default_observation);
+  *out << "sla " << checkpoint.sla.min_tps << ' ' << checkpoint.sla.max_lat
+       << '\n';
+  const DbInstanceSimulator::State& sim = checkpoint.simulator_state;
+  *out << "simstate " << sim.num_evaluations << ' ' << sim.simulated_seconds
+       << '\n';
+  *out << "simrng ";
+  WriteRngState(out, sim.rng);
+  *out << "faultrng ";
+  WriteRngState(out, sim.fault_rng);
+  *out << "suprng ";
+  WriteRngState(out, checkpoint.supervisor_rng);
+  *out << "events " << checkpoint.events.size() << '\n';
+  for (const SessionEvent& event : checkpoint.events) {
+    WriteSessionEvent(out, event);
+  }
+  *out << "end\n";
+  if (!out->good()) return Status::IoError("checkpoint write failed");
+  return Status::OK();
+}
+
+Result<SessionCheckpoint> LoadSessionCheckpoint(std::istream* in) {
+  std::string magic;
+  int version = 0;
+  if (!(*in >> magic >> version)) {
+    return Status::IoError("not a restune checkpoint");
+  }
+  if (magic != kMagic) {
+    return Status::IoError("not a restune checkpoint (magic '" + magic +
+                            "')");
+  }
+  if (version != kVersion) {
+    return Status::NotImplemented("unsupported checkpoint version " +
+                                 std::to_string(version));
+  }
+  SessionCheckpoint checkpoint;
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "iteration"));
+  if (!(*in >> checkpoint.iteration)) {
+    return Status::IoError("bad iteration in checkpoint");
+  }
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "default"));
+  RESTUNE_RETURN_IF_ERROR(
+      ReadObservation(in, &checkpoint.default_observation));
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "sla"));
+  if (!(*in >> checkpoint.sla.min_tps >> checkpoint.sla.max_lat)) {
+    return Status::IoError("bad sla in checkpoint");
+  }
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "simstate"));
+  DbInstanceSimulator::State& sim = checkpoint.simulator_state;
+  if (!(*in >> sim.num_evaluations >> sim.simulated_seconds)) {
+    return Status::IoError("bad simulator state in checkpoint");
+  }
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "simrng"));
+  RESTUNE_RETURN_IF_ERROR(ReadRngState(in, &sim.rng));
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "faultrng"));
+  RESTUNE_RETURN_IF_ERROR(ReadRngState(in, &sim.fault_rng));
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "suprng"));
+  RESTUNE_RETURN_IF_ERROR(ReadRngState(in, &checkpoint.supervisor_rng));
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "events"));
+  size_t num_events = 0;
+  if (!(*in >> num_events) || num_events > (1u << 24)) {
+    return Status::IoError("bad event count in checkpoint");
+  }
+  checkpoint.events.reserve(num_events);
+  for (size_t i = 0; i < num_events; ++i) {
+    SessionEvent event;
+    RESTUNE_RETURN_IF_ERROR(ReadSessionEvent(in, &event));
+    checkpoint.events.push_back(std::move(event));
+  }
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "end"));
+  return checkpoint;
+}
+
+Status SaveSessionCheckpointFile(const SessionCheckpoint& checkpoint,
+                                 const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::NotFound("cannot open '" + tmp + "' for write");
+    RESTUNE_RETURN_IF_ERROR(SaveSessionCheckpoint(checkpoint, &out));
+    out.flush();
+    if (!out.good()) return Status::IoError("write to '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<SessionCheckpoint> LoadSessionCheckpointFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open checkpoint '" + path + "'");
+  return LoadSessionCheckpoint(&in);
+}
+
+}  // namespace restune

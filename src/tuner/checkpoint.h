@@ -1,0 +1,72 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dbsim/fault_injector.h"
+#include "dbsim/simulator.h"
+#include "gp/observation.h"
+
+namespace restune {
+
+/// One completed tuning iteration as recorded in a checkpoint: either a
+/// measured observation or a classified failure of the suggested θ. The
+/// event log is the durable form of the session — advisor state is NOT
+/// serialized; it is rebuilt deterministically by replaying the events
+/// through a freshly constructed advisor (same seeds, same options), which
+/// reproduces every internal RNG draw and GP refit bit-for-bit.
+struct SessionEvent {
+  int iteration = 0;
+  bool failed = false;
+  /// The configuration the advisor suggested (always set).
+  Vector theta;
+  /// The measurement; meaningful only when `failed` is false.
+  Observation observation;
+  /// Final classified fault; kNone on success.
+  FaultKind fault = FaultKind::kNone;
+  int attempts = 1;
+  double backoff_seconds = 0.0;
+};
+
+/// Durable state of a `TuningSession`, written periodically so a killed
+/// process can resume mid-session (paper framing: a production tuning
+/// service must survive restarts without losing a half-finished 200-
+/// iteration run). Mutable RNG streams (simulator noise, fault injector,
+/// supervisor jitter) are captured directly; everything advisor-side is
+/// captured as the event log.
+struct SessionCheckpoint {
+  /// Last completed iteration (== events.back().iteration when non-empty).
+  int iteration = 0;
+  Observation default_observation;
+  SlaConstraints sla;
+  std::vector<SessionEvent> events;
+  DbInstanceSimulator::State simulator_state;
+  RngState supervisor_rng;
+};
+
+Status SaveSessionCheckpoint(const SessionCheckpoint& checkpoint,
+                             std::ostream* out);
+Result<SessionCheckpoint> LoadSessionCheckpoint(std::istream* in);
+
+/// File variants. Saving is atomic: the checkpoint is written to
+/// `<path>.tmp` and renamed over `path`, so a crash mid-write never leaves
+/// a torn checkpoint behind.
+Status SaveSessionCheckpointFile(const SessionCheckpoint& checkpoint,
+                                 const std::string& path);
+Result<SessionCheckpoint> LoadSessionCheckpointFile(const std::string& path);
+
+/// Shared low-level helpers (also used by the server checkpoint).
+void WriteRngState(std::ostream* out, const RngState& state);
+Status ReadRngState(std::istream* in, RngState* state);
+void WriteVector(std::ostream* out, const Vector& v);
+Status ReadVector(std::istream* in, Vector* v);
+void WriteObservation(std::ostream* out, const Observation& obs);
+Status ReadObservation(std::istream* in, Observation* obs);
+void WriteSessionEvent(std::ostream* out, const SessionEvent& event);
+Status ReadSessionEvent(std::istream* in, SessionEvent* event);
+
+}  // namespace restune

@@ -94,6 +94,7 @@ Result<DbInstanceSimulator> MakeSimulator(const KnobSpace& space,
   options.seed = config.seed * 2654435761u + static_cast<uint64_t>(
                                                  instance_label);
   options.buffer_pool_fix_gb = config.buffer_pool_fix_gb;
+  options.faults = config.faults;
   // Production workloads replay 5 minutes, benchmarks 3 (paper Table 3).
   options.replay_seconds = (workload.kind == WorkloadKind::kHotel ||
                             workload.kind == WorkloadKind::kSales)
@@ -259,6 +260,9 @@ Result<SessionResult> RunMethod(MethodKind method,
   SessionOptions session_options;
   session_options.max_iterations = config.iterations;
   session_options.sla_tolerance = config.sla_tolerance;
+  session_options.max_consecutive_infeasible =
+      config.max_consecutive_infeasible;
+  session_options.fault = config.fault_tolerance;
   TuningSession session(simulator, advisor.get(), session_options);
   return session.Run();
 }

@@ -35,6 +35,15 @@ struct ExperimentConfig {
   double noise_std = 0.01;
   double buffer_pool_fix_gb = 0.0;
   uint64_t seed = 1;
+  /// Fault injection for the target simulator (off by default). Repository
+  /// collection always runs fault-free — history tasks model the paper's
+  /// curated meta-data, not a flaky production trace.
+  FaultInjectionOptions faults;
+  /// Session-level fault tolerance (retry policy, failure-aware learning,
+  /// checkpointing).
+  SessionFaultOptions fault_tolerance;
+  /// Forwarded to SessionOptions::max_consecutive_infeasible (0 = off).
+  int max_consecutive_infeasible = 0;
 };
 
 /// Trains the workload characterizer on labeled queries sampled from every

@@ -1,0 +1,27 @@
+#include "tuner/quarantine.h"
+
+#include <cmath>
+
+namespace restune {
+
+KnobQuarantine::KnobQuarantine(QuarantineOptions options)
+    : options_(options) {}
+
+void KnobQuarantine::Add(const Vector& theta) {
+  if (!options_.enabled || centers_.size() >= options_.max_regions) return;
+  centers_.push_back(theta);
+}
+
+bool KnobQuarantine::Contains(const Vector& theta) const {
+  for (const Vector& center : centers_) {
+    if (center.size() != theta.size()) continue;
+    double dist = 0.0;
+    for (size_t i = 0; i < theta.size(); ++i) {
+      dist = std::max(dist, std::fabs(theta[i] - center[i]));
+    }
+    if (dist <= options_.radius) return true;
+  }
+  return false;
+}
+
+}  // namespace restune

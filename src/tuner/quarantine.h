@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace restune {
+
+/// Options for the knob-region quarantine.
+struct QuarantineOptions {
+  bool enabled = true;
+  /// L-inf radius (in normalized knob coordinates) excluded around each
+  /// known-fatal configuration. Small on purpose: a crash pins down a bad
+  /// region, not a bad half-space, and the constraint GPs handle the
+  /// gradual part of the danger.
+  double radius = 0.04;
+  /// Cap on remembered fatal configurations (oldest kept; a session that
+  /// crashes more often than this has bigger problems).
+  size_t max_regions = 256;
+};
+
+/// Registry of configurations that crashed or timed out. Acquisition
+/// maximization filters candidates falling inside any quarantined box, so
+/// the advisor never re-suggests a configuration adjacent to a known-fatal
+/// one — the "don't re-OOM production" rail of the fault-tolerant pipeline.
+class KnobQuarantine {
+ public:
+  explicit KnobQuarantine(QuarantineOptions options = {});
+
+  /// Registers a fatal configuration. No-op when disabled or full.
+  void Add(const Vector& theta);
+
+  /// True when θ lies within `radius` (L-inf) of a registered fatal config.
+  bool Contains(const Vector& theta) const;
+
+  size_t size() const { return centers_.size(); }
+  bool empty() const { return centers_.empty(); }
+  const QuarantineOptions& options() const { return options_; }
+
+ private:
+  QuarantineOptions options_;
+  std::vector<Vector> centers_;
+};
+
+}  // namespace restune

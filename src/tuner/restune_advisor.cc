@@ -12,7 +12,8 @@ ResTuneAdvisor::ResTuneAdvisor(size_t dim, Vector default_theta,
     : dim_(dim),
       default_theta_(std::move(default_theta)),
       options_(options),
-      rng_(options.seed) {
+      rng_(options.seed),
+      quarantine_(options.quarantine) {
   MetaLearnerOptions meta_options = options_.meta;
   meta_options.seed = options_.seed ^ 0x9e3779b9;
   meta_learner_ = std::make_unique<MetaLearner>(
@@ -33,9 +34,12 @@ Status ResTuneAdvisor::Begin(const Observation& default_observation,
 
 Result<Vector> ResTuneAdvisor::SuggestNext() {
   StopWatch watch;
-  if (!pending_lhs_.empty()) {
+  // Pending LHS points inside a quarantined region (a nearby config crashed
+  // since the design was drawn) are skipped, not evaluated.
+  while (!pending_lhs_.empty()) {
     Vector next = pending_lhs_.back();
     pending_lhs_.pop_back();
+    if (!quarantine_.empty() && quarantine_.Contains(next)) continue;
     timing_.recommendation_s = watch.Seconds();
     return next;
   }
@@ -75,8 +79,13 @@ Result<Vector> ResTuneAdvisor::SuggestNext() {
   auto acquisition = [&](const Matrix& thetas) {
     return ConstrainedExpectedImprovementBatch(*meta_learner_, thetas, ctx);
   };
-  Vector next =
-      MaximizeAcquisitionBatch(acquisition, dim_, &rng_, options_.acq_optimizer);
+  AcqOptimizerOptions acq_options = options_.acq_optimizer;
+  if (!quarantine_.empty()) {
+    acq_options.reject = [this](const Vector& theta) {
+      return quarantine_.Contains(theta);
+    };
+  }
+  Vector next = MaximizeAcquisitionBatch(acquisition, dim_, &rng_, acq_options);
   timing_.recommendation_s = watch.Seconds();
   return next;
 }
@@ -94,6 +103,26 @@ Status ResTuneAdvisor::Observe(const Observation& observation) {
   const double meta_share = meta_learner_->in_static_phase() ? 0.25 : 0.6;
   timing_.meta_processing_s = total * meta_share;
   timing_.model_update_s = total * (1.0 - meta_share);
+  return Status::OK();
+}
+
+Status ResTuneAdvisor::ObserveFailure(const Vector& theta,
+                                      const EvaluationFault& fault) {
+  StopWatch watch;
+  if (theta.size() != dim_) {
+    return Status::InvalidArgument("failure theta dimension mismatch");
+  }
+  if (fault.kind == FaultKind::kCrash || fault.kind == FaultKind::kTimeout) {
+    quarantine_.Add(theta);
+  }
+  // A failed configuration is a hard SLA violation for the ensemble's
+  // constraint outputs (zero throughput, double the latency bound); the
+  // resource output never sees it.
+  if (sla_.max_lat > 0.0) {
+    RESTUNE_RETURN_IF_ERROR(
+        meta_learner_->AddFailure(theta, 0.0, 2.0 * sla_.max_lat));
+  }
+  timing_.model_update_s = watch.Seconds();
   return Status::OK();
 }
 

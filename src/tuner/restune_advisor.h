@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "meta/meta_learner.h"
 #include "tuner/advisor.h"
+#include "tuner/quarantine.h"
 
 namespace restune {
 
@@ -20,6 +21,8 @@ struct ResTuneAdvisorOptions {
   /// ResTune-w/o-Workload ablation of paper Fig. 6(b).
   bool workload_characterization_init = true;
   uint64_t seed = 23;
+  /// Knob-region quarantine around crashed/timed-out configurations.
+  QuarantineOptions quarantine;
 };
 
 /// The full ResTune tuner: constrained BO (Section 5) on the meta-learner
@@ -39,8 +42,11 @@ class ResTuneAdvisor : public Advisor {
                const SlaConstraints& sla) override;
   Result<Vector> SuggestNext() override;
   Status Observe(const Observation& observation) override;
+  Status ObserveFailure(const Vector& theta,
+                        const EvaluationFault& fault) override;
 
   const MetaLearner& meta_learner() const { return *meta_learner_; }
+  const KnobQuarantine& quarantine() const { return quarantine_; }
 
  private:
   std::string name_ = "ResTune";
@@ -50,6 +56,7 @@ class ResTuneAdvisor : public Advisor {
   Rng rng_;
   std::unique_ptr<MetaLearner> meta_learner_;
   SlaConstraints sla_;
+  KnobQuarantine quarantine_;
   std::vector<Observation> history_;
   std::vector<Vector> pending_lhs_;
 };

@@ -6,8 +6,28 @@
 #include "common/result.h"
 #include "dbsim/simulator.h"
 #include "tuner/advisor.h"
+#include "tuner/checkpoint.h"
+#include "tuner/supervisor.h"
 
 namespace restune {
+
+/// Fault-tolerance policy of a tuning session: how evaluations are
+/// supervised, whether failures feed back into the advisor, and where
+/// session state is checkpointed for crash recovery.
+struct SessionFaultOptions {
+  RetryPolicy retry;
+  /// Feed classified evaluation failures back to the advisor as hard SLA
+  /// violations (constraint evidence + knob quarantine). Off replicates the
+  /// fail-and-forget behavior of a supervision-less loop.
+  bool failure_aware_learning = true;
+  /// Path of the session checkpoint file; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Checkpoint every this many iterations (a final checkpoint is always
+  /// written when a path is set).
+  int checkpoint_period = 10;
+  /// Seed of the supervisor's backoff-jitter RNG.
+  uint64_t supervisor_seed = 0x5eed;
+};
 
 /// Options for a tuning session.
 struct SessionOptions {
@@ -23,8 +43,11 @@ struct SessionOptions {
   int convergence_window = 10;
   /// Safety rail for production/online-troubleshooting use (Section 1's
   /// recovery-time framing): abort the session if this many consecutive
-  /// suggestions violate the SLA. 0 disables the guard.
+  /// suggestions violate the SLA. Failed evaluations count as violations.
+  /// 0 disables the guard.
   int max_consecutive_infeasible = 0;
+  /// Retry/backoff, failure-aware learning, and checkpointing policy.
+  SessionFaultOptions fault;
 };
 
 /// Per-iteration record of a tuning session.
@@ -37,6 +60,15 @@ struct IterationRecord {
   double best_feasible_res = 0.0;
   IterationTiming timing;
   double replay_seconds = 0.0;
+  /// True when the evaluation failed for good (after retries); the
+  /// observation then carries only θ, not metrics.
+  bool failed = false;
+  /// Final fault classification (kNone on success).
+  FaultKind fault = FaultKind::kNone;
+  /// Evaluation attempts the supervisor spent on this iteration.
+  int attempts = 1;
+  /// Total simulated backoff slept between this iteration's attempts.
+  double backoff_seconds = 0.0;
 };
 
 /// Outcome of a tuning session.
@@ -51,20 +83,30 @@ struct SessionResult {
   /// True when the session ended because the infeasibility safety rail
   /// tripped (the advisor kept violating the SLA).
   bool aborted_by_safeguard = false;
+  /// Iterations whose evaluation failed after all supervision.
+  int failed_iterations = 0;
+  /// Extra evaluation attempts spent on retries across the whole session.
+  int total_retries = 0;
+  /// True when this result continues an interrupted run from a checkpoint.
+  bool resumed = false;
 
   /// Iterations until the best feasible value was first reached within
   /// `rel_tol` (paper Table 4's "Iteration" rows).
   int IterationsToBest(double rel_tol = 0.0) const;
 
   /// Writes the per-iteration history as CSV
-  /// (iteration,res,tps,lat,feasible,best_feasible_res) for plotting.
+  /// (iteration,res,tps,lat,feasible,best_feasible_res,failed,fault,attempts)
+  /// for plotting.
   Status WriteCsv(const std::string& path) const;
 };
 
 /// Drives one tuning task end to end: evaluates the DBA default to fix the
-/// SLA thresholds, then loops advisor suggestion → simulated replay →
+/// SLA thresholds, then loops advisor suggestion → supervised replay →
 /// feedback, tracking the best feasible configuration (the paper's tuning
-/// loop, Section 4).
+/// loop, Section 4). Every evaluation runs under the `EvaluationSupervisor`
+/// (deadline, bounded retries with backoff); persistent failures feed back
+/// into the advisor as hard SLA violations, and session state is
+/// periodically checkpointed when a checkpoint path is configured.
 class TuningSession {
  public:
   TuningSession(DbInstanceSimulator* simulator, Advisor* advisor,
@@ -72,7 +114,22 @@ class TuningSession {
 
   Result<SessionResult> Run();
 
+  /// Continues an interrupted session from `fault.checkpoint_path`. The
+  /// advisor (which must be freshly constructed with the original seeds and
+  /// options) is rebuilt by replaying the checkpoint's event log — each
+  /// replayed suggestion is verified bitwise against the recorded θ, so a
+  /// divergent advisor configuration fails loudly instead of silently
+  /// continuing a different run. The simulator's and supervisor's RNG
+  /// streams are restored, making the continuation byte-identical to the
+  /// uninterrupted run.
+  Result<SessionResult> Resume();
+
  private:
+  Result<SessionResult> RunInternal(const SessionCheckpoint* resume_from);
+  Status WriteCheckpoint(const SessionResult& result,
+                         const std::vector<SessionEvent>& events,
+                         const EvaluationSupervisor& supervisor, int iteration);
+
   DbInstanceSimulator* simulator_;
   Advisor* advisor_;
   SessionOptions options_;

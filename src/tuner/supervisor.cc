@@ -1,0 +1,88 @@
+#include "tuner/supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace restune {
+
+EvaluationSupervisor::EvaluationSupervisor(DbInstanceSimulator* simulator,
+                                           RetryPolicy policy, uint64_t seed)
+    : simulator_(simulator), policy_(policy), rng_(seed) {}
+
+bool EvaluationSupervisor::IsCorrupted(const Observation& observation) {
+  if (!std::isfinite(observation.res) || !std::isfinite(observation.tps) ||
+      !std::isfinite(observation.lat)) {
+    return true;
+  }
+  return observation.tps <= 0.0 || observation.lat <= 0.0 ||
+         observation.res < 0.0;
+}
+
+double EvaluationSupervisor::NextBackoff(double* previous) {
+  double sleep;
+  if (policy_.decorrelated_jitter) {
+    sleep = rng_.Uniform(policy_.initial_backoff_seconds,
+                         std::max(policy_.initial_backoff_seconds,
+                                  3.0 * *previous));
+  } else {
+    sleep = *previous * policy_.backoff_multiplier;
+  }
+  sleep = std::min(sleep, policy_.max_backoff_seconds);
+  *previous = sleep;
+  return sleep;
+}
+
+Result<SupervisedEvaluation> EvaluationSupervisor::Evaluate(
+    const Vector& theta, bool retry_any_fault) {
+  const double deadline =
+      policy_.deadline_seconds > 0.0
+          ? policy_.deadline_seconds
+          : policy_.deadline_multiplier *
+                simulator_->options().replay_seconds;
+  const int max_attempts = std::max(1, policy_.max_attempts);
+  // Backoff state: the first backoff equals initial_backoff_seconds for
+  // both shapes (decorrelated jitter draws from a degenerate interval).
+  double previous_backoff =
+      policy_.decorrelated_jitter
+          ? policy_.initial_backoff_seconds / 3.0
+          : policy_.initial_backoff_seconds / policy_.backoff_multiplier;
+
+  SupervisedEvaluation supervised{EvaluationOutcome(EvaluationFault{}), 0,
+                                  0.0, false};
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    supervised.attempts = attempt;
+    RESTUNE_ASSIGN_OR_RETURN(EvaluationOutcome outcome,
+                             simulator_->TryEvaluate(theta));
+
+    EvaluationFault fault;
+    if (outcome.ok()) {
+      if (!IsCorrupted(outcome.observation())) {
+        supervised.outcome = std::move(outcome);
+        return supervised;
+      }
+      fault.kind = FaultKind::kCorruptedMetrics;
+      fault.message = "replay reported non-finite or zero metrics";
+      fault.elapsed_seconds = simulator_->options().replay_seconds;
+    } else {
+      fault = outcome.fault();
+    }
+    // Deadline classification: whatever the failure looked like, an attempt
+    // that burned more than the deadline was killed as a straggler.
+    if (fault.elapsed_seconds > deadline &&
+        fault.kind != FaultKind::kTimeout) {
+      fault.message = "deadline exceeded after " + fault.message;
+      fault.kind = FaultKind::kTimeout;
+    }
+
+    const bool retryable = retry_any_fault || IsRetryableFault(fault.kind);
+    if (!retryable || attempt == max_attempts) {
+      supervised.retries_exhausted = retryable;
+      supervised.outcome = EvaluationOutcome(std::move(fault));
+      return supervised;
+    }
+    supervised.backoff_seconds += NextBackoff(&previous_backoff);
+  }
+  return supervised;  // unreachable: the loop always returns
+}
+
+}  // namespace restune

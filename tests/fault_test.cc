@@ -1,0 +1,942 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+#include "gp/gp_model.h"
+#include "gp/multi_output_gp.h"
+#include "meta/base_learner.h"
+#include "meta/meta_learner.h"
+#include "meta/standardizer.h"
+#include "service/restune_client.h"
+#include "service/restune_server.h"
+#include "tuner/cbo_advisor.h"
+#include "tuner/checkpoint.h"
+#include "tuner/harness.h"
+#include "tuner/quarantine.h"
+#include "tuner/session.h"
+#include "tuner/supervisor.h"
+
+namespace restune {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+DbInstanceSimulator CaseStudySimulator(uint64_t seed,
+                                       FaultInjectionOptions faults = {}) {
+  SimulatorOptions options;
+  options.seed = seed;
+  options.faults = faults;
+  return DbInstanceSimulator(CaseStudyKnobSpace(),
+                             HardwareInstance('A').value(),
+                             MakeWorkload(WorkloadKind::kTwitter).value(),
+                             options);
+}
+
+FaultInjectionOptions TwentyPercentFaults(uint64_t seed = 4242) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.seed = seed;
+  faults.crash_prob = 0.04;
+  faults.timeout_prob = 0.04;
+  faults.transient_prob = 0.08;
+  faults.corrupt_prob = 0.04;
+  return faults;
+}
+
+/// A 1-knob space whose top end oversizes the buffer pool past instance
+/// RAM — the paper's motivating knob-induced OOM.
+KnobSpace PoolKnobSpace() {
+  return KnobSpace({KnobDef{"innodb_buffer_pool_size_gb", 1.0, 16.0, 6.0,
+                            false, KnobScale::kLinear, "buffer pool"}});
+}
+
+DbInstanceSimulator PoolSimulator(uint64_t seed, bool inject = true) {
+  SimulatorOptions options;
+  options.seed = seed;
+  options.faults.enabled = inject;  // only the deterministic OOM is active
+  return DbInstanceSimulator(PoolKnobSpace(), HardwareInstance('A').value(),
+                             MakeWorkload(WorkloadKind::kTwitter).value(),
+                             options);
+}
+
+// ---------------------------------------------------------- fault injector
+
+TEST(FaultInjectorTest, DisabledInjectionDrawsNothing) {
+  FaultInjector injector;  // enabled = false
+  EXPECT_FALSE(injector.enabled());
+  const RngState before = injector.rng_state();
+  const EngineConfig config =
+      EngineConfig::Defaults(HardwareInstance('A').value());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(injector.Draw(config, HardwareInstance('A').value(), 180.0).kind,
+              FaultKind::kNone);
+  }
+  const RngState after = injector.rng_state();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(before.s[i], after.s[i]);
+}
+
+TEST(FaultInjectorTest, EnablingInjectionDoesNotPerturbMeasurementNoise) {
+  // The injector owns its own RNG stream: a simulator with injection on
+  // (but all fault sources at probability 0) measures bit-identically to
+  // one with injection off.
+  FaultInjectionOptions quiet;
+  quiet.enabled = true;
+  DbInstanceSimulator plain = CaseStudySimulator(29);
+  DbInstanceSimulator injected = CaseStudySimulator(29, quiet);
+  Rng rng(3);
+  for (int i = 0; i < 6; ++i) {
+    const Vector theta = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    const Observation a = plain.Evaluate(theta).value();
+    const Observation b = injected.Evaluate(theta).value();
+    EXPECT_EQ(a.res, b.res);
+    EXPECT_EQ(a.tps, b.tps);
+    EXPECT_EQ(a.lat, b.lat);
+  }
+}
+
+TEST(FaultInjectorTest, FaultSequenceIsDeterministic) {
+  DbInstanceSimulator a = CaseStudySimulator(5, TwentyPercentFaults());
+  DbInstanceSimulator b = CaseStudySimulator(5, TwentyPercentFaults());
+  const Vector theta = a.knob_space().DefaultTheta();
+  int faults_seen = 0;
+  for (int i = 0; i < 60; ++i) {
+    const EvaluationOutcome oa = a.TryEvaluate(theta).value();
+    const EvaluationOutcome ob = b.TryEvaluate(theta).value();
+    ASSERT_EQ(oa.ok(), ob.ok());
+    if (!oa.ok()) {
+      ++faults_seen;
+      EXPECT_EQ(oa.fault().kind, ob.fault().kind);
+    } else {
+      EXPECT_EQ(oa.observation().tps, ob.observation().tps);
+    }
+  }
+  EXPECT_GT(faults_seen, 0);  // 60 draws at 20% must fault at least once
+}
+
+TEST(FaultInjectorTest, OversizedBufferPoolCrashesDeterministically) {
+  DbInstanceSimulator sim = PoolSimulator(7);
+  // θ = 1 resolves to a 16 GB pool on a 12 GB instance: OOM every time.
+  for (int i = 0; i < 3; ++i) {
+    const EvaluationOutcome outcome = sim.TryEvaluate({1.0}).value();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.fault().kind, FaultKind::kCrash);
+    EXPECT_NE(outcome.fault().message.find("oom"), std::string::npos);
+  }
+  // A modest pool is fine.
+  EXPECT_TRUE(sim.TryEvaluate({0.0}).value().ok());
+}
+
+TEST(FaultInjectorTest, CorruptedObservationsAreDetectable) {
+  FaultInjectionOptions options;
+  options.enabled = true;
+  FaultInjector injector(options);
+  for (int i = 0; i < 10; ++i) {
+    Observation obs;
+    obs.res = 4.0;
+    obs.tps = 900.0;
+    obs.lat = 2.0;
+    EXPECT_FALSE(EvaluationSupervisor::IsCorrupted(obs));
+    injector.Corrupt(&obs);
+    EXPECT_TRUE(EvaluationSupervisor::IsCorrupted(obs));
+  }
+}
+
+// ---------------------------------------------------- evaluation supervisor
+
+TEST(SupervisorTest, TransientFaultsAreRetriedToSuccess) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.transient_prob = 0.3;
+  DbInstanceSimulator sim = CaseStudySimulator(19, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  EvaluationSupervisor supervisor(&sim, policy);
+  const Vector theta = sim.knob_space().DefaultTheta();
+  int total_attempts = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto supervised = supervisor.Evaluate(theta);
+    ASSERT_TRUE(supervised.ok());
+    EXPECT_TRUE(supervised->outcome.ok());
+    total_attempts += supervised->attempts;
+  }
+  EXPECT_GT(total_attempts, 40);  // 30% transient rate must cost retries
+}
+
+TEST(SupervisorTest, CrashIsPersistentAndNotRetried) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.crash_prob = 1.0;
+  DbInstanceSimulator sim = CaseStudySimulator(23, faults);
+  EvaluationSupervisor supervisor(&sim);
+  const auto supervised =
+      supervisor.Evaluate(sim.knob_space().DefaultTheta());
+  ASSERT_TRUE(supervised.ok());
+  ASSERT_FALSE(supervised->outcome.ok());
+  EXPECT_EQ(supervised->outcome.fault().kind, FaultKind::kCrash);
+  EXPECT_EQ(supervised->attempts, 1);
+  EXPECT_FALSE(supervised->retries_exhausted);
+  EXPECT_EQ(supervised->backoff_seconds, 0.0);
+}
+
+TEST(SupervisorTest, RetriesExhaustOnPersistentTransientFault) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.transient_prob = 1.0;
+  DbInstanceSimulator sim = CaseStudySimulator(27, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  EvaluationSupervisor supervisor(&sim, policy);
+  const auto supervised =
+      supervisor.Evaluate(sim.knob_space().DefaultTheta());
+  ASSERT_TRUE(supervised.ok());
+  ASSERT_FALSE(supervised->outcome.ok());
+  EXPECT_EQ(supervised->outcome.fault().kind, FaultKind::kTransient);
+  EXPECT_EQ(supervised->attempts, 4);
+  EXPECT_TRUE(supervised->retries_exhausted);
+  EXPECT_GT(supervised->backoff_seconds, 0.0);
+}
+
+TEST(SupervisorTest, DeadlineReclassifiesSlowFaultsAsTimeout) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.transient_prob = 1.0;  // burns 0.1 * replay_seconds = 18 s
+  DbInstanceSimulator sim = CaseStudySimulator(31, faults);
+  RetryPolicy policy;
+  policy.deadline_seconds = 1.0;
+  EvaluationSupervisor supervisor(&sim, policy);
+  const auto supervised =
+      supervisor.Evaluate(sim.knob_space().DefaultTheta());
+  ASSERT_TRUE(supervised.ok());
+  ASSERT_FALSE(supervised->outcome.ok());
+  // A transient error that exceeded the deadline counts as a straggler —
+  // persistent, so no retries are wasted on it.
+  EXPECT_EQ(supervised->outcome.fault().kind, FaultKind::kTimeout);
+  EXPECT_EQ(supervised->attempts, 1);
+}
+
+TEST(SupervisorTest, PlainExponentialBackoffIsExact) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.transient_prob = 1.0;
+  DbInstanceSimulator sim = CaseStudySimulator(37, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.decorrelated_jitter = false;
+  policy.initial_backoff_seconds = 5.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 120.0;
+  EvaluationSupervisor supervisor(&sim, policy);
+  const auto supervised =
+      supervisor.Evaluate(sim.knob_space().DefaultTheta());
+  ASSERT_TRUE(supervised.ok());
+  EXPECT_DOUBLE_EQ(supervised->backoff_seconds, 5.0 + 10.0 + 20.0);
+
+  // The cap truncates the exponential tail.
+  policy.max_backoff_seconds = 12.0;
+  EvaluationSupervisor capped(&sim, policy);
+  const auto capped_eval =
+      capped.Evaluate(sim.knob_space().DefaultTheta());
+  ASSERT_TRUE(capped_eval.ok());
+  EXPECT_DOUBLE_EQ(capped_eval->backoff_seconds, 5.0 + 10.0 + 12.0);
+}
+
+TEST(SupervisorTest, BootstrapModeRetriesNonRetryableFaults) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.crash_prob = 1.0;
+  DbInstanceSimulator sim = CaseStudySimulator(41, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EvaluationSupervisor supervisor(&sim, policy);
+  const auto supervised =
+      supervisor.Evaluate(sim.knob_space().DefaultTheta(),
+                          /*retry_any_fault=*/true);
+  ASSERT_TRUE(supervised.ok());
+  ASSERT_FALSE(supervised->outcome.ok());
+  EXPECT_EQ(supervised->attempts, 3);
+  EXPECT_TRUE(supervised->retries_exhausted);
+}
+
+// --------------------------------------------------------------- quarantine
+
+TEST(QuarantineTest, ContainsUsesLInfRadius) {
+  QuarantineOptions options;
+  options.radius = 0.05;
+  KnobQuarantine quarantine(options);
+  quarantine.Add({0.5, 0.5});
+  EXPECT_EQ(quarantine.size(), 1u);
+  EXPECT_TRUE(quarantine.Contains({0.5, 0.5}));
+  EXPECT_TRUE(quarantine.Contains({0.54, 0.46}));
+  EXPECT_FALSE(quarantine.Contains({0.56, 0.5}));
+  EXPECT_FALSE(quarantine.Contains({0.5, 0.5, 0.5}));  // dim mismatch
+}
+
+TEST(QuarantineTest, DisabledAndCappedBehaviors) {
+  QuarantineOptions off;
+  off.enabled = false;
+  KnobQuarantine disabled(off);
+  disabled.Add({0.5});
+  EXPECT_TRUE(disabled.empty());
+  EXPECT_FALSE(disabled.Contains({0.5}));
+
+  QuarantineOptions capped;
+  capped.max_regions = 2;
+  KnobQuarantine small(capped);
+  small.Add({0.1});
+  small.Add({0.2});
+  small.Add({0.3});
+  EXPECT_EQ(small.size(), 2u);
+}
+
+TEST(QuarantineTest, AdvisorNeverResuggestsNearCrashedConfig) {
+  DbInstanceSimulator sim = CaseStudySimulator(43);
+  CboAdvisorOptions options;
+  options.initial_lhs_samples = 2;
+  options.quarantine.radius = 0.08;
+  CboAdvisor advisor("cbo", 3, options);
+  const Observation def = sim.EvaluateDefault().value();
+  ASSERT_TRUE(
+      advisor.Begin(def, DbInstanceSimulator::ConstraintsFromDefault(def))
+          .ok());
+
+  const Vector crashed = advisor.SuggestNext().value();
+  EvaluationFault crash;
+  crash.kind = FaultKind::kCrash;
+  ASSERT_TRUE(advisor.ObserveFailure(crashed, crash).ok());
+  EXPECT_EQ(advisor.quarantine().size(), 1u);
+
+  // A transient failure is not config-induced: no quarantine growth.
+  EvaluationFault transient;
+  transient.kind = FaultKind::kTransient;
+  ASSERT_TRUE(advisor.ObserveFailure({0.9, 0.9, 0.9}, transient).ok());
+  EXPECT_EQ(advisor.quarantine().size(), 1u);
+
+  for (int i = 0; i < 8; ++i) {
+    const Vector theta = advisor.SuggestNext().value();
+    double linf = 0.0;
+    for (size_t c = 0; c < theta.size(); ++c) {
+      linf = std::max(linf, std::fabs(theta[c] - crashed[c]));
+    }
+    EXPECT_GT(linf, options.quarantine.radius)
+        << "iteration " << i << " re-suggested a quarantined config";
+    ASSERT_TRUE(advisor.Observe(sim.Evaluate(theta).value()).ok());
+  }
+}
+
+// --------------------------------------------------- session fault handling
+
+TEST(SessionFaultTest, SessionSurvivesTwentyPercentFaults) {
+  DbInstanceSimulator sim = CaseStudySimulator(47, TwentyPercentFaults());
+  CboAdvisorOptions options;
+  options.initial_lhs_samples = 5;
+  CboAdvisor advisor("cbo", 3, options);
+  SessionOptions session_options;
+  session_options.max_iterations = 30;
+  TuningSession session(&sim, &advisor, session_options);
+  const auto result = session.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->history.size(), 30u);
+  EXPECT_GT(result->failed_iterations, 0);
+  EXPECT_GT(result->total_retries, 0);
+  EXPECT_LE(result->best_feasible_res, result->default_observation.res);
+  for (const IterationRecord& rec : result->history) {
+    if (rec.failed) {
+      EXPECT_NE(rec.fault, FaultKind::kNone);
+      EXPECT_FALSE(rec.feasible);
+    }
+  }
+}
+
+TEST(SessionFaultTest, PersistentOomTripsInfeasibilitySafeguard) {
+  // An advisor stuck on the OOM corner of the pool space: every evaluation
+  // crashes deterministically, each failed iteration counts as infeasible,
+  // and the safety rail aborts the session.
+  class OomAdvisor : public Advisor {
+   public:
+    const std::string& name() const override { return name_; }
+    Status Begin(const Observation&, const SlaConstraints&) override {
+      return Status::OK();
+    }
+    Result<Vector> SuggestNext() override { return Vector{1.0}; }
+    Status Observe(const Observation&) override { return Status::OK(); }
+
+   private:
+    std::string name_ = "oom";
+  };
+  DbInstanceSimulator sim = PoolSimulator(53);
+  OomAdvisor advisor;
+  SessionOptions options;
+  options.max_iterations = 50;
+  options.max_consecutive_infeasible = 3;
+  TuningSession session(&sim, &advisor, options);
+  const auto result = session.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->aborted_by_safeguard);
+  ASSERT_EQ(result->history.size(), 3u);
+  for (const IterationRecord& rec : result->history) {
+    EXPECT_TRUE(rec.failed);
+    EXPECT_EQ(rec.fault, FaultKind::kCrash);
+    EXPECT_EQ(rec.attempts, 1);  // crashes are never retried
+  }
+  EXPECT_EQ(result->best_iteration, 0);  // fell back to the default config
+}
+
+TEST(SessionFaultTest, UnrecoverableBootstrapAborts) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.crash_prob = 1.0;
+  DbInstanceSimulator sim = CaseStudySimulator(59, faults);
+  CboAdvisor advisor("cbo", 3);
+  TuningSession session(&sim, &advisor);
+  const auto result = session.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+}
+
+// --------------------------------------------------------- checkpoint files
+
+TEST(CheckpointTest, RoundTripsThroughStream) {
+  SessionCheckpoint checkpoint;
+  checkpoint.iteration = 12;
+  checkpoint.default_observation.theta = {0.25, 0.75};
+  checkpoint.default_observation.res = 1.0 / 3.0;
+  checkpoint.default_observation.tps = 1234.5;
+  checkpoint.default_observation.lat = 0.01;
+  checkpoint.sla = SlaConstraints{1000.0, 0.02};
+  checkpoint.simulator_state.num_evaluations = 13;
+  checkpoint.simulator_state.simulated_seconds = 2340.0;
+  Rng scramble(77);
+  for (int i = 0; i < 9; ++i) scramble.Uniform();
+  checkpoint.simulator_state.rng = scramble.state();
+
+  SessionEvent ok_event;
+  ok_event.iteration = 11;
+  ok_event.theta = {0.1, 0.9};
+  ok_event.observation = checkpoint.default_observation;
+  ok_event.attempts = 2;
+  ok_event.backoff_seconds = 15.0;
+  SessionEvent failed_event;
+  failed_event.iteration = 12;
+  failed_event.failed = true;
+  failed_event.fault = FaultKind::kTimeout;
+  failed_event.theta = {1.0 / 7.0, 2.0 / 7.0};
+  checkpoint.events = {ok_event, failed_event};
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSessionCheckpoint(checkpoint, &stream).ok());
+  const auto loaded = LoadSessionCheckpoint(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->iteration, 12);
+  EXPECT_EQ(loaded->default_observation.res, checkpoint.default_observation.res);
+  EXPECT_EQ(loaded->sla.min_tps, 1000.0);
+  EXPECT_EQ(loaded->simulator_state.num_evaluations, 13u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(loaded->simulator_state.rng.s[i],
+              checkpoint.simulator_state.rng.s[i]);
+  }
+  ASSERT_EQ(loaded->events.size(), 2u);
+  EXPECT_EQ(loaded->events[0].theta, ok_event.theta);
+  EXPECT_EQ(loaded->events[0].attempts, 2);
+  EXPECT_EQ(loaded->events[0].backoff_seconds, 15.0);
+  EXPECT_TRUE(loaded->events[1].failed);
+  EXPECT_EQ(loaded->events[1].fault, FaultKind::kTimeout);
+  EXPECT_EQ(loaded->events[1].theta, failed_event.theta);
+}
+
+TEST(CheckpointTest, RejectsCorruptStreams) {
+  std::stringstream wrong_magic("not-a-checkpoint 1\n");
+  EXPECT_FALSE(LoadSessionCheckpoint(&wrong_magic).ok());
+  std::stringstream wrong_version("restune-checkpoint 9\n");
+  EXPECT_FALSE(LoadSessionCheckpoint(&wrong_version).ok());
+  std::stringstream truncated("restune-checkpoint 1\niteration 3\n");
+  EXPECT_FALSE(LoadSessionCheckpoint(&truncated).ok());
+}
+
+CboAdvisorOptions ResumeAdvisorOptions(uint64_t seed = 61) {
+  CboAdvisorOptions options;
+  options.initial_lhs_samples = 4;
+  options.seed = seed;
+  return options;
+}
+
+TEST(SessionResumeTest, ResumedRunMatchesUninterruptedRunExactly) {
+  const std::string path = testing::TempDir() + "/fault_resume.ckpt";
+  const FaultInjectionOptions faults = TwentyPercentFaults(99);
+
+  // Control: one uninterrupted 20-iteration run.
+  SessionOptions full_options;
+  full_options.max_iterations = 20;
+  DbInstanceSimulator control_sim = CaseStudySimulator(67, faults);
+  CboAdvisor control_advisor("cbo", 3, ResumeAdvisorOptions());
+  const auto control =
+      TuningSession(&control_sim, &control_advisor, full_options).Run();
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+  ASSERT_EQ(control->history.size(), 20u);
+
+  // Interrupted: run 10 iterations with checkpointing, "kill" the process
+  // (drop the session), then resume with freshly constructed objects.
+  SessionOptions half_options = full_options;
+  half_options.max_iterations = 10;
+  half_options.fault.checkpoint_path = path;
+  half_options.fault.checkpoint_period = 4;
+  {
+    DbInstanceSimulator sim = CaseStudySimulator(67, faults);
+    CboAdvisor advisor("cbo", 3, ResumeAdvisorOptions());
+    const auto first_half =
+        TuningSession(&sim, &advisor, half_options).Run();
+    ASSERT_TRUE(first_half.ok()) << first_half.status().ToString();
+  }
+  SessionOptions resume_options = full_options;
+  resume_options.fault.checkpoint_path = path;
+  DbInstanceSimulator resumed_sim = CaseStudySimulator(67, faults);
+  CboAdvisor resumed_advisor("cbo", 3, ResumeAdvisorOptions());
+  const auto resumed =
+      TuningSession(&resumed_sim, &resumed_advisor, resume_options).Resume();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  ASSERT_EQ(resumed->history.size(), 20u);
+
+  // Byte-identical trace: every iteration (replayed and live) matches the
+  // uninterrupted run bitwise.
+  for (size_t i = 0; i < 20; ++i) {
+    const IterationRecord& a = control->history[i];
+    const IterationRecord& b = resumed->history[i];
+    ASSERT_EQ(a.observation.theta.size(), b.observation.theta.size());
+    for (size_t c = 0; c < a.observation.theta.size(); ++c) {
+      EXPECT_EQ(a.observation.theta[c], b.observation.theta[c])
+          << "iteration " << a.iteration;
+    }
+    EXPECT_EQ(a.observation.res, b.observation.res);
+    EXPECT_EQ(a.observation.tps, b.observation.tps);
+    EXPECT_EQ(a.observation.lat, b.observation.lat);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.fault, b.fault);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.backoff_seconds, b.backoff_seconds);
+    EXPECT_EQ(a.best_feasible_res, b.best_feasible_res);
+  }
+  EXPECT_EQ(control->best_feasible_res, resumed->best_feasible_res);
+  EXPECT_EQ(control->failed_iterations, resumed->failed_iterations);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(SessionResumeTest, DivergentAdvisorSeedFailsLoudly) {
+  const std::string path = testing::TempDir() + "/fault_diverge.ckpt";
+  SessionOptions options;
+  options.max_iterations = 6;
+  options.fault.checkpoint_path = path;
+  {
+    DbInstanceSimulator sim = CaseStudySimulator(71);
+    CboAdvisor advisor("cbo", 3, ResumeAdvisorOptions(61));
+    ASSERT_TRUE(TuningSession(&sim, &advisor, options).Run().ok());
+  }
+  DbInstanceSimulator sim = CaseStudySimulator(71);
+  CboAdvisor other("cbo", 3, ResumeAdvisorOptions(62));  // different seed
+  const auto resumed = TuningSession(&sim, &other, options).Resume();
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(SessionResumeTest, ResumeWithoutPathOrFileFails) {
+  DbInstanceSimulator sim = CaseStudySimulator(73);
+  CboAdvisor advisor("cbo", 3);
+  SessionOptions options;
+  EXPECT_EQ(TuningSession(&sim, &advisor, options).Resume().status().code(),
+            StatusCode::kFailedPrecondition);
+  options.fault.checkpoint_path = testing::TempDir() + "/no_such.ckpt";
+  EXPECT_EQ(TuningSession(&sim, &advisor, options).Resume().status().code(),
+            StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------- harness plumbing
+
+TEST(HarnessFaultTest, RunMethodForwardsFaultConfiguration) {
+  ExperimentConfig config;
+  config.iterations = 10;
+  config.seed = 5;
+  config.faults = TwentyPercentFaults();
+  config.fault_tolerance.retry.max_attempts = 4;
+  DbInstanceSimulator sim =
+      MakeSimulator(CaseStudyKnobSpace(), 'A',
+                    MakeWorkload(WorkloadKind::kTwitter).value(), config)
+          .value();
+  EXPECT_TRUE(sim.fault_injector().enabled());
+  const auto result = RunMethod(MethodKind::kResTuneNoMl, &sim, {}, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->history.size(), 10u);
+}
+
+// ----------------------------------------------------------- server/client
+
+class ServerFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Logger::SetThreshold(LogLevel::kError);
+    characterizer_ = new WorkloadCharacterizer(TrainDefaultCharacterizer());
+  }
+  static void TearDownTestSuite() {
+    delete characterizer_;
+    characterizer_ = nullptr;
+  }
+  static WorkloadCharacterizer* characterizer_;
+
+  DbInstanceSimulator MakeSim(uint64_t seed,
+                              FaultInjectionOptions faults = {}) {
+    return CaseStudySimulator(seed, faults);
+  }
+};
+
+WorkloadCharacterizer* ServerFaultTest::characterizer_ = nullptr;
+
+TEST_F(ServerFaultTest, RecommendIsIdempotentUntilReported) {
+  DbInstanceSimulator sim = MakeSim(81);
+  ResTuneClient client(&sim, characterizer_);
+  ResTuneServer server;
+  const auto session = server.StartSession(*client.PrepareSubmission());
+  ASSERT_TRUE(session.ok());
+
+  const auto first = server.Recommend(*session);
+  ASSERT_TRUE(first.ok());
+  const auto replayed = server.Recommend(*session);  // lost response, re-ask
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(first->iteration, replayed->iteration);
+  EXPECT_EQ(first->theta, replayed->theta);
+
+  const auto report = client.EvaluateRecommendation(*first);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(server.ReportEvaluation(*report).ok());
+  const auto next = server.Recommend(*session);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->iteration, first->iteration + 1);
+}
+
+TEST_F(ServerFaultTest, DuplicateReportsAreNoOpsAndFutureOnesRejected) {
+  DbInstanceSimulator sim = MakeSim(83);
+  ResTuneClient client(&sim, characterizer_);
+  ResTuneServer server;
+  const auto session = server.StartSession(*client.PrepareSubmission());
+  ASSERT_TRUE(session.ok());
+
+  const auto rec = server.Recommend(*session);
+  ASSERT_TRUE(rec.ok());
+  const auto report = client.EvaluateRecommendation(*rec);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(server.ReportEvaluation(*report).ok());
+  // The client's retry delivers the same report twice: silently accepted.
+  EXPECT_TRUE(server.ReportEvaluation(*report).ok());
+
+  EvaluationReport future = *report;
+  future.iteration = 99;
+  EXPECT_EQ(server.ReportEvaluation(future).code(),
+            StatusCode::kInvalidArgument);
+  EvaluationReport never_recommended = *report;
+  never_recommended.iteration = 0;
+  EXPECT_EQ(server.ReportEvaluation(never_recommended).code(),
+            StatusCode::kInvalidArgument);
+
+  const auto summary = server.FinishSession(*session);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->iterations, 1);  // the duplicate did not double-count
+}
+
+TEST_F(ServerFaultTest, RejectsMalformedReportsAndSubmissions) {
+  DbInstanceSimulator sim = MakeSim(87);
+  ResTuneClient client(&sim, characterizer_);
+  ResTuneServer server;
+  const auto good = client.PrepareSubmission();
+  ASSERT_TRUE(good.ok());
+
+  TargetTaskSubmission bad = *good;
+  bad.default_theta[0] = kNan;
+  EXPECT_FALSE(server.StartSession(bad).ok());
+  bad = *good;
+  bad.meta_feature[0] = kInf;
+  EXPECT_FALSE(server.StartSession(bad).ok());
+  bad = *good;
+  bad.default_observation.tps = 0.0;
+  EXPECT_FALSE(server.StartSession(bad).ok());
+  bad = *good;
+  bad.default_observation.res = -1.0;
+  EXPECT_FALSE(server.StartSession(bad).ok());
+
+  const auto session = server.StartSession(*good);
+  ASSERT_TRUE(session.ok());
+  const auto rec = server.Recommend(*session);
+  ASSERT_TRUE(rec.ok());
+  const auto report = client.EvaluateRecommendation(*rec);
+  ASSERT_TRUE(report.ok());
+
+  EvaluationReport corrupt = *report;
+  corrupt.observation.res = kNan;
+  EXPECT_EQ(server.ReportEvaluation(corrupt).code(),
+            StatusCode::kInvalidArgument);
+  corrupt = *report;
+  corrupt.observation.tps = 0.0;
+  EXPECT_EQ(server.ReportEvaluation(corrupt).code(),
+            StatusCode::kInvalidArgument);
+  corrupt = *report;
+  corrupt.observation.theta = {0.5};
+  EXPECT_EQ(server.ReportEvaluation(corrupt).code(),
+            StatusCode::kInvalidArgument);
+  // The well-formed original still lands.
+  EXPECT_TRUE(server.ReportEvaluation(*report).ok());
+}
+
+TEST_F(ServerFaultTest, FaultReportsFeedFailureLearningAndSessionContinues) {
+  DbInstanceSimulator sim = MakeSim(89);
+  ResTuneClient client(&sim, characterizer_);
+  ResTuneServer server;
+  const auto session = server.StartSession(*client.PrepareSubmission());
+  ASSERT_TRUE(session.ok());
+
+  const auto rec = server.Recommend(*session);
+  ASSERT_TRUE(rec.ok());
+  EvaluationReport failed;
+  failed.session_id = *session;
+  failed.iteration = rec->iteration;
+  failed.fault = FaultKind::kCrash;
+  ASSERT_TRUE(server.ReportEvaluation(failed).ok());
+
+  // The session moves on to the next iteration after the failure.
+  const auto next = server.Recommend(*session);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->iteration, rec->iteration + 1);
+  const auto report = client.EvaluateRecommendation(*next);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(server.ReportEvaluation(*report).ok());
+}
+
+TEST_F(ServerFaultTest, FinishIsIdempotentAndFinishedSessionsRejectTraffic) {
+  DbInstanceSimulator sim = MakeSim(91);
+  ResTuneClient client(&sim, characterizer_);
+  ResTuneServer server;
+  const auto session = server.StartSession(*client.PrepareSubmission());
+  ASSERT_TRUE(session.ok());
+  const auto rec = server.Recommend(*session);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(
+      server.ReportEvaluation(*client.EvaluateRecommendation(*rec)).ok());
+
+  const auto first = server.FinishSession(*session);
+  ASSERT_TRUE(first.ok());
+  const auto again = server.FinishSession(*session);  // client retry
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(first->iterations, again->iterations);
+  EXPECT_EQ(first->best_feasible_res, again->best_feasible_res);
+  EXPECT_EQ(server.finished_sessions(), 1u);
+
+  EXPECT_EQ(server.Recommend(*session).status().code(),
+            StatusCode::kFailedPrecondition);
+  EvaluationReport report;
+  report.session_id = *session;
+  report.iteration = 1;
+  EXPECT_EQ(server.ReportEvaluation(report).code(),
+            StatusCode::kFailedPrecondition);
+  // A session id that never existed still reports NotFound.
+  EXPECT_EQ(server.Recommend(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServerFaultTest, CheckpointRestoresServerMidSession) {
+  DbInstanceSimulator sim = MakeSim(93);
+  ResTuneClient client(&sim, characterizer_);
+  ServerOptions options;
+  options.min_observations_to_archive = 3;
+  ResTuneServer server(options);
+  const auto session = server.StartSession(*client.PrepareSubmission());
+  ASSERT_TRUE(session.ok());
+  for (int i = 0; i < 4; ++i) {
+    const auto rec = server.Recommend(*session);
+    ASSERT_TRUE(rec.ok());
+    const auto report = client.EvaluateRecommendation(*rec);
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(server.ReportEvaluation(*report).ok());
+  }
+
+  std::stringstream stream;
+  ASSERT_TRUE(server.SaveCheckpoint(&stream).ok());
+  ResTuneServer restored(options);
+  const Status load = restored.LoadCheckpoint(&stream);
+  ASSERT_TRUE(load.ok()) << load.ToString();
+  EXPECT_EQ(restored.active_sessions(), 1u);
+
+  // The restored server continues the session exactly where the original
+  // would: identical recommendations, bitwise.
+  for (int i = 0; i < 3; ++i) {
+    const auto a = server.Recommend(*session);
+    const auto b = restored.Recommend(*session);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->iteration, b->iteration);
+    EXPECT_EQ(a->theta, b->theta);
+    const auto report = client.EvaluateRecommendation(*a);
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(server.ReportEvaluation(*report).ok());
+    ASSERT_TRUE(restored.ReportEvaluation(*report).ok());
+  }
+  const auto sa = server.FinishSession(*session);
+  const auto sb = restored.FinishSession(*session);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ(sa->best_feasible_res, sb->best_feasible_res);
+  EXPECT_EQ(sa->archived_to_repository, sb->archived_to_repository);
+}
+
+TEST_F(ServerFaultTest, CheckpointPreservesOutstandingRecommendation) {
+  DbInstanceSimulator sim = MakeSim(97);
+  ResTuneClient client(&sim, characterizer_);
+  ResTuneServer server;
+  const auto session = server.StartSession(*client.PrepareSubmission());
+  ASSERT_TRUE(session.ok());
+  const auto rec = server.Recommend(*session);  // crash with this in flight
+  ASSERT_TRUE(rec.ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(server.SaveCheckpoint(&stream).ok());
+  ResTuneServer restored;
+  ASSERT_TRUE(restored.LoadCheckpoint(&stream).ok());
+  const auto replayed = restored.Recommend(*session);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->iteration, rec->iteration);
+  EXPECT_EQ(replayed->theta, rec->theta);
+}
+
+TEST_F(ServerFaultTest, LoadRejectsCorruptCheckpoints) {
+  ResTuneServer server;
+  std::stringstream wrong("something-else 1\n");
+  EXPECT_FALSE(server.LoadCheckpoint(&wrong).ok());
+  std::stringstream truncated("restune-server-checkpoint 1\nnext_id 4\n");
+  EXPECT_FALSE(server.LoadCheckpoint(&truncated).ok());
+  EXPECT_EQ(server.LoadCheckpointFile("/no/such/file.ckpt").code(),
+            StatusCode::kNotFound);
+}
+
+// ------------------------------------------------- NaN/Inf ingestion guards
+
+TEST(NanGuardTest, GpModelRejectsNonFiniteData) {
+  GpModel gp(2);
+  Matrix x(3, 2);
+  Vector y = {1.0, 2.0, 3.0};
+  for (size_t i = 0; i < 3; ++i) {
+    x(i, 0) = 0.1 * static_cast<double>(i);
+    x(i, 1) = 0.2 * static_cast<double>(i);
+  }
+  Vector bad_y = y;
+  bad_y[1] = kNan;
+  EXPECT_EQ(gp.Fit(x, bad_y).code(), StatusCode::kInvalidArgument);
+  Matrix bad_x = x;
+  bad_x(2, 1) = kInf;
+  EXPECT_EQ(gp.Fit(bad_x, y).code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  EXPECT_EQ(gp.Update({0.5, kNan}, 1.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(gp.Update({0.5, 0.5}, kNan).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(gp.num_observations(), 3u);  // rejected updates left no trace
+  EXPECT_TRUE(std::isfinite(gp.Predict({0.4, 0.4}).mean));
+}
+
+TEST(NanGuardTest, MultiOutputGpRejectsNonFiniteObservations) {
+  std::vector<Observation> observations;
+  Rng rng(3);
+  for (int i = 0; i < 6; ++i) {
+    Observation obs;
+    obs.theta = {rng.Uniform(), rng.Uniform()};
+    obs.res = 1.0 + obs.theta[0];
+    obs.tps = 100.0 * obs.theta[1];
+    obs.lat = 0.5;
+    observations.push_back(obs);
+  }
+  std::vector<Observation> poisoned = observations;
+  poisoned[2].lat = kNan;
+  MultiOutputGp gp(2);
+  EXPECT_EQ(gp.Fit(poisoned).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(gp.fitted());
+
+  ASSERT_TRUE(gp.Fit(observations).ok());
+  Observation bad = observations[0];
+  bad.tps = kInf;
+  EXPECT_EQ(gp.Update(bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(gp.num_observations(), 6u);
+}
+
+TEST(NanGuardTest, StandardizerSkipsNonFiniteValues) {
+  std::vector<Observation> observations(4);
+  for (int i = 0; i < 4; ++i) {
+    observations[i].res = 2.0;
+    observations[i].tps = 100.0 + 10.0 * i;
+    observations[i].lat = kNan;  // a metric with no finite values at all
+  }
+  observations[3].tps = kInf;  // one corrupt sample in an otherwise-fine metric
+  const MetricStandardizer standardizer =
+      MetricStandardizer::FromObservations(observations);
+  EXPECT_DOUBLE_EQ(standardizer.mean(MetricKind::kTps), 110.0);  // of 100..120
+  EXPECT_DOUBLE_EQ(standardizer.mean(MetricKind::kLat), 0.0);
+  EXPECT_DOUBLE_EQ(standardizer.stddev(MetricKind::kLat), 1.0);
+  EXPECT_TRUE(std::isfinite(standardizer.Standardize(MetricKind::kTps, 95.0)));
+}
+
+TEST(NanGuardTest, MetaLearnerDropsIncompatibleBaseLearnersAndRejectsNan) {
+  Logger::SetThreshold(LogLevel::kError);
+  // A 2-dim base-learner offered to a 3-dim meta-learner must be dropped,
+  // not crash the ensemble.
+  TuningTask task;
+  task.name = "wrong-dim";
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    Observation obs;
+    obs.theta = {rng.Uniform(), rng.Uniform()};
+    obs.res = obs.theta[0];
+    obs.tps = 10.0 + obs.theta[1];
+    obs.lat = 1.0;
+    task.observations.push_back(obs);
+  }
+  auto learner = BaseLearner::Train(task);
+  ASSERT_TRUE(learner.ok());
+  std::vector<BaseLearner> learners;
+  learners.push_back(std::move(learner).value());
+  MetaLearner meta(3, std::move(learners), {});
+  EXPECT_EQ(meta.num_base_learners(), 0u);
+
+  EXPECT_EQ(meta.AddObservation(Observation{{0.1, 0.2, 0.3}, kNan, 5.0, 1.0})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(meta.num_observations(), 0u);
+}
+
+TEST(NanGuardTest, MetaLearnerFailuresPenalizeConstraintsOnly) {
+  MetaLearner meta(2, {}, {});
+  Rng rng(11);
+  for (int i = 0; i < 8; ++i) {
+    Observation obs;
+    obs.theta = {0.3 * rng.Uniform(), 0.3 * rng.Uniform()};
+    obs.res = 1.0 + obs.theta[0];
+    obs.tps = 900.0 + 50.0 * obs.theta[1];
+    obs.lat = 0.01;
+    ASSERT_TRUE(meta.AddObservation(obs).ok());
+  }
+  const Vector fatal = {0.95, 0.95};
+  const double tps_before = meta.PredictMetric(MetricKind::kTps, fatal).mean;
+  const double res_before = meta.PredictMetric(MetricKind::kRes, fatal).mean;
+  ASSERT_TRUE(meta.AddFailure(fatal, 0.0, 0.1).ok());
+  EXPECT_EQ(meta.num_failures(), 1u);
+  EXPECT_EQ(meta.num_observations(), 8u);  // never counted as a measurement
+  const double tps_after = meta.PredictMetric(MetricKind::kTps, fatal).mean;
+  const double res_after = meta.PredictMetric(MetricKind::kRes, fatal).mean;
+  // The crash point drags the throughput surrogate down...
+  EXPECT_LT(tps_after, tps_before);
+  // ...but leaves the resource objective untouched (no fake cheap points).
+  EXPECT_EQ(res_after, res_before);
+  EXPECT_EQ(meta.AddFailure({kNan, 0.5}, 0.0, 1.0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace restune

@@ -1,0 +1,181 @@
+/// Long-running fault-injection soak for the full ResTune advisor — the
+/// acceptance experiment of the fault-tolerance work, kept out of the fast
+/// tier-1 suite (and runnable under sanitizers via RESTUNE_SANITIZE):
+///
+///  * a 200-iteration session with 20% injected crash/timeout/transient/
+///    corruption faults completes and its feasible best lands within 10%
+///    of the fault-free run's best resource value;
+///  * a session killed at iteration 100 resumes from its checkpoint to a
+///    byte-identical remaining trace;
+///  * the acquisition thread pool does not change the trace (1 worker vs 8).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "tuner/restune_advisor.h"
+#include "tuner/session.h"
+
+namespace restune {
+namespace {
+
+DbInstanceSimulator SoakSimulator(FaultInjectionOptions faults = {}) {
+  SimulatorOptions options;
+  options.seed = 2026;
+  options.faults = faults;
+  return DbInstanceSimulator(CaseStudyKnobSpace(),
+                             HardwareInstance('A').value(),
+                             MakeWorkload(WorkloadKind::kTwitter).value(),
+                             options);
+}
+
+FaultInjectionOptions SoakFaults() {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.seed = 77;
+  faults.crash_prob = 0.04;
+  faults.timeout_prob = 0.04;
+  faults.transient_prob = 0.08;
+  faults.corrupt_prob = 0.04;  // 20% of attempts fault in some way
+  return faults;
+}
+
+/// The full advisor in its cold-start configuration (no repository, LHS
+/// init) — the setting where every observation matters, so lost iterations
+/// hurt the most.
+ResTuneAdvisor SoakAdvisor(ThreadPool* pool = nullptr) {
+  ResTuneAdvisorOptions options;
+  options.workload_characterization_init = false;
+  options.acq_optimizer.pool = pool;
+  return ResTuneAdvisor(3, CaseStudyKnobSpace().DefaultTheta(), {}, {},
+                        options);
+}
+
+SessionOptions SoakOptions(int iterations) {
+  SessionOptions options;
+  options.max_iterations = iterations;
+  options.sla_tolerance = 0.05;
+  return options;
+}
+
+void ExpectIdenticalTraces(const SessionResult& a, const SessionResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    const IterationRecord& ra = a.history[i];
+    const IterationRecord& rb = b.history[i];
+    ASSERT_EQ(ra.observation.theta.size(), rb.observation.theta.size())
+        << "iteration " << ra.iteration;
+    for (size_t c = 0; c < ra.observation.theta.size(); ++c) {
+      ASSERT_EQ(ra.observation.theta[c], rb.observation.theta[c])
+          << "iteration " << ra.iteration << " knob " << c;
+    }
+    ASSERT_EQ(ra.observation.res, rb.observation.res)
+        << "iteration " << ra.iteration;
+    ASSERT_EQ(ra.observation.tps, rb.observation.tps);
+    ASSERT_EQ(ra.observation.lat, rb.observation.lat);
+    ASSERT_EQ(ra.failed, rb.failed) << "iteration " << ra.iteration;
+    ASSERT_EQ(ra.fault, rb.fault) << "iteration " << ra.iteration;
+    ASSERT_EQ(ra.attempts, rb.attempts) << "iteration " << ra.iteration;
+    ASSERT_EQ(ra.backoff_seconds, rb.backoff_seconds);
+    ASSERT_EQ(ra.best_feasible_res, rb.best_feasible_res);
+  }
+  EXPECT_EQ(a.best_feasible_res, b.best_feasible_res);
+  EXPECT_EQ(a.best_iteration, b.best_iteration);
+  EXPECT_EQ(a.failed_iterations, b.failed_iterations);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+}
+
+class SoakTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { Logger::SetThreshold(LogLevel::kError); }
+};
+
+TEST_F(SoakTest, TwentyPercentFaultsStayWithinTenPercentOfFaultFreeBest) {
+  DbInstanceSimulator clean_sim = SoakSimulator();
+  ResTuneAdvisor clean_advisor = SoakAdvisor();
+  const auto clean =
+      TuningSession(&clean_sim, &clean_advisor, SoakOptions(200)).Run();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_EQ(clean->history.size(), 200u);
+  ASSERT_EQ(clean->failed_iterations, 0);
+
+  DbInstanceSimulator faulty_sim = SoakSimulator(SoakFaults());
+  ResTuneAdvisor faulty_advisor = SoakAdvisor();
+  const auto faulty =
+      TuningSession(&faulty_sim, &faulty_advisor, SoakOptions(200)).Run();
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+
+  // The session survives: all 200 iterations ran, faults actually fired,
+  // and retries were spent on the retryable ones.
+  ASSERT_EQ(faulty->history.size(), 200u);
+  EXPECT_GT(faulty->failed_iterations, 0);
+  EXPECT_LT(faulty->failed_iterations, 80);  // far from every iteration
+  EXPECT_GT(faulty->total_retries, 0);
+
+  // Tuning quality: a feasible best no more than 10% worse than the
+  // fault-free run's, and still an improvement over the DBA default.
+  EXPECT_LE(faulty->best_feasible_res, clean->best_feasible_res * 1.10)
+      << "fault-free best " << clean->best_feasible_res << ", faulty best "
+      << faulty->best_feasible_res;
+  EXPECT_LT(faulty->best_feasible_res, faulty->default_observation.res);
+}
+
+TEST_F(SoakTest, KilledAtIterationHundredResumesByteIdentically) {
+  const std::string path = testing::TempDir() + "/soak_resume.ckpt";
+  const FaultInjectionOptions faults = SoakFaults();
+
+  // Control: one uninterrupted 200-iteration run under faults.
+  DbInstanceSimulator control_sim = SoakSimulator(faults);
+  ResTuneAdvisor control_advisor = SoakAdvisor();
+  const auto control =
+      TuningSession(&control_sim, &control_advisor, SoakOptions(200)).Run();
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+
+  // "Kill" at iteration 100: run half the session with checkpointing and
+  // throw the process state away.
+  SessionOptions half = SoakOptions(100);
+  half.fault.checkpoint_path = path;
+  half.fault.checkpoint_period = 25;
+  {
+    DbInstanceSimulator sim = SoakSimulator(faults);
+    ResTuneAdvisor advisor = SoakAdvisor();
+    const auto first_half = TuningSession(&sim, &advisor, half).Run();
+    ASSERT_TRUE(first_half.ok()) << first_half.status().ToString();
+    ASSERT_EQ(first_half->history.size(), 100u);
+  }
+
+  // Resume with freshly constructed simulator and advisor.
+  SessionOptions rest = SoakOptions(200);
+  rest.fault.checkpoint_path = path;
+  DbInstanceSimulator resumed_sim = SoakSimulator(faults);
+  ResTuneAdvisor resumed_advisor = SoakAdvisor();
+  const auto resumed =
+      TuningSession(&resumed_sim, &resumed_advisor, rest).Resume();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  ExpectIdenticalTraces(*control, *resumed);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(SoakTest, AcquisitionThreadPoolSizeDoesNotChangeTheTrace) {
+  ThreadPool serial(1);
+  DbInstanceSimulator serial_sim = SoakSimulator(SoakFaults());
+  ResTuneAdvisor serial_advisor = SoakAdvisor(&serial);
+  const auto serial_run =
+      TuningSession(&serial_sim, &serial_advisor, SoakOptions(60)).Run();
+  ASSERT_TRUE(serial_run.ok()) << serial_run.status().ToString();
+
+  ThreadPool wide(8);
+  DbInstanceSimulator wide_sim = SoakSimulator(SoakFaults());
+  ResTuneAdvisor wide_advisor = SoakAdvisor(&wide);
+  const auto wide_run =
+      TuningSession(&wide_sim, &wide_advisor, SoakOptions(60)).Run();
+  ASSERT_TRUE(wide_run.ok()) << wide_run.status().ToString();
+  ExpectIdenticalTraces(*serial_run, *wide_run);
+}
+
+}  // namespace
+}  // namespace restune
