@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "common/contracts.h"
 #include "tuner/cbo_advisor.h"
 #include "tuner/restune_advisor.h"
 
@@ -51,9 +52,9 @@ int main() {
 
   DataRepository repo;
   for (int v = 1; v <= 5; ++v) {
-    repo.AddTask(CollectHistoryTask(space, HardwareInstance('A').value(),
-                                    TwitterVariation(v).value(),
-                                    characterizer, config, 100));
+    RESTUNE_CHECK_OK(repo.AddTask(CollectHistoryTask(
+        space, HardwareInstance('A').value(), TwitterVariation(v).value(),
+        characterizer, config, 100)));
   }
   const std::vector<BaseLearner> learners = repo.TrainAllBaseLearners();
   const Vector meta_feature = ComputeMetaFeature(characterizer, target);

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_BENCH_BENCH_COMMON_H_
+#define RESTUNE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <map>
@@ -71,3 +72,5 @@ inline double ImprovementPct(double baseline, double best) {
 
 }  // namespace bench
 }  // namespace restune
+
+#endif  // RESTUNE_BENCH_BENCH_COMMON_H_

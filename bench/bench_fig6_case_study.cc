@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "common/contracts.h"
 #include "tuner/restune_advisor.h"
 
 using namespace restune;
@@ -31,9 +32,9 @@ int main() {
   // ---- Hand-built repository: W1..W5, 200 LHS observations each --------
   DataRepository repo;
   for (int v = 1; v <= 5; ++v) {
-    repo.AddTask(CollectHistoryTask(
+    RESTUNE_CHECK_OK(repo.AddTask(CollectHistoryTask(
         space, HardwareInstance(kInstance).value(), TwitterVariation(v).value(),
-        characterizer, config, 200));
+        characterizer, config, 200)));
   }
   const std::vector<BaseLearner> learners = repo.TrainAllBaseLearners();
   MethodInputs inputs;

@@ -7,6 +7,7 @@
 // Methods: Default, ResTune, ResTune-w/o-ML, OtterTune-w-Con, iTuned.
 
 #include "bench/bench_common.h"
+#include "common/contracts.h"
 
 using namespace restune;
 
@@ -44,8 +45,10 @@ void RunPanel(const Panel& panel, const WorkloadCharacterizer& characterizer,
                 tr.target.name.c_str(), tr.history.name.c_str());
     DataRepository repo;
     for (char label : {'A', 'E'}) {
-      repo.AddTask(CollectHistoryTask(space, HardwareInstance(label).value(),
-                                      tr.history, characterizer, config, 60));
+      RESTUNE_CHECK_OK(
+          repo.AddTask(CollectHistoryTask(space, HardwareInstance(label).value(),
+                                          tr.history, characterizer, config,
+                                          60)));
     }
     MethodInputs inputs;
     inputs.base_learners = repo.TrainAllBaseLearners();

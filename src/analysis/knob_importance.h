@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_ANALYSIS_KNOB_IMPORTANCE_H_
+#define RESTUNE_ANALYSIS_KNOB_IMPORTANCE_H_
 
 #include <string>
 #include <vector>
@@ -44,3 +45,5 @@ Result<KnobSpace> SelectTopKnobs(const KnobSpace& space,
                                  size_t k);
 
 }  // namespace restune
+
+#endif  // RESTUNE_ANALYSIS_KNOB_IMPORTANCE_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_ANALYSIS_SHAP_H_
+#define RESTUNE_ANALYSIS_SHAP_H_
 
 #include <functional>
 
@@ -27,3 +28,5 @@ Result<ShapResult> ExactShapley(
     const Vector& x_current);
 
 }  // namespace restune
+
+#endif  // RESTUNE_ANALYSIS_SHAP_H_

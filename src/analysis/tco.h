@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_ANALYSIS_TCO_H_
+#define RESTUNE_ANALYSIS_TCO_H_
 
 #include <string>
 
@@ -43,3 +44,5 @@ double MemoryTcoReduction(double gb_before, double gb_after,
                           CloudProvider provider);
 
 }  // namespace restune
+
+#endif  // RESTUNE_ANALYSIS_TCO_H_

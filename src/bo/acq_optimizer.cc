@@ -1,9 +1,11 @@
 #include "bo/acq_optimizer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "bo/lhs.h"
+#include "common/contracts.h"
 #include "common/thread_pool.h"
 
 namespace restune {
@@ -36,6 +38,9 @@ Scored RefineCandidate(const BatchAcquisitionFn& acquisition, Scored start,
       stencil(2 * d + 1, d) = std::clamp(current.x[d] - step, 0.0, 1.0);
     }
     std::vector<double> values = acquisition(stencil);
+    RESTUNE_DCHECK(values.size() == stencil.rows())
+        << "acquisition returned " << values.size() << " values for "
+        << stencil.rows() << " stencil rows";
     if (options.reject) {
       for (size_t r = 0; r < stencil.rows(); ++r) {
         if (options.reject(stencil.Row(r))) {
@@ -69,14 +74,33 @@ Vector MaximizeAcquisitionBatch(const BatchAcquisitionFn& acquisition,
   // Candidates come from the caller's RNG before any parallel work, so the
   // sampled sweep is independent of the pool size. At least one candidate
   // is always drawn — an empty sweep has no best point to return.
+  // RNG-alignment contract: the reject hook must be a pure predicate. It
+  // runs between the sampling above and any later draws, so a hook that
+  // consumed `rng` would silently desynchronize serial and parallel sweeps
+  // (and checkpoint replay); the state comparison below makes that fatal.
   const size_t num_candidates =
       static_cast<size_t>(std::max(1, options.num_candidates));
   const std::vector<Vector> samples = UniformSample(num_candidates, dim, rng);
+#ifndef NDEBUG
+  const RngState rng_state_after_sampling = rng->state();
+#endif
   Matrix candidates(samples.size(), dim);
   for (size_t r = 0; r < samples.size(); ++r) {
     for (size_t c = 0; c < dim; ++c) candidates(r, c) = samples[r][c];
   }
   std::vector<double> values = acquisition(candidates);
+  RESTUNE_CHECK(values.size() == candidates.rows())
+      << "acquisition returned " << values.size() << " values for "
+      << candidates.rows() << " candidates";
+  // NaN never compares greater, so a poisoned acquisition value would
+  // silently bias the argmax toward whatever candidate happened to come
+  // first; fail fast and name the offending row instead. -inf is legal (it
+  // is how the reject hook and degenerate EI mark dead candidates).
+  for (size_t r = 0; r < values.size(); ++r) {
+    RESTUNE_CHECK(!std::isnan(values[r]))
+        << "acquisition value at candidate " << r
+        << " is NaN; the surrogate produced a non-finite prediction";
+  }
   if (options.reject) {
     // Vetoed candidates keep their slot (the sweep stays aligned with the
     // RNG draw sequence) but can never be selected or refined upward.
@@ -114,6 +138,15 @@ Vector MaximizeAcquisitionBatch(const BatchAcquisitionFn& acquisition,
   for (const Scored& candidate : refined) {
     if (candidate.value > best.value) best = candidate;
   }
+#ifndef NDEBUG
+  const RngState rng_state_now = rng->state();
+  for (int w = 0; w < 4; ++w) {
+    RESTUNE_DCHECK(rng_state_now.s[w] == rng_state_after_sampling.s[w])
+        << "caller RNG advanced during acquisition maximization; the reject "
+           "hook or acquisition function must not draw from the shared "
+           "stream (breaks serial/parallel and replay determinism)";
+  }
+#endif
   return best.x;
 }
 

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_BO_ACQ_OPTIMIZER_H_
+#define RESTUNE_BO_ACQ_OPTIMIZER_H_
 
 #include <functional>
 
@@ -63,3 +64,5 @@ Vector MaximizeAcquisition(
     Rng* rng, const AcqOptimizerOptions& options = {});
 
 }  // namespace restune
+
+#endif  // RESTUNE_BO_ACQ_OPTIMIZER_H_

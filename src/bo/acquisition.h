@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_BO_ACQUISITION_H_
+#define RESTUNE_BO_ACQUISITION_H_
 
 #include "bo/surrogate.h"
 #include "gp/gp_model.h"
@@ -90,3 +91,5 @@ double ConstrainedLowerConfidenceBound(const Surrogate& surrogate,
                                        double beta);
 
 }  // namespace restune
+
+#endif  // RESTUNE_BO_ACQUISITION_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_BO_BATCH_H_
+#define RESTUNE_BO_BATCH_H_
 
 #include <functional>
 #include <vector>
@@ -37,3 +38,5 @@ std::vector<Vector> ProposeBatch(const BatchAcquisitionFn& acquisition,
                                  const BatchProposalOptions& options = {});
 
 }  // namespace restune
+
+#endif  // RESTUNE_BO_BATCH_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_BO_LHS_H_
+#define RESTUNE_BO_LHS_H_
 
 #include <vector>
 
@@ -21,3 +22,5 @@ std::vector<Vector> LatinHypercubeSample(size_t n, size_t dim, Rng* rng);
 std::vector<Vector> UniformSample(size_t n, size_t dim, Rng* rng);
 
 }  // namespace restune
+
+#endif  // RESTUNE_BO_LHS_H_

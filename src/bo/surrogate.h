@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_BO_SURROGATE_H_
+#define RESTUNE_BO_SURROGATE_H_
 
 #include "gp/multi_output_gp.h"
 #include "gp/observation.h"
@@ -56,3 +57,5 @@ class GpSurrogate : public Surrogate {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_BO_SURROGATE_H_

@@ -1,0 +1,42 @@
+#include "common/contracts.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace restune {
+namespace internal {
+
+CheckFailure::CheckFailure(const char* kind, const char* condition,
+                           const char* file, int line) {
+  stream_ << "RESTUNE " << kind << " failed: " << condition << " at " << file
+          << ":" << line;
+  // Mark where the fixed prefix ends; the destructor inserts ": " only when
+  // the caller actually streamed context.
+  prefix_length_ = stream_.str().size();
+}
+
+CheckFailure::~CheckFailure() {
+  std::string message = stream_.str();
+  if (message.size() > prefix_length_) {
+    message.insert(prefix_length_, ": ");
+  }
+  // stderr directly (not the Logger) so the message survives even when the
+  // log threshold is raised or the logger itself is mid-failure.
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+bool AllFinite(const std::vector<double>& v) {
+  return AllFinite(v.data(), v.size());
+}
+
+bool AllFinite(const double* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace internal
+}  // namespace restune

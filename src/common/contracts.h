@@ -1,0 +1,128 @@
+#ifndef RESTUNE_COMMON_CONTRACTS_H_
+#define RESTUNE_COMMON_CONTRACTS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// Contract-checking macros for programmer errors, in the spirit of glog's
+/// CHECK family. The split of responsibilities across the library is:
+///
+///   * `Status` / `Result<T>`   — recoverable conditions the *caller* should
+///     handle (bad user input, non-PD kernel matrices that warrant a jitter
+///     retry, truncated checkpoints).
+///   * `RESTUNE_CHECK*`         — contract violations that are *bugs*: once
+///     one fires the process state is untrustworthy, so the macro prints an
+///     actionable message to stderr and aborts. Always compiled in.
+///   * `RESTUNE_DCHECK*`        — the same contracts on hot paths. Compiled
+///     to nothing under NDEBUG (i.e. in Release builds) so instrumenting an
+///     inner loop costs zero in production; this is the debug-only cost
+///     model the acquisition-throughput benchmark guards.
+///
+/// All macros support streaming extra context:
+///
+///   RESTUNE_CHECK(rows == cols) << "Cholesky needs square input, got "
+///                               << rows << "x" << cols;
+///
+/// The message format on failure is
+///
+///   RESTUNE CHECK failed: <condition> at <file>:<line>[: <context>]
+///
+/// which death tests match on (tests/contracts_test.cc).
+
+namespace restune {
+namespace internal {
+
+/// Accumulates the streamed context for a failed check and aborts in its
+/// destructor. Constructing one of these is already a fatal event; the
+/// object only exists so `<<` context can be appended first.
+class CheckFailure {
+ public:
+  CheckFailure(const char* kind, const char* condition, const char* file,
+               int line);
+  [[noreturn]] ~CheckFailure();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+  std::size_t prefix_length_ = 0;
+};
+
+/// Lets the macros produce a `void` expression from the stream so they can
+/// sit in the false branch of a ternary (the glog voidify trick). `&` binds
+/// looser than `<<`, so every streamed `<<` attaches before the voidify.
+struct CheckVoidify {
+  void operator&(std::ostream&) {}
+};
+
+bool AllFinite(const std::vector<double>& v);
+bool AllFinite(const double* data, std::size_t n);
+
+}  // namespace internal
+}  // namespace restune
+
+/// Fatal unless `condition` holds. Always compiled in; use for contracts
+/// whose verification is cheap relative to the work they guard.
+#define RESTUNE_CHECK(condition)                                        \
+  (condition) ? (void)0                                                 \
+              : ::restune::internal::CheckVoidify() &                   \
+                    ::restune::internal::CheckFailure(                  \
+                        "CHECK", #condition, __FILE__, __LINE__)        \
+                        .stream()
+
+/// Fatal unless `status.ok()`. The status message is part of the output.
+#define RESTUNE_CHECK_OK(expr)                                          \
+  do {                                                                  \
+    const ::restune::Status _restune_check_st = (expr);                 \
+    RESTUNE_CHECK(_restune_check_st.ok()) << _restune_check_st.ToString(); \
+  } while (false)
+
+/// Fatal unless the scalar `value` is finite (not NaN, not +/-Inf). The
+/// offending value is printed, since "is NaN" versus "overflowed to Inf"
+/// usually points at different bugs.
+#define RESTUNE_CHECK_FINITE(value)                                     \
+  do {                                                                  \
+    const double _restune_check_v = static_cast<double>(value);         \
+    RESTUNE_CHECK(std::isfinite(_restune_check_v))                      \
+        << #value << " = " << _restune_check_v;                         \
+  } while (false)
+
+/// Fatal unless `pivot` is a usable Cholesky pivot (strictly positive and
+/// finite). "Hint" because a good pivot does not prove the full matrix is
+/// PSD — but a bad one proves it is not, and names the failing index so the
+/// log says *where* the Gram matrix lost positive-definiteness instead of a
+/// bare sqrt-domain error surfacing rows later.
+#define RESTUNE_CHECK_PSD_HINT(pivot, index)                               \
+  do {                                                                     \
+    const double _restune_check_p = static_cast<double>(pivot);            \
+    RESTUNE_CHECK(_restune_check_p > 0.0 &&                                \
+                  std::isfinite(_restune_check_p))                         \
+        << "matrix not positive definite at pivot " << (index)             \
+        << " (value " << _restune_check_p                                  \
+        << "); increase jitter or check the kernel inputs for duplicates"; \
+  } while (false)
+
+/// Debug-only variants: identical semantics under !NDEBUG; under NDEBUG the
+/// condition folds into `true || (...)`, so it must still compile (the
+/// expression cannot rot) but is never evaluated and the whole statement —
+/// including any streamed context — optimizes away to nothing.
+#ifndef NDEBUG
+#define RESTUNE_DCHECK(condition) RESTUNE_CHECK(condition)
+#define RESTUNE_DCHECK_FINITE(value) RESTUNE_CHECK_FINITE(value)
+#define RESTUNE_DCHECK_ALL_FINITE(vec)                                \
+  RESTUNE_DCHECK(::restune::internal::AllFinite(vec))                 \
+      << #vec << " contains a non-finite element"
+#else
+#define RESTUNE_DCHECK(condition) RESTUNE_CHECK(true || (condition))
+#define RESTUNE_DCHECK_FINITE(value) \
+  RESTUNE_CHECK(true || std::isfinite(static_cast<double>(value)))
+#define RESTUNE_DCHECK_ALL_FINITE(vec) \
+  RESTUNE_CHECK(true || ::restune::internal::AllFinite(vec))
+#endif
+
+#endif  // RESTUNE_COMMON_CONTRACTS_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_COMMON_LOGGING_H_
+#define RESTUNE_COMMON_LOGGING_H_
 
 #include <sstream>
 #include <string>
@@ -35,3 +36,5 @@ class Logger {
   ::restune::Logger(::restune::LogLevel::level, __FILE__, __LINE__)
 
 }  // namespace restune
+
+#endif  // RESTUNE_COMMON_LOGGING_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_COMMON_NELDER_MEAD_H_
+#define RESTUNE_COMMON_NELDER_MEAD_H_
 
 #include <functional>
 #include <vector>
@@ -32,3 +33,5 @@ NelderMeadResult NelderMeadMinimize(
     const std::vector<double>& x0, const NelderMeadOptions& options = {});
 
 }  // namespace restune
+
+#endif  // RESTUNE_COMMON_NELDER_MEAD_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_COMMON_RESULT_H_
+#define RESTUNE_COMMON_RESULT_H_
 
 #include <cassert>
 #include <utility>
@@ -75,3 +76,5 @@ class Result {
 #define RESTUNE_CONCAT_(a, b) RESTUNE_CONCAT_INNER_(a, b)
 
 }  // namespace restune
+
+#endif  // RESTUNE_COMMON_RESULT_H_

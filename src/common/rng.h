@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_COMMON_RNG_H_
+#define RESTUNE_COMMON_RNG_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -73,3 +74,5 @@ class Rng {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_COMMON_RNG_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_COMMON_STATS_H_
+#define RESTUNE_COMMON_STATS_H_
 
 #include <cstddef>
 #include <vector>
@@ -44,3 +45,5 @@ double NormalCdf(double x);
 double NormalPdf(double x);
 
 }  // namespace restune
+
+#endif  // RESTUNE_COMMON_STATS_H_

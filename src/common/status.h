@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_COMMON_STATUS_H_
+#define RESTUNE_COMMON_STATUS_H_
 
 #include <string>
 #include <utility>
@@ -84,3 +85,5 @@ class Status {
   } while (false)
 
 }  // namespace restune
+
+#endif  // RESTUNE_COMMON_STATUS_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_COMMON_STRING_UTIL_H_
+#define RESTUNE_COMMON_STRING_UTIL_H_
 
 #include <string>
 #include <vector>
@@ -33,3 +34,5 @@ std::string StringPrintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 }  // namespace restune
+
+#endif  // RESTUNE_COMMON_STRING_UTIL_H_

@@ -136,6 +136,7 @@ size_t ThreadPool::DefaultThreadCount() {
 ThreadPool* ThreadPool::Shared() {
   // Leaked intentionally: the pool must outlive any static-destruction-order
   // user, and worker threads joining at exit would stall teardown.
+  // restune-lint: allow(naked-new) -- intentional leak, see above
   static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
   return pool;
 }

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_COMMON_THREAD_POOL_H_
+#define RESTUNE_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
@@ -77,3 +78,5 @@ inline ThreadPool* ResolvePool(ThreadPool* pool) {
 }
 
 }  // namespace restune
+
+#endif  // RESTUNE_COMMON_THREAD_POOL_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_DBSIM_DES_ENGINE_DES_H_
+#define RESTUNE_DBSIM_DES_ENGINE_DES_H_
 
 #include <cstdint>
 
@@ -73,3 +74,5 @@ class DiscreteEventEngine {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_DBSIM_DES_ENGINE_DES_H_

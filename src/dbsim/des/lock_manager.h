@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_DBSIM_DES_LOCK_MANAGER_H_
+#define RESTUNE_DBSIM_DES_LOCK_MANAGER_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -48,3 +49,5 @@ class LockManager {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_DBSIM_DES_LOCK_MANAGER_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_DBSIM_DES_PAGE_CACHE_H_
+#define RESTUNE_DBSIM_DES_PAGE_CACHE_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -61,3 +62,5 @@ class PageCache {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_DBSIM_DES_PAGE_CACHE_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_DBSIM_DES_ZIPF_H_
+#define RESTUNE_DBSIM_DES_ZIPF_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -28,3 +29,5 @@ class ZipfGenerator {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_DBSIM_DES_ZIPF_H_

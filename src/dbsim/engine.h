@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_DBSIM_ENGINE_H_
+#define RESTUNE_DBSIM_ENGINE_H_
 
 #include "common/result.h"
 #include "dbsim/hardware.h"
@@ -109,3 +110,5 @@ class EngineModel {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_DBSIM_ENGINE_H_

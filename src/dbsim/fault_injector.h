@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_DBSIM_FAULT_INJECTOR_H_
+#define RESTUNE_DBSIM_FAULT_INJECTOR_H_
 
 #include <string>
 #include <variant>
@@ -117,3 +118,5 @@ class FaultInjector {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_DBSIM_FAULT_INJECTOR_H_

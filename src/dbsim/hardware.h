@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_DBSIM_HARDWARE_H_
+#define RESTUNE_DBSIM_HARDWARE_H_
 
 #include <string>
 
@@ -22,3 +23,5 @@ struct HardwareSpec {
 Result<HardwareSpec> HardwareInstance(char label);
 
 }  // namespace restune
+
+#endif  // RESTUNE_DBSIM_HARDWARE_H_

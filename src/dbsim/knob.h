@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_DBSIM_KNOB_H_
+#define RESTUNE_DBSIM_KNOB_H_
 
 #include <string>
 #include <vector>
@@ -83,3 +84,5 @@ KnobSpace CaseStudyKnobSpace();
 KnobSpace Fig1KnobSpace();
 
 }  // namespace restune
+
+#endif  // RESTUNE_DBSIM_KNOB_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_DBSIM_SIMULATOR_H_
+#define RESTUNE_DBSIM_SIMULATOR_H_
 
 #include <string>
 
@@ -107,3 +108,5 @@ class DbInstanceSimulator {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_DBSIM_SIMULATOR_H_

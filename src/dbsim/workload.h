@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_DBSIM_WORKLOAD_H_
+#define RESTUNE_DBSIM_WORKLOAD_H_
 
 #include <string>
 #include <vector>
@@ -77,3 +78,5 @@ Result<WorkloadProfile> TwitterVariation(int index);
 std::vector<WorkloadProfile> StandardWorkloads();
 
 }  // namespace restune
+
+#endif  // RESTUNE_DBSIM_WORKLOAD_H_

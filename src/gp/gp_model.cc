@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/nelder_mead.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
@@ -247,25 +248,34 @@ void GpModel::OptimizeHyperparams() {
 }
 
 GpPrediction GpModel::Predict(const Vector& x) const {
-  assert(fitted());
+  RESTUNE_CHECK(fitted()) << "Predict called on an unfitted GP; call Fit() "
+                             "or Update() with at least one observation first";
+  RESTUNE_DCHECK(x.size() == kernel_->dim())
+      << "query dim " << x.size() << " != kernel dim " << kernel_->dim();
   const Vector k_star = kernel_->CrossCovariance(x_, x);
   const double mean_norm = Dot(k_star, alpha_);
   const Vector v = chol_->SolveLower(k_star);
   double var_norm = kernel_->Eval(x, x) + options_.noise_variance - Dot(v, v);
+  // max(NaN, eps) is NaN, so the clamp below cannot catch a poisoned
+  // variance — the finiteness contract has to hold before clamping.
+  RESTUNE_DCHECK_FINITE(var_norm);
   var_norm = std::max(var_norm, 1e-12);
   return {mean_norm * y_std_ + y_mean_, var_norm * y_std_ * y_std_};
 }
 
 double GpModel::PredictMean(const Vector& x) const {
-  assert(fitted());
+  RESTUNE_CHECK(fitted()) << "PredictMean called on an unfitted GP";
+  RESTUNE_DCHECK(x.size() == kernel_->dim())
+      << "query dim " << x.size() << " != kernel dim " << kernel_->dim();
   const Vector k_star = kernel_->CrossCovariance(x_, x);
   return Dot(k_star, alpha_) * y_std_ + y_mean_;
 }
 
 std::vector<GpPrediction> GpModel::PredictBatch(const Matrix& x,
                                                 ThreadPool* pool) const {
-  assert(fitted());
-  assert(x.cols() == kernel_->dim());
+  RESTUNE_CHECK(fitted()) << "PredictBatch called on an unfitted GP";
+  RESTUNE_CHECK(x.cols() == kernel_->dim())
+      << "query dim " << x.cols() << " != kernel dim " << kernel_->dim();
   const size_t m = x.rows();
   std::vector<GpPrediction> out(m);
   if (m == 0) return out;
@@ -290,6 +300,7 @@ std::vector<GpPrediction> GpModel::PredictBatch(const Matrix& x,
     for (size_t c = c0; c < c1; ++c) {
       const double prior = kernel_->Eval(x.RowPtr(c), x.RowPtr(c));
       double var_norm = prior + options_.noise_variance - v_sq[c];
+      RESTUNE_DCHECK_FINITE(var_norm);
       var_norm = std::max(var_norm, 1e-12);
       out[c] = {mean[c] * y_std_ + y_mean_, var_norm * y_std_ * y_std_};
     }
@@ -298,8 +309,9 @@ std::vector<GpPrediction> GpModel::PredictBatch(const Matrix& x,
 }
 
 Vector GpModel::PredictMeanBatch(const Matrix& x, ThreadPool* pool) const {
-  assert(fitted());
-  assert(x.cols() == kernel_->dim());
+  RESTUNE_CHECK(fitted()) << "PredictMeanBatch called on an unfitted GP";
+  RESTUNE_CHECK(x.cols() == kernel_->dim())
+      << "query dim " << x.cols() << " != kernel dim " << kernel_->dim();
   const size_t m = x.rows();
   Vector mean(m, 0.0);
   if (m == 0) return mean;
@@ -318,7 +330,7 @@ Vector GpModel::PredictMeanBatch(const Matrix& x, ThreadPool* pool) const {
 }
 
 double GpModel::LogMarginalLikelihood() const {
-  assert(fitted());
+  RESTUNE_CHECK(fitted()) << "LogMarginalLikelihood needs a fitted GP";
   const double fit_term = 0.5 * Dot(y_norm_, alpha_);
   const double complexity_term = 0.5 * chol_->LogDeterminant();
   const double n = static_cast<double>(x_.rows());
@@ -326,7 +338,7 @@ double GpModel::LogMarginalLikelihood() const {
 }
 
 std::vector<GpPrediction> GpModel::LeaveOneOutPredictions() const {
-  assert(fitted());
+  RESTUNE_CHECK(fitted()) << "LeaveOneOutPredictions needs a fitted GP";
   // Sundararajan & Keerthi identities: with K_inv = (K + noise I)^-1,
   //   mu_-i  = y_i - alpha_i / K_inv_ii
   //   var_-i = 1 / K_inv_ii

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_GP_GP_MODEL_H_
+#define RESTUNE_GP_GP_MODEL_H_
 
 #include <memory>
 #include <optional>
@@ -134,3 +135,5 @@ class GpModel {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_GP_GP_MODEL_H_

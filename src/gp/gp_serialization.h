@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_GP_GP_SERIALIZATION_H_
+#define RESTUNE_GP_GP_SERIALIZATION_H_
 
 #include <istream>
 #include <ostream>
@@ -30,3 +31,5 @@ Status SaveMultiOutputGp(const MultiOutputGp& model, std::ostream* out);
 Result<MultiOutputGp> LoadMultiOutputGp(std::istream* in);
 
 }  // namespace restune
+
+#endif  // RESTUNE_GP_GP_SERIALIZATION_H_

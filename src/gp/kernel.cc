@@ -1,7 +1,8 @@
 #include "gp/kernel.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/contracts.h"
 
 #include "common/thread_pool.h"
 
@@ -12,7 +13,17 @@ double Kernel::Eval(const double* a, const double* b) const {
 }
 
 Matrix Kernel::GramMatrix(const Matrix& x, ThreadPool* pool) const {
+  RESTUNE_DCHECK(x.cols() == dim())
+      << "input dim " << x.cols() << " != kernel dim " << dim();
   const size_t n = x.rows();
+  // Kernel symmetry spot check (debug only): the mirror fill below *assumes*
+  // Eval(a, b) == Eval(b, a); a broken kernel would silently produce an
+  // asymmetric Gram matrix whose Cholesky is garbage.
+  if (n >= 2) {
+    RESTUNE_DCHECK(Eval(x.RowPtr(0), x.RowPtr(1)) ==
+                   Eval(x.RowPtr(1), x.RowPtr(0)))
+        << "kernel '" << name() << "' is not symmetric";
+  }
   Matrix k(n, n);
   ThreadPool* tp = ResolvePool(pool);
   // Phase 1: each task owns a row stripe and fills its upper-triangle part
@@ -35,7 +46,8 @@ Matrix Kernel::GramMatrix(const Matrix& x, ThreadPool* pool) const {
 }
 
 Vector Kernel::CrossCovariance(const Matrix& x, const Vector& x_query) const {
-  assert(x_query.size() == dim());
+  RESTUNE_DCHECK(x_query.size() == dim())
+      << "query dim " << x_query.size() << " != kernel dim " << dim();
   Vector out(x.rows());
   const double* q = x_query.data();
   for (size_t i = 0; i < x.rows(); ++i) out[i] = Eval(x.RowPtr(i), q);
@@ -44,7 +56,9 @@ Vector Kernel::CrossCovariance(const Matrix& x, const Vector& x_query) const {
 
 Matrix Kernel::CrossCovarianceMatrix(const Matrix& x, const Matrix& queries,
                                      ThreadPool* pool) const {
-  assert(x.cols() == dim() && queries.cols() == dim());
+  RESTUNE_DCHECK(x.cols() == dim() && queries.cols() == dim())
+      << "input dims " << x.cols() << "/" << queries.cols()
+      << " != kernel dim " << dim();
   const size_t n = x.rows();
   const size_t m = queries.rows();
   Matrix k_star(n, m);
@@ -78,7 +92,9 @@ Matern52Kernel::Matern52Kernel(size_t dim, double lengthscale,
     : amplitude_sq_(amplitude_sq), lengthscales_(dim, lengthscale) {}
 
 double Matern52Kernel::Eval(const Vector& a, const Vector& b) const {
-  assert(a.size() == dim() && b.size() == dim());
+  RESTUNE_DCHECK(a.size() == dim() && b.size() == dim())
+      << "input dims " << a.size() << "/" << b.size() << " != kernel dim "
+      << dim();
   return Eval(a.data(), b.data());
 }
 
@@ -97,7 +113,10 @@ Vector Matern52Kernel::GetLogParams() const {
 }
 
 void Matern52Kernel::SetLogParams(const Vector& log_params) {
-  assert(log_params.size() == 1 + lengthscales_.size());
+  RESTUNE_CHECK(log_params.size() == 1 + lengthscales_.size())
+      << "got " << log_params.size() << " log-params, kernel needs "
+      << 1 + lengthscales_.size();
+  RESTUNE_DCHECK_ALL_FINITE(log_params);
   amplitude_sq_ = std::exp(log_params[0]);
   for (size_t i = 0; i < lengthscales_.size(); ++i) {
     lengthscales_[i] = std::exp(log_params[i + 1]);
@@ -114,7 +133,9 @@ SquaredExponentialKernel::SquaredExponentialKernel(size_t dim,
     : amplitude_sq_(amplitude_sq), lengthscales_(dim, lengthscale) {}
 
 double SquaredExponentialKernel::Eval(const Vector& a, const Vector& b) const {
-  assert(a.size() == dim() && b.size() == dim());
+  RESTUNE_DCHECK(a.size() == dim() && b.size() == dim())
+      << "input dims " << a.size() << "/" << b.size() << " != kernel dim "
+      << dim();
   return Eval(a.data(), b.data());
 }
 
@@ -132,7 +153,10 @@ Vector SquaredExponentialKernel::GetLogParams() const {
 }
 
 void SquaredExponentialKernel::SetLogParams(const Vector& log_params) {
-  assert(log_params.size() == 1 + lengthscales_.size());
+  RESTUNE_CHECK(log_params.size() == 1 + lengthscales_.size())
+      << "got " << log_params.size() << " log-params, kernel needs "
+      << 1 + lengthscales_.size();
+  RESTUNE_DCHECK_ALL_FINITE(log_params);
   amplitude_sq_ = std::exp(log_params[0]);
   for (size_t i = 0; i < lengthscales_.size(); ++i) {
     lengthscales_[i] = std::exp(log_params[i + 1]);

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_GP_KERNEL_H_
+#define RESTUNE_GP_KERNEL_H_
 
 #include <memory>
 #include <vector>
@@ -98,3 +99,5 @@ class SquaredExponentialKernel : public Kernel {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_GP_KERNEL_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_GP_MULTI_OUTPUT_GP_H_
+#define RESTUNE_GP_MULTI_OUTPUT_GP_H_
 
 #include <array>
 #include <vector>
@@ -66,3 +67,5 @@ class MultiOutputGp {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_GP_MULTI_OUTPUT_GP_H_

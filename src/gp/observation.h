@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_GP_OBSERVATION_H_
+#define RESTUNE_GP_OBSERVATION_H_
 
 #include <cstddef>
 #include <vector>
@@ -72,3 +73,5 @@ struct SlaConstraints {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_GP_OBSERVATION_H_

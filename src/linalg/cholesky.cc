@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
+
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 
@@ -36,6 +38,13 @@ Result<Cholesky> Cholesky::Factor(const Matrix& a) {
 
 Result<Cholesky> Cholesky::FactorWithJitter(Matrix a, double jitter,
                                             int max_attempts) {
+  // A negative or non-finite jitter would silently *subtract* from the
+  // diagonal and poison every retry; that is a caller bug, not a numerical
+  // condition, so it fails fast instead of returning Status.
+  RESTUNE_CHECK(jitter >= 0.0 && std::isfinite(jitter))
+      << "jitter must be finite and non-negative, got " << jitter;
+  RESTUNE_CHECK(max_attempts >= 0)
+      << "max_attempts must be non-negative, got " << max_attempts;
   Result<Cholesky> result = Factor(a);
   double added = 0.0;
   for (int attempt = 0; !result.ok() && attempt < max_attempts; ++attempt) {
@@ -51,7 +60,8 @@ Result<Cholesky> Cholesky::FactorWithJitter(Matrix a, double jitter,
 
 Vector Cholesky::SolveLower(const Vector& b) const {
   const size_t n = size();
-  assert(b.size() == n);
+  RESTUNE_DCHECK(b.size() == n)
+      << "rhs size " << b.size() << " != factor size " << n;
   Vector y(n);
   for (size_t i = 0; i < n; ++i) {
     double sum = b[i];
@@ -64,7 +74,8 @@ Vector Cholesky::SolveLower(const Vector& b) const {
 
 Vector Cholesky::SolveLowerTranspose(const Vector& b) const {
   const size_t n = size();
-  assert(b.size() == n);
+  RESTUNE_DCHECK(b.size() == n)
+      << "rhs size " << b.size() << " != factor size " << n;
   Vector x(n);
   for (size_t ii = n; ii-- > 0;) {
     double sum = b[ii];
@@ -79,7 +90,8 @@ Vector Cholesky::Solve(const Vector& b) const {
 }
 
 Matrix Cholesky::Solve(const Matrix& b) const {
-  assert(b.rows() == size());
+  RESTUNE_DCHECK(b.rows() == size())
+      << "rhs rows " << b.rows() << " != factor size " << size();
   Matrix out(b.rows(), b.cols());
   for (size_t c = 0; c < b.cols(); ++c) {
     const Vector x = Solve(b.Col(c));
@@ -90,7 +102,13 @@ Matrix Cholesky::Solve(const Matrix& b) const {
 
 double Cholesky::LogDeterminant() const {
   double sum = 0.0;
-  for (size_t i = 0; i < size(); ++i) sum += std::log(l_(i, i));
+  for (size_t i = 0; i < size(); ++i) {
+    // A factor only exists after a successful factorization, so every pivot
+    // is positive by construction; a violation here means the factor was
+    // corrupted after the fact and log() would silently return NaN.
+    RESTUNE_CHECK_PSD_HINT(l_(i, i), i);
+    sum += std::log(l_(i, i));
+  }
   return 2.0 * sum;
 }
 
@@ -98,7 +116,8 @@ Matrix Cholesky::Inverse() const { return Solve(Matrix::Identity(size())); }
 
 Matrix Cholesky::SolveLowerMatrix(const Matrix& b, ThreadPool* pool) const {
   const size_t n = size();
-  assert(b.rows() == n);
+  RESTUNE_DCHECK(b.rows() == n)
+      << "rhs rows " << b.rows() << " != factor size " << n;
   const size_t m = b.cols();
   Matrix y = b;
   if (m == 0) return y;

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_LINALG_CHOLESKY_H_
+#define RESTUNE_LINALG_CHOLESKY_H_
 
 #include "common/result.h"
 #include "linalg/matrix.h"
@@ -85,3 +86,5 @@ class Cholesky {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_LINALG_CHOLESKY_H_

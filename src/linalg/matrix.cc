@@ -9,7 +9,9 @@ Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
   if (rows.empty()) return Matrix();
   Matrix m(rows.size(), rows[0].size());
   for (size_t r = 0; r < rows.size(); ++r) {
-    assert(rows[r].size() == m.cols_);
+    RESTUNE_DCHECK(rows[r].size() == m.cols_)
+        << "row " << r << " has " << rows[r].size() << " columns, expected "
+        << m.cols_;
     for (size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
   }
   return m;
@@ -22,12 +24,14 @@ Matrix Matrix::Identity(size_t n) {
 }
 
 Vector Matrix::Row(size_t r) const {
-  assert(r < rows_);
+  RESTUNE_DCHECK(r < rows_) << "row " << r << " out of bounds (" << rows_
+                            << " rows)";
   return Vector(RowPtr(r), RowPtr(r) + cols_);
 }
 
 Vector Matrix::Col(size_t c) const {
-  assert(c < cols_);
+  RESTUNE_DCHECK(c < cols_) << "column " << c << " out of bounds (" << cols_
+                            << " columns)";
   Vector out(rows_);
   for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
   return out;
@@ -42,7 +46,9 @@ Matrix Matrix::Transpose() const {
 }
 
 Matrix Matrix::Multiply(const Matrix& rhs) const {
-  assert(cols_ == rhs.rows_);
+  RESTUNE_DCHECK(cols_ == rhs.rows_)
+      << "shape mismatch: " << rows_ << "x" << cols_ << " * " << rhs.rows_
+      << "x" << rhs.cols_;
   Matrix out(rows_, rhs.cols_);
   // i-k-j loop order keeps the inner loop contiguous in both out and rhs.
   for (size_t i = 0; i < rows_; ++i) {
@@ -58,7 +64,9 @@ Matrix Matrix::Multiply(const Matrix& rhs) const {
 }
 
 Vector Matrix::Multiply(const Vector& v) const {
-  assert(cols_ == v.size());
+  RESTUNE_DCHECK(cols_ == v.size())
+      << "shape mismatch: " << rows_ << "x" << cols_ << " * vector of size "
+      << v.size();
   Vector out(rows_, 0.0);
   for (size_t r = 0; r < rows_; ++r) {
     const double* row = RowPtr(r);
@@ -70,7 +78,9 @@ Vector Matrix::Multiply(const Vector& v) const {
 }
 
 Matrix Matrix::Add(const Matrix& rhs) const {
-  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  RESTUNE_DCHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_)
+      << "shape mismatch: " << rows_ << "x" << cols_ << " + " << rhs.rows_
+      << "x" << rhs.cols_;
   Matrix out = *this;
   for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
   return out;
@@ -100,7 +110,8 @@ std::string Matrix::ToString() const {
 }
 
 double Dot(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  RESTUNE_DCHECK(a.size() == b.size())
+      << "size mismatch: " << a.size() << " vs " << b.size();
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
   return sum;
@@ -109,7 +120,8 @@ double Dot(const Vector& a, const Vector& b) {
 double Norm(const Vector& a) { return std::sqrt(Dot(a, a)); }
 
 double SquaredDistance(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  RESTUNE_DCHECK(a.size() == b.size())
+      << "size mismatch: " << a.size() << " vs " << b.size();
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
     const double d = a[i] - b[i];
@@ -119,7 +131,8 @@ double SquaredDistance(const Vector& a, const Vector& b) {
 }
 
 Vector Axpy(const Vector& a, double s, const Vector& b) {
-  assert(a.size() == b.size());
+  RESTUNE_DCHECK(a.size() == b.size())
+      << "size mismatch: " << a.size() << " vs " << b.size();
   Vector out(a.size());
   for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
   return out;

@@ -1,9 +1,11 @@
-#pragma once
+#ifndef RESTUNE_LINALG_MATRIX_H_
+#define RESTUNE_LINALG_MATRIX_H_
 
-#include <cassert>
 #include <cstddef>
 #include <string>
 #include <vector>
+
+#include "common/contracts.h"
 
 namespace restune {
 
@@ -35,17 +37,29 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   double& operator()(size_t r, size_t c) {
-    assert(r < rows_ && c < cols_);
+    RESTUNE_DCHECK(r < rows_ && c < cols_)
+        << "index (" << r << ", " << c << ") out of bounds for " << rows_
+        << "x" << cols_ << " matrix";
     return data_[r * cols_ + c];
   }
   double operator()(size_t r, size_t c) const {
-    assert(r < rows_ && c < cols_);
+    RESTUNE_DCHECK(r < rows_ && c < cols_)
+        << "index (" << r << ", " << c << ") out of bounds for " << rows_
+        << "x" << cols_ << " matrix";
     return data_[r * cols_ + c];
   }
 
   /// Raw pointer to row `r` (contiguous `cols()` doubles).
-  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
-  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  double* RowPtr(size_t r) {
+    RESTUNE_DCHECK(r < rows_) << "row " << r << " out of bounds (" << rows_
+                              << " rows)";
+    return data_.data() + r * cols_;
+  }
+  const double* RowPtr(size_t r) const {
+    RESTUNE_DCHECK(r < rows_) << "row " << r << " out of bounds (" << rows_
+                              << " rows)";
+    return data_.data() + r * cols_;
+  }
 
   /// Copies row `r` into a Vector.
   Vector Row(size_t r) const;
@@ -92,3 +106,5 @@ double SquaredDistance(const Vector& a, const Vector& b);
 Vector Axpy(const Vector& a, double s, const Vector& b);
 
 }  // namespace restune
+
+#endif  // RESTUNE_LINALG_MATRIX_H_

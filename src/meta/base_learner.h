@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_META_BASE_LEARNER_H_
+#define RESTUNE_META_BASE_LEARNER_H_
 
 #include <memory>
 #include <string>
@@ -55,3 +56,5 @@ class BaseLearner {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_META_BASE_LEARNER_H_

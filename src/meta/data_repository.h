@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_META_DATA_REPOSITORY_H_
+#define RESTUNE_META_DATA_REPOSITORY_H_
 
 #include <functional>
 #include <string>
@@ -65,3 +66,5 @@ class DataRepository {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_META_DATA_REPOSITORY_H_

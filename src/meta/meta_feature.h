@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_META_META_FEATURE_H_
+#define RESTUNE_META_META_FEATURE_H_
 
 #include <string>
 #include <utility>
@@ -51,3 +52,5 @@ class WorkloadCharacterizer {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_META_META_FEATURE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "linalg/matrix.h"
@@ -287,6 +288,19 @@ void MetaLearner::RecomputeWeights() {
     }
   }
   for (double& v : w) v /= sum;
+#ifndef NDEBUG
+  // Normalization contract (Eq. 6 denominators assume it): every weight is
+  // a finite probability and the ensemble sums to 1. A violation means the
+  // ranking-loss sampler produced NaN losses or a negative kernel value.
+  double check_sum = 0.0;
+  for (double v : w) {
+    RESTUNE_DCHECK(std::isfinite(v) && v >= 0.0 && v <= 1.0)
+        << "ensemble weight " << v << " outside [0, 1]";
+    check_sum += v;
+  }
+  RESTUNE_DCHECK(std::abs(check_sum - 1.0) < 1e-9)
+      << "ensemble weights sum to " << check_sum << ", expected 1";
+#endif
   weights_ = std::move(w);
 }
 

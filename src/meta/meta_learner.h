@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_META_META_LEARNER_H_
+#define RESTUNE_META_META_LEARNER_H_
 
 #include <array>
 #include <memory>
@@ -151,3 +152,5 @@ class MetaLearner : public Surrogate {
 double EpanechnikovKernel(double t);
 
 }  // namespace restune
+
+#endif  // RESTUNE_META_META_LEARNER_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/stats.h"
 
 namespace restune {
@@ -29,11 +30,20 @@ MetricStandardizer MetricStandardizer::FromObservations(
 
 double MetricStandardizer::Standardize(MetricKind kind, double value) const {
   const size_t i = static_cast<size_t>(kind);
+  // Invertibility contract: FromObservations floors every std at 1.0 when
+  // the sample is degenerate, so a zero/non-finite scale here means the
+  // standardizer was default-constructed or its state was corrupted.
+  RESTUNE_DCHECK(stds_[i] > 0.0 && std::isfinite(stds_[i]))
+      << "standardizer scale for " << MetricKindName(kind) << " is "
+      << stds_[i] << "; Standardize/Destandardize would not be inverses";
   return (value - means_[i]) / stds_[i];
 }
 
 double MetricStandardizer::Destandardize(MetricKind kind, double value) const {
   const size_t i = static_cast<size_t>(kind);
+  RESTUNE_DCHECK(stds_[i] > 0.0 && std::isfinite(stds_[i]))
+      << "standardizer scale for " << MetricKindName(kind) << " is "
+      << stds_[i] << "; Standardize/Destandardize would not be inverses";
   return value * stds_[i] + means_[i];
 }
 

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_META_STANDARDIZER_H_
+#define RESTUNE_META_STANDARDIZER_H_
 
 #include <array>
 #include <vector>
@@ -41,3 +42,5 @@ class MetricStandardizer {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_META_STANDARDIZER_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_META_TASK_H_
+#define RESTUNE_META_TASK_H_
 
 #include <string>
 #include <vector>
@@ -25,3 +26,5 @@ struct TuningTask {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_META_TASK_H_

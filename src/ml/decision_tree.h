@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_ML_DECISION_TREE_H_
+#define RESTUNE_ML_DECISION_TREE_H_
 
 #include <vector>
 
@@ -67,3 +68,5 @@ class DecisionTree {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_ML_DECISION_TREE_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_ML_RANDOM_FOREST_H_
+#define RESTUNE_ML_RANDOM_FOREST_H_
 
 #include <vector>
 
@@ -53,3 +54,5 @@ int LogCostClass(double cost, double min_cost, double max_cost,
                  int num_classes);
 
 }  // namespace restune
+
+#endif  // RESTUNE_ML_RANDOM_FOREST_H_

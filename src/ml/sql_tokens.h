@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_ML_SQL_TOKENS_H_
+#define RESTUNE_ML_SQL_TOKENS_H_
 
 #include <string>
 #include <vector>
@@ -26,3 +27,5 @@ std::vector<std::string> ExtractReservedWords(const std::string& sql);
 const std::vector<std::string>& SqlReservedWordDictionary();
 
 }  // namespace restune
+
+#endif  // RESTUNE_ML_SQL_TOKENS_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_ML_TFIDF_H_
+#define RESTUNE_ML_TFIDF_H_
 
 #include <string>
 #include <unordered_map>
@@ -36,3 +37,5 @@ class TfIdfVectorizer {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_ML_TFIDF_H_

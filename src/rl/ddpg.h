@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_RL_DDPG_H_
+#define RESTUNE_RL_DDPG_H_
 
 #include <deque>
 #include <memory>
@@ -69,3 +70,5 @@ class DdpgAgent {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_RL_DDPG_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_RL_MLP_H_
+#define RESTUNE_RL_MLP_H_
 
 #include <vector>
 
@@ -72,3 +73,5 @@ class Mlp {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_RL_MLP_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_SERVICE_MESSAGES_H_
+#define RESTUNE_SERVICE_MESSAGES_H_
 
 #include <string>
 
@@ -60,3 +61,5 @@ struct SessionSummary {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_SERVICE_MESSAGES_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_SERVICE_RESTUNE_CLIENT_H_
+#define RESTUNE_SERVICE_RESTUNE_CLIENT_H_
 
 #include <memory>
 
@@ -44,3 +45,5 @@ class ResTuneClient {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_SERVICE_RESTUNE_CLIENT_H_

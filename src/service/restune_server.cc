@@ -56,7 +56,9 @@ Status ReadString(std::istream* in, std::string* s) {
   if (!(*in >> n) || n > (1u << 20)) {
     return Status::IoError("bad string in server checkpoint");
   }
-  in->get();  // the single separator space
+  if (in->get() != ' ') {  // the single separator space
+    return Status::IoError("bad string separator in server checkpoint");
+  }
   s->resize(n);
   if (n > 0 && !in->read(s->data(), static_cast<std::streamsize>(n))) {
     return Status::IoError("truncated string in server checkpoint");
@@ -530,14 +532,26 @@ Status ResTuneServer::LoadCheckpoint(std::istream* in) {
 
 Status ResTuneServer::SaveCheckpointFile(const std::string& path) const {
   const std::string tmp = path + ".tmp";
+  Status write_status = Status::OK();
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return Status::NotFound("cannot open '" + tmp + "' for write");
-    RESTUNE_RETURN_IF_ERROR(SaveCheckpoint(&out));
-    out.flush();
-    if (!out.good()) return Status::IoError("write to '" + tmp + "' failed");
+    write_status = SaveCheckpoint(&out);
+    if (write_status.ok()) {
+      out.flush();
+      if (!out.good()) {
+        write_status = Status::IoError("write to '" + tmp + "' failed");
+      }
+    }
+  }
+  // Never leave a half-written temp file behind on failure; a stale .tmp
+  // from a crashed save must not shadow or outlive the real checkpoint.
+  if (!write_status.ok()) {
+    std::remove(tmp.c_str());
+    return write_status;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     return Status::IoError("rename '" + tmp + "' -> '" + path + "' failed");
   }
   return Status::OK();

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_SERVICE_RESTUNE_SERVER_H_
+#define RESTUNE_SERVICE_RESTUNE_SERVER_H_
 
 #include <istream>
 #include <map>
@@ -139,3 +140,5 @@ class ResTuneServer {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_SERVICE_RESTUNE_SERVER_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_SQLGEN_GENERATOR_H_
+#define RESTUNE_SQLGEN_GENERATOR_H_
 
 #include <string>
 #include <vector>
@@ -50,3 +51,5 @@ class WorkloadSqlGenerator {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_SQLGEN_GENERATOR_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_SQLGEN_REPLAYER_H_
+#define RESTUNE_SQLGEN_REPLAYER_H_
 
 #include <string>
 #include <vector>
@@ -58,3 +59,5 @@ class Replayer {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_SQLGEN_REPLAYER_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_ADVISOR_H_
+#define RESTUNE_TUNER_ADVISOR_H_
 
 #include <string>
 
@@ -62,3 +63,5 @@ class Advisor {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_ADVISOR_H_

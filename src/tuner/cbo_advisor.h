@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_CBO_ADVISOR_H_
+#define RESTUNE_TUNER_CBO_ADVISOR_H_
 
 #include <memory>
 #include <vector>
@@ -71,3 +72,5 @@ class CboAdvisor : public Advisor {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_CBO_ADVISOR_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_CDBTUNE_ADVISOR_H_
+#define RESTUNE_TUNER_CDBTUNE_ADVISOR_H_
 
 #include <memory>
 
@@ -50,3 +51,5 @@ class CdbTuneAdvisor : public Advisor {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_CDBTUNE_ADVISOR_H_

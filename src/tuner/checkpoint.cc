@@ -191,14 +191,26 @@ Result<SessionCheckpoint> LoadSessionCheckpoint(std::istream* in) {
 Status SaveSessionCheckpointFile(const SessionCheckpoint& checkpoint,
                                  const std::string& path) {
   const std::string tmp = path + ".tmp";
+  Status write_status = Status::OK();
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return Status::NotFound("cannot open '" + tmp + "' for write");
-    RESTUNE_RETURN_IF_ERROR(SaveSessionCheckpoint(checkpoint, &out));
-    out.flush();
-    if (!out.good()) return Status::IoError("write to '" + tmp + "' failed");
+    write_status = SaveSessionCheckpoint(checkpoint, &out);
+    if (write_status.ok()) {
+      out.flush();
+      if (!out.good()) {
+        write_status = Status::IoError("write to '" + tmp + "' failed");
+      }
+    }
+  }
+  // Never leave a half-written temp file behind: a later save would rename
+  // over it anyway, but a crashed run must not be resumable from garbage.
+  if (!write_status.ok()) {
+    std::remove(tmp.c_str());
+    return write_status;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     return Status::IoError("rename '" + tmp + "' -> '" + path + "' failed");
   }
   return Status::OK();

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_CHECKPOINT_H_
+#define RESTUNE_TUNER_CHECKPOINT_H_
 
 #include <istream>
 #include <ostream>
@@ -70,3 +71,5 @@ void WriteSessionEvent(std::ostream* out, const SessionEvent& event);
 Status ReadSessionEvent(std::istream* in, SessionEvent* event);
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_CHECKPOINT_H_

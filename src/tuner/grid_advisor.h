@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_GRID_ADVISOR_H_
+#define RESTUNE_TUNER_GRID_ADVISOR_H_
 
 #include <string>
 #include <vector>
@@ -33,3 +34,5 @@ class GridSearchAdvisor : public Advisor {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_GRID_ADVISOR_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_HARNESS_H_
+#define RESTUNE_TUNER_HARNESS_H_
 
 #include <string>
 #include <vector>
@@ -114,3 +115,5 @@ Result<DbInstanceSimulator> MakeSimulator(const KnobSpace& space,
 int BenchIterations(int default_iters);
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_HARNESS_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_OTTERTUNE_ADVISOR_H_
+#define RESTUNE_TUNER_OTTERTUNE_ADVISOR_H_
 
 #include <memory>
 #include <vector>
@@ -65,3 +66,5 @@ class OtterTuneAdvisor : public Advisor {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_OTTERTUNE_ADVISOR_H_

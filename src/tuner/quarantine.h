@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_QUARANTINE_H_
+#define RESTUNE_TUNER_QUARANTINE_H_
 
 #include <cstddef>
 #include <vector>
@@ -44,3 +45,5 @@ class KnobQuarantine {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_QUARANTINE_H_

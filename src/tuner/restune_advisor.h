@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_RESTUNE_ADVISOR_H_
+#define RESTUNE_TUNER_RESTUNE_ADVISOR_H_
 
 #include <memory>
 #include <vector>
@@ -62,3 +63,5 @@ class ResTuneAdvisor : public Advisor {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_RESTUNE_ADVISOR_H_

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <fstream>
 
+#include "common/contracts.h"
+
 namespace restune {
 
 namespace {
@@ -190,9 +192,26 @@ Result<SessionResult> TuningSession::RunInternal(
     RESTUNE_RETURN_IF_ERROR(
         advisor_->Begin(result.default_observation, result.sla));
 
+    // Replay precondition: the event log must be the contiguous prefix
+    // 1..n of a run. A permuted or gap-ridden log (hand-edited checkpoint,
+    // version skew) would otherwise replay "successfully" while recording
+    // bogus iteration numbers in the history.
+    for (size_t i = 0; i < resume_from->events.size(); ++i) {
+      if (resume_from->events[i].iteration != static_cast<int>(i) + 1) {
+        return Status::FailedPrecondition(
+            "checkpoint event log is not a contiguous run prefix: entry " +
+            std::to_string(i) + " has iteration " +
+            std::to_string(resume_from->events[i].iteration) + ", expected " +
+            std::to_string(i + 1));
+      }
+    }
     for (size_t i = 0; i < resume_from->events.size(); ++i) {
       const SessionEvent& event = resume_from->events[i];
       RESTUNE_ASSIGN_OR_RETURN(const Vector theta, advisor_->SuggestNext());
+      // The advisor owns suggestion quality: a non-finite knob here is an
+      // advisor bug, not checkpoint corruption (the recorded theta is only
+      // compared against, never executed, during replay).
+      RESTUNE_DCHECK_ALL_FINITE(theta);
       // Bitwise verification: the freshly constructed advisor must retrace
       // the recorded run exactly (checkpoint doubles round-trip exactly at
       // precision 17). A mismatch means the advisor was rebuilt with
@@ -237,6 +256,7 @@ Result<SessionResult> TuningSession::RunInternal(
       if (suggestion.status().code() == StatusCode::kOutOfRange) break;
       return suggestion.status();
     }
+    RESTUNE_DCHECK_ALL_FINITE(*suggestion);
     RESTUNE_ASSIGN_OR_RETURN(const SupervisedEvaluation supervised,
                              supervisor.Evaluate(*suggestion));
 

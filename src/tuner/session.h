@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_SESSION_H_
+#define RESTUNE_TUNER_SESSION_H_
 
 #include <string>
 #include <vector>
@@ -136,3 +137,5 @@ class TuningSession {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_SESSION_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_STOPWATCH_H_
+#define RESTUNE_TUNER_STOPWATCH_H_
 
 #include <chrono>
 
@@ -22,3 +23,5 @@ class StopWatch {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_STOPWATCH_H_

@@ -1,4 +1,5 @@
-#pragma once
+#ifndef RESTUNE_TUNER_SUPERVISOR_H_
+#define RESTUNE_TUNER_SUPERVISOR_H_
 
 #include "common/result.h"
 #include "common/rng.h"
@@ -74,3 +75,5 @@ class EvaluationSupervisor {
 };
 
 }  // namespace restune
+
+#endif  // RESTUNE_TUNER_SUPERVISOR_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <sstream>
 
 #include "common/logging.h"
@@ -579,13 +580,13 @@ class ServerFaultTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     Logger::SetThreshold(LogLevel::kError);
-    characterizer_ = new WorkloadCharacterizer(TrainDefaultCharacterizer());
+    characterizer_ =
+        std::make_unique<WorkloadCharacterizer>(TrainDefaultCharacterizer());
   }
   static void TearDownTestSuite() {
-    delete characterizer_;
-    characterizer_ = nullptr;
+    characterizer_.reset();
   }
-  static WorkloadCharacterizer* characterizer_;
+  static std::unique_ptr<WorkloadCharacterizer> characterizer_;
 
   DbInstanceSimulator MakeSim(uint64_t seed,
                               FaultInjectionOptions faults = {}) {
@@ -593,11 +594,11 @@ class ServerFaultTest : public ::testing::Test {
   }
 };
 
-WorkloadCharacterizer* ServerFaultTest::characterizer_ = nullptr;
+std::unique_ptr<WorkloadCharacterizer> ServerFaultTest::characterizer_;
 
 TEST_F(ServerFaultTest, RecommendIsIdempotentUntilReported) {
   DbInstanceSimulator sim = MakeSim(81);
-  ResTuneClient client(&sim, characterizer_);
+  ResTuneClient client(&sim, characterizer_.get());
   ResTuneServer server;
   const auto session = server.StartSession(*client.PrepareSubmission());
   ASSERT_TRUE(session.ok());
@@ -619,7 +620,7 @@ TEST_F(ServerFaultTest, RecommendIsIdempotentUntilReported) {
 
 TEST_F(ServerFaultTest, DuplicateReportsAreNoOpsAndFutureOnesRejected) {
   DbInstanceSimulator sim = MakeSim(83);
-  ResTuneClient client(&sim, characterizer_);
+  ResTuneClient client(&sim, characterizer_.get());
   ResTuneServer server;
   const auto session = server.StartSession(*client.PrepareSubmission());
   ASSERT_TRUE(session.ok());
@@ -648,7 +649,7 @@ TEST_F(ServerFaultTest, DuplicateReportsAreNoOpsAndFutureOnesRejected) {
 
 TEST_F(ServerFaultTest, RejectsMalformedReportsAndSubmissions) {
   DbInstanceSimulator sim = MakeSim(87);
-  ResTuneClient client(&sim, characterizer_);
+  ResTuneClient client(&sim, characterizer_.get());
   ResTuneServer server;
   const auto good = client.PrepareSubmission();
   ASSERT_TRUE(good.ok());
@@ -691,7 +692,7 @@ TEST_F(ServerFaultTest, RejectsMalformedReportsAndSubmissions) {
 
 TEST_F(ServerFaultTest, FaultReportsFeedFailureLearningAndSessionContinues) {
   DbInstanceSimulator sim = MakeSim(89);
-  ResTuneClient client(&sim, characterizer_);
+  ResTuneClient client(&sim, characterizer_.get());
   ResTuneServer server;
   const auto session = server.StartSession(*client.PrepareSubmission());
   ASSERT_TRUE(session.ok());
@@ -715,7 +716,7 @@ TEST_F(ServerFaultTest, FaultReportsFeedFailureLearningAndSessionContinues) {
 
 TEST_F(ServerFaultTest, FinishIsIdempotentAndFinishedSessionsRejectTraffic) {
   DbInstanceSimulator sim = MakeSim(91);
-  ResTuneClient client(&sim, characterizer_);
+  ResTuneClient client(&sim, characterizer_.get());
   ResTuneServer server;
   const auto session = server.StartSession(*client.PrepareSubmission());
   ASSERT_TRUE(session.ok());
@@ -745,7 +746,7 @@ TEST_F(ServerFaultTest, FinishIsIdempotentAndFinishedSessionsRejectTraffic) {
 
 TEST_F(ServerFaultTest, CheckpointRestoresServerMidSession) {
   DbInstanceSimulator sim = MakeSim(93);
-  ResTuneClient client(&sim, characterizer_);
+  ResTuneClient client(&sim, characterizer_.get());
   ServerOptions options;
   options.min_observations_to_archive = 3;
   ResTuneServer server(options);
@@ -790,7 +791,7 @@ TEST_F(ServerFaultTest, CheckpointRestoresServerMidSession) {
 
 TEST_F(ServerFaultTest, CheckpointPreservesOutstandingRecommendation) {
   DbInstanceSimulator sim = MakeSim(97);
-  ResTuneClient client(&sim, characterizer_);
+  ResTuneClient client(&sim, characterizer_.get());
   ResTuneServer server;
   const auto session = server.StartSession(*client.PrepareSubmission());
   ASSERT_TRUE(session.ok());
@@ -905,9 +906,10 @@ TEST(NanGuardTest, MetaLearnerDropsIncompatibleBaseLearnersAndRejectsNan) {
   MetaLearner meta(3, std::move(learners), {});
   EXPECT_EQ(meta.num_base_learners(), 0u);
 
-  EXPECT_EQ(meta.AddObservation(Observation{{0.1, 0.2, 0.3}, kNan, 5.0, 1.0})
-                .code(),
-            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      meta.AddObservation(Observation{{0.1, 0.2, 0.3}, kNan, 5.0, 1.0, {}})
+          .code(),
+      StatusCode::kInvalidArgument);
   EXPECT_EQ(meta.num_observations(), 0u);
 }
 

@@ -124,7 +124,7 @@ TEST_F(GpModelTest, VarianceShrinksNearData) {
   // A corner far from the LHS interior is less certain than a data point.
   const double var_data = gp.Predict(at_data).variance;
   double var_far = 0.0;
-  for (const Vector corner :
+  for (const Vector& corner :
        {Vector{0.0, 0.0}, Vector{1.0, 1.0}, Vector{0.0, 1.0}}) {
     var_far = std::max(var_far, gp.Predict(corner).variance);
   }

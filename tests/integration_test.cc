@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
 #include "tuner/harness.h"
@@ -16,14 +17,14 @@ class IntegrationTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     Logger::SetThreshold(LogLevel::kWarning);
-    characterizer_ = new WorkloadCharacterizer(TrainDefaultCharacterizer());
+    characterizer_ =
+        std::make_unique<WorkloadCharacterizer>(TrainDefaultCharacterizer());
   }
   static void TearDownTestSuite() {
-    delete characterizer_;
-    characterizer_ = nullptr;
+    characterizer_.reset();
   }
 
-  static WorkloadCharacterizer* characterizer_;
+  static std::unique_ptr<WorkloadCharacterizer> characterizer_;
 
   ExperimentConfig Config(int iters, uint64_t seed = 3) const {
     ExperimentConfig config;
@@ -50,7 +51,7 @@ class IntegrationTest : public ::testing::Test {
   }
 };
 
-WorkloadCharacterizer* IntegrationTest::characterizer_ = nullptr;
+std::unique_ptr<WorkloadCharacterizer> IntegrationTest::characterizer_;
 
 TEST_F(IntegrationTest, ResTuneReducesCpuAndKeepsSla) {
   const ExperimentConfig config = Config(30);
@@ -174,10 +175,11 @@ TEST_F(IntegrationTest, RepositoryRoundTripPreservesTuningBehaviour) {
   const ExperimentConfig config = Config(15, 19);
   DataRepository repo;
   for (int v = 1; v <= 2; ++v) {
-    repo.AddTask(CollectHistoryTask(CaseStudyKnobSpace(),
-                                    HardwareInstance('A').value(),
-                                    TwitterVariation(v).value(),
-                                    *characterizer_, config, 30));
+    ASSERT_TRUE(repo.AddTask(CollectHistoryTask(CaseStudyKnobSpace(),
+                                                HardwareInstance('A').value(),
+                                                TwitterVariation(v).value(),
+                                                *characterizer_, config, 30))
+                    .ok());
   }
   const std::string path = testing::TempDir() + "/integration_repo.txt";
   ASSERT_TRUE(repo.SaveToFile(path).ok());

@@ -67,7 +67,9 @@ TEST(MlpTest, AdamLearnsLinearMap) {
       net.Backward(cache, {2.0 * err});
     }
     net.AdamStep(3e-3, batch);
-    if (step == 0) EXPECT_GT(loss / batch, 0.05);
+    if (step == 0) {
+      EXPECT_GT(loss / batch, 0.05);
+    }
   }
   double final_loss = 0.0;
   for (int i = 0; i < 100; ++i) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
 #include "common/logging.h"
@@ -15,13 +16,13 @@ class ServiceTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     Logger::SetThreshold(LogLevel::kWarning);
-    characterizer_ = new WorkloadCharacterizer(TrainDefaultCharacterizer());
+    characterizer_ =
+        std::make_unique<WorkloadCharacterizer>(TrainDefaultCharacterizer());
   }
   static void TearDownTestSuite() {
-    delete characterizer_;
-    characterizer_ = nullptr;
+    characterizer_.reset();
   }
-  static WorkloadCharacterizer* characterizer_;
+  static std::unique_ptr<WorkloadCharacterizer> characterizer_;
 
   DbInstanceSimulator MakeSim(uint64_t seed = 3) {
     SimulatorOptions options;
@@ -33,11 +34,11 @@ class ServiceTest : public ::testing::Test {
   }
 };
 
-WorkloadCharacterizer* ServiceTest::characterizer_ = nullptr;
+std::unique_ptr<WorkloadCharacterizer> ServiceTest::characterizer_;
 
 TEST_F(ServiceTest, ClientPreparesCompleteSubmission) {
   DbInstanceSimulator sim = MakeSim();
-  ResTuneClient client(&sim, characterizer_);
+  ResTuneClient client(&sim, characterizer_.get());
   const auto submission = client.PrepareSubmission();
   ASSERT_TRUE(submission.ok());
   EXPECT_EQ(submission->knob_dim, 3u);
@@ -48,7 +49,7 @@ TEST_F(ServiceTest, ClientPreparesCompleteSubmission) {
 
 TEST_F(ServiceTest, FullClientServerTuningLoop) {
   DbInstanceSimulator sim = MakeSim(7);
-  ResTuneClient client(&sim, characterizer_);
+  ResTuneClient client(&sim, characterizer_.get());
   ServerOptions server_options;
   server_options.min_observations_to_archive = 5;
   ResTuneServer server(server_options);
@@ -85,7 +86,7 @@ TEST_F(ServiceTest, SecondTenantBenefitsFromArchivedSession) {
   ResTuneServer server(options);
 
   DbInstanceSimulator sim1 = MakeSim(11);
-  ResTuneClient client1(&sim1, characterizer_);
+  ResTuneClient client1(&sim1, characterizer_.get());
   const auto sub1 = client1.PrepareSubmission();
   ASSERT_TRUE(sub1.ok());
   const auto s1 = server.StartSession(*sub1);
@@ -101,7 +102,7 @@ TEST_F(ServiceTest, SecondTenantBenefitsFromArchivedSession) {
   ASSERT_EQ(server.repository_size(), 1u);
 
   DbInstanceSimulator sim2 = MakeSim(13);
-  ResTuneClient client2(&sim2, characterizer_);
+  ResTuneClient client2(&sim2, characterizer_.get());
   const auto sub2 = client2.PrepareSubmission();
   ASSERT_TRUE(sub2.ok());
   const auto s2 = server.StartSession(*sub2);
@@ -146,7 +147,7 @@ TEST_F(ServiceTest, ShortSessionsAreNotArchived) {
   options.min_observations_to_archive = 50;
   ResTuneServer server(options);
   DbInstanceSimulator sim = MakeSim(17);
-  ResTuneClient client(&sim, characterizer_);
+  ResTuneClient client(&sim, characterizer_.get());
   const auto sub = client.PrepareSubmission();
   ASSERT_TRUE(sub.ok());
   const auto session = server.StartSession(*sub);

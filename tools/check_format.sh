@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Verifies that every C++ source in src/ tests/ bench/ examples/ matches the
+# repo .clang-format. Read-only: prints a diff per violating file and exits 1;
+# it never rewrites sources (run `clang-format -i` yourself to fix).
+#
+# When clang-format is not installed (the default dev container ships gcc
+# only), the check SKIPS with exit 0 so local ctest runs stay green; CI
+# installs clang-format and gets the real verdict.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: $CLANG_FORMAT not found; skipping (install clang-format to enable)"
+  exit 0
+fi
+
+status=0
+checked=0
+while IFS= read -r -d '' file; do
+  checked=$((checked + 1))
+  if ! diff -u --label "$file (repo)" --label "$file (clang-format)" \
+      "$file" <("$CLANG_FORMAT" --style=file "$file"); then
+    status=1
+  fi
+done < <(find src tests bench examples \
+              \( -name '*.cc' -o -name '*.h' \) -print0 | sort -z)
+
+if [ "$status" -ne 0 ]; then
+  echo "check_format: formatting violations found (see diffs above)."
+  echo "check_format: fix with: $CLANG_FORMAT -i <file>"
+else
+  echo "check_format: $checked files clean"
+fi
+exit "$status"

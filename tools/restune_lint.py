@@ -1,0 +1,422 @@
+#!/usr/bin/env python3
+"""restune_lint: project-specific C++ lint rules the compiler cannot enforce.
+
+Rules (see docs/CORRECTNESS.md for rationale):
+
+  rng-discipline   No rand()/srand()/std::random_device/std::mt19937/
+                   time(...) wall-clock seeding outside src/common/rng.*.
+                   Every stochastic component must draw from restune::Rng so
+                   runs stay reproducible bit-for-bit.
+  naked-new        No naked `new` / `delete`. Ownership goes through
+                   std::make_unique / std::make_shared / containers.
+  raw-thread       No std::thread/std::jthread/std::async/pthread_create
+                   outside src/common/thread_pool.*. Ad-hoc threads break
+                   the deterministic ParallelFor execution model.
+  ignored-status   A statement-position call to a function returning Status
+                   or Result<T> discards the error. Use
+                   RESTUNE_RETURN_IF_ERROR / RESTUNE_ASSIGN_OR_RETURN,
+                   check .ok(), or cast to (void) with a reason.
+  no-float         No `float` in src/linalg or src/gp: the numeric kernels
+                   are double-only by design (mixed precision silently
+                   loses the bitwise determinism the replay machinery
+                   depends on).
+  include-guard    Headers use a #ifndef guard derived from their path
+                   (src/gp/kernel.h -> RESTUNE_GP_KERNEL_H_), not
+                   #pragma once, so guards are greppable and collisions
+                   impossible.
+
+Suppression, from most to least local:
+  * `// restune-lint: allow(rule)` on the offending line;
+  * an allowlist file (default tools/lint_allowlist.txt) with lines of
+    `rule path-glob  # reason`.
+
+Output is human-readable by default; `--json` emits a CI-friendly list of
+{"path", "line", "rule", "message"} objects. Exit status is 1 iff findings
+remain after suppression. There is deliberately no --fix mode: every
+violation is either a bug to fix by hand or a conscious exception to record
+with a reason.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+ALLOW_MARKER = re.compile(r"//\s*restune-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+RNG_EXEMPT = ("src/common/rng.h", "src/common/rng.cc")
+THREAD_EXEMPT = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
+FLOAT_SCOPES = ("src/linalg/", "src/gp/")
+
+RNG_PATTERN = re.compile(
+    r"\b(rand|srand|drand48|lrand48|time)\s*\("
+    r"|std::(random_device|mt19937(?:_64)?|minstd_rand0?|default_random_engine)\b"
+)
+NEW_DELETE_PATTERN = re.compile(r"(?<!\w)(new|delete)(?:\s*\[\s*\])?(?![\w(])")
+THREAD_PATTERN = re.compile(r"std::(thread|jthread|async)\b|\bpthread_create\b")
+FLOAT_PATTERN = re.compile(r"\bfloat\b")
+
+# `Status Foo(...)` / `Result<T> Foo(...)` declarations; used to build the
+# set of function names whose return value must not be discarded.
+STATUS_DECL_PATTERN = re.compile(
+    r"(?:^|[;{}]|\n)\s*(?:virtual\s+|static\s+|\[\[nodiscard\]\]\s+)*"
+    r"(Status|Result<[^;{}()]{1,80}>)\s+(\w+)\s*\("
+)
+# Any other `Type Foo(...)` declaration; names that also appear with a
+# non-Status return type are ambiguous under a regex-only analysis, so they
+# are skipped rather than risk false positives (e.g. DdpgAgent::Observe
+# returns void while the advisors' Observe returns Status).
+ANY_DECL_PATTERN = re.compile(
+    r"(?:^|[;{}]|\n)\s*(?:virtual\s+|static\s+|inline\s+|constexpr\s+|explicit\s+)*"
+    r"((?:::)?[\w:]+(?:<[^;{}()]{1,80}>)?[&*]?)\s+(\w+)\s*\("
+)
+
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "assert",
+    "defined", "alignof", "decltype", "static_assert",
+}
+
+
+def is_header(path):
+    return path.endswith((".h", ".hpp"))
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment/string contents with spaces, preserving newlines.
+
+    Line numbers and column positions of remaining code are unchanged, so
+    findings can point at the original source.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def as_dict(self):
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def load_allowlist(path):
+    entries = []
+    if not path or not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                print(
+                    f"{path}:{lineno}: malformed allowlist entry "
+                    f"(want 'rule path-glob'): {raw.rstrip()}",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def allowed(finding, allowlist):
+    for rule, glob in allowlist:
+        if rule in (finding.rule, "*") and fnmatch.fnmatch(finding.path, glob):
+            return True
+    return False
+
+
+def inline_allowed_rules(raw_line):
+    m = ALLOW_MARKER.search(raw_line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def expected_guard(relpath):
+    trimmed = relpath[4:] if relpath.startswith("src/") else relpath
+    token = re.sub(r"[^A-Za-z0-9]", "_", trimmed).upper()
+    return f"RESTUNE_{token}_"
+
+
+def collect_status_functions(files):
+    """Names that *only* ever appear returning Status/Result across `files`."""
+    status_names = set()
+    other_names = set()
+    for path, _rel, text in files:
+        if not is_header(path):
+            continue
+        code = strip_comments_and_strings(text)
+        for m in STATUS_DECL_PATTERN.finditer(code):
+            status_names.add(m.group(2))
+        for m in ANY_DECL_PATTERN.finditer(code):
+            rtype, name = m.group(1), m.group(2)
+            if rtype in ("Status",) or rtype.startswith("Result<"):
+                continue
+            if rtype in CONTROL_KEYWORDS or name in CONTROL_KEYWORDS:
+                continue
+            other_names.add(name)
+    return status_names - other_names - CONTROL_KEYWORDS
+
+
+def check_rng(rel, code_lines, raw_lines, findings):
+    if rel in RNG_EXEMPT:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        m = RNG_PATTERN.search(line)
+        if m:
+            findings.append(Finding(
+                rel, lineno, "rng-discipline",
+                f"'{m.group(0).strip()}' bypasses restune::Rng; all "
+                "randomness must flow through src/common/rng.* so runs are "
+                "reproducible"))
+
+
+def check_new_delete(rel, code_lines, raw_lines, findings):
+    for lineno, line in enumerate(code_lines, 1):
+        # Deleted/defaulted special members are declarations, not ownership.
+        line = re.sub(r"=\s*(delete|default)\b", "", line)
+        for m in NEW_DELETE_PATTERN.finditer(line):
+            findings.append(Finding(
+                rel, lineno, "naked-new",
+                f"naked '{m.group(1)}'; use std::make_unique/"
+                "std::make_shared or a container"))
+
+
+def check_threads(rel, code_lines, raw_lines, findings):
+    if rel in THREAD_EXEMPT:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        m = THREAD_PATTERN.search(line)
+        if m:
+            findings.append(Finding(
+                rel, lineno, "raw-thread",
+                f"'{m.group(0)}' outside the ThreadPool; ad-hoc threads "
+                "break the deterministic ParallelFor execution model"))
+
+
+def check_float(rel, code_lines, raw_lines, findings):
+    if not rel.startswith(FLOAT_SCOPES):
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        if FLOAT_PATTERN.search(line):
+            findings.append(Finding(
+                rel, lineno, "no-float",
+                "'float' in the double-only numeric core; mixed precision "
+                "breaks bitwise replay determinism"))
+
+
+STATEMENT_CALL = r"^\s*(?:[\w\[\]]+(?:\.|->))*{name}\s*\("
+IGNORE_STATEMENT = re.compile(
+    r"=|\breturn\b|\(void\)|RESTUNE_|EXPECT_|ASSERT_|CHECK\(|\bco_return\b")
+
+
+def check_ignored_status(rel, code_text, status_functions, findings):
+    # Statement-level scan: split the comment/string-stripped code on ';'
+    # and flag statements that *start* with a call to a Status-returning
+    # function (possibly via object.method / pointer->method) and neither
+    # consume nor forward the result. AST-lite on purpose: names whose
+    # declarations are ambiguous never enter `status_functions`.
+    line = 1
+    call_head = re.compile(r"^((?:[\w\[\]]+(?:\.|->))*)(\w+)\s*\(")
+    for statement in code_text.split(";"):
+        # A chunk between semicolons may drag along the tail of an enclosing
+        # construct (`void F() {\n  session.Begin(...)`) — the statement
+        # proper starts after the last brace.
+        brace = max(statement.rfind("{"), statement.rfind("}"))
+        tail = statement[brace + 1:] if brace >= 0 else statement
+        stripped = tail.strip()
+        if stripped and not IGNORE_STATEMENT.search(stripped):
+            m = call_head.match(stripped)
+            if m and m.group(2) in status_functions:
+                name = m.group(2)
+                pos = brace + 1 + (len(tail) - len(tail.lstrip())) + m.start(2)
+                call_line = line + statement[:pos].count("\n")
+                findings.append(Finding(
+                    rel, call_line, "ignored-status",
+                    f"result of '{name}(...)' (returns Status/Result) is "
+                    "discarded; propagate it, check .ok(), or cast to "
+                    "(void) with a reason"))
+        line += statement.count("\n")
+
+
+def check_include_guard(rel, raw_text, findings):
+    guard = expected_guard(rel)
+    lines = raw_text.splitlines()
+    if "#pragma once" in raw_text:
+        line = next((i for i, l in enumerate(lines, 1)
+                     if "#pragma once" in l), 1)
+        findings.append(Finding(
+            rel, line, "include-guard",
+            f"'#pragma once' — use the path-derived guard {guard}"))
+        return
+    m_ifndef = re.search(r"^#ifndef\s+(\S+)", raw_text, re.MULTILINE)
+    m_define = re.search(r"^#define\s+(\S+)", raw_text, re.MULTILINE)
+    if not m_ifndef or not m_define or m_ifndef.group(1) != guard \
+            or m_define.group(1) != guard:
+        got = m_ifndef.group(1) if m_ifndef else "(none)"
+        findings.append(Finding(
+            rel, 1, "include-guard",
+            f"include guard is {got}, expected path-derived {guard}"))
+        return
+    if "#endif" not in raw_text:
+        findings.append(Finding(
+            rel, len(lines), "include-guard",
+            f"missing closing #endif for guard {guard}"))
+
+
+def gather_files(paths, root):
+    files = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            candidates = [full]
+        else:
+            candidates = []
+            for dirpath, dirnames, filenames in os.walk(full):
+                dirnames[:] = [d for d in dirnames
+                               if d not in ("build", ".git")]
+                for name in sorted(filenames):
+                    candidates.append(os.path.join(dirpath, name))
+        for c in candidates:
+            if c.endswith(CXX_EXTENSIONS):
+                rel = os.path.relpath(c, root).replace(os.sep, "/")
+                with open(c, encoding="utf-8") as f:
+                    files.append((c, rel, f.read()))
+    return files
+
+
+def run_lint(paths, root, allowlist_path):
+    allowlist = load_allowlist(allowlist_path)
+    files = gather_files(paths, root)
+    status_functions = collect_status_functions(files)
+    findings = []
+    for _path, rel, text in files:
+        raw_lines = text.splitlines()
+        code_text = strip_comments_and_strings(text)
+        code_lines = code_text.splitlines()
+        file_findings = []
+        check_rng(rel, code_lines, raw_lines, file_findings)
+        check_new_delete(rel, code_lines, raw_lines, file_findings)
+        check_threads(rel, code_lines, raw_lines, file_findings)
+        check_float(rel, code_lines, raw_lines, file_findings)
+        check_ignored_status(rel, code_text, status_functions, file_findings)
+        if is_header(rel):
+            check_include_guard(rel, text, file_findings)
+        for f in file_findings:
+            # Inline suppression applies on the offending line or, for lines
+            # with no room for a trailing comment, on the line above.
+            local = set()
+            if 1 <= f.line <= len(raw_lines):
+                local |= inline_allowed_rules(raw_lines[f.line - 1])
+            if f.line >= 2:
+                local |= inline_allowed_rules(raw_lines[f.line - 2])
+            if f.rule in local or allowed(f, allowlist):
+                continue
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to lint (repo-relative)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array on stdout")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: "
+                             "<root>/tools/lint_allowlist.txt)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(
+        args.root or os.path.join(os.path.dirname(__file__), os.pardir))
+    allowlist_path = args.allowlist
+    if allowlist_path is None:
+        allowlist_path = os.path.join(root, "tools", "lint_allowlist.txt")
+
+    findings = run_lint(args.paths, root, allowlist_path)
+
+    if args.json:
+        json.dump([f.as_dict() for f in findings], sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for f in findings:
+            print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+        if findings:
+            print(f"\nrestune_lint: {len(findings)} finding(s)")
+        else:
+            print("restune_lint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

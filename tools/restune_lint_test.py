@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Self-test for restune_lint.py against small fixture snippets.
+
+Runs under pytest (`pytest tools/restune_lint_test.py`) or standalone
+(`python3 tools/restune_lint_test.py`); the standalone runner executes every
+`test_*` function and reports pass/fail, so CI does not need pytest.
+
+Each test materializes a miniature repo layout in a temp directory and runs
+the real `run_lint` entry point over it, asserting on (rule, line) pairs —
+the same code path the CLI uses, so the fixtures double as documentation of
+what each rule does and does not flag.
+"""
+
+import os
+import sys
+import tempfile
+import textwrap
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import restune_lint  # noqa: E402
+
+
+class FixtureTree:
+    """Temp directory that mimics the repo layout for run_lint."""
+
+    def __init__(self):
+        self._dir = tempfile.TemporaryDirectory(prefix="restune_lint_test_")
+        self.root = self._dir.name
+
+    def write(self, relpath, content):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(textwrap.dedent(content))
+        return path
+
+    def lint(self, *subdirs, allowlist=None):
+        paths = [os.path.join(self.root, d) for d in (subdirs or ("src",))]
+        findings = restune_lint.run_lint(paths, self.root, allowlist)
+        return [(f.rule, f.line, f.path) for f in findings]
+
+    def cleanup(self):
+        self._dir.cleanup()
+
+
+GUARDED = """\
+#ifndef RESTUNE_{token}_H_
+#define RESTUNE_{token}_H_
+{body}
+#endif  // RESTUNE_{token}_H_
+"""
+
+
+def guarded(token, body=""):
+    return GUARDED.format(token=token, body=body)
+
+
+def rules_of(findings):
+    return sorted({rule for rule, _line, _path in findings})
+
+
+def test_clean_file_has_no_findings():
+    t = FixtureTree()
+    try:
+        t.write("src/gp/clean.h", guarded("GP_CLEAN", """\
+
+            namespace restune {
+            inline double Twice(double x) { return 2.0 * x; }
+            }  // namespace restune
+            """))
+        assert t.lint() == []
+    finally:
+        t.cleanup()
+
+
+def test_rng_discipline_flags_adhoc_randomness():
+    t = FixtureTree()
+    try:
+        t.write("src/bo/sampler.cc", """\
+            #include <cstdlib>
+            int Draw() {
+              return rand();
+            }
+            unsigned Seed() {
+              std::random_device rd;
+              return rd() + time(nullptr);
+            }
+            """)
+        findings = t.lint()
+        assert rules_of(findings) == ["rng-discipline"]
+        assert [line for _r, line, _p in findings] == [3, 6, 7]
+    finally:
+        t.cleanup()
+
+
+def test_rng_discipline_exempts_common_rng():
+    t = FixtureTree()
+    try:
+        t.write("src/common/rng.cc", """\
+            unsigned Seed() {
+              std::random_device rd;
+              return rd();
+            }
+            """)
+        assert t.lint() == []
+    finally:
+        t.cleanup()
+
+
+def test_naked_new_and_delete_are_flagged():
+    t = FixtureTree()
+    try:
+        t.write("src/tuner/owner.cc", """\
+            struct T {};
+            T* Make() { return new T(); }
+            void Free(T* t) { delete t; }
+            """)
+        findings = t.lint()
+        assert rules_of(findings) == ["naked-new"]
+        assert len(findings) == 2
+    finally:
+        t.cleanup()
+
+
+def test_make_unique_and_deleted_members_are_not_flagged():
+    t = FixtureTree()
+    try:
+        t.write("src/tuner/ok.cc", """\
+            #include <memory>
+            struct T {
+              T(const T&) = delete;
+              T& operator=(const T&) = delete;
+            };
+            std::unique_ptr<int> Make() { return std::make_unique<int>(3); }
+            """)
+        assert t.lint() == []
+    finally:
+        t.cleanup()
+
+
+def test_raw_thread_flagged_outside_thread_pool():
+    t = FixtureTree()
+    try:
+        t.write("src/service/worker.cc", """\
+            #include <thread>
+            void Spawn() { std::thread t([] {}); t.join(); }
+            """)
+        t.write("src/common/thread_pool.cc", """\
+            #include <thread>
+            void Pool() { std::thread t([] {}); t.join(); }
+            """)
+        findings = t.lint()
+        assert rules_of(findings) == ["raw-thread"]
+        assert all("service" in path for _r, _l, path in findings)
+    finally:
+        t.cleanup()
+
+
+def test_no_float_in_numeric_core_only():
+    t = FixtureTree()
+    try:
+        t.write("src/linalg/vec.cc", "float Sum(float a, float b);\n")
+        t.write("src/gp/model.cc", "void Fit(float noise);\n")
+        t.write("src/service/wire.cc", "float Encode(double x);\n")
+        findings = t.lint()
+        assert rules_of(findings) == ["no-float"]
+        assert sorted(path for _r, _l, path in findings) == [
+            "src/gp/model.cc",
+            "src/linalg/vec.cc",
+        ]
+    finally:
+        t.cleanup()
+
+
+def test_ignored_status_flagged_only_for_unambiguous_names():
+    t = FixtureTree()
+    try:
+        t.write("src/meta/repo.h", guarded("META_REPO", """\
+
+            namespace restune {
+            class Repo {
+             public:
+              Status AddTask(int task);
+              Status Observe(int x);
+            };
+            class Agent {
+             public:
+              void Observe(int x);  // same name, void: ambiguous
+            };
+            }  // namespace restune
+            """))
+        t.write("src/meta/use.cc", """\
+            #include "meta/repo.h"
+            void Use(restune::Repo* r, restune::Agent* a) {
+              r->AddTask(1);
+              a->Observe(2);
+              Status s = r->AddTask(3);
+              (void)s;
+            }
+            """)
+        findings = t.lint()
+        ignored = [(r, l, p) for r, l, p in findings if r == "ignored-status"]
+        assert ignored == [("ignored-status", 3, "src/meta/use.cc")]
+    finally:
+        t.cleanup()
+
+
+def test_include_guard_must_match_path():
+    t = FixtureTree()
+    try:
+        t.write("src/gp/kernel.h", guarded("GP_WRONG"))
+        t.write("src/gp/pragma.h", "#pragma once\nint x;\n")
+        t.write("src/gp/right.h", guarded("GP_RIGHT"))
+        findings = t.lint()
+        assert rules_of(findings) == ["include-guard"]
+        assert sorted(path for _r, _l, path in findings) == [
+            "src/gp/kernel.h",
+            "src/gp/pragma.h",
+        ]
+    finally:
+        t.cleanup()
+
+
+def test_expected_guard_strips_leading_src():
+    assert restune_lint.expected_guard("src/gp/kernel.h") == \
+        "RESTUNE_GP_KERNEL_H_"
+    assert restune_lint.expected_guard("tests/test_util.h") == \
+        "RESTUNE_TESTS_TEST_UTIL_H_"
+
+
+def test_comments_and_strings_do_not_trigger_rules():
+    t = FixtureTree()
+    try:
+        t.write("src/bo/doc.cc", """\
+            // rand() in a comment, and `new Foo` too.
+            /* std::thread worker; */
+            const char* kMsg = "call rand() and new and delete";
+            int x = 0;
+            """)
+        assert t.lint() == []
+    finally:
+        t.cleanup()
+
+
+def test_inline_suppression_on_line_or_line_above():
+    t = FixtureTree()
+    try:
+        t.write("src/tuner/leak.cc", """\
+            struct P {};
+            P* A() { return new P(); }  // restune-lint: allow(naked-new) -- test
+            // restune-lint: allow(naked-new) -- marker on the line above
+            P* B() { return new P(); }
+            P* C() { return new P(); }
+            """)
+        findings = t.lint()
+        assert [(r, l) for r, l, _p in findings] == [("naked-new", 5)]
+    finally:
+        t.cleanup()
+
+
+def test_allowlist_file_suppresses_by_rule_and_glob():
+    t = FixtureTree()
+    try:
+        t.write("src/tuner/leak.cc", "struct P {};\nP* A() { return new P(); }\n")
+        allow = t.write("allow.txt",
+                        "naked-new src/tuner/*.cc  # fixture exception\n")
+        assert t.lint(allowlist=allow) == []
+        # A non-matching rule must not suppress.
+        allow2 = t.write("allow2.txt", "no-float src/tuner/*.cc  # wrong rule\n")
+        assert rules_of(t.lint(allowlist=allow2)) == ["naked-new"]
+    finally:
+        t.cleanup()
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = []
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as e:
+            failed.append(name)
+            print(f"FAIL {name}: {e}")
+    print(f"{len(tests) - len(failed)}/{len(tests)} passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

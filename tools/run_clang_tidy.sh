@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: repo .clang-tidy) over src/ using the compile
+# database exported by CMake. Usage:
+#
+#   tools/run_clang_tidy.sh [build-dir]
+#
+# The build dir must have been configured with CMAKE_EXPORT_COMPILE_COMMANDS
+# (the top-level CMakeLists turns it on unconditionally). When clang-tidy is
+# not installed (the default dev container ships gcc only), the check SKIPS
+# with exit 0; CI installs clang-tidy and gets the real verdict.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $CLANG_TIDY not found; skipping (install clang-tidy to enable)"
+  exit 0
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing;" \
+       "configure with cmake first" >&2
+  exit 2
+fi
+
+# run-clang-tidy parallelizes across the compile database when available;
+# fall back to a serial loop otherwise.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$CLANG_TIDY" -p "$BUILD_DIR" -quiet \
+      "$(pwd)/src/.*\.cc$"
+  exit $?
+fi
+
+status=0
+while IFS= read -r -d '' file; do
+  "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "$file" || status=1
+done < <(find src -name '*.cc' -print0 | sort -z)
+exit "$status"
