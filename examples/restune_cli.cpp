@@ -8,16 +8,19 @@
 //               [--iterations N] [--seed S]
 //               [--method restune|noml|ituned|ottertune|cdbtune]
 //               [--repository file.txt] [--save-repository file.txt]
-//               [--data-gb G]
+//               [--data-gb G] [--trace-out trace.jsonl]
 //
 // With --save-repository, the finished session's observations are appended
 // to the repository file so later runs start warm (the paper's flywheel).
+// With --trace-out, the session's spans and final counters are written as
+// JSON lines (see docs/OBSERVABILITY.md for the schema).
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "tuner/harness.h"
 
 using namespace restune;
@@ -30,7 +33,7 @@ void Usage() {
       "usage: restune_cli [--workload W] [--instance A-F] [--resource R]\n"
       "                   [--iterations N] [--seed S] [--method M]\n"
       "                   [--repository FILE] [--save-repository FILE]\n"
-      "                   [--data-gb G]\n");
+      "                   [--data-gb G] [--trace-out FILE]\n");
 }
 
 }  // namespace
@@ -43,6 +46,7 @@ int main(int argc, char** argv) {
   std::string resource = "cpu";
   std::string method_name = "restune";
   std::string repository_path, save_repository_path;
+  std::string trace_out_path;
   double data_gb = 0.0;
   ExperimentConfig config;
   config.iterations = 50;
@@ -88,6 +92,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(), 2;
       data_gb = std::atof(v);
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      trace_out_path = v;
     } else {
       Usage();
       return 2;
@@ -163,8 +171,18 @@ int main(int argc, char** argv) {
   std::printf("tuning %s on %s for %s with %s (%d iterations)...\n",
               workload->name.c_str(), hw->name.c_str(), resource.c_str(),
               MethodName(method), config.iterations);
+  if (!trace_out_path.empty() &&
+      !obs::Tracer::Global()->Start(trace_out_path)) {
+    std::fprintf(stderr, "trace-out: cannot open '%s' for writing\n",
+                 trace_out_path.c_str());
+    return 1;
+  }
   const Result<SessionResult> result =
       RunMethod(method, &*sim, inputs, config);
+  if (!trace_out_path.empty()) {
+    obs::Tracer::Global()->Stop();
+    std::fprintf(stderr, "trace written to %s\n", trace_out_path.c_str());
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;

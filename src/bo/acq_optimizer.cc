@@ -7,6 +7,8 @@
 #include "bo/lhs.h"
 #include "common/contracts.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace restune {
 
@@ -15,6 +17,28 @@ namespace {
 struct Scored {
   Vector x;
   double value;
+};
+
+struct AcqMetrics {
+  obs::Counter* sweeps;
+  obs::Counter* candidates;
+  obs::Counter* refined;
+  obs::Counter* rejected;
+
+  static AcqMetrics* Get() {
+    static AcqMetrics* m = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      // restune-lint: allow(naked-new) -- intentional leak, handle cache
+      auto* metrics = new AcqMetrics();
+      metrics->sweeps = registry->GetCounter("restune_acq_sweeps_total");
+      metrics->candidates =
+          registry->GetCounter("restune_acq_candidates_total");
+      metrics->refined = registry->GetCounter("restune_acq_refined_total");
+      metrics->rejected = registry->GetCounter("restune_acq_rejected_total");
+      return metrics;
+    }();
+    return m;
+  }
 };
 
 /// Local stencil search from `start`. Each pass scores the full 2*dim
@@ -71,6 +95,9 @@ Scored RefineCandidate(const BatchAcquisitionFn& acquisition, Scored start,
 Vector MaximizeAcquisitionBatch(const BatchAcquisitionFn& acquisition,
                                 size_t dim, Rng* rng,
                                 const AcqOptimizerOptions& options) {
+  RESTUNE_TRACE_SPAN("acq.sweep");
+  AcqMetrics* metrics = AcqMetrics::Get();
+  metrics->sweeps->Add();
   // Candidates come from the caller's RNG before any parallel work, so the
   // sampled sweep is independent of the pool size. At least one candidate
   // is always drawn — an empty sweep has no best point to return.
@@ -101,14 +128,18 @@ Vector MaximizeAcquisitionBatch(const BatchAcquisitionFn& acquisition,
         << "acquisition value at candidate " << r
         << " is NaN; the surrogate produced a non-finite prediction";
   }
+  metrics->candidates->Add(static_cast<int64_t>(samples.size()));
   if (options.reject) {
     // Vetoed candidates keep their slot (the sweep stays aligned with the
     // RNG draw sequence) but can never be selected or refined upward.
+    int64_t rejected = 0;
     for (size_t r = 0; r < samples.size(); ++r) {
       if (options.reject(samples[r])) {
         values[r] = -std::numeric_limits<double>::infinity();
+        ++rejected;
       }
     }
+    metrics->rejected->Add(rejected);
   }
 
   std::vector<Scored> pool;
@@ -129,10 +160,14 @@ Vector MaximizeAcquisitionBatch(const BatchAcquisitionFn& acquisition,
   // Each local search is independent and owns its output slot; the winner
   // is reduced in candidate order afterwards, so the result matches a
   // serial sweep exactly.
+  metrics->refined->Add(static_cast<int64_t>(refine_count));
   std::vector<Scored> refined(refine_count);
-  ResolvePool(options.pool)->ParallelFor(refine_count, [&](size_t c) {
-    refined[c] = RefineCandidate(acquisition, pool[c], dim, options);
-  });
+  {
+    RESTUNE_TRACE_SPAN("acq.refine");
+    ResolvePool(options.pool)->ParallelFor(refine_count, [&](size_t c) {
+      refined[c] = RefineCandidate(acquisition, pool[c], dim, options);
+    });
+  }
 
   Scored best = pool.front();
   for (const Scored& candidate : refined) {

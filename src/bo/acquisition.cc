@@ -4,8 +4,19 @@
 #include <cmath>
 
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace restune {
+
+namespace {
+
+obs::Counter* CeiEvaluationsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global()->GetCounter(
+      "restune_acq_cei_evaluations_total");
+  return counter;
+}
+
+}  // namespace
 
 double ExpectedImprovement(const GpPrediction& res, double best) {
   const double sigma = res.stddev();
@@ -33,6 +44,7 @@ double ProbabilityOfFeasibility(const GpPrediction& tps,
 double ConstrainedExpectedImprovement(const Surrogate& surrogate,
                                       const Vector& theta,
                                       const AcquisitionContext& ctx) {
+  CeiEvaluationsCounter()->Add();
   const GpPrediction tps = surrogate.PredictMetric(MetricKind::kTps, theta);
   const GpPrediction lat = surrogate.PredictMetric(MetricKind::kLat, theta);
   const double p_feasible =
@@ -48,6 +60,7 @@ double ConstrainedExpectedImprovement(const Surrogate& surrogate,
 std::vector<double> ConstrainedExpectedImprovementBatch(
     const Surrogate& surrogate, const Matrix& thetas,
     const AcquisitionContext& ctx) {
+  CeiEvaluationsCounter()->Add(static_cast<int64_t>(thetas.rows()));
   const std::vector<GpPrediction> tps =
       surrogate.PredictMetricBatch(MetricKind::kTps, thetas);
   const std::vector<GpPrediction> lat =

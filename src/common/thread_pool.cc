@@ -4,9 +4,38 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace restune {
 
 namespace {
+
+/// Pool activity metrics. Counters only — one relaxed add per loop/chunk,
+/// never a clock read, so instrumentation cannot perturb scheduling.
+struct PoolMetrics {
+  obs::Counter* loops;
+  obs::Counter* inline_loops;
+  obs::Counter* chunks;
+  obs::Counter* helper_tasks;
+  obs::Gauge* queue_depth;
+
+  static PoolMetrics* Get() {
+    static PoolMetrics* m = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      // restune-lint: allow(naked-new) -- intentional leak, handle cache
+      auto* metrics = new PoolMetrics();
+      metrics->loops = registry->GetCounter("restune_pool_loops_total");
+      metrics->inline_loops =
+          registry->GetCounter("restune_pool_inline_loops_total");
+      metrics->chunks = registry->GetCounter("restune_pool_chunks_total");
+      metrics->helper_tasks =
+          registry->GetCounter("restune_pool_helper_tasks_total");
+      metrics->queue_depth = registry->GetGauge("restune_pool_queue_depth");
+      return metrics;
+    }();
+    return m;
+  }
+};
 
 // Set while a thread is executing pool work; nested loops detect it and run
 // inline instead of re-entering the queue.
@@ -24,9 +53,11 @@ struct LoopState {
   size_t pending_helpers = 0;  // guarded by mu
 
   void RunChunks() {
+    obs::Counter* chunks_total = PoolMetrics::Get()->chunks;
     while (true) {
       const size_t begin = next.fetch_add(chunk);
       if (begin >= n) return;
+      chunks_total->Add();
       (*fn)(begin, std::min(n, begin + chunk));
     }
   }
@@ -69,10 +100,13 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::RunLoop(size_t n, size_t chunk,
                          const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
+  PoolMetrics* metrics = PoolMetrics::Get();
   if (num_threads() <= 1 || n <= 1 || t_inside_pool_work) {
+    metrics->inline_loops->Add();
     fn(0, n);
     return;
   }
+  metrics->loops->Add();
   LoopState state;
   state.n = n;
   state.chunk = chunk;
@@ -95,6 +129,8 @@ void ThreadPool::RunLoop(size_t n, size_t chunk,
         if (--state.pending_helpers == 0) state.done.notify_one();
       });
     }
+    metrics->helper_tasks->Add(static_cast<int64_t>(helpers));
+    metrics->queue_depth->Set(static_cast<double>(queue_.size()));
   }
   cv_.notify_all();
 

@@ -30,6 +30,9 @@ enum class FaultKind {
   kCorruptedMetrics,
 };
 
+/// Number of FaultKind values, for taxonomy-indexed tables (kNone included).
+inline constexpr size_t kNumFaultKinds = 5;
+
 const char* FaultKindName(FaultKind kind);
 
 /// True for fault kinds a bounded-retry policy should re-attempt.

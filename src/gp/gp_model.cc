@@ -7,6 +7,8 @@
 #include "common/nelder_mead.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace restune {
 
@@ -16,6 +18,29 @@ namespace {
 // from degenerate kernels (zero or enormous lengthscales/amplitudes).
 constexpr double kLogParamMin = -5.0;
 constexpr double kLogParamMax = 4.0;
+
+struct GpMetrics {
+  obs::Counter* fits;
+  obs::Counter* factor_extensions;
+  obs::Counter* hyperopts;
+  obs::Counter* predict_points;
+
+  static GpMetrics* Get() {
+    static GpMetrics* m = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      // restune-lint: allow(naked-new) -- intentional leak, handle cache
+      auto* metrics = new GpMetrics();
+      metrics->fits = registry->GetCounter("restune_gp_fits_total");
+      metrics->factor_extensions =
+          registry->GetCounter("restune_gp_factor_extensions_total");
+      metrics->hyperopts = registry->GetCounter("restune_gp_hyperopts_total");
+      metrics->predict_points =
+          registry->GetCounter("restune_gp_predict_points_total");
+      return metrics;
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -171,6 +196,7 @@ Status GpModel::Update(const Vector& x, double y) {
   if (factor_extended) {
     // Targets changed (normalization shifts every entry) but K did not:
     // only the O(n^2) weight solve is redone.
+    GpMetrics::Get()->factor_extensions->Add();
     alpha_ = chol_->Solve(y_norm_);
     return Status::OK();
   }
@@ -178,6 +204,8 @@ Status GpModel::Update(const Vector& x, double y) {
 }
 
 Status GpModel::Refit(bool optimize) {
+  RESTUNE_TRACE_SPAN("gp.fit");
+  GpMetrics::Get()->fits->Add();
   if (optimize && x_.rows() >= 3) OptimizeHyperparams();
   return Factorize();
 }
@@ -213,6 +241,8 @@ double GpModel::NegativeLogMarginalLikelihoodFor(
 }
 
 void GpModel::OptimizeHyperparams() {
+  RESTUNE_TRACE_SPAN("gp.hyperopt");
+  GpMetrics::Get()->hyperopts->Add();
   auto objective = [this](const std::vector<double>& p) {
     return NegativeLogMarginalLikelihoodFor(p);
   };
@@ -279,6 +309,7 @@ std::vector<GpPrediction> GpModel::PredictBatch(const Matrix& x,
   const size_t m = x.rows();
   std::vector<GpPrediction> out(m);
   if (m == 0) return out;
+  GpMetrics::Get()->predict_points->Add(static_cast<int64_t>(m));
   ThreadPool* tp = ResolvePool(pool);
   const size_t n = x_.rows();
   const Matrix k_star = kernel_->CrossCovarianceMatrix(x_, x, tp);  // n x m
@@ -315,6 +346,7 @@ Vector GpModel::PredictMeanBatch(const Matrix& x, ThreadPool* pool) const {
   const size_t m = x.rows();
   Vector mean(m, 0.0);
   if (m == 0) return mean;
+  GpMetrics::Get()->predict_points->Add(static_cast<int64_t>(m));
   ThreadPool* tp = ResolvePool(pool);
   const size_t n = x_.rows();
   const Matrix k_star = kernel_->CrossCovarianceMatrix(x_, x, tp);

@@ -7,8 +7,51 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "linalg/matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace restune {
+
+namespace {
+
+struct MetaMetrics {
+  obs::Counter* observations;
+  obs::Counter* failures;
+  obs::Counter* weight_recomputes;
+  obs::Counter* dynamic_switches;
+  obs::Gauge* base_learners;
+  obs::Gauge* target_weight;
+
+  static MetaMetrics* Get() {
+    static MetaMetrics* m = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      // restune-lint: allow(naked-new) -- intentional leak, handle cache
+      auto* metrics = new MetaMetrics();
+      metrics->observations =
+          registry->GetCounter("restune_meta_observations_total");
+      metrics->failures = registry->GetCounter("restune_meta_failures_total");
+      metrics->weight_recomputes =
+          registry->GetCounter("restune_meta_weight_recomputes_total");
+      metrics->dynamic_switches =
+          registry->GetCounter("restune_meta_dynamic_switches_total");
+      metrics->base_learners = registry->GetGauge("restune_meta_base_learners");
+      metrics->target_weight =
+          registry->GetGauge("restune_meta_weight{learner=\"target\"}");
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+/// Per-base-learner weight gauges, created lazily per ensemble position.
+/// Position (not name) keys the gauge so the cardinality is bounded by the
+/// ensemble size regardless of repository contents.
+obs::Gauge* BaseWeightGauge(size_t index) {
+  return obs::MetricsRegistry::Global()->GetGauge(
+      "restune_meta_weight{learner=\"base" + std::to_string(index) + "\"}");
+}
+
+}  // namespace
 
 double EpanechnikovKernel(double t) {
   if (t > 1.0 || t < -1.0) return 0.0;
@@ -41,6 +84,7 @@ MetaLearner::MetaLearner(size_t dim, std::vector<BaseLearner> base_learners,
     bases_.push_back(std::move(base));
   }
   base_pred_cache_.resize(bases_.size());
+  MetaMetrics::Get()->base_learners->Set(static_cast<double>(bases_.size()));
   GpOptions target_options = options_.target_gp;
   target_options.normalize_y = false;  // we standardize the history ourselves
   target_options.seed = options.seed ^ 0x5bd1e995;
@@ -84,6 +128,8 @@ Status MetaLearner::AddObservation(const Observation& raw_observation) {
       !std::isfinite(raw_observation.lat)) {
     return Status::InvalidArgument("non-finite metric in observation");
   }
+  RESTUNE_TRACE_SPAN("meta.observe");
+  MetaMetrics::Get()->observations->Add();
   target_raw_.push_back(raw_observation);
   RESTUNE_RETURN_IF_ERROR(RefitTargetGp());
 
@@ -115,6 +161,7 @@ Status MetaLearner::AddFailure(const Vector& theta, double penalty_tps,
   if (!std::isfinite(penalty_tps) || !std::isfinite(penalty_lat)) {
     return Status::InvalidArgument("non-finite penalty value");
   }
+  MetaMetrics::Get()->failures->Add();
   Observation penalized;
   penalized.theta = theta;
   penalized.tps = penalty_tps;
@@ -270,8 +317,13 @@ std::vector<double> MetaLearner::DynamicWeights() {
 }
 
 void MetaLearner::RecomputeWeights() {
-  std::vector<double> w =
-      in_static_phase() ? StaticWeights() : DynamicWeights();
+  RESTUNE_TRACE_SPAN("meta.weights");
+  MetaMetrics* metrics = MetaMetrics::Get();
+  metrics->weight_recomputes->Add();
+  const bool static_phase = in_static_phase();
+  if (was_static_phase_ && !static_phase) metrics->dynamic_switches->Add();
+  was_static_phase_ = static_phase;
+  std::vector<double> w = static_phase ? StaticWeights() : DynamicWeights();
   double sum = 0.0;
   for (double v : w) sum += v;
   if (sum < 1e-12) {
@@ -284,6 +336,7 @@ void MetaLearner::RecomputeWeights() {
     if (sum < 1e-12) {
       w.assign(w.size(), 0.0);
       weights_ = std::move(w);
+      PublishWeightGauges();
       return;
     }
   }
@@ -302,6 +355,18 @@ void MetaLearner::RecomputeWeights() {
       << "ensemble weights sum to " << check_sum << ", expected 1";
 #endif
   weights_ = std::move(w);
+  PublishWeightGauges();
+}
+
+void MetaLearner::PublishWeightGauges() const {
+  if (weights_.empty()) return;
+  // One gauge per ensemble position; the handles are process-global and
+  // cached inside the registry, so this is a cold map lookup per learner
+  // once per iteration — far off the hot path.
+  for (size_t i = 0; i + 1 < weights_.size(); ++i) {
+    BaseWeightGauge(i)->Set(weights_[i]);
+  }
+  MetaMetrics::Get()->target_weight->Set(weights_.back());
 }
 
 GpPrediction MetaLearner::PredictMetric(MetricKind kind,

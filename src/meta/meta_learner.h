@@ -117,6 +117,8 @@ class MetaLearner : public Surrogate {
   };
 
   void RecomputeWeights();
+  /// Mirrors weights_ into per-learner observability gauges.
+  void PublishWeightGauges() const;
   std::vector<double> StaticWeights() const;
   std::vector<double> DynamicWeights();
   /// Sampled ranking losses; rows = samples, cols = learners (target last).
@@ -137,6 +139,9 @@ class MetaLearner : public Surrogate {
   std::unique_ptr<MultiOutputGp> target_gp_;
 
   std::vector<double> weights_;  // normalized, target last
+  /// Whether the previous RecomputeWeights ran the static path — detects
+  /// the static→dynamic switch for the phase-transition counter.
+  bool was_static_phase_ = true;
 
   /// base_pred_cache_[i][j]: base learner i's posterior at target point j
   /// (standardized units of learner i). Grows incrementally with the target

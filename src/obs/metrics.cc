@@ -1,0 +1,262 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace restune {
+namespace obs {
+
+namespace {
+
+std::atomic<size_t>& ShardCursor() {
+  static std::atomic<size_t> cursor{0};
+  return cursor;
+}
+
+/// Prometheus sample lines need the metric's base name separated from any
+/// baked-in label block so suffixes (`_bucket`, `_sum`) attach correctly.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+size_t ThisThreadShard() {
+  thread_local const size_t shard =
+      ShardCursor().fetch_add(1, std::memory_order_relaxed) %
+      kMetricShards;
+  return shard;
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Set(int64_t value) {
+  shards_[0].value.store(value, std::memory_order_relaxed);
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    shards_[i].value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::Set(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  bits_.store(bits, std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  const uint64_t bits = bits_.load(std::memory_order_relaxed);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value >= kHistogramMin)) return 0;  // also catches NaN
+  // Bucket i covers [kHistogramMin * 2^i, kHistogramMin * 2^(i+1)).
+  const int exponent = std::ilogb(value / kHistogramMin);
+  if (exponent < 0) return 0;
+  if (static_cast<size_t>(exponent) >= kHistogramBuckets) {
+    return kHistogramBuckets;  // overflow bucket
+  }
+  return static_cast<size_t>(exponent);
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  return kHistogramMin * std::ldexp(1.0, static_cast<int>(i) + 1);
+}
+
+void Histogram::Observe(double value) {
+  Shard& shard = shards_[ThisThreadShard()];
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  uint64_t expected = shard.sum_bits.load(std::memory_order_relaxed);
+  for (;;) {
+    double sum = 0.0;
+    std::memcpy(&sum, &expected, sizeof(sum));
+    sum += value;
+    uint64_t desired = 0;
+    std::memcpy(&desired, &sum, sizeof(desired));
+    if (shard.sum_bits.compare_exchange_weak(expected, desired,
+                                             std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    const uint64_t bits = shard.sum_bits.load(std::memory_order_relaxed);
+    double sum = 0.0;
+    std::memcpy(&sum, &bits, sizeof(sum));
+    total += sum;
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum_bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(kHistogramBuckets + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  // restune-lint: allow(naked-new) -- intentional leak, lives for the process
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+CounterSnapshot MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CounterSnapshot snapshot;
+  snapshot.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.emplace_back(name, counter->Value());
+  }
+  return snapshot;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> snapshot;
+  snapshot.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.emplace_back(name, gauge->Value());
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::RestoreCounters(const CounterSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    static_cast<void>(name);
+    counter->Set(0);
+  }
+  for (const auto& [name, value] : snapshot) {
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    slot->Set(value);
+  }
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    static_cast<void>(name);
+    counter->Set(0);
+  }
+  for (auto& [name, gauge] : gauges_) {
+    static_cast<void>(name);
+    gauge->Set(0.0);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    static_cast<void>(name);
+    histogram->Reset();
+  }
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string base, labels;
+  for (const auto& [name, counter] : counters_) {
+    SplitLabels(name, &base, &labels);
+    out += "# TYPE " + base + " counter\n";
+    out += name + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    SplitLabels(name, &base, &labels);
+    out += "# TYPE " + base + " gauge\n";
+    out += name + " " + FormatDouble(gauge->Value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    SplitLabels(name, &base, &labels);
+    out += "# TYPE " + base + " histogram\n";
+    const std::vector<int64_t> buckets = histogram->BucketCounts();
+    // Prometheus histogram buckets are cumulative and carry an `le` label
+    // merged with any labels baked into the metric name.
+    const std::string label_prefix =
+        labels.empty() ? "{" : labels.substr(0, labels.size() - 1) + ",";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      cumulative += buckets[i];
+      const std::string le = i + 1 == buckets.size()
+                                 ? "+Inf"
+                                 : FormatDouble(Histogram::BucketUpperBound(i));
+      out += base + "_bucket" + label_prefix + "le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += base + "_sum" + labels + " " + FormatDouble(histogram->Sum()) + "\n";
+    out += base + "_count" + labels + " " + std::to_string(histogram->Count()) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace restune

@@ -1,0 +1,181 @@
+#ifndef RESTUNE_OBS_METRICS_H_
+#define RESTUNE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// Metrics layer of the observability subsystem (docs/OBSERVABILITY.md).
+///
+/// Three instrument kinds, all process-global and always live:
+///
+///   * `Counter`    — monotonically increasing int64 (events, items).
+///   * `Gauge`      — last-written double (ensemble weights, queue depth).
+///   * `Histogram`  — fixed log2-bucket distribution of doubles
+///                    (durations in seconds, batch sizes).
+///
+/// Hot-path cost model: an increment is one relaxed atomic add on a
+/// cache-line-padded per-thread shard — no locks, no allocation, no clock,
+/// and (by the obs-discipline lint rule) no RNG, so instrumented code stays
+/// bit-identical to uninstrumented code for any thread count. Shards are
+/// merged only on read (`Value()`, `PrometheusText()`), which is the slow
+/// path and may lock the registry.
+///
+/// Handles returned by `MetricsRegistry` are stable for the process
+/// lifetime; instrumented code looks a handle up once (static local or
+/// member) and increments through the pointer thereafter.
+
+namespace restune {
+namespace obs {
+
+/// Shard count for per-thread striping. A power of two; threads hash onto
+/// shards round-robin by creation order, so up-to-16-thread pools see no
+/// sharing at all and wider pools degrade gracefully to light sharing.
+inline constexpr size_t kMetricShards = 16;
+
+/// Index of the calling thread's shard (assigned once per thread).
+size_t ThisThreadShard();
+
+namespace internal {
+
+/// One cache line per shard so concurrent increments from different
+/// threads never contend on the same line.
+struct alignas(64) ShardedCell {
+  std::atomic<int64_t> value{0};
+};
+
+}  // namespace internal
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  /// Adds `n` (≥ 0) to the calling thread's shard. Lock-free.
+  void Add(int64_t n = 1) {
+    shards_[ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards. Read path only.
+  int64_t Value() const;
+
+  /// Overwrites the counter with `value` (shard 0 takes it all). Used by
+  /// checkpoint restore and tests; not a hot-path operation.
+  void Set(int64_t value);
+
+ private:
+  std::array<internal::ShardedCell, kMetricShards> shards_;
+};
+
+/// Last-value gauge. A single atomic double (stored as bits): gauges are
+/// written by one logical owner (e.g. the meta-learner's weight pass), so
+/// striping would only blur "last value" semantics.
+class Gauge {
+ public:
+  void Set(double value);
+  double Value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Fixed log2-bucket histogram. Bucket `i` covers
+/// `[kHistogramMin * 2^i, kHistogramMin * 2^(i+1))`; values below the
+/// first boundary land in bucket 0, values at or above the last boundary
+/// in the overflow bucket. With `kHistogramMin = 1e-6` and 40 buckets the
+/// range spans one microsecond to ~12 minutes — wide enough for both span
+/// durations and backoff sleeps — and every process uses the exact same
+/// layout, so dumps from different runs line up bucket for bucket.
+inline constexpr double kHistogramMin = 1e-6;
+inline constexpr size_t kHistogramBuckets = 40;
+
+class Histogram {
+ public:
+  /// Records one observation. Lock-free: one relaxed add on the bucket
+  /// cell plus two on the count/sum cells of the calling thread's shard.
+  void Observe(double value);
+
+  /// Bucket index for `value` under the fixed layout (overflow bucket is
+  /// index kHistogramBuckets). Exposed for tests and readers.
+  static size_t BucketIndex(double value);
+  /// Upper boundary of bucket `i` (inclusive-exclusive layout).
+  static double BucketUpperBound(size_t i);
+
+  int64_t Count() const;
+  double Sum() const;
+  /// Per-bucket counts, size kHistogramBuckets + 1 (last = overflow).
+  std::vector<int64_t> BucketCounts() const;
+
+  /// Zeroes every shard. Not atomic with respect to concurrent Observe
+  /// calls; test/maintenance path only.
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<int64_t>, kHistogramBuckets + 1> buckets{};
+    std::atomic<int64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};  // double bits, CAS-accumulated
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// A merged point-in-time view of every counter (used by checkpointing;
+/// gauges and histograms are transient by design).
+using CounterSnapshot = std::vector<std::pair<std::string, int64_t>>;
+
+/// Name → instrument registry. Lookup is mutex-guarded (cold path);
+/// returned handles are stable for the process lifetime.
+///
+/// Naming convention (docs/OBSERVABILITY.md): `restune_<area>_<what>`
+/// with `_total` for counters and an optional trailing `{key="value"}`
+/// label pair baked into the name, e.g.
+/// `restune_eval_faults_total{kind="crash"}`.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. Never destroyed.
+  static MetricsRegistry* Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// All counters with their merged values, sorted by name.
+  CounterSnapshot Counters() const;
+
+  /// All gauges with their current values, sorted by name.
+  std::vector<std::pair<std::string, double>> Gauges() const;
+
+  /// Overwrites the named counters with the snapshot values, creating any
+  /// that do not exist yet. Counters not named in the snapshot are zeroed:
+  /// a restore rewinds the whole counter state to the snapshot, so a
+  /// resumed session's numbers match the uninterrupted run's.
+  void RestoreCounters(const CounterSnapshot& snapshot);
+
+  /// Zeroes every counter and histogram and clears every gauge value
+  /// (instruments stay registered; handles stay valid). Test isolation.
+  void ResetForTest();
+
+  /// Prometheus text exposition of every instrument: `# TYPE` comments,
+  /// counter/gauge sample lines, and cumulative `_bucket{le="..."}` /
+  /// `_sum` / `_count` lines for histograms. Labels baked into names are
+  /// emitted as-is (they are already in Prometheus form).
+  std::string PrometheusText() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace restune
+
+#endif  // RESTUNE_OBS_METRICS_H_

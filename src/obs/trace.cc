@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <cinttypes>
+
+#include "obs/metrics.h"
+
+namespace restune {
+namespace obs {
+
+namespace {
+
+/// Flush at least this often so a crashed soak run still leaves a
+/// readable trace tail for post-mortem.
+constexpr int64_t kFlushEveryLines = 64;
+
+std::atomic<int>& TraceTidCursor() {
+  static std::atomic<int> cursor{0};
+  return cursor;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceThreadState* ThisThreadTraceState() {
+  thread_local TraceThreadState state;
+  return &state;
+}
+
+Tracer* Tracer::Global() {
+  // restune-lint: allow(naked-new) -- intentional leak, lives for the process
+  static Tracer* tracer = new Tracer();
+  return tracer;
+}
+
+bool Tracer::Start(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return false;  // already tracing
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  file_ = file;
+  epoch_ = std::chrono::steady_clock::now();
+  lines_since_flush_ = 0;
+  std::fprintf(file_, "{\"type\":\"trace_start\",\"clock\":\"steady\",\"pid\":%d}\n",
+               static_cast<int>(::getpid()));
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void Tracer::Stop() {
+  // Disable first so in-flight spans constructed after this point are
+  // no-ops; spans already begun still write under mu_ before the file
+  // closes because we take the lock after flipping the flag.
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  const CounterSnapshot counters = MetricsRegistry::Global()->Counters();
+  for (const auto& [name, value] : counters) {
+    std::fprintf(file_, "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%" PRId64 "}\n",
+                 JsonEscape(name).c_str(), value);
+  }
+  const auto gauges = MetricsRegistry::Global()->Gauges();
+  for (const auto& [name, value] : gauges) {
+    std::fprintf(file_, "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%.17g}\n",
+                 JsonEscape(name).c_str(), value);
+  }
+  const int64_t end_us = NowMicros();
+  std::fprintf(file_, "{\"type\":\"trace_end\",\"t_us\":%" PRId64 "}\n", end_us);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::RecordSpan(const char* name, int64_t t_us, int64_t dur_us,
+                        int depth) {
+  TraceThreadState* state = ThisThreadTraceState();
+  if (state->tid < 0) {
+    state->tid = TraceTidCursor().fetch_add(1, std::memory_order_relaxed);
+  }
+  char line[256];
+  const int n = std::snprintf(
+      line, sizeof(line),
+      "{\"type\":\"span\",\"name\":\"%s\",\"t_us\":%" PRId64
+      ",\"dur_us\":%" PRId64 ",\"tid\":%d,\"depth\":%d}\n",
+      name, t_us, dur_us, state->tid, depth);
+  if (n <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line, 1, static_cast<size_t>(n), file_);
+  if (++lines_since_flush_ >= kFlushEveryLines) {
+    std::fflush(file_);
+    lines_since_flush_ = 0;
+  }
+}
+
+void Tracer::RecordLine(const std::string& json_object) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(json_object.data(), 1, json_object.size(), file_);
+  std::fputc('\n', file_);
+  if (++lines_since_flush_ >= kFlushEveryLines) {
+    std::fflush(file_);
+    lines_since_flush_ = 0;
+  }
+}
+
+void TraceSpan::Begin(Tracer* tracer, const char* name) {
+  tracer_ = tracer;
+  name_ = name;
+  start_us_ = tracer->NowMicros();
+  ++ThisThreadTraceState()->depth;
+}
+
+void TraceSpan::End() {
+  TraceThreadState* state = ThisThreadTraceState();
+  const int depth = --state->depth;
+  const int64_t end_us = tracer_->NowMicros();
+  tracer_->RecordSpan(name_, start_us_, end_us - start_us_, depth);
+}
+
+}  // namespace obs
+}  // namespace restune

@@ -1,0 +1,132 @@
+#ifndef RESTUNE_OBS_TRACE_H_
+#define RESTUNE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+/// Structured trace layer of the observability subsystem.
+///
+/// `RESTUNE_TRACE_SPAN("gp.fit")` opens an RAII span: on destruction it
+/// appends one JSON line to the trace file with the span's name, start
+/// offset, duration, thread id, and nesting depth. All timestamps come
+/// from `std::chrono::steady_clock` (monotonic) relative to `Start()` —
+/// the trace layer never reads a wall clock and never touches an RNG
+/// stream, both enforced by the `obs-discipline` lint rule, so enabling
+/// tracing cannot perturb the determinism domain.
+///
+/// Cost discipline mirrors contracts.h:
+///   * Runtime-disabled (the default): a span is one relaxed atomic load
+///     in the constructor and nothing else — no clock reads, no strings.
+///   * Compile-time disabled (`-DRESTUNE_OBS_DISABLED`): the macro folds
+///     to `static_cast<void>(sizeof(name))` — the expression stays
+///     compiled (typos still break the build) but generates no code,
+///     the same `true ||` spirit as RESTUNE_DCHECK.
+///
+/// Output schema (docs/OBSERVABILITY.md): one JSON object per line.
+///   {"type":"trace_start","clock":"steady","pid":...}
+///   {"type":"span","name":"...","t_us":...,"dur_us":...,"tid":...,
+///    "depth":...}            — t_us = start offset from Start(), µs
+///   {"type":"counter","name":"...","value":...}   — at Stop()
+///   {"type":"gauge","name":"...","value":...}     — at Stop()
+///   {"type":"trace_end","t_us":...}
+
+namespace restune {
+namespace obs {
+
+class Tracer {
+ public:
+  /// The process-wide tracer. Never destroyed.
+  static Tracer* Global();
+
+  /// Opens `path` for writing (truncating) and enables span recording.
+  /// Returns false (leaving tracing disabled) if the file cannot be
+  /// opened. Not thread-safe against concurrent Start/Stop; call from
+  /// the main thread before spinning up a session.
+  bool Start(const std::string& path);
+
+  /// Flushes the metrics registry into the trace as counter/gauge lines,
+  /// writes the trace_end record, closes the file, and disables
+  /// recording. No-op when not started.
+  void Stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a span record. Called by TraceSpan's destructor; `t_us` is
+  /// the span start offset relative to Start() in microseconds.
+  void RecordSpan(const char* name, int64_t t_us, int64_t dur_us, int depth);
+
+  /// Appends a pre-formatted JSON object line (no trailing newline).
+  /// Used for event records like checkpoint writes and fault outcomes.
+  void RecordLine(const std::string& json_object);
+
+  /// Microseconds elapsed since Start() on the monotonic clock.
+  int64_t NowMicros() const;
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mu_;            // guards file_ and write ordering
+  std::FILE* file_ = nullptr;
+  int64_t lines_since_flush_ = 0;
+};
+
+/// Per-thread span bookkeeping: a small dense thread id (assigned on
+/// first traced span) and the current nesting depth.
+struct TraceThreadState {
+  int tid = -1;
+  int depth = 0;
+};
+TraceThreadState* ThisThreadTraceState();
+
+/// RAII span. Construct with a string *literal* (the pointer is kept,
+/// not copied). When the tracer is disabled, construction is a single
+/// relaxed load and destruction a branch on a null pointer.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    Tracer* tracer = Tracer::Global();
+    if (tracer->enabled()) Begin(tracer, name);
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(Tracer* tracer, const char* name);
+  void End();
+
+  Tracer* tracer_ = nullptr;
+  const char* name_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace restune
+
+#if defined(RESTUNE_OBS_DISABLED)
+
+/// Compile-time kill switch: the name expression stays syntactically
+/// checked but no object is created and no code is generated.
+#define RESTUNE_TRACE_SPAN(name) static_cast<void>(sizeof(name))
+
+#else
+
+#define RESTUNE_TRACE_SPAN_CONCAT_INNER(a, b) a##b
+#define RESTUNE_TRACE_SPAN_CONCAT(a, b) RESTUNE_TRACE_SPAN_CONCAT_INNER(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define RESTUNE_TRACE_SPAN(name)                                      \
+  ::restune::obs::TraceSpan RESTUNE_TRACE_SPAN_CONCAT(restune_span_,  \
+                                                      __LINE__)(name)
+
+#endif  // RESTUNE_OBS_DISABLED
+
+#endif  // RESTUNE_OBS_TRACE_H_

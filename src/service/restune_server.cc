@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace restune {
 namespace {
@@ -563,6 +564,17 @@ Status ResTuneServer::LoadCheckpointFile(const std::string& path) {
     return Status::NotFound("cannot open server checkpoint '" + path + "'");
   }
   return LoadCheckpoint(&in);
+}
+
+std::string ResTuneServer::MetricsText() const {
+  auto* registry = obs::MetricsRegistry::Global();
+  registry->GetGauge("restune_server_active_sessions")
+      ->Set(static_cast<double>(sessions_.size()));
+  registry->GetGauge("restune_server_finished_sessions")
+      ->Set(static_cast<double>(finished_.size()));
+  registry->GetGauge("restune_server_repository_tasks")
+      ->Set(static_cast<double>(repository_.num_tasks()));
+  return registry->PrometheusText();
 }
 
 }  // namespace restune

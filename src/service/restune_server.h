@@ -98,6 +98,12 @@ class ResTuneServer {
   Status SaveCheckpointFile(const std::string& path) const;
   Status LoadCheckpointFile(const std::string& path);
 
+  /// Prometheus text exposition of the process-wide metrics registry, with
+  /// server-level gauges (active/finished sessions, repository size)
+  /// refreshed first. This is what a scrape endpoint would serve; exposed
+  /// as a string so transports stay out of the core.
+  std::string MetricsText() const;
+
  private:
   struct Session {
     std::string task_name;

@@ -1,6 +1,8 @@
 #include "tuner/cbo_advisor.h"
 
 #include "bo/lhs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tuner/stopwatch.h"
 
 namespace restune {
@@ -41,6 +43,11 @@ AcquisitionContext CboAdvisor::MakeContext() const {
 }
 
 Result<Vector> CboAdvisor::SuggestNext() {
+  RESTUNE_TRACE_SPAN("advisor.suggest");
+  static obs::Counter* suggestions =
+      obs::MetricsRegistry::Global()->GetCounter(
+          "restune_advisor_suggestions_total{advisor=\"cbo\"}");
+  suggestions->Add();
   StopWatch watch;
   timing_.meta_processing_s = 0.0;
   // Pending LHS points that landed inside a quarantined region (a config

@@ -131,6 +131,14 @@ Status SaveSessionCheckpoint(const SessionCheckpoint& checkpoint,
   for (const SessionEvent& event : checkpoint.events) {
     WriteSessionEvent(out, event);
   }
+  // Optional section (format is whitespace-token based, so metric names —
+  // which never contain whitespace — round-trip as single tokens).
+  if (!checkpoint.metrics.empty()) {
+    *out << "metrics " << checkpoint.metrics.size() << '\n';
+    for (const auto& [name, value] : checkpoint.metrics) {
+      *out << name << ' ' << value << '\n';
+    }
+  }
   *out << "end\n";
   if (!out->good()) return Status::IoError("checkpoint write failed");
   return Status::OK();
@@ -184,7 +192,31 @@ Result<SessionCheckpoint> LoadSessionCheckpoint(std::istream* in) {
     RESTUNE_RETURN_IF_ERROR(ReadSessionEvent(in, &event));
     checkpoint.events.push_back(std::move(event));
   }
-  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "end"));
+  // "metrics" is optional (checkpoints written before the observability
+  // layer end directly with "end").
+  std::string tag;
+  if (!(*in >> tag)) {
+    return Status::IoError("checkpoint truncated: expected 'end'");
+  }
+  if (tag == "metrics") {
+    size_t num_metrics = 0;
+    if (!(*in >> num_metrics) || num_metrics > (1u << 20)) {
+      return Status::IoError("bad metrics count in checkpoint");
+    }
+    checkpoint.metrics.reserve(num_metrics);
+    for (size_t i = 0; i < num_metrics; ++i) {
+      std::string name;
+      int64_t value = 0;
+      if (!(*in >> name >> value)) {
+        return Status::IoError("bad metric entry in checkpoint");
+      }
+      checkpoint.metrics.emplace_back(std::move(name), value);
+    }
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "end"));
+  } else if (tag != "end") {
+    return Status::IoError("checkpoint corrupt: expected 'end', found '" +
+                           tag + "'");
+  }
   return checkpoint;
 }
 

@@ -11,6 +11,7 @@
 #include "dbsim/fault_injector.h"
 #include "dbsim/simulator.h"
 #include "gp/observation.h"
+#include "obs/metrics.h"
 
 namespace restune {
 
@@ -47,6 +48,12 @@ struct SessionCheckpoint {
   std::vector<SessionEvent> events;
   DbInstanceSimulator::State simulator_state;
   RngState supervisor_rng;
+  /// Observability counters at checkpoint time. Replay re-executes advisor
+  /// work (inflating the live counters), so resume overwrites them with
+  /// this snapshot once replay completes — a resumed run reports the same
+  /// totals as the uninterrupted one. Optional in the file format: old
+  /// checkpoints without the section load with an empty snapshot.
+  obs::CounterSnapshot metrics;
 };
 
 Status SaveSessionCheckpoint(const SessionCheckpoint& checkpoint,

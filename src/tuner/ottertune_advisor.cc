@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "bo/lhs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tuner/stopwatch.h"
 
 namespace restune {
@@ -90,6 +92,11 @@ Status OtterTuneAdvisor::RefitModel() {
 }
 
 Result<Vector> OtterTuneAdvisor::SuggestNext() {
+  RESTUNE_TRACE_SPAN("advisor.suggest");
+  static obs::Counter* suggestions =
+      obs::MetricsRegistry::Global()->GetCounter(
+          "restune_advisor_suggestions_total{advisor=\"ottertune\"}");
+  suggestions->Add();
   StopWatch watch;
   if (!pending_lhs_.empty()) {
     Vector next = pending_lhs_.back();

@@ -1,9 +1,21 @@
 #include "tuner/restune_advisor.h"
 
 #include "bo/lhs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tuner/stopwatch.h"
 
 namespace restune {
+
+namespace {
+
+obs::Counter* SuggestionsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global()->GetCounter(
+      "restune_advisor_suggestions_total{advisor=\"restune\"}");
+  return counter;
+}
+
+}  // namespace
 
 ResTuneAdvisor::ResTuneAdvisor(size_t dim, Vector default_theta,
                                std::vector<BaseLearner> base_learners,
@@ -33,6 +45,8 @@ Status ResTuneAdvisor::Begin(const Observation& default_observation,
 }
 
 Result<Vector> ResTuneAdvisor::SuggestNext() {
+  RESTUNE_TRACE_SPAN("advisor.suggest");
+  SuggestionsCounter()->Add();
   StopWatch watch;
   // Pending LHS points inside a quarantined region (a nearby config crashed
   // since the design was drawn) are skipped, not evaluated.
@@ -95,6 +109,7 @@ Status ResTuneAdvisor::Observe(const Observation& observation) {
   // target-model update both happen inside AddObservation; we time the
   // whole call as model update and report the weight-learning share as
   // meta-data processing using the phase the learner is in.
+  RESTUNE_TRACE_SPAN("advisor.observe");
   StopWatch watch;
   history_.push_back(observation);
   RESTUNE_RETURN_IF_ERROR(meta_learner_->AddObservation(observation));

@@ -4,10 +4,33 @@
 #include <fstream>
 
 #include "common/contracts.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace restune {
 
 namespace {
+
+struct SessionMetrics {
+  obs::Counter* iterations;
+  obs::Counter* checkpoints;
+  obs::Counter* resumes;
+
+  static SessionMetrics* Get() {
+    static SessionMetrics* m = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      // restune-lint: allow(naked-new) -- intentional leak, handle cache
+      auto* metrics = new SessionMetrics();
+      metrics->iterations =
+          registry->GetCounter("restune_session_iterations_total");
+      metrics->checkpoints =
+          registry->GetCounter("restune_session_checkpoints_total");
+      metrics->resumes = registry->GetCounter("restune_session_resumes_total");
+      return metrics;
+    }();
+    return m;
+  }
+};
 
 /// Rolling loop state shared by the live loop and checkpoint replay, so
 /// both apply identical convergence/safeguard bookkeeping.
@@ -74,6 +97,9 @@ Status TuningSession::WriteCheckpoint(const SessionResult& result,
   checkpoint.events = events;
   checkpoint.simulator_state = simulator_->ExportState();
   checkpoint.supervisor_rng = supervisor.rng_state();
+  // Count this write before snapshotting so the stored totals include it.
+  SessionMetrics::Get()->checkpoints->Add();
+  checkpoint.metrics = obs::MetricsRegistry::Global()->Counters();
   return SaveSessionCheckpointFile(checkpoint,
                                    options_.fault.checkpoint_path);
 }
@@ -183,6 +209,7 @@ Result<SessionResult> TuningSession::RunInternal(
     // continuation consumes exactly the draws the interrupted run would
     // have.
     result.resumed = true;
+    SessionMetrics::Get()->resumes->Add();
     result.default_observation = resume_from->default_observation;
     result.sla = resume_from->sla;
     result.best_feasible_res = result.default_observation.res;
@@ -242,16 +269,33 @@ Result<SessionResult> TuningSession::RunInternal(
         return Status::FailedPrecondition(
             "checkpoint event log continues past a session stop condition");
       }
-      if (stop != 0) return result;
+      if (stop != 0) {
+        if (!resume_from->metrics.empty()) {
+          obs::MetricsRegistry::Global()->RestoreCounters(resume_from->metrics);
+        }
+        return result;
+      }
     }
     events = resume_from->events;
     start_iteration = resume_from->iteration + 1;
     simulator_->RestoreState(resume_from->simulator_state);
     supervisor.set_rng_state(resume_from->supervisor_rng);
+    // Replay re-ran the advisor's model work and inflated the live counters;
+    // rewind them to the checkpointed totals so a resumed session reports
+    // the same numbers as the uninterrupted run. Old checkpoints without a
+    // metrics section leave the counters untouched.
+    if (!resume_from->metrics.empty()) {
+      obs::MetricsRegistry::Global()->RestoreCounters(resume_from->metrics);
+    }
   }
 
   for (int iter = start_iteration; iter <= options_.max_iterations; ++iter) {
-    Result<Vector> suggestion = advisor_->SuggestNext();
+    RESTUNE_TRACE_SPAN("session.iteration");
+    SessionMetrics::Get()->iterations->Add();
+    Result<Vector> suggestion = [&]() -> Result<Vector> {
+      RESTUNE_TRACE_SPAN("session.suggest");
+      return advisor_->SuggestNext();
+    }();
     if (!suggestion.ok()) {
       if (suggestion.status().code() == StatusCode::kOutOfRange) break;
       return suggestion.status();

@@ -3,7 +3,47 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace restune {
+
+namespace {
+
+struct SupervisorMetrics {
+  obs::Counter* evaluations;
+  obs::Counter* attempts;
+  obs::Counter* retries;
+  obs::Counter* retries_exhausted;
+  obs::Histogram* backoff_seconds;
+  // Fault taxonomy, one counter per FaultKind (kNone excluded).
+  obs::Counter* faults_by_kind[kNumFaultKinds];
+
+  static SupervisorMetrics* Get() {
+    static SupervisorMetrics* m = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      // restune-lint: allow(naked-new) -- intentional leak, handle cache
+      auto* metrics = new SupervisorMetrics();
+      metrics->evaluations =
+          registry->GetCounter("restune_eval_evaluations_total");
+      metrics->attempts = registry->GetCounter("restune_eval_attempts_total");
+      metrics->retries = registry->GetCounter("restune_eval_retries_total");
+      metrics->retries_exhausted =
+          registry->GetCounter("restune_eval_retries_exhausted_total");
+      metrics->backoff_seconds =
+          registry->GetHistogram("restune_eval_backoff_seconds");
+      for (size_t k = 0; k < kNumFaultKinds; ++k) {
+        metrics->faults_by_kind[k] = registry->GetCounter(
+            std::string("restune_eval_faults_total{kind=\"") +
+            FaultKindName(static_cast<FaultKind>(k)) + "\"}");
+      }
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 EvaluationSupervisor::EvaluationSupervisor(DbInstanceSimulator* simulator,
                                            RetryPolicy policy, uint64_t seed)
@@ -34,6 +74,9 @@ double EvaluationSupervisor::NextBackoff(double* previous) {
 
 Result<SupervisedEvaluation> EvaluationSupervisor::Evaluate(
     const Vector& theta, bool retry_any_fault) {
+  RESTUNE_TRACE_SPAN("eval.supervised");
+  SupervisorMetrics* metrics = SupervisorMetrics::Get();
+  metrics->evaluations->Add();
   const double deadline =
       policy_.deadline_seconds > 0.0
           ? policy_.deadline_seconds
@@ -51,6 +94,7 @@ Result<SupervisedEvaluation> EvaluationSupervisor::Evaluate(
                                   0.0, false};
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     supervised.attempts = attempt;
+    metrics->attempts->Add();
     RESTUNE_ASSIGN_OR_RETURN(EvaluationOutcome outcome,
                              simulator_->TryEvaluate(theta));
 
@@ -74,13 +118,18 @@ Result<SupervisedEvaluation> EvaluationSupervisor::Evaluate(
       fault.kind = FaultKind::kTimeout;
     }
 
+    metrics->faults_by_kind[static_cast<size_t>(fault.kind)]->Add();
     const bool retryable = retry_any_fault || IsRetryableFault(fault.kind);
     if (!retryable || attempt == max_attempts) {
       supervised.retries_exhausted = retryable;
+      if (retryable) metrics->retries_exhausted->Add();
       supervised.outcome = EvaluationOutcome(std::move(fault));
       return supervised;
     }
-    supervised.backoff_seconds += NextBackoff(&previous_backoff);
+    metrics->retries->Add();
+    const double backoff = NextBackoff(&previous_backoff);
+    metrics->backoff_seconds->Observe(backoff);
+    supervised.backoff_seconds += backoff;
   }
   return supervised;  // unreachable: the loop always returns
 }

@@ -11,10 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <string>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "tuner/restune_advisor.h"
 #include "tuner/session.h"
 
@@ -87,6 +91,68 @@ void ExpectIdenticalTraces(const SessionResult& a, const SessionResult& b) {
   EXPECT_EQ(a.total_retries, b.total_retries);
 }
 
+/// Where the soak writes its trace JSONL. Nightly CI sets
+/// RESTUNE_TRACE_OUT so the trace survives as an artifact when the run
+/// fails; locally it lands in the test temp dir and is cleaned up.
+std::string SoakTracePath() {
+  const char* env = std::getenv("RESTUNE_TRACE_OUT");
+  if (env != nullptr && env[0] != '\0') return env;
+  return testing::TempDir() + "/soak_trace.jsonl";
+}
+
+/// Checks the trace file against the schema in docs/OBSERVABILITY.md and
+/// returns per-span-name counts: first line `trace_start` with a steady
+/// clock, span lines carrying name/t_us/dur_us/tid/depth, counter and
+/// gauge dumps, last line `trace_end`.
+std::map<std::string, int> ValidateSoakTrace(const std::string& path) {
+  std::map<std::string, int> span_counts;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing trace file " << path;
+  std::string line;
+  int line_no = 0;
+  bool saw_end = false;
+  auto has = [&](const std::string& token) {
+    return line.find(token) != std::string::npos;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    EXPECT_FALSE(saw_end) << "line after trace_end: " << line;
+    if (line.empty()) {
+      ADD_FAILURE() << "blank line " << line_no;
+      continue;
+    }
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    if (line_no == 1) {
+      EXPECT_TRUE(has("\"type\":\"trace_start\"")) << line;
+      EXPECT_TRUE(has("\"clock\":\"steady\"")) << line;
+    } else if (has("\"type\":\"span\"")) {
+      EXPECT_TRUE(has("\"name\":\"")) << line;
+      EXPECT_TRUE(has("\"t_us\":")) << line;
+      EXPECT_TRUE(has("\"dur_us\":")) << line;
+      EXPECT_TRUE(has("\"tid\":")) << line;
+      EXPECT_TRUE(has("\"depth\":")) << line;
+      const size_t name_at = line.find("\"name\":\"") + 8;
+      const size_t name_end = line.find('"', name_at);
+      if (name_end == std::string::npos) {
+        ADD_FAILURE() << "unterminated span name: " << line;
+        continue;
+      }
+      ++span_counts[line.substr(name_at, name_end - name_at)];
+    } else if (has("\"type\":\"counter\"") || has("\"type\":\"gauge\"")) {
+      EXPECT_TRUE(has("\"name\":\"")) << line;
+      EXPECT_TRUE(has("\"value\":")) << line;
+    } else if (has("\"type\":\"trace_end\"")) {
+      saw_end = true;
+    } else {
+      ADD_FAILURE() << "unknown trace line: " << line;
+    }
+  }
+  EXPECT_GT(line_no, 1) << "empty trace " << path;
+  EXPECT_TRUE(saw_end) << "truncated trace (no trace_end)";
+  return span_counts;
+}
+
 class SoakTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() { Logger::SetThreshold(LogLevel::kError); }
@@ -101,10 +167,15 @@ TEST_F(SoakTest, TwentyPercentFaultsStayWithinTenPercentOfFaultFreeBest) {
   ASSERT_EQ(clean->history.size(), 200u);
   ASSERT_EQ(clean->failed_iterations, 0);
 
+  // Trace the faulty run: this is the session whose trace the nightly job
+  // uploads on failure, and the schema-acceptance check for the obs layer.
+  const std::string trace_path = SoakTracePath();
+  ASSERT_TRUE(obs::Tracer::Global()->Start(trace_path));
   DbInstanceSimulator faulty_sim = SoakSimulator(SoakFaults());
   ResTuneAdvisor faulty_advisor = SoakAdvisor();
   const auto faulty =
       TuningSession(&faulty_sim, &faulty_advisor, SoakOptions(200)).Run();
+  obs::Tracer::Global()->Stop();
   ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
 
   // The session survives: all 200 iterations ran, faults actually fired,
@@ -120,6 +191,21 @@ TEST_F(SoakTest, TwentyPercentFaultsStayWithinTenPercentOfFaultFreeBest) {
       << "fault-free best " << clean->best_feasible_res << ", faulty best "
       << faulty->best_feasible_res;
   EXPECT_LT(faulty->best_feasible_res, faulty->default_observation.res);
+
+  // The trace validates against the documented schema and carries the
+  // per-iteration fit / acquisition / evaluation spans.
+  const std::map<std::string, int> spans = ValidateSoakTrace(trace_path);
+  EXPECT_EQ(spans.count("session.iteration") ? spans.at("session.iteration")
+                                             : 0,
+            200);
+  EXPECT_GT(spans.count("gp.fit") ? spans.at("gp.fit") : 0, 0);
+  EXPECT_GT(spans.count("acq.sweep") ? spans.at("acq.sweep") : 0, 0);
+  // Every iteration plus the bootstrap evaluation, plus retried attempts.
+  EXPECT_GE(spans.count("eval.supervised") ? spans.at("eval.supervised") : 0,
+            201);
+  if (std::getenv("RESTUNE_TRACE_OUT") == nullptr) {
+    std::remove(trace_path.c_str());
+  }
 }
 
 TEST_F(SoakTest, KilledAtIterationHundredResumesByteIdentically) {

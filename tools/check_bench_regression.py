@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare BENCH_5.json against bench/baseline.json.
+
+Both files are JSON lines in the BENCH_5 schema (see tools/run_ci_bench.py):
+
+    {"bench": ..., "n": ..., "threads": ..., "cpu_ms_median": ...,
+     "iterations": ...}
+
+Records are matched on (bench, n, threads). The gate fails when any
+matched benchmark's median CPU time regressed by more than the threshold
+(default 15%), or when a baseline benchmark is missing from the current
+run (a silently dropped benchmark must not pass the gate). Current
+benchmarks with no baseline entry are reported but do not fail — that is
+the expected state of a PR that adds a benchmark; the follow-up baseline
+refresh (docs/OBSERVABILITY.md) records them.
+
+Usage:
+    check_bench_regression.py --baseline bench/baseline.json \
+                              --current BENCH_5.json [--threshold 0.15]
+    check_bench_regression.py --self-test
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    """Reads BENCH_5 JSON lines (or a JSON array) into a keyed dict."""
+    with open(path) as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        records = json.loads(stripped)
+    else:
+        records = [json.loads(line) for line in text.splitlines()
+                   if line.strip()]
+    keyed = {}
+    for record in records:
+        for field in ("bench", "n", "threads", "cpu_ms_median"):
+            if field not in record:
+                raise ValueError("%s: record missing %r: %r" %
+                                 (path, field, record))
+        key = (record["bench"], record["n"], record["threads"])
+        if key in keyed:
+            raise ValueError("%s: duplicate benchmark key %r" % (path, key))
+        keyed[key] = record
+    return keyed
+
+
+def compare(baseline, current, threshold):
+    """Returns (report_lines, failures) for the two keyed record dicts."""
+    lines = []
+    failures = []
+    header = "%-44s %10s %10s %8s  %s" % (
+        "benchmark (n, threads)", "base ms", "cur ms", "delta", "verdict")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key in sorted(set(baseline) | set(current)):
+        label = "%s (%d, %d)" % key
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None:
+            lines.append("%-44s %10s %10.2f %8s  NEW (no baseline)" %
+                         (label, "-", cur["cpu_ms_median"], "-"))
+            continue
+        if cur is None:
+            lines.append("%-44s %10.2f %10s %8s  MISSING from current run" %
+                         (label, base["cpu_ms_median"], "-", "-"))
+            failures.append("%s: present in baseline but not in current run"
+                            % label)
+            continue
+        base_ms = float(base["cpu_ms_median"])
+        cur_ms = float(cur["cpu_ms_median"])
+        if base_ms <= 0.0:
+            failures.append("%s: non-positive baseline %.3f ms" %
+                            (label, base_ms))
+            continue
+        delta = cur_ms / base_ms - 1.0
+        regressed = delta > threshold
+        lines.append("%-44s %10.2f %10.2f %+7.1f%%  %s" %
+                     (label, base_ms, cur_ms, 100.0 * delta,
+                      "REGRESSED" if regressed else "ok"))
+        if regressed:
+            failures.append(
+                "%s: %.2f ms -> %.2f ms (%+.1f%%, threshold +%.0f%%)" %
+                (label, base_ms, cur_ms, 100.0 * delta, 100.0 * threshold))
+    return lines, failures
+
+
+def self_test():
+    """Exercises the gate logic on synthetic records."""
+    def rec(bench, n, threads, ms):
+        return {"bench": bench, "n": n, "threads": threads,
+                "cpu_ms_median": ms, "iterations": 5}
+
+    def keyed(records):
+        return {(r["bench"], r["n"], r["threads"]): r for r in records}
+
+    base = keyed([rec("BM_A", 50, 1, 100.0), rec("BM_B", 15, 4, 200.0)])
+
+    # Within threshold (+10%) passes.
+    _, failures = compare(
+        base, keyed([rec("BM_A", 50, 1, 110.0), rec("BM_B", 15, 4, 199.0)]),
+        threshold=0.15)
+    assert not failures, failures
+
+    # Beyond threshold (+20%) fails, and names the offender.
+    _, failures = compare(
+        base, keyed([rec("BM_A", 50, 1, 120.0), rec("BM_B", 15, 4, 200.0)]),
+        threshold=0.15)
+    assert len(failures) == 1 and "BM_A" in failures[0], failures
+
+    # Exactly at threshold passes (gate is strict-greater).
+    _, failures = compare(base,
+                          keyed([rec("BM_A", 50, 1, 115.0),
+                                 rec("BM_B", 15, 4, 230.0)]),
+                          threshold=0.15)
+    assert not failures, failures
+
+    # A benchmark missing from the current run fails.
+    _, failures = compare(base, keyed([rec("BM_A", 50, 1, 100.0)]),
+                          threshold=0.15)
+    assert len(failures) == 1 and "BM_B" in failures[0], failures
+
+    # A new benchmark with no baseline is reported but does not fail.
+    lines, failures = compare(
+        base, keyed([rec("BM_A", 50, 1, 100.0), rec("BM_B", 15, 4, 200.0),
+                     rec("BM_C", 1, 1, 5.0)]), threshold=0.15)
+    assert not failures, failures
+    assert any("NEW" in line for line in lines), lines
+
+    # An improvement (faster) passes.
+    _, failures = compare(
+        base, keyed([rec("BM_A", 50, 1, 50.0), rec("BM_B", 15, 4, 180.0)]),
+        threshold=0.15)
+    assert not failures, failures
+
+    print("check_bench_regression self-test OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline")
+    parser.add_argument("--current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed relative slowdown (default 0.15)")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required "
+                     "(or use --self-test)")
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+    lines, failures = compare(baseline, current, args.threshold)
+    print("\n".join(lines))
+    if failures:
+        print("\nFAIL: %d benchmark(s) regressed beyond +%.0f%%:" %
+              (len(failures), 100.0 * args.threshold))
+        for failure in failures:
+            print("  " + failure)
+        print("\nIf the slowdown is intended, refresh bench/baseline.json "
+              "(see docs/OBSERVABILITY.md).")
+        return 1
+    print("\nOK: no benchmark regressed beyond +%.0f%%." %
+          (100.0 * args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -24,6 +24,15 @@ Rules (see docs/CORRECTNESS.md for rationale):
                    (src/gp/kernel.h -> RESTUNE_GP_KERNEL_H_), not
                    #pragma once, so guards are greppable and collisions
                    impossible.
+  obs-discipline   Two-way isolation of the observability layer: no
+                   wall-clock reads (std::chrono::system_clock,
+                   high_resolution_clock, gettimeofday, clock_gettime,
+                   localtime, gmtime) outside src/obs/ — all timing goes
+                   through the monotonic tracer (obs/trace.h) so traces
+                   never perturb replay; and no randomness (restune::Rng,
+                   common/rng.h) inside src/obs/ — observability must not
+                   consume RNG draws, or enabling a trace would change
+                   every downstream sample.
 
 Suppression, from most to least local:
   * `// restune-lint: allow(rule)` on the offending line;
@@ -51,6 +60,8 @@ RNG_EXEMPT = ("src/common/rng.h", "src/common/rng.cc")
 THREAD_EXEMPT = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
 FLOAT_SCOPES = ("src/linalg/", "src/gp/")
 
+OBS_SCOPE = "src/obs/"
+
 RNG_PATTERN = re.compile(
     r"\b(rand|srand|drand48|lrand48|time)\s*\("
     r"|std::(random_device|mt19937(?:_64)?|minstd_rand0?|default_random_engine)\b"
@@ -58,6 +69,12 @@ RNG_PATTERN = re.compile(
 NEW_DELETE_PATTERN = re.compile(r"(?<!\w)(new|delete)(?:\s*\[\s*\])?(?![\w(])")
 THREAD_PATTERN = re.compile(r"std::(thread|jthread|async)\b|\bpthread_create\b")
 FLOAT_PATTERN = re.compile(r"\bfloat\b")
+WALL_CLOCK_PATTERN = re.compile(
+    r"std::chrono::(system_clock|high_resolution_clock)\b"
+    r"|\b(gettimeofday|clock_gettime|localtime(?:_r)?|gmtime(?:_r)?)\s*\("
+)
+OBS_RNG_USE_PATTERN = re.compile(r"\bRng\b")
+OBS_RNG_INCLUDE_PATTERN = re.compile(r'#\s*include\s*"common/rng\.h"')
 
 # `Status Foo(...)` / `Result<T> Foo(...)` declarations; used to build the
 # set of function names whose return value must not be discarded.
@@ -271,6 +288,37 @@ def check_float(rel, code_lines, raw_lines, findings):
                 "breaks bitwise replay determinism"))
 
 
+def check_obs_discipline(rel, code_lines, raw_lines, findings):
+    if rel.startswith(OBS_SCOPE):
+        # Inside the observability layer: no randomness, so enabling a
+        # trace can never shift a downstream sample. The include check
+        # scans raw lines because strip_comments_and_strings blanks the
+        # quoted include path.
+        for lineno, raw in enumerate(raw_lines, 1):
+            if OBS_RNG_INCLUDE_PATTERN.search(raw):
+                findings.append(Finding(
+                    rel, lineno, "obs-discipline",
+                    "src/obs must not include common/rng.h; observability "
+                    "code may not consume RNG draws"))
+        for lineno, line in enumerate(code_lines, 1):
+            if OBS_RNG_USE_PATTERN.search(line):
+                findings.append(Finding(
+                    rel, lineno, "obs-discipline",
+                    "'Rng' inside src/obs; observability code may not "
+                    "consume RNG draws, or tracing would perturb replay"))
+        return
+    # Outside it: no wall-clock reads; all timing flows through the
+    # monotonic tracer so traces stay comparable and replay-stable.
+    for lineno, line in enumerate(code_lines, 1):
+        m = WALL_CLOCK_PATTERN.search(line)
+        if m:
+            findings.append(Finding(
+                rel, lineno, "obs-discipline",
+                f"'{m.group(0).strip()}' wall-clock read outside src/obs/; "
+                "time measurements go through the monotonic tracer "
+                "(obs/trace.h) or std::chrono::steady_clock"))
+
+
 STATEMENT_CALL = r"^\s*(?:[\w\[\]]+(?:\.|->))*{name}\s*\("
 IGNORE_STATEMENT = re.compile(
     r"=|\breturn\b|\(void\)|RESTUNE_|EXPECT_|ASSERT_|CHECK\(|\bco_return\b")
@@ -365,6 +413,7 @@ def run_lint(paths, root, allowlist_path):
         check_new_delete(rel, code_lines, raw_lines, file_findings)
         check_threads(rel, code_lines, raw_lines, file_findings)
         check_float(rel, code_lines, raw_lines, file_findings)
+        check_obs_discipline(rel, code_lines, raw_lines, file_findings)
         check_ignored_status(rel, code_text, status_functions, file_findings)
         if is_header(rel):
             check_include_guard(rel, text, file_findings)

@@ -173,6 +173,75 @@ def test_no_float_in_numeric_core_only():
         t.cleanup()
 
 
+def test_obs_discipline_flags_wall_clock_outside_obs():
+    t = FixtureTree()
+    try:
+        t.write("src/tuner/timer.cc", """\
+            #include <chrono>
+            #include <sys/time.h>
+            long Wall() {
+              auto t = std::chrono::system_clock::now();
+              auto h = std::chrono::high_resolution_clock::now();
+              struct timeval tv;
+              gettimeofday(&tv, nullptr);
+              return tv.tv_sec;
+            }
+            """)
+        findings = t.lint()
+        assert rules_of(findings) == ["obs-discipline"]
+        assert [line for _r, line, _p in findings] == [4, 5, 7]
+    finally:
+        t.cleanup()
+
+
+def test_obs_discipline_allows_wall_clock_inside_obs():
+    t = FixtureTree()
+    try:
+        t.write("src/obs/wallclock.cc", """\
+            #include <chrono>
+            long Wall() {
+              auto t = std::chrono::system_clock::now();
+              return 0;
+            }
+            """)
+        assert t.lint() == []
+    finally:
+        t.cleanup()
+
+
+def test_obs_discipline_steady_clock_is_fine_everywhere():
+    t = FixtureTree()
+    try:
+        t.write("src/tuner/mono.cc", """\
+            #include <chrono>
+            long Mono() {
+              auto t = std::chrono::steady_clock::now();
+              return 0;
+            }
+            """)
+        assert t.lint() == []
+    finally:
+        t.cleanup()
+
+
+def test_obs_discipline_flags_rng_inside_obs():
+    t = FixtureTree()
+    try:
+        t.write("src/obs/sampler.cc", """\
+            #include "common/rng.h"
+            double Jitter(restune::Rng* rng) {
+              return rng->Uniform();
+            }
+            """)
+        findings = t.lint()
+        assert rules_of(findings) == ["obs-discipline"]
+        # Line 1: the include (raw-line scan — the quoted path is blanked
+        # in the stripped code); line 2: the Rng use.
+        assert [line for _r, line, _p in findings] == [1, 2]
+    finally:
+        t.cleanup()
+
+
 def test_ignored_status_flagged_only_for_unambiguous_names():
     t = FixtureTree()
     try:
