@@ -6,7 +6,7 @@
 // → observe → refit) that users actually pay for per iteration.
 //
 // CI runs it through tools/run_ci_bench.py, which converts the
-// google-benchmark JSON into BENCH_5.json lines
+// google-benchmark JSON into BENCH_6.json lines
 //   {"bench":..., "n":..., "threads":..., "cpu_ms_median":..., "iterations":...}
 // and gates merges on tools/check_bench_regression.py vs bench/baseline.json.
 

@@ -59,12 +59,12 @@ double ConstrainedExpectedImprovement(const Surrogate& surrogate,
 
 std::vector<double> ConstrainedExpectedImprovementBatch(
     const Surrogate& surrogate, const Matrix& thetas,
-    const AcquisitionContext& ctx) {
+    const AcquisitionContext& ctx, ThreadPool* pool) {
   CeiEvaluationsCounter()->Add(static_cast<int64_t>(thetas.rows()));
   const std::vector<GpPrediction> tps =
-      surrogate.PredictMetricBatch(MetricKind::kTps, thetas);
+      surrogate.PredictMetricBatch(MetricKind::kTps, thetas, pool);
   const std::vector<GpPrediction> lat =
-      surrogate.PredictMetricBatch(MetricKind::kLat, thetas);
+      surrogate.PredictMetricBatch(MetricKind::kLat, thetas, pool);
   std::vector<double> out(thetas.rows());
   if (!ctx.has_feasible) {
     for (size_t i = 0; i < out.size(); ++i) {
@@ -74,7 +74,7 @@ std::vector<double> ConstrainedExpectedImprovementBatch(
     return out;
   }
   const std::vector<GpPrediction> res =
-      surrogate.PredictMetricBatch(MetricKind::kRes, thetas);
+      surrogate.PredictMetricBatch(MetricKind::kRes, thetas, pool);
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = ProbabilityOfFeasibility(tps[i], lat[i], ctx.lambda_tps,
                                       ctx.lambda_lat) *
@@ -92,9 +92,9 @@ double UnconstrainedExpectedImprovement(const Surrogate& surrogate,
 
 std::vector<double> UnconstrainedExpectedImprovementBatch(
     const Surrogate& surrogate, const Matrix& thetas,
-    const AcquisitionContext& ctx) {
+    const AcquisitionContext& ctx, ThreadPool* pool) {
   const std::vector<GpPrediction> res =
-      surrogate.PredictMetricBatch(MetricKind::kRes, thetas);
+      surrogate.PredictMetricBatch(MetricKind::kRes, thetas, pool);
   std::vector<double> out(thetas.rows());
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = ExpectedImprovement(res[i], ctx.best_feasible_res);
@@ -119,13 +119,13 @@ double PenalizedExpectedImprovement(const Surrogate& surrogate,
 
 std::vector<double> PenalizedExpectedImprovementBatch(
     const Surrogate& surrogate, const Matrix& thetas,
-    const AcquisitionContext& ctx, double penalty) {
+    const AcquisitionContext& ctx, double penalty, ThreadPool* pool) {
   const std::vector<GpPrediction> res =
-      surrogate.PredictMetricBatch(MetricKind::kRes, thetas);
+      surrogate.PredictMetricBatch(MetricKind::kRes, thetas, pool);
   const std::vector<GpPrediction> tps =
-      surrogate.PredictMetricBatch(MetricKind::kTps, thetas);
+      surrogate.PredictMetricBatch(MetricKind::kTps, thetas, pool);
   const std::vector<GpPrediction> lat =
-      surrogate.PredictMetricBatch(MetricKind::kLat, thetas);
+      surrogate.PredictMetricBatch(MetricKind::kLat, thetas, pool);
   std::vector<double> out(thetas.rows());
   for (size_t i = 0; i < out.size(); ++i) {
     const double tps_short = std::max(0.0, ctx.lambda_tps - tps[i].mean);

@@ -41,10 +41,12 @@ double ConstrainedExpectedImprovement(const Surrogate& surrogate,
 /// CEI over every row of `thetas` through the surrogate's batch path: the
 /// three metric posteriors for the whole candidate block are computed as
 /// matrix-level GP inference, then combined per candidate. Value i equals
-/// the scalar CEI of row i.
+/// the scalar CEI of row i. The batch inference distributes over `pool`
+/// (null = shared pool); values are bitwise identical for any pool size,
+/// so callers can hand the acquisition optimizer's pool straight through.
 std::vector<double> ConstrainedExpectedImprovementBatch(
     const Surrogate& surrogate, const Matrix& thetas,
-    const AcquisitionContext& ctx);
+    const AcquisitionContext& ctx, ThreadPool* pool = nullptr);
 
 /// Plain EI on the resource objective, ignoring constraints — the
 /// acquisition used by the iTuned baseline (Section 7, "iTuned").
@@ -55,7 +57,7 @@ double UnconstrainedExpectedImprovement(const Surrogate& surrogate,
 /// Batch counterpart of `UnconstrainedExpectedImprovement`.
 std::vector<double> UnconstrainedExpectedImprovementBatch(
     const Surrogate& surrogate, const Matrix& thetas,
-    const AcquisitionContext& ctx);
+    const AcquisitionContext& ctx, ThreadPool* pool = nullptr);
 
 /// Penalty-based alternative kept for ablation (Section 2 cites penalty
 /// methods as the simplest constrained-BO approach): EI computed on
@@ -68,7 +70,8 @@ double PenalizedExpectedImprovement(const Surrogate& surrogate,
 /// Batch counterpart of `PenalizedExpectedImprovement`.
 std::vector<double> PenalizedExpectedImprovementBatch(
     const Surrogate& surrogate, const Matrix& thetas,
-    const AcquisitionContext& ctx, double penalty);
+    const AcquisitionContext& ctx, double penalty,
+    ThreadPool* pool = nullptr);
 
 /// Probability of improvement over the incumbent, for a minimization
 /// objective: Pr[f < best]. Cheaper but more exploitative than EI.

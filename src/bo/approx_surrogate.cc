@@ -1,0 +1,222 @@
+#include "bo/approx_surrogate.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/contracts.h"
+#include "obs/metrics.h"
+
+namespace restune {
+
+namespace {
+
+/// Counters keyed by baked backend label, resolved once per process.
+struct SurrogateMetrics {
+  obs::Counter* fits_exact;
+  obs::Counter* fits_subset;
+  obs::Counter* fits_forest;
+  obs::Counter* subset_dropped;
+
+  static SurrogateMetrics* Get() {
+    static SurrogateMetrics* m = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      // restune-lint: allow(naked-new) -- intentional leak, handle cache
+      auto* out = new SurrogateMetrics();
+      out->fits_exact = registry->GetCounter(
+          "restune_surrogate_fits_total{backend=\"exact_gp\"}");
+      out->fits_subset = registry->GetCounter(
+          "restune_surrogate_fits_total{backend=\"subset_gp\"}");
+      out->fits_forest = registry->GetCounter(
+          "restune_surrogate_fits_total{backend=\"quantile_forest\"}");
+      out->subset_dropped =
+          registry->GetCounter("restune_surrogate_subset_dropped_total");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+const char* SurrogateBackendName(SurrogateBackend backend) {
+  switch (backend) {
+    case SurrogateBackend::kExactGp:
+      return "exact_gp";
+    case SurrogateBackend::kSubsetGp:
+      return "subset_gp";
+    case SurrogateBackend::kQuantileForest:
+      return "quantile_forest";
+  }
+  return "unknown";
+}
+
+std::vector<size_t> FarthestPointSubset(const Matrix& points, size_t k) {
+  const size_t n = points.rows();
+  std::vector<size_t> selected;
+  if (n == 0 || k == 0) return selected;
+  if (k >= n) {
+    selected.resize(n);
+    for (size_t i = 0; i < n; ++i) selected[i] = i;
+    return selected;
+  }
+  selected.reserve(k);
+  // min_dist[i] = squared distance from row i to the nearest selected row.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  size_t current = 0;
+  selected.push_back(current);
+  while (selected.size() < k) {
+    const double* c = points.RowPtr(current);
+    size_t best = n;
+    double best_dist = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d2 = 0.0;
+      const double* p = points.RowPtr(i);
+      for (size_t j = 0; j < points.cols(); ++j) {
+        const double d = p[j] - c[j];
+        d2 += d * d;
+      }
+      if (d2 < min_dist[i]) min_dist[i] = d2;
+      // Strictly-greater keeps the lowest index on ties (selected rows have
+      // min_dist 0 and never win).
+      if (min_dist[i] > best_dist) {
+        best_dist = min_dist[i];
+        best = i;
+      }
+    }
+    RESTUNE_DCHECK(best < n) << "farthest-point scan found no candidate";
+    selected.push_back(best);
+    current = best;
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+ScalableSurrogate::ScalableSurrogate(size_t dim,
+                                     ScalableSurrogateOptions options)
+    : dim_(dim), options_(options) {}
+
+Status ScalableSurrogate::Fit(const std::vector<Observation>& observations) {
+  if (observations.empty()) {
+    return Status::InvalidArgument("ScalableSurrogate::Fit: no observations");
+  }
+  for (const Observation& obs : observations) {
+    if (obs.theta.size() != dim_) {
+      return Status::InvalidArgument(
+          "ScalableSurrogate::Fit: observation dim " +
+          std::to_string(obs.theta.size()) + " != surrogate dim " +
+          std::to_string(dim_));
+    }
+  }
+  subset_indices_.clear();
+
+  switch (options_.backend) {
+    case SurrogateBackend::kExactGp: {
+      auto gp = std::make_unique<MultiOutputGp>(dim_, options_.gp);
+      RESTUNE_RETURN_IF_ERROR(gp->Fit(observations));
+      gp_ = std::move(gp);
+      forests_.clear();
+      SurrogateMetrics::Get()->fits_exact->Add();
+      return Status::OK();
+    }
+    case SurrogateBackend::kSubsetGp: {
+      if (options_.subset_size == 0) {
+        return Status::InvalidArgument(
+            "ScalableSurrogate::Fit: subset_size must be positive");
+      }
+      Matrix thetas(observations.size(), dim_);
+      for (size_t i = 0; i < observations.size(); ++i) {
+        double* row = thetas.RowPtr(i);
+        for (size_t j = 0; j < dim_; ++j) row[j] = observations[i].theta[j];
+      }
+      subset_indices_ = FarthestPointSubset(thetas, options_.subset_size);
+      std::vector<Observation> subset;
+      subset.reserve(subset_indices_.size());
+      for (size_t idx : subset_indices_) subset.push_back(observations[idx]);
+      auto gp = std::make_unique<MultiOutputGp>(dim_, options_.gp);
+      Status st = gp->Fit(subset);
+      if (!st.ok()) {
+        subset_indices_.clear();
+        return st;
+      }
+      gp_ = std::move(gp);
+      forests_.clear();
+      SurrogateMetrics::Get()->fits_subset->Add();
+      SurrogateMetrics::Get()->subset_dropped->Add(
+          static_cast<int64_t>(observations.size() - subset.size()));
+      return Status::OK();
+    }
+    case SurrogateBackend::kQuantileForest: {
+      Matrix thetas(observations.size(), dim_);
+      for (size_t i = 0; i < observations.size(); ++i) {
+        double* row = thetas.RowPtr(i);
+        for (size_t j = 0; j < dim_; ++j) row[j] = observations[i].theta[j];
+      }
+      std::vector<QuantileForest> forests;
+      forests.reserve(kNumMetricKinds);
+      for (MetricKind kind : kAllMetricKinds) {
+        Vector y(observations.size());
+        for (size_t i = 0; i < observations.size(); ++i) {
+          y[i] = observations[i].metric(kind);
+        }
+        QuantileForestOptions fo = options_.forest;
+        // Decorrelate the per-metric forests.
+        fo.seed = options_.forest.seed + static_cast<uint64_t>(kind) * 7919;
+        QuantileForest forest(fo);
+        RESTUNE_RETURN_IF_ERROR(forest.Fit(thetas, y));
+        forests.push_back(std::move(forest));
+      }
+      forests_ = std::move(forests);
+      gp_.reset();
+      SurrogateMetrics::Get()->fits_forest->Add();
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("ScalableSurrogate::Fit: unknown backend");
+}
+
+bool ScalableSurrogate::fitted() const {
+  if (options_.backend == SurrogateBackend::kQuantileForest) {
+    return !forests_.empty();
+  }
+  return gp_ != nullptr && gp_->fitted();
+}
+
+size_t ScalableSurrogate::num_model_observations() const {
+  if (options_.backend == SurrogateBackend::kQuantileForest) {
+    return forests_.empty() ? 0 : forests_[0].num_observations();
+  }
+  return gp_ ? gp_->num_observations() : 0;
+}
+
+GpPrediction ScalableSurrogate::PredictMetric(MetricKind kind,
+                                              const Vector& theta) const {
+  RESTUNE_CHECK(fitted()) << "ScalableSurrogate::PredictMetric before Fit";
+  if (options_.backend == SurrogateBackend::kQuantileForest) {
+    const ForestPrediction p =
+        forests_[static_cast<size_t>(kind)].Predict(theta);
+    GpPrediction out;
+    out.mean = p.mean;
+    out.variance = p.variance;
+    return out;
+  }
+  return gp_->Predict(kind, theta);
+}
+
+std::vector<GpPrediction> ScalableSurrogate::PredictMetricBatch(
+    MetricKind kind, const Matrix& thetas, ThreadPool* pool) const {
+  RESTUNE_CHECK(fitted()) << "ScalableSurrogate::PredictMetricBatch before Fit";
+  if (options_.backend == SurrogateBackend::kQuantileForest) {
+    const std::vector<ForestPrediction> preds =
+        forests_[static_cast<size_t>(kind)].PredictBatch(thetas, pool);
+    std::vector<GpPrediction> out(preds.size());
+    for (size_t i = 0; i < preds.size(); ++i) {
+      out[i].mean = preds[i].mean;
+      out[i].variance = preds[i].variance;
+    }
+    return out;
+  }
+  return gp_->PredictBatch(kind, thetas, pool);
+}
+
+}  // namespace restune

@@ -1,0 +1,95 @@
+#ifndef RESTUNE_BO_APPROX_SURROGATE_H_
+#define RESTUNE_BO_APPROX_SURROGATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "bo/surrogate.h"
+#include "common/result.h"
+#include "gp/gp_model.h"
+#include "gp/multi_output_gp.h"
+#include "gp/observation.h"
+#include "ml/quantile_forest.h"
+
+namespace restune {
+
+/// Which predictive model a `ScalableSurrogate` runs on.
+enum class SurrogateBackend {
+  /// Full GP over every observation — O(n^3) fit, O(n^2) variance per
+  /// query. The default, and the only backend for small histories.
+  kExactGp = 0,
+  /// GP over a farthest-point subset of at most `subset_size` observations
+  /// — caps fit at O(m^3) and queries at O(m^2) regardless of history
+  /// size, at the cost of smoothing over dropped points.
+  kSubsetGp = 1,
+  /// Quantile regression forest — O(n log n) fit, O(trees * depth) per
+  /// query. The cheapest backend; its variance is an ensemble-disagreement
+  /// proxy rather than a calibrated posterior.
+  kQuantileForest = 2,
+};
+
+const char* SurrogateBackendName(SurrogateBackend backend);
+
+struct ScalableSurrogateOptions {
+  SurrogateBackend backend = SurrogateBackend::kExactGp;
+  /// Max observations kept by `kSubsetGp` (ignored otherwise).
+  size_t subset_size = 512;
+  QuantileForestOptions forest;
+  GpOptions gp;
+};
+
+/// Surrogate whose backend is selectable at construction, so advisors and
+/// the acquisition optimizer stay agnostic to whether predictions come from
+/// an exact GP, a subset-of-data GP, or a forest. This is what makes
+/// suggest-time sub-second at n=10k: the acquisition machinery is already
+/// O(candidates), and this class bounds the per-candidate model cost.
+///
+/// Subset selection (`kSubsetGp`) is deterministic greedy farthest-point in
+/// θ-space seeded from the first observation: it keeps the history's hull
+/// and spreads inducing points evenly, which preserves CEI's ranking far
+/// better than a random subsample at equal size.
+class ScalableSurrogate : public Surrogate {
+ public:
+  explicit ScalableSurrogate(size_t dim, ScalableSurrogateOptions options = {});
+
+  /// Replaces the training data and refits the active backend.
+  Status Fit(const std::vector<Observation>& observations);
+
+  GpPrediction PredictMetric(MetricKind kind,
+                             const Vector& theta) const override;
+  std::vector<GpPrediction> PredictMetricBatch(
+      MetricKind kind, const Matrix& thetas,
+      ThreadPool* pool = nullptr) const override;
+  size_t dim() const override { return dim_; }
+
+  bool fitted() const;
+  SurrogateBackend backend() const { return options_.backend; }
+  /// Observations the active backend actually trains on (≤ history size
+  /// for `kSubsetGp`).
+  size_t num_model_observations() const;
+
+  /// The GP ensemble behind the GP backends; null for `kQuantileForest`.
+  const MultiOutputGp* gp() const { return gp_.get(); }
+
+  /// Indices (into the last `Fit` history, ascending) retained by the
+  /// subset backend. Exposed for tests; empty for other backends.
+  const std::vector<size_t>& subset_indices() const { return subset_indices_; }
+
+ private:
+  size_t dim_;
+  ScalableSurrogateOptions options_;
+  std::unique_ptr<MultiOutputGp> gp_;
+  // One forest per metric, same layout as MultiOutputGp's models.
+  std::vector<QuantileForest> forests_;
+  std::vector<size_t> subset_indices_;
+};
+
+/// Greedy farthest-point selection of `k` row indices from `points`:
+/// starts at row 0, then repeatedly adds the row maximizing the minimum
+/// squared distance to the selected set (ties → lowest index). Returns all
+/// rows (ascending) when `k >= points.rows()`. Deterministic.
+std::vector<size_t> FarthestPointSubset(const Matrix& points, size_t k);
+
+}  // namespace restune
+
+#endif  // RESTUNE_BO_APPROX_SURROGATE_H_

@@ -24,9 +24,13 @@ class Surrogate {
   /// Posterior for one metric at every row of `thetas`. The default loops
   /// over `PredictMetric`; GP-backed implementations override it with the
   /// batch inference path (one cross-covariance block + blocked solves),
-  /// which is what makes the CEI candidate sweep cheap.
+  /// which is what makes the CEI candidate sweep cheap. Work is distributed
+  /// over `pool` (null = shared pool); results must be bitwise identical
+  /// for any pool size.
   virtual std::vector<GpPrediction> PredictMetricBatch(
-      MetricKind kind, const Matrix& thetas) const {
+      MetricKind kind, const Matrix& thetas,
+      ThreadPool* pool = nullptr) const {
+    (void)pool;  // The serial fallback has nothing to distribute.
     std::vector<GpPrediction> out(thetas.rows());
     for (size_t r = 0; r < thetas.rows(); ++r) {
       out[r] = PredictMetric(kind, thetas.Row(r));
@@ -47,8 +51,9 @@ class GpSurrogate : public Surrogate {
     return gp_->Predict(kind, theta);
   }
   std::vector<GpPrediction> PredictMetricBatch(
-      MetricKind kind, const Matrix& thetas) const override {
-    return gp_->PredictBatch(kind, thetas);
+      MetricKind kind, const Matrix& thetas,
+      ThreadPool* pool = nullptr) const override {
+    return gp_->PredictBatch(kind, thetas, pool);
   }
   size_t dim() const override { return gp_->dim(); }
 

@@ -1,0 +1,63 @@
+#ifndef RESTUNE_COMMON_FNV_H_
+#define RESTUNE_COMMON_FNV_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace restune {
+
+/// Incremental 64-bit FNV-1a hash. Used for content fingerprints (base-
+/// learner training inputs) and serialization checksums (cached Cholesky
+/// factors). Not cryptographic — it guards against corruption and stale
+/// cache entries, not adversaries.
+///
+/// Doubles are hashed by bit pattern, so a fingerprint distinguishes
+/// values that compare equal but differ in bits (e.g. -0.0 vs 0.0) — the
+/// right semantics for keys that gate reuse of bit-exact cached results.
+class Fnv1a {
+ public:
+  void AddBytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= static_cast<uint64_t>(p[i]);
+      hash_ *= 1099511628211ull;
+    }
+  }
+
+  void AddDouble(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    AddU64(bits);
+  }
+
+  void AddU64(uint64_t v) { AddBytes(&v, sizeof(v)); }
+
+  /// Hashes length then contents, so concatenated strings cannot collide
+  /// by re-slicing.
+  void AddString(const std::string& s) {
+    AddU64(s.size());
+    AddBytes(s.data(), s.size());
+  }
+
+  uint64_t hash() const { return hash_; }
+
+  /// 16-char lowercase hex of the current hash.
+  std::string Hex() const {
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(16, '0');
+    uint64_t h = hash_;
+    for (int i = 15; i >= 0; --i) {
+      out[static_cast<size_t>(i)] = kDigits[h & 0xf];
+      h >>= 4;
+    }
+    return out;
+  }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ull;  // FNV offset basis
+};
+
+}  // namespace restune
+
+#endif  // RESTUNE_COMMON_FNV_H_

@@ -7,6 +7,7 @@
 #include "common/nelder_mead.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "linalg/simd/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -125,6 +126,48 @@ Status GpModel::Fit(const Matrix& x, const Vector& y) {
     hyperopt_done_ = true;
   }
   return Refit(optimize);
+}
+
+Status GpModel::FitWithFactor(const Matrix& x, const Vector& y,
+                              Cholesky factor) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("x rows and y size differ");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (x.cols() != kernel_->dim()) {
+    return Status::InvalidArgument("x dimensionality does not match kernel");
+  }
+  if (factor.size() != x.rows()) {
+    return Status::InvalidArgument("factor size does not match training set");
+  }
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      if (!std::isfinite(x(r, c))) {
+        return Status::InvalidArgument("non-finite input in training x");
+      }
+    }
+    if (!std::isfinite(y[r])) {
+      return Status::InvalidArgument("non-finite target in training y");
+    }
+  }
+  x_ = x;
+  if (options_.normalize_y) {
+    y_mean_ = Mean(y);
+    y_std_ = PopulationStdDev(y);
+    if (y_std_ < 1e-12) y_std_ = 1.0;
+  } else {
+    y_mean_ = 0.0;
+    y_std_ = 1.0;
+  }
+  y_norm_.resize(y.size());
+  for (size_t i = 0; i < y.size(); ++i) y_norm_[i] = (y[i] - y_mean_) / y_std_;
+  chol_ = std::move(factor);
+  alpha_ = chol_->Solve(y_norm_);
+  // The restored model is frozen: its hyper-parameters came with the
+  // factor, so a later Fit/Update must not redo the initial search.
+  hyperopt_done_ = true;
+  updates_since_refit_ = 0;
+  return Status::OK();
 }
 
 Status GpModel::Update(const Vector& x, double y) {
@@ -320,13 +363,8 @@ std::vector<GpPrediction> GpModel::PredictBatch(const Matrix& x,
   Vector v_sq(m, 0.0);
   tp->ParallelForRanges(m, [&](size_t c0, size_t c1) {
     for (size_t i = 0; i < n; ++i) {
-      const double ai = alpha_[i];
-      const double* ks = k_star.RowPtr(i);
-      const double* vi = v.RowPtr(i);
-      for (size_t c = c0; c < c1; ++c) {
-        mean[c] += ai * ks[c];
-        v_sq[c] += vi[c] * vi[c];
-      }
+      simd::Axpy(mean.data() + c0, alpha_[i], k_star.RowPtr(i) + c0, c1 - c0);
+      simd::SquareAccum(v_sq.data() + c0, v.RowPtr(i) + c0, c1 - c0);
     }
     for (size_t c = c0; c < c1; ++c) {
       const double prior = kernel_->Eval(x.RowPtr(c), x.RowPtr(c));
@@ -352,9 +390,7 @@ Vector GpModel::PredictMeanBatch(const Matrix& x, ThreadPool* pool) const {
   const Matrix k_star = kernel_->CrossCovarianceMatrix(x_, x, tp);
   tp->ParallelForRanges(m, [&](size_t c0, size_t c1) {
     for (size_t i = 0; i < n; ++i) {
-      const double ai = alpha_[i];
-      const double* ks = k_star.RowPtr(i);
-      for (size_t c = c0; c < c1; ++c) mean[c] += ai * ks[c];
+      simd::Axpy(mean.data() + c0, alpha_[i], k_star.RowPtr(i) + c0, c1 - c0);
     }
     for (size_t c = c0; c < c1; ++c) mean[c] = mean[c] * y_std_ + y_mean_;
   });
@@ -393,6 +429,11 @@ Vector GpModel::train_y() const {
     out[i] = y_norm_[i] * y_std_ + y_mean_;
   }
   return out;
+}
+
+const Cholesky& GpModel::factor() const {
+  RESTUNE_CHECK(chol_.has_value()) << "factor() requires a fitted model";
+  return *chol_;
 }
 
 }  // namespace restune

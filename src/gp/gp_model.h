@@ -71,6 +71,16 @@ class GpModel {
   /// only every `refit_period` updates.
   Status Update(const Vector& x, double y);
 
+  /// Restores a fitted state from a previously computed Cholesky factor of
+  /// K(x, x) + noise I (+ the factor's recorded jitter), skipping both the
+  /// O(n^2 d) Gram assembly and the O(n^3) decomposition — only the O(n^2)
+  /// weight solve runs. The caller must have set the kernel hyper-
+  /// parameters that produced `factor` (SetLogParams before this call);
+  /// hyper-parameter optimization is marked done, matching the frozen
+  /// base-learner lifecycle this path exists for. The factor is trusted —
+  /// serialized factors are checksummed upstream (gp_serialization).
+  Status FitWithFactor(const Matrix& x, const Vector& y, Cholesky factor);
+
   bool fitted() const { return chol_.has_value(); }
   size_t num_observations() const { return x_.rows(); }
   size_t dim() const { return kernel_->dim(); }
@@ -109,6 +119,11 @@ class GpModel {
   const Matrix& train_x() const { return x_; }
   /// Training targets in original units.
   Vector train_y() const;
+
+  /// The cached Cholesky factor of K + noise I (+ jitter). Requires
+  /// `fitted()`. This is what serialization persists so that loading can
+  /// go through `FitWithFactor` instead of refactorizing.
+  const Cholesky& factor() const;
 
   const Kernel& kernel() const { return *kernel_; }
   const GpOptions& options() const { return options_; }

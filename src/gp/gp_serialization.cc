@@ -3,11 +3,48 @@
 #include <memory>
 #include <string>
 
+#include "common/fnv.h"
+#include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace restune {
 
 namespace {
+
+/// Checksum of a serialized factor: jitter then the lower-triangle entries
+/// row-major, all hashed by bit pattern. Text round-trips at precision 17
+/// reproduce doubles exactly, so save- and load-side hashes agree unless
+/// the file was edited or truncated.
+std::string FactorChecksum(const Matrix& lower, double jitter) {
+  Fnv1a fnv;
+  fnv.AddU64(lower.rows());
+  fnv.AddDouble(jitter);
+  for (size_t i = 0; i < lower.rows(); ++i) {
+    const double* row = lower.RowPtr(i);
+    for (size_t j = 0; j <= i; ++j) fnv.AddDouble(row[j]);
+  }
+  return fnv.Hex();
+}
+
+struct SerializationMetrics {
+  obs::Counter* factor_loads;
+  obs::Counter* factor_fallbacks;
+
+  static SerializationMetrics* Get() {
+    static SerializationMetrics* m = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      // restune-lint: allow(naked-new) -- intentional leak, handle cache
+      auto* metrics = new SerializationMetrics();
+      metrics->factor_loads =
+          registry->GetCounter("restune_gp_factor_loads_total");
+      metrics->factor_fallbacks =
+          registry->GetCounter("restune_gp_factor_fallbacks_total");
+      return metrics;
+    }();
+    return m;
+  }
+};
 
 Result<std::unique_ptr<Kernel>> MakeKernelByName(const std::string& name,
                                                  size_t dim) {
@@ -31,7 +68,10 @@ Status SaveGpModel(const GpModel& model, std::ostream* out) {
   os.precision(17);
   const size_t n = model.num_observations();
   const size_t d = model.dim();
-  os << "gpmodel 1\n";  // format version
+  // Version 2 appends the fitted Cholesky factor (checksummed) after the
+  // training data, so loaders restore in O(n^2) instead of refactorizing
+  // in O(n^3). Version-1 files (no factor records) still load.
+  os << "gpmodel 2\n";  // format version
   os << "kernel " << model.kernel().name();
   for (double p : model.kernel().GetLogParams()) os << " " << p;
   os << "\n";
@@ -44,6 +84,17 @@ Status SaveGpModel(const GpModel& model, std::ostream* out) {
     for (size_t c = 0; c < d; ++c) os << model.train_x()(i, c) << " ";
     os << "| " << y[i] << "\n";
   }
+  const Cholesky& factor = model.factor();
+  os << "factor " << factor.jitter() << "\n";
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = factor.lower().RowPtr(i);
+    for (size_t j = 0; j <= i; ++j) {
+      if (j > 0) os << " ";
+      os << row[j];
+    }
+    os << "\n";
+  }
+  os << "checksum " << FactorChecksum(factor.lower(), factor.jitter()) << "\n";
   os << "endgp\n";
   return os.good() ? Status::OK() : Status::IoError("GP write failed");
 }
@@ -52,7 +103,8 @@ Result<GpModel> LoadGpModel(std::istream* in) {
   std::istream& is = *in;
   std::string tag;
   int version = 0;
-  if (!(is >> tag >> version) || tag != "gpmodel" || version != 1) {
+  if (!(is >> tag >> version) || tag != "gpmodel" ||
+      (version != 1 && version != 2)) {
     return Status::IoError("bad GP header");
   }
   std::string kernel_name;
@@ -91,6 +143,35 @@ Result<GpModel> LoadGpModel(std::istream* in) {
       return Status::IoError("malformed y value");
     }
   }
+  // Version 2: the fitted factor follows the data rows.
+  bool have_factor = false;
+  double jitter = 0.0;
+  Matrix lower;
+  if (version >= 2) {
+    if (!(is >> tag >> jitter) || tag != "factor") {
+      return Status::IoError("missing factor record");
+    }
+    lower = Matrix(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      double* row = lower.RowPtr(i);
+      for (size_t j = 0; j <= i; ++j) {
+        if (!(is >> row[j])) return Status::IoError("truncated factor row");
+      }
+    }
+    std::string stored_checksum;
+    if (!(is >> tag >> stored_checksum) || tag != "checksum") {
+      return Status::IoError("missing factor checksum");
+    }
+    if (stored_checksum == FactorChecksum(lower, jitter)) {
+      have_factor = true;
+    } else {
+      // A corrupted factor is recoverable — the training data is intact, so
+      // fall back to refactorizing rather than failing the load.
+      RESTUNE_LOG(kWarning)
+          << "GP factor checksum mismatch; refactorizing from training data";
+    }
+  }
+
   if (!(is >> tag) || tag != "endgp") {
     return Status::IoError("missing endgp terminator");
   }
@@ -101,10 +182,23 @@ Result<GpModel> LoadGpModel(std::istream* in) {
   GpOptions options;
   options.noise_variance = noise;
   options.normalize_y = normalize != 0;
-  // Hyper-parameters were optimized before saving; loading only refits the
-  // Cholesky factor.
+  // Hyper-parameters were optimized before saving; loading restores the
+  // cached factor (v2) or refits the Cholesky factor (v1 / bad checksum).
   options.optimize_hyperparams = false;
   GpModel model(std::move(kernel), options);
+  if (have_factor) {
+    Result<Cholesky> factor = Cholesky::FromLower(std::move(lower), jitter);
+    if (factor.ok()) {
+      RESTUNE_RETURN_IF_ERROR(
+          model.FitWithFactor(x, y, std::move(factor).value()));
+      SerializationMetrics::Get()->factor_loads->Add();
+      return model;
+    }
+    RESTUNE_LOG(kWarning) << "stored GP factor rejected ("
+                          << factor.status().ToString()
+                          << "); refactorizing from training data";
+  }
+  SerializationMetrics::Get()->factor_fallbacks->Add();
   RESTUNE_RETURN_IF_ERROR(model.Fit(x, y));
   return model;
 }

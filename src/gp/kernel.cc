@@ -5,11 +5,17 @@
 #include "common/contracts.h"
 
 #include "common/thread_pool.h"
+#include "linalg/simd/simd.h"
 
 namespace restune {
 
 double Kernel::Eval(const double* a, const double* b) const {
   return Eval(Vector(a, a + dim()), Vector(b, b + dim()));
+}
+
+void Kernel::EvalRow(const double* a, const double* x, size_t x_stride,
+                     size_t count, double* out) const {
+  for (size_t j = 0; j < count; ++j) out[j] = Eval(a, x + j * x_stride);
 }
 
 Matrix Kernel::GramMatrix(const Matrix& x, ThreadPool* pool) const {
@@ -32,7 +38,7 @@ Matrix Kernel::GramMatrix(const Matrix& x, ThreadPool* pool) const {
     for (size_t i = begin; i < end; ++i) {
       const double* xi = x.RowPtr(i);
       double* ki = k.RowPtr(i);
-      for (size_t j = i; j < n; ++j) ki[j] = Eval(xi, x.RowPtr(j));
+      EvalRow(xi, x.RowPtr(i), x.cols(), n - i, ki + i);
     }
   });
   // Phase 2: mirror. Row i's lower part reads upper-triangle entries only.
@@ -49,8 +55,11 @@ Vector Kernel::CrossCovariance(const Matrix& x, const Vector& x_query) const {
   RESTUNE_DCHECK(x_query.size() == dim())
       << "query dim " << x_query.size() << " != kernel dim " << dim();
   Vector out(x.rows());
-  const double* q = x_query.data();
-  for (size_t i = 0; i < x.rows(); ++i) out[i] = Eval(x.RowPtr(i), q);
+  if (x.rows() == 0) return out;
+  // The kernels here are symmetric (GramMatrix DCHECKs this), so filling
+  // the row as k(query, x_i) matches the historical k(x_i, query) loop —
+  // (a-b) and (b-a) square to the same value bit for bit.
+  EvalRow(x_query.data(), x.RowPtr(0), x.cols(), x.rows(), out.data());
   return out;
 }
 
@@ -66,7 +75,7 @@ Matrix Kernel::CrossCovarianceMatrix(const Matrix& x, const Matrix& queries,
     for (size_t i = begin; i < end; ++i) {
       const double* xi = x.RowPtr(i);
       double* row = k_star.RowPtr(i);
-      for (size_t j = 0; j < m; ++j) row[j] = Eval(xi, queries.RowPtr(j));
+      if (m > 0) EvalRow(xi, queries.RowPtr(0), queries.cols(), m, row);
     }
   });
   return k_star;
@@ -85,11 +94,23 @@ double ScaledSquaredDistance(const double* a, const double* b,
   return sum;
 }
 
+/// 1/ls for each lengthscale — kept alongside the lengthscales so the AVX2
+/// row fills can multiply instead of divide.
+Vector Reciprocals(const Vector& lengthscales) {
+  Vector out(lengthscales.size());
+  for (size_t i = 0; i < lengthscales.size(); ++i) {
+    out[i] = 1.0 / lengthscales[i];
+  }
+  return out;
+}
+
 }  // namespace
 
 Matern52Kernel::Matern52Kernel(size_t dim, double lengthscale,
                                double amplitude_sq)
-    : amplitude_sq_(amplitude_sq), lengthscales_(dim, lengthscale) {}
+    : amplitude_sq_(amplitude_sq),
+      lengthscales_(dim, lengthscale),
+      inv_lengthscales_(dim, 1.0 / lengthscale) {}
 
 double Matern52Kernel::Eval(const Vector& a, const Vector& b) const {
   RESTUNE_DCHECK(a.size() == dim() && b.size() == dim())
@@ -102,6 +123,12 @@ double Matern52Kernel::Eval(const double* a, const double* b) const {
   const double r2 = ScaledSquaredDistance(a, b, lengthscales_);
   const double r = std::sqrt(5.0 * r2);
   return amplitude_sq_ * (1.0 + r + 5.0 * r2 / 3.0) * std::exp(-r);
+}
+
+void Matern52Kernel::EvalRow(const double* a, const double* x, size_t x_stride,
+                             size_t count, double* out) const {
+  simd::Matern52Row(a, x, x_stride, count, lengthscales_.data(),
+                    inv_lengthscales_.data(), dim(), amplitude_sq_, out);
 }
 
 Vector Matern52Kernel::GetLogParams() const {
@@ -121,6 +148,7 @@ void Matern52Kernel::SetLogParams(const Vector& log_params) {
   for (size_t i = 0; i < lengthscales_.size(); ++i) {
     lengthscales_[i] = std::exp(log_params[i + 1]);
   }
+  inv_lengthscales_ = Reciprocals(lengthscales_);
 }
 
 std::unique_ptr<Kernel> Matern52Kernel::Clone() const {
@@ -130,7 +158,9 @@ std::unique_ptr<Kernel> Matern52Kernel::Clone() const {
 SquaredExponentialKernel::SquaredExponentialKernel(size_t dim,
                                                    double lengthscale,
                                                    double amplitude_sq)
-    : amplitude_sq_(amplitude_sq), lengthscales_(dim, lengthscale) {}
+    : amplitude_sq_(amplitude_sq),
+      lengthscales_(dim, lengthscale),
+      inv_lengthscales_(dim, 1.0 / lengthscale) {}
 
 double SquaredExponentialKernel::Eval(const Vector& a, const Vector& b) const {
   RESTUNE_DCHECK(a.size() == dim() && b.size() == dim())
@@ -142,6 +172,13 @@ double SquaredExponentialKernel::Eval(const Vector& a, const Vector& b) const {
 double SquaredExponentialKernel::Eval(const double* a, const double* b) const {
   return amplitude_sq_ *
          std::exp(-0.5 * ScaledSquaredDistance(a, b, lengthscales_));
+}
+
+void SquaredExponentialKernel::EvalRow(const double* a, const double* x,
+                                       size_t x_stride, size_t count,
+                                       double* out) const {
+  simd::SqExpRow(a, x, x_stride, count, lengthscales_.data(),
+                 inv_lengthscales_.data(), dim(), amplitude_sq_, out);
 }
 
 Vector SquaredExponentialKernel::GetLogParams() const {
@@ -161,6 +198,7 @@ void SquaredExponentialKernel::SetLogParams(const Vector& log_params) {
   for (size_t i = 0; i < lengthscales_.size(); ++i) {
     lengthscales_[i] = std::exp(log_params[i + 1]);
   }
+  inv_lengthscales_ = Reciprocals(lengthscales_);
 }
 
 std::unique_ptr<Kernel> SquaredExponentialKernel::Clone() const {

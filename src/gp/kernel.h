@@ -27,6 +27,15 @@ class Kernel {
   /// the Vector overload (copying); the shipped kernels override it.
   virtual double Eval(const double* a, const double* b) const;
 
+  /// Row fill: out[j] = k(a, x + j*x_stride) for j in [0, count) — the
+  /// batch entry point the Gram/cross-covariance assemblies call once per
+  /// output row. The default loops Eval (so custom kernels keep working
+  /// unchanged); the shipped kernels override it with the SIMD dispatch
+  /// layer, whose scalar tier reproduces the per-pair Eval arithmetic bit
+  /// for bit.
+  virtual void EvalRow(const double* a, const double* x, size_t x_stride,
+                       size_t count, double* out) const;
+
   /// Input dimensionality this kernel was built for.
   virtual size_t dim() const = 0;
 
@@ -68,6 +77,8 @@ class Matern52Kernel : public Kernel {
 
   double Eval(const Vector& a, const Vector& b) const override;
   double Eval(const double* a, const double* b) const override;
+  void EvalRow(const double* a, const double* x, size_t x_stride, size_t count,
+               double* out) const override;
   size_t dim() const override { return lengthscales_.size(); }
   const char* name() const override { return "matern52"; }
   Vector GetLogParams() const override;
@@ -77,6 +88,9 @@ class Matern52Kernel : public Kernel {
  private:
   double amplitude_sq_;
   Vector lengthscales_;
+  /// 1/lengthscales_, maintained alongside it: the AVX2 row fills replace
+  /// the per-pair division with a multiply.
+  Vector inv_lengthscales_;
 };
 
 /// Squared-exponential (RBF) kernel with ARD lengthscales.
@@ -87,6 +101,8 @@ class SquaredExponentialKernel : public Kernel {
 
   double Eval(const Vector& a, const Vector& b) const override;
   double Eval(const double* a, const double* b) const override;
+  void EvalRow(const double* a, const double* x, size_t x_stride, size_t count,
+               double* out) const override;
   size_t dim() const override { return lengthscales_.size(); }
   const char* name() const override { return "se"; }
   Vector GetLogParams() const override;
@@ -96,6 +112,7 @@ class SquaredExponentialKernel : public Kernel {
  private:
   double amplitude_sq_;
   Vector lengthscales_;
+  Vector inv_lengthscales_;
 };
 
 }  // namespace restune

@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "linalg/simd/simd.h"
 
 namespace restune {
 
@@ -17,9 +18,8 @@ Result<Cholesky> Cholesky::Factor(const Matrix& a) {
   const size_t n = a.rows();
   Matrix l(n, n);
   for (size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
     const double* lj = l.RowPtr(j);
-    for (size_t k = 0; k < j; ++k) diag -= lj[k] * lj[k];
+    const double diag = simd::NegDotAccum(a(j, j), lj, lj, j);
     if (diag <= 0.0 || !std::isfinite(diag)) {
       return Status::NumericalError(StringPrintf(
           "matrix not positive definite at pivot %zu (value %g)", j, diag));
@@ -27,9 +27,8 @@ Result<Cholesky> Cholesky::Factor(const Matrix& a) {
     const double ljj = std::sqrt(diag);
     l(j, j) = ljj;
     for (size_t i = j + 1; i < n; ++i) {
-      double sum = a(i, j);
       const double* li = l.RowPtr(i);
-      for (size_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
+      const double sum = simd::NegDotAccum(a(i, j), li, lj, j);
       l(i, j) = sum / ljj;
     }
   }
@@ -58,15 +57,39 @@ Result<Cholesky> Cholesky::FactorWithJitter(Matrix a, double jitter,
   return result;
 }
 
+Result<Cholesky> Cholesky::FromLower(Matrix l, double jitter) {
+  if (l.rows() != l.cols()) {
+    return Status::InvalidArgument("lower factor must be square");
+  }
+  if (!(jitter >= 0.0) || !std::isfinite(jitter)) {
+    return Status::InvalidArgument("factor jitter must be finite and >= 0");
+  }
+  const size_t n = l.rows();
+  for (size_t i = 0; i < n; ++i) {
+    const double pivot = l(i, i);
+    if (!(pivot > 0.0) || !std::isfinite(pivot)) {
+      return Status::NumericalError(StringPrintf(
+          "restored factor has invalid pivot %g at %zu", pivot, i));
+    }
+    // Zero the strict upper triangle: Factor() never writes it, and the
+    // solves assume it is zero, so a sloppy caller must not smuggle values
+    // in through it.
+    double* row = l.RowPtr(i);
+    for (size_t c = i + 1; c < n; ++c) row[c] = 0.0;
+  }
+  Cholesky out(std::move(l));
+  out.jitter_ = jitter;
+  return out;
+}
+
 Vector Cholesky::SolveLower(const Vector& b) const {
   const size_t n = size();
   RESTUNE_DCHECK(b.size() == n)
       << "rhs size " << b.size() << " != factor size " << n;
   Vector y(n);
   for (size_t i = 0; i < n; ++i) {
-    double sum = b[i];
     const double* li = l_.RowPtr(i);
-    for (size_t k = 0; k < i; ++k) sum -= li[k] * y[k];
+    const double sum = simd::NegDotAccum(b[i], li, y.data(), i);
     y[i] = sum / li[i];
   }
   return y;
@@ -163,31 +186,11 @@ Matrix Cholesky::SolveLowerMatrix(const Matrix& b, ThreadPool* pool) const {
               double* y3 = y.RowPtr(i + 3);
               size_t c = c0;
               for (; c + 8 <= c1; c += 8) {
-                double a0[8], a1[8], a2[8], a3[8];
-                for (int t = 0; t < 8; ++t) {
-                  a0[t] = y0[c + t];
-                  a1[t] = y1[c + t];
-                  a2[t] = y2[c + t];
-                  a3[t] = y3[c + t];
-                }
-                for (size_t k = 0; k < b0; ++k) {
-                  const double* yk = y.RowPtr(k) + c;
-                  const double w0 = l0[k], w1 = l1[k];
-                  const double w2 = l2[k], w3 = l3[k];
-                  for (int t = 0; t < 8; ++t) {
-                    const double v = yk[t];
-                    a0[t] -= w0 * v;
-                    a1[t] -= w1 * v;
-                    a2[t] -= w2 * v;
-                    a3[t] -= w3 * v;
-                  }
-                }
-                for (int t = 0; t < 8; ++t) {
-                  y0[c + t] = a0[t];
-                  y1[c + t] = a1[t];
-                  y2[c + t] = a2[t];
-                  y3[c + t] = a3[t];
-                }
+                // The whole k-loop for this 4x8 tile lives inside one
+                // dispatched call; updates stay in-place in Y, and per
+                // element the subtraction order is still k ascending.
+                simd::Trsm4x8Panel(y0 + c, y1 + c, y2 + c, y3 + c, l0, l1, l2,
+                                   l3, y.RowPtr(0) + c, m, b0);
               }
               for (; c < c1; ++c) {
                 double a0 = y0[c], a1 = y1[c], a2 = y2[c], a3 = y3[c];
@@ -208,9 +211,7 @@ Matrix Cholesky::SolveLowerMatrix(const Matrix& b, ThreadPool* pool) const {
               const double* li = l_.RowPtr(i);
               double* yi = y.RowPtr(i);
               for (size_t k = 0; k < b0; ++k) {
-                const double lik = li[k];
-                const double* yk = y.RowPtr(k);
-                for (size_t c = c0; c < c1; ++c) yi[c] -= lik * yk[c];
+                simd::Fnma(yi + c0, li[k], y.RowPtr(k) + c0, c1 - c0);
               }
             }
             // Forward substitution within the diagonal block.
@@ -218,12 +219,9 @@ Matrix Cholesky::SolveLowerMatrix(const Matrix& b, ThreadPool* pool) const {
               const double* li = l_.RowPtr(i);
               double* yi = y.RowPtr(i);
               for (size_t k = b0; k < i; ++k) {
-                const double lik = li[k];
-                const double* yk = y.RowPtr(k);
-                for (size_t c = c0; c < c1; ++c) yi[c] -= lik * yk[c];
+                simd::Fnma(yi + c0, li[k], y.RowPtr(k) + c0, c1 - c0);
               }
-              const double inv = 1.0 / li[i];
-              for (size_t c = c0; c < c1; ++c) yi[c] *= inv;
+              simd::Scale(yi + c0, 1.0 / li[i], c1 - c0);
             }
           }
         }
@@ -243,13 +241,10 @@ Vector Cholesky::InverseDiagonal(ThreadPool* pool) const {
       y[0] = 1.0 / l_(i, i);
       for (size_t r = i + 1; r < n; ++r) {
         const double* lr = l_.RowPtr(r);
-        double sum = 0.0;
-        for (size_t k = i; k < r; ++k) sum -= lr[k] * y[k - i];
+        const double sum = simd::NegDotAccum(0.0, lr + i, y.data(), r - i);
         y[r - i] = sum / lr[r];
       }
-      double sq = 0.0;
-      for (double v : y) sq += v * v;
-      diag[i] = sq;
+      diag[i] = simd::Dot(y.data(), y.data(), y.size());
     }
   });
   return diag;

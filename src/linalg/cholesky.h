@@ -27,6 +27,16 @@ class Cholesky {
   static Result<Cholesky> FactorWithJitter(Matrix a, double jitter = 1e-10,
                                            int max_attempts = 8);
 
+  /// Reconstitutes a factorization from a previously computed lower factor
+  /// (e.g. deserialized from a model file) without redoing the O(n^3)
+  /// decomposition. `l` must be square with strictly positive, finite
+  /// diagonal; entries above the diagonal are ignored and zeroed. `jitter`
+  /// restores the value `FactorWithJitter` reported when the factor was
+  /// first computed. The caller vouches that `l` actually factors its
+  /// matrix — pair this with a checksum when the factor crossed a
+  /// serialization boundary.
+  static Result<Cholesky> FromLower(Matrix l, double jitter = 0.0);
+
   size_t size() const { return l_.rows(); }
   const Matrix& lower() const { return l_; }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "linalg/simd/simd.h"
+
 namespace restune {
 
 Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
@@ -112,9 +114,7 @@ std::string Matrix::ToString() const {
 double Dot(const Vector& a, const Vector& b) {
   RESTUNE_DCHECK(a.size() == b.size())
       << "size mismatch: " << a.size() << " vs " << b.size();
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
 double Norm(const Vector& a) { return std::sqrt(Dot(a, a)); }

@@ -2,6 +2,8 @@
 #define RESTUNE_LINALG_MATRIX_H_
 
 #include <cstddef>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,54 @@
 namespace restune {
 
 using Vector = std::vector<double>;
+
+namespace internal {
+
+/// Minimal std::allocator drop-in handing out `Alignment`-byte-aligned
+/// storage via std::aligned_alloc. Matrix buffers use it so row 0 always
+/// starts on a cache-line/vector-lane boundary; the SIMD layer still issues
+/// unaligned loads (interior rows are aligned only when the column count
+/// cooperates), but aligned bases keep the hot stripe loops from straddling
+/// an extra cache line per row.
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two covering alignof(T)");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    // std::aligned_alloc requires the size to be a multiple of the
+    // alignment; round up (the slack is never exposed through size()).
+    const std::size_t bytes =
+        (n * sizeof(T) + Alignment - 1) / Alignment * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace internal
+
+/// Backing store of Matrix: 64-byte-aligned contiguous doubles.
+using MatrixBuffer =
+    std::vector<double, internal::AlignedAllocator<double, 64>>;
 
 /// Dense row-major matrix of doubles.
 ///
@@ -90,7 +140,7 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<double> data_;
+  MatrixBuffer data_;
 };
 
 /// Dot product; sizes must match.

@@ -1,0 +1,278 @@
+// AVX2/FMA tier of the SIMD dispatch layer. This translation unit is the
+// only place outside tests where raw intrinsics are permitted (enforced by
+// tools/restune_lint.py); it is compiled with -mavx2 -mfma and its entry
+// points must only be *called* after __builtin_cpu_supports confirmed both
+// features (simd.cc guards this).
+//
+// Determinism rules for every body here:
+//  * remainder elements use std::fma with the same operand signs as the
+//    vector lanes, so an element's value never depends on whether a caller's
+//    range boundary put it in the body or the tail;
+//  * reductions combine partial sums in one fixed order per length.
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/simd/simd_internal.h"
+
+#if !defined(RESTUNE_SIMD_AVX2_COMPILED)
+#error "simd_avx2.cc must be compiled with RESTUNE_SIMD_AVX2_COMPILED"
+#endif
+
+namespace restune {
+namespace simd {
+namespace internal {
+namespace {
+
+inline double HorizontalSum(__m256d v) {
+  // Fixed combine order: (lane0 + lane1) + (lane2 + lane3).
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);  // {l0+l2, l1+l3}
+  return _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    i += 4;
+  }
+  double sum = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) sum = std::fma(a[i], b[i], sum);
+  return sum;
+}
+
+double NegDotAccumAvx2(double init, const double* a, const double* b,
+                       size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    i += 4;
+  }
+  double result = init - HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) result = std::fma(-a[i], b[i], result);
+  return result;
+}
+
+void AxpyAvx2(double* acc, double w, const double* x, size_t n) {
+  const __m256d vw = _mm256_set1_pd(w);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        acc + i,
+        _mm256_fmadd_pd(vw, _mm256_loadu_pd(x + i), _mm256_loadu_pd(acc + i)));
+  }
+  for (; i < n; ++i) acc[i] = std::fma(w, x[i], acc[i]);
+}
+
+void FnmaAvx2(double* acc, double w, const double* x, size_t n) {
+  const __m256d vw = _mm256_set1_pd(w);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(acc + i,
+                     _mm256_fnmadd_pd(vw, _mm256_loadu_pd(x + i),
+                                      _mm256_loadu_pd(acc + i)));
+  }
+  for (; i < n; ++i) acc[i] = std::fma(-w, x[i], acc[i]);
+}
+
+void SquareAccumAvx2(double* acc, const double* x, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    _mm256_storeu_pd(acc + i,
+                     _mm256_fmadd_pd(v, v, _mm256_loadu_pd(acc + i)));
+  }
+  for (; i < n; ++i) acc[i] = std::fma(x[i], x[i], acc[i]);
+}
+
+void ScaleAvx2(double* x, double s, size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), vs));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void Trsm4x8PanelAvx2(double* a0, double* a1, double* a2, double* a3,
+                      const double* l0, const double* l1, const double* l2,
+                      const double* l3, const double* y, size_t y_stride,
+                      size_t k_count) {
+  __m256d a0lo = _mm256_loadu_pd(a0), a0hi = _mm256_loadu_pd(a0 + 4);
+  __m256d a1lo = _mm256_loadu_pd(a1), a1hi = _mm256_loadu_pd(a1 + 4);
+  __m256d a2lo = _mm256_loadu_pd(a2), a2hi = _mm256_loadu_pd(a2 + 4);
+  __m256d a3lo = _mm256_loadu_pd(a3), a3hi = _mm256_loadu_pd(a3 + 4);
+  const double* yk = y;
+  for (size_t k = 0; k < k_count; ++k, yk += y_stride) {
+    const __m256d vlo = _mm256_loadu_pd(yk);
+    const __m256d vhi = _mm256_loadu_pd(yk + 4);
+    const __m256d w0 = _mm256_set1_pd(l0[k]);
+    a0lo = _mm256_fnmadd_pd(w0, vlo, a0lo);
+    a0hi = _mm256_fnmadd_pd(w0, vhi, a0hi);
+    const __m256d w1 = _mm256_set1_pd(l1[k]);
+    a1lo = _mm256_fnmadd_pd(w1, vlo, a1lo);
+    a1hi = _mm256_fnmadd_pd(w1, vhi, a1hi);
+    const __m256d w2 = _mm256_set1_pd(l2[k]);
+    a2lo = _mm256_fnmadd_pd(w2, vlo, a2lo);
+    a2hi = _mm256_fnmadd_pd(w2, vhi, a2hi);
+    const __m256d w3 = _mm256_set1_pd(l3[k]);
+    a3lo = _mm256_fnmadd_pd(w3, vlo, a3lo);
+    a3hi = _mm256_fnmadd_pd(w3, vhi, a3hi);
+  }
+  _mm256_storeu_pd(a0, a0lo);
+  _mm256_storeu_pd(a0 + 4, a0hi);
+  _mm256_storeu_pd(a1, a1lo);
+  _mm256_storeu_pd(a1 + 4, a1hi);
+  _mm256_storeu_pd(a2, a2lo);
+  _mm256_storeu_pd(a2 + 4, a2hi);
+  _mm256_storeu_pd(a3, a3lo);
+  _mm256_storeu_pd(a3 + 4, a3hi);
+}
+
+// exp(x) on 4 lanes, Cephes-style: range reduction x = n ln2 + r with a
+// Cody-Waite split, a rational minimax approximation of exp(r) on
+// [-ln2/2, ln2/2], and exponent reassembly. ~1 ulp over the domain the
+// kernels use (x <= 0); arguments below the IEEE underflow threshold flush
+// to +0 exactly like std::exp.
+inline __m256d ExpPd(__m256d x) {
+  const __m256d log2e = _mm256_set1_pd(1.4426950408889634073599);
+  const __m256d ln2_hi = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d ln2_lo = _mm256_set1_pd(1.42860682030941723212e-6);
+  const __m256d underflow = _mm256_set1_pd(-708.396418532264106224);
+
+  const __m256d n = _mm256_round_pd(
+      _mm256_mul_pd(x, log2e), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fnmadd_pd(n, ln2_hi, x);
+  r = _mm256_fnmadd_pd(n, ln2_lo, r);
+  const __m256d rr = _mm256_mul_pd(r, r);
+
+  __m256d p = _mm256_set1_pd(1.26177193074810590878e-4);
+  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(3.02994407707441961300e-2));
+  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(9.99999999999999999910e-1));
+  p = _mm256_mul_pd(p, r);
+  __m256d q = _mm256_set1_pd(3.00198505138664455042e-6);
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.52448340349684104192e-3));
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.27265548208155028766e-1));
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.0));
+  __m256d e = _mm256_div_pd(p, _mm256_sub_pd(q, p));
+  e = _mm256_fmadd_pd(_mm256_set1_pd(2.0), e, _mm256_set1_pd(1.0));
+
+  const __m256i n64 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(n));
+  const __m256i pow2 = _mm256_slli_epi64(
+      _mm256_add_epi64(n64, _mm256_set1_epi64x(1023)), 52);
+  e = _mm256_mul_pd(e, _mm256_castsi256_pd(pow2));
+  return _mm256_and_pd(e, _mm256_cmp_pd(x, underflow, _CMP_GE_OQ));
+}
+
+// Scaled squared distance of one (query, row) pair, 4-wide over the
+// dimensions. Lengthscales arrive pre-inverted so the inner loop is pure
+// multiply-add; the dimension tail uses std::fma, keeping r2 a pure
+// function of (q, row, inv_ls, d).
+inline double ScaledSquaredDistanceAvx2(const double* q, const double* xr,
+                                        const double* inv_ls, size_t d) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t t = 0;
+  for (; t + 4 <= d; t += 4) {
+    const __m256d diff = _mm256_mul_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(q + t), _mm256_loadu_pd(xr + t)),
+        _mm256_loadu_pd(inv_ls + t));
+    acc = _mm256_fmadd_pd(diff, diff, acc);
+  }
+  double sum = HorizontalSum(acc);
+  for (; t < d; ++t) {
+    const double diff = (q[t] - xr[t]) * inv_ls[t];
+    sum = std::fma(diff, diff, sum);
+  }
+  return sum;
+}
+
+// Shared row-fill skeleton: compute 4 scaled squared distances, transform
+// them with `transform` (a 4-lane functor), and store. The final partial
+// group is padded with zeros and transformed with the same vector code, so
+// tail elements are bitwise identical to body elements.
+template <typename TransformFn>
+inline void KernelRowAvx2(const double* q, const double* x, size_t x_stride,
+                          size_t count, const double* inv_ls, size_t d,
+                          double* out, TransformFn transform) {
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    const __m256d r2 = _mm256_setr_pd(
+        ScaledSquaredDistanceAvx2(q, x + j * x_stride, inv_ls, d),
+        ScaledSquaredDistanceAvx2(q, x + (j + 1) * x_stride, inv_ls, d),
+        ScaledSquaredDistanceAvx2(q, x + (j + 2) * x_stride, inv_ls, d),
+        ScaledSquaredDistanceAvx2(q, x + (j + 3) * x_stride, inv_ls, d));
+    _mm256_storeu_pd(out + j, transform(r2));
+  }
+  if (j < count) {
+    double r2_tail[4] = {0.0, 0.0, 0.0, 0.0};
+    double out_tail[4];
+    for (size_t t = 0; j + t < count; ++t) {
+      r2_tail[t] =
+          ScaledSquaredDistanceAvx2(q, x + (j + t) * x_stride, inv_ls, d);
+    }
+    _mm256_storeu_pd(out_tail, transform(_mm256_loadu_pd(r2_tail)));
+    for (size_t t = 0; j + t < count; ++t) out[j + t] = out_tail[t];
+  }
+}
+
+void Matern52RowAvx2(const double* q, const double* x, size_t x_stride,
+                     size_t count, const double* /*ls*/, const double* inv_ls,
+                     size_t d, double amp2, double* out) {
+  const __m256d vamp = _mm256_set1_pd(amp2);
+  const __m256d five = _mm256_set1_pd(5.0);
+  const __m256d five_thirds = _mm256_set1_pd(5.0 / 3.0);
+  const __m256d one = _mm256_set1_pd(1.0);
+  KernelRowAvx2(q, x, x_stride, count, inv_ls, d, out, [&](__m256d r2) {
+    const __m256d r = _mm256_sqrt_pd(_mm256_mul_pd(five, r2));
+    const __m256d poly =
+        _mm256_fmadd_pd(five_thirds, r2, _mm256_add_pd(one, r));
+    const __m256d e = ExpPd(_mm256_sub_pd(_mm256_setzero_pd(), r));
+    return _mm256_mul_pd(_mm256_mul_pd(vamp, poly), e);
+  });
+}
+
+void SqExpRowAvx2(const double* q, const double* x, size_t x_stride,
+                  size_t count, const double* /*ls*/, const double* inv_ls,
+                  size_t d, double amp2, double* out) {
+  const __m256d vamp = _mm256_set1_pd(amp2);
+  const __m256d neg_half = _mm256_set1_pd(-0.5);
+  KernelRowAvx2(q, x, x_stride, count, inv_ls, d, out, [&](__m256d r2) {
+    return _mm256_mul_pd(vamp, ExpPd(_mm256_mul_pd(neg_half, r2)));
+  });
+}
+
+constexpr Ops kAvx2Ops = {
+    DotAvx2,         NegDotAccumAvx2, AxpyAvx2,
+    FnmaAvx2,        SquareAccumAvx2, ScaleAvx2,
+    Trsm4x8PanelAvx2, Matern52RowAvx2, SqExpRowAvx2,
+};
+
+}  // namespace
+
+const Ops* Avx2Ops() { return &kAvx2Ops; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace restune

@@ -12,6 +12,29 @@
 
 namespace restune {
 
+/// Options for training one base-learner.
+struct BaseLearnerOptions {
+  /// GP fit options; defaults match `BaseLearner::DefaultGpOptions()`
+  /// (no target normalization — inputs are pre-standardized per task).
+  GpOptions gp;
+  /// When non-zero and the task history is larger, the learner trains on a
+  /// deterministic farthest-point subset of at most this many observations
+  /// — capping the O(n^3) one-shot fit and the O(n) ensemble prediction
+  /// cost per learner for tasks with very long histories. 0 = exact.
+  size_t subset_size = 0;
+
+  BaseLearnerOptions();
+};
+
+/// Content fingerprint of a (task, options) training request: task name,
+/// meta-feature and observation doubles hashed by bit pattern, plus every
+/// option that affects the fitted model. Equal fingerprints mean training
+/// would reproduce the same model bit for bit, which is what lets the
+/// process-global cache (base_learner_cache.h) and serialized repository
+/// learners stand in for a fresh fit.
+std::string BaseLearnerFingerprint(const TuningTask& task,
+                                   const BaseLearnerOptions& options);
+
 /// A historical base-learner: a multi-output GP fitted on one task's
 /// *standardized* observations (scale unification, Section 6.1). Its
 /// predictions are relative values — meaningful for ranking and for the
@@ -21,8 +44,23 @@ class BaseLearner {
   /// Trains a base-learner from a task's raw observation history.
   /// Hyper-parameters are optimized once here; the learner is immutable
   /// afterwards, which is what makes the repository cheap to reuse.
+  /// Consults the process-global `BaseLearnerCache` first: a task already
+  /// trained under the same fingerprint (this session or a repository
+  /// load) is returned without refitting.
+  static Result<BaseLearner> Train(const TuningTask& task,
+                                   const BaseLearnerOptions& options);
+
+  /// Legacy overload: exact training with the given GP options.
   static Result<BaseLearner> Train(const TuningTask& task,
                                    GpOptions gp_options = DefaultGpOptions());
+
+  /// Reassembles a learner from already-built parts — the deserialization
+  /// path (DataRepository loads the fitted GP, including cached Cholesky
+  /// factors, so no training happens here).
+  static BaseLearner FromParts(std::string name, Vector meta_feature,
+                               MetricStandardizer standardizer,
+                               std::shared_ptr<MultiOutputGp> gp,
+                               std::string fingerprint);
 
   /// GP options suitable for one-shot base-learner training.
   static GpOptions DefaultGpOptions();
@@ -35,14 +73,19 @@ class BaseLearner {
   double PredictMean(MetricKind kind, const Vector& theta) const;
 
   /// Batch counterparts over the rows of `thetas`, via the GP batch
-  /// inference path.
-  std::vector<GpPrediction> PredictBatch(MetricKind kind,
-                                         const Matrix& thetas) const;
-  Vector PredictMeanBatch(MetricKind kind, const Matrix& thetas) const;
+  /// inference path, distributed over `pool` (null = shared pool).
+  std::vector<GpPrediction> PredictBatch(MetricKind kind, const Matrix& thetas,
+                                         ThreadPool* pool = nullptr) const;
+  Vector PredictMeanBatch(MetricKind kind, const Matrix& thetas,
+                          ThreadPool* pool = nullptr) const;
 
   const std::string& name() const { return name_; }
   const Vector& meta_feature() const { return meta_feature_; }
   const MetricStandardizer& standardizer() const { return standardizer_; }
+  /// Fingerprint of the training inputs (empty for learners built before
+  /// fingerprinting, e.g. via the legacy FromParts-free paths).
+  const std::string& fingerprint() const { return fingerprint_; }
+  const MultiOutputGp& gp() const { return *gp_; }
   size_t num_observations() const { return gp_->num_observations(); }
   size_t dim() const { return gp_->dim(); }
 
@@ -52,6 +95,7 @@ class BaseLearner {
   std::string name_;
   Vector meta_feature_;
   MetricStandardizer standardizer_;
+  std::string fingerprint_;
   std::shared_ptr<MultiOutputGp> gp_;  // shared: learners are copied around
 };
 

@@ -1,0 +1,35 @@
+#include "meta/base_learner_cache.h"
+
+namespace restune {
+
+BaseLearnerCache* BaseLearnerCache::Global() {
+  // restune-lint: allow(naked-new) -- intentional leak, process singleton
+  static BaseLearnerCache* cache = new BaseLearnerCache();
+  return cache;
+}
+
+std::optional<BaseLearner> BaseLearnerCache::Lookup(
+    const std::string& fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void BaseLearnerCache::Insert(const std::string& fingerprint,
+                              const BaseLearner& learner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace(fingerprint, learner);
+}
+
+size_t BaseLearnerCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void BaseLearnerCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace restune

@@ -1,0 +1,52 @@
+#ifndef RESTUNE_META_BASE_LEARNER_CACHE_H_
+#define RESTUNE_META_BASE_LEARNER_CACHE_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "meta/base_learner.h"
+
+namespace restune {
+
+/// Process-global cache of trained base-learners keyed by content
+/// fingerprint (task name + meta-feature + observation bits + training
+/// options, see `BaseLearnerFingerprint`).
+///
+/// Base-learners are frozen after training, so two requests with the same
+/// fingerprint would produce bit-identical models — there is never a
+/// reason to refit. `BaseLearner::Train` consults this cache, which fixes
+/// the historical per-session refit: a server opening the same repository
+/// for a second session reuses every factorization from the first, and
+/// repository files that carry serialized learners (see DataRepository)
+/// pre-seed the cache on load so even the first session skips training.
+///
+/// Entries are whole `BaseLearner` copies; the expensive state (the
+/// multi-output GP with its factorizations) sits behind a shared_ptr, so a
+/// hit costs a few shared_ptr increments.
+class BaseLearnerCache {
+ public:
+  static BaseLearnerCache* Global();
+
+  /// The cached learner for `fingerprint`, if any.
+  std::optional<BaseLearner> Lookup(const std::string& fingerprint) const;
+
+  /// Stores a copy of `learner` under `fingerprint` (first write wins —
+  /// same fingerprint implies an equivalent model).
+  void Insert(const std::string& fingerprint, const BaseLearner& learner);
+
+  size_t size() const;
+
+  /// Drops every entry. Tests only — production caches are append-only
+  /// for the process lifetime.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, BaseLearner> entries_;
+};
+
+}  // namespace restune
+
+#endif  // RESTUNE_META_BASE_LEARNER_CACHE_H_

@@ -2,10 +2,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "gp/gp_serialization.h"
+#include "meta/base_learner_cache.h"
 
 namespace restune {
 
@@ -98,6 +101,11 @@ size_t DataRepository::Compact(size_t max_observations_per_task) {
 }
 
 Status DataRepository::SaveToFile(const std::string& path) const {
+  return SaveToFile(path, {});
+}
+
+Status DataRepository::SaveToFile(
+    const std::string& path, const std::vector<BaseLearner>& learners) const {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open '" + path + "' for writing");
   out.precision(17);  // round-trip doubles exactly
@@ -114,6 +122,25 @@ Status DataRepository::SaveToFile(const std::string& path) const {
     }
     out << "end\n";
   }
+  for (const BaseLearner& learner : learners) {
+    out << "learner " << learner.name() << "\n";
+    out << "lmeta";
+    for (double v : learner.meta_feature()) out << " " << v;
+    out << "\n";
+    out << "std";
+    for (MetricKind kind : kAllMetricKinds) {
+      out << " " << learner.standardizer().mean(kind);
+    }
+    for (MetricKind kind : kAllMetricKinds) {
+      out << " " << learner.standardizer().stddev(kind);
+    }
+    out << "\n";
+    out << "fingerprint "
+        << (learner.fingerprint().empty() ? "-" : learner.fingerprint())
+        << "\n";
+    RESTUNE_RETURN_IF_ERROR(SaveMultiOutputGp(learner.gp(), &out));
+    out << "endlearner\n";
+  }
   return out.good() ? Status::OK()
                     : Status::IoError("write to '" + path + "' failed");
 }
@@ -121,6 +148,7 @@ Status DataRepository::SaveToFile(const std::string& path) const {
 Status DataRepository::LoadFromFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  loaded_learners_.clear();
   std::string line;
   TuningTask current;
   bool in_task = false;
@@ -158,6 +186,71 @@ Status DataRepository::LoadFromFile(const std::string& path) {
       }
       RESTUNE_RETURN_IF_ERROR(AddTask(std::move(current)));
       in_task = false;
+    } else if (tag == "learner") {
+      if (in_task) {
+        return Status::IoError(
+            StringPrintf("line %zu: learner record inside task", line_no));
+      }
+      std::string learner_name;
+      if (!(ls >> learner_name)) {
+        return Status::IoError(
+            StringPrintf("line %zu: learner record without name", line_no));
+      }
+      // lmeta line (meta-feature values).
+      if (!std::getline(in, line)) {
+        return Status::IoError("truncated learner record: missing lmeta");
+      }
+      ++line_no;
+      Vector meta_feature;
+      {
+        std::istringstream ms(line);
+        std::string mtag;
+        if (!(ms >> mtag) || mtag != "lmeta") {
+          return Status::IoError(
+              StringPrintf("line %zu: expected lmeta record", line_no));
+        }
+        double v;
+        while (ms >> v) meta_feature.push_back(v);
+      }
+      // std line: three means then three stddevs (res, tps, lat order).
+      if (!std::getline(in, line)) {
+        return Status::IoError("truncated learner record: missing std");
+      }
+      ++line_no;
+      std::array<double, kNumMetricKinds> means{};
+      std::array<double, kNumMetricKinds> stds{};
+      {
+        std::istringstream ss(line);
+        std::string stag;
+        ss >> stag;
+        for (double& v : means) ss >> v;
+        for (double& v : stds) ss >> v;
+        if (stag != "std" || !ss) {
+          return Status::IoError(
+              StringPrintf("line %zu: malformed std record", line_no));
+        }
+      }
+      std::string fingerprint;
+      if (!(in >> line) || line != "fingerprint" || !(in >> fingerprint)) {
+        return Status::IoError("truncated learner record: missing fingerprint");
+      }
+      if (fingerprint == "-") fingerprint.clear();
+      // The GP payload — restores cached Cholesky factors, so no O(n^3)
+      // refactorization happens on this path.
+      RESTUNE_ASSIGN_OR_RETURN(MultiOutputGp gp, LoadMultiOutputGp(&in));
+      if (!(in >> line) || line != "endlearner") {
+        return Status::IoError("truncated learner record: missing endlearner");
+      }
+      BaseLearner learner = BaseLearner::FromParts(
+          learner_name, std::move(meta_feature),
+          MetricStandardizer::FromMoments(means, stds),
+          std::make_shared<MultiOutputGp>(std::move(gp)), fingerprint);
+      // Pre-seed the process cache: TrainBaseLearners over the same tasks
+      // and options will hit these entries instead of refitting.
+      if (!fingerprint.empty()) {
+        BaseLearnerCache::Global()->Insert(fingerprint, learner);
+      }
+      loaded_learners_.push_back(std::move(learner));
     } else {
       return Status::IoError(
           StringPrintf("line %zu: unknown record '%s'", line_no, tag.c_str()));

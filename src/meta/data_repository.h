@@ -57,12 +57,27 @@ class DataRepository {
   /// Serializes all tasks to a line-oriented text file.
   Status SaveToFile(const std::string& path) const;
 
+  /// Serializes all tasks plus trained base-learners — including each
+  /// learner's fitted GP with its cached Cholesky factors — so a later
+  /// `LoadFromFile` pre-seeds the process-global `BaseLearnerCache` and
+  /// `TrainBaseLearners` never refits what this call persisted.
+  Status SaveToFile(const std::string& path,
+                    const std::vector<BaseLearner>& learners) const;
+
   /// Loads tasks previously written by `SaveToFile` (appends to the
-  /// current contents).
+  /// current contents). Serialized base-learner records, when present, are
+  /// reassembled without training and inserted into the global
+  /// `BaseLearnerCache` under their stored fingerprints.
   Status LoadFromFile(const std::string& path);
+
+  /// Base-learners reassembled by the last `LoadFromFile` call.
+  const std::vector<BaseLearner>& loaded_learners() const {
+    return loaded_learners_;
+  }
 
  private:
   std::vector<TuningTask> tasks_;
+  std::vector<BaseLearner> loaded_learners_;
 };
 
 }  // namespace restune

@@ -413,27 +413,27 @@ GpPrediction MetaLearner::PredictMetric(MetricKind kind,
 }
 
 std::vector<GpPrediction> MetaLearner::PredictMetricBatch(
-    MetricKind kind, const Matrix& thetas) const {
+    MetricKind kind, const Matrix& thetas, ThreadPool* pool) const {
   const size_t m = thetas.rows();
   std::vector<GpPrediction> out(m);
   if (m == 0) return out;
 
   // Weighted ensemble mean (Eq. 6), one batch prediction per member. The
   // member loop stays serial — each member's batch path already spreads its
-  // candidate block across the pool — and accumulation order matches the
+  // candidate block across `pool` — and accumulation order matches the
   // per-point ensemble exactly.
   Vector mean(m, 0.0);
   double weight_sum = 0.0;
   for (size_t i = 0; i < bases_.size(); ++i) {
     if (weights_[i] <= 0.0) continue;
-    const Vector base_means = bases_[i].PredictMeanBatch(kind, thetas);
+    const Vector base_means = bases_[i].PredictMeanBatch(kind, thetas, pool);
     for (size_t j = 0; j < m; ++j) mean[j] += weights_[i] * base_means[j];
     weight_sum += weights_[i];
   }
   std::vector<GpPrediction> target_pred;
   const bool target_fitted = target_gp_->fitted();
   if (target_fitted) {
-    target_pred = target_gp_->PredictBatch(kind, thetas);
+    target_pred = target_gp_->PredictBatch(kind, thetas, pool);
     if (weights_.back() > 0.0) {
       for (size_t j = 0; j < m; ++j) {
         mean[j] += weights_.back() * target_pred[j].mean;
@@ -457,7 +457,7 @@ std::vector<GpPrediction> MetaLearner::PredictMetricBatch(
   for (size_t i = 0; i < bases_.size(); ++i) {
     if (weights_[i] <= 0.0) continue;
     const std::vector<GpPrediction> base_pred =
-        bases_[i].PredictBatch(kind, thetas);
+        bases_[i].PredictBatch(kind, thetas, pool);
     for (size_t j = 0; j < m; ++j) {
       var_acc[j] += weights_[i] * base_pred[j].variance;
     }

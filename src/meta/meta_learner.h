@@ -81,7 +81,8 @@ class MetaLearner : public Surrogate {
   /// a CEI sweep costs one blocked prediction per member instead of one
   /// per-point prediction per member per candidate.
   std::vector<GpPrediction> PredictMetricBatch(
-      MetricKind kind, const Matrix& thetas) const override;
+      MetricKind kind, const Matrix& thetas,
+      ThreadPool* pool = nullptr) const override;
 
   size_t dim() const override { return dim_; }
 

@@ -23,6 +23,16 @@ class MetricStandardizer {
   static MetricStandardizer FromObservations(
       const std::vector<Observation>& observations);
 
+  /// Rebuilds a standardizer from stored moments (deserialization path).
+  static MetricStandardizer FromMoments(
+      const std::array<double, kNumMetricKinds>& means,
+      const std::array<double, kNumMetricKinds>& stds) {
+    MetricStandardizer out;
+    out.means_ = means;
+    out.stds_ = stds;
+    return out;
+  }
+
   double Standardize(MetricKind kind, double value) const;
   double Destandardize(MetricKind kind, double value) const;
 

@@ -1,0 +1,272 @@
+#include "ml/quantile_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/contracts.h"
+#include "common/thread_pool.h"
+
+namespace restune {
+
+namespace {
+
+/// Mean and (population) variance of y over indices[begin, end).
+void LeafMoments(const Vector& y, const std::vector<size_t>& indices,
+                 size_t begin, size_t end, double* mean, double* variance) {
+  const size_t n = end - begin;
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += y[indices[i]];
+  const double m = sum / static_cast<double>(n);
+  double sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double d = y[indices[i]] - m;
+    sq += d * d;
+  }
+  *mean = m;
+  *variance = sq / static_cast<double>(n);
+}
+
+}  // namespace
+
+QuantileForest::QuantileForest(QuantileForestOptions options)
+    : options_(options) {}
+
+int QuantileForest::BuildNode(const Matrix& x, std::vector<size_t>* indices,
+                              size_t begin, size_t end, int depth, Rng* rng,
+                              Tree* tree) const {
+  const size_t n = end - begin;
+  const int node_id = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+
+  const bool stop = depth >= options_.max_depth ||
+                    n < static_cast<size_t>(options_.min_samples_split) ||
+                    n < 2 * static_cast<size_t>(options_.min_samples_leaf);
+  // Extra-trees split search: draw random (feature, threshold) candidates
+  // and keep the one minimizing the summed children SSE. The rng is always
+  // consumed in the same order per node, so trees are reproducible.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  size_t best_left_count = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  if (!stop) {
+    std::vector<size_t>& idx = *indices;
+    for (int c = 0; c < options_.num_candidate_splits; ++c) {
+      const size_t f = rng->UniformInt(x.cols());
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (size_t i = begin; i < end; ++i) {
+        const double v = x(idx[i], f);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (!(lo < hi)) continue;  // constant feature in this node
+      const double threshold = rng->Uniform(lo, hi);
+      // Stable partition into two scratch runs so left/right keep the
+      // parent's relative order — required for deterministic leaf ranges.
+      size_t left_count = 0;
+      for (size_t i = begin; i < end; ++i) {
+        if (x(idx[i], f) < threshold) ++left_count;
+      }
+      const size_t min_leaf = static_cast<size_t>(options_.min_samples_leaf);
+      if (left_count < min_leaf || n - left_count < min_leaf) continue;
+      // Score without materializing the partition: SSE around a shifted
+      // origin (the node's first target) for stability, order-free.
+      double left_sum = 0.0, left_sq = 0.0;
+      double right_sum = 0.0, right_sq = 0.0;
+      const double y0 = y_[idx[begin]];
+      for (size_t i = begin; i < end; ++i) {
+        const double d = y_[idx[i]] - y0;
+        if (x(idx[i], f) < threshold) {
+          left_sum += d;
+          left_sq += d * d;
+        } else {
+          right_sum += d;
+          right_sq += d * d;
+        }
+      }
+      const double left_sse =
+          left_sq - left_sum * left_sum / static_cast<double>(left_count);
+      const double right_sse =
+          right_sq -
+          right_sum * right_sum / static_cast<double>(n - left_count);
+      const double score = left_sse + right_sse;
+      // Strictly-smaller wins: on ties the first candidate drawn is kept,
+      // making the choice independent of evaluation order.
+      if (score < best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+        best_left_count = left_count;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    // Leaf: record the sample range and its moments.
+    Node& leaf = tree->nodes[node_id];
+    leaf.begin = tree->leaf_indices.size();
+    for (size_t i = begin; i < end; ++i) {
+      tree->leaf_indices.push_back((*indices)[i]);
+    }
+    leaf.end = tree->leaf_indices.size();
+    LeafMoments(y_, tree->leaf_indices, leaf.begin, leaf.end, &leaf.mean,
+                &leaf.variance);
+    return node_id;
+  }
+
+  // Order-preserving partition of [begin, end) around the chosen split.
+  {
+    std::vector<size_t>& idx = *indices;
+    std::vector<size_t> left_run;
+    std::vector<size_t> right_run;
+    left_run.reserve(best_left_count);
+    right_run.reserve(n - best_left_count);
+    for (size_t i = begin; i < end; ++i) {
+      if (x(idx[i], best_feature) < best_threshold) {
+        left_run.push_back(idx[i]);
+      } else {
+        right_run.push_back(idx[i]);
+      }
+    }
+    std::copy(left_run.begin(), left_run.end(), idx.begin() + begin);
+    std::copy(right_run.begin(), right_run.end(),
+              idx.begin() + begin + left_run.size());
+  }
+
+  const size_t mid = begin + best_left_count;
+  const int left_id = BuildNode(x, indices, begin, mid, depth + 1, rng, tree);
+  const int right_id = BuildNode(x, indices, mid, end, depth + 1, rng, tree);
+  Node& node = tree->nodes[node_id];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left_id;
+  node.right = right_id;
+  return node_id;
+}
+
+Status QuantileForest::Fit(const Matrix& x, const Vector& y,
+                           ThreadPool* pool) {
+  if (x.rows() == 0) {
+    return Status::InvalidArgument("QuantileForest::Fit: empty training set");
+  }
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument(
+        "QuantileForest::Fit: x has " + std::to_string(x.rows()) +
+        " rows but y has " + std::to_string(y.size()) + " entries");
+  }
+  if (options_.num_trees <= 0 || options_.min_samples_leaf <= 0 ||
+      options_.max_depth <= 0 || options_.num_candidate_splits <= 0) {
+    return Status::InvalidArgument(
+        "QuantileForest::Fit: options must be positive");
+  }
+  for (double v : y) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "QuantileForest::Fit: non-finite target");
+    }
+  }
+
+  dim_ = x.cols();
+  y_ = y;
+  const size_t num_trees = static_cast<size_t>(options_.num_trees);
+  trees_.assign(num_trees, Tree{});
+
+  // Fork one generator per tree up front in tree order, then grow trees in
+  // parallel — each slot owns its tree and its rng, so the forest is
+  // bitwise identical for any pool size.
+  Rng root(options_.seed);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) tree_rngs.push_back(root.Fork());
+
+  ResolvePool(pool)->ParallelFor(num_trees, [&](size_t t) {
+    std::vector<size_t> indices(x.rows());
+    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    Tree& tree = trees_[t];
+    tree.leaf_indices.reserve(x.rows());
+    BuildNode(x, &indices, 0, indices.size(), 0, &tree_rngs[t], &tree);
+  });
+  return Status::OK();
+}
+
+const QuantileForest::Node& QuantileForest::LeafFor(
+    const Tree& tree, const double* features) const {
+  const Node* node = &tree.nodes[0];
+  while (!node->IsLeaf()) {
+    node = features[node->feature] < node->threshold
+               ? &tree.nodes[node->left]
+               : &tree.nodes[node->right];
+  }
+  return *node;
+}
+
+ForestPrediction QuantileForest::Predict(const Vector& features) const {
+  RESTUNE_CHECK(fitted()) << "QuantileForest::Predict before Fit";
+  RESTUNE_DCHECK(features.size() == dim_)
+      << "query dim " << features.size() << " != forest dim " << dim_;
+  // Law of total variance across trees: E[var_t] + var[mean_t].
+  double mean_sum = 0.0;
+  double second_moment = 0.0;
+  for (const Tree& tree : trees_) {
+    const Node& leaf = LeafFor(tree, features.data());
+    mean_sum += leaf.mean;
+    second_moment += leaf.variance + leaf.mean * leaf.mean;
+  }
+  const double inv_t = 1.0 / static_cast<double>(trees_.size());
+  ForestPrediction out;
+  out.mean = mean_sum * inv_t;
+  out.variance = std::max(0.0, second_moment * inv_t - out.mean * out.mean);
+  return out;
+}
+
+std::vector<ForestPrediction> QuantileForest::PredictBatch(
+    const Matrix& x, ThreadPool* pool) const {
+  RESTUNE_CHECK(fitted()) << "QuantileForest::PredictBatch before Fit";
+  RESTUNE_DCHECK(x.cols() == dim_)
+      << "query dim " << x.cols() << " != forest dim " << dim_;
+  std::vector<ForestPrediction> out(x.rows());
+  ResolvePool(pool)->ParallelForRanges(x.rows(), [&](size_t begin,
+                                                     size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double mean_sum = 0.0;
+      double second_moment = 0.0;
+      const double* row = x.RowPtr(i);
+      for (const Tree& tree : trees_) {
+        const Node& leaf = LeafFor(tree, row);
+        mean_sum += leaf.mean;
+        second_moment += leaf.variance + leaf.mean * leaf.mean;
+      }
+      const double inv_t = 1.0 / static_cast<double>(trees_.size());
+      out[i].mean = mean_sum * inv_t;
+      out[i].variance =
+          std::max(0.0, second_moment * inv_t - out[i].mean * out[i].mean);
+    }
+  });
+  return out;
+}
+
+double QuantileForest::PredictQuantile(const Vector& features,
+                                       double quantile) const {
+  RESTUNE_CHECK(fitted()) << "QuantileForest::PredictQuantile before Fit";
+  RESTUNE_CHECK(quantile >= 0.0 && quantile <= 1.0)
+      << "quantile " << quantile << " outside [0, 1]";
+  // Pool the leaf samples of every tree (with multiplicity — trees that
+  // agree on a sample weight it higher, the quantile-forest estimator) and
+  // read the empirical quantile off the sorted pool.
+  std::vector<double> pooled;
+  for (const Tree& tree : trees_) {
+    const Node& leaf = LeafFor(tree, features.data());
+    for (size_t i = leaf.begin; i < leaf.end; ++i) {
+      pooled.push_back(y_[tree.leaf_indices[i]]);
+    }
+  }
+  std::sort(pooled.begin(), pooled.end());
+  const size_t rank = std::min(
+      pooled.size() - 1,
+      static_cast<size_t>(quantile * static_cast<double>(pooled.size())));
+  return pooled[rank];
+}
+
+}  // namespace restune

@@ -14,7 +14,17 @@ CboAdvisor::CboAdvisor(std::string name, size_t dim,
       options_(options),
       rng_(options.seed),
       gp_(dim, options.gp),
-      quarantine_(options.quarantine) {}
+      quarantine_(options.quarantine),
+      exact_surrogate_(&gp_) {
+  if (options_.surrogate_backend != SurrogateBackend::kExactGp) {
+    ScalableSurrogateOptions so;
+    so.backend = options_.surrogate_backend;
+    so.subset_size = options_.surrogate_subset_size;
+    so.forest = options_.surrogate_forest;
+    so.gp = options_.gp;
+    approx_ = std::make_unique<ScalableSurrogate>(dim_, so);
+  }
+}
 
 Status CboAdvisor::Begin(const Observation& default_observation,
                          const SlaConstraints& sla) {
@@ -59,20 +69,29 @@ Result<Vector> CboAdvisor::SuggestNext() {
     timing_.recommendation_s = watch.Seconds();
     return next;
   }
-  if (!gp_.fitted()) {
-    return Status::FailedPrecondition("no observations yet; call Begin first");
+  const Surrogate* surrogate_ptr = nullptr;
+  {
+    Result<const Surrogate*> active = ActiveSurrogate();
+    if (!active.ok()) return active.status();
+    surrogate_ptr = active.value();
   }
-  const GpSurrogate surrogate(&gp_);
+  const Surrogate& surrogate = *surrogate_ptr;
   const AcquisitionContext ctx = MakeContext();
-  auto acquisition = [&](const Matrix& thetas) {
+  // The optimizer's pool drives the surrogate's batch inference too, so
+  // the candidate sweep parallelizes instead of bottlenecking on the
+  // calling thread (predictions are pool-size invariant).
+  ThreadPool* acq_pool = options_.acq_optimizer.pool;
+  auto acquisition = [&, acq_pool](const Matrix& thetas) {
     switch (options_.acquisition) {
       case CboAcquisition::kConstrainedEi:
-        return ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx);
+        return ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx,
+                                                   acq_pool);
       case CboAcquisition::kUnconstrainedEi:
-        return UnconstrainedExpectedImprovementBatch(surrogate, thetas, ctx);
+        return UnconstrainedExpectedImprovementBatch(surrogate, thetas, ctx,
+                                                     acq_pool);
       case CboAcquisition::kPenalizedEi:
         return PenalizedExpectedImprovementBatch(surrogate, thetas, ctx,
-                                                 options_.penalty);
+                                                 options_.penalty, acq_pool);
     }
     return std::vector<double>(thetas.rows(), 0.0);
   };
@@ -87,10 +106,37 @@ Result<Vector> CboAdvisor::SuggestNext() {
   return next;
 }
 
+Result<const Surrogate*> CboAdvisor::ActiveSurrogate() {
+  if (approx_ == nullptr) {
+    if (!gp_.fitted()) {
+      return Status::FailedPrecondition(
+          "no observations yet; call Begin first");
+    }
+    return static_cast<const Surrogate*>(&exact_surrogate_);
+  }
+  if (history_.empty()) {
+    return Status::FailedPrecondition("no observations yet; call Begin first");
+  }
+  // Approximate backends refit from scratch on demand: the whole point is
+  // that one subset-GP or forest fit is cheaper than maintaining an exact
+  // factorization at n=10k, so per-suggest refits stay bounded.
+  if (approx_dirty_ || !approx_->fitted()) {
+    RESTUNE_RETURN_IF_ERROR(approx_->Fit(history_));
+    approx_dirty_ = false;
+  }
+  return static_cast<const Surrogate*>(approx_.get());
+}
+
 Status CboAdvisor::Observe(const Observation& observation) {
   StopWatch watch;
   history_.push_back(observation);
-  RESTUNE_RETURN_IF_ERROR(gp_.Update(observation));
+  if (approx_ == nullptr) {
+    RESTUNE_RETURN_IF_ERROR(gp_.Update(observation));
+  } else {
+    // Exact-GP bookkeeping is skipped entirely — the approximate surrogate
+    // refits from `history_` at the next suggestion.
+    approx_dirty_ = true;
+  }
   timing_.model_update_s = watch.Seconds();
   return Status::OK();
 }

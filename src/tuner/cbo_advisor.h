@@ -6,6 +6,7 @@
 
 #include "bo/acq_optimizer.h"
 #include "bo/acquisition.h"
+#include "bo/approx_surrogate.h"
 #include "common/rng.h"
 #include "dbsim/knob.h"
 #include "gp/multi_output_gp.h"
@@ -37,6 +38,18 @@ struct CboAdvisorOptions {
   uint64_t seed = 17;
   /// Knob-region quarantine around crashed/timed-out configurations.
   QuarantineOptions quarantine;
+  /// Surrogate backend. `kExactGp` keeps the incremental multi-output GP
+  /// (rank-one updates, amortized hyper-parameter refits). The approximate
+  /// backends instead refit a `ScalableSurrogate` from the full history on
+  /// demand: `kSubsetGp` caps model size at `surrogate_subset_size`,
+  /// `kQuantileForest` drops the GP entirely — both keep suggest-time
+  /// bounded as the history grows to the n=10k regime. Approximate
+  /// backends learn about evaluation failures only through quarantine
+  /// regions (the exact backend additionally feeds penalized points into
+  /// its constraint models).
+  SurrogateBackend surrogate_backend = SurrogateBackend::kExactGp;
+  size_t surrogate_subset_size = 512;
+  QuantileForestOptions surrogate_forest;
 };
 
 /// Constrained Bayesian optimization on a fresh multi-output GP: the
@@ -56,9 +69,15 @@ class CboAdvisor : public Advisor {
 
   const MultiOutputGp& surrogate() const { return gp_; }
   const KnobQuarantine& quarantine() const { return quarantine_; }
+  /// The approximate surrogate; null under `kExactGp`, unfitted until the
+  /// first post-observation suggestion otherwise.
+  const ScalableSurrogate* approx_surrogate() const { return approx_.get(); }
 
  private:
   AcquisitionContext MakeContext() const;
+  /// The surrogate SuggestNext should score candidates with, refitting the
+  /// approximate backend first when observations arrived since last time.
+  Result<const Surrogate*> ActiveSurrogate();
 
   std::string name_;
   size_t dim_;
@@ -69,6 +88,9 @@ class CboAdvisor : public Advisor {
   KnobQuarantine quarantine_;
   std::vector<Observation> history_;
   std::vector<Vector> pending_lhs_;
+  GpSurrogate exact_surrogate_;
+  std::unique_ptr<ScalableSurrogate> approx_;
+  bool approx_dirty_ = false;
 };
 
 }  // namespace restune

@@ -119,7 +119,8 @@ Result<Vector> OtterTuneAdvisor::SuggestNext() {
     }
   }
   auto acquisition = [&](const Matrix& thetas) {
-    return ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx);
+    return ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx,
+                                               options_.acq_optimizer.pool);
   };
   Vector next =
       MaximizeAcquisitionBatch(acquisition, dim_, &rng_, options_.acq_optimizer);

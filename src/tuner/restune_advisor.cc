@@ -89,9 +89,11 @@ Result<Vector> ResTuneAdvisor::SuggestNext() {
   }
 
   // Batch acquisition: the whole candidate block flows through the
-  // ensemble's matrix-level GP inference in one call per member.
+  // ensemble's matrix-level GP inference in one call per member, spread
+  // over the acquisition optimizer's pool.
   auto acquisition = [&](const Matrix& thetas) {
-    return ConstrainedExpectedImprovementBatch(*meta_learner_, thetas, ctx);
+    return ConstrainedExpectedImprovementBatch(
+        *meta_learner_, thetas, ctx, options_.acq_optimizer.pool);
   };
   AcqOptimizerOptions acq_options = options_.acq_optimizer;
   if (!quarantine_.empty()) {

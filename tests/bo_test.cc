@@ -211,6 +211,50 @@ TEST(BatchAcquisitionTest, BatchCeiWithoutIncumbentMatchesScalar) {
   }
 }
 
+TEST(BatchAcquisitionTest, CeiBatchIsPoolSizeInvariant) {
+  // The pool handed to the batch CEI path drives the GP's blocked
+  // inference; values must be bitwise identical whether the work runs
+  // inline, on an explicit pool, or on the shared pool.
+  const size_t dim = 3, n = 40;
+  Rng rng(11);
+  std::vector<Observation> obs;
+  for (const Vector& theta : LatinHypercubeSample(n, dim, &rng)) {
+    Observation o;
+    o.theta = theta;
+    o.res = 50.0 + 20.0 * theta[0] + rng.Gaussian(0, 0.3);
+    o.tps = 9000.0 - 1500.0 * theta[1] + rng.Gaussian(0, 40.0);
+    o.lat = 5.0 + 2.0 * theta[2] + rng.Gaussian(0, 0.04);
+    obs.push_back(std::move(o));
+  }
+  GpOptions options;
+  options.optimize_hyperparams = false;
+  MultiOutputGp gp(dim, options);
+  ASSERT_TRUE(gp.Fit(obs).ok());
+  GpSurrogate surrogate(&gp);
+  AcquisitionContext ctx;
+  ctx.has_feasible = true;
+  ctx.best_feasible_res = 55.0;
+  ctx.lambda_tps = 8000.0;
+  ctx.lambda_lat = 7.0;
+  const std::vector<Vector> queries = UniformSample(17, dim, &rng);
+  Matrix thetas(queries.size(), dim);
+  for (size_t r = 0; r < queries.size(); ++r) {
+    for (size_t c = 0; c < dim; ++c) thetas(r, c) = queries[r][c];
+  }
+  ThreadPool serial(1), wide(4);
+  const auto inline_vals =
+      ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx, &serial);
+  const auto pooled_vals =
+      ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx, &wide);
+  const auto shared_vals =
+      ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx);
+  ASSERT_EQ(inline_vals.size(), thetas.rows());
+  for (size_t i = 0; i < inline_vals.size(); ++i) {
+    EXPECT_EQ(inline_vals[i], pooled_vals[i]) << "row " << i;
+    EXPECT_EQ(inline_vals[i], shared_vals[i]) << "row " << i;
+  }
+}
+
 TEST(AcqOptimizerTest, FindsGlobalRegionOfSimpleFunction) {
   Rng rng(4);
   auto acquisition = [](const Vector& x) {

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "gp/gp_model.h"
+#include "gp/kernel.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "linalg/simd/simd.h"
+
+namespace restune {
+namespace {
+
+// Shapes chosen to exercise every tail path of the 4-wide AVX2 loops:
+// below one vector (1..3), exact multiples (4, 8, 16, 48), one over/under
+// (7, 15, 33, 65) — and odd dims make interior Matrix rows unaligned.
+const size_t kSizes[] = {1, 3, 4, 7, 8, 15, 16, 33, 48, 65};
+const size_t kDims[] = {1, 2, 3, 14};
+
+Vector RandomVector(size_t n, Rng* rng) {
+  Vector v(n);
+  for (double& x : v) x = rng->Uniform(-2.0, 2.0);
+  return v;
+}
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng->Uniform();
+  }
+  return m;
+}
+
+/// Runs `fn` once under the forced scalar tier and once under the AVX2
+/// tier (which silently stays scalar on machines without AVX2, making the
+/// comparison trivially true there), restoring auto-dispatch afterwards.
+template <typename Fn>
+void CompareTiers(Fn fn, std::vector<double>* scalar_out,
+                  std::vector<double>* simd_out) {
+  simd::ForceTierForTest(simd::Tier::kScalar);
+  *scalar_out = fn();
+  simd::ForceTierForTest(simd::Tier::kAvx2);
+  *simd_out = fn();
+  simd::ResetTierForTest();
+}
+
+void ExpectClose(const std::vector<double>& a, const std::vector<double>& b,
+                 double tol = 1e-12) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max(1.0, std::abs(a[i]));
+    EXPECT_NEAR(a[i], b[i], tol * scale) << "at index " << i;
+  }
+}
+
+TEST(SimdTest, MatrixStorageIsCacheLineAligned) {
+  for (size_t n : kSizes) {
+    Matrix m(n, n, 1.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.RowPtr(0)) % 64, 0u);
+  }
+}
+
+TEST(SimdTest, ForcedTierFallsBackWhenUnavailable) {
+  const simd::Tier got = simd::ForceTierForTest(simd::Tier::kAvx2);
+  if (simd::Avx2Available()) {
+    EXPECT_EQ(got, simd::Tier::kAvx2);
+  } else {
+    EXPECT_EQ(got, simd::Tier::kScalar);
+  }
+  simd::ResetTierForTest();
+}
+
+TEST(SimdTest, DotMatchesAcrossTiers) {
+  Rng rng(101);
+  for (size_t n : kSizes) {
+    const Vector a = RandomVector(n, &rng);
+    const Vector b = RandomVector(n, &rng);
+    std::vector<double> s, v;
+    CompareTiers(
+        [&] {
+          return std::vector<double>{simd::Dot(a.data(), b.data(), n)};
+        },
+        &s, &v);
+    ExpectClose(s, v);
+  }
+}
+
+TEST(SimdTest, NegDotAccumMatchesAcrossTiers) {
+  Rng rng(102);
+  for (size_t n : kSizes) {
+    const Vector a = RandomVector(n, &rng);
+    const Vector b = RandomVector(n, &rng);
+    std::vector<double> s, v;
+    CompareTiers(
+        [&] {
+          return std::vector<double>{
+              simd::NegDotAccum(3.25, a.data(), b.data(), n)};
+        },
+        &s, &v);
+    ExpectClose(s, v);
+  }
+}
+
+TEST(SimdTest, AxpyFnmaSquareAccumScaleMatchAcrossTiers) {
+  Rng rng(103);
+  for (size_t n : kSizes) {
+    const Vector x = RandomVector(n, &rng);
+    const Vector init = RandomVector(n, &rng);
+    std::vector<double> s, v;
+    CompareTiers(
+        [&] {
+          Vector acc = init;
+          simd::Axpy(acc.data(), 0.75, x.data(), n);
+          simd::Fnma(acc.data(), 1.5, x.data(), n);
+          simd::SquareAccum(acc.data(), x.data(), n);
+          simd::Scale(acc.data(), 1.0 / 3.0, n);
+          return std::vector<double>(acc.begin(), acc.end());
+        },
+        &s, &v);
+    ExpectClose(s, v);
+  }
+}
+
+TEST(SimdTest, KernelRowFillsMatchAcrossTiersAllShapes) {
+  Rng rng(104);
+  for (size_t d : kDims) {
+    const Matern52Kernel matern(d, 0.4, 1.3);
+    const SquaredExponentialKernel se(d, 0.6, 0.9);
+    for (size_t n : kSizes) {
+      const Matrix x = RandomMatrix(n, d, &rng);
+      const Vector q = RandomVector(d, &rng);
+      for (const Kernel* kernel :
+           {static_cast<const Kernel*>(&matern),
+            static_cast<const Kernel*>(&se)}) {
+        std::vector<double> s, v;
+        CompareTiers(
+            [&] {
+              Vector out(n);
+              kernel->EvalRow(q.data(), x.RowPtr(0), d, n, out.data());
+              return std::vector<double>(out.begin(), out.end());
+            },
+            &s, &v);
+        ExpectClose(s, v);
+      }
+    }
+  }
+}
+
+TEST(SimdTest, ScalarTierReproducesEvalBitForBit) {
+  // The scalar tier is the determinism anchor: row fills must equal the
+  // per-pair Eval arithmetic exactly, not just to tolerance.
+  Rng rng(105);
+  simd::ForceTierForTest(simd::Tier::kScalar);
+  for (size_t d : kDims) {
+    const Matern52Kernel kernel(d, 0.5, 1.0);
+    const Matrix x = RandomMatrix(9, d, &rng);
+    const Vector q = RandomVector(d, &rng);
+    Vector row(9);
+    kernel.EvalRow(q.data(), x.RowPtr(0), d, 9, row.data());
+    for (size_t j = 0; j < 9; ++j) {
+      EXPECT_EQ(row[j], kernel.Eval(q.data(), x.RowPtr(j)));
+    }
+  }
+  simd::ResetTierForTest();
+}
+
+TEST(SimdTest, GramMatrixMatchesAcrossTiers) {
+  Rng rng(106);
+  for (size_t n : {3u, 16u, 33u}) {
+    const Matrix x = RandomMatrix(n, 14, &rng);
+    const Matern52Kernel kernel(14, 0.5, 1.0);
+    std::vector<double> s, v;
+    CompareTiers(
+        [&] {
+          const Matrix k = kernel.GramMatrix(x);
+          std::vector<double> flat;
+          for (size_t r = 0; r < n; ++r) {
+            for (size_t c = 0; c < n; ++c) flat.push_back(k(r, c));
+          }
+          return flat;
+        },
+        &s, &v);
+    ExpectClose(s, v);
+  }
+}
+
+TEST(SimdTest, CholeskySolvesMatchAcrossTiers) {
+  Rng rng(107);
+  for (size_t n : {4u, 15u, 48u}) {
+    // Build an SPD matrix A = B B^T + n I.
+    const Matrix b = RandomMatrix(n, n, &rng);
+    Matrix a(n, n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double sum = i == j ? static_cast<double>(n) : 0.0;
+        for (size_t k = 0; k < n; ++k) sum += b(i, k) * b(j, k);
+        a(i, j) = sum;
+      }
+    }
+    const Matrix rhs = RandomMatrix(n, 33, &rng);
+    const Vector vec_rhs = RandomVector(n, &rng);
+    std::vector<double> s, v;
+    CompareTiers(
+        [&] {
+          const Cholesky chol = Cholesky::Factor(a).value();
+          const Matrix y = chol.SolveLowerMatrix(rhs);
+          const Vector x1 = chol.Solve(vec_rhs);
+          const Vector diag = chol.InverseDiagonal();
+          std::vector<double> flat;
+          for (size_t r = 0; r < y.rows(); ++r) {
+            for (size_t c = 0; c < y.cols(); ++c) flat.push_back(y(r, c));
+          }
+          flat.insert(flat.end(), x1.begin(), x1.end());
+          flat.insert(flat.end(), diag.begin(), diag.end());
+          return flat;
+        },
+        &s, &v);
+    ExpectClose(s, v, 1e-11);
+  }
+}
+
+TEST(SimdTest, ActiveTierIsDeterministicAcrossPoolSizes) {
+  // Within ANY dispatch tier, batch prediction must be bitwise identical
+  // for every pool size — the serial-vs-parallel determinism contract.
+  Rng rng(108);
+  const size_t n = 65;
+  const size_t d = 14;
+  const Matrix x = RandomMatrix(n, d, &rng);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = rng.Gaussian();
+  GpOptions options;
+  options.optimize_hyperparams = false;
+  GpModel model(d, options);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  const Matrix queries = RandomMatrix(37, d, &rng);
+
+  ThreadPool serial(1);
+  ThreadPool wide(4);
+  const std::vector<GpPrediction> a = model.PredictBatch(queries, &serial);
+  const std::vector<GpPrediction> b = model.PredictBatch(queries, &wide);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mean, b[i].mean) << "mean diverges at " << i;
+    EXPECT_EQ(a[i].variance, b[i].variance) << "variance diverges at " << i;
+  }
+}
+
+TEST(SimdTest, DispatchReportsATier) {
+  const simd::Tier tier = simd::ActiveTier();
+  EXPECT_TRUE(tier == simd::Tier::kScalar || tier == simd::Tier::kAvx2);
+  EXPECT_STRNE(simd::TierName(tier), "");
+#if defined(RESTUNE_SIMD_DISABLED)
+  EXPECT_EQ(tier, simd::Tier::kScalar);
+#endif
+}
+
+}  // namespace
+}  // namespace restune

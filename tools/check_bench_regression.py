@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""CI perf gate: compare BENCH_5.json against bench/baseline.json.
+"""CI perf gate: compare BENCH_6.json against bench/baseline.json.
 
-Both files are JSON lines in the BENCH_5 schema (see tools/run_ci_bench.py):
+Both files are JSON lines in the BENCH_6 schema (see tools/run_ci_bench.py):
 
     {"bench": ..., "n": ..., "threads": ..., "cpu_ms_median": ...,
      "iterations": ...}
@@ -14,9 +14,15 @@ benchmarks with no baseline entry are reported but do not fail — that is
 the expected state of a PR that adds a benchmark; the follow-up baseline
 refresh (docs/OBSERVABILITY.md) records them.
 
+A baseline record may additionally carry ``cpu_ms_max``, an absolute
+CPU-time ceiling in ms. The gate fails when the current median exceeds
+it, regardless of the relative threshold — this pins hard latency
+budgets (e.g. "approx suggest at n=10k stays under 1000 ms") that a
+slowly drifting baseline must never relax.
+
 Usage:
     check_bench_regression.py --baseline bench/baseline.json \
-                              --current BENCH_5.json [--threshold 0.15]
+                              --current BENCH_6.json [--threshold 0.15]
     check_bench_regression.py --self-test
 
 Stdlib only.
@@ -28,7 +34,7 @@ import sys
 
 
 def load_records(path):
-    """Reads BENCH_5 JSON lines (or a JSON array) into a keyed dict."""
+    """Reads BENCH_6 JSON lines (or a JSON array) into a keyed dict."""
     with open(path) as f:
         text = f.read()
     stripped = text.lstrip()
@@ -80,13 +86,25 @@ def compare(baseline, current, threshold):
             continue
         delta = cur_ms / base_ms - 1.0
         regressed = delta > threshold
+        over_ceiling = False
+        if "cpu_ms_max" in base:
+            ceiling = float(base["cpu_ms_max"])
+            over_ceiling = cur_ms > ceiling
+        verdict = "ok"
+        if over_ceiling:
+            verdict = "OVER CEILING"
+        elif regressed:
+            verdict = "REGRESSED"
         lines.append("%-44s %10.2f %10.2f %+7.1f%%  %s" %
-                     (label, base_ms, cur_ms, 100.0 * delta,
-                      "REGRESSED" if regressed else "ok"))
+                     (label, base_ms, cur_ms, 100.0 * delta, verdict))
         if regressed:
             failures.append(
                 "%s: %.2f ms -> %.2f ms (%+.1f%%, threshold +%.0f%%)" %
                 (label, base_ms, cur_ms, 100.0 * delta, 100.0 * threshold))
+        if over_ceiling:
+            failures.append(
+                "%s: %.2f ms exceeds absolute ceiling cpu_ms_max=%.2f ms" %
+                (label, cur_ms, float(base["cpu_ms_max"])))
     return lines, failures
 
 
@@ -137,6 +155,23 @@ def self_test():
         base, keyed([rec("BM_A", 50, 1, 50.0), rec("BM_B", 15, 4, 180.0)]),
         threshold=0.15)
     assert not failures, failures
+
+    # cpu_ms_max is an absolute ceiling: under it passes even when the
+    # relative delta would not have fired; over it fails even within the
+    # relative threshold.
+    capped = keyed([rec("BM_A", 50, 1, 100.0)])
+    capped[("BM_A", 50, 1)]["cpu_ms_max"] = 105.0
+    _, failures = compare(capped, keyed([rec("BM_A", 50, 1, 104.0)]),
+                          threshold=0.15)
+    assert not failures, failures
+    _, failures = compare(capped, keyed([rec("BM_A", 50, 1, 106.0)]),
+                          threshold=0.15)
+    assert len(failures) == 1 and "ceiling" in failures[0], failures
+
+    # Both gates can fire on one record (big regression over the ceiling).
+    _, failures = compare(capped, keyed([rec("BM_A", 50, 1, 150.0)]),
+                          threshold=0.15)
+    assert len(failures) == 2, failures
 
     print("check_bench_regression self-test OK")
     return 0

@@ -24,6 +24,12 @@ Rules (see docs/CORRECTNESS.md for rationale):
                    (src/gp/kernel.h -> RESTUNE_GP_KERNEL_H_), not
                    #pragma once, so guards are greppable and collisions
                    impossible.
+  simd-confinement No vendor SIMD intrinsics (`#include <immintrin.h>`,
+                   `_mm*` calls, `__m128/__m256/__m512` types) outside
+                   src/linalg/simd/. Everything else targets the
+                   dispatching primitives in linalg/simd/simd.h, so the
+                   scalar tier stays the single source of portable truth
+                   and -DRESTUNE_SIMD=OFF builds cannot break.
   obs-discipline   Two-way isolation of the observability layer: no
                    wall-clock reads (std::chrono::system_clock,
                    high_resolution_clock, gettimeofday, clock_gettime,
@@ -61,6 +67,7 @@ THREAD_EXEMPT = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
 FLOAT_SCOPES = ("src/linalg/", "src/gp/")
 
 OBS_SCOPE = "src/obs/"
+SIMD_SCOPE = "src/linalg/simd/"
 
 RNG_PATTERN = re.compile(
     r"\b(rand|srand|drand48|lrand48|time)\s*\("
@@ -75,6 +82,11 @@ WALL_CLOCK_PATTERN = re.compile(
 )
 OBS_RNG_USE_PATTERN = re.compile(r"\bRng\b")
 OBS_RNG_INCLUDE_PATTERN = re.compile(r'#\s*include\s*"common/rng\.h"')
+SIMD_INCLUDE_PATTERN = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|emmintrin|xmmintrin|smmintrin|"
+    r"tmmintrin|nmmintrin|avxintrin|avx2intrin|arm_neon)\.h>")
+SIMD_TOKEN_PATTERN = re.compile(
+    r"\b_mm(?:256|512)?_\w+|\b__m(?:128|256|512)[di]?\b")
 
 # `Status Foo(...)` / `Result<T> Foo(...)` declarations; used to build the
 # set of function names whose return value must not be discarded.
@@ -256,6 +268,9 @@ def check_rng(rel, code_lines, raw_lines, findings):
 
 def check_new_delete(rel, code_lines, raw_lines, findings):
     for lineno, line in enumerate(code_lines, 1):
+        # Preprocessor lines are not expressions (`#include <new>`).
+        if line.lstrip().startswith("#"):
+            continue
         # Deleted/defaulted special members are declarations, not ownership.
         line = re.sub(r"=\s*(delete|default)\b", "", line)
         for m in NEW_DELETE_PATTERN.finditer(line):
@@ -286,6 +301,26 @@ def check_float(rel, code_lines, raw_lines, findings):
                 rel, lineno, "no-float",
                 "'float' in the double-only numeric core; mixed precision "
                 "breaks bitwise replay determinism"))
+
+
+def check_simd_confinement(rel, code_lines, raw_lines, findings):
+    if rel.startswith(SIMD_SCOPE):
+        return
+    # Include scan runs on raw lines: the angle-bracket path survives
+    # stripping, but keep both scans consistent with the obs include check.
+    for lineno, raw in enumerate(raw_lines, 1):
+        if SIMD_INCLUDE_PATTERN.search(raw):
+            findings.append(Finding(
+                rel, lineno, "simd-confinement",
+                "vendor intrinsics header included outside src/linalg/simd/; "
+                "use the dispatching primitives in linalg/simd/simd.h"))
+    for lineno, line in enumerate(code_lines, 1):
+        m = SIMD_TOKEN_PATTERN.search(line)
+        if m:
+            findings.append(Finding(
+                rel, lineno, "simd-confinement",
+                f"'{m.group(0)}' intrinsic outside src/linalg/simd/; use "
+                "the dispatching primitives in linalg/simd/simd.h"))
 
 
 def check_obs_discipline(rel, code_lines, raw_lines, findings):
@@ -413,6 +448,7 @@ def run_lint(paths, root, allowlist_path):
         check_new_delete(rel, code_lines, raw_lines, file_findings)
         check_threads(rel, code_lines, raw_lines, file_findings)
         check_float(rel, code_lines, raw_lines, file_findings)
+        check_simd_confinement(rel, code_lines, raw_lines, file_findings)
         check_obs_discipline(rel, code_lines, raw_lines, file_findings)
         check_ignored_status(rel, code_text, status_functions, file_findings)
         if is_header(rel):

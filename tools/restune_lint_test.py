@@ -173,6 +173,58 @@ def test_no_float_in_numeric_core_only():
         t.cleanup()
 
 
+def test_simd_confinement_flags_intrinsics_outside_simd_dir():
+    t = FixtureTree()
+    try:
+        t.write("src/gp/fast_kernel.cc", """\
+            #include <immintrin.h>
+            double Sum(const double* a) {
+              __m256d acc = _mm256_loadu_pd(a);
+              return _mm256_cvtsd_f64(acc);
+            }
+            """)
+        findings = t.lint()
+        assert rules_of(findings) == ["simd-confinement"]
+        # Line 1: the include; lines 3-4: intrinsic tokens (one finding per
+        # line — the scan reports the first token it sees).
+        assert [line for _r, line, _p in findings] == [1, 3, 4]
+    finally:
+        t.cleanup()
+
+
+def test_simd_confinement_allows_simd_dir_and_dispatch_callers():
+    t = FixtureTree()
+    try:
+        t.write("src/linalg/simd/simd_avx2.cc", """\
+            #include <immintrin.h>
+            double Sum(const double* a) {
+              __m256d acc = _mm256_loadu_pd(a);
+              return _mm256_cvtsd_f64(acc);
+            }
+            """)
+        t.write("src/gp/caller.cc", """\
+            #include "linalg/simd/simd.h"
+            double Dot(const double* a, const double* b) {
+              return restune::simd::Dot(a, b, 8);
+            }
+            """)
+        assert t.lint() == []
+    finally:
+        t.cleanup()
+
+
+def test_naked_new_ignores_preprocessor_lines():
+    t = FixtureTree()
+    try:
+        t.write("src/linalg/alloc.cc", """\
+            #include <new>
+            int x = 0;
+            """)
+        assert t.lint() == []
+    finally:
+        t.cleanup()
+
+
 def test_obs_discipline_flags_wall_clock_outside_obs():
     t = FixtureTree()
     try:
