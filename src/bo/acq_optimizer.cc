@@ -61,6 +61,15 @@ Scored RefineCandidate(const BatchAcquisitionFn& acquisition, Scored start,
       stencil(2 * d, d) = std::clamp(current.x[d] + step, 0.0, 1.0);
       stencil(2 * d + 1, d) = std::clamp(current.x[d] - step, 0.0, 1.0);
     }
+    if (options.project) {
+      // Trust-region (or other) projection: trial points are pulled back
+      // inside the feasible box before scoring, so the search never walks
+      // out of it.
+      for (size_t r = 0; r < stencil.rows(); ++r) {
+        const Vector projected = options.project(stencil.Row(r));
+        for (size_t c = 0; c < dim; ++c) stencil(r, c) = projected[c];
+      }
+    }
     std::vector<double> values = acquisition(stencil);
     RESTUNE_DCHECK(values.size() == stencil.rows())
         << "acquisition returned " << values.size() << " values for "
@@ -107,10 +116,16 @@ Vector MaximizeAcquisitionBatch(const BatchAcquisitionFn& acquisition,
   // (and checkpoint replay); the state comparison below makes that fatal.
   const size_t num_candidates =
       static_cast<size_t>(std::max(1, options.num_candidates));
-  const std::vector<Vector> samples = UniformSample(num_candidates, dim, rng);
+  std::vector<Vector> samples = UniformSample(num_candidates, dim, rng);
 #ifndef NDEBUG
   const RngState rng_state_after_sampling = rng->state();
 #endif
+  if (options.project) {
+    // Projection precedes rejection and scoring: the reject hook and the
+    // acquisition both see the projected points, and even the unrefined
+    // fallback winner (pool.front() below) lies inside the projected set.
+    for (Vector& sample : samples) sample = options.project(sample);
+  }
   Matrix candidates(samples.size(), dim);
   for (size_t r = 0; r < samples.size(); ++r) {
     for (size_t c = 0; c < dim; ++c) candidates(r, c) = samples[r][c];

@@ -35,6 +35,15 @@ struct AcqOptimizerOptions {
   /// Must be pure and safe to call concurrently from pool workers (the
   /// refinement stage runs on the pool).
   std::function<bool(const Vector&)> reject;
+  /// Optional projection applied to every sampled candidate and every
+  /// refinement stencil point before scoring. Unlike `reject` (which only
+  /// vetoes), a projection *guarantees* the returned point satisfies the
+  /// constraint — even when every candidate is vetoed the fallback winner
+  /// has been projected. Used by the safety trust region to clamp the sweep
+  /// into an L∞ box around the last known-safe configuration. Must be pure
+  /// (no RNG draws — the debug state check below catches violations), and
+  /// safe to call concurrently from pool workers.
+  std::function<Vector(const Vector&)> project;
 };
 
 /// Acquisition values for a whole candidate block (one value per row).

@@ -5,6 +5,22 @@
 
 namespace restune {
 
+void PenalizeNearPoints(const Matrix& thetas, const std::vector<Vector>& points,
+                        double radius, std::vector<double>* values) {
+  if (points.empty() || radius <= 0.0) return;
+  const double radius_sq = radius * radius;
+  for (size_t r = 0; r < thetas.rows(); ++r) {
+    for (const Vector& chosen : points) {
+      double d2 = 0.0;
+      for (size_t c = 0; c < thetas.cols(); ++c) {
+        const double d = thetas(r, c) - chosen[c];
+        d2 += d * d;
+      }
+      if (d2 < radius_sq) (*values)[r] *= std::sqrt(d2 / radius_sq);
+    }
+  }
+}
+
 std::vector<Vector> ProposeBatch(
     const std::function<double(const Vector&)>& acquisition, size_t dim,
     size_t batch_size, Rng* rng, const BatchProposalOptions& options) {
@@ -15,14 +31,14 @@ std::vector<Vector> ProposeBatch(
   for (size_t b = 0; b < batch_size; ++b) {
     auto penalized = [&](const Vector& theta) {
       double value = acquisition(theta);
-      // Multiplicative damping: zero at an already-chosen point, back to
-      // full strength at the penalty radius.
-      for (const Vector& chosen : batch) {
+      // Multiplicative damping: zero at an already-chosen (or still-pending)
+      // point, back to full strength at the penalty radius.
+      auto damp = [&](const Vector& chosen) {
         const double d2 = SquaredDistance(theta, chosen);
-        if (d2 < radius_sq) {
-          value *= std::sqrt(d2 / radius_sq);
-        }
-      }
+        if (d2 < radius_sq) value *= std::sqrt(d2 / radius_sq);
+      };
+      for (const Vector& chosen : options.pending) damp(chosen);
+      for (const Vector& chosen : batch) damp(chosen);
       return value;
     };
     batch.push_back(
@@ -36,21 +52,13 @@ std::vector<Vector> ProposeBatch(const BatchAcquisitionFn& acquisition,
                                  const BatchProposalOptions& options) {
   std::vector<Vector> batch;
   batch.reserve(batch_size);
-  const double radius_sq = options.penalty_radius * options.penalty_radius;
 
   for (size_t b = 0; b < batch_size; ++b) {
     auto penalized = [&](const Matrix& thetas) {
       std::vector<double> values = acquisition(thetas);
-      for (size_t r = 0; r < thetas.rows(); ++r) {
-        for (const Vector& chosen : batch) {
-          double d2 = 0.0;
-          for (size_t c = 0; c < thetas.cols(); ++c) {
-            const double d = thetas(r, c) - chosen[c];
-            d2 += d * d;
-          }
-          if (d2 < radius_sq) values[r] *= std::sqrt(d2 / radius_sq);
-        }
-      }
+      PenalizeNearPoints(thetas, options.pending, options.penalty_radius,
+                         &values);
+      PenalizeNearPoints(thetas, batch, options.penalty_radius, &values);
       return values;
     };
     batch.push_back(

@@ -15,8 +15,21 @@ struct BatchProposalOptions {
   /// Radius (in normalized knob space) inside which an already-selected
   /// point suppresses the acquisition.
   double penalty_radius = 0.15;
+  /// Configurations already in flight (posted to evaluators but not yet
+  /// observed). They penalize the acquisition exactly like points chosen
+  /// earlier in this batch, so speculative asynchronous proposals do not
+  /// collapse onto a pending evaluation (constant-liar-style local
+  /// penalization).
+  std::vector<Vector> pending;
   AcqOptimizerOptions acq_optimizer;
 };
+
+/// Multiplicative local penalization: damps `values[r]` toward zero as row r
+/// of `thetas` approaches any point in `points`, reaching zero at distance 0
+/// and full strength at `radius`. The building block shared by ProposeBatch
+/// and the advisors' pending-aware suggestion path.
+void PenalizeNearPoints(const Matrix& thetas, const std::vector<Vector>& points,
+                        double radius, std::vector<double>* values);
 
 /// Proposes `batch_size` configurations to evaluate in parallel from a
 /// single acquisition function, via local penalization: after each pick the

@@ -19,6 +19,10 @@ const char* FaultKindName(FaultKind kind) {
       return "transient";
     case FaultKind::kCorruptedMetrics:
       return "corrupted_metrics";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kSlaViolation:
+      return "sla_violation";
   }
   return "?";
 }
@@ -34,7 +38,8 @@ bool FaultInjector::enabled() const { return options_.enabled; }
 
 EvaluationFault FaultInjector::Draw(const EngineConfig& config,
                                     const HardwareSpec& hardware,
-                                    double replay_seconds) {
+                                    double replay_seconds,
+                                    uint64_t eval_index) {
   EvaluationFault fault;
   if (!options_.enabled) return fault;
 
@@ -46,6 +51,18 @@ EvaluationFault FaultInjector::Draw(const EngineConfig& config,
         config.buffer_pool_gb, 100.0 * options_.oom_pool_fraction,
         hardware.ram_gb);
     fault.elapsed_seconds = options_.crash_cost_fraction * replay_seconds;
+    return fault;
+  }
+
+  // Deterministic SLA burst window: every attempt inside the window runs to
+  // completion with degraded metrics. Checked before the uniform draw and
+  // consuming no randomness, so the fault RNG stream outside the window is
+  // identical to a burst-free configuration.
+  if (options_.sla_burst_length > 0 && eval_index >= options_.sla_burst_start &&
+      eval_index < options_.sla_burst_start + options_.sla_burst_length) {
+    fault.kind = FaultKind::kSlaViolation;
+    fault.message = "injected SLA-violation burst: system degraded";
+    fault.elapsed_seconds = replay_seconds;
     return fault;
   }
 
@@ -80,6 +97,22 @@ EvaluationFault FaultInjector::Draw(const EngineConfig& config,
     fault.kind = FaultKind::kCorruptedMetrics;
     fault.message = "injected metric corruption";
     fault.elapsed_seconds = replay_seconds;
+    return fault;
+  }
+  edge += options_.stall_prob;
+  if (u < edge) {
+    fault.kind = FaultKind::kStall;
+    fault.message = "injected stall: replay hung, never completed";
+    fault.elapsed_seconds = options_.stall_seconds > 0
+                                ? options_.stall_seconds
+                                : 10.0 * replay_seconds;
+    return fault;
+  }
+  edge += options_.sla_violation_prob;
+  if (u < edge) {
+    fault.kind = FaultKind::kSlaViolation;
+    fault.message = "injected SLA violation: degraded throughput/latency";
+    fault.elapsed_seconds = replay_seconds;
   }
   return fault;
 }
@@ -96,6 +129,11 @@ void FaultInjector::Corrupt(Observation* observation) {
       observation->tps = 0.0;
       break;
   }
+}
+
+void FaultInjector::Degrade(Observation* observation) const {
+  observation->tps *= options_.sla_tps_factor;
+  observation->lat *= options_.sla_lat_factor;
 }
 
 }  // namespace restune

@@ -28,10 +28,20 @@ enum class FaultKind {
   /// The replay "succeeded" but reported garbage metrics (NaN/Inf/zero
   /// throughput). Retryable: a re-run usually measures cleanly.
   kCorruptedMetrics,
+  /// The replay hangs indefinitely (stuck I/O, lock pile-up) and never
+  /// finishes on its own. Unlike kTimeout (killed by the per-attempt
+  /// deadline after a bounded overrun), a stall is only ever terminated by
+  /// the session watchdog, which cancels the pending slot. Not retryable.
+  kStall,
+  /// The replay completes and reports finite metrics, but the system is
+  /// degraded: throughput drops and tail latency inflates past the SLA.
+  /// Delivered as a *successful* observation (the tuner must notice the
+  /// violation itself via the SLA monitor). Not a retryable fault.
+  kSlaViolation,
 };
 
 /// Number of FaultKind values, for taxonomy-indexed tables (kNone included).
-inline constexpr size_t kNumFaultKinds = 5;
+inline constexpr size_t kNumFaultKinds = 7;
 
 const char* FaultKindName(FaultKind kind);
 
@@ -87,6 +97,24 @@ struct FaultInjectionOptions {
   /// Fractions of a normal replay burned by a crash / transient failure.
   double crash_cost_fraction = 0.25;
   double transient_cost_fraction = 0.1;
+  /// Probability of a stalled (hung, never-completing) replay. The fault's
+  /// elapsed_seconds is `stall_seconds` (0 uses 10x the normal replay time)
+  /// — an upper bound the watchdog is expected to cut short.
+  double stall_prob = 0.0;
+  double stall_seconds = 0.0;
+  /// Probability of an SLA-violating-but-successful evaluation, plus an
+  /// optional deterministic burst window [sla_burst_start,
+  /// sla_burst_start + sla_burst_length) over the simulator's evaluation
+  /// index during which *every* attempt violates. The burst check precedes
+  /// the random draw and consumes no randomness, so enabling a burst does
+  /// not shift the fault RNG stream outside the window.
+  double sla_violation_prob = 0.0;
+  uint64_t sla_burst_start = 0;
+  uint64_t sla_burst_length = 0;
+  /// Degradation applied to an SLA-violating observation: tps is multiplied
+  /// by sla_tps_factor, latency by sla_lat_factor. Deterministic (no RNG).
+  double sla_tps_factor = 0.5;
+  double sla_lat_factor = 3.0;
 };
 
 /// Seeded, deterministic fault source for `DbInstanceSimulator`. Owns its
@@ -101,15 +129,20 @@ class FaultInjector {
   bool enabled() const;
 
   /// Decides the fate of one evaluation attempt. The knob-induced OOM check
-  /// is deterministic in the configuration; the random faults consume
-  /// exactly one uniform draw per call (none when disabled).
+  /// and the SLA burst window (keyed on `eval_index`, the simulator's
+  /// 1-based evaluation counter) are deterministic; the random faults
+  /// consume exactly one uniform draw per call (none when disabled).
   /// `replay_seconds` sizes the simulated cost of the failure.
   EvaluationFault Draw(const EngineConfig& config, const HardwareSpec& hardware,
-                       double replay_seconds);
+                       double replay_seconds, uint64_t eval_index = 0);
 
   /// Corrupts an observation in one of the taxonomy's styles (NaN resource,
   /// Inf latency, zero throughput) chosen by one uniform draw.
   void Corrupt(Observation* observation);
+
+  /// Applies the deterministic SLA degradation (tps down, latency up) for a
+  /// kSlaViolation attempt. Consumes no randomness.
+  void Degrade(Observation* observation) const;
 
   const FaultInjectionOptions& options() const { return options_; }
   RngState rng_state() const { return rng_.state(); }

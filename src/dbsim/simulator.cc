@@ -68,10 +68,13 @@ Result<EvaluationOutcome> DbInstanceSimulator::TryEvaluate(
   RESTUNE_ASSIGN_OR_RETURN(const EngineConfig config, BuildConfig(theta));
   ++num_evaluations_;
 
-  EvaluationFault fault =
-      injector_.Draw(config, hardware_, options_.replay_seconds);
+  EvaluationFault fault = injector_.Draw(config, hardware_,
+                                         options_.replay_seconds,
+                                         static_cast<uint64_t>(
+                                             num_evaluations_));
   if (fault.kind != FaultKind::kNone &&
-      fault.kind != FaultKind::kCorruptedMetrics) {
+      fault.kind != FaultKind::kCorruptedMetrics &&
+      fault.kind != FaultKind::kSlaViolation) {
     // The attempt died before producing metrics; only the fault's partial
     // replay time is burned (no measurement-noise draws are consumed, so a
     // retried attempt sees the same noise stream a clean run would).
@@ -92,6 +95,10 @@ Result<EvaluationOutcome> DbInstanceSimulator::TryEvaluate(
   obs.lat = noisy(metrics.latency_p99_ms);
   obs.internals = metrics.InternalMetrics();
   if (fault.kind == FaultKind::kCorruptedMetrics) injector_.Corrupt(&obs);
+  // An SLA-violating attempt completes "successfully" with deterministically
+  // degraded metrics: the tuner only learns about the violation by checking
+  // the observation against the SLA, exactly like production.
+  if (fault.kind == FaultKind::kSlaViolation) injector_.Degrade(&obs);
   return EvaluationOutcome(std::move(obs));
 }
 

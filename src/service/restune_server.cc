@@ -81,7 +81,15 @@ Status ExpectTag(std::istream* in, const std::string& want) {
 }
 
 constexpr const char* kMagic = "restune-server-checkpoint";
-constexpr int kVersion = 1;
+/// v2: sessions persist a totally ordered launch/completion log
+/// (EventRecord) instead of the v1 iteration event list; outstanding
+/// recommendations are re-derived from unmatched launches at load.
+constexpr int kVersion = 2;
+
+/// Hard ceiling on speculative batch width — a fleet larger than this is a
+/// client bug, and unbounded width would let one request spin the advisor
+/// arbitrarily long.
+constexpr int kMaxBatchWidth = 64;
 
 }  // namespace
 
@@ -165,20 +173,79 @@ Result<KnobRecommendation> ResTuneServer::Recommend(uint64_t session_id) {
                                          (unsigned long long)session_id));
   }
   Session& session = it->second;
-  // At-least-once delivery: while a recommendation is outstanding, re-asking
-  // returns the same one instead of advancing the advisor — a client retry
-  // after a lost response must not burn iterations or fork the GP state.
-  if (session.awaiting_report) {
-    return session.last_recommendation;
+  // At-least-once delivery: while recommendations are outstanding,
+  // re-asking returns the oldest instead of advancing the advisor — a
+  // client retry after a lost response must not burn iterations or fork
+  // the GP state.
+  if (!session.outstanding.empty()) {
+    const auto& [iteration, theta] = *session.outstanding.begin();
+    KnobRecommendation rec;
+    rec.session_id = session_id;
+    rec.iteration = iteration;
+    rec.theta = theta;
+    return rec;
   }
-  RESTUNE_ASSIGN_OR_RETURN(Vector theta, session.advisor->SuggestNext());
+  return IssueRecommendation(session_id, &session);
+}
+
+Result<KnobRecommendation> ResTuneServer::IssueRecommendation(
+    uint64_t session_id, Session* session) {
+  // Constant-liar batching: suggestions are penalized near every θ still
+  // awaiting its report, so a speculative batch diversifies instead of
+  // re-proposing the same optimum `width` times.
+  std::vector<Vector> pending;
+  pending.reserve(session->outstanding.size());
+  for (const auto& [iteration, theta] : session->outstanding) {
+    pending.push_back(theta);
+  }
+  RESTUNE_ASSIGN_OR_RETURN(Vector theta,
+                           session->advisor->SuggestNextAsync(pending));
   KnobRecommendation rec;
   rec.session_id = session_id;
-  rec.iteration = ++session.iteration;
-  rec.theta = std::move(theta);
-  session.last_recommendation = rec;
-  session.awaiting_report = true;
+  rec.iteration = ++session->iteration;
+  rec.theta = theta;
+
+  EventRecord launch;
+  launch.kind = EventKind::kLaunch;
+  launch.seq = static_cast<uint64_t>(rec.iteration);
+  launch.theta = theta;
+  session->log.push_back(launch);
+  session->outstanding.emplace(rec.iteration, std::move(theta));
+  MaybeAutoCheckpoint();
   return rec;
+}
+
+Result<std::vector<KnobRecommendation>> ResTuneServer::RecommendBatch(
+    uint64_t session_id, int width) {
+  if (width < 1 || width > kMaxBatchWidth) {
+    return Status::InvalidArgument(
+        StringPrintf("batch width must be in [1, %d]", kMaxBatchWidth));
+  }
+  if (finished_.count(session_id) > 0) {
+    return Status::FailedPrecondition(
+        StringPrintf("session %llu already finished",
+                     (unsigned long long)session_id));
+  }
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StringPrintf("no session %llu",
+                                         (unsigned long long)session_id));
+  }
+  Session& session = it->second;
+  while (session.outstanding.size() < static_cast<size_t>(width)) {
+    RESTUNE_RETURN_IF_ERROR(
+        IssueRecommendation(session_id, &session).status());
+  }
+  std::vector<KnobRecommendation> batch;
+  batch.reserve(session.outstanding.size());
+  for (const auto& [iteration, theta] : session.outstanding) {
+    KnobRecommendation rec;
+    rec.session_id = session_id;
+    rec.iteration = iteration;
+    rec.theta = theta;
+    batch.push_back(std::move(rec));
+  }
+  return batch;
 }
 
 Status ResTuneServer::ReportEvaluation(const EvaluationReport& report) {
@@ -195,32 +262,32 @@ Status ResTuneServer::ReportEvaluation(const EvaluationReport& report) {
         StringPrintf("report for iteration %d, but session is at %d",
                      report.iteration, session.iteration));
   }
-  if (!session.awaiting_report || report.iteration < session.iteration) {
+  const auto pending = session.outstanding.find(report.iteration);
+  if (pending == session.outstanding.end()) {
     // The iteration was already processed — a duplicate from a client retry.
     return Status::OK();
   }
 
-  SessionEvent event;
-  event.iteration = report.iteration;
+  EventRecord event;
+  event.kind = EventKind::kComplete;
+  event.seq = static_cast<uint64_t>(report.iteration);
   if (report.fault != FaultKind::kNone) {
     // The replay failed; there are no metrics. The recommended θ (not
     // whatever the client echoed back) is what failed, and it becomes
     // constraint evidence for the advisor.
     event.failed = true;
     event.fault = report.fault;
-    event.theta = session.last_recommendation.theta;
     EvaluationFault fault;
     fault.kind = report.fault;
     fault.message = "client-reported evaluation failure";
-    RESTUNE_RETURN_IF_ERROR(session.advisor->ObserveFailure(event.theta,
-                                                            fault));
+    RESTUNE_RETURN_IF_ERROR(
+        session.advisor->ObserveFailure(pending->second, fault));
   } else {
     if (report.observation.theta.size() != session.knob_dim) {
       return Status::InvalidArgument("report theta dimension mismatch");
     }
     RESTUNE_RETURN_IF_ERROR(ValidateMetrics(report.observation));
     RESTUNE_RETURN_IF_ERROR(session.advisor->Observe(report.observation));
-    event.theta = report.observation.theta;
     event.observation = report.observation;
     session.observations.push_back(report.observation);
     if (session.sla.IsFeasible(report.observation) &&
@@ -230,8 +297,8 @@ Status ResTuneServer::ReportEvaluation(const EvaluationReport& report) {
       session.has_feasible = true;
     }
   }
-  session.events.push_back(std::move(event));
-  session.awaiting_report = false;
+  session.log.push_back(std::move(event));
+  session.outstanding.erase(pending);
   MaybeAutoCheckpoint();
   return Status::OK();
 }
@@ -314,7 +381,6 @@ Status ResTuneServer::SaveCheckpoint(std::ostream* out) const {
   for (const auto& [id, session] : sessions_) {
     *out << "session " << id << ' ' << session.knob_dim << ' '
          << session.iteration << ' ' << session.repository_snapshot << ' '
-         << (session.awaiting_report ? 1 : 0) << ' '
          << (session.has_feasible ? 1 : 0) << '\n';
     WriteString(out, session.task_name);
     *out << "meta ";
@@ -325,13 +391,11 @@ Status ResTuneServer::SaveCheckpoint(std::ostream* out) const {
     WriteVector(out, session.default_theta);
     *out << "default_obs\n";
     WriteObservation(out, session.default_observation);
-    if (session.awaiting_report) {
-      *out << "lastrec " << session.last_recommendation.iteration << '\n';
-      WriteVector(out, session.last_recommendation.theta);
-    }
-    *out << "events " << session.events.size() << '\n';
-    for (const SessionEvent& event : session.events) {
-      WriteSessionEvent(out, event);
+    // The log IS the durable session: outstanding recommendations are the
+    // launches without a matching completion and are re-derived at load.
+    *out << "log " << session.log.size() << '\n';
+    for (const EventRecord& event : session.log) {
+      WriteEventRecord(out, event);
     }
   }
   *out << "end\n";
@@ -353,26 +417,45 @@ Result<ResTuneServer::Session> ResTuneServer::RebuildSession(
   session.best_theta = session.default_theta;
   session.best_feasible_res = session.default_observation.res;
 
-  // Replay the event log through the fresh advisor. Each replayed
-  // suggestion must match the recorded recommendation bitwise — the
-  // checkpoint stores doubles at precision 17, so any mismatch means the
-  // server was reconstructed with different advisor options or a different
-  // repository and continuing would silently fork every session.
-  for (const SessionEvent& event : session.events) {
-    RESTUNE_ASSIGN_OR_RETURN(const Vector theta,
-                             session.advisor->SuggestNext());
-    if (!BitwiseEqual(theta, event.theta)) {
+  // Replay the totally ordered launch/completion log through the fresh
+  // advisor. Launches re-run the (pending-penalized) suggestion and must
+  // match the recorded θ bitwise — the checkpoint stores doubles at
+  // precision 17, so any mismatch means the server was reconstructed with
+  // different advisor options or a different repository and continuing
+  // would silently fork every session. Completions feed the advisor in the
+  // same out-of-order arrival sequence the original server saw.
+  session.outstanding.clear();
+  for (const EventRecord& event : session.log) {
+    const int iteration = static_cast<int>(event.seq);
+    if (event.kind == EventKind::kLaunch) {
+      std::vector<Vector> pending;
+      pending.reserve(session.outstanding.size());
+      for (const auto& [it, theta] : session.outstanding) {
+        pending.push_back(theta);
+      }
+      RESTUNE_ASSIGN_OR_RETURN(const Vector theta,
+                               session.advisor->SuggestNextAsync(pending));
+      if (!BitwiseEqual(theta, event.theta)) {
+        return Status::FailedPrecondition(
+            "server checkpoint replay diverged at iteration " +
+            std::to_string(iteration) +
+            "; the server was not reconstructed with the original options");
+      }
+      session.outstanding.emplace(iteration, theta);
+      continue;
+    }
+    const auto pending = session.outstanding.find(iteration);
+    if (pending == session.outstanding.end()) {
       return Status::FailedPrecondition(
-          "server checkpoint replay diverged at iteration " +
-          std::to_string(event.iteration) +
-          "; the server was not reconstructed with the original options");
+          "server checkpoint completion " + std::to_string(iteration) +
+          " has no matching launch");
     }
     if (event.failed) {
       EvaluationFault fault;
       fault.kind = event.fault;
       fault.message = "replayed from server checkpoint";
       RESTUNE_RETURN_IF_ERROR(
-          session.advisor->ObserveFailure(event.theta, fault));
+          session.advisor->ObserveFailure(pending->second, fault));
     } else {
       RESTUNE_RETURN_IF_ERROR(session.advisor->Observe(event.observation));
       session.observations.push_back(event.observation);
@@ -382,16 +465,7 @@ Result<ResTuneServer::Session> ResTuneServer::RebuildSession(
         session.best_theta = event.observation.theta;
       }
     }
-  }
-  if (session.awaiting_report) {
-    // The outstanding recommendation had already advanced the advisor.
-    RESTUNE_ASSIGN_OR_RETURN(const Vector theta,
-                             session.advisor->SuggestNext());
-    if (!BitwiseEqual(theta, session.last_recommendation.theta)) {
-      return Status::FailedPrecondition(
-          "server checkpoint replay diverged at the outstanding "
-          "recommendation");
-    }
+    session.outstanding.erase(pending);
   }
   return session;
 }
@@ -474,13 +548,11 @@ Status ResTuneServer::LoadCheckpoint(std::istream* in) {
       RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "session"));
       Session blueprint;
       uint64_t id = 0;
-      int awaiting = 0;
       int has_feasible = 0;
       if (!(*in >> id >> blueprint.knob_dim >> blueprint.iteration >>
-            blueprint.repository_snapshot >> awaiting >> has_feasible)) {
+            blueprint.repository_snapshot >> has_feasible)) {
         return Status::IoError("bad session header in server checkpoint");
       }
-      blueprint.awaiting_report = awaiting != 0;
       blueprint.has_feasible = has_feasible != 0;
       RESTUNE_RETURN_IF_ERROR(ReadString(in, &blueprint.task_name));
       RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "meta"));
@@ -494,25 +566,16 @@ Status ResTuneServer::LoadCheckpoint(std::istream* in) {
       RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "default_obs"));
       RESTUNE_RETURN_IF_ERROR(
           ReadObservation(in, &blueprint.default_observation));
-      if (blueprint.awaiting_report) {
-        RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "lastrec"));
-        blueprint.last_recommendation.session_id = id;
-        if (!(*in >> blueprint.last_recommendation.iteration)) {
-          return Status::IoError("bad recommendation in server checkpoint");
-        }
-        RESTUNE_RETURN_IF_ERROR(
-            ReadVector(in, &blueprint.last_recommendation.theta));
-      }
-      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "events"));
+      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "log"));
       size_t num_events = 0;
       if (!(*in >> num_events) || num_events > (1u << 24)) {
         return Status::IoError("bad event count in server checkpoint");
       }
-      blueprint.events.reserve(num_events);
+      blueprint.log.reserve(num_events);
       for (size_t e = 0; e < num_events; ++e) {
-        SessionEvent event;
-        RESTUNE_RETURN_IF_ERROR(ReadSessionEvent(in, &event));
-        blueprint.events.push_back(std::move(event));
+        EventRecord event;
+        RESTUNE_RETURN_IF_ERROR(ReadEventRecord(in, &event));
+        blueprint.log.push_back(std::move(event));
       }
       RESTUNE_ASSIGN_OR_RETURN(Session session,
                                RebuildSession(std::move(blueprint)));

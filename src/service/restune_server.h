@@ -40,18 +40,29 @@ struct ServerOptions {
 /// The server never sees SQL or data — only meta-features and metric
 /// tuples, the privacy split the paper's deployment uses.
 ///
-/// Fault-tolerance contract:
-/// * `Recommend` is idempotent: while a recommendation is outstanding, the
-///   same one is returned again (a client that lost the response can simply
-///   re-ask without burning an iteration).
-/// * `ReportEvaluation` is idempotent: a report for an already-processed
-///   iteration is a no-op. Reports may carry a `fault`, which is fed to the
-///   advisor as failure evidence rather than metrics.
+/// Event-driven fault-tolerance contract:
+/// * Sessions are driven through an asynchronous event API: every issued
+///   recommendation is an outstanding *launch* until its report arrives,
+///   and reports may arrive in any order (`RecommendBatch` hands out
+///   several speculative recommendations at once, each penalized near the
+///   ones still pending, so a fleet of replay workers can evaluate them
+///   concurrently).
+/// * `Recommend` is idempotent: while recommendations are outstanding, the
+///   oldest one is returned again (a client that lost the response can
+///   simply re-ask without burning an iteration).
+/// * `ReportEvaluation` accepts reports for ANY outstanding iteration —
+///   out of order relative to issuance — and is idempotent: a report for
+///   an already-processed iteration is a no-op. Reports may carry a
+///   `fault`, which is fed to the advisor as failure evidence rather than
+///   metrics.
 /// * `FinishSession` is idempotent: finishing twice returns the cached
 ///   summary. Recommend/Report on a finished session fail loudly.
-/// * The whole server state (repository, sessions' event logs, finished
-///   summaries) checkpoints to a stream/file and restores by deterministic
-///   event-log replay, so a restarted server continues mid-session.
+/// * The whole server state (repository, sessions' totally ordered
+///   launch/completion logs, finished summaries) checkpoints to a
+///   stream/file and restores by deterministic event-log replay;
+///   outstanding recommendations are re-derived from unmatched launches,
+///   so a restarted server continues mid-session with work still in
+///   flight.
 class ResTuneServer {
  public:
   explicit ResTuneServer(ServerOptions options = {});
@@ -67,15 +78,25 @@ class ResTuneServer {
   /// non-positive default throughput/latency).
   Result<uint64_t> StartSession(const TargetTaskSubmission& submission);
 
-  /// Next configuration for the session to evaluate. Returns the cached
-  /// outstanding recommendation if the previous one has not been reported
-  /// yet (at-least-once delivery for clients that retry).
+  /// Next configuration for the session to evaluate. While recommendations
+  /// are outstanding the oldest one is returned again (at-least-once
+  /// delivery for clients that retry); otherwise a new one is issued.
   Result<KnobRecommendation> Recommend(uint64_t session_id);
 
+  /// Speculative batch: tops the session's outstanding set up to `width`
+  /// recommendations and returns all of them, oldest first. New
+  /// suggestions are penalized near the in-flight ones (constant-liar
+  /// q-CEI), so concurrent replay workers get a diverse batch. Re-asking
+  /// without reporting returns the same set — the call is idempotent, like
+  /// `Recommend`.
+  Result<std::vector<KnobRecommendation>> RecommendBatch(uint64_t session_id,
+                                                         int width);
+
   /// Feeds an evaluation result back into the session's meta-learner.
-  /// Reports for already-processed iterations are accepted as duplicates
-  /// (no-op); reports from the future, with malformed metrics, or with a
-  /// mismatched θ dimension are rejected.
+  /// Reports for outstanding iterations are accepted in ANY order; reports
+  /// for already-processed iterations are accepted as duplicates (no-op);
+  /// reports from the future, with malformed metrics, or with a mismatched
+  /// θ dimension are rejected.
   Status ReportEvaluation(const EvaluationReport& report);
 
   /// Closes the session; optionally archives its observations as a new
@@ -123,18 +144,23 @@ class ResTuneServer {
     /// trains base-learners from exactly this prefix, so tasks archived
     /// later do not silently change the ensemble mid-session.
     size_t repository_snapshot = 0;
-    /// True between Recommend and its ReportEvaluation.
-    bool awaiting_report = false;
-    KnobRecommendation last_recommendation;
-    /// Durable form of the session: everything needed to rebuild the
-    /// advisor by replay.
-    std::vector<SessionEvent> events;
+    /// Issued-but-unreported recommendations, keyed by iteration (issue
+    /// order). Derived from unmatched launches in `log` on restore.
+    std::map<int, Vector> outstanding;
+    /// Durable form of the session: the totally ordered launch/completion
+    /// log (launches in suggestion order, completions in report-arrival
+    /// order). Replaying it through a fresh advisor rebuilds everything.
+    std::vector<EventRecord> log;
   };
 
   std::vector<BaseLearner> TrainSessionLearners(size_t knob_dim,
                                                 size_t repository_snapshot)
       const;
   Result<Session> RebuildSession(Session blueprint) const;
+  /// Issues one new recommendation for the session (advances the advisor,
+  /// appends a launch record, registers the outstanding entry).
+  Result<KnobRecommendation> IssueRecommendation(uint64_t session_id,
+                                                 Session* session);
   void MaybeAutoCheckpoint();
 
   ServerOptions options_;

@@ -1,13 +1,29 @@
 #ifndef RESTUNE_TUNER_ADVISOR_H_
 #define RESTUNE_TUNER_ADVISOR_H_
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "dbsim/fault_injector.h"
 #include "gp/observation.h"
 
 namespace restune {
+
+/// Clamps θ into the L∞ box [center - radius, center + radius] ∩ [0,1]^d —
+/// the safety trust region's projection. Pure (no RNG), so it is legal as an
+/// acquisition-optimizer `project` hook.
+inline Vector ClampToTrustRegion(const Vector& theta, const Vector& center,
+                                 double radius) {
+  Vector out = theta;
+  for (size_t d = 0; d < out.size() && d < center.size(); ++d) {
+    const double lo = std::max(0.0, center[d] - radius);
+    const double hi = std::min(1.0, center[d] + radius);
+    out[d] = std::clamp(out[d], lo, hi);
+  }
+  return out;
+}
 
 /// Wall-clock cost of the advisor's last iteration, split into the phases
 /// of paper Table 3 (workload replay time is accounted by the session).
@@ -38,6 +54,26 @@ class Advisor {
 
   /// Proposes the next normalized configuration to evaluate.
   virtual Result<Vector> SuggestNext() = 0;
+
+  /// Speculative suggestion while `pending` configurations are still being
+  /// evaluated: the acquisition is locally penalized near each pending
+  /// point (constant-liar-style), so concurrent asynchronous proposals
+  /// diversify instead of collapsing onto one optimum. The default ignores
+  /// `pending` and delegates to SuggestNext() — bitwise identical to the
+  /// synchronous path when `pending` is empty.
+  virtual Result<Vector> SuggestNextAsync(const std::vector<Vector>& pending) {
+    (void)pending;
+    return SuggestNext();
+  }
+
+  /// Installs a safety trust region: until cleared, every suggestion is
+  /// clamped into the L∞ box [center - radius, center + radius] ∩ [0,1]^d.
+  /// Default no-op for baselines without the safety path.
+  virtual void SetTrustRegion(const Vector& center, double radius) {
+    (void)center;
+    (void)radius;
+  }
+  virtual void ClearTrustRegion() {}
 
   /// Feeds back the evaluation result of the last suggestion.
   virtual Status Observe(const Observation& observation) = 0;

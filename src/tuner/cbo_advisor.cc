@@ -1,5 +1,6 @@
 #include "tuner/cbo_advisor.h"
 
+#include "bo/batch.h"
 #include "bo/lhs.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -62,9 +63,13 @@ Result<Vector> CboAdvisor::SuggestNext() {
   timing_.meta_processing_s = 0.0;
   // Pending LHS points that landed inside a quarantined region (a config
   // nearby crashed since the design was drawn) are skipped, not evaluated.
+  // An active trust region clamps the design point like any suggestion.
   while (!pending_lhs_.empty()) {
     Vector next = pending_lhs_.back();
     pending_lhs_.pop_back();
+    if (trust_region_active_) {
+      next = ClampToTrustRegion(next, trust_center_, trust_radius_);
+    }
     if (!quarantine_.empty() && quarantine_.Contains(next)) continue;
     timing_.recommendation_s = watch.Seconds();
     return next;
@@ -82,18 +87,25 @@ Result<Vector> CboAdvisor::SuggestNext() {
   // calling thread (predictions are pool-size invariant).
   ThreadPool* acq_pool = options_.acq_optimizer.pool;
   auto acquisition = [&, acq_pool](const Matrix& thetas) {
+    std::vector<double> values;
     switch (options_.acquisition) {
       case CboAcquisition::kConstrainedEi:
-        return ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx,
-                                                   acq_pool);
-      case CboAcquisition::kUnconstrainedEi:
-        return UnconstrainedExpectedImprovementBatch(surrogate, thetas, ctx,
+        values = ConstrainedExpectedImprovementBatch(surrogate, thetas, ctx,
                                                      acq_pool);
+        break;
+      case CboAcquisition::kUnconstrainedEi:
+        values = UnconstrainedExpectedImprovementBatch(surrogate, thetas, ctx,
+                                                       acq_pool);
+        break;
       case CboAcquisition::kPenalizedEi:
-        return PenalizedExpectedImprovementBatch(surrogate, thetas, ctx,
-                                                 options_.penalty, acq_pool);
+        values = PenalizedExpectedImprovementBatch(surrogate, thetas, ctx,
+                                                   options_.penalty, acq_pool);
+        break;
     }
-    return std::vector<double>(thetas.rows(), 0.0);
+    if (values.empty()) values.assign(thetas.rows(), 0.0);
+    PenalizeNearPoints(thetas, pending_penalty_,
+                       options_.pending_penalty_radius, &values);
+    return values;
   };
   AcqOptimizerOptions acq_options = options_.acq_optimizer;
   if (!quarantine_.empty()) {
@@ -101,10 +113,31 @@ Result<Vector> CboAdvisor::SuggestNext() {
       return quarantine_.Contains(theta);
     };
   }
+  if (trust_region_active_) {
+    acq_options.project = [this](const Vector& theta) {
+      return ClampToTrustRegion(theta, trust_center_, trust_radius_);
+    };
+  }
   Vector next = MaximizeAcquisitionBatch(acquisition, dim_, &rng_, acq_options);
   timing_.recommendation_s = watch.Seconds();
   return next;
 }
+
+Result<Vector> CboAdvisor::SuggestNextAsync(
+    const std::vector<Vector>& pending) {
+  pending_penalty_ = pending;
+  Result<Vector> next = SuggestNext();
+  pending_penalty_.clear();
+  return next;
+}
+
+void CboAdvisor::SetTrustRegion(const Vector& center, double radius) {
+  trust_region_active_ = true;
+  trust_center_ = center;
+  trust_radius_ = radius;
+}
+
+void CboAdvisor::ClearTrustRegion() { trust_region_active_ = false; }
 
 Result<const Surrogate*> CboAdvisor::ActiveSurrogate() {
   if (approx_ == nullptr) {
@@ -149,7 +182,8 @@ Status CboAdvisor::ObserveFailure(const Vector& theta,
   }
   // Fatal kinds (the DBMS died or hung) quarantine the surrounding knob box
   // so acquisition maximization never proposes an adjacent configuration.
-  if (fault.kind == FaultKind::kCrash || fault.kind == FaultKind::kTimeout) {
+  if (fault.kind == FaultKind::kCrash || fault.kind == FaultKind::kTimeout ||
+      fault.kind == FaultKind::kStall) {
     quarantine_.Add(theta);
   }
   // The failed configuration enters the constraint models as a hard SLA

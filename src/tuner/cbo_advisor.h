@@ -50,6 +50,9 @@ struct CboAdvisorOptions {
   SurrogateBackend surrogate_backend = SurrogateBackend::kExactGp;
   size_t surrogate_subset_size = 512;
   QuantileForestOptions surrogate_forest;
+  /// Local-penalization radius around pending (in-flight) configurations
+  /// for SuggestNextAsync.
+  double pending_penalty_radius = 0.15;
 };
 
 /// Constrained Bayesian optimization on a fresh multi-output GP: the
@@ -63,9 +66,12 @@ class CboAdvisor : public Advisor {
   Status Begin(const Observation& default_observation,
                const SlaConstraints& sla) override;
   Result<Vector> SuggestNext() override;
+  Result<Vector> SuggestNextAsync(const std::vector<Vector>& pending) override;
   Status Observe(const Observation& observation) override;
   Status ObserveFailure(const Vector& theta,
                         const EvaluationFault& fault) override;
+  void SetTrustRegion(const Vector& center, double radius) override;
+  void ClearTrustRegion() override;
 
   const MultiOutputGp& surrogate() const { return gp_; }
   const KnobQuarantine& quarantine() const { return quarantine_; }
@@ -91,6 +97,11 @@ class CboAdvisor : public Advisor {
   GpSurrogate exact_surrogate_;
   std::unique_ptr<ScalableSurrogate> approx_;
   bool approx_dirty_ = false;
+  /// In-flight configurations penalizing the current SuggestNextAsync call.
+  std::vector<Vector> pending_penalty_;
+  bool trust_region_active_ = false;
+  Vector trust_center_;
+  double trust_radius_ = 1.0;
 };
 
 }  // namespace restune

@@ -12,6 +12,7 @@
 #include "dbsim/simulator.h"
 #include "gp/observation.h"
 #include "obs/metrics.h"
+#include "tuner/safety.h"
 
 namespace restune {
 
@@ -67,6 +68,96 @@ Status SaveSessionCheckpointFile(const SessionCheckpoint& checkpoint,
                                  const std::string& path);
 Result<SessionCheckpoint> LoadSessionCheckpointFile(const std::string& path);
 
+/// --- Event-driven session checkpoint ------------------------------------
+///
+/// The event-driven session's durable form is a *totally ordered* log of
+/// launch and completion records. Launches appear in suggestion order (the
+/// order advisor RNG draws happened); completions appear in delivery order,
+/// which is generally OUT OF ORDER relative to launches. Replaying the log
+/// start to finish through a fresh advisor + safety controller reproduces
+/// every internal state bit-for-bit, including mid-flight evaluations that
+/// had been launched but not yet delivered when the process died.
+
+enum class EventKind {
+  kLaunch = 0,
+  kComplete = 1,
+};
+
+/// One entry of the event-driven session's totally ordered log.
+struct EventRecord {
+  EventKind kind = EventKind::kLaunch;
+  /// Launch sequence number; pairs a completion with its launch.
+  uint64_t seq = 0;
+
+  // Launch fields.
+  /// The configuration posted for evaluation.
+  Vector theta;
+  /// True when θ is the frozen-mode safe-config probe (no advisor call was
+  /// made — replay must not consume advisor RNG for this launch).
+  bool frozen = false;
+  /// Safety mode and SLA-monitor verdict at launch time (what the trust
+  /// region saw when the suggestion was made).
+  SessionMode mode = SessionMode::kHealthy;
+  bool sla_violated = false;
+
+  // Completion fields.
+  bool failed = false;
+  Observation observation;
+  FaultKind fault = FaultKind::kNone;
+  int attempts = 1;
+  double backoff_seconds = 0.0;
+  double elapsed_seconds = 0.0;
+  /// True when the session watchdog cancelled the pending slot (stall or
+  /// over-deadline delivery) rather than the evaluation finishing.
+  bool watchdog_killed = false;
+  /// Safety state after ingesting this completion — written so resume can
+  /// verify the replayed ladder bit-for-bit.
+  SessionMode mode_after = SessionMode::kHealthy;
+  bool sla_violated_after = false;
+};
+
+/// A launched-but-undelivered evaluation at checkpoint time. The simulated
+/// outcome is computed eagerly at launch (that is what makes the event loop
+/// deterministic), so the record carries the full result plus its delivery
+/// time; θ and launch metadata live in the matching kLaunch record.
+struct InFlightRecord {
+  uint64_t seq = 0;
+  /// Absolute simulated-clock time at which the completion is delivered.
+  double delivery_seconds = 0.0;
+  bool failed = false;
+  Observation observation;
+  FaultKind fault = FaultKind::kNone;
+  int attempts = 1;
+  double backoff_seconds = 0.0;
+  double elapsed_seconds = 0.0;
+  bool watchdog_killed = false;
+};
+
+/// Durable state of an `EventTuningSession`.
+struct EventSessionCheckpoint {
+  /// Number of launches issued (== next seq) and completions ingested.
+  uint64_t launched = 0;
+  int completed = 0;
+  /// Simulated session clock (advanced to each delivery time).
+  double clock_seconds = 0.0;
+  Observation default_observation;
+  SlaConstraints sla;
+  std::vector<EventRecord> records;
+  std::vector<InFlightRecord> in_flight;
+  DbInstanceSimulator::State simulator_state;
+  RngState supervisor_rng;
+  /// Counter snapshot, restored after replay (see SessionCheckpoint).
+  obs::CounterSnapshot metrics;
+};
+
+Status SaveEventSessionCheckpoint(const EventSessionCheckpoint& checkpoint,
+                                  std::ostream* out);
+Result<EventSessionCheckpoint> LoadEventSessionCheckpoint(std::istream* in);
+Status SaveEventSessionCheckpointFile(const EventSessionCheckpoint& checkpoint,
+                                      const std::string& path);
+Result<EventSessionCheckpoint> LoadEventSessionCheckpointFile(
+    const std::string& path);
+
 /// Shared low-level helpers (also used by the server checkpoint).
 void WriteRngState(std::ostream* out, const RngState& state);
 Status ReadRngState(std::istream* in, RngState* state);
@@ -76,6 +167,10 @@ void WriteObservation(std::ostream* out, const Observation& obs);
 Status ReadObservation(std::istream* in, Observation* obs);
 void WriteSessionEvent(std::ostream* out, const SessionEvent& event);
 Status ReadSessionEvent(std::istream* in, SessionEvent* event);
+void WriteEventRecord(std::ostream* out, const EventRecord& record);
+Status ReadEventRecord(std::istream* in, EventRecord* record);
+void WriteInFlightRecord(std::ostream* out, const InFlightRecord& record);
+Status ReadInFlightRecord(std::istream* in, InFlightRecord* record);
 
 }  // namespace restune
 

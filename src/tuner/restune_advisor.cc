@@ -1,5 +1,6 @@
 #include "tuner/restune_advisor.h"
 
+#include "bo/batch.h"
 #include "bo/lhs.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -49,10 +50,14 @@ Result<Vector> ResTuneAdvisor::SuggestNext() {
   SuggestionsCounter()->Add();
   StopWatch watch;
   // Pending LHS points inside a quarantined region (a nearby config crashed
-  // since the design was drawn) are skipped, not evaluated.
+  // since the design was drawn) are skipped, not evaluated. An active trust
+  // region clamps the design point like any other suggestion.
   while (!pending_lhs_.empty()) {
     Vector next = pending_lhs_.back();
     pending_lhs_.pop_back();
+    if (trust_region_active_) {
+      next = ClampToTrustRegion(next, trust_center_, trust_radius_);
+    }
     if (!quarantine_.empty() && quarantine_.Contains(next)) continue;
     timing_.recommendation_s = watch.Seconds();
     return next;
@@ -90,10 +95,14 @@ Result<Vector> ResTuneAdvisor::SuggestNext() {
 
   // Batch acquisition: the whole candidate block flows through the
   // ensemble's matrix-level GP inference in one call per member, spread
-  // over the acquisition optimizer's pool.
+  // over the acquisition optimizer's pool. Pending in-flight points damp
+  // the acquisition locally so speculative proposals diversify.
   auto acquisition = [&](const Matrix& thetas) {
-    return ConstrainedExpectedImprovementBatch(
+    std::vector<double> values = ConstrainedExpectedImprovementBatch(
         *meta_learner_, thetas, ctx, options_.acq_optimizer.pool);
+    PenalizeNearPoints(thetas, pending_penalty_,
+                       options_.pending_penalty_radius, &values);
+    return values;
   };
   AcqOptimizerOptions acq_options = options_.acq_optimizer;
   if (!quarantine_.empty()) {
@@ -101,10 +110,31 @@ Result<Vector> ResTuneAdvisor::SuggestNext() {
       return quarantine_.Contains(theta);
     };
   }
+  if (trust_region_active_) {
+    acq_options.project = [this](const Vector& theta) {
+      return ClampToTrustRegion(theta, trust_center_, trust_radius_);
+    };
+  }
   Vector next = MaximizeAcquisitionBatch(acquisition, dim_, &rng_, acq_options);
   timing_.recommendation_s = watch.Seconds();
   return next;
 }
+
+Result<Vector> ResTuneAdvisor::SuggestNextAsync(
+    const std::vector<Vector>& pending) {
+  pending_penalty_ = pending;
+  Result<Vector> next = SuggestNext();
+  pending_penalty_.clear();
+  return next;
+}
+
+void ResTuneAdvisor::SetTrustRegion(const Vector& center, double radius) {
+  trust_region_active_ = true;
+  trust_center_ = center;
+  trust_radius_ = radius;
+}
+
+void ResTuneAdvisor::ClearTrustRegion() { trust_region_active_ = false; }
 
 Status ResTuneAdvisor::Observe(const Observation& observation) {
   // Meta-data processing (standardization + weight learning) and the
@@ -129,7 +159,8 @@ Status ResTuneAdvisor::ObserveFailure(const Vector& theta,
   if (theta.size() != dim_) {
     return Status::InvalidArgument("failure theta dimension mismatch");
   }
-  if (fault.kind == FaultKind::kCrash || fault.kind == FaultKind::kTimeout) {
+  if (fault.kind == FaultKind::kCrash || fault.kind == FaultKind::kTimeout ||
+      fault.kind == FaultKind::kStall) {
     quarantine_.Add(theta);
   }
   // A failed configuration is a hard SLA violation for the ensemble's

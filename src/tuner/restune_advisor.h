@@ -24,6 +24,9 @@ struct ResTuneAdvisorOptions {
   uint64_t seed = 23;
   /// Knob-region quarantine around crashed/timed-out configurations.
   QuarantineOptions quarantine;
+  /// Local-penalization radius around pending (in-flight) configurations
+  /// for SuggestNextAsync.
+  double pending_penalty_radius = 0.15;
 };
 
 /// The full ResTune tuner: constrained BO (Section 5) on the meta-learner
@@ -42,9 +45,12 @@ class ResTuneAdvisor : public Advisor {
   Status Begin(const Observation& default_observation,
                const SlaConstraints& sla) override;
   Result<Vector> SuggestNext() override;
+  Result<Vector> SuggestNextAsync(const std::vector<Vector>& pending) override;
   Status Observe(const Observation& observation) override;
   Status ObserveFailure(const Vector& theta,
                         const EvaluationFault& fault) override;
+  void SetTrustRegion(const Vector& center, double radius) override;
+  void ClearTrustRegion() override;
 
   const MetaLearner& meta_learner() const { return *meta_learner_; }
   const KnobQuarantine& quarantine() const { return quarantine_; }
@@ -60,6 +66,11 @@ class ResTuneAdvisor : public Advisor {
   KnobQuarantine quarantine_;
   std::vector<Observation> history_;
   std::vector<Vector> pending_lhs_;
+  /// In-flight configurations penalizing the current SuggestNextAsync call.
+  std::vector<Vector> pending_penalty_;
+  bool trust_region_active_ = false;
+  Vector trust_center_;
+  double trust_radius_ = 1.0;
 };
 
 }  // namespace restune

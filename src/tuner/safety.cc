@@ -1,0 +1,166 @@
+#include "tuner/safety.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace restune {
+
+namespace {
+
+struct SafetyMetrics {
+  obs::Gauge* mode;
+  obs::Gauge* sla_violated;
+  obs::Counter* sla_violations;
+  obs::Counter* transitions_to[3];
+
+  static SafetyMetrics* Get() {
+    static SafetyMetrics* m = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      // restune-lint: allow(naked-new) -- intentional leak, handle cache
+      auto* metrics = new SafetyMetrics();
+      metrics->mode = registry->GetGauge("restune_safety_mode");
+      metrics->sla_violated = registry->GetGauge("restune_safety_sla_violated");
+      metrics->sla_violations =
+          registry->GetCounter("restune_safety_sla_violations_total");
+      for (int s = 0; s < 3; ++s) {
+        metrics->transitions_to[s] = registry->GetCounter(
+            std::string("restune_safety_transitions_total{to=\"") +
+            SessionModeName(static_cast<SessionMode>(s)) + "\"}");
+      }
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+const char* SessionModeName(SessionMode mode) {
+  switch (mode) {
+    case SessionMode::kHealthy:
+      return "healthy";
+    case SessionMode::kConstrained:
+      return "constrained";
+    case SessionMode::kFrozen:
+      return "frozen";
+  }
+  return "?";
+}
+
+SlaMonitor::SlaMonitor(SlaMonitorOptions options) : options_(options) {}
+
+void SlaMonitor::Record(bool feasible) {
+  window_.push_back(feasible);
+  while (window_.size() > static_cast<size_t>(std::max(1, options_.window))) {
+    window_.pop_front();
+  }
+  feasible_streak_ = feasible ? feasible_streak_ + 1 : 0;
+  if (!feasible) SafetyMetrics::Get()->sla_violations->Add();
+  if (!violated_) {
+    if (recent_violations() >= options_.trip_count) violated_ = true;
+  } else if (feasible_streak_ >= options_.recovery_streak) {
+    violated_ = false;
+    // Forget the violations that caused the trip: without this the monitor
+    // re-trips on the very next Record (the stale verdicts are still inside
+    // the window) and the recovery streak buys nothing.
+    window_.clear();
+  }
+  SafetyMetrics::Get()->sla_violated->Set(violated_ ? 1.0 : 0.0);
+}
+
+int SlaMonitor::recent_violations() const {
+  int count = 0;
+  for (bool feasible : window_) {
+    if (!feasible) ++count;
+  }
+  return count;
+}
+
+void SlaMonitor::Reset() {
+  window_.clear();
+  feasible_streak_ = 0;
+  violated_ = false;
+}
+
+SafetyController::SafetyController(SafetyOptions options)
+    : options_(options), monitor_(options.sla) {
+  SafetyMetrics::Get()->mode->Set(0.0);
+}
+
+void SafetyController::SetBaseline(const Vector& theta, double res) {
+  safe_theta_ = theta;
+  safe_res_ = res;
+}
+
+void SafetyController::TransitionTo(SessionMode next) {
+  if (next == mode_) return;
+  mode_ = next;
+  ++transitions_;
+  SafetyMetrics* metrics = SafetyMetrics::Get();
+  metrics->mode->Set(static_cast<double>(mode_));
+  metrics->transitions_to[static_cast<int>(mode_)]->Add();
+}
+
+SessionMode SafetyController::OnCompletion(const Vector& theta, bool failed,
+                                           bool feasible, bool sla_ok,
+                                           double res) {
+  if (failed) {
+    // A fault carries no metrics: it feeds the failure ladder, never the
+    // SLA monitor (a crash storm is a reliability emergency, not an SLA
+    // verdict — conflating them keeps the monitor tripped under faults).
+    ++consecutive_failures_;
+    consecutive_feasible_ = 0;
+  } else {
+    consecutive_failures_ = 0;
+    monitor_.Record(sla_ok);
+    if (sla_ok) {
+      ++consecutive_feasible_;
+      consecutive_infeasible_ = 0;
+    } else {
+      ++consecutive_infeasible_;
+      consecutive_feasible_ = 0;
+    }
+    // The lowest-resource *strictly* feasible config becomes the new safe
+    // center: it met the SLA with the least spend, the best place to
+    // retreat to.
+    if (feasible && (safe_theta_.empty() || res < safe_res_)) {
+      safe_theta_ = theta;
+      safe_res_ = res;
+    }
+  }
+
+  switch (mode_) {
+    case SessionMode::kHealthy:
+      if (monitor_.violated() ||
+          consecutive_failures_ >= options_.constrain_after_failures) {
+        TransitionTo(SessionMode::kConstrained);
+      }
+      break;
+    case SessionMode::kConstrained:
+      if (consecutive_failures_ >= options_.freeze_after_failures ||
+          consecutive_infeasible_ >= options_.freeze_after_infeasible) {
+        TransitionTo(SessionMode::kFrozen);
+      } else if (!monitor_.violated() && consecutive_failures_ == 0) {
+        TransitionTo(SessionMode::kHealthy);
+      }
+      break;
+    case SessionMode::kFrozen:
+      // Frozen probes re-run the safe config; an unbroken feasible streak
+      // proves the system recovered enough to explore cautiously again.
+      if (consecutive_feasible_ >= options_.unfreeze_after_feasible) {
+        TransitionTo(SessionMode::kConstrained);
+      }
+      break;
+  }
+  return mode_;
+}
+
+SessionMode SafetyController::OnAdvisorFailure() {
+  consecutive_feasible_ = 0;
+  TransitionTo(SessionMode::kFrozen);
+  return mode_;
+}
+
+}  // namespace restune

@@ -1,0 +1,144 @@
+#ifndef RESTUNE_TUNER_SAFETY_H_
+#define RESTUNE_TUNER_SAFETY_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "linalg/matrix.h"
+
+namespace restune {
+
+/// Degraded-mode ladder of the always-on tuning loop. Ordered by severity;
+/// the numeric values are persisted in checkpoints — never reorder.
+enum class SessionMode {
+  /// Normal operation: suggestions roam the full knob box.
+  kHealthy = 0,
+  /// The SLA is violated or evaluations keep failing: suggestions are
+  /// clamped into the trust region around the last known-safe config.
+  kConstrained = 1,
+  /// The surrogate failed, retries were exhausted repeatedly, or the
+  /// violation persists: the session stops exploring entirely and pins
+  /// every evaluation at the last known-safe configuration until probes
+  /// come back feasible.
+  kFrozen = 2,
+};
+
+const char* SessionModeName(SessionMode mode);
+
+/// SLA-violation monitor with hysteresis. A sliding window of feasibility
+/// verdicts trips into "violated" when enough recent evaluations missed the
+/// SLA, and recovers only after an unbroken streak of feasible results — so
+/// the trust region does not flap on a single noisy measurement.
+struct SlaMonitorOptions {
+  /// Sliding-window length over recent evaluation verdicts.
+  int window = 12;
+  /// Infeasible verdicts within the window that trip the monitor.
+  int trip_count = 3;
+  /// Consecutive feasible verdicts required to clear a tripped monitor.
+  int recovery_streak = 5;
+};
+
+class SlaMonitor {
+ public:
+  explicit SlaMonitor(SlaMonitorOptions options = {});
+
+  /// Records one evaluation verdict (failures count as infeasible).
+  void Record(bool feasible);
+
+  bool violated() const { return violated_; }
+  int recent_violations() const;
+  void Reset();
+
+ private:
+  SlaMonitorOptions options_;
+  std::deque<bool> window_;  // true = feasible
+  int feasible_streak_ = 0;
+  bool violated_ = false;
+};
+
+/// Options for the safety controller's degraded-mode ladder.
+struct SafetyOptions {
+  SlaMonitorOptions sla;
+  /// Relative tolerance for the *monitor's* SLA verdict. Resource-oriented
+  /// tuning lives on the constraint boundary, so near-optimal exploration
+  /// routinely dips a few percent infeasible — that is business as usual,
+  /// not an emergency. The monitor only counts gross misses (beyond this
+  /// tolerance) as violations; strict feasibility still gates safe-config
+  /// updates and best tracking.
+  double monitor_tolerance = 0.15;
+  /// L∞ half-width of the trust region around the last known-safe config
+  /// (normalized knob units), applied while the mode is not healthy.
+  double trust_radius = 0.2;
+  /// Consecutive failed evaluations that demote healthy → constrained.
+  int constrain_after_failures = 2;
+  /// Consecutive failed evaluations that demote constrained → frozen.
+  int freeze_after_failures = 4;
+  /// Consecutive infeasible (but successful) evaluations that demote
+  /// constrained → frozen.
+  int freeze_after_infeasible = 10;
+  /// Consecutive feasible frozen-probe results that promote frozen →
+  /// constrained.
+  int unfreeze_after_feasible = 3;
+};
+
+/// Drives the degraded-mode ladder (healthy → constrained →
+/// frozen-at-last-safe-config) from the stream of evaluation completions.
+/// Pure deterministic state machine: no RNG, no clocks — the event-driven
+/// session rebuilds it on resume by replaying the event log and verifies
+/// the recomputed mode against the checkpointed one. Mode and transition
+/// counts are exported through the obs registry on every change.
+class SafetyController {
+ public:
+  explicit SafetyController(SafetyOptions options = {});
+
+  /// Installs the known-good baseline (the default configuration) as the
+  /// initial safe config.
+  void SetBaseline(const Vector& theta, double res);
+
+  /// Ingests one evaluation completion (in delivery order). `failed` marks
+  /// a fault (failures drive the failure ladder but carry no metrics, so
+  /// they are NOT recorded in the SLA monitor). `feasible` is the strict
+  /// SLA verdict of a successful observation and gates safe-config
+  /// updates; `sla_ok` is the lenient verdict (within monitor_tolerance)
+  /// the monitor and the infeasibility ladder consume. Both are ignored
+  /// when failed. Returns the mode after the transition.
+  SessionMode OnCompletion(const Vector& theta, bool failed, bool feasible,
+                           bool sla_ok, double res);
+
+  /// The surrogate failed to fit / the advisor errored: drop straight to
+  /// frozen. Returns the new mode.
+  SessionMode OnAdvisorFailure();
+
+  SessionMode mode() const { return mode_; }
+  bool sla_violated() const { return monitor_.violated(); }
+  const SlaMonitor& monitor() const { return monitor_; }
+  /// Center of the trust region / frozen probe target: the feasible config
+  /// with the lowest resource usage seen so far (the baseline until one
+  /// beats it).
+  const Vector& safe_theta() const { return safe_theta_; }
+  double safe_res() const { return safe_res_; }
+  bool has_baseline() const { return !safe_theta_.empty(); }
+  double trust_radius() const { return options_.trust_radius; }
+  const SafetyOptions& options() const { return options_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  int consecutive_infeasible() const { return consecutive_infeasible_; }
+  /// Total transitions since construction (resume replays re-count them).
+  int transitions() const { return transitions_; }
+
+ private:
+  void TransitionTo(SessionMode next);
+
+  SafetyOptions options_;
+  SlaMonitor monitor_;
+  SessionMode mode_ = SessionMode::kHealthy;
+  Vector safe_theta_;
+  double safe_res_ = 0.0;
+  int consecutive_failures_ = 0;
+  int consecutive_infeasible_ = 0;
+  int consecutive_feasible_ = 0;
+  int transitions_ = 0;
+};
+
+}  // namespace restune
+
+#endif  // RESTUNE_TUNER_SAFETY_H_

@@ -101,6 +101,7 @@ Result<SupervisedEvaluation> EvaluationSupervisor::Evaluate(
     EvaluationFault fault;
     if (outcome.ok()) {
       if (!IsCorrupted(outcome.observation())) {
+        supervised.elapsed_seconds += simulator_->options().replay_seconds;
         supervised.outcome = std::move(outcome);
         return supervised;
       }
@@ -110,10 +111,14 @@ Result<SupervisedEvaluation> EvaluationSupervisor::Evaluate(
     } else {
       fault = outcome.fault();
     }
+    supervised.elapsed_seconds += fault.elapsed_seconds;
     // Deadline classification: whatever the failure looked like, an attempt
-    // that burned more than the deadline was killed as a straggler.
+    // that burned more than the deadline was killed as a straggler. Stalls
+    // are exempt — they never finish at all, so the per-attempt deadline
+    // cannot observe them; only the session watchdog terminates a stall.
     if (fault.elapsed_seconds > deadline &&
-        fault.kind != FaultKind::kTimeout) {
+        fault.kind != FaultKind::kTimeout &&
+        fault.kind != FaultKind::kStall) {
       fault.message = "deadline exceeded after " + fault.message;
       fault.kind = FaultKind::kTimeout;
     }
@@ -130,6 +135,7 @@ Result<SupervisedEvaluation> EvaluationSupervisor::Evaluate(
     const double backoff = NextBackoff(&previous_backoff);
     metrics->backoff_seconds->Observe(backoff);
     supervised.backoff_seconds += backoff;
+    supervised.elapsed_seconds += backoff;
   }
   return supervised;  // unreachable: the loop always returns
 }

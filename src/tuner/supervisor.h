@@ -37,6 +37,10 @@ struct SupervisedEvaluation {
   double backoff_seconds = 0.0;
   /// True when a retryable fault survived all allowed attempts.
   bool retries_exhausted = false;
+  /// Total simulated seconds the evaluation took end to end: replay/fault
+  /// time of every attempt plus backoff. This is the delivery latency the
+  /// event-driven session uses to order asynchronous completions.
+  double elapsed_seconds = 0.0;
 };
 
 /// Wraps `DbInstanceSimulator::TryEvaluate` with the fault-tolerance policy

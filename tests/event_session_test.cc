@@ -1,0 +1,691 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "tuner/cbo_advisor.h"
+#include "tuner/checkpoint.h"
+#include "tuner/event_session.h"
+#include "tuner/harness.h"
+#include "tuner/safety.h"
+#include "tuner/session.h"
+
+namespace restune {
+namespace {
+
+DbInstanceSimulator CaseStudySimulator(uint64_t seed,
+                                       FaultInjectionOptions faults = {}) {
+  SimulatorOptions options;
+  options.seed = seed;
+  options.faults = faults;
+  return DbInstanceSimulator(CaseStudyKnobSpace(),
+                             HardwareInstance('A').value(),
+                             MakeWorkload(WorkloadKind::kTwitter).value(),
+                             options);
+}
+
+FaultInjectionOptions TwentyPercentFaults(uint64_t seed = 4242) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.seed = seed;
+  faults.crash_prob = 0.04;
+  faults.timeout_prob = 0.04;
+  faults.transient_prob = 0.08;
+  faults.corrupt_prob = 0.04;
+  return faults;
+}
+
+CboAdvisorOptions FastAdvisorOptions(uint64_t seed = 61) {
+  CboAdvisorOptions options;
+  options.initial_lhs_samples = 4;
+  options.seed = seed;
+  return options;
+}
+
+class EventSessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { Logger::SetThreshold(LogLevel::kError); }
+};
+
+// ------------------------------------------------------------- SLA monitor
+
+TEST(SlaMonitorTest, TripsOnWindowViolationsAndRecoversOnStreak) {
+  SlaMonitorOptions options;
+  options.window = 6;
+  options.trip_count = 3;
+  options.recovery_streak = 4;
+  SlaMonitor monitor(options);
+  EXPECT_FALSE(monitor.violated());
+
+  monitor.Record(false);
+  monitor.Record(true);
+  monitor.Record(false);
+  EXPECT_FALSE(monitor.violated());  // 2 < trip_count
+  monitor.Record(false);
+  EXPECT_TRUE(monitor.violated());  // third violation in the window trips
+
+  // Hysteresis: feasible results do not clear the trip until the streak is
+  // long enough, even once the violations age out of the window.
+  monitor.Record(true);
+  monitor.Record(true);
+  monitor.Record(true);
+  EXPECT_TRUE(monitor.violated());
+  monitor.Record(true);  // 4th consecutive feasible
+  EXPECT_FALSE(monitor.violated());
+}
+
+TEST(SlaMonitorTest, RecoveryStreakResetsOnAnyViolation) {
+  SlaMonitorOptions options;
+  options.window = 4;
+  options.trip_count = 2;
+  options.recovery_streak = 3;
+  SlaMonitor monitor(options);
+  monitor.Record(false);
+  monitor.Record(false);
+  ASSERT_TRUE(monitor.violated());
+  monitor.Record(true);
+  monitor.Record(true);
+  monitor.Record(false);  // breaks the streak (and refills the window)
+  monitor.Record(true);
+  monitor.Record(true);
+  EXPECT_TRUE(monitor.violated());  // streak is 2 again, not 4
+  monitor.Record(true);
+  EXPECT_FALSE(monitor.violated());
+}
+
+// -------------------------------------------------------- safety controller
+
+SafetyOptions TightSafety() {
+  SafetyOptions options;
+  options.sla.window = 6;
+  options.sla.trip_count = 2;
+  options.sla.recovery_streak = 2;
+  options.constrain_after_failures = 2;
+  options.freeze_after_failures = 4;
+  options.freeze_after_infeasible = 4;
+  options.unfreeze_after_feasible = 2;
+  return options;
+}
+
+TEST(SafetyControllerTest, FailureLadderClimbsToFrozenAndRecovers) {
+  SafetyController ctrl(TightSafety());
+  const Vector base = {0.5, 0.5, 0.5};
+  ctrl.SetBaseline(base, 10.0);
+  EXPECT_EQ(ctrl.mode(), SessionMode::kHealthy);
+
+  EXPECT_EQ(ctrl.OnCompletion(base, /*failed=*/true, false, false, 0.0),
+            SessionMode::kHealthy);
+  EXPECT_EQ(ctrl.OnCompletion(base, true, false, false, 0.0),
+            SessionMode::kConstrained);  // 2 consecutive failures
+  EXPECT_EQ(ctrl.OnCompletion(base, true, false, false, 0.0),
+            SessionMode::kConstrained);
+  EXPECT_EQ(ctrl.OnCompletion(base, true, false, false, 0.0),
+            SessionMode::kFrozen);  // 4 consecutive failures
+
+  // Feasible frozen probes step back down: frozen -> constrained, and once
+  // the monitor clears, constrained -> healthy.
+  EXPECT_EQ(ctrl.OnCompletion(base, false, true, true, 10.0), SessionMode::kFrozen);
+  EXPECT_EQ(ctrl.OnCompletion(base, false, true, true, 10.0),
+            SessionMode::kConstrained);
+  const SessionMode final_mode = ctrl.OnCompletion(base, false, true, true, 10.0);
+  EXPECT_EQ(final_mode, SessionMode::kHealthy);
+  EXPECT_FALSE(ctrl.sla_violated());
+  EXPECT_GE(ctrl.transitions(), 4);
+}
+
+TEST(SafetyControllerTest, SlaViolationsConstrainWithoutFailures) {
+  SafetyController ctrl(TightSafety());
+  const Vector base = {0.2, 0.2, 0.2};
+  ctrl.SetBaseline(base, 10.0);
+  EXPECT_EQ(ctrl.OnCompletion(base, false, /*feasible=*/false,
+                            /*sla_ok=*/false, 11.0),
+            SessionMode::kHealthy);
+  EXPECT_EQ(ctrl.OnCompletion(base, false, false, false, 11.0),
+            SessionMode::kConstrained);  // monitor tripped
+  EXPECT_TRUE(ctrl.sla_violated());
+}
+
+TEST(SafetyControllerTest, TracksLowestResourceFeasibleConfig) {
+  SafetyController ctrl(TightSafety());
+  ctrl.SetBaseline({0.5, 0.5}, 10.0);
+  ctrl.OnCompletion({0.4, 0.4}, false, true, true, 8.0);
+  EXPECT_EQ(ctrl.safe_res(), 8.0);
+  EXPECT_EQ(ctrl.safe_theta(), (Vector{0.4, 0.4}));
+  // Worse (higher-res) and infeasible results never move the safe config.
+  ctrl.OnCompletion({0.9, 0.9}, false, true, true, 9.5);
+  ctrl.OnCompletion({0.1, 0.1}, false, false, false, 1.0);
+  EXPECT_EQ(ctrl.safe_res(), 8.0);
+  EXPECT_EQ(ctrl.safe_theta(), (Vector{0.4, 0.4}));
+}
+
+TEST(SafetyControllerTest, AdvisorFailureFreezesImmediately) {
+  SafetyController ctrl(TightSafety());
+  ctrl.SetBaseline({0.5}, 10.0);
+  EXPECT_EQ(ctrl.mode(), SessionMode::kHealthy);
+  EXPECT_EQ(ctrl.OnAdvisorFailure(), SessionMode::kFrozen);
+}
+
+// ------------------------------------------------------------- trust region
+
+TEST(TrustRegionTest, ClampToTrustRegionClampsIntoBox) {
+  const Vector center = {0.5, 0.1, 0.9};
+  const Vector clamped = ClampToTrustRegion({0.9, 0.0, 0.5}, center, 0.2);
+  EXPECT_DOUBLE_EQ(clamped[0], 0.7);
+  EXPECT_DOUBLE_EQ(clamped[1], 0.0);  // box intersected with [0,1]
+  EXPECT_DOUBLE_EQ(clamped[2], 0.7);
+  // Inside the box: untouched.
+  EXPECT_EQ(ClampToTrustRegion({0.5, 0.1, 0.9}, center, 0.2),
+            (Vector{0.5, 0.1, 0.9}));
+}
+
+TEST_F(EventSessionTest, TrustRegionConstrainsAdvisorSuggestions) {
+  DbInstanceSimulator sim = CaseStudySimulator(31);
+  CboAdvisor advisor("cbo", 3, FastAdvisorOptions());
+  const Observation def = sim.Evaluate(sim.knob_space().DefaultTheta()).value();
+  ASSERT_TRUE(
+      advisor.Begin(def, DbInstanceSimulator::ConstraintsFromDefault(def))
+          .ok());
+  const Vector center = def.theta;
+  const double radius = 0.08;
+  advisor.SetTrustRegion(center, radius);
+  for (int i = 0; i < 8; ++i) {
+    const auto suggestion = advisor.SuggestNext();
+    ASSERT_TRUE(suggestion.ok()) << suggestion.status().ToString();
+    for (size_t d = 0; d < suggestion->size(); ++d) {
+      EXPECT_LE(std::fabs((*suggestion)[d] - center[d]), radius + 1e-12)
+          << "suggestion " << i << " escaped the trust region at dim " << d;
+    }
+    ASSERT_TRUE(advisor.Observe(sim.Evaluate(*suggestion).value()).ok());
+  }
+  // Clearing the region restores the full box eventually (no assertion on
+  // escape — just that suggestions remain valid).
+  advisor.ClearTrustRegion();
+  EXPECT_TRUE(advisor.SuggestNext().ok());
+}
+
+TEST_F(EventSessionTest, AsyncSuggestWithoutPendingMatchesSuggestNext) {
+  DbInstanceSimulator sim = CaseStudySimulator(37);
+  CboAdvisor a("cbo", 3, FastAdvisorOptions());
+  CboAdvisor b("cbo", 3, FastAdvisorOptions());
+  const Observation def = sim.Evaluate(sim.knob_space().DefaultTheta()).value();
+  const SlaConstraints sla = DbInstanceSimulator::ConstraintsFromDefault(def);
+  ASSERT_TRUE(a.Begin(def, sla).ok());
+  ASSERT_TRUE(b.Begin(def, sla).ok());
+  for (int i = 0; i < 6; ++i) {
+    const auto plain = a.SuggestNext();
+    const auto async = b.SuggestNextAsync({});
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(async.ok());
+    EXPECT_EQ(*plain, *async) << "iteration " << i;
+    const Observation obs = sim.Evaluate(*plain).value();
+    ASSERT_TRUE(a.Observe(obs).ok());
+    ASSERT_TRUE(b.Observe(obs).ok());
+  }
+}
+
+// ----------------------------------------------------- event loop structure
+
+TEST_F(EventSessionTest, RunProducesTotallyOrderedLogAndFullHistory) {
+  DbInstanceSimulator sim = CaseStudySimulator(41);
+  CboAdvisor advisor("cbo", 3, FastAdvisorOptions());
+  EventSessionOptions options;
+  options.max_iterations = 12;
+  options.max_in_flight = 3;
+  EventTuningSession session(&sim, &advisor, options);
+  const auto result = session.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->history.size(), 12u);
+  EXPECT_GT(result->default_observation.tps, 0.0);
+
+  const auto& records = session.records();
+  std::set<uint64_t> launched;
+  std::set<uint64_t> completed;
+  uint64_t next_seq = 0;
+  for (const EventRecord& record : records) {
+    if (record.kind == EventKind::kLaunch) {
+      EXPECT_EQ(record.seq, next_seq++) << "launches must be in seq order";
+      EXPECT_TRUE(launched.insert(record.seq).second);
+      EXPECT_EQ(record.theta.size(), 3u);
+    } else {
+      EXPECT_TRUE(launched.count(record.seq))
+          << "completion before its launch";
+      EXPECT_TRUE(completed.insert(record.seq).second);
+    }
+  }
+  EXPECT_EQ(launched.size(), 12u);
+  EXPECT_EQ(completed.size(), 12u);
+  // Early exploration may visit infeasible configs and constrain the
+  // session, but a fault-free run must never freeze.
+  EXPECT_NE(session.safety().mode(), SessionMode::kFrozen);
+}
+
+TEST_F(EventSessionTest, FaultMixDeliversCompletionsOutOfOrder) {
+  DbInstanceSimulator sim = CaseStudySimulator(43, TwentyPercentFaults(7));
+  CboAdvisor advisor("cbo", 3, FastAdvisorOptions());
+  EventSessionOptions options;
+  options.max_iterations = 30;
+  options.max_in_flight = 4;
+  EventTuningSession session(&sim, &advisor, options);
+  const auto result = session.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::vector<uint64_t> completion_order;
+  for (const EventRecord& record : session.records()) {
+    if (record.kind == EventKind::kComplete) {
+      completion_order.push_back(record.seq);
+    }
+  }
+  ASSERT_EQ(completion_order.size(), 30u);
+  // A timeout/retried launch outlives a clean later launch, so delivery
+  // order must differ from launch order somewhere in a 30-iteration run at
+  // 20% faults.
+  EXPECT_FALSE(std::is_sorted(completion_order.begin(),
+                              completion_order.end()))
+      << "expected at least one out-of-order delivery";
+}
+
+TEST_F(EventSessionTest, EventLogIsThreadCountInvariant) {
+  auto run_with_pool = [](ThreadPool* pool) {
+    DbInstanceSimulator sim = CaseStudySimulator(47, TwentyPercentFaults(9));
+    CboAdvisorOptions advisor_options = FastAdvisorOptions();
+    advisor_options.acq_optimizer.pool = pool;
+    CboAdvisor advisor("cbo", 3, advisor_options);
+    EventSessionOptions options;
+    options.max_iterations = 16;
+    options.max_in_flight = 4;
+    EventTuningSession session(&sim, &advisor, options);
+    const auto result = session.Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return session.records();
+  };
+  ThreadPool one(1);
+  ThreadPool eight(8);
+  const auto a = run_with_pool(&one);
+  const auto b = run_with_pool(&eight);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "record " << i;
+    EXPECT_EQ(a[i].seq, b[i].seq) << "record " << i;
+    EXPECT_EQ(a[i].theta, b[i].theta) << "record " << i;
+    EXPECT_EQ(a[i].failed, b[i].failed) << "record " << i;
+    EXPECT_EQ(a[i].fault, b[i].fault) << "record " << i;
+    EXPECT_EQ(a[i].mode, b[i].mode) << "record " << i;
+    EXPECT_EQ(a[i].mode_after, b[i].mode_after) << "record " << i;
+    EXPECT_EQ(a[i].observation.res, b[i].observation.res) << "record " << i;
+    EXPECT_EQ(a[i].elapsed_seconds, b[i].elapsed_seconds) << "record " << i;
+  }
+}
+
+// ----------------------------------------------------------------- watchdog
+
+TEST_F(EventSessionTest, WatchdogCancelsStalledEvaluations) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.seed = 11;
+  faults.stall_prob = 0.3;
+  DbInstanceSimulator sim = CaseStudySimulator(53, faults);
+  CboAdvisor advisor("cbo", 3, FastAdvisorOptions());
+  EventSessionOptions options;
+  options.max_iterations = 20;
+  options.max_in_flight = 2;
+  EventTuningSession session(&sim, &advisor, options);
+  const auto result = session.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  int stalls = 0;
+  for (const EventRecord& record : session.records()) {
+    if (record.kind != EventKind::kComplete) continue;
+    if (record.fault == FaultKind::kStall) {
+      ++stalls;
+      EXPECT_TRUE(record.failed);
+      EXPECT_TRUE(record.watchdog_killed)
+          << "a stall can only end via the watchdog";
+      // The slot was cut at the watchdog deadline, not at the stall's
+      // nominal (10x replay) cost.
+      EXPECT_DOUBLE_EQ(record.elapsed_seconds,
+                       options.watchdog_multiplier *
+                           sim.options().replay_seconds);
+    }
+  }
+  EXPECT_GT(stalls, 0) << "seed produced no stalls; pick another";
+}
+
+TEST_F(EventSessionTest, WatchdogDeadlineIsExclusiveAndReclassifiesOverruns) {
+  // Deadline exactly equal to a clean replay: nothing is killed.
+  {
+    DbInstanceSimulator sim = CaseStudySimulator(59);
+    CboAdvisor advisor("cbo", 3, FastAdvisorOptions());
+    EventSessionOptions options;
+    options.max_iterations = 8;
+    options.watchdog_deadline_seconds = sim.options().replay_seconds;
+    EventTuningSession session(&sim, &advisor, options);
+    const auto result = session.Run();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (const EventRecord& record : session.records()) {
+      EXPECT_FALSE(record.watchdog_killed)
+          << "delivery exactly at the deadline must survive";
+    }
+  }
+  // Deadline below the replay time: every evaluation overruns, the slot is
+  // cancelled, and even clean successes are reclassified as timeouts.
+  {
+    DbInstanceSimulator sim = CaseStudySimulator(59);
+    CboAdvisor advisor("cbo", 3, FastAdvisorOptions());
+    EventSessionOptions options;
+    options.max_iterations = 6;
+    options.watchdog_deadline_seconds = sim.options().replay_seconds - 1.0;
+    EventTuningSession session(&sim, &advisor, options);
+    const auto result = session.Run();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    int killed = 0;
+    for (const EventRecord& record : session.records()) {
+      if (record.kind != EventKind::kComplete) continue;
+      ++killed;
+      EXPECT_TRUE(record.watchdog_killed);
+      EXPECT_TRUE(record.failed);
+      EXPECT_EQ(record.fault, FaultKind::kTimeout);
+      EXPECT_DOUBLE_EQ(record.elapsed_seconds,
+                       options.watchdog_deadline_seconds);
+    }
+    EXPECT_EQ(killed, 6);
+  }
+}
+
+// -------------------------------------------------------- SLA burst + ladder
+
+TEST_F(EventSessionTest, SlaBurstTripsLadderKeepsSuggestionsInTrustRegion) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.seed = 13;
+  faults.sla_burst_start = 4;
+  faults.sla_burst_length = 8;
+  DbInstanceSimulator sim = CaseStudySimulator(61, faults);
+  CboAdvisor advisor("cbo", 3, FastAdvisorOptions());
+  EventSessionOptions options;
+  options.max_iterations = 40;
+  options.max_in_flight = 2;
+  options.safety = TightSafety();
+  EventTuningSession session(&sim, &advisor, options);
+  const auto result = session.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Re-derive the safety state by walking the totally ordered log exactly
+  // as the session did, and assert the core invariant: every suggestion
+  // launched while the SLA monitor reported a violation lies inside the
+  // L-inf trust region around the then-current safe config.
+  SafetyController replayed(options.safety);
+  replayed.SetBaseline(result->default_observation.theta,
+                       result->default_observation.res);
+  std::map<uint64_t, Vector> thetas;
+  int constrained_launches = 0;
+  for (const EventRecord& record : session.records()) {
+    if (record.kind == EventKind::kLaunch) {
+      ASSERT_EQ(record.mode, replayed.mode()) << "seq " << record.seq;
+      ASSERT_EQ(record.sla_violated, replayed.sla_violated())
+          << "seq " << record.seq;
+      if (record.mode != SessionMode::kHealthy) {
+        ++constrained_launches;
+        const Vector& center = replayed.safe_theta();
+        for (size_t d = 0; d < record.theta.size(); ++d) {
+          EXPECT_LE(std::fabs(record.theta[d] - center[d]),
+                    replayed.trust_radius() + 1e-12)
+              << "seq " << record.seq << " escaped the trust region";
+        }
+      }
+      thetas.emplace(record.seq, record.theta);
+      continue;
+    }
+    const bool feasible =
+        !record.failed && result->sla.IsFeasible(record.observation);
+    const bool sla_ok =
+        !record.failed &&
+        result->sla.IsFeasible(record.observation,
+                               options.safety.monitor_tolerance);
+    const SessionMode after = replayed.OnCompletion(
+        thetas.at(record.seq), record.failed, feasible, sla_ok,
+        record.observation.res);
+    ASSERT_EQ(after, record.mode_after) << "seq " << record.seq;
+  }
+  EXPECT_GT(constrained_launches, 0)
+      << "the burst never constrained the session";
+  // The burst is long over by iteration 40: the ladder must have recovered.
+  EXPECT_EQ(session.records().back().mode_after, SessionMode::kHealthy);
+  EXPECT_FALSE(session.safety().sla_violated());
+}
+
+// -------------------------------------------------------- checkpoint/resume
+
+TEST(EventCheckpointTest, RoundTripsRecordsAndInFlight) {
+  EventSessionCheckpoint checkpoint;
+  checkpoint.launched = 3;
+  checkpoint.completed = 1;
+  checkpoint.clock_seconds = 1234.5;
+  checkpoint.default_observation.theta = {0.5, 0.5};
+  checkpoint.default_observation.res = 10.0;
+  checkpoint.default_observation.tps = 900.0;
+  checkpoint.default_observation.lat = 30.0;
+  checkpoint.sla = SlaConstraints{855.0, 33.0};
+
+  EventRecord launch;
+  launch.kind = EventKind::kLaunch;
+  launch.seq = 0;
+  launch.theta = {0.25, 0.75};
+  launch.mode = SessionMode::kConstrained;
+  launch.sla_violated = true;
+  checkpoint.records.push_back(launch);
+  EventRecord frozen_launch = launch;
+  frozen_launch.seq = 1;
+  frozen_launch.frozen = true;
+  frozen_launch.mode = SessionMode::kFrozen;
+  checkpoint.records.push_back(frozen_launch);
+  EventRecord complete;
+  complete.kind = EventKind::kComplete;
+  complete.seq = 0;
+  complete.failed = true;
+  complete.fault = FaultKind::kStall;
+  complete.attempts = 1;
+  complete.elapsed_seconds = 2160.0;
+  complete.watchdog_killed = true;
+  complete.mode_after = SessionMode::kFrozen;
+  complete.sla_violated_after = true;
+  checkpoint.records.push_back(complete);
+
+  InFlightRecord pending;
+  pending.seq = 1;
+  pending.delivery_seconds = 999.5;
+  pending.failed = false;
+  pending.observation.theta = {0.25, 0.75};
+  pending.observation.res = 9.0;
+  pending.observation.tps = 950.0;
+  pending.observation.lat = 28.0;
+  pending.attempts = 2;
+  pending.backoff_seconds = 5.0;
+  pending.elapsed_seconds = 378.0;
+  checkpoint.in_flight.push_back(pending);
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveEventSessionCheckpoint(checkpoint, &stream).ok());
+  const auto loaded = LoadEventSessionCheckpoint(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->launched, 3u);
+  EXPECT_EQ(loaded->completed, 1);
+  EXPECT_EQ(loaded->clock_seconds, 1234.5);
+  ASSERT_EQ(loaded->records.size(), 3u);
+  EXPECT_EQ(loaded->records[0].kind, EventKind::kLaunch);
+  EXPECT_EQ(loaded->records[0].theta, launch.theta);
+  EXPECT_EQ(loaded->records[0].mode, SessionMode::kConstrained);
+  EXPECT_TRUE(loaded->records[0].sla_violated);
+  EXPECT_TRUE(loaded->records[1].frozen);
+  EXPECT_EQ(loaded->records[2].kind, EventKind::kComplete);
+  EXPECT_EQ(loaded->records[2].fault, FaultKind::kStall);
+  EXPECT_TRUE(loaded->records[2].watchdog_killed);
+  EXPECT_EQ(loaded->records[2].mode_after, SessionMode::kFrozen);
+  ASSERT_EQ(loaded->in_flight.size(), 1u);
+  EXPECT_EQ(loaded->in_flight[0].seq, 1u);
+  EXPECT_EQ(loaded->in_flight[0].delivery_seconds, 999.5);
+  EXPECT_EQ(loaded->in_flight[0].observation.res, 9.0);
+  EXPECT_EQ(loaded->in_flight[0].attempts, 2);
+}
+
+TEST(EventCheckpointTest, RejectsCorruptStreams) {
+  std::stringstream wrong_magic("not-an-event-checkpoint 1\n");
+  EXPECT_FALSE(LoadEventSessionCheckpoint(&wrong_magic).ok());
+  std::stringstream wrong_version("restune-event-checkpoint 9\n");
+  EXPECT_FALSE(LoadEventSessionCheckpoint(&wrong_version).ok());
+  std::stringstream truncated("restune-event-checkpoint 1\nlaunched 3\n");
+  EXPECT_FALSE(LoadEventSessionCheckpoint(&truncated).ok());
+}
+
+/// Strips the process-global metrics snapshot from checkpoint text: the
+/// totals depend on everything else the test binary ran before, so two
+/// otherwise byte-identical runs legitimately differ there.
+std::string WithoutMetricsSection(const std::string& text) {
+  const size_t at = text.find("\nmetrics ");
+  return at == std::string::npos ? text : text.substr(0, at);
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST_F(EventSessionTest, KillAndResumeMidFlightReplaysByteIdentical) {
+  const std::string control_path =
+      testing::TempDir() + "/event_control.ckpt";
+  const std::string halted_path = testing::TempDir() + "/event_halted.ckpt";
+  const FaultInjectionOptions faults = TwentyPercentFaults(21);
+
+  EventSessionOptions base;
+  base.max_iterations = 24;
+  base.max_in_flight = 4;
+  base.fault.checkpoint_period = 6;
+
+  // Control: one uninterrupted run.
+  EventSessionOptions control_options = base;
+  control_options.fault.checkpoint_path = control_path;
+  DbInstanceSimulator control_sim = CaseStudySimulator(67, faults);
+  CboAdvisor control_advisor("cbo", 3, FastAdvisorOptions());
+  EventTuningSession control_session(&control_sim, &control_advisor,
+                                     control_options);
+  const auto control = control_session.Run();
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+  ASSERT_EQ(control->history.size(), 24u);
+
+  // Interrupted: same run killed right after the 12th completion, with
+  // speculative evaluations still in flight.
+  EventSessionOptions halted_options = base;
+  halted_options.fault.checkpoint_path = halted_path;
+  halted_options.halt_after_completions = 12;
+  {
+    DbInstanceSimulator sim = CaseStudySimulator(67, faults);
+    CboAdvisor advisor("cbo", 3, FastAdvisorOptions());
+    EventTuningSession session(&sim, &advisor, halted_options);
+    const auto first_half = session.Run();
+    ASSERT_TRUE(first_half.ok()) << first_half.status().ToString();
+    EXPECT_TRUE(session.halted());
+  }
+  // The kill left launched-but-undelivered evaluations in the checkpoint.
+  {
+    const auto mid = LoadEventSessionCheckpointFile(halted_path);
+    ASSERT_TRUE(mid.ok()) << mid.status().ToString();
+    EXPECT_EQ(mid->completed, 12);
+    EXPECT_FALSE(mid->in_flight.empty())
+        << "halt produced no pending evaluations; the resume test needs "
+           "mid-flight state";
+  }
+
+  EventSessionOptions resume_options = base;
+  resume_options.fault.checkpoint_path = halted_path;
+  DbInstanceSimulator resumed_sim = CaseStudySimulator(67, faults);
+  CboAdvisor resumed_advisor("cbo", 3, FastAdvisorOptions());
+  EventTuningSession resumed_session(&resumed_sim, &resumed_advisor,
+                                     resume_options);
+  const auto resumed = resumed_session.Resume();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  ASSERT_EQ(resumed->history.size(), 24u);
+
+  // Bitwise-identical history and event log.
+  for (size_t i = 0; i < 24; ++i) {
+    const IterationRecord& a = control->history[i];
+    const IterationRecord& b = resumed->history[i];
+    EXPECT_EQ(a.observation.theta, b.observation.theta) << "iteration " << i;
+    EXPECT_EQ(a.observation.res, b.observation.res);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.fault, b.fault);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.backoff_seconds, b.backoff_seconds);
+    EXPECT_EQ(a.best_feasible_res, b.best_feasible_res);
+  }
+  const auto& ra = control_session.records();
+  const auto& rb = resumed_session.records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].kind, rb[i].kind) << "record " << i;
+    EXPECT_EQ(ra[i].seq, rb[i].seq) << "record " << i;
+    EXPECT_EQ(ra[i].theta, rb[i].theta) << "record " << i;
+    EXPECT_EQ(ra[i].failed, rb[i].failed) << "record " << i;
+    EXPECT_EQ(ra[i].fault, rb[i].fault) << "record " << i;
+    EXPECT_EQ(ra[i].elapsed_seconds, rb[i].elapsed_seconds) << "record " << i;
+    EXPECT_EQ(ra[i].mode_after, rb[i].mode_after) << "record " << i;
+  }
+  EXPECT_EQ(control->best_feasible_res, resumed->best_feasible_res);
+
+  // Byte-identical final checkpoints (modulo the process-global metrics
+  // snapshot, whose absolute totals depend on test execution order).
+  const std::string control_bytes = ReadFileOrEmpty(control_path);
+  const std::string resumed_bytes = ReadFileOrEmpty(halted_path);
+  ASSERT_FALSE(control_bytes.empty());
+  ASSERT_FALSE(resumed_bytes.empty());
+  EXPECT_EQ(WithoutMetricsSection(control_bytes),
+            WithoutMetricsSection(resumed_bytes));
+
+  std::remove(control_path.c_str());
+  std::remove(halted_path.c_str());
+  std::remove((control_path + ".tmp").c_str());
+  std::remove((halted_path + ".tmp").c_str());
+}
+
+TEST_F(EventSessionTest, ResumeWithDivergentAdvisorSeedFailsLoudly) {
+  const std::string path = testing::TempDir() + "/event_diverge.ckpt";
+  EventSessionOptions options;
+  options.max_iterations = 8;
+  options.fault.checkpoint_path = path;
+  options.fault.checkpoint_period = 4;
+  {
+    DbInstanceSimulator sim = CaseStudySimulator(71);
+    CboAdvisor advisor("cbo", 3, FastAdvisorOptions(61));
+    ASSERT_TRUE(EventTuningSession(&sim, &advisor, options).Run().ok());
+  }
+  DbInstanceSimulator sim = CaseStudySimulator(71);
+  CboAdvisor other("cbo", 3, FastAdvisorOptions(62));  // different seed
+  const auto resumed = EventTuningSession(&sim, &other, options).Resume();
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST_F(EventSessionTest, ResumeWithoutPathOrFileFails) {
+  DbInstanceSimulator sim = CaseStudySimulator(73);
+  CboAdvisor advisor("cbo", 3, FastAdvisorOptions());
+  EventSessionOptions options;
+  EXPECT_EQ(
+      EventTuningSession(&sim, &advisor, options).Resume().status().code(),
+      StatusCode::kFailedPrecondition);
+  options.fault.checkpoint_path = testing::TempDir() + "/no_such_event.ckpt";
+  EXPECT_EQ(
+      EventTuningSession(&sim, &advisor, options).Resume().status().code(),
+      StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace restune

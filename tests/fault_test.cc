@@ -263,6 +263,71 @@ TEST(SupervisorTest, BootstrapModeRetriesNonRetryableFaults) {
   EXPECT_TRUE(supervised->retries_exhausted);
 }
 
+TEST(SupervisorTest, DeadlineExactlyAtAttemptCostIsNotExceeded) {
+  // The per-attempt deadline is exclusive: an attempt that burns *exactly*
+  // the deadline is a straggler survivor, not a timeout. 0.5 keeps the
+  // boundary value floating-point exact (0.5 * 180 = 90.0 bitwise).
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.transient_prob = 1.0;
+  faults.transient_cost_fraction = 0.5;
+  DbInstanceSimulator sim = CaseStudySimulator(29, faults);
+  const double attempt_cost = 0.5 * sim.options().replay_seconds;
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.deadline_seconds = attempt_cost;  // == elapsed, not >
+  {
+    EvaluationSupervisor supervisor(&sim, policy);
+    const auto supervised =
+        supervisor.Evaluate(sim.knob_space().DefaultTheta());
+    ASSERT_TRUE(supervised.ok());
+    ASSERT_FALSE(supervised->outcome.ok());
+    EXPECT_EQ(supervised->outcome.fault().kind, FaultKind::kTransient)
+        << "elapsed == deadline must keep the original classification";
+    EXPECT_EQ(supervised->attempts, 3);  // still retryable
+    EXPECT_TRUE(supervised->retries_exhausted);
+  }
+  // One tick below the attempt cost flips the verdict: reclassified as a
+  // (non-retryable) timeout on the very first attempt.
+  policy.deadline_seconds = attempt_cost - 1e-9;
+  {
+    EvaluationSupervisor supervisor(&sim, policy);
+    const auto supervised =
+        supervisor.Evaluate(sim.knob_space().DefaultTheta());
+    ASSERT_TRUE(supervised.ok());
+    ASSERT_FALSE(supervised->outcome.ok());
+    EXPECT_EQ(supervised->outcome.fault().kind, FaultKind::kTimeout);
+    EXPECT_EQ(supervised->attempts, 1);
+  }
+}
+
+TEST(SupervisorTest, ZeroRetryBudgetClampsToSingleAttempt) {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.transient_prob = 1.0;
+  DbInstanceSimulator sim = CaseStudySimulator(33, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 0;  // degenerate budget: must still attempt once
+  EvaluationSupervisor supervisor(&sim, policy);
+  const auto supervised =
+      supervisor.Evaluate(sim.knob_space().DefaultTheta());
+  ASSERT_TRUE(supervised.ok());
+  ASSERT_FALSE(supervised->outcome.ok());
+  EXPECT_EQ(supervised->attempts, 1);
+  EXPECT_EQ(supervised->backoff_seconds, 0.0);
+  EXPECT_TRUE(supervised->retries_exhausted);
+
+  // A clean simulator with the same degenerate budget still succeeds.
+  DbInstanceSimulator clean = CaseStudySimulator(33);
+  EvaluationSupervisor clean_supervisor(&clean, policy);
+  const auto clean_eval =
+      clean_supervisor.Evaluate(clean.knob_space().DefaultTheta());
+  ASSERT_TRUE(clean_eval.ok());
+  EXPECT_TRUE(clean_eval->outcome.ok());
+  EXPECT_EQ(clean_eval->attempts, 1);
+}
+
 // --------------------------------------------------------------- quarantine
 
 TEST(QuarantineTest, ContainsUsesLInfRadius) {
@@ -326,6 +391,41 @@ TEST(QuarantineTest, AdvisorNeverResuggestsNearCrashedConfig) {
     EXPECT_GT(linf, options.quarantine.radius)
         << "iteration " << i << " re-suggested a quarantined config";
     ASSERT_TRUE(advisor.Observe(sim.Evaluate(theta).value()).ok());
+  }
+}
+
+TEST(QuarantineTest, WholeBoxQuarantineDoesNotDeadlockAcquisition) {
+  // A quarantine radius of 1.0 around any interior point covers the whole
+  // normalized knob box (L-inf distance to any corner is <= 1). Every
+  // candidate the sweep draws is rejected — the advisor must still
+  // terminate and hand back a finite suggestion rather than spin forever
+  // rerolling.
+  DbInstanceSimulator sim = CaseStudySimulator(47);
+  CboAdvisorOptions options;
+  options.initial_lhs_samples = 2;
+  options.quarantine.radius = 1.0;
+  CboAdvisor advisor("cbo", 3, options);
+  const Observation def = sim.EvaluateDefault().value();
+  ASSERT_TRUE(
+      advisor.Begin(def, DbInstanceSimulator::ConstraintsFromDefault(def))
+          .ok());
+
+  EvaluationFault crash;
+  crash.kind = FaultKind::kCrash;
+  ASSERT_TRUE(
+      advisor.ObserveFailure(advisor.SuggestNext().value(), crash).ok());
+  ASSERT_EQ(advisor.quarantine().size(), 1u);
+
+  for (int i = 0; i < 4; ++i) {
+    const auto suggestion = advisor.SuggestNext();
+    ASSERT_TRUE(suggestion.ok()) << suggestion.status().ToString();
+    ASSERT_EQ(suggestion->size(), 3u);
+    for (double v : *suggestion) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    ASSERT_TRUE(advisor.Observe(sim.Evaluate(*suggestion).value()).ok());
   }
 }
 

@@ -1,0 +1,248 @@
+/// Chaos soak for the always-on event-driven tuning loop — the acceptance
+/// experiment of the safety subsystem, kept out of the fast tier-1 suite
+/// (label "soak", picked up by the release-soak and tsan-soak presets):
+///
+///  * a 500-completion event-driven session survives 20% injected faults
+///    (crash/timeout/transient/corruption/stall) plus an SLA-violation
+///    burst, and its feasible best lands within 15% of the fault-free
+///    event-driven run's best;
+///  * the trust-region invariant holds, asserted from the trace log: no
+///    launch escapes the L-inf box around the safe config while the SLA
+///    monitor reports a violation;
+///  * the ladder recovers to healthy after the burst;
+///  * the acquisition thread pool does not change the event log (1 vs 8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+#include "tuner/event_session.h"
+#include "tuner/restune_advisor.h"
+
+namespace restune {
+namespace {
+
+DbInstanceSimulator ChaosSimulator(FaultInjectionOptions faults = {}) {
+  SimulatorOptions options;
+  options.seed = 3033;
+  options.faults = faults;
+  return DbInstanceSimulator(CaseStudyKnobSpace(),
+                             HardwareInstance('A').value(),
+                             MakeWorkload(WorkloadKind::kTwitter).value(),
+                             options);
+}
+
+/// 20% of attempts fault (including stalls only the watchdog can clear),
+/// and evaluation indices [150, 190) return successful-but-degraded
+/// metrics — the SLA-violation burst.
+FaultInjectionOptions ChaosFaults() {
+  FaultInjectionOptions faults;
+  faults.enabled = true;
+  faults.seed = 99;
+  faults.crash_prob = 0.03;
+  faults.timeout_prob = 0.03;
+  faults.transient_prob = 0.08;
+  faults.corrupt_prob = 0.04;
+  faults.stall_prob = 0.02;
+  faults.sla_burst_start = 150;
+  faults.sla_burst_length = 40;
+  return faults;
+}
+
+ResTuneAdvisor ChaosAdvisor(ThreadPool* pool = nullptr) {
+  ResTuneAdvisorOptions options;
+  options.workload_characterization_init = false;
+  options.acq_optimizer.pool = pool;
+  return ResTuneAdvisor(3, CaseStudyKnobSpace().DefaultTheta(), {}, {},
+                        options);
+}
+
+EventSessionOptions ChaosOptions(int iterations) {
+  EventSessionOptions options;
+  options.max_iterations = iterations;
+  options.max_in_flight = 4;
+  options.sla_tolerance = 0.05;
+  return options;
+}
+
+/// Where the chaos soak writes its trace JSONL. Nightly CI sets
+/// RESTUNE_CHAOS_TRACE_OUT (distinct from the plain soak's
+/// RESTUNE_TRACE_OUT so the two runs do not clobber each other's file);
+/// locally it lands in the test temp dir and is cleaned up.
+std::string ChaosTracePath() {
+  const char* env = std::getenv("RESTUNE_CHAOS_TRACE_OUT");
+  if (env != nullptr && env[0] != '\0') return env;
+  return testing::TempDir() + "/soak_trace_chaos.jsonl";
+}
+
+bool HasToken(const std::string& line, const std::string& token) {
+  return line.find(token) != std::string::npos;
+}
+
+/// Parses `"key":<double>` out of a trace line; nan when absent.
+double ParseDouble(const std::string& line, const std::string& key) {
+  const std::string tag = "\"" + key + "\":";
+  const size_t at = line.find(tag);
+  if (at == std::string::npos) return std::nan("");
+  return std::strtod(line.c_str() + at + tag.size(), nullptr);
+}
+
+/// Parses `"key":[a,b,...]` out of a trace line; empty when absent.
+Vector ParseVector(const std::string& line, const std::string& key) {
+  const std::string tag = "\"" + key + "\":[";
+  const size_t at = line.find(tag);
+  if (at == std::string::npos) return {};
+  Vector values;
+  const char* cursor = line.c_str() + at + tag.size();
+  while (*cursor != '\0' && *cursor != ']') {
+    char* end = nullptr;
+    values.push_back(std::strtod(cursor, &end));
+    cursor = (*end == ',') ? end + 1 : end;
+  }
+  return values;
+}
+
+class ChaosSoakTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { Logger::SetThreshold(LogLevel::kError); }
+};
+
+TEST_F(ChaosSoakTest, FiveHundredIterationsSurviveFaultsAndSlaBurst) {
+  // Fault-free control through the same event-driven machinery.
+  DbInstanceSimulator clean_sim = ChaosSimulator();
+  ResTuneAdvisor clean_advisor = ChaosAdvisor();
+  EventTuningSession clean_session(&clean_sim, &clean_advisor,
+                                   ChaosOptions(500));
+  const auto clean = clean_session.Run();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_EQ(clean->history.size(), 500u);
+  ASSERT_EQ(clean->failed_iterations, 0);
+
+  const std::string trace_path = ChaosTracePath();
+  ASSERT_TRUE(obs::Tracer::Global()->Start(trace_path));
+  DbInstanceSimulator chaos_sim = ChaosSimulator(ChaosFaults());
+  ResTuneAdvisor chaos_advisor = ChaosAdvisor();
+  EventTuningSession chaos_session(&chaos_sim, &chaos_advisor,
+                                   ChaosOptions(500));
+  const auto chaos = chaos_session.Run();
+  obs::Tracer::Global()->Stop();
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+
+  // The session survives: all 500 completions arrived, faults fired, and
+  // the watchdog actually had to clear stalled slots.
+  ASSERT_EQ(chaos->history.size(), 500u);
+  EXPECT_GT(chaos->failed_iterations, 0);
+  EXPECT_LT(chaos->failed_iterations, 200);
+  EXPECT_GT(chaos->total_retries, 0);
+  int watchdog_kills = 0;
+  for (const EventRecord& record : chaos_session.records()) {
+    if (record.kind == EventKind::kComplete && record.watchdog_killed) {
+      ++watchdog_kills;
+    }
+  }
+  EXPECT_GT(watchdog_kills, 0) << "no stall ever needed the watchdog";
+
+  // Tuning quality: within 15% of the fault-free best and still an
+  // improvement over the DBA default.
+  EXPECT_LE(chaos->best_feasible_res, clean->best_feasible_res * 1.15)
+      << "fault-free best " << clean->best_feasible_res << ", chaos best "
+      << chaos->best_feasible_res;
+  EXPECT_LT(chaos->best_feasible_res, chaos->default_observation.res);
+
+  // Safety invariants, asserted from the trace log alone (the artifact a
+  // post-mortem would have): every launch issued while the SLA monitor
+  // reported a violation carries a trust region and stays inside it; the
+  // burst actually tripped the monitor; and the ladder came back to
+  // healthy afterwards.
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "missing trace file " << trace_path;
+  std::string line;
+  int violated_launches = 0;
+  int completes_after_last_violation = 0;
+  bool saw_violation = false;
+  bool healthy_after_violation = false;
+  std::string last_mode_after;
+  while (std::getline(in, line)) {
+    if (!HasToken(line, "\"type\":\"event\"")) continue;
+    if (HasToken(line, "\"event\":\"launch\"")) {
+      if (!HasToken(line, "\"sla_violated\":1")) continue;
+      ++violated_launches;
+      ASSERT_TRUE(HasToken(line, "\"trust_center\":"))
+          << "violated launch without a trust region: " << line;
+      const Vector theta = ParseVector(line, "theta");
+      const Vector center = ParseVector(line, "trust_center");
+      const double radius = ParseDouble(line, "trust_radius");
+      ASSERT_EQ(theta.size(), center.size()) << line;
+      ASSERT_TRUE(std::isfinite(radius)) << line;
+      for (size_t d = 0; d < theta.size(); ++d) {
+        ASSERT_LE(std::fabs(theta[d] - center[d]), radius + 1e-12)
+            << "suggestion escaped the trust region under SLA violation: "
+            << line;
+      }
+    } else if (HasToken(line, "\"event\":\"complete\"")) {
+      if (HasToken(line, "\"sla_violated_after\":1")) {
+        saw_violation = true;
+        completes_after_last_violation = 0;
+        healthy_after_violation = false;
+      } else {
+        ++completes_after_last_violation;
+        if (HasToken(line, "\"mode_after\":\"healthy\"")) {
+          healthy_after_violation = true;
+        }
+      }
+      const size_t at = line.find("\"mode_after\":\"");
+      if (at != std::string::npos) {
+        const size_t from = at + 14;
+        last_mode_after = line.substr(from, line.find('"', from) - from);
+      }
+    }
+  }
+  EXPECT_GT(violated_launches, 0)
+      << "the SLA burst never constrained a launch";
+  EXPECT_TRUE(saw_violation) << "the burst never tripped the monitor";
+  EXPECT_TRUE(healthy_after_violation)
+      << "the ladder never recovered to healthy after the last violation ("
+      << completes_after_last_violation << " completions of slack)";
+  EXPECT_NE(last_mode_after, "frozen") << "the session ended frozen";
+
+  if (std::getenv("RESTUNE_CHAOS_TRACE_OUT") == nullptr) {
+    std::remove(trace_path.c_str());
+  }
+}
+
+TEST_F(ChaosSoakTest, EventLogIsThreadCountInvariantUnderChaos) {
+  auto run_with_pool = [](ThreadPool* pool) {
+    DbInstanceSimulator sim = ChaosSimulator(ChaosFaults());
+    ResTuneAdvisor advisor = ChaosAdvisor(pool);
+    EventTuningSession session(&sim, &advisor, ChaosOptions(120));
+    const auto result = session.Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return session.records();
+  };
+  ThreadPool serial(1);
+  ThreadPool wide(8);
+  const auto a = run_with_pool(&serial);
+  const auto b = run_with_pool(&wide);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].kind, b[i].kind) << "record " << i;
+    ASSERT_EQ(a[i].seq, b[i].seq) << "record " << i;
+    ASSERT_EQ(a[i].theta, b[i].theta) << "record " << i;
+    ASSERT_EQ(a[i].failed, b[i].failed) << "record " << i;
+    ASSERT_EQ(a[i].fault, b[i].fault) << "record " << i;
+    ASSERT_EQ(a[i].mode, b[i].mode) << "record " << i;
+    ASSERT_EQ(a[i].mode_after, b[i].mode_after) << "record " << i;
+    ASSERT_EQ(a[i].observation.res, b[i].observation.res) << "record " << i;
+    ASSERT_EQ(a[i].elapsed_seconds, b[i].elapsed_seconds) << "record " << i;
+  }
+}
+
+}  // namespace
+}  // namespace restune

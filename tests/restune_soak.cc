@@ -142,6 +142,10 @@ std::map<std::string, int> ValidateSoakTrace(const std::string& path) {
     } else if (has("\"type\":\"counter\"") || has("\"type\":\"gauge\"")) {
       EXPECT_TRUE(has("\"name\":\"")) << line;
       EXPECT_TRUE(has("\"value\":")) << line;
+    } else if (has("\"type\":\"event\"")) {
+      // Event-driven session lifecycle lines (launch / complete /
+      // mode_transition / checkpoint); free-form beyond the event tag.
+      EXPECT_TRUE(has("\"event\":\"")) << line;
     } else if (has("\"type\":\"trace_end\"")) {
       saw_end = true;
     } else {

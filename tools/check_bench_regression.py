@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""CI perf gate: compare BENCH_6.json against bench/baseline.json.
+"""CI perf gate: compare the current BENCH_<PR>.json against
+bench/baseline.json.
 
-Both files are JSON lines in the BENCH_6 schema (see tools/run_ci_bench.py):
+Both files are JSON lines in the bench-record schema (see
+tools/run_ci_bench.py):
 
     {"bench": ..., "n": ..., "threads": ..., "cpu_ms_median": ...,
      "iterations": ...}
@@ -22,8 +24,12 @@ slowly drifting baseline must never relax.
 
 Usage:
     check_bench_regression.py --baseline bench/baseline.json \
-                              --current BENCH_6.json [--threshold 0.15]
+                              --current BENCH_<PR>.json [--threshold 0.15]
     check_bench_regression.py --self-test
+
+A missing or malformed input file is a usage/setup problem, not a perf
+regression: the gate prints one actionable message and exits 2 (no
+traceback), distinct from exit 1 (a real regression).
 
 Stdlib only.
 """
@@ -33,25 +39,60 @@ import json
 import sys
 
 
+class BenchInputError(Exception):
+    """A missing or malformed bench file — setup problem, not a regression."""
+
+
 def load_records(path):
-    """Reads BENCH_6 JSON lines (or a JSON array) into a keyed dict."""
-    with open(path) as f:
-        text = f.read()
-    stripped = text.lstrip()
-    if stripped.startswith("["):
-        records = json.loads(stripped)
-    else:
-        records = [json.loads(line) for line in text.splitlines()
-                   if line.strip()]
+    """Reads bench-record JSON lines (or a JSON array) into a keyed dict.
+
+    Raises BenchInputError with an actionable message when the file is
+    missing, not valid JSON, or its rows do not match the schema.
+    """
+    try:
+        with open(path) as f:
+            text = f.read()
+    except FileNotFoundError:
+        raise BenchInputError(
+            "%s: file not found.\n"
+            "  - If this is the current run's artifact, the benchmark step "
+            "did not produce it; check the run_ci_bench.py invocation "
+            "(--out must match).\n"
+            "  - If this is bench/baseline.json, refresh it as described "
+            "in docs/OBSERVABILITY.md." % path)
+    try:
+        stripped = text.lstrip()
+        if stripped.startswith("["):
+            records = json.loads(stripped)
+        else:
+            records = [json.loads(line) for line in text.splitlines()
+                       if line.strip()]
+    except json.JSONDecodeError as err:
+        raise BenchInputError(
+            "%s: not valid JSON lines (%s).\n"
+            "  Regenerate it with tools/run_ci_bench.py; do not hand-edit "
+            "bench artifacts." % (path, err))
+    if not isinstance(records, list) or not all(
+            isinstance(r, dict) for r in records):
+        raise BenchInputError(
+            "%s: expected a JSON array or JSON lines of record objects "
+            "in the tools/run_ci_bench.py schema." % path)
     keyed = {}
     for record in records:
         for field in ("bench", "n", "threads", "cpu_ms_median"):
             if field not in record:
-                raise ValueError("%s: record missing %r: %r" %
-                                 (path, field, record))
+                raise BenchInputError(
+                    "%s: record missing the %r field: %r\n"
+                    "  Rows must match the tools/run_ci_bench.py schema "
+                    "(bench, n, threads, cpu_ms_median, iterations)." %
+                    (path, field, record))
         key = (record["bench"], record["n"], record["threads"])
         if key in keyed:
-            raise ValueError("%s: duplicate benchmark key %r" % (path, key))
+            raise BenchInputError(
+                "%s: duplicate benchmark key %r.\n"
+                "  Each (bench, n, threads) row must appear once; "
+                "regenerate the file with tools/run_ci_bench.py." %
+                (path, key))
         keyed[key] = record
     return keyed
 
@@ -173,6 +214,51 @@ def self_test():
                           threshold=0.15)
     assert len(failures) == 2, failures
 
+    # Input problems surface as BenchInputError with an actionable message
+    # (main() turns these into exit code 2, not a traceback).
+    import os
+    import tempfile
+
+    def expect_input_error(path, *tokens):
+        try:
+            load_records(path)
+        except BenchInputError as err:
+            for token in tokens:
+                assert token in str(err), (token, str(err))
+        else:
+            raise AssertionError("expected BenchInputError for %s" % path)
+
+    expect_input_error("/nonexistent/BENCH_0.json", "file not found",
+                       "run_ci_bench.py")
+
+    def temp_file(contents):
+        fd, path = tempfile.mkstemp(suffix=".json", prefix="bench_gate_")
+        with os.fdopen(fd, "w") as f:
+            f.write(contents)
+        return path
+
+    paths = []
+    try:
+        paths.append(temp_file("{not json\n"))
+        expect_input_error(paths[-1], "not valid JSON")
+        paths.append(temp_file('{"bench": "BM_A", "n": 50}\n'))
+        expect_input_error(paths[-1], "missing the", "cpu_ms_median")
+        row = ('{"bench": "BM_A", "n": 50, "threads": 1, '
+               '"cpu_ms_median": 1.0}\n')
+        paths.append(temp_file(row + row))
+        expect_input_error(paths[-1], "duplicate benchmark key")
+        paths.append(temp_file('"just a string"\n'))
+        expect_input_error(paths[-1], "record objects")
+        # main() maps input errors to exit code 2, distinct from a real
+        # regression's exit code 1.
+        good = temp_file(row)
+        paths.append(good)
+        assert main(["--baseline", "/nonexistent/baseline.json",
+                     "--current", good]) == 2
+    finally:
+        for path in paths:
+            os.unlink(path)
+
     print("check_bench_regression self-test OK")
     return 0
 
@@ -192,8 +278,12 @@ def main(argv):
         parser.error("--baseline and --current are required "
                      "(or use --self-test)")
 
-    baseline = load_records(args.baseline)
-    current = load_records(args.current)
+    try:
+        baseline = load_records(args.baseline)
+        current = load_records(args.current)
+    except BenchInputError as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 2
     lines, failures = compare(baseline, current, args.threshold)
     print("\n".join(lines))
     if failures:

@@ -30,6 +30,14 @@ Rules (see docs/CORRECTNESS.md for rationale):
                    dispatching primitives in linalg/simd/simd.h, so the
                    scalar tier stays the single source of portable truth
                    and -DRESTUNE_SIMD=OFF builds cannot break.
+  unbounded-wait   No wall-clock sleeps (sleep/usleep/nanosleep/
+                   sleep_for/sleep_until) and no naked `.wait()` /
+                   `->wait()` calls in tests/. A sleep is timing-based
+                   synchronization — flaky on loaded CI and slow
+                   everywhere; a wait with no timeout deadlocks the whole
+                   suite when the notification never comes. Use simulated
+                   time, the ThreadPool's deterministic joins, or a
+                   wait_for/wait_until with an explicit bound.
   obs-discipline   Two-way isolation of the observability layer: no
                    wall-clock reads (std::chrono::system_clock,
                    high_resolution_clock, gettimeofday, clock_gettime,
@@ -68,6 +76,7 @@ FLOAT_SCOPES = ("src/linalg/", "src/gp/")
 
 OBS_SCOPE = "src/obs/"
 SIMD_SCOPE = "src/linalg/simd/"
+TEST_SCOPE = "tests/"
 
 RNG_PATTERN = re.compile(
     r"\b(rand|srand|drand48|lrand48|time)\s*\("
@@ -80,6 +89,12 @@ WALL_CLOCK_PATTERN = re.compile(
     r"std::chrono::(system_clock|high_resolution_clock)\b"
     r"|\b(gettimeofday|clock_gettime|localtime(?:_r)?|gmtime(?:_r)?)\s*\("
 )
+SLEEP_PATTERN = re.compile(
+    r"\b(?:sleep|usleep|nanosleep)\s*\("
+    r"|\bsleep_(?:for|until)\s*(?:<[^>]*>)?\s*\(")
+# `.wait(` / `->wait(` with no timeout; wait_for/wait_until do not match
+# (the paren must follow `wait` directly).
+NAKED_WAIT_PATTERN = re.compile(r"(?:\.|->)\s*wait\s*\(")
 OBS_RNG_USE_PATTERN = re.compile(r"\bRng\b")
 OBS_RNG_INCLUDE_PATTERN = re.compile(r'#\s*include\s*"common/rng\.h"')
 SIMD_INCLUDE_PATTERN = re.compile(
@@ -323,6 +338,26 @@ def check_simd_confinement(rel, code_lines, raw_lines, findings):
                 "the dispatching primitives in linalg/simd/simd.h"))
 
 
+def check_unbounded_wait(rel, code_lines, raw_lines, findings):
+    if not rel.startswith(TEST_SCOPE):
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        m = SLEEP_PATTERN.search(line)
+        if m:
+            findings.append(Finding(
+                rel, lineno, "unbounded-wait",
+                f"'{m.group(0).strip()}' wall-clock sleep in a test; "
+                "timing-based synchronization is flaky on loaded CI — use "
+                "simulated time or an explicitly bounded wait"))
+        m = NAKED_WAIT_PATTERN.search(line)
+        if m:
+            findings.append(Finding(
+                rel, lineno, "unbounded-wait",
+                "naked 'wait()' with no timeout in a test; a missed "
+                "notification deadlocks the suite — use wait_for/"
+                "wait_until with an explicit bound"))
+
+
 def check_obs_discipline(rel, code_lines, raw_lines, findings):
     if rel.startswith(OBS_SCOPE):
         # Inside the observability layer: no randomness, so enabling a
@@ -449,6 +484,7 @@ def run_lint(paths, root, allowlist_path):
         check_threads(rel, code_lines, raw_lines, file_findings)
         check_float(rel, code_lines, raw_lines, file_findings)
         check_simd_confinement(rel, code_lines, raw_lines, file_findings)
+        check_unbounded_wait(rel, code_lines, raw_lines, file_findings)
         check_obs_discipline(rel, code_lines, raw_lines, file_findings)
         check_ignored_status(rel, code_text, status_functions, file_findings)
         if is_header(rel):

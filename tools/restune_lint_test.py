@@ -394,6 +394,67 @@ def test_allowlist_file_suppresses_by_rule_and_glob():
         t.cleanup()
 
 
+def test_unbounded_wait_flags_sleeps_and_naked_wait_in_tests():
+    t = FixtureTree()
+    try:
+        t.write("tests/slow_test.cc", """\
+            #include <chrono>
+            #include <thread>
+            void Settle() {
+              sleep(1);
+              usleep(500);
+              std::this_thread::sleep_for(std::chrono::seconds(1));
+            }
+            void Block(std::condition_variable& cv,
+                       std::unique_lock<std::mutex>& lk) {
+              cv.wait(lk);
+            }
+            """)
+        findings = t.lint("tests")
+        assert rules_of(findings) == ["unbounded-wait"]
+        assert [line for _r, line, _p in findings] == [4, 5, 6, 10]
+    finally:
+        t.cleanup()
+
+
+def test_unbounded_wait_allows_bounded_waits_and_non_test_code():
+    t = FixtureTree()
+    try:
+        t.write("tests/bounded_test.cc", """\
+            #include <chrono>
+            bool Bounded(std::condition_variable& cv,
+                         std::unique_lock<std::mutex>& lk) {
+              using namespace std::chrono_literals;
+              return cv.wait_for(lk, 5s) == std::cv_status::no_timeout &&
+                     cv.wait_until(lk, Deadline()) == std::cv_status::no_timeout;
+            }
+            """)
+        # The rule is scoped to tests/: a sleep in src/ is another rule's
+        # business (or legitimate), not this one's.
+        t.write("src/dbsim/pacing.cc", """\
+            #include <thread>
+            void Pace() { std::this_thread::sleep_for(Interval()); }
+            """)
+        assert t.lint("tests", "src") == []
+    finally:
+        t.cleanup()
+
+
+def test_unbounded_wait_honors_inline_suppression():
+    t = FixtureTree()
+    try:
+        t.write("tests/suppressed_test.cc", """\
+            #include <unistd.h>
+            // restune-lint: allow(unbounded-wait) -- exercising the fixture
+            void Nap() { sleep(1); }
+            void Doze() { usleep(10); }
+            """)
+        findings = t.lint("tests")
+        assert [(r, l) for r, l, _p in findings] == [("unbounded-wait", 4)]
+    finally:
+        t.cleanup()
+
+
 def main():
     tests = [(name, fn) for name, fn in sorted(globals().items())
              if name.startswith("test_") and callable(fn)]

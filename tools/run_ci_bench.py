@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Run the CI perf-gate benchmarks and emit BENCH_6.json.
+"""Run the CI perf-gate benchmarks and emit a BENCH_<PR>.json artifact.
 
 Runs each given google-benchmark binary with repetitions, collects the
 median-CPU-time aggregates from the JSON report, and writes one JSON line
@@ -21,8 +21,13 @@ The JSON report is taken via --benchmark_out (not stdout) because some
 benchmarks print their own diagnostic lines.
 
 Usage:
-    run_ci_bench.py --out BENCH_6.json [--repetitions N]
+    run_ci_bench.py --out BENCH_<PR>.json [--repetitions N]
                     BINARY[:BENCHMARK_FILTER] ...
+
+The output name is an argument, not baked in: CI passes BENCH_<PR>.json
+where <PR> is the current PR number in the stacked sequence (the
+numbering convention is documented in docs/OBSERVABILITY.md). Keeping
+the name out of this script means a new PR only touches the workflow.
 
 Stdlib only; the regression gate is tools/check_bench_regression.py.
 """
@@ -67,7 +72,7 @@ def parse_run_name(run_name):
 
 
 def collect_from_report(report):
-    """Yields BENCH_6 dicts from a google-benchmark JSON report."""
+    """Yields bench-record dicts from a google-benchmark JSON report."""
     for entry in report.get("benchmarks", []):
         if entry.get("run_type") != "aggregate":
             continue
@@ -113,7 +118,8 @@ def run_binary(binary, bench_filter, repetitions):
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", required=True,
-                        help="output path for BENCH_6.json (JSON lines)")
+                        help="output path for the bench artifact, e.g. "
+                             "BENCH_7.json (JSON lines)")
     parser.add_argument("--repetitions", type=int, default=5)
     parser.add_argument("binaries", nargs="+", metavar="BINARY[:FILTER]")
     args = parser.parse_args(argv)
