@@ -12,6 +12,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Minimal streaming logger. Messages below the global threshold are dropped;
 /// everything else goes to stderr with a severity tag. The bench harness sets
 /// the threshold to kWarning so result tables stay clean on stdout.
+///
+/// Thread safety: lock-free by construction rather than by annotation.
+/// Each RESTUNE_LOG statement builds its message in a stack-local
+/// ostringstream and emits it as a single fwrite to stderr in the
+/// destructor (stdio locks the stream per call, so one fprintf is one
+/// uninterleaved line), and
+/// the threshold is one relaxed atomic — so concurrent log statements
+/// interleave by line, never by character, with no mutex to annotate.
 class Logger {
  public:
   Logger(LogLevel level, const char* file, int line);

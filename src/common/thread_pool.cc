@@ -42,20 +42,25 @@ struct PoolMetrics {
 thread_local bool t_inside_pool_work = false;
 
 // One parallel loop in flight: tasks self-schedule chunks of [0, n) via a
-// shared atomic cursor, and the last finisher signals completion.
+// shared atomic cursor, and the last finisher signals completion. n/chunk/fn
+// are written before the helpers are published to the queue (the queue
+// mutex orders the hand-off) and are read-only afterwards.
 struct LoopState {
   size_t n = 0;
   size_t chunk = 1;
   const std::function<void(size_t, size_t)>* fn = nullptr;
   std::atomic<size_t> next{0};
-  std::mutex mu;
-  std::condition_variable done;
-  size_t pending_helpers = 0;  // guarded by mu
+  Mutex mu;
+  CondVar done;
+  size_t pending_helpers GUARDED_BY(mu) = 0;
 
   void RunChunks() {
     obs::Counter* chunks_total = PoolMetrics::Get()->chunks;
     while (true) {
-      const size_t begin = next.fetch_add(chunk);
+      // Relaxed: the cursor only partitions indices; the writes each chunk
+      // makes are published to the caller by the mu-protected completion
+      // handshake, not by this fetch_add.
+      const size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) return;
       chunks_total->Add();
       (*fn)(begin, std::min(n, begin + chunk));
@@ -75,10 +80,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -87,8 +92,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // shutdown with nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -113,26 +118,29 @@ void ThreadPool::RunLoop(size_t n, size_t chunk,
   state.fn = &fn;
 
   const size_t helpers = std::min(workers_.size(), n - 1);
-  state.pending_helpers = helpers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock state_lock(&state.mu);
+    state.pending_helpers = helpers;
+  }
+  {
+    MutexLock lock(&mu_);
     for (size_t i = 0; i < helpers; ++i) {
       queue_.emplace_back([&state] {
         state.RunChunks();
         // Decrement and notify while holding state.mu: the caller's wait
-        // predicate runs under the same mutex, so it can observe zero only
-        // after this helper's unlock — which therefore happens-before the
-        // caller destroys LoopState. A bare atomic decrement outside the
-        // lock would let the caller tear down the mutex/cv while this
-        // helper is still blocked acquiring them.
-        std::lock_guard<std::mutex> lock(state.mu);
-        if (--state.pending_helpers == 0) state.done.notify_one();
+        // loop re-checks the count under the same mutex, so it can observe
+        // zero only after this helper's unlock — which therefore
+        // happens-before the caller destroys LoopState. A bare atomic
+        // decrement outside the lock would let the caller tear down the
+        // mutex/cv while this helper is still blocked acquiring them.
+        MutexLock state_lock(&state.mu);
+        if (--state.pending_helpers == 0) state.done.NotifyOne();
       });
     }
     metrics->helper_tasks->Add(static_cast<int64_t>(helpers));
     metrics->queue_depth->Set(static_cast<double>(queue_.size()));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   const bool was_inside = t_inside_pool_work;
   t_inside_pool_work = true;  // nested loops on the caller also run inline
@@ -141,8 +149,8 @@ void ThreadPool::RunLoop(size_t n, size_t chunk,
 
   // Helpers may still be mid-chunk (or not yet scheduled); `state` and `fn`
   // must outlive them, so wait for every enqueued helper to finish.
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.done.wait(lock, [&state] { return state.pending_helpers == 0; });
+  MutexLock lock(&state.mu);
+  while (state.pending_helpers != 0) state.done.Wait(&state.mu);
 }
 
 void ThreadPool::ParallelForRanges(

@@ -1,13 +1,14 @@
 #ifndef RESTUNE_COMMON_THREAD_POOL_H_
 #define RESTUNE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace restune {
 
@@ -63,11 +64,13 @@ class ThreadPool {
   void RunLoop(size_t n, size_t chunk,
                const std::function<void(size_t, size_t)>& fn);
 
+  /// Immutable after construction; joined in the destructor with no lock
+  /// held (workers observe `shutdown_` under `mu_` and drain out).
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 /// `pool` if non-null, else the shared pool. The convention across the

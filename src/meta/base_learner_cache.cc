@@ -10,7 +10,7 @@ BaseLearnerCache* BaseLearnerCache::Global() {
 
 std::optional<BaseLearner> BaseLearnerCache::Lookup(
     const std::string& fingerprint) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
@@ -18,17 +18,17 @@ std::optional<BaseLearner> BaseLearnerCache::Lookup(
 
 void BaseLearnerCache::Insert(const std::string& fingerprint,
                               const BaseLearner& learner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.emplace(fingerprint, learner);
 }
 
 size_t BaseLearnerCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 
 void BaseLearnerCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.clear();
 }
 

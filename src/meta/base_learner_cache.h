@@ -2,10 +2,11 @@
 #define RESTUNE_META_BASE_LEARNER_CACHE_H_
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "meta/base_learner.h"
 
 namespace restune {
@@ -43,8 +44,8 @@ class BaseLearnerCache {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, BaseLearner> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, BaseLearner> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace restune

@@ -151,28 +151,28 @@ MetricsRegistry* MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 CounterSnapshot MetricsRegistry::Counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CounterSnapshot snapshot;
   snapshot.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -182,7 +182,7 @@ CounterSnapshot MetricsRegistry::Counters() const {
 }
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::Gauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::pair<std::string, double>> snapshot;
   snapshot.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
@@ -192,7 +192,7 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::Gauges() const {
 }
 
 void MetricsRegistry::RestoreCounters(const CounterSnapshot& snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) {
     static_cast<void>(name);
     counter->Set(0);
@@ -205,7 +205,7 @@ void MetricsRegistry::RestoreCounters(const CounterSnapshot& snapshot) {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) {
     static_cast<void>(name);
     counter->Set(0);
@@ -221,7 +221,7 @@ void MetricsRegistry::ResetForTest() {
 }
 
 std::string MetricsRegistry::PrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   std::string base, labels;
   for (const auto& [name, counter] : counters_) {

@@ -7,10 +7,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+// Leaf headers (tools/layering.json): header-only, include nothing, so
+// using them here does not give src/obs an internal module dependency.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 /// Metrics layer of the observability subsystem (docs/OBSERVABILITY.md).
 ///
@@ -169,10 +173,13 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards the name→instrument maps only; the instruments themselves are
+  /// lock-free and the returned handles outlive the lock by design.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace obs

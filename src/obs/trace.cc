@@ -64,7 +64,7 @@ Tracer* Tracer::Global() {
 }
 
 bool Tracer::Start(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ != nullptr) return false;  // already tracing
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
@@ -73,7 +73,10 @@ bool Tracer::Start(const std::string& path) {
   lines_since_flush_ = 0;
   std::fprintf(file_, "{\"type\":\"trace_start\",\"clock\":\"steady\",\"pid\":%d}\n",
                static_cast<int>(::getpid()));
-  enabled_.store(true, std::memory_order_relaxed);
+  // Release pairs with the acquire load in enabled(): any thread that sees
+  // tracing on also sees the epoch_ written above, so the lock-free
+  // NowMicros() fast path never reads an uninitialized epoch.
+  enabled_.store(true, std::memory_order_release);
   return true;
 }
 
@@ -82,7 +85,7 @@ void Tracer::Stop() {
   // no-ops; spans already begun still write under mu_ before the file
   // closes because we take the lock after flipping the flag.
   enabled_.store(false, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ == nullptr) return;
   const CounterSnapshot counters = MetricsRegistry::Global()->Counters();
   for (const auto& [name, value] : counters) {
@@ -119,7 +122,7 @@ void Tracer::RecordSpan(const char* name, int64_t t_us, int64_t dur_us,
       ",\"dur_us\":%" PRId64 ",\"tid\":%d,\"depth\":%d}\n",
       name, t_us, dur_us, state->tid, depth);
   if (n <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ == nullptr) return;
   std::fwrite(line, 1, static_cast<size_t>(n), file_);
   if (++lines_since_flush_ >= kFlushEveryLines) {
@@ -130,7 +133,7 @@ void Tracer::RecordSpan(const char* name, int64_t t_us, int64_t dur_us,
 
 void Tracer::RecordLine(const std::string& json_object) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ == nullptr) return;
   std::fwrite(json_object.data(), 1, json_object.size(), file_);
   std::fputc('\n', file_);

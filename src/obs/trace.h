@@ -5,8 +5,12 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
+
+// Leaf headers (tools/layering.json): header-only, include nothing, so
+// using them here does not give src/obs an internal module dependency.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 /// Structured trace layer of the observability subsystem.
 ///
@@ -53,7 +57,10 @@ class Tracer {
   /// recording. No-op when not started.
   void Stop();
 
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Acquire pairs with the release store in Start(): a thread that sees
+  /// `true` also sees the epoch_ written before tracing was enabled, so
+  /// lock-free NowMicros() reads a fully initialized epoch.
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
   /// Appends a span record. Called by TraceSpan's destructor; `t_us` is
   /// the span start offset relative to Start() in microseconds.
@@ -70,10 +77,14 @@ class Tracer {
   Tracer() = default;
 
   std::atomic<bool> enabled_{false};
+  /// Written by Start() before the release store to `enabled_` and read
+  /// lock-free by NowMicros() on the span hot path; the acquire load in
+  /// enabled() publishes it. Start/Stop themselves are main-thread-only
+  /// (see Start), so the field never changes while spans are live.
   std::chrono::steady_clock::time_point epoch_;
-  std::mutex mu_;            // guards file_ and write ordering
-  std::FILE* file_ = nullptr;
-  int64_t lines_since_flush_ = 0;
+  Mutex mu_;  // guards the file handle and write ordering
+  std::FILE* file_ GUARDED_BY(mu_) = nullptr;
+  int64_t lines_since_flush_ GUARDED_BY(mu_) = 0;
 };
 
 /// Per-thread span bookkeeping: a small dense thread id (assigned on

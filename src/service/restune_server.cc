@@ -97,6 +97,7 @@ ResTuneServer::ResTuneServer(ServerOptions options)
     : options_(options) {}
 
 Status ResTuneServer::AddHistoricalTask(TuningTask task) {
+  MutexLock lock(&mu_);
   return repository_.AddTask(std::move(task));
 }
 
@@ -118,6 +119,7 @@ std::vector<BaseLearner> ResTuneServer::TrainSessionLearners(
 
 Result<uint64_t> ResTuneServer::StartSession(
     const TargetTaskSubmission& submission) {
+  MutexLock lock(&mu_);
   if (submission.knob_dim == 0) {
     return Status::InvalidArgument("knob_dim must be positive");
   }
@@ -162,6 +164,7 @@ Result<uint64_t> ResTuneServer::StartSession(
 }
 
 Result<KnobRecommendation> ResTuneServer::Recommend(uint64_t session_id) {
+  MutexLock lock(&mu_);
   if (finished_.count(session_id) > 0) {
     return Status::FailedPrecondition(
         StringPrintf("session %llu already finished",
@@ -217,6 +220,7 @@ Result<KnobRecommendation> ResTuneServer::IssueRecommendation(
 
 Result<std::vector<KnobRecommendation>> ResTuneServer::RecommendBatch(
     uint64_t session_id, int width) {
+  MutexLock lock(&mu_);
   if (width < 1 || width > kMaxBatchWidth) {
     return Status::InvalidArgument(
         StringPrintf("batch width must be in [1, %d]", kMaxBatchWidth));
@@ -249,6 +253,7 @@ Result<std::vector<KnobRecommendation>> ResTuneServer::RecommendBatch(
 }
 
 Status ResTuneServer::ReportEvaluation(const EvaluationReport& report) {
+  MutexLock lock(&mu_);
   if (finished_.count(report.session_id) > 0) {
     return Status::FailedPrecondition("session already finished");
   }
@@ -304,6 +309,7 @@ Status ResTuneServer::ReportEvaluation(const EvaluationReport& report) {
 }
 
 Result<SessionSummary> ResTuneServer::FinishSession(uint64_t session_id) {
+  MutexLock lock(&mu_);
   const auto done = finished_.find(session_id);
   if (done != finished_.end()) {
     return done->second;  // idempotent finish
@@ -343,7 +349,11 @@ void ResTuneServer::MaybeAutoCheckpoint() {
   if (mutations_ % static_cast<uint64_t>(options_.checkpoint_period) != 0) {
     return;
   }
-  const Status st = SaveCheckpointFile(options_.checkpoint_path);
+  // The lock is already held here; re-entering the public
+  // SaveCheckpointFile would self-deadlock on the non-reentrant mutex —
+  // exactly the bug class the REQUIRES annotations turn into a compile
+  // error under clang -Wthread-safety.
+  const Status st = SaveCheckpointFileLocked(options_.checkpoint_path);
   if (!st.ok()) {
     RESTUNE_LOG(kWarning) << "server auto-checkpoint failed: "
                           << st.ToString();
@@ -351,6 +361,11 @@ void ResTuneServer::MaybeAutoCheckpoint() {
 }
 
 Status ResTuneServer::SaveCheckpoint(std::ostream* out) const {
+  MutexLock lock(&mu_);
+  return SaveCheckpointLocked(out);
+}
+
+Status ResTuneServer::SaveCheckpointLocked(std::ostream* out) const {
   out->precision(17);  // exact double round-trip
   *out << kMagic << ' ' << kVersion << '\n';
   *out << "next_id " << next_session_id_ << '\n';
@@ -471,6 +486,7 @@ Result<ResTuneServer::Session> ResTuneServer::RebuildSession(
 }
 
 Status ResTuneServer::LoadCheckpoint(std::istream* in) {
+  MutexLock lock(&mu_);
   std::string magic;
   int version = 0;
   if (!(*in >> magic >> version) || magic != kMagic) {
@@ -538,52 +554,7 @@ Status ResTuneServer::LoadCheckpoint(std::istream* in) {
   repository_ = std::move(repository);
 
   std::map<uint64_t, Session> sessions;
-  auto restore = [&]() -> Status {
-    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "sessions"));
-    size_t num_sessions = 0;
-    if (!(*in >> num_sessions) || num_sessions > (1u << 20)) {
-      return Status::IoError("bad session count in server checkpoint");
-    }
-    for (size_t i = 0; i < num_sessions; ++i) {
-      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "session"));
-      Session blueprint;
-      uint64_t id = 0;
-      int has_feasible = 0;
-      if (!(*in >> id >> blueprint.knob_dim >> blueprint.iteration >>
-            blueprint.repository_snapshot >> has_feasible)) {
-        return Status::IoError("bad session header in server checkpoint");
-      }
-      blueprint.has_feasible = has_feasible != 0;
-      RESTUNE_RETURN_IF_ERROR(ReadString(in, &blueprint.task_name));
-      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "meta"));
-      RESTUNE_RETURN_IF_ERROR(ReadVector(in, &blueprint.meta_feature));
-      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "sla"));
-      if (!(*in >> blueprint.sla.min_tps >> blueprint.sla.max_lat)) {
-        return Status::IoError("bad sla in server checkpoint");
-      }
-      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "default_theta"));
-      RESTUNE_RETURN_IF_ERROR(ReadVector(in, &blueprint.default_theta));
-      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "default_obs"));
-      RESTUNE_RETURN_IF_ERROR(
-          ReadObservation(in, &blueprint.default_observation));
-      RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "log"));
-      size_t num_events = 0;
-      if (!(*in >> num_events) || num_events > (1u << 24)) {
-        return Status::IoError("bad event count in server checkpoint");
-      }
-      blueprint.log.reserve(num_events);
-      for (size_t e = 0; e < num_events; ++e) {
-        EventRecord event;
-        RESTUNE_RETURN_IF_ERROR(ReadEventRecord(in, &event));
-        blueprint.log.push_back(std::move(event));
-      }
-      RESTUNE_ASSIGN_OR_RETURN(Session session,
-                               RebuildSession(std::move(blueprint)));
-      sessions.emplace(id, std::move(session));
-    }
-    return ExpectTag(in, "end");
-  };
-  const Status status = restore();
+  const Status status = RestoreSessions(in, &sessions);
   if (!status.ok()) {
     repository_ = std::move(previous_repository);  // leave the server as-was
     return status;
@@ -594,13 +565,68 @@ Status ResTuneServer::LoadCheckpoint(std::istream* in) {
   return Status::OK();
 }
 
+Status ResTuneServer::RestoreSessions(std::istream* in,
+                                      std::map<uint64_t, Session>* sessions) {
+  // A member rather than a lambda inside LoadCheckpoint: the thread-safety
+  // analysis treats a lambda body as a separate function, so the caller's
+  // lock would be invisible and every RebuildSession call would warn.
+  RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "sessions"));
+  size_t num_sessions = 0;
+  if (!(*in >> num_sessions) || num_sessions > (1u << 20)) {
+    return Status::IoError("bad session count in server checkpoint");
+  }
+  for (size_t i = 0; i < num_sessions; ++i) {
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "session"));
+    Session blueprint;
+    uint64_t id = 0;
+    int has_feasible = 0;
+    if (!(*in >> id >> blueprint.knob_dim >> blueprint.iteration >>
+          blueprint.repository_snapshot >> has_feasible)) {
+      return Status::IoError("bad session header in server checkpoint");
+    }
+    blueprint.has_feasible = has_feasible != 0;
+    RESTUNE_RETURN_IF_ERROR(ReadString(in, &blueprint.task_name));
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "meta"));
+    RESTUNE_RETURN_IF_ERROR(ReadVector(in, &blueprint.meta_feature));
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "sla"));
+    if (!(*in >> blueprint.sla.min_tps >> blueprint.sla.max_lat)) {
+      return Status::IoError("bad sla in server checkpoint");
+    }
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "default_theta"));
+    RESTUNE_RETURN_IF_ERROR(ReadVector(in, &blueprint.default_theta));
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "default_obs"));
+    RESTUNE_RETURN_IF_ERROR(
+        ReadObservation(in, &blueprint.default_observation));
+    RESTUNE_RETURN_IF_ERROR(ExpectTag(in, "log"));
+    size_t num_events = 0;
+    if (!(*in >> num_events) || num_events > (1u << 24)) {
+      return Status::IoError("bad event count in server checkpoint");
+    }
+    blueprint.log.reserve(num_events);
+    for (size_t e = 0; e < num_events; ++e) {
+      EventRecord event;
+      RESTUNE_RETURN_IF_ERROR(ReadEventRecord(in, &event));
+      blueprint.log.push_back(std::move(event));
+    }
+    RESTUNE_ASSIGN_OR_RETURN(Session session,
+                             RebuildSession(std::move(blueprint)));
+    sessions->emplace(id, std::move(session));
+  }
+  return ExpectTag(in, "end");
+}
+
 Status ResTuneServer::SaveCheckpointFile(const std::string& path) const {
+  MutexLock lock(&mu_);
+  return SaveCheckpointFileLocked(path);
+}
+
+Status ResTuneServer::SaveCheckpointFileLocked(const std::string& path) const {
   const std::string tmp = path + ".tmp";
   Status write_status = Status::OK();
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return Status::NotFound("cannot open '" + tmp + "' for write");
-    write_status = SaveCheckpoint(&out);
+    write_status = SaveCheckpointLocked(&out);
     if (write_status.ok()) {
       out.flush();
       if (!out.good()) {
@@ -630,13 +656,25 @@ Status ResTuneServer::LoadCheckpointFile(const std::string& path) {
 }
 
 std::string ResTuneServer::MetricsText() const {
+  size_t active = 0;
+  size_t finished = 0;
+  size_t tasks = 0;
+  {
+    // Read the sizes under the server lock, but render the registry text
+    // outside it: PrometheusText takes the registry's own mutex, and
+    // holding both at once would establish a lock order for no benefit.
+    MutexLock lock(&mu_);
+    active = sessions_.size();
+    finished = finished_.size();
+    tasks = repository_.num_tasks();
+  }
   auto* registry = obs::MetricsRegistry::Global();
   registry->GetGauge("restune_server_active_sessions")
-      ->Set(static_cast<double>(sessions_.size()));
+      ->Set(static_cast<double>(active));
   registry->GetGauge("restune_server_finished_sessions")
-      ->Set(static_cast<double>(finished_.size()));
+      ->Set(static_cast<double>(finished));
   registry->GetGauge("restune_server_repository_tasks")
-      ->Set(static_cast<double>(repository_.num_tasks()));
+      ->Set(static_cast<double>(tasks));
   return registry->PrometheusText();
 }
 

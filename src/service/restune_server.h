@@ -7,7 +7,9 @@
 #include <ostream>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "meta/data_repository.h"
 #include "service/messages.h"
 #include "tuner/checkpoint.h"
@@ -63,25 +65,38 @@ struct ServerOptions {
 ///   outstanding recommendations are re-derived from unmatched launches,
 ///   so a restarted server continues mid-session with work still in
 ///   flight.
+///
+/// Thread safety: every public method may be called from any thread — a
+/// transport layer can dispatch concurrent client requests straight into
+/// the server. One mutex serializes all server state (repository, session
+/// map, finished summaries, id/mutation counters); sessions are coarse
+/// critical sections by design, since an advisor suggestion is the work
+/// and splitting the lock would only add ordering bugs, not parallelism.
+/// The locking discipline is compiler-checked (clang -Wthread-safety) via
+/// the GUARDED_BY/REQUIRES annotations below.
 class ResTuneServer {
  public:
   explicit ResTuneServer(ServerOptions options = {});
 
   /// Registers historical meta-data (e.g. loaded from disk) before serving.
-  Status AddHistoricalTask(TuningTask task);
-  size_t repository_size() const { return repository_.num_tasks(); }
+  Status AddHistoricalTask(TuningTask task) EXCLUDES(mu_);
+  size_t repository_size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return repository_.num_tasks();
+  }
 
   /// Opens a tuning session: trains/collects base-learners, computes static
   /// weights from the submitted meta-feature, ingests the default
   /// observation. Returns the session id. Rejects malformed submissions
   /// (zero knob dimension, mismatched vector sizes, non-finite values,
   /// non-positive default throughput/latency).
-  Result<uint64_t> StartSession(const TargetTaskSubmission& submission);
+  Result<uint64_t> StartSession(const TargetTaskSubmission& submission)
+      EXCLUDES(mu_);
 
   /// Next configuration for the session to evaluate. While recommendations
   /// are outstanding the oldest one is returned again (at-least-once
   /// delivery for clients that retry); otherwise a new one is issued.
-  Result<KnobRecommendation> Recommend(uint64_t session_id);
+  Result<KnobRecommendation> Recommend(uint64_t session_id) EXCLUDES(mu_);
 
   /// Speculative batch: tops the session's outstanding set up to `width`
   /// recommendations and returns all of them, oldest first. New
@@ -90,40 +105,47 @@ class ResTuneServer {
   /// without reporting returns the same set — the call is idempotent, like
   /// `Recommend`.
   Result<std::vector<KnobRecommendation>> RecommendBatch(uint64_t session_id,
-                                                         int width);
+                                                         int width)
+      EXCLUDES(mu_);
 
   /// Feeds an evaluation result back into the session's meta-learner.
   /// Reports for outstanding iterations are accepted in ANY order; reports
   /// for already-processed iterations are accepted as duplicates (no-op);
   /// reports from the future, with malformed metrics, or with a mismatched
   /// θ dimension are rejected.
-  Status ReportEvaluation(const EvaluationReport& report);
+  Status ReportEvaluation(const EvaluationReport& report) EXCLUDES(mu_);
 
   /// Closes the session; optionally archives its observations as a new
   /// historical task in the repository. Idempotent: finishing an already-
   /// finished session returns its cached summary.
-  Result<SessionSummary> FinishSession(uint64_t session_id);
+  Result<SessionSummary> FinishSession(uint64_t session_id) EXCLUDES(mu_);
 
-  size_t active_sessions() const { return sessions_.size(); }
-  size_t finished_sessions() const { return finished_.size(); }
+  size_t active_sessions() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return sessions_.size();
+  }
+  size_t finished_sessions() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return finished_.size();
+  }
 
   /// Serializes the full server state (repository, active sessions as
   /// event logs, finished summaries). Advisor internals are not written;
   /// `LoadCheckpoint` rebuilds each advisor by replaying its event log with
   /// bitwise verification against the recorded recommendations.
-  Status SaveCheckpoint(std::ostream* out) const;
-  Status LoadCheckpoint(std::istream* in);
+  Status SaveCheckpoint(std::ostream* out) const EXCLUDES(mu_);
+  Status LoadCheckpoint(std::istream* in) EXCLUDES(mu_);
 
   /// File variants; saving goes through `<path>.tmp` + rename, so a crash
   /// mid-write never leaves a torn checkpoint.
-  Status SaveCheckpointFile(const std::string& path) const;
-  Status LoadCheckpointFile(const std::string& path);
+  Status SaveCheckpointFile(const std::string& path) const EXCLUDES(mu_);
+  Status LoadCheckpointFile(const std::string& path) EXCLUDES(mu_);
 
   /// Prometheus text exposition of the process-wide metrics registry, with
   /// server-level gauges (active/finished sessions, repository size)
   /// refreshed first. This is what a scrape endpoint would serve; exposed
   /// as a string so transports stay out of the core.
-  std::string MetricsText() const;
+  std::string MetricsText() const EXCLUDES(mu_);
 
  private:
   struct Session {
@@ -155,20 +177,37 @@ class ResTuneServer {
 
   std::vector<BaseLearner> TrainSessionLearners(size_t knob_dim,
                                                 size_t repository_snapshot)
-      const;
-  Result<Session> RebuildSession(Session blueprint) const;
+      const REQUIRES(mu_);
+  Result<Session> RebuildSession(Session blueprint) const REQUIRES(mu_);
   /// Issues one new recommendation for the session (advances the advisor,
   /// appends a launch record, registers the outstanding entry).
   Result<KnobRecommendation> IssueRecommendation(uint64_t session_id,
-                                                 Session* session);
-  void MaybeAutoCheckpoint();
+                                                 Session* session)
+      REQUIRES(mu_);
+  void MaybeAutoCheckpoint() REQUIRES(mu_);
+  /// Lock-held cores of the checkpoint writers. MaybeAutoCheckpoint runs
+  /// under mu_ and must not re-enter the public SaveCheckpointFile (that
+  /// would self-deadlock on the non-reentrant mutex), so the public
+  /// entry points lock and delegate here.
+  Status SaveCheckpointLocked(std::ostream* out) const REQUIRES(mu_);
+  Status SaveCheckpointFileLocked(const std::string& path) const
+      REQUIRES(mu_);
+  /// Parses and replays the sessions section of a checkpoint into
+  /// `sessions`. A member (not a lambda inside LoadCheckpoint) because the
+  /// thread-safety analysis treats lambda bodies as separate functions and
+  /// would not see the caller's lock across the capture boundary.
+  Status RestoreSessions(std::istream* in,
+                         std::map<uint64_t, Session>* sessions)
+      REQUIRES(mu_);
 
-  ServerOptions options_;
-  DataRepository repository_;
-  std::map<uint64_t, Session> sessions_;
-  std::map<uint64_t, SessionSummary> finished_;
-  uint64_t next_session_id_ = 1;
-  uint64_t mutations_ = 0;
+  const ServerOptions options_;  // immutable after construction
+  /// One coarse lock serializes the whole server; see the class comment.
+  mutable Mutex mu_;
+  DataRepository repository_ GUARDED_BY(mu_);
+  std::map<uint64_t, Session> sessions_ GUARDED_BY(mu_);
+  std::map<uint64_t, SessionSummary> finished_ GUARDED_BY(mu_);
+  uint64_t next_session_id_ GUARDED_BY(mu_) = 1;
+  uint64_t mutations_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace restune

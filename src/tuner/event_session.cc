@@ -228,7 +228,22 @@ Result<bool> EventTuningSession::Launch(EvaluationSupervisor* supervisor) {
   }
   pend.delivery_seconds = clock_seconds_ + pend.elapsed_seconds;
   PushPending(std::move(pend));
+  PublishProgress();
   return true;
+}
+
+EventSessionProgress EventTuningSession::progress() const {
+  MutexLock lock(&progress_mu_);
+  return progress_;
+}
+
+void EventTuningSession::PublishProgress() {
+  MutexLock lock(&progress_mu_);
+  progress_.completed = completed_;
+  progress_.launched = launched_;
+  progress_.in_flight = pending_.size();
+  progress_.clock_seconds = clock_seconds_;
+  progress_.mode = safety_.mode();
 }
 
 void EventTuningSession::ApplyCompletion(SessionResult* result, int iteration,
@@ -323,6 +338,7 @@ Status EventTuningSession::Ingest(SessionResult* result) {
   }
 
   ApplyCompletion(result, iteration, eval, feasible);
+  PublishProgress();
   return Status::OK();
 }
 
@@ -565,6 +581,7 @@ Result<SessionResult> EventTuningSession::RunInternal(
       obs::MetricsRegistry::Global()->RestoreCounters(resume_from->metrics);
     }
   }
+  PublishProgress();  // a poller sees restored state before the first launch
 
   // The halt hook only applies to completions ingested by THIS process —
   // a resumed run past the halt point ignores it.

@@ -1,10 +1,13 @@
 #ifndef RESTUNE_TUNER_EVENT_SESSION_H_
 #define RESTUNE_TUNER_EVENT_SESSION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "dbsim/simulator.h"
 #include "tuner/advisor.h"
 #include "tuner/checkpoint.h"
@@ -41,6 +44,22 @@ struct EventSessionOptions {
   /// Pick a multiple of checkpoint_period so the halt write coincides with
   /// a periodic one (byte-identical resume comparison). 0 = disabled.
   int halt_after_completions = 0;
+};
+
+/// Point-in-time progress of a running event session, safe to read from a
+/// monitoring thread while the session loop runs (see
+/// `EventTuningSession::progress`).
+struct EventSessionProgress {
+  /// Completions ingested so far.
+  int completed = 0;
+  /// Launches issued so far (≥ completed; the gap is the in-flight set).
+  uint64_t launched = 0;
+  /// Evaluations currently awaiting delivery.
+  size_t in_flight = 0;
+  /// Simulated session clock.
+  double clock_seconds = 0.0;
+  /// Current rung of the degraded-mode ladder.
+  SessionMode mode = SessionMode::kHealthy;
 };
 
 /// Always-on tuning loop: posts evaluation requests to the
@@ -84,6 +103,13 @@ class EventTuningSession {
   /// True when the run stopped via the halt_after_completions test hook.
   bool halted() const { return halted_; }
 
+  /// Snapshot of the session's progress, safe to call from any thread
+  /// while Run()/Resume() executes on another — the server direction needs
+  /// a liveness probe for always-on sessions without stopping them. The
+  /// loop publishes after every launch and ingest; everything else in this
+  /// class stays single-threaded (owned by the thread inside Run).
+  EventSessionProgress progress() const EXCLUDES(progress_mu_);
+
  private:
   /// A launched evaluation waiting for its delivery time.
   struct PendingEval {
@@ -119,6 +145,9 @@ class EventTuningSession {
   std::vector<Vector> PendingThetas() const;
   void PushPending(PendingEval eval);
   PendingEval PopPending();
+  /// Copies the loop-owned counters into the mutex-guarded snapshot that
+  /// progress() serves to other threads.
+  void PublishProgress() EXCLUDES(progress_mu_);
 
   DbInstanceSimulator* simulator_;
   Advisor* advisor_;
@@ -131,6 +160,12 @@ class EventTuningSession {
   double clock_seconds_ = 0.0;
   bool advisor_exhausted_ = false;
   bool halted_ = false;
+
+  /// Guards only the published snapshot. The loop state above is owned by
+  /// the thread inside Run()/Resume() and deliberately unguarded; this
+  /// narrow hand-off is the session's entire cross-thread surface.
+  mutable Mutex progress_mu_;
+  EventSessionProgress progress_ GUARDED_BY(progress_mu_);
 };
 
 }  // namespace restune

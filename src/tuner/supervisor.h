@@ -50,6 +50,14 @@ struct SupervisedEvaluation {
 /// decorrelated jitter for retryable faults. Crashes and timeouts are
 /// persistent — the same configuration would fail again — and are returned
 /// to the caller after a single attempt for failure-aware learning.
+///
+/// Thread safety: single-threaded by contract, not by locking. The
+/// supervisor owns a deterministic RNG stream whose consumption order IS
+/// the reproducibility contract (evaluations draw jitter in launch order),
+/// so serializing calls with a mutex would be insufficient anyway — the
+/// caller must impose a total order. The event session does: it runs the
+/// supervisor on the loop thread only, and exposes cross-thread state
+/// through its own mutex-guarded progress snapshot instead.
 class EvaluationSupervisor {
  public:
   EvaluationSupervisor(DbInstanceSimulator* simulator, RetryPolicy policy = {},

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -265,6 +267,72 @@ TEST(DataRepositoryCacheTest, SaveLoadSaveIsByteIdentical) {
   EXPECT_EQ(bytes_a, bytes_b);
   std::remove(path_a.c_str());
   std::remove(path_b.c_str());
+}
+
+// Hammer the cache from 8 threads and check the hit/miss/fit accounting
+// stays exact. Every Train is either a hit or a miss, every miss fits, the
+// cache converges on one entry per distinct fingerprint (first write wins),
+// and a racing double-fit is visible only as extra fits — never as a torn
+// map or a double-counted hit. This is the test the tsan CI leg exists
+// for: the cache is the one piece of meta-learning state shared by
+// concurrent server sessions.
+TEST(BaseLearnerCacheTest, ConcurrentTrainKeepsCounterAccountingExact) {
+  BaseLearnerCache::Global()->Clear();
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 3;
+  constexpr int kTasks = 4;
+  std::vector<TuningTask> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back(MakeTask("stress_task_" + std::to_string(i),
+                             700 + static_cast<uint64_t>(i)));
+  }
+
+  const int64_t hits_before =
+      CounterValue("restune_meta_base_learner_cache_hits_total");
+  const int64_t misses_before =
+      CounterValue("restune_meta_base_learner_cache_misses_total");
+  const int64_t fits_before =
+      CounterValue("restune_meta_base_learner_fits_total");
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;  // restune-lint: allow(raw-thread)
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tasks, &failures] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (const TuningTask& task : tasks) {
+          Result<BaseLearner> learner =
+              BaseLearner::Train(task, BaseLearnerOptions());
+          if (!learner.ok() || learner.value().fingerprint().empty()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  // restune-lint: allow(raw-thread)
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(failures.load(std::memory_order_relaxed), 0);
+  const int64_t hits =
+      CounterValue("restune_meta_base_learner_cache_hits_total") -
+      hits_before;
+  const int64_t misses =
+      CounterValue("restune_meta_base_learner_cache_misses_total") -
+      misses_before;
+  const int64_t fits =
+      CounterValue("restune_meta_base_learner_fits_total") - fits_before;
+  constexpr int64_t kTotalCalls = kThreads * kRounds * kTasks;
+  // Exactly one of hit/miss per call, and every miss trained a learner.
+  EXPECT_EQ(hits + misses, kTotalCalls);
+  EXPECT_EQ(fits, misses);
+  // At least one fit per distinct fingerprint; at most one per thread per
+  // fingerprint (threads can race past Lookup before the first Insert).
+  EXPECT_GE(fits, kTasks);
+  EXPECT_LE(fits, static_cast<int64_t>(kThreads) * kTasks);
+  EXPECT_EQ(BaseLearnerCache::Global()->size(), static_cast<size_t>(kTasks));
+  BaseLearnerCache::Global()->Clear();
 }
 
 }  // namespace

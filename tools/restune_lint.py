@@ -47,6 +47,31 @@ Rules (see docs/CORRECTNESS.md for rationale):
                    common/rng.h) inside src/obs/ — observability must not
                    consume RNG draws, or enabling a trace would change
                    every downstream sample.
+  lock-discipline  In src/: no naked `.lock()`/`.unlock()`/`.try_lock()`
+                   calls and no unannotated std RAII guards
+                   (std::lock_guard, std::unique_lock, std::scoped_lock)
+                   outside src/common/mutex.h. Locking goes through the
+                   annotated restune::Mutex/MutexLock so clang
+                   -Wthread-safety can see — and verify — every critical
+                   section.
+  memory-order     Atomic operations in src/common and src/obs (the two
+                   modules with lock-free hot paths) must spell an explicit
+                   std::memory_order argument. A bare fetch_add defaults
+                   to seq_cst, which both hides the author's intent and
+                   costs a fence the comment then has to explain away.
+  layering         Include-DAG rule: a file under src/<module>/ may
+                   include project headers only from its own module, the
+                   modules tools/layering.json lists as its dependencies,
+                   or a declared leaf header (dependency-free utilities
+                   like thread_annotations.h that any module may use).
+                   Leaf headers themselves may include only other leaf
+                   headers. Keeps obs → common → numeric core →
+                   tuner/service a DAG the compiler never gets to see.
+  guarded-by-      A class owning a mutex member (restune::Mutex or
+  coverage         std::mutex) must annotate at least one member with
+                   GUARDED_BY in the same class — a mutex guarding nothing
+                   the analysis can check is a lock the analysis cannot
+                   help with.
 
 Suppression, from most to least local:
   * `// restune-lint: allow(rule)` on the offending line;
@@ -55,7 +80,9 @@ Suppression, from most to least local:
 
 Output is human-readable by default; `--json` emits a CI-friendly list of
 {"path", "line", "rule", "message"} objects. Exit status is 1 iff findings
-remain after suppression. There is deliberately no --fix mode: every
+remain after suppression. `--prune-allowlist` inverts the check: it exits 1
+if any allowlist entry suppresses nothing, so conscious exceptions cannot
+outlive the code they excused. There is deliberately no --fix mode: every
 violation is either a bug to fix by hand or a conscious exception to record
 with a reason.
 """
@@ -128,11 +155,26 @@ def is_header(path):
     return path.endswith((".h", ".hpp"))
 
 
+# Raw-string opener: optional encoding prefix, R, quote, then a delimiter of
+# up to 16 chars that may not contain parens/backslash/whitespace.
+RAW_STRING_START = re.compile(r'(?:u8|[uUL])?R"([^()\\\s]{0,16})\(')
+# A C++ pp-number: digits with optional digit separators ('), hex/float
+# chars, and signed exponents. Consumed atomically so the ' separator in
+# 1'000'000 is never mistaken for a char-literal opener.
+PP_NUMBER = re.compile(r"\.?\d(?:['0-9a-zA-Z_.]|[eEpP][+-])*")
+
+
+def _blank_preserving_newlines(text):
+    return "".join("\n" if c == "\n" else " " for c in text)
+
+
 def strip_comments_and_strings(text):
     """Replaces comment/string contents with spaces, preserving newlines.
 
     Line numbers and column positions of remaining code are unchanged, so
-    findings can point at the original source.
+    findings can point at the original source. Raw strings (R"(...)") are
+    blanked like ordinary strings, and numeric literals are consumed whole
+    so digit separators (1'000'000) never open a phantom char literal.
     """
     out = []
     i = 0
@@ -142,6 +184,27 @@ def strip_comments_and_strings(text):
         c = text[i]
         nxt = text[i + 1] if i + 1 < n else ""
         if state == "code":
+            ident_before = i > 0 and (text[i - 1].isalnum() or
+                                      text[i - 1] == "_")
+            if c in "RuUL" and not ident_before:
+                m = RAW_STRING_START.match(text, i)
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    end = text.find(close, m.end())
+                    stop = n if end == -1 else end + len(close)
+                    region = text[i:stop]
+                    out.append('"')
+                    out.append(_blank_preserving_newlines(region[1:-1]))
+                    if len(region) >= 2:
+                        out.append('"')
+                    i = stop
+                    continue
+            if (c.isdigit() or (c == "." and nxt.isdigit())) \
+                    and not ident_before:
+                m = PP_NUMBER.match(text, i)
+                out.append(m.group(0))
+                i = m.end()
+                continue
             if c == "/" and nxt == "/":
                 state = "line_comment"
                 out.append("  ")
@@ -191,6 +254,116 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
+# ---------------------------------------------------------------------------
+# Shared lexer: the multi-pass rules below (lock-discipline, memory-order,
+# guarded-by-coverage) work on a token stream rather than raw lines, so a
+# declaration split across lines or an annotation macro with arguments is
+# still one analyzable unit. Tokens carry their 1-based source line.
+# ---------------------------------------------------------------------------
+
+TOKEN_PATTERN = re.compile(r"""
+      (?P<ident>[A-Za-z_]\w*)
+    | (?P<number>\.?\d(?:['0-9a-zA-Z_.]|[eEpP][+-])*)
+    | (?P<punct>::|->\*|->|\.\*|\+\+|--|<<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||
+                [-+*/%&|^!<>=~?:;,.(){}\[\]#])
+""", re.VERBOSE)
+
+
+class Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+
+def tokenize(code_text):
+    """Lexes comment/string-stripped C++ into (kind, text, line) tokens."""
+    tokens = []
+    line = 1
+    pos = 0
+    for m in TOKEN_PATTERN.finditer(code_text):
+        line += code_text.count("\n", pos, m.start())
+        pos = m.start()
+        tokens.append(Token(m.lastgroup, m.group(0), line))
+    return tokens
+
+
+def find_class_spans(tokens):
+    """Token-index spans of class/struct bodies: [(name, lo, hi)].
+
+    `lo`/`hi` are the indices of the opening and closing brace. Nested
+    classes get their own span. Forward declarations, `enum class`, and
+    `class T` template parameters produce no span. Attribute macros in the
+    class head (`class CAPABILITY("mutex") Mutex {`) are skipped — the
+    last identifier before the body or base clause is the name.
+    """
+    spans = []
+    open_stack = []  # (name, open_idx, depth_at_open)
+    pending_name = None
+    depth = 0
+    n = len(tokens)
+    i = 0
+    while i < n:
+        t = tokens[i]
+        if t.text == "{":
+            depth += 1
+            if pending_name is not None:
+                open_stack.append((pending_name, i, depth))
+                pending_name = None
+        elif t.text == "}":
+            if open_stack and open_stack[-1][2] == depth:
+                name, lo, _ = open_stack.pop()
+                spans.append((name, lo, i))
+            depth -= 1
+        elif t.text == ";":
+            pending_name = None  # forward declaration
+        elif t.kind == "ident" and t.text in ("class", "struct") \
+                and (i == 0 or tokens[i - 1].text != "enum"):
+            name = None
+            j = i + 1
+            while j < n and tokens[j].text not in ("{", ";", ":"):
+                tj = tokens[j]
+                if tj.text in ("class", "struct"):
+                    break  # template parameter list; the real head follows
+                if tj.kind == "ident" and tj.text not in ("final", "alignas"):
+                    name = tj.text
+                j += 1
+            else:
+                j = min(j, n)
+            if name is not None and j < n and tokens[j].text != ";":
+                pending_name = name
+            i = j - 1 if j > i else i
+        i += 1
+    spans.sort(key=lambda s: s[1])
+    return spans
+
+
+class FileContext:
+    """Per-file analysis state shared by the token-aware rules, computed
+    lazily so single-pass regex rules pay nothing for it."""
+
+    def __init__(self, rel, raw_text, code_text):
+        self.rel = rel
+        self.raw_text = raw_text
+        self.code_text = code_text
+        self._tokens = None
+        self._class_spans = None
+
+    @property
+    def tokens(self):
+        if self._tokens is None:
+            self._tokens = tokenize(self.code_text)
+        return self._tokens
+
+    @property
+    def class_spans(self):
+        if self._class_spans is None:
+            self._class_spans = find_class_spans(self.tokens)
+        return self._class_spans
+
+
 class Finding:
     def __init__(self, path, line, rule, message):
         self.path = path
@@ -228,11 +401,18 @@ def load_allowlist(path):
     return entries
 
 
-def allowed(finding, allowlist):
-    for rule, glob in allowlist:
+def allowed(finding, allowlist, used=None):
+    """First allowlist entry index matching `finding`, or None.
+
+    `used` (a set) collects indices of entries that suppressed at least one
+    finding — the input to --prune-allowlist staleness detection.
+    """
+    for idx, (rule, glob) in enumerate(allowlist):
         if rule in (finding.rule, "*") and fnmatch.fnmatch(finding.path, glob):
-            return True
-    return False
+            if used is not None:
+                used.add(idx)
+            return idx
+    return None
 
 
 def inline_allowed_rules(raw_line):
@@ -389,6 +569,167 @@ def check_obs_discipline(rel, code_lines, raw_lines, findings):
                 "(obs/trace.h) or std::chrono::steady_clock"))
 
 
+LOCK_EXEMPT = ("src/common/mutex.h",)
+NAKED_LOCK_PATTERN = re.compile(
+    r"(?:\.|->)\s*(try_lock|lock|unlock)\s*\(")
+STD_GUARD_PATTERN = re.compile(
+    r"\bstd::(lock_guard|unique_lock|scoped_lock)\b")
+
+MEMORY_ORDER_SCOPES = ("src/common/", "src/obs/")
+ATOMIC_OP_PATTERN = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+    r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong|"
+    r"test_and_set)\s*\(")
+
+GUARDED_BY_EXEMPT = ("src/common/mutex.h",)
+INCLUDE_PATTERN = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def check_lock_discipline(rel, code_lines, raw_lines, findings):
+    # src/ only: production locking must be visible to -Wthread-safety;
+    # tests may use std primitives directly to exercise interop fixtures.
+    if not rel.startswith("src/") or rel in LOCK_EXEMPT:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        m = NAKED_LOCK_PATTERN.search(line)
+        if m:
+            findings.append(Finding(
+                rel, lineno, "lock-discipline",
+                f"naked '.{m.group(1)}()' call; take restune::MutexLock so "
+                "the critical section is RAII-scoped and visible to clang "
+                "-Wthread-safety"))
+        m = STD_GUARD_PATTERN.search(line)
+        if m:
+            findings.append(Finding(
+                rel, lineno, "lock-discipline",
+                f"'std::{m.group(1)}' carries no thread-safety annotations; "
+                "use restune::Mutex/MutexLock (common/mutex.h) so the "
+                "analysis can verify the lock"))
+
+
+def _matching_paren_span(text, open_pos):
+    """Text span of a balanced paren group starting at `open_pos` ('(')."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_pos:i]
+    return text[open_pos:]
+
+
+def check_memory_order(rel, code_text, findings):
+    if not rel.startswith(MEMORY_ORDER_SCOPES):
+        return
+    for m in ATOMIC_OP_PATTERN.finditer(code_text):
+        args = _matching_paren_span(code_text, m.end() - 1)
+        if "memory_order" in args:
+            continue
+        line = 1 + code_text.count("\n", 0, m.start())
+        findings.append(Finding(
+            rel, line, "memory-order",
+            f"atomic '{m.group(1)}' without an explicit std::memory_order; "
+            "the lock-free paths in src/common and src/obs must state "
+            "their ordering (a bare call is an implicit seq_cst fence)"))
+
+
+def check_layering(rel, raw_lines, layering, findings):
+    if layering is None or not rel.startswith("src/"):
+        return
+    modules = layering.get("modules", {})
+    leaf_headers = set(layering.get("leaf_headers", []))
+    parts = rel.split("/")
+    if len(parts) < 3:
+        return  # a file directly under src/ belongs to no module
+    module = parts[1]
+    rel_in_src = rel[len("src/"):]
+    is_leaf = rel_in_src in leaf_headers
+    if module not in modules:
+        findings.append(Finding(
+            rel, 1, "layering",
+            f"module 'src/{module}/' is not declared in tools/layering.json; "
+            "add it (with its dependency list) so the include DAG stays "
+            "complete"))
+        return
+    allowed = set(modules[module]) | {module}
+    for lineno, raw in enumerate(raw_lines, 1):
+        m = INCLUDE_PATTERN.match(raw)
+        if not m:
+            continue
+        inc = m.group(1)
+        if is_leaf:
+            if inc not in leaf_headers:
+                findings.append(Finding(
+                    rel, lineno, "layering",
+                    f"leaf header includes \"{inc}\"; leaf headers must "
+                    "stay dependency-free (only other leaf headers allowed) "
+                    "or every module inherits the dependency"))
+            continue
+        if inc in leaf_headers:
+            continue
+        inc_module = inc.split("/")[0]
+        if inc_module not in modules:
+            continue  # not a module-scoped project header
+        if inc_module not in allowed:
+            findings.append(Finding(
+                rel, lineno, "layering",
+                f"src/{module} may not include \"{inc}\": "
+                f"'{inc_module}' is not among its declared dependencies in "
+                "tools/layering.json (obs → common → numeric core → "
+                "tuner/service must stay a DAG)"))
+
+
+def check_guarded_by_coverage(rel, ctx, findings):
+    if not rel.startswith("src/") or rel in GUARDED_BY_EXEMPT:
+        return
+    tokens = ctx.tokens
+    spans = ctx.class_spans
+    for name, lo, hi in spans:
+        # Exclude nested class bodies: their mutexes/annotations are their
+        # own concern, and crediting an inner GUARDED_BY to the outer class
+        # would hide an unguarded outer mutex.
+        children = [(clo, chi) for _, clo, chi in spans
+                    if lo < clo and chi < hi]
+        mutex_members = []
+        has_guard = False
+        idx = lo + 1
+        while idx < hi:
+            if any(clo <= idx <= chi for clo, chi in children):
+                idx += 1
+                continue
+            t = tokens[idx]
+            if t.kind == "ident" and t.text == "GUARDED_BY":
+                has_guard = True
+            is_mutex_type = t.kind == "ident" and (
+                t.text == "Mutex"
+                or (t.text == "mutex" and idx >= 2
+                    and tokens[idx - 1].text == "::"
+                    and tokens[idx - 2].text == "std"))
+            if is_mutex_type and idx + 2 < hi:
+                member = tokens[idx + 1]
+                after = tokens[idx + 2]
+                if member.kind == "ident" and after.text in (";", "=", "{"):
+                    mutex_members.append((member.text, t.line))
+            idx += 1
+        if mutex_members and not has_guard:
+            for member_name, line in mutex_members:
+                findings.append(Finding(
+                    rel, line, "guarded-by-coverage",
+                    f"class '{name}' owns mutex '{member_name}' but "
+                    "annotates nothing GUARDED_BY it; a mutex the analysis "
+                    "cannot associate with data is a lock it cannot check"))
+
+
+def load_layering(root):
+    path = os.path.join(root, "tools", "layering.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
 STATEMENT_CALL = r"^\s*(?:[\w\[\]]+(?:\.|->))*{name}\s*\("
 IGNORE_STATEMENT = re.compile(
     r"=|\breturn\b|\(void\)|RESTUNE_|EXPECT_|ASSERT_|CHECK\(|\bco_return\b")
@@ -470,14 +811,28 @@ def gather_files(paths, root):
 
 
 def run_lint(paths, root, allowlist_path):
+    findings, _allowlist, _used = run_lint_with_usage(
+        paths, root, allowlist_path)
+    return findings
+
+
+def run_lint_with_usage(paths, root, allowlist_path):
+    """Lints `paths`; returns (findings, allowlist entries, used indices).
+
+    The used-index set drives --prune-allowlist: an entry whose index never
+    lands in it suppressed nothing and is stale.
+    """
     allowlist = load_allowlist(allowlist_path)
+    layering = load_layering(root)
     files = gather_files(paths, root)
     status_functions = collect_status_functions(files)
     findings = []
+    used = set()
     for _path, rel, text in files:
         raw_lines = text.splitlines()
         code_text = strip_comments_and_strings(text)
         code_lines = code_text.splitlines()
+        ctx = FileContext(rel, text, code_text)
         file_findings = []
         check_rng(rel, code_lines, raw_lines, file_findings)
         check_new_delete(rel, code_lines, raw_lines, file_findings)
@@ -487,6 +842,10 @@ def run_lint(paths, root, allowlist_path):
         check_unbounded_wait(rel, code_lines, raw_lines, file_findings)
         check_obs_discipline(rel, code_lines, raw_lines, file_findings)
         check_ignored_status(rel, code_text, status_functions, file_findings)
+        check_lock_discipline(rel, code_lines, raw_lines, file_findings)
+        check_memory_order(rel, code_text, file_findings)
+        check_layering(rel, raw_lines, layering, file_findings)
+        check_guarded_by_coverage(rel, ctx, file_findings)
         if is_header(rel):
             check_include_guard(rel, text, file_findings)
         for f in file_findings:
@@ -497,11 +856,11 @@ def run_lint(paths, root, allowlist_path):
                 local |= inline_allowed_rules(raw_lines[f.line - 1])
             if f.line >= 2:
                 local |= inline_allowed_rules(raw_lines[f.line - 2])
-            if f.rule in local or allowed(f, allowlist):
+            if f.rule in local or allowed(f, allowlist, used) is not None:
                 continue
             findings.append(f)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings
+    return findings, allowlist, used
 
 
 def main(argv=None):
@@ -511,6 +870,9 @@ def main(argv=None):
                         help="files or directories to lint (repo-relative)")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as a JSON array on stdout")
+    parser.add_argument("--prune-allowlist", action="store_true",
+                        help="exit 1 if any allowlist entry suppresses no "
+                             "finding over the given paths (stale exception)")
     parser.add_argument("--root", default=None,
                         help="repository root (default: parent of tools/)")
     parser.add_argument("--allowlist", default=None,
@@ -524,7 +886,22 @@ def main(argv=None):
     if allowlist_path is None:
         allowlist_path = os.path.join(root, "tools", "lint_allowlist.txt")
 
-    findings = run_lint(args.paths, root, allowlist_path)
+    findings, allowlist, used = run_lint_with_usage(
+        args.paths, root, allowlist_path)
+
+    if args.prune_allowlist:
+        stale = [(rule, glob) for idx, (rule, glob) in enumerate(allowlist)
+                 if idx not in used]
+        for rule, glob in stale:
+            print(f"{allowlist_path}: stale entry '{rule} {glob}' "
+                  "suppresses nothing; delete it (the code it excused is "
+                  "gone or fixed)")
+        if stale:
+            print(f"restune_lint: {len(stale)} stale allowlist entr"
+                  f"{'y' if len(stale) == 1 else 'ies'}")
+        else:
+            print("restune_lint: allowlist has no stale entries")
+        return 1 if stale else 0
 
     if args.json:
         json.dump([f.as_dict() for f in findings], sys.stdout, indent=2)

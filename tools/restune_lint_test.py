@@ -455,6 +455,236 @@ def test_unbounded_wait_honors_inline_suppression():
         t.cleanup()
 
 
+def test_lock_discipline_flags_naked_locks_and_std_guards():
+    t = FixtureTree()
+    try:
+        t.write("src/meta/store.cc", """\
+            #include <mutex>
+            void Touch(std::mutex& mu, int& v) {
+              mu.lock();
+              ++v;
+              mu.unlock();
+            }
+            void Guarded(std::mutex& mu, int& v) {
+              std::lock_guard<std::mutex> lock(mu);
+              ++v;
+            }
+            """)
+        findings = t.lint()
+        assert rules_of(findings) == ["lock-discipline"]
+        assert [line for _r, line, _p in findings] == [3, 5, 8]
+    finally:
+        t.cleanup()
+
+
+def test_lock_discipline_exempts_mutex_wrapper_and_tests():
+    t = FixtureTree()
+    try:
+        # The wrapper itself is where the naked calls are supposed to live.
+        t.write("src/common/mutex.h", guarded("COMMON_MUTEX", """\
+
+            #include <mutex>
+            namespace restune {
+            class Mutex {
+             public:
+              void lock() { mu_.lock(); }
+              void unlock() { mu_.unlock(); }
+             private:
+              std::mutex mu_;
+            };
+            }  // namespace restune
+            """))
+        # Tests may use std primitives directly for interop fixtures.
+        t.write("tests/interop_test.cc", """\
+            #include <mutex>
+            void Fixture(std::mutex& mu) { std::lock_guard<std::mutex> l(mu); }
+            """)
+        assert t.lint("src", "tests") == []
+    finally:
+        t.cleanup()
+
+
+def test_memory_order_requires_explicit_ordering_in_lockfree_scopes():
+    t = FixtureTree()
+    try:
+        t.write("src/obs/counter.cc", """\
+            #include <atomic>
+            void Bump(std::atomic<int>& c) {
+              c.fetch_add(1);
+              c.fetch_add(1, std::memory_order_relaxed);
+              c.store(0,
+                      std::memory_order_release);
+              (void)c.load();
+            }
+            """)
+        findings = t.lint()
+        assert rules_of(findings) == ["memory-order"]
+        # The multi-line store with an explicit order does not trip; the
+        # bare fetch_add and load do.
+        assert [line for _r, line, _p in findings] == [3, 7]
+    finally:
+        t.cleanup()
+
+
+def test_memory_order_ignores_modules_without_lockfree_paths():
+    t = FixtureTree()
+    try:
+        t.write("src/tuner/flag.cc", """\
+            #include <atomic>
+            void Set(std::atomic<bool>& f) { f.store(true); }
+            """)
+        assert t.lint() == []
+    finally:
+        t.cleanup()
+
+
+LAYERING_FIXTURE = """\
+{
+  "modules": {
+    "obs": [],
+    "common": ["obs"],
+    "gp": ["common"]
+  },
+  "leaf_headers": ["common/leaf.h"]
+}
+"""
+
+
+def test_layering_enforces_the_declared_dag():
+    t = FixtureTree()
+    try:
+        t.write("tools/layering.json", LAYERING_FIXTURE)
+        t.write("src/common/util.cc", """\
+            #include "common/util.h"
+            #include "obs/metrics.h"
+            #include "gp/kernel.h"
+            #include <vector>
+            """)
+        findings = t.lint()
+        # Own module and declared deps pass; the upward include (gp) and
+        # system headers behave as expected.
+        assert [(r, line) for r, line, _p in findings] == [("layering", 3)]
+    finally:
+        t.cleanup()
+
+
+def test_layering_leaf_headers_bypass_the_dag_but_stay_dependency_free():
+    t = FixtureTree()
+    try:
+        t.write("tools/layering.json", LAYERING_FIXTURE)
+        # obs depends on nothing internal, yet may use the leaf header.
+        t.write("src/obs/trace.cc", """\
+            #include "common/leaf.h"
+            """)
+        # The leaf header itself must not pull in a real module header.
+        t.write("src/common/leaf.h", guarded("COMMON_LEAF", """\
+
+            #include "common/util.h"
+            """))
+        findings = t.lint()
+        assert [(r, line, p.endswith("leaf.h")) for r, line, p in findings] \
+            == [("layering", 4, True)]
+    finally:
+        t.cleanup()
+
+
+def test_layering_flags_undeclared_modules():
+    t = FixtureTree()
+    try:
+        t.write("tools/layering.json", LAYERING_FIXTURE)
+        t.write("src/mystery/new_code.cc", "void F() {}\n")
+        findings = t.lint()
+        assert [(r, line) for r, line, _p in findings] == [("layering", 1)]
+    finally:
+        t.cleanup()
+
+
+def test_guarded_by_coverage_requires_an_annotated_member():
+    t = FixtureTree()
+    try:
+        t.write("src/service/cache.h", guarded("SERVICE_CACHE", """\
+
+            #include <map>
+            #include <mutex>
+            namespace restune {
+            class Unguarded {
+             private:
+              std::mutex mu_;
+              std::map<int, int> entries_;
+            };
+            class Guarded {
+             private:
+              mutable Mutex mu_;
+              std::map<int, int> entries_ GUARDED_BY(mu_);
+            };
+            }  // namespace restune
+            """))
+        findings = t.lint()
+        assert [(r, line) for r, line, _p in findings] \
+            == [("guarded-by-coverage", 9)]
+    finally:
+        t.cleanup()
+
+
+def test_guarded_by_coverage_does_not_credit_nested_class_annotations():
+    t = FixtureTree()
+    try:
+        t.write("src/service/nested.h", guarded("SERVICE_NESTED", """\
+
+            #include <mutex>
+            namespace restune {
+            class Outer {
+              struct Inner {
+                Mutex mu;
+                int v GUARDED_BY(mu) = 0;
+              };
+              std::mutex outer_mu_;
+            };
+            }  // namespace restune
+            """))
+        findings = t.lint()
+        # Inner is fully annotated; Outer's mutex guards nothing.
+        assert [(r, line) for r, line, _p in findings] \
+            == [("guarded-by-coverage", 11)]
+    finally:
+        t.cleanup()
+
+
+def test_lexer_handles_raw_strings_and_digit_separators():
+    t = FixtureTree()
+    try:
+        # The ) inside the raw string must not unbalance anything, the
+        # quote inside it must not open a string, and the digit separators
+        # must not open a char literal that swallows the naked new below.
+        t.write("src/tuner/tricky.cc", """\
+            const char* kJson = R"({"new": "delete', ) unbalanced"})";
+            const long kBig = 1'000'000;
+            struct P {};
+            P* Make() { return new P(); }
+            """)
+        findings = t.lint()
+        assert [(r, line) for r, line, _p in findings] == [("naked-new", 4)]
+    finally:
+        t.cleanup()
+
+
+def test_prune_allowlist_reports_stale_entries():
+    t = FixtureTree()
+    try:
+        t.write("src/tuner/leak.cc", "struct P {};\nP* A() { return new P(); }\n")
+        allow = t.write("allow.txt", """\
+            naked-new src/tuner/*.cc  # live: suppresses the leak above
+            no-float src/gp/*.cc      # stale: no such file any more
+            """)
+        findings, entries, used = restune_lint.run_lint_with_usage(
+            [os.path.join(t.root, "src")], t.root, allow)
+        assert findings == []
+        stale = [entries[i] for i in range(len(entries)) if i not in used]
+        assert stale == [("no-float", "src/gp/*.cc")]
+    finally:
+        t.cleanup()
+
+
 def main():
     tests = [(name, fn) for name, fn in sorted(globals().items())
              if name.startswith("test_") and callable(fn)]

@@ -119,7 +119,7 @@ def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", required=True,
                         help="output path for the bench artifact, e.g. "
-                             "BENCH_7.json (JSON lines)")
+                             "BENCH_8.json (JSON lines)")
     parser.add_argument("--repetitions", type=int, default=5)
     parser.add_argument("binaries", nargs="+", metavar="BINARY[:FILTER]")
     args = parser.parse_args(argv)
