@@ -9,18 +9,27 @@
 //               [--method restune|noml|ituned|ottertune|cdbtune]
 //               [--repository file.txt] [--save-repository file.txt]
 //               [--data-gb G] [--trace-out trace.jsonl]
+//               [--server HOST:PORT]
 //
 // With --save-repository, the finished session's observations are appended
 // to the repository file so later runs start warm (the paper's flywheel).
 // With --trace-out, the session's spans and final counters are written as
 // JSON lines (see docs/OBSERVABILITY.md for the schema).
+//
+// With --server, the CLI becomes the paper's client half (Figure 2): it
+// keeps the workload replay local — only meta-features and metric tuples
+// cross the wire — and drives a remote restune_serve process through
+// TuningClient for its recommendations (docs/SERVICE.md). The server's
+// advisor does the suggesting, so --method/--repository do not apply.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "common/logging.h"
 #include "obs/trace.h"
+#include "service/tuning_client.h"
 #include "tuner/harness.h"
 
 using namespace restune;
@@ -33,7 +42,114 @@ void Usage() {
       "usage: restune_cli [--workload W] [--instance A-F] [--resource R]\n"
       "                   [--iterations N] [--seed S] [--method M]\n"
       "                   [--repository FILE] [--save-repository FILE]\n"
-      "                   [--data-gb G] [--trace-out FILE]\n");
+      "                   [--data-gb G] [--trace-out FILE]\n"
+      "                   [--server HOST:PORT]\n");
+}
+
+/// Remote mode: the tuning loop with the advisor on the other end of a
+/// TCP connection. Replays stay local to this process (the simulator
+/// stands in for the tenant DBMS); each round trip ships one
+/// recommendation down and one (res, tps, lat) tuple or fault back up.
+int RunRemoteSession(const std::string& server_address,
+                     DbInstanceSimulator* sim, const Vector& meta_feature,
+                     const std::string& resource, int iterations) {
+  const size_t colon = server_address.rfind(':');
+  if (colon == std::string::npos || colon + 1 == server_address.size()) {
+    std::fprintf(stderr, "--server wants HOST:PORT, got '%s'\n",
+                 server_address.c_str());
+    return 2;
+  }
+  const std::string host = server_address.substr(0, colon);
+  const uint16_t port =
+      static_cast<uint16_t>(std::atoi(server_address.c_str() + colon + 1));
+
+  const KnobSpace& space = sim->knob_space();
+  const Result<Observation> default_obs = sim->EvaluateDefault();
+  if (!default_obs.ok()) {
+    std::fprintf(stderr, "%s\n", default_obs.status().ToString().c_str());
+    return 1;
+  }
+
+  TargetTaskSubmission submission;
+  submission.task_name =
+      sim->workload().name + "@" + sim->hardware().name;
+  submission.meta_feature = meta_feature;
+  submission.knob_dim = space.dim();
+  submission.default_theta = space.DefaultTheta();
+  submission.default_observation = *default_obs;
+  submission.default_observation.theta = submission.default_theta;
+  submission.resource = resource;
+
+  Result<TuningClient> client = TuningClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  const Result<uint64_t> session = client->StartSession(submission);
+  if (!session.ok()) {
+    std::fprintf(stderr, "start session: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("tuning %s against %s:%u (session %llu, %d iterations)...\n",
+              submission.task_name.c_str(), host.c_str(), port,
+              static_cast<unsigned long long>(*session), iterations);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    const Result<KnobRecommendation> rec = client->Recommend(*session);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "recommend: %s\n",
+                   rec.status().ToString().c_str());
+      return 1;
+    }
+    const Result<EvaluationOutcome> outcome = sim->TryEvaluate(rec->theta);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "evaluate: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    EvaluationReport report;
+    report.session_id = *session;
+    report.iteration = rec->iteration;
+    if (outcome->ok()) {
+      report.observation = outcome->observation();
+      report.observation.theta = rec->theta;
+    } else {
+      report.fault = outcome->fault().kind;
+      std::printf("  iteration %d failed: %s\n", rec->iteration,
+                  FaultKindName(report.fault));
+    }
+    const Status reported = client->ReportEvaluation(report);
+    if (!reported.ok()) {
+      std::fprintf(stderr, "report: %s\n", reported.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const Result<SessionSummary> summary = client->FinishSession(*session);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "finish: %s\n",
+                 summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ndefault %s: %.2f   best feasible: %.2f  (-%.1f%%, %d "
+              "iterations)\n",
+              resource.c_str(), default_obs->res, summary->best_feasible_res,
+              100.0 * (default_obs->res - summary->best_feasible_res) /
+                  default_obs->res,
+              summary->iterations);
+  if (summary->best_theta.size() == space.dim()) {
+    std::printf("\nrecommended knobs:\n");
+    const Vector raw = space.ToRaw(summary->best_theta);
+    for (size_t i = 0; i < space.dim(); ++i) {
+      std::printf("  %-36s = %.6g\n", space.knob(i).name.c_str(), raw[i]);
+    }
+  }
+  if (summary->archived_to_repository) {
+    std::printf("\nsession archived to the server's repository\n");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -47,6 +163,7 @@ int main(int argc, char** argv) {
   std::string method_name = "restune";
   std::string repository_path, save_repository_path;
   std::string trace_out_path;
+  std::string server_address;
   double data_gb = 0.0;
   ExperimentConfig config;
   config.iterations = 50;
@@ -96,6 +213,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(), 2;
       trace_out_path = v;
+    } else if (arg == "--server") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      server_address = v;
     } else {
       Usage();
       return 2;
@@ -146,6 +267,15 @@ int main(int argc, char** argv) {
   if (!sim.ok()) {
     std::fprintf(stderr, "%s\n", sim.status().ToString().c_str());
     return 1;
+  }
+
+  if (!server_address.empty()) {
+    const WorkloadCharacterizer remote_characterizer =
+        TrainDefaultCharacterizer();
+    return RunRemoteSession(
+        server_address, &*sim,
+        ComputeMetaFeature(remote_characterizer, *workload), resource,
+        config.iterations);
   }
 
   // Optional repository.

@@ -1,0 +1,124 @@
+// restune_serve — the ResTune tuning service as a standalone process: one
+// ResTuneServer behind a WireServer, the deployment shape of paper Figure
+// 2 (provider-side tuning cluster, tenant clients in their own VPCs). Any
+// number of `restune_cli --server HOST:PORT` runs can tune against it
+// concurrently; docs/SERVICE.md describes the wire protocol it speaks.
+//
+// Usage:
+//   restune_serve [--port N] [--bind ADDR] [--max-connections N]
+//                 [--checkpoint FILE] [--checkpoint-period N]
+//                 [--event-sessions] [--verbose]
+//
+// With --checkpoint, the server resumes from FILE when it exists and
+// snapshots itself there every --checkpoint-period state-changing calls,
+// so a kill-and-restart replays in-flight sessions idempotently (clients
+// simply retry and see the same recommendations). The process serves
+// until stdin reaches EOF (Ctrl-D, or the parent closing the pipe), then
+// shuts down cleanly — the pattern scripts and tests use to stop it
+// without signal handling.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "service/restune_server.h"
+#include "service/wire_server.h"
+
+using namespace restune;
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: restune_serve [--port N] [--bind ADDR] [--max-connections N]\n"
+      "                     [--checkpoint FILE] [--checkpoint-period N]\n"
+      "                     [--event-sessions] [--verbose]\n");
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::SetThreshold(LogLevel::kWarning);
+
+  ServerOptions server_options;
+  WireServerOptions wire_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      wire_options.loop.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--bind") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      wire_options.loop.bind_address = v;
+    } else if (arg == "--max-connections") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      wire_options.loop.max_connections = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      server_options.checkpoint_path = v;
+    } else if (arg == "--checkpoint-period") {
+      const char* v = next();
+      if (!v) return Usage(), 2;
+      server_options.checkpoint_period = std::atoi(v);
+    } else if (arg == "--event-sessions") {
+      server_options.use_event_sessions = true;
+    } else if (arg == "--verbose") {
+      Logger::SetThreshold(LogLevel::kInfo);
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  ResTuneServer server(server_options);
+  if (!server_options.checkpoint_path.empty() &&
+      FileExists(server_options.checkpoint_path)) {
+    const Status st = server.LoadCheckpointFile(server_options.checkpoint_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("resumed from %s (%zu active sessions)\n",
+                server_options.checkpoint_path.c_str(),
+                server.active_sessions());
+  }
+
+  WireServer wire(&server, wire_options);
+  const Status st = wire.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("restune_serve listening on %s:%u%s\n",
+              wire_options.loop.bind_address.c_str(), wire.port(),
+              server_options.use_event_sessions ? " (event sessions)" : "");
+  std::printf("serving until stdin EOF...\n");
+  std::fflush(stdout);
+
+  // Blocks the main thread until the parent closes our stdin; the wire
+  // loop serves on its own thread the whole time.
+  while (std::getchar() != EOF) {
+  }
+
+  wire.Stop();
+  std::printf("shut down; %zu sessions still active\n",
+              server.active_sessions());
+  return 0;
+}

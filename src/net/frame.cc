@@ -1,0 +1,102 @@
+#include "net/frame.h"
+
+#include <array>
+#include <cstring>
+
+namespace restune {
+namespace net {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+void PutU32Le(uint32_t value, char* out) {
+  out[0] = static_cast<char>(value & 0xff);
+  out[1] = static_cast<char>((value >> 8) & 0xff);
+  out[2] = static_cast<char>((value >> 16) & 0xff);
+  out[3] = static_cast<char>((value >> 24) & 0xff);
+}
+
+uint32_t GetU32Le(const char* in) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(in[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(in[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(in[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(in[3])) << 24;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(c)) & 0xffu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeFrame(uint8_t type, std::string_view payload) {
+  std::string out;
+  out.resize(kFrameHeaderBytes + payload.size());
+  std::memcpy(&out[0], kWireMagic, 4);
+  out[4] = static_cast<char>(kWireVersion);
+  out[5] = static_cast<char>(type);
+  out[6] = 0;
+  out[7] = 0;
+  PutU32Le(static_cast<uint32_t>(payload.size()), &out[8]);
+  PutU32Le(Crc32(payload), &out[12]);
+  std::memcpy(&out[kFrameHeaderBytes], payload.data(), payload.size());
+  return out;
+}
+
+Result<bool> FrameDecoder::Next(Frame* frame) {
+  if (!failed_.ok()) return failed_;
+  if (buffer_.size() < kFrameHeaderBytes) return false;
+  const char* hdr = buffer_.data();
+  if (std::memcmp(hdr, kWireMagic, 4) != 0) {
+    failed_ = Status::InvalidArgument("frame: bad magic");
+    return failed_;
+  }
+  if (static_cast<uint8_t>(hdr[4]) != kWireVersion) {
+    failed_ = Status::NotImplemented(
+        "frame: unsupported wire version " +
+        std::to_string(static_cast<unsigned>(static_cast<uint8_t>(hdr[4]))));
+    return failed_;
+  }
+  if (hdr[6] != 0 || hdr[7] != 0) {
+    failed_ = Status::InvalidArgument("frame: nonzero reserved bytes");
+    return failed_;
+  }
+  const uint32_t payload_size = GetU32Le(hdr + 8);
+  if (payload_size > max_payload_) {
+    failed_ = Status::OutOfRange(
+        "frame: payload of " + std::to_string(payload_size) +
+        " bytes exceeds cap of " + std::to_string(max_payload_));
+    return failed_;
+  }
+  if (buffer_.size() < kFrameHeaderBytes + payload_size) return false;
+  const std::string_view payload(buffer_.data() + kFrameHeaderBytes,
+                                 payload_size);
+  const uint32_t expected_crc = GetU32Le(hdr + 12);
+  if (Crc32(payload) != expected_crc) {
+    failed_ = Status::IoError("frame: CRC mismatch");
+    return failed_;
+  }
+  frame->type = static_cast<uint8_t>(hdr[5]);
+  frame->payload.assign(payload.data(), payload.size());
+  buffer_.erase(0, kFrameHeaderBytes + payload_size);
+  return true;
+}
+
+}  // namespace net
+}  // namespace restune

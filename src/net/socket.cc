@@ -1,0 +1,173 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace restune {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const char* op) {
+  return Status::IoError(std::string(op) + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddress(const std::string& address, uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + address);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    // EINTR after close leaves the fd state unspecified on Linux (the fd
+    // is released); retrying would race a concurrent open. Close once.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::SetNonBlocking(bool enable) {
+  int flags = RetryEintr([&] { return ::fcntl(fd_, F_GETFL, 0); });
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  if (enable) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (RetryEintr([&] { return ::fcntl(fd_, F_SETFL, flags); }) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Status Socket::SetNoDelay() {
+  int one = 1;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<Socket> ListenTcp(const std::string& address, uint16_t port,
+                         int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket");
+  int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)");
+  }
+  RESTUNE_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(address, port));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(sock.fd(), backlog) < 0) return ErrnoStatus("listen");
+  RESTUNE_RETURN_IF_ERROR(sock.SetNonBlocking(true));
+  return sock;
+}
+
+Result<uint16_t> LocalPort(const Socket& socket) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return ErrnoStatus("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> ConnectTcp(const std::string& address, uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket");
+  RESTUNE_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(address, port));
+  if (RetryEintr([&] {
+        return ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr));
+      }) < 0) {
+    return ErrnoStatus("connect");
+  }
+  RESTUNE_RETURN_IF_ERROR(sock.SetNoDelay());
+  return sock;
+}
+
+Result<Socket> AcceptConnection(const Socket& listener, bool* would_block) {
+  *would_block = false;
+  int fd = RetryEintr([&] {
+    return ::accept(listener.fd(), /*addr=*/nullptr, /*addrlen=*/nullptr);
+  });
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return Socket();
+    }
+    return ErrnoStatus("accept");
+  }
+  Socket sock(fd);
+  RESTUNE_RETURN_IF_ERROR(sock.SetNonBlocking(true));
+  RESTUNE_RETURN_IF_ERROR(sock.SetNoDelay());
+  return sock;
+}
+
+Status ReadSome(const Socket& socket, char* buf, size_t cap, size_t* got,
+                bool* would_block) {
+  *got = 0;
+  *would_block = false;
+  ssize_t rc = RetryEintr([&] { return ::read(socket.fd(), buf, cap); });
+  if (rc < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return Status::OK();
+    }
+    return ErrnoStatus("read");
+  }
+  *got = static_cast<size_t>(rc);
+  return Status::OK();
+}
+
+Status WriteSome(const Socket& socket, const char* data, size_t len,
+                 size_t* written, bool* would_block) {
+  *written = 0;
+  *would_block = false;
+  ssize_t rc = RetryEintr([&] { return ::write(socket.fd(), data, len); });
+  if (rc < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return Status::OK();
+    }
+    return ErrnoStatus("write");
+  }
+  *written = static_cast<size_t>(rc);
+  return Status::OK();
+}
+
+Status WriteAll(const Socket& socket, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    size_t written = 0;
+    bool would_block = false;
+    RESTUNE_RETURN_IF_ERROR(
+        WriteSome(socket, data + sent, len - sent, &written, &would_block));
+    if (would_block) continue;  // blocking socket: cannot actually happen
+    if (written == 0) return Status::IoError("write: connection closed");
+    sent += written;
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace restune

@@ -1,0 +1,110 @@
+#ifndef RESTUNE_NET_SOCKET_H_
+#define RESTUNE_NET_SOCKET_H_
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// Thin RAII layer over POSIX TCP sockets (docs/SERVICE.md, "Transport").
+///
+/// This header and socket.cc are the only place in the tree where raw
+/// socket syscalls (`::socket`, `::read`, `::write`, `::poll`, ...) and
+/// hand-written `EINTR` retry loops are allowed — the `net-discipline`
+/// lint rule (tools/restune_lint.py) confines both to `src/net/` and
+/// routes every interruptible syscall through `RetryEintr` below. Every
+/// function reports failures as `Status` (kIoError carries the errno
+/// text); nothing here throws or aborts.
+
+namespace restune {
+namespace net {
+
+/// Retries `fn` (a syscall-shaped callable returning a signed integer,
+/// -1 = error with errno set) until it completes without EINTR. The
+/// single sanctioned EINTR loop; everything in src/net funnels
+/// interruptible syscalls through it so signal handling has exactly one
+/// code path.
+template <typename Fn>
+auto RetryEintr(Fn&& fn) -> decltype(fn()) {
+  decltype(fn()) rc;
+  do {
+    rc = fn();
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+/// Move-only owner of one socket file descriptor. Closing is idempotent;
+/// the destructor closes. An invalid (default) Socket has fd() == -1.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// Switches the descriptor between blocking and non-blocking mode.
+  Status SetNonBlocking(bool enable);
+  /// Disables Nagle's algorithm; request/response framing wants every
+  /// frame on the wire immediately, not coalesced.
+  Status SetNoDelay();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `address:port` (port 0 picks a free port; read it
+/// back with `LocalPort`). The returned socket is non-blocking — it is
+/// only ever driven from the poll loop.
+Result<Socket> ListenTcp(const std::string& address, uint16_t port,
+                         int backlog);
+
+/// The locally bound port of a listening or connected socket.
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Blocking connect to `address:port`. The returned socket stays blocking
+/// (clients are synchronous); `SetNoDelay` is already applied.
+Result<Socket> ConnectTcp(const std::string& address, uint16_t port);
+
+/// Accepts one pending connection from a non-blocking listener. Returns
+/// an invalid Socket (fd -1, `*would_block` = true) when no connection is
+/// pending; a Status error for real accept failures.
+Result<Socket> AcceptConnection(const Socket& listener, bool* would_block);
+
+/// Reads up to `cap` bytes. `*got` = 0 with kOk means orderly EOF.
+/// Non-blocking sockets report "nothing available" as `*would_block` =
+/// true (and `*got` = 0).
+Status ReadSome(const Socket& socket, char* buf, size_t cap, size_t* got,
+                bool* would_block);
+
+/// Writes up to `len` bytes, returns how many were taken. On a
+/// non-blocking socket a full send buffer reports `*would_block` = true.
+Status WriteSome(const Socket& socket, const char* data, size_t len,
+                 size_t* written, bool* would_block);
+
+/// Blocking loop around WriteSome until all `len` bytes are out. Client
+/// side only (the server never blocks on a peer).
+Status WriteAll(const Socket& socket, const char* data, size_t len);
+
+}  // namespace net
+}  // namespace restune
+
+#endif  // RESTUNE_NET_SOCKET_H_

@@ -156,6 +156,11 @@ Result<uint64_t> ResTuneServer::StartSession(
   session.best_theta = submission.default_theta;
   session.best_feasible_res = submission.default_observation.res;
   session.has_feasible = true;
+  if (options_.use_event_sessions) {
+    session.safety = std::make_unique<SafetyController>(options_.safety);
+    session.safety->SetBaseline(submission.default_theta,
+                                submission.default_observation.res);
+  }
 
   const uint64_t id = next_session_id_++;
   sessions_.emplace(id, std::move(session));
@@ -201,15 +206,54 @@ Result<KnobRecommendation> ResTuneServer::IssueRecommendation(
   for (const auto& [iteration, theta] : session->outstanding) {
     pending.push_back(theta);
   }
-  RESTUNE_ASSIGN_OR_RETURN(Vector theta,
-                           session->advisor->SuggestNextAsync(pending));
+
+  EventRecord launch;
+  launch.kind = EventKind::kLaunch;
+  Vector theta;
+  if (session->safety != nullptr) {
+    // Event-session driver (tuner/event_session.cc semantics): frozen
+    // sessions pin the last known-safe config — deliberately WITHOUT an
+    // advisor call, so checkpoint replay does not consume advisor RNG for
+    // the probe — and constrained sessions clamp suggestions into the
+    // trust region around it.
+    SessionMode mode = session->safety->mode();
+    bool frozen = mode == SessionMode::kFrozen;
+    if (frozen) {
+      theta = session->safety->safe_theta();
+    } else {
+      if (mode == SessionMode::kConstrained) {
+        session->advisor->SetTrustRegion(session->safety->safe_theta(),
+                                         session->safety->trust_radius());
+      } else {
+        session->advisor->ClearTrustRegion();
+      }
+      Result<Vector> suggestion = session->advisor->SuggestNextAsync(pending);
+      if (!suggestion.ok()) {
+        if (suggestion.status().code() == StatusCode::kOutOfRange) {
+          return suggestion.status();  // advisor exhausted: a real error
+        }
+        // Surrogate failure: drop to frozen and serve the safe config —
+        // an always-on service keeps answering with something safe.
+        mode = session->safety->OnAdvisorFailure();
+        frozen = true;
+        theta = session->safety->safe_theta();
+      } else {
+        theta = std::move(suggestion).value();
+      }
+    }
+    launch.frozen = frozen;
+    launch.mode = mode;
+    launch.sla_violated = session->safety->sla_violated();
+  } else {
+    RESTUNE_ASSIGN_OR_RETURN(theta,
+                             session->advisor->SuggestNextAsync(pending));
+  }
+
   KnobRecommendation rec;
   rec.session_id = session_id;
   rec.iteration = ++session->iteration;
   rec.theta = theta;
 
-  EventRecord launch;
-  launch.kind = EventKind::kLaunch;
   launch.seq = static_cast<uint64_t>(rec.iteration);
   launch.theta = theta;
   session->log.push_back(launch);
@@ -301,6 +345,22 @@ Status ResTuneServer::ReportEvaluation(const EvaluationReport& report) {
       session.best_theta = report.observation.theta;
       session.has_feasible = true;
     }
+  }
+  if (session.safety != nullptr) {
+    // Two-tolerance rule: the strict verdict gates safe-config updates,
+    // the lenient one feeds the violation monitor (exploration on the
+    // constraint boundary routinely dips a few percent infeasible).
+    const bool feasible =
+        !event.failed &&
+        session.sla.IsFeasible(event.observation, options_.sla_tolerance);
+    const bool sla_ok =
+        !event.failed &&
+        session.sla.IsFeasible(event.observation,
+                               options_.safety.monitor_tolerance);
+    event.mode_after = session.safety->OnCompletion(
+        pending->second, event.failed, feasible, sla_ok,
+        event.observation.res);
+    event.sla_violated_after = session.safety->sla_violated();
   }
   session.log.push_back(std::move(event));
   session.outstanding.erase(pending);
@@ -431,6 +491,13 @@ Result<ResTuneServer::Session> ResTuneServer::RebuildSession(
   session.observations.push_back(session.default_observation);
   session.best_theta = session.default_theta;
   session.best_feasible_res = session.default_observation.res;
+  if (options_.use_event_sessions) {
+    session.safety = std::make_unique<SafetyController>(options_.safety);
+    session.safety->SetBaseline(session.default_theta,
+                                session.default_observation.res);
+  } else {
+    session.safety.reset();
+  }
 
   // Replay the totally ordered launch/completion log through the fresh
   // advisor. Launches re-run the (pending-penalized) suggestion and must
@@ -443,13 +510,42 @@ Result<ResTuneServer::Session> ResTuneServer::RebuildSession(
   for (const EventRecord& event : session.log) {
     const int iteration = static_cast<int>(event.seq);
     if (event.kind == EventKind::kLaunch) {
-      std::vector<Vector> pending;
-      pending.reserve(session.outstanding.size());
-      for (const auto& [it, theta] : session.outstanding) {
-        pending.push_back(theta);
+      Vector theta;
+      if (session.safety != nullptr) {
+        if (event.mode == SessionMode::kFrozen &&
+            session.safety->mode() != SessionMode::kFrozen && event.frozen) {
+          // Frozen at launch while the replayed ladder was not: the
+          // original launch hit an advisor failure; mirror the transition
+          // so the recomputed mode matches the record.
+          session.safety->OnAdvisorFailure();
+        }
+        if (event.mode != session.safety->mode()) {
+          return Status::FailedPrecondition(
+              "server checkpoint safety replay diverged at iteration " +
+              std::to_string(iteration) + ": recorded mode '" +
+              SessionModeName(event.mode) + "', replayed '" +
+              SessionModeName(session.safety->mode()) + "'");
+        }
+        if (event.frozen) {
+          // Frozen probe: no advisor call happened at record time, so the
+          // replay must not consume advisor RNG either.
+          theta = session.safety->safe_theta();
+        } else if (event.mode == SessionMode::kConstrained) {
+          session.advisor->SetTrustRegion(session.safety->safe_theta(),
+                                          session.safety->trust_radius());
+        } else {
+          session.advisor->ClearTrustRegion();
+        }
       }
-      RESTUNE_ASSIGN_OR_RETURN(const Vector theta,
-                               session.advisor->SuggestNextAsync(pending));
+      if (theta.empty()) {
+        std::vector<Vector> pending;
+        pending.reserve(session.outstanding.size());
+        for (const auto& [it, pending_theta] : session.outstanding) {
+          pending.push_back(pending_theta);
+        }
+        RESTUNE_ASSIGN_OR_RETURN(theta,
+                                 session.advisor->SuggestNextAsync(pending));
+      }
       if (!BitwiseEqual(theta, event.theta)) {
         return Status::FailedPrecondition(
             "server checkpoint replay diverged at iteration " +
@@ -478,6 +574,26 @@ Result<ResTuneServer::Session> ResTuneServer::RebuildSession(
           event.observation.res < session.best_feasible_res) {
         session.best_feasible_res = event.observation.res;
         session.best_theta = event.observation.theta;
+      }
+    }
+    if (session.safety != nullptr) {
+      const bool feasible =
+          !event.failed &&
+          session.sla.IsFeasible(event.observation, options_.sla_tolerance);
+      const bool sla_ok =
+          !event.failed &&
+          session.sla.IsFeasible(event.observation,
+                                 options_.safety.monitor_tolerance);
+      const SessionMode after = session.safety->OnCompletion(
+          pending->second, event.failed, feasible, sla_ok,
+          event.observation.res);
+      if (after != event.mode_after ||
+          session.safety->sla_violated() != event.sla_violated_after) {
+        return Status::FailedPrecondition(
+            "server checkpoint safety replay diverged at completion " +
+            std::to_string(iteration) + ": recorded mode_after '" +
+            SessionModeName(event.mode_after) + "', replayed '" +
+            SessionModeName(after) + "'");
       }
     }
     session.outstanding.erase(pending);

@@ -14,6 +14,7 @@
 #include "service/messages.h"
 #include "tuner/checkpoint.h"
 #include "tuner/restune_advisor.h"
+#include "tuner/safety.h"
 
 namespace restune {
 
@@ -33,6 +34,21 @@ struct ServerOptions {
   /// report, session finish) via the atomic `SaveCheckpointFile`.
   std::string checkpoint_path;
   int checkpoint_period = 10;
+  /// Drive sessions through the EventTuningSession degraded-mode ladder
+  /// (tuner/safety.h): each session owns a SafetyController, frozen
+  /// sessions probe the last known-safe config WITHOUT consuming advisor
+  /// RNG, constrained sessions clamp suggestions into the L∞ trust region
+  /// around it, and every event record carries the mode transition so
+  /// checkpoint replay verifies the recomputed ladder. Off by default
+  /// (pure BO behavior, bit-identical to earlier servers).
+  bool use_event_sessions = false;
+  /// Ladder thresholds and monitor tolerance (with use_event_sessions).
+  SafetyOptions safety;
+  /// Strict SLA tolerance gating safe-config updates — the lenient
+  /// `safety.monitor_tolerance` feeds the violation monitor, this one
+  /// decides what counts as a genuinely safe configuration (the
+  /// two-tolerance rule of the event-driven session).
+  double sla_tolerance = 0.0;
 };
 
 /// ResTune Server (paper Fig. 2, right side): hosts the data repository and
@@ -173,6 +189,9 @@ class ResTuneServer {
     /// log (launches in suggestion order, completions in report-arrival
     /// order). Replaying it through a fresh advisor rebuilds everything.
     std::vector<EventRecord> log;
+    /// Degraded-mode ladder (only with ServerOptions::use_event_sessions);
+    /// deterministic state machine, rebuilt by log replay on restore.
+    std::unique_ptr<SafetyController> safety;
   };
 
   std::vector<BaseLearner> TrainSessionLearners(size_t knob_dim,

@@ -1,0 +1,147 @@
+#include "service/tuning_client.h"
+
+#include <utility>
+
+namespace restune {
+
+Result<TuningClient> TuningClient::Connect(const std::string& host,
+                                           uint16_t port) {
+  RESTUNE_ASSIGN_OR_RETURN(net::Socket socket, net::ConnectTcp(host, port));
+  return TuningClient(std::move(socket));
+}
+
+Result<net::Frame> TuningClient::RoundTrip(WireMessageType request_type,
+                                           WireMessageType expected_response,
+                                           std::string payload,
+                                           uint64_t request_id) {
+  const std::string wire =
+      net::EncodeFrame(static_cast<uint8_t>(request_type), payload);
+  RESTUNE_RETURN_IF_ERROR(net::WriteAll(socket_, wire.data(), wire.size()));
+
+  // Read until one complete frame decodes. The connection is synchronous
+  // (one request in flight), so the next frame is our response.
+  for (;;) {
+    net::Frame frame;
+    RESTUNE_ASSIGN_OR_RETURN(bool complete, decoder_.Next(&frame));
+    if (complete) {
+      uint64_t echoed = 0;
+      RESTUNE_RETURN_IF_ERROR(PeekRequestId(frame.payload, &echoed));
+      if (echoed != request_id) {
+        return Status::IoError("wire: response for request " +
+                               std::to_string(echoed) + ", expected " +
+                               std::to_string(request_id));
+      }
+      if (frame.type == static_cast<uint8_t>(WireMessageType::kErrorResponse)) {
+        Status carried = Status::OK();
+        RESTUNE_RETURN_IF_ERROR(
+            DecodeErrorResponse(frame.payload, &echoed, &carried));
+        return carried;
+      }
+      if (frame.type != static_cast<uint8_t>(expected_response)) {
+        return Status::IoError("wire: unexpected response type " +
+                               std::to_string(frame.type));
+      }
+      return frame;
+    }
+    char buf[65536];
+    size_t got = 0;
+    bool would_block = false;
+    RESTUNE_RETURN_IF_ERROR(
+        net::ReadSome(socket_, buf, sizeof(buf), &got, &would_block));
+    if (got == 0 && !would_block) {
+      return Status::IoError("wire: connection closed by server");
+    }
+    decoder_.Feed(buf, got);
+  }
+}
+
+Result<uint64_t> TuningClient::StartSession(
+    const TargetTaskSubmission& submission) {
+  const uint64_t id = next_request_id_++;
+  RESTUNE_ASSIGN_OR_RETURN(
+      net::Frame frame,
+      RoundTrip(WireMessageType::kStartSessionRequest,
+                WireMessageType::kStartSessionResponse,
+                EncodeStartSessionRequest(id, submission), id));
+  uint64_t echoed = 0;
+  uint64_t session_id = 0;
+  RESTUNE_RETURN_IF_ERROR(
+      DecodeStartSessionResponse(frame.payload, &echoed, &session_id));
+  return session_id;
+}
+
+Result<KnobRecommendation> TuningClient::Recommend(uint64_t session_id) {
+  const uint64_t id = next_request_id_++;
+  RESTUNE_ASSIGN_OR_RETURN(
+      net::Frame frame,
+      RoundTrip(WireMessageType::kRecommendRequest,
+                WireMessageType::kRecommendResponse,
+                EncodeRecommendRequest(id, session_id, /*batch_width=*/0),
+                id));
+  uint64_t echoed = 0;
+  std::vector<KnobRecommendation> recs;
+  RESTUNE_RETURN_IF_ERROR(DecodeRecommendResponse(frame.payload, &echoed, &recs));
+  if (recs.size() != 1) {
+    return Status::IoError("wire: expected one recommendation, got " +
+                           std::to_string(recs.size()));
+  }
+  return std::move(recs[0]);
+}
+
+Result<std::vector<KnobRecommendation>> TuningClient::RecommendBatch(
+    uint64_t session_id, int width) {
+  if (width < 1) {
+    return Status::InvalidArgument("batch width must be >= 1");
+  }
+  const uint64_t id = next_request_id_++;
+  RESTUNE_ASSIGN_OR_RETURN(
+      net::Frame frame,
+      RoundTrip(WireMessageType::kRecommendRequest,
+                WireMessageType::kRecommendResponse,
+                EncodeRecommendRequest(id, session_id,
+                                       static_cast<uint32_t>(width)),
+                id));
+  uint64_t echoed = 0;
+  std::vector<KnobRecommendation> recs;
+  RESTUNE_RETURN_IF_ERROR(DecodeRecommendResponse(frame.payload, &echoed, &recs));
+  return recs;
+}
+
+Status TuningClient::ReportEvaluation(const EvaluationReport& report) {
+  const uint64_t id = next_request_id_++;
+  RESTUNE_ASSIGN_OR_RETURN(
+      net::Frame frame,
+      RoundTrip(WireMessageType::kReportEvaluationRequest,
+                WireMessageType::kReportEvaluationResponse,
+                EncodeReportEvaluationRequest(id, report), id));
+  uint64_t echoed = 0;
+  return DecodeReportEvaluationResponse(frame.payload, &echoed);
+}
+
+Result<SessionSummary> TuningClient::FinishSession(uint64_t session_id) {
+  const uint64_t id = next_request_id_++;
+  RESTUNE_ASSIGN_OR_RETURN(
+      net::Frame frame,
+      RoundTrip(WireMessageType::kFinishSessionRequest,
+                WireMessageType::kFinishSessionResponse,
+                EncodeFinishSessionRequest(id, session_id), id));
+  uint64_t echoed = 0;
+  SessionSummary summary;
+  RESTUNE_RETURN_IF_ERROR(
+      DecodeFinishSessionResponse(frame.payload, &echoed, &summary));
+  return summary;
+}
+
+Result<std::string> TuningClient::MetricsText() {
+  const uint64_t id = next_request_id_++;
+  RESTUNE_ASSIGN_OR_RETURN(net::Frame frame,
+                           RoundTrip(WireMessageType::kMetricsRequest,
+                                     WireMessageType::kMetricsResponse,
+                                     EncodeMetricsRequest(id), id));
+  uint64_t echoed = 0;
+  std::string text;
+  RESTUNE_RETURN_IF_ERROR(DecodeMetricsResponse(frame.payload, &echoed, &text));
+  return text;
+}
+
+}  // namespace restune

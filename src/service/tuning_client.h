@@ -1,0 +1,64 @@
+#ifndef RESTUNE_SERVICE_TUNING_CLIENT_H_
+#define RESTUNE_SERVICE_TUNING_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "service/messages.h"
+#include "service/wire.h"
+
+/// Blocking client for the wire tuning service (docs/SERVICE.md): one TCP
+/// connection, synchronous request/response, mirroring ResTuneServer's
+/// in-process API call for call. Every request carries a fresh
+/// request_id; a response (or typed error) is matched on that id, so a
+/// caller that retries after a torn connection observes exactly the
+/// server's idempotency semantics — a retried Recommend returns the same
+/// outstanding recommendation, a retried ReportEvaluation is a no-op, a
+/// retried FinishSession returns the cached summary.
+///
+/// Not thread-safe: one TuningClient per driving thread (the server side
+/// is where concurrency lives).
+
+namespace restune {
+
+class TuningClient {
+ public:
+  /// Connects to a WireServer; loopback in tests, a remote tuning cluster
+  /// in deployment.
+  static Result<TuningClient> Connect(const std::string& host, uint16_t port);
+
+  TuningClient(TuningClient&&) = default;
+  TuningClient& operator=(TuningClient&&) = default;
+
+  Result<uint64_t> StartSession(const TargetTaskSubmission& submission);
+  Result<KnobRecommendation> Recommend(uint64_t session_id);
+  Result<std::vector<KnobRecommendation>> RecommendBatch(uint64_t session_id,
+                                                         int width);
+  Status ReportEvaluation(const EvaluationReport& report);
+  Result<SessionSummary> FinishSession(uint64_t session_id);
+  /// The server's Prometheus text dump, served over the same socket.
+  Result<std::string> MetricsText();
+
+ private:
+  explicit TuningClient(net::Socket socket) : socket_(std::move(socket)) {}
+
+  /// Sends one request frame, blocks for the response frame, verifies the
+  /// echoed request_id, and surfaces kErrorResponse as its carried
+  /// Status. `expected_type` is the success response type.
+  Result<net::Frame> RoundTrip(WireMessageType request_type,
+                               WireMessageType expected_response,
+                               std::string payload, uint64_t request_id);
+
+  net::Socket socket_;
+  net::FrameDecoder decoder_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace restune
+
+#endif  // RESTUNE_SERVICE_TUNING_CLIENT_H_

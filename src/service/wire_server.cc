@@ -1,0 +1,127 @@
+#include "service/wire_server.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/wire.h"
+
+namespace restune {
+
+namespace {
+
+net::HandlerResult ErrorReply(uint64_t request_id, const Status& status) {
+  return net::HandlerResult{
+      net::EncodeFrame(static_cast<uint8_t>(WireMessageType::kErrorResponse),
+                       EncodeErrorResponse(request_id, status)),
+      /*close=*/false};
+}
+
+net::HandlerResult Reply(WireMessageType type, std::string payload) {
+  return net::HandlerResult{
+      net::EncodeFrame(static_cast<uint8_t>(type), std::move(payload)),
+      /*close=*/false};
+}
+
+}  // namespace
+
+WireServer::WireServer(ResTuneServer* server, WireServerOptions options)
+    : server_(server),
+      loop_(
+          [this](uint64_t client_id, const net::Frame& frame) {
+            return HandleFrame(client_id, frame);
+          },
+          options.loop) {}
+
+WireServer::~WireServer() { Stop(); }
+
+Status WireServer::Start() {
+  if (started_) return Status::FailedPrecondition("wire server already started");
+  RESTUNE_RETURN_IF_ERROR(loop_.Open());
+  loop_thread_ =  // restune-lint: allow(raw-thread)
+      std::thread([this] { (void)loop_.RunUntilStopped(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void WireServer::Stop() {
+  if (!started_) return;
+  loop_.RequestStop();
+  loop_thread_.join();
+  started_ = false;
+}
+
+net::HandlerResult WireServer::HandleFrame(uint64_t client_id,
+                                           const net::Frame& frame) {
+  (void)client_id;
+  // Even if full decoding fails below, the request_id prefix is usually
+  // intact — echo it so the client can match the error to its request.
+  uint64_t request_id = 0;
+  (void)PeekRequestId(frame.payload, &request_id);
+
+  switch (static_cast<WireMessageType>(frame.type)) {
+    case WireMessageType::kStartSessionRequest: {
+      TargetTaskSubmission submission;
+      Status decode =
+          DecodeStartSessionRequest(frame.payload, &request_id, &submission);
+      if (!decode.ok()) return ErrorReply(request_id, decode);
+      Result<uint64_t> session = server_->StartSession(submission);
+      if (!session.ok()) return ErrorReply(request_id, session.status());
+      return Reply(WireMessageType::kStartSessionResponse,
+                   EncodeStartSessionResponse(request_id, session.value()));
+    }
+    case WireMessageType::kRecommendRequest: {
+      uint64_t session_id = 0;
+      uint32_t batch_width = 0;
+      Status decode = DecodeRecommendRequest(frame.payload, &request_id,
+                                             &session_id, &batch_width);
+      if (!decode.ok()) return ErrorReply(request_id, decode);
+      std::vector<KnobRecommendation> recs;
+      if (batch_width == 0) {
+        Result<KnobRecommendation> rec = server_->Recommend(session_id);
+        if (!rec.ok()) return ErrorReply(request_id, rec.status());
+        recs.push_back(std::move(rec).value());
+      } else {
+        Result<std::vector<KnobRecommendation>> batch =
+            server_->RecommendBatch(session_id, static_cast<int>(batch_width));
+        if (!batch.ok()) return ErrorReply(request_id, batch.status());
+        recs = std::move(batch).value();
+      }
+      return Reply(WireMessageType::kRecommendResponse,
+                   EncodeRecommendResponse(request_id, recs));
+    }
+    case WireMessageType::kReportEvaluationRequest: {
+      EvaluationReport report;
+      Status decode =
+          DecodeReportEvaluationRequest(frame.payload, &request_id, &report);
+      if (!decode.ok()) return ErrorReply(request_id, decode);
+      Status reported = server_->ReportEvaluation(report);
+      if (!reported.ok()) return ErrorReply(request_id, reported);
+      return Reply(WireMessageType::kReportEvaluationResponse,
+                   EncodeReportEvaluationResponse(request_id));
+    }
+    case WireMessageType::kFinishSessionRequest: {
+      uint64_t session_id = 0;
+      Status decode =
+          DecodeFinishSessionRequest(frame.payload, &request_id, &session_id);
+      if (!decode.ok()) return ErrorReply(request_id, decode);
+      Result<SessionSummary> summary = server_->FinishSession(session_id);
+      if (!summary.ok()) return ErrorReply(request_id, summary.status());
+      return Reply(WireMessageType::kFinishSessionResponse,
+                   EncodeFinishSessionResponse(request_id, summary.value()));
+    }
+    case WireMessageType::kMetricsRequest: {
+      Status decode = DecodeMetricsRequest(frame.payload, &request_id);
+      if (!decode.ok()) return ErrorReply(request_id, decode);
+      return Reply(WireMessageType::kMetricsResponse,
+                   EncodeMetricsResponse(request_id, server_->MetricsText()));
+    }
+    default:
+      return ErrorReply(
+          request_id,
+          Status::NotImplemented("unknown wire message type " +
+                                 std::to_string(frame.type)));
+  }
+}
+
+}  // namespace restune

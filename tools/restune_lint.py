@@ -59,6 +59,17 @@ Rules (see docs/CORRECTNESS.md for rationale):
                    std::memory_order argument. A bare fetch_add defaults
                    to seq_cst, which both hides the author's intent and
                    costs a fence the comment then has to explain away.
+  net-discipline   Socket transport stays confined to src/net/: no
+                   global-qualified POSIX socket/IO calls (::socket,
+                   ::connect, ::read, ::write, ::poll, ...) and no socket
+                   system headers (<sys/socket.h>, <netinet/*>,
+                   <arpa/inet.h>, <poll.h>, ...) anywhere else — every
+                   transport need goes through the net module's RAII
+                   Socket API. Additionally, the EINTR token may appear
+                   only in src/net/socket.{h,cc}: hand-rolled EINTR retry
+                   loops are a classic source of half-right error
+                   handling, so every interruptible syscall routes
+                   through the one shared net::RetryEintr helper.
   layering         Include-DAG rule: a file under src/<module>/ may
                    include project headers only from its own module, the
                    modules tools/layering.json lists as its dependencies,
@@ -584,6 +595,22 @@ ATOMIC_OP_PATTERN = re.compile(
 GUARDED_BY_EXEMPT = ("src/common/mutex.h",)
 INCLUDE_PATTERN = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 
+NET_SCOPE = "src/net/"
+# The one home of EINTR handling: the shared RetryEintr helper and the
+# syscall wrappers built on it.
+NET_EINTR_EXEMPT = ("src/net/socket.h", "src/net/socket.cc")
+# Global-qualified POSIX socket/IO calls. The lookbehind keeps qualified
+# names (std::bind, absl::flat_hash_map::accept, ...) from matching: their
+# `::` is preceded by an identifier character.
+NET_SYSCALL_PATTERN = re.compile(
+    r"(?<![\w)])::(socket|bind|listen|accept4?|connect|recv|recvfrom|"
+    r"recvmsg|send|sendto|sendmsg|read|write|poll|select|epoll_\w+|"
+    r"setsockopt|getsockopt|getsockname|getpeername|shutdown|close)\s*\(")
+NET_HEADER_PATTERN = re.compile(
+    r"#\s*include\s*<(sys/socket\.h|sys/epoll\.h|sys/select\.h|"
+    r"netinet/[^>]+|arpa/inet\.h|poll\.h|netdb\.h)>")
+EINTR_PATTERN = re.compile(r"\bEINTR\b")
+
 
 def check_lock_discipline(rel, code_lines, raw_lines, findings):
     # src/ only: production locking must be visible to -Wthread-safety;
@@ -605,6 +632,46 @@ def check_lock_discipline(rel, code_lines, raw_lines, findings):
                 f"'std::{m.group(1)}' carries no thread-safety annotations; "
                 "use restune::Mutex/MutexLock (common/mutex.h) so the "
                 "analysis can verify the lock"))
+
+
+def check_net_discipline(rel, code_lines, raw_lines, findings):
+    if rel.startswith(NET_SCOPE):
+        # Inside the net module only socket.{h,cc} may spell EINTR — the
+        # retry loop lives exactly once, in net::RetryEintr.
+        if rel not in NET_EINTR_EXEMPT:
+            for lineno, line in enumerate(code_lines, 1):
+                if EINTR_PATTERN.search(line):
+                    findings.append(Finding(
+                        rel, lineno, "net-discipline",
+                        "EINTR handled outside net/socket.{h,cc}; route the "
+                        "interruptible syscall through the shared "
+                        "net::RetryEintr helper instead of a hand-rolled "
+                        "retry loop"))
+        return
+    # Outside src/net/: no raw sockets at all. Header scan runs on raw
+    # lines because stripping blanks nothing inside <...> but this keeps
+    # the scan consistent with the other include checks.
+    for lineno, raw in enumerate(raw_lines, 1):
+        m = NET_HEADER_PATTERN.search(raw)
+        if m:
+            findings.append(Finding(
+                rel, lineno, "net-discipline",
+                f"socket system header <{m.group(1)}> outside src/net/; "
+                "transports go through the net module's RAII Socket API"))
+    for lineno, line in enumerate(code_lines, 1):
+        m = NET_SYSCALL_PATTERN.search(line)
+        if m:
+            findings.append(Finding(
+                rel, lineno, "net-discipline",
+                f"naked '::{m.group(1)}' syscall outside src/net/; use the "
+                "net module's Socket/ListenTcp/ConnectTcp wrappers so EINTR "
+                "handling, non-blocking modes, and fd lifetimes stay in one "
+                "audited place"))
+        if EINTR_PATTERN.search(line):
+            findings.append(Finding(
+                rel, lineno, "net-discipline",
+                "EINTR handling outside src/net/; interruptible syscalls "
+                "belong behind net::RetryEintr (src/net/socket.h)"))
 
 
 def _matching_paren_span(text, open_pos):
@@ -843,6 +910,7 @@ def run_lint_with_usage(paths, root, allowlist_path):
         check_obs_discipline(rel, code_lines, raw_lines, file_findings)
         check_ignored_status(rel, code_text, status_functions, file_findings)
         check_lock_discipline(rel, code_lines, raw_lines, file_findings)
+        check_net_discipline(rel, code_lines, raw_lines, file_findings)
         check_memory_order(rel, code_text, file_findings)
         check_layering(rel, raw_lines, layering, file_findings)
         check_guarded_by_coverage(rel, ctx, file_findings)

@@ -380,6 +380,90 @@ def test_inline_suppression_on_line_or_line_above():
         t.cleanup()
 
 
+def test_net_discipline_flags_raw_sockets_outside_net():
+    t = FixtureTree()
+    try:
+        t.write("src/service/raw_transport.cc", """\
+            #include <sys/socket.h>
+            #include <poll.h>
+            int Open() {
+              int fd = ::socket(2, 1, 0);
+              char c;
+              ::read(fd, &c, 1);
+              return fd;
+            }
+            """)
+        findings = t.lint("src")
+        lines = sorted((line, rule) for rule, line, _path in findings
+                       if rule == "net-discipline")
+        # Two headers + two naked syscalls.
+        assert [l for l, _ in lines] == [1, 2, 4, 6], findings
+    finally:
+        t.cleanup()
+
+
+def test_net_discipline_exempts_src_net_and_flags_stray_eintr():
+    t = FixtureTree()
+    try:
+        # The net module itself is where raw sockets are supposed to live;
+        # socket.{h,cc} is additionally the one home of EINTR.
+        t.write("src/net/socket.cc", """\
+            #include <sys/socket.h>
+            #include <cerrno>
+            #include "net/socket.h"
+            int RawOpen() {
+              int rc;
+              do { rc = ::socket(2, 1, 0); } while (rc < 0 && errno == EINTR);
+              return rc;
+            }
+            """)
+        assert t.lint("src") == []
+        # A hand-rolled EINTR loop elsewhere in src/net is still a finding:
+        # the retry must go through RetryEintr.
+        t.write("src/net/wire_loop.cc", """\
+            #include <cerrno>
+            int Spin(int fd) {
+              int rc;
+              do { rc = Do(fd); } while (rc < 0 && errno == EINTR);
+              return rc;
+            }
+            """)
+        findings = t.lint("src")
+        assert [(r, l) for r, l, _p in findings] == [("net-discipline", 4)], \
+            findings
+        # ... and so is one outside src/net entirely.
+        t.write("src/net/wire_loop.cc", "int Quiet() { return 0; }\n")
+        t.write("src/tuner/retry.cc", """\
+            #include <cerrno>
+            int Spin(int fd) {
+              int rc;
+              do { rc = Do(fd); } while (rc < 0 && errno == EINTR);
+              return rc;
+            }
+            """)
+        findings = t.lint("src")
+        assert [(r, l) for r, l, _p in findings] == [("net-discipline", 4)], \
+            findings
+    finally:
+        t.cleanup()
+
+
+def test_net_discipline_ignores_qualified_names():
+    t = FixtureTree()
+    try:
+        # std::bind / my::ns::connect are qualified lookups, not syscalls.
+        t.write("src/tuner/callbacks.cc", """\
+            #include <functional>
+            void Hook(std::function<void()>* out) {
+              *out = std::bind(&Hook, out);
+              net::Socket sock = net::ConnectTcp("127.0.0.1", 1).value();
+            }
+            """)
+        assert t.lint("src") == []
+    finally:
+        t.cleanup()
+
+
 def test_allowlist_file_suppresses_by_rule_and_glob():
     t = FixtureTree()
     try:

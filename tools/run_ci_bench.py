@@ -16,6 +16,10 @@ per benchmark configuration:
   benchmark takes fewer).
 * ``cpu_ms_median`` is the median CPU time across repetitions, in ms.
 * ``iterations`` is the repetition count the median was computed over.
+* Numeric user counters from the median aggregate (e.g. bench_fleet's
+  ``recs_per_sec`` and ``p99_ms`` for the BENCH_9 wire-service rows) are
+  folded into the record verbatim, so throughput/latency gates can key on
+  them alongside CPU time.
 
 The JSON report is taken via --benchmark_out (not stdout) because some
 benchmarks print their own diagnostic lines.
@@ -71,6 +75,16 @@ def parse_run_name(run_name):
     return bench, args[0], args[1]
 
 
+# Keys google-benchmark itself writes into every report entry; anything
+# else numeric is a user counter and is folded into the bench record.
+STANDARD_ENTRY_KEYS = frozenset([
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "aggregate_name", "aggregate_unit", "family_index",
+    "per_family_instance_index", "label", "error_occurred", "error_message",
+])
+
+
 def collect_from_report(report):
     """Yields bench-record dicts from a google-benchmark JSON report."""
     for entry in report.get("benchmarks", []):
@@ -83,7 +97,7 @@ def collect_from_report(report):
             raise ValueError("unknown time unit %r in %r" %
                              (unit, entry.get("name")))
         bench, n, threads = parse_run_name(entry["run_name"])
-        yield {
+        record = {
             "bench": bench,
             "n": n,
             "threads": threads,
@@ -91,6 +105,12 @@ def collect_from_report(report):
                 float(entry["cpu_time"]) * TIME_UNIT_TO_MS[unit], 3),
             "iterations": int(entry.get("iterations", 0)),
         }
+        for key, value in entry.items():
+            if key in STANDARD_ENTRY_KEYS or key in record:
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                record[key] = round(float(value), 3)
+        yield record
 
 
 def run_binary(binary, bench_filter, repetitions):
